@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablations of RedEye's four architectural decisions, each compared
+ * against the straightforward alternative it displaced:
+ *
+ *  1. charge-sharing tunable capacitors vs the naive
+ *     binary-weighted sampling array (Section IV-A),
+ *  2. cyclic module reuse vs dedicated per-layer analog hardware
+ *     (Section III-B1),
+ *  3. column-parallel topology vs unconstrained (all-to-all)
+ *     interconnect (Section III-B3),
+ *  4. programmable noise admission vs always-high-fidelity
+ *     provisioning (Section III-C).
+ */
+
+#include <iostream>
+
+#include "analog/noise_damping.hh"
+#include "analog/supply_boost.hh"
+#include "analog/tunable_cap.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+#include "models/googlenet.hh"
+#include "redeye/area_model.hh"
+#include "redeye/compiler.hh"
+#include "redeye/energy_model.hh"
+
+using namespace redeye;
+
+int
+main()
+{
+    const auto process = analog::ProcessParams::typical();
+    auto net = models::buildGoogLeNet(227);
+    arch::RedEyeConfig cfg;
+    const auto prog5 = arch::compile(
+        *net, models::googLeNetAnalogLayers(5), cfg);
+
+    // 1. Charge sharing vs naive weight DAC.
+    std::cout << "Ablation 1: charge-sharing tunable capacitor vs "
+                 "naive binary-weighted array\n\n";
+    TablePrinter dac;
+    dac.setHeader({"weight bits", "naive caps", "sharing caps",
+                   "energy ratio"});
+    for (unsigned bits : {4u, 6u, 8u, 10u}) {
+        analog::TunableCapacitor cap(bits, process);
+        dac.addRow({std::to_string(bits),
+                    std::to_string((1u << bits) - 1),
+                    std::to_string(bits),
+                    fmt(cap.naiveDesignEnergy() /
+                            cap.worstCaseEnergy(),
+                        1) + "x"});
+    }
+    dac.print(std::cout);
+    std::cout << "paper: 'for the 8-bit MAC, this reduces energy by "
+                 "a factor of 32'\n\n";
+
+    // 2. Cyclic reuse vs dedicated per-layer hardware.
+    std::cout << "Ablation 2: cyclic module reuse vs dedicated "
+                 "per-layer hardware (Depth5 program)\n\n";
+    const auto area = arch::estimateArea(prog5, 227);
+    const std::size_t conv_engagements = prog5.convolutionCount();
+    TablePrinter reuse;
+    reuse.setHeader({"design", "module sets", "processing fabric"});
+    reuse.addRow({"cyclic reuse (RedEye)", "1 per column",
+                  fmt(area.sliceAreaMm2, 1) + " mm2"});
+    reuse.addRow({"dedicated per layer",
+                  std::to_string(conv_engagements) + " per column",
+                  fmt(area.sliceAreaMm2 *
+                          static_cast<double>(conv_engagements),
+                      1) + " mm2"});
+    reuse.print(std::cout);
+    std::cout << "cyclic reuse shrinks the analog fabric "
+              << conv_engagements
+              << "x and bounds verification to one module set.\n\n";
+
+    // 3. Column-parallel locality vs unconstrained interconnect.
+    std::cout << "Ablation 3: column-parallel topology vs "
+                 "unconstrained interconnect\n\n";
+    TablePrinter wires;
+    wires.setHeader({"topology", "interconnects per column"});
+    wires.addRow({"column-parallel, kernel-reach bridges",
+                  std::to_string(area.interconnect.total())});
+    // Without locality every column's buffer must reach the full
+    // kernel footprint anywhere in the array.
+    wires.addRow({"all-to-all buffer routing",
+                  std::to_string(227 - 1) + "+"});
+    wires.print(std::cout);
+    std::cout << "locality keeps analog routing fixed (23) instead "
+                 "of scaling with array width.\n\n";
+
+    // 4. Programmable noise admission vs fixed provisioning.
+    std::cout << "Ablation 4: programmable noise admission vs fixed "
+                 "high-fidelity provisioning (Depth5)\n\n";
+    TablePrinter knob;
+    knob.setHeader({"provisioning", "SNR", "analog E/frame"});
+    for (double snr : {40.0, 60.0}) {
+        arch::RedEyeConfig c2;
+        c2.convSnrDb = snr;
+        c2.columns = 227;
+        const auto p = arch::compile(
+            *net, models::googLeNetAnalogLayers(5), c2);
+        arch::RedEyeModel model(p, c2);
+        knob.addRow({snr == 40.0 ? "tuned to task (40 dB)"
+                                 : "fixed worst-case (60 dB)",
+                     fmt(snr, 0) + " dB",
+                     units::siFormat(
+                         model.estimateFrame().energy.analogJ(),
+                         "J")});
+    }
+    knob.print(std::cout);
+    std::cout << "'overprovisioning for low-noise incurs substantial "
+                 "energy consumption' — ~99x here.\n\n";
+
+    // 5. Capacitance damping vs the rejected supply-boost mechanism.
+    std::cout << "Ablation 5: capacitance damping vs boosted analog "
+                 "supply (the rejected alternative)\n\n";
+    TablePrinter boost;
+    boost.setHeader({"target SNR", "damping cap", "boost supply",
+                     "within rated region?"});
+    for (double snr : {40.0, 45.0, 50.0, 60.0}) {
+        boost.addRow(
+            {fmt(snr, 0) + " dB",
+             units::siFormat(analog::dampingCapForSnr(snr), "F", 0),
+             fmt(analog::boostSupplyForSnr(snr, process), 2) + " V",
+             analog::boostWithinRatedRegion(snr, process)
+                 ? "yes"
+                 : "NO (model not guaranteed)"});
+    }
+    boost.print(std::cout);
+    std::cout << "Both pay ~10x energy per +10 dB; boost would keep "
+                 "settling time constant, but leaves\nthe rated "
+                 "voltage region above "
+              << fmt(analog::boostMaxRatedSnrDb(process), 1)
+              << " dB — 'a risk that the actual circuit behavior "
+                 "may\ndeviate from simulation'. Hence capacitance "
+                 "damping.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Section V-D reproduction: RedEye design footprint — column-slice
+ * area, interconnect complexity, SRAM provisioning and die size.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "core/units.hh"
+#include "models/googlenet.hh"
+#include "redeye/area_model.hh"
+#include "redeye/compiler.hh"
+#include "redeye/sram.hh"
+
+using namespace redeye;
+
+int
+main()
+{
+    auto net = models::buildGoogLeNet(227);
+    arch::RedEyeConfig cfg;
+    cfg.adcBits = 8;
+    const auto prog = arch::compile(
+        *net, models::googLeNetAnalogLayers(5), cfg);
+
+    const auto area = arch::estimateArea(prog, 227);
+    const auto sram = arch::analyzeSram(prog);
+
+    std::cout << "Section V-D: RedEye design footprint (Depth5 "
+                 "program, 227-column sensor)\n\n";
+
+    TablePrinter table("Silicon area (IBM 0.18 um)");
+    table.setHeader({"component", "value", "paper"});
+    table.addRow({"column slices",
+                  std::to_string(area.columnSlices) + " x 0.225 mm2",
+                  "0.225 mm2 each"});
+    table.addRow({"slice fabric", fmt(area.sliceAreaMm2, 1) + " mm2",
+                  "-"});
+    table.addRow({"microcontroller", fmt(area.mcuAreaMm2, 1) +
+                                         " mm2",
+                  "0.5 x 7 mm2"});
+    table.addRow({"pixel array", fmt(area.pixelArrayMm2, 1) + " mm2",
+                  "4.5 x 4.5 mm2"});
+    table.addRow({"on-chip SRAM", fmt(area.sramAreaMm2, 1) + " mm2",
+                  "128 kB"});
+    table.addRow({"total die", fmt(area.totalMm2, 1) + " mm2",
+                  "10.2 x 5.0 = 51 mm2"});
+    table.print(std::cout);
+
+    std::cout << "\n";
+    TablePrinter ic("Interconnect complexity per column slice");
+    ic.setHeader({"category", "count"});
+    ic.addRow({"horizontal data bridges",
+               std::to_string(area.interconnect.dataBridges)});
+    ic.addRow({"module chain links",
+               std::to_string(area.interconnect.moduleLinks)});
+    ic.addRow({"cyclic + bypass flow control",
+               std::to_string(area.interconnect.flowControl)});
+    ic.addRow({"kernel weight bus",
+               std::to_string(area.interconnect.weightBus)});
+    ic.addRow({"clock / sync / mode",
+               std::to_string(area.interconnect.clockAndSync)});
+    ic.addSeparator();
+    ic.addRow({"total", std::to_string(area.interconnect.total()) +
+                            "  (paper: 23)"});
+    ic.print(std::cout);
+
+    std::cout << "\n";
+    TablePrinter sr("SRAM provisioning (8-bit feature readout)");
+    sr.setHeader({"resource", "required", "provisioned"});
+    sr.addRow({"feature SRAM",
+               units::siFormat(
+                   static_cast<double>(sram.featureBytes), "B", 0),
+               "100 kB"});
+    sr.addRow({"kernel working set",
+               units::siFormat(static_cast<double>(
+                                   sram.kernelWorkingSetBytes),
+                               "B", 0),
+               "9 kB"});
+    sr.addRow({"kernel total (paged)",
+               units::siFormat(
+                   static_cast<double>(sram.kernelTotalBytes), "B",
+                   0),
+               std::to_string(sram.kernelPageEvents) +
+                   " page events/frame"});
+    sr.addRow({"fits 128 kB budget", sram.fits ? "yes" : "NO", "-"});
+    sr.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 7 reproduction: performance metrics of the conventional
+ * image sensor (IS) versus 4-bit / 40 dB RedEye at Depth1..Depth5 —
+ * (a) energy per frame, (b) time per frame, (c) quantization
+ * workload / output data size.
+ */
+
+#include <iostream>
+
+#include "core/csv.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+#include "redeye/energy_model.hh"
+#include "sim/experiments.hh"
+
+using namespace redeye;
+
+int
+main()
+{
+    arch::RedEyeConfig cfg; // 4-bit, 40 dB, 30 fps, 227 columns
+    const auto rows = sim::googLeNetDepthSweep(cfg);
+
+    const double is_energy = arch::imageSensorAnalogEnergyJ(227, 227,
+                                                            3, 10);
+    const double is_bytes = arch::imageSensorOutputBytes(227, 227, 3,
+                                                         10);
+    const double is_time = 1.0 / 30.0;
+
+    std::cout << "Figure 7: image sensor (IS) vs 4-bit, 40 dB RedEye"
+              << " on GoogLeNet partitions (227x227 @ 30 fps)\n\n";
+
+    TablePrinter table;
+    table.setHeader({"config", "analog E/frame", "total E/frame",
+                     "time/frame", "output data", "analog MACs",
+                     "cut tensor"});
+    table.addRow({"IS (10-bit)", units::siFormat(is_energy, "J"),
+                  units::siFormat(is_energy, "J"),
+                  units::siFormat(is_time, "s"),
+                  units::siFormat(is_bytes, "B", 0), "-",
+                  "1x3x227x227"});
+    table.addSeparator();
+    for (const auto &row : rows) {
+        table.addRow({"Depth" + std::to_string(row.depth),
+                      units::siFormat(row.analogEnergyJ, "J"),
+                      units::siFormat(row.totalEnergyJ, "J"),
+                      units::siFormat(row.frameTimeS, "s"),
+                      units::siFormat(row.outputBytes, "B", 0),
+                      units::siFormat(
+                          static_cast<double>(row.analogMacs), "", 2),
+                      row.cutShape.str()});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nEnergy breakdown per depth (analog portion):\n";
+    TablePrinter breakdown;
+    breakdown.setHeader({"config", "MAC", "memory", "comparator",
+                         "readout (ADC)", "controller"});
+    for (const auto &row : rows) {
+        breakdown.addRow(
+            {"Depth" + std::to_string(row.depth),
+             units::siFormat(row.breakdown.macJ, "J"),
+             units::siFormat(row.breakdown.memoryJ, "J"),
+             units::siFormat(row.breakdown.comparatorJ, "J"),
+             units::siFormat(row.breakdown.readoutJ, "J"),
+             units::siFormat(row.breakdown.controllerJ, "J")});
+    }
+    breakdown.print(std::cout);
+
+    CsvWriter csv("fig7.csv");
+    csv.header({"depth", "analog_energy_j", "total_energy_j",
+                "frame_time_s", "output_bytes", "analog_macs",
+                "tail_macs"});
+    for (const auto &row : rows) {
+        csv.row({std::to_string(row.depth),
+                 fmt(row.analogEnergyJ, 9),
+                 fmt(row.totalEnergyJ, 9), fmt(row.frameTimeS, 6),
+                 fmt(row.outputBytes, 0),
+                 std::to_string(row.analogMacs),
+                 fmt(row.digitalTailMacs, 0)});
+    }
+    std::cout << "\n(series written to fig7.csv)\n";
+
+    const double reduction = 1.0 - rows[0].analogEnergyJ / is_energy;
+    std::cout << "\nDepth1 sensor-energy reduction vs IS: "
+              << fmtPercent(reduction) << " (paper: 84.5%)\n";
+    std::cout << "Depth1 output vs IS data size: "
+              << fmtPercent(rows[0].outputBytes / is_bytes)
+              << " (paper: ~50%)\n";
+    std::cout << "Depth5 frame time: "
+              << units::siFormat(rows[4].frameTimeS, "s")
+              << " (paper: 32 ms, sustaining 30 fps)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks of the analog circuit primitives, plus the Section
+ * IV-A ablation: charge-sharing tunable capacitor versus the naive
+ * binary-weighted MAC sampling array (the 32x energy claim).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analog/comparator.hh"
+#include "analog/mac_unit.hh"
+#include "analog/memory_cell.hh"
+#include "analog/sar_adc.hh"
+#include "analog/tunable_cap.hh"
+#include "core/rng.hh"
+
+using namespace redeye;
+using namespace redeye::analog;
+
+namespace {
+
+void
+BM_TunableCapApply(benchmark::State &state)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(1);
+    double v = 0.3;
+    for (auto _ : state) {
+        v = cap.apply(0.4, 173, rng);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_TunableCapApply);
+
+void
+BM_MacWindow(benchmark::State &state)
+{
+    MacUnit mac(MacParams{}, ProcessParams::typical());
+    mac.setSnrDb(40.0);
+    Rng rng(2);
+    const auto taps = static_cast<std::size_t>(state.range(0));
+    std::vector<double> x(taps, 0.1);
+    std::vector<int> w(taps, 93);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mac.multiplyAccumulate(x, w, rng));
+    }
+    state.counters["energy_pJ_per_window"] =
+        mac.energyPerWindow(taps) * 1e12;
+}
+BENCHMARK(BM_MacWindow)->Arg(9)->Arg(147)->Arg(576);
+
+void
+BM_ComparatorDecision(benchmark::State &state)
+{
+    DynamicComparator cmp(ComparatorParams{},
+                          ProcessParams::typical());
+    Rng rng(3);
+    double a = 0.4;
+    for (auto _ : state) {
+        const auto d = cmp.compare(a, 0.35, rng);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_ComparatorDecision);
+
+void
+BM_SarConversion(benchmark::State &state)
+{
+    SarAdcParams params;
+    Rng seed(4);
+    SarAdc adc(params, ProcessParams::typical(), seed);
+    adc.setResolution(static_cast<unsigned>(state.range(0)));
+    Rng rng(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(adc.convert(0.37, rng));
+    }
+    state.counters["energy_pJ_per_conv"] =
+        adc.energyPerConversion() * 1e12;
+}
+BENCHMARK(BM_SarConversion)->Arg(4)->Arg(8)->Arg(10);
+
+void
+BM_MemoryCellWriteRead(benchmark::State &state)
+{
+    AnalogMemoryCell cell(MemoryCellParams{},
+                          ProcessParams::typical());
+    Rng rng(6);
+    for (auto _ : state) {
+        cell.write(0.5, rng);
+        benchmark::DoNotOptimize(cell.read(rng));
+    }
+}
+BENCHMARK(BM_MemoryCellWriteRead);
+
+/** The Section IV-A ablation as a reported counter. */
+void
+BM_ChargeSharingVsNaive(benchmark::State &state)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cap.apply(0.4, 255, rng));
+    }
+    state.counters["naive_over_sharing_energy"] =
+        cap.naiveDesignEnergy() / cap.worstCaseEnergy();
+}
+BENCHMARK(BM_ChargeSharingVsNaive);
+
+} // namespace
+
+BENCHMARK_MAIN();

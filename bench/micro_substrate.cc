@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Microbenchmarks of the ConvNet substrate: convolution forward and
+ * backward throughput, noise-layer overheads, and dataset
+ * generation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hh"
+#include "data/shapes_dataset.hh"
+#include "nn/conv.hh"
+#include "nn/pool.hh"
+#include "noise/gaussian_layer.hh"
+#include "noise/quantization_layer.hh"
+#include "tensor/im2col.hh"
+
+using namespace redeye;
+
+namespace {
+
+void
+BM_ConvForward(benchmark::State &state)
+{
+    Rng rng(1);
+    nn::ConvolutionLayer conv("c",
+                              nn::ConvParams::square(32, 3, 1, 1));
+    Tensor x(Shape(1, 16, 32, 32));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    Tensor y;
+    for (auto _ : state) {
+        conv.forward({&x}, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["MACs"] = benchmark::Counter(
+        static_cast<double>(conv.macCount({x.shape()})),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ConvForward);
+
+void
+BM_ConvBackward(benchmark::State &state)
+{
+    Rng rng(2);
+    nn::ConvolutionLayer conv("c",
+                              nn::ConvParams::square(32, 3, 1, 1));
+    Tensor x(Shape(1, 16, 32, 32));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    Tensor y;
+    conv.forward({&x}, y);
+    Tensor gy(y.shape(), 1.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    for (auto _ : state) {
+        gx[0].zero();
+        conv.backward({&x}, y, gy, gx);
+        benchmark::DoNotOptimize(gx[0].data());
+    }
+}
+BENCHMARK(BM_ConvBackward);
+
+void
+BM_MaxPoolForward(benchmark::State &state)
+{
+    Rng rng(3);
+    nn::MaxPoolLayer pool("p", nn::PoolParams{3, 2, 0});
+    Tensor x(Shape(1, 64, 57, 57));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y;
+    for (auto _ : state) {
+        pool.forward({&x}, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_MaxPoolForward);
+
+void
+BM_Im2Col(benchmark::State &state)
+{
+    Rng rng(4);
+    Tensor x(Shape(1, 64, 57, 57));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    WindowParams wp{3, 3, 1, 1, 1, 1};
+    std::vector<float> cols;
+    for (auto _ : state) {
+        im2col(x.data(), 64, 57, 57, wp, cols);
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2Col);
+
+void
+BM_GaussianNoiseLayer(benchmark::State &state)
+{
+    noise::GaussianNoiseLayer layer("g", 40.0, Rng(5));
+    Rng rng(6);
+    Tensor x(Shape(1, 64, 57, 57));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y;
+    for (auto _ : state) {
+        layer.forward({&x}, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["elements"] = benchmark::Counter(
+        static_cast<double>(x.size()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GaussianNoiseLayer);
+
+void
+BM_QuantizationNoiseLayer(benchmark::State &state)
+{
+    noise::QuantizationNoiseLayer layer("q", 4, Rng(7));
+    Rng rng(8);
+    Tensor x(Shape(1, 64, 57, 57));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y;
+    for (auto _ : state) {
+        layer.forward({&x}, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_QuantizationNoiseLayer);
+
+void
+BM_RenderShape(benchmark::State &state)
+{
+    Rng rng(9);
+    std::size_t label = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(data::renderShape(
+            label++ % data::kShapeClasses, data::ShapesParams{},
+            rng));
+    }
+}
+BENCHMARK(BM_RenderShape);
+
+} // namespace
+
+BENCHMARK_MAIN();

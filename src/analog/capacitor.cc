@@ -1,0 +1,68 @@
+#include "analog/capacitor.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/units.hh"
+
+namespace redeye {
+namespace analog {
+
+double
+ktcNoiseRms(double cap_f, double temperature_k, double gamma)
+{
+    panic_if(cap_f <= 0.0, "non-positive capacitance");
+    return std::sqrt(gamma * units::kBoltzmann * temperature_k / cap_f);
+}
+
+double
+ktcNoiseRms(double cap_f, const ProcessParams &process)
+{
+    return ktcNoiseRms(cap_f, process.temperatureK,
+                       process.switchNoiseGamma);
+}
+
+double
+chargeEnergy(double cap_f, double delta_v)
+{
+    return cap_f * delta_v * delta_v;
+}
+
+double
+capForSnr(double snr_db, double signal_rms, const ProcessParams &process)
+{
+    // SNR = 20 log10(rms / sqrt(gamma k T / C))
+    //   =>  C = gamma k T * 10^(SNR/10) / rms^2.
+    panic_if(signal_rms <= 0.0, "non-positive signal RMS");
+    const double ratio = std::pow(10.0, snr_db / 10.0);
+    return process.switchNoiseGamma * units::kBoltzmann *
+           process.temperatureK * ratio / (signal_rms * signal_rms);
+}
+
+SamplingCap::SamplingCap(double cap_f, const ProcessParams &process)
+    : capF_(cap_f), noiseRms_(ktcNoiseRms(cap_f, process)),
+      supply_(process.supplyVoltage)
+{
+}
+
+double
+SamplingCap::sample(double v_in, Rng &rng)
+{
+    energyJ_ += chargeEnergy(capF_, supply_);
+    return v_in + rng.gaussian(0.0, noiseRms_);
+}
+
+double
+drawMismatchedCap(double nominal_f, double unit_f, double sigma0,
+                  Rng &rng)
+{
+    panic_if(nominal_f <= 0.0 || unit_f <= 0.0,
+             "non-positive capacitance");
+    const double units_count = nominal_f / unit_f;
+    const double sigma_rel = sigma0 / std::sqrt(units_count);
+    return nominal_f * (1.0 + rng.gaussian(0.0, sigma_rel));
+}
+
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacitor primitives: kT/C sampling noise, charging energy, and
+ * random mismatch — the elemental energy-noise tradeoff of Section
+ * II-B: E proportional to C proportional to 1 / Vn^2.
+ */
+
+#ifndef REDEYE_ANALOG_CAPACITOR_HH
+#define REDEYE_ANALOG_CAPACITOR_HH
+
+#include "analog/process.hh"
+
+namespace redeye {
+
+class Rng;
+
+namespace analog {
+
+/**
+ * RMS thermal (sampling) noise voltage on a capacitance @p cap_f:
+ * sqrt(gamma * k * T / C). @p gamma is the switch excess noise
+ * factor.
+ */
+double ktcNoiseRms(double cap_f, double temperature_k, double gamma);
+
+/** Convenience overload using a process description. */
+double ktcNoiseRms(double cap_f, const ProcessParams &process);
+
+/**
+ * Energy to charge @p cap_f through @p delta_v, dissipated in the
+ * switch: E = C * V^2 (charge + discharge cycle).
+ */
+double chargeEnergy(double cap_f, double delta_v);
+
+/**
+ * Capacitance required to reach a target sampling SNR for a signal of
+ * RMS amplitude @p signal_rms: the inverse of ktcNoiseRms.
+ */
+double capForSnr(double snr_db, double signal_rms,
+                 const ProcessParams &process);
+
+/**
+ * One physical sampling switch + capacitor: sample() returns the
+ * stored voltage including a fresh kT/C noise draw, and accrues the
+ * charging energy.
+ */
+class SamplingCap
+{
+  public:
+    SamplingCap(double cap_f, const ProcessParams &process);
+
+    /** Sample @p v_in; returns held value with kT/C noise. */
+    double sample(double v_in, Rng &rng);
+
+    /** Capacitance [F]. */
+    double capacitance() const { return capF_; }
+
+    /** RMS sampling noise [V]. */
+    double noiseRms() const { return noiseRms_; }
+
+    /** Energy accrued by all sample() calls so far [J]. */
+    double energyJ() const { return energyJ_; }
+
+    /** Reset the energy accumulator. */
+    void resetEnergy() { energyJ_ = 0.0; }
+
+  private:
+    double capF_;
+    double noiseRms_;
+    double supply_;
+    double energyJ_ = 0.0;
+};
+
+/**
+ * Random mismatch of a drawn capacitor relative to nominal. Mismatch
+ * std dev scales with 1/sqrt(C/C0) (Pelgrom): larger capacitors match
+ * better, which is the SAR linearity-energy tradeoff of Section II-B.
+ *
+ * @param nominal_f Nominal capacitance.
+ * @param unit_f Unit capacitance C0 (the matching reference).
+ * @param sigma0 Relative mismatch sigma of a single unit capacitor.
+ * @return A sampled actual capacitance.
+ */
+double drawMismatchedCap(double nominal_f, double unit_f, double sigma0,
+                         Rng &rng);
+
+} // namespace analog
+} // namespace redeye
+
+#endif // REDEYE_ANALOG_CAPACITOR_HH

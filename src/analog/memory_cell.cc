@@ -1,0 +1,53 @@
+#include "analog/memory_cell.hh"
+
+#include <cmath>
+
+#include "analog/capacitor.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace analog {
+
+AnalogMemoryCell::AnalogMemoryCell(MemoryCellParams params,
+                                   const ProcessParams &process)
+    : params_(params), process_(process)
+{
+    fatal_if(params_.holdCapF <= 0.0, "hold capacitance must be > 0");
+    fatal_if(params_.droopPerSecond < 0.0, "droop must be >= 0");
+}
+
+double
+AnalogMemoryCell::writeEnergy() const
+{
+    return chargeEnergy(params_.holdCapF, process_.supplyVoltage);
+}
+
+double
+AnalogMemoryCell::writeNoiseRms() const
+{
+    return ktcNoiseRms(params_.holdCapF, process_);
+}
+
+void
+AnalogMemoryCell::write(double v, Rng &rng)
+{
+    held_ = v + rng.gaussian(0.0, writeNoiseRms());
+    valid_ = true;
+    energyJ_ += writeEnergy();
+}
+
+double
+AnalogMemoryCell::read(Rng &rng, double held_seconds)
+{
+    panic_if(!valid_, "reading an unwritten analog memory cell");
+    panic_if(held_seconds < 0.0, "negative hold time");
+    const double droop = std::exp(-params_.droopPerSecond *
+                                  held_seconds);
+    energyJ_ += params_.bufferEnergyJ;
+    return held_ * droop +
+           rng.gaussian(0.0, params_.bufferNoiseRms);
+}
+
+} // namespace analog
+} // namespace redeye

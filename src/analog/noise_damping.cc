@@ -1,0 +1,29 @@
+#include "analog/noise_damping.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace analog {
+
+double
+dampingCapForSnr(double snr_db)
+{
+    fatal_if(snr_db < kMinSnrDb || snr_db > kMaxSnrDb,
+             "SNR ", snr_db, " dB outside the supported range [",
+             kMinSnrDb, ", ", kMaxSnrDb, "] dB");
+    return kAnchorDampingCapF *
+           std::pow(10.0, (snr_db - kAnchorSnrDb) / 10.0);
+}
+
+double
+snrForDampingCap(double cap_f)
+{
+    fatal_if(cap_f <= 0.0, "non-positive damping capacitance");
+    return kAnchorSnrDb +
+           10.0 * std::log10(cap_f / kAnchorDampingCapF);
+}
+
+} // namespace analog
+} // namespace redeye

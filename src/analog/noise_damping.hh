@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Programmable noise-damping mechanism.
+ *
+ * RedEye "uses the mechanisms to vary the capacitance of a damping
+ * circuit in the operation modules ... configured at runtime for each
+ * convolutional module" (Section III-C). Table I anchors the mapping:
+ *
+ *   40 dB -> 10 fF,  50 dB -> 100 fF,  60 dB -> 1 pF
+ *
+ * i.e. C = 10 fF * 10^((SNR - 40 dB) / 10), the direct consequence of
+ * thermal noise power kT/C.
+ */
+
+#ifndef REDEYE_ANALOG_NOISE_DAMPING_HH
+#define REDEYE_ANALOG_NOISE_DAMPING_HH
+
+namespace redeye {
+namespace analog {
+
+/** SNR of the high-efficiency anchor mode [dB]. */
+inline constexpr double kAnchorSnrDb = 40.0;
+
+/** Damping capacitance of the high-efficiency anchor mode [F]. */
+inline constexpr double kAnchorDampingCapF = 10e-15;
+
+/** Lowest SNR the 0.18-um design supports [dB] (Section IV-A). */
+inline constexpr double kMinSnrDb = 25.0;
+
+/** Highest SNR the design supports [dB]. */
+inline constexpr double kMaxSnrDb = 70.0;
+
+/** Damping capacitance implementing @p snr_db. */
+double dampingCapForSnr(double snr_db);
+
+/** SNR delivered by damping capacitance @p cap_f. */
+double snrForDampingCap(double cap_f);
+
+/** Named operation modes of Table I. */
+struct OperationMode {
+    const char *name;
+    double snrDb;
+};
+
+/** The three modes of Table I. */
+inline constexpr OperationMode kOperationModes[] = {
+    {"High-efficiency", 40.0},
+    {"Moderate", 50.0},
+    {"High-fidelity", 60.0},
+};
+
+} // namespace analog
+} // namespace redeye
+
+#endif // REDEYE_ANALOG_NOISE_DAMPING_HH

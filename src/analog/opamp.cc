@@ -1,0 +1,80 @@
+#include "analog/opamp.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace analog {
+
+OpAmp::OpAmp(OpAmpParams params, const ProcessParams &process)
+    : params_(params), process_(process)
+{
+    fatal_if(params_.biasCurrentA <= 0.0, "bias current must be > 0");
+    fatal_if(params_.overdriveV <= 0.0, "overdrive must be > 0");
+    fatal_if(params_.dcGain <= 1.0, "DC gain must exceed 1");
+}
+
+double
+OpAmp::transconductance() const
+{
+    return 2.0 * params_.biasCurrentA * process_.biasFactor /
+           params_.overdriveV * process_.speedFactor;
+}
+
+double
+OpAmp::tau(double c_load_f) const
+{
+    panic_if(c_load_f <= 0.0, "non-positive load capacitance");
+    return c_load_f / transconductance();
+}
+
+double
+OpAmp::settlingTime(double c_load_f) const
+{
+    return params_.settlingTimeConstants * tau(c_load_f);
+}
+
+double
+OpAmp::staticPower() const
+{
+    return process_.supplyVoltage * params_.biasCurrentA *
+           process_.biasFactor;
+}
+
+double
+OpAmp::settleEnergy(double c_load_f) const
+{
+    return staticPower() * settlingTime(c_load_f);
+}
+
+double
+OpAmp::settlingError(double time_s, double c_load_f) const
+{
+    const double dynamic = std::exp(-time_s / tau(c_load_f));
+    const double finite_gain = 1.0 / params_.dcGain;
+    return dynamic + finite_gain;
+}
+
+double
+OpAmp::inputNoiseRms(double c_load_f) const
+{
+    panic_if(c_load_f <= 0.0, "non-positive load capacitance");
+    return params_.inputNoiseRms *
+           std::sqrt(params_.noiseRefLoadF / c_load_f);
+}
+
+double
+OpAmp::settle(double target, double c_load_f, double closed_loop_gain,
+              Rng &rng)
+{
+    energyJ_ += settleEnergy(c_load_f);
+    const double err = settlingError(settlingTime(c_load_f), c_load_f);
+    const double noise = rng.gaussian(
+        0.0, inputNoiseRms(c_load_f) * std::fabs(closed_loop_gain));
+    return target * (1.0 - err) + noise;
+}
+
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Operational amplifier behavioral model.
+ *
+ * Models the three characteristics the paper extracts from Spectre:
+ * input-referred noise (valid across gain settings), static bias
+ * power, and settling behaviour (timing parameters interact with
+ * power parameters, which define the op amp's bandwidth, to report
+ * energy as well as output inaccuracy from insufficient settling,
+ * Section IV-B).
+ */
+
+#ifndef REDEYE_ANALOG_OPAMP_HH
+#define REDEYE_ANALOG_OPAMP_HH
+
+#include "analog/process.hh"
+
+namespace redeye {
+
+class Rng;
+
+namespace analog {
+
+/** Op amp design parameters. */
+struct OpAmpParams {
+    double biasCurrentA = 5e-6;    ///< static bias current [A]
+    double overdriveV = 0.2;       ///< transistor overdrive [V]
+
+    /**
+     * Input-referred noise at the reference load [V rms]. The
+     * integrated amplifier noise is band-limited by the load
+     * capacitor, so the realized noise scales as
+     * sqrt(noiseRefLoadF / C_load) — kT/C-limited like every other
+     * element of the signal path.
+     */
+    double inputNoiseRms = 50e-6;
+    double noiseRefLoadF = 30e-15; ///< load the spec is quoted at [F]
+
+    double dcGain = 1000.0;        ///< open-loop DC gain (60 dB)
+    double settlingTimeConstants = 7.0; ///< taus allotted per slot
+};
+
+/** Single-pole settling op amp. */
+class OpAmp
+{
+  public:
+    OpAmp(OpAmpParams params, const ProcessParams &process);
+
+    /** Transconductance gm = 2 I / Vov, scaled by corner speed. */
+    double transconductance() const;
+
+    /** Settling time constant driving @p c_load_f [s]. */
+    double tau(double c_load_f) const;
+
+    /**
+     * Time slot needed to settle onto @p c_load_f within the
+     * configured number of time constants [s].
+     */
+    double settlingTime(double c_load_f) const;
+
+    /** Static power drawn while biased [W]. */
+    double staticPower() const;
+
+    /** Energy of one settling slot onto @p c_load_f [J]. */
+    double settleEnergy(double c_load_f) const;
+
+    /**
+     * Relative residual error after settling for @p time onto
+     * @p c_load_f: exp(-t / tau), plus finite-gain error 1/A.
+     */
+    double settlingError(double time_s, double c_load_f) const;
+
+    /**
+     * Realized input-referred noise when driving @p c_load_f:
+     * kT/C-limited, normalized to the spec at noiseRefLoadF.
+     */
+    double inputNoiseRms(double c_load_f) const;
+
+    /**
+     * Produce the settled output for an ideal target value: applies
+     * finite-gain/settling error and adds input-referred noise.
+     * Accrues the settling energy.
+     *
+     * @param closed_loop_gain Gain from input to output; the input-
+     * referred noise is multiplied by it.
+     */
+    double settle(double target, double c_load_f,
+                  double closed_loop_gain, Rng &rng);
+
+    const OpAmpParams &params() const { return params_; }
+
+    /** Energy accrued so far [J]. */
+    double energyJ() const { return energyJ_; }
+
+    void resetEnergy() { energyJ_ = 0.0; }
+
+  private:
+    OpAmpParams params_;
+    ProcessParams process_;
+    double energyJ_ = 0.0;
+};
+
+} // namespace analog
+} // namespace redeye
+
+#endif // REDEYE_ANALOG_OPAMP_HH

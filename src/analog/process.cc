@@ -1,0 +1,52 @@
+#include "analog/process.hh"
+
+namespace redeye {
+namespace analog {
+
+const char *
+cornerName(Corner corner)
+{
+    switch (corner) {
+      case Corner::TT: return "TT 27C";
+      case Corner::FF: return "FF -20C";
+      case Corner::SS: return "SS 80C";
+      case Corner::FS: return "FS 27C";
+      case Corner::SF: return "SF 27C";
+    }
+    return "?";
+}
+
+ProcessParams
+ProcessParams::atCorner(Corner corner)
+{
+    ProcessParams p;
+    switch (corner) {
+      case Corner::TT:
+        break;
+      case Corner::FF:
+        // Fast devices, cold die: quicker settling, more bias
+        // current, slightly less thermal noise.
+        p.temperatureK = 253.15;
+        p.speedFactor = 1.20;
+        p.biasFactor = 1.15;
+        break;
+      case Corner::SS:
+        // Slow devices, hot die.
+        p.temperatureK = 353.15;
+        p.speedFactor = 0.82;
+        p.biasFactor = 0.88;
+        break;
+      case Corner::FS:
+        p.speedFactor = 1.05;
+        p.biasFactor = 1.02;
+        break;
+      case Corner::SF:
+        p.speedFactor = 0.95;
+        p.biasFactor = 0.98;
+        break;
+    }
+    return p;
+}
+
+} // namespace analog
+} // namespace redeye

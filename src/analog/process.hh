@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fabrication-process description and corner models.
+ *
+ * RedEye is designed in an IBM 0.18-um CMOS process; performance-
+ * critical components are verified over five corners (TT 27C, FF -20C,
+ * SS 80C, FS 27C, SF 27C). The corner model scales transistor speed
+ * (settling), bias current and thermal noise so tests can assert that
+ * circuit characteristics stay within bounds across corners.
+ */
+
+#ifndef REDEYE_ANALOG_PROCESS_HH
+#define REDEYE_ANALOG_PROCESS_HH
+
+#include <string>
+
+namespace redeye {
+namespace analog {
+
+/** Process corner identifiers used in the paper's verification. */
+enum class Corner {
+    TT, ///< typical/typical, 27 C
+    FF, ///< fast/fast, -20 C
+    SS, ///< slow/slow, 80 C
+    FS, ///< fast NMOS / slow PMOS, 27 C
+    SF, ///< slow NMOS / fast PMOS, 27 C
+};
+
+/** Name of a corner ("TT 27C", ...). */
+const char *cornerName(Corner corner);
+
+/** All five verification corners. */
+inline constexpr Corner kAllCorners[] = {Corner::TT, Corner::FF,
+                                         Corner::SS, Corner::FS,
+                                         Corner::SF};
+
+/** Static process description. */
+struct ProcessParams {
+    double featureSizeM = 180e-9; ///< 0.18 um
+    double supplyVoltage = 1.8;   ///< nominal Vdd [V]
+    double signalSwing = 0.9;     ///< single-ended signal swing [V]
+    double unitCapF = 10e-15;     ///< unit capacitor C0 [F]
+    double switchNoiseGamma = 1.5; ///< switch thermal excess factor
+    double temperatureK = 300.15; ///< die temperature [K]
+
+    /** Relative transistor speed (1.0 at TT). */
+    double speedFactor = 1.0;
+
+    /** Relative bias current drawn by analog blocks (1.0 at TT). */
+    double biasFactor = 1.0;
+
+    /** Process description for the given corner. */
+    static ProcessParams atCorner(Corner corner);
+
+    /** Default TT process. */
+    static ProcessParams typical() { return atCorner(Corner::TT); }
+};
+
+} // namespace analog
+} // namespace redeye
+
+#endif // REDEYE_ANALOG_PROCESS_HH

@@ -1,0 +1,54 @@
+#include "analog/supply_boost.hh"
+
+#include <cmath>
+
+#include "analog/noise_damping.hh"
+#include "core/logging.hh"
+
+namespace redeye {
+namespace analog {
+
+double
+boostSwingForSnr(double snr_db, const ProcessParams &process)
+{
+    fatal_if(snr_db < kAnchorSnrDb,
+             "boost only raises SNR above the ", kAnchorSnrDb,
+             " dB anchor; got ", snr_db);
+    return process.signalSwing *
+           std::pow(10.0, (snr_db - kAnchorSnrDb) / 20.0);
+}
+
+double
+boostSupplyForSnr(double snr_db, const ProcessParams &process)
+{
+    // The swing rides the supply: supply scales with the swing.
+    return process.supplyVoltage *
+           boostSwingForSnr(snr_db, process) / process.signalSwing;
+}
+
+double
+boostEnergyScale(double snr_db)
+{
+    fatal_if(snr_db < kAnchorSnrDb,
+             "boost only raises SNR above the ", kAnchorSnrDb,
+             " dB anchor; got ", snr_db);
+    return std::pow(10.0, (snr_db - kAnchorSnrDb) / 10.0);
+}
+
+bool
+boostWithinRatedRegion(double snr_db, const ProcessParams &process)
+{
+    return boostSupplyForSnr(snr_db, process) <=
+           process.supplyVoltage * kRatedSupplyHeadroom;
+}
+
+double
+boostMaxRatedSnrDb(const ProcessParams &process)
+{
+    (void)process;
+    // supply ratio <= headroom  =>  snr <= anchor + 20 log10(hr).
+    return kAnchorSnrDb + 20.0 * std::log10(kRatedSupplyHeadroom);
+}
+
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The rejected alternative noise-admission mechanism (Section
+ * III-C): "RedEye could use a boosted analog supply voltage to
+ * increase signal swing, and adjust signal gain accordingly to
+ * achieve higher SNR. This approach is theoretically more
+ * efficient than noise damping; however, in practice, this
+ * technique is sensitive to power supply variations. As foundries
+ * generally do not guarantee the transistor model to remain
+ * accurate when transistors operate outside recommended voltage
+ * regions, it is a risk that the actual circuit behavior may
+ * deviate from simulation."
+ *
+ * We model it so the design choice can be quantified: raising the
+ * swing by x improves SNR 20 log10(x) dB at energy cost x^2
+ * (E = C V^2 with C fixed) — cheaper per dB than capacitance
+ * scaling (10x energy per 10 dB) — but the required voltage leaves
+ * the process's rated region almost immediately.
+ */
+
+#ifndef REDEYE_ANALOG_SUPPLY_BOOST_HH
+#define REDEYE_ANALOG_SUPPLY_BOOST_HH
+
+#include "analog/process.hh"
+
+namespace redeye {
+namespace analog {
+
+/** Largest supply the foundry model is rated for, over nominal. */
+inline constexpr double kRatedSupplyHeadroom = 1.10;
+
+/** Signal swing needed to reach @p snr_db by boost alone [V]. */
+double boostSwingForSnr(double snr_db,
+                        const ProcessParams &process);
+
+/** Supply voltage implied by that swing (swing tracks supply) [V]. */
+double boostSupplyForSnr(double snr_db,
+                         const ProcessParams &process);
+
+/**
+ * Energy multiplier of the boost mechanism at @p snr_db relative to
+ * the 40 dB anchor: (V/V40)^2, i.e. 10^((snr-40)/10) — matching the
+ * capacitance mechanism's scaling but with *constant* settling time
+ * and area.
+ */
+double boostEnergyScale(double snr_db);
+
+/**
+ * True if the boost stays within the rated voltage region; beyond
+ * it the transistor models are not guaranteed (the paper's reason
+ * for choosing capacitance damping).
+ */
+bool boostWithinRatedRegion(double snr_db,
+                            const ProcessParams &process);
+
+/** Highest SNR reachable without leaving the rated region [dB]. */
+double boostMaxRatedSnrDb(const ProcessParams &process);
+
+} // namespace analog
+} // namespace redeye
+
+#endif // REDEYE_ANALOG_SUPPLY_BOOST_HH

@@ -1,0 +1,57 @@
+#include "core/csv.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), os_(path)
+{
+    fatal_if(!os_, "cannot open '", path, "' for writing");
+}
+
+void
+CsvWriter::writeLine(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << csvEscape(cells[i]);
+    }
+    os_ << '\n';
+    fatal_if(!os_, "failed writing '", path_, "'");
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    panic_if(headerWritten_, "CSV header already written");
+    writeLine(columns);
+    headerWritten_ = true;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    writeLine(cells);
+    ++rows_;
+}
+
+} // namespace redeye

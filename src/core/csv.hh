@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal CSV writer so the figure benches can emit
+ * machine-readable series next to their tables (for replotting the
+ * paper's charts).
+ */
+
+#ifndef REDEYE_CORE_CSV_HH
+#define REDEYE_CORE_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace redeye {
+
+/** Writes RFC-4180-style CSV rows to a file. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing (fatal on failure). */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row (once, before data rows). */
+    void header(const std::vector<std::string> &columns);
+
+    /** Write one data row (cells are quoted when needed). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Rows written so far (excluding the header). */
+    std::size_t rows() const { return rows_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void writeLine(const std::vector<std::string> &cells);
+
+    std::string path_;
+    std::ofstream os_;
+    bool headerWritten_ = false;
+    std::size_t rows_ = 0;
+};
+
+/** Escape one CSV cell (quote if it contains , " or newline). */
+std::string csvEscape(const std::string &cell);
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_CSV_HH

@@ -1,0 +1,62 @@
+#include "core/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redeye {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::Inform;
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_threshold))
+        return;
+    std::fprintf(stderr, "%s: %s\n", prefix(level), msg.c_str());
+}
+
+void
+terminate(LogLevel level, const std::string &msg, const char *file,
+          int line)
+{
+    std::fprintf(stderr, "%s: %s\n  at %s:%d\n", prefix(level),
+                 msg.c_str(), file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace redeye

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Status and error reporting for the RedEye simulator.
+ *
+ * Follows the gem5 convention: panic() flags internal simulator bugs
+ * (aborts, may dump core); fatal() flags user error such as an invalid
+ * configuration (clean exit with status 1); warn()/inform() report
+ * conditions without stopping the simulation.
+ */
+
+#ifndef REDEYE_CORE_LOGGING_HH
+#define REDEYE_CORE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace redeye {
+
+/** Verbosity levels used by the message sink. */
+enum class LogLevel {
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+    Debug,
+};
+
+namespace detail {
+
+/** Emit a message and, for Panic/Fatal, terminate the process. */
+[[noreturn]] void terminate(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+
+/** Emit a non-terminating message to the sink. */
+void emit(LogLevel level, const std::string &msg);
+
+/** Fold a variadic pack into one string via operator<<. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Set the minimum level that gets printed (Panic is never suppressed
+ * from terminating, only from printing).
+ */
+void setLogThreshold(LogLevel level);
+
+/** Current print threshold. */
+LogLevel logThreshold();
+
+/** Report an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Inform,
+                 detail::fold(std::forward<Args>(args)...));
+}
+
+/** Report suspicious behaviour that does not stop the simulation. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, detail::fold(std::forward<Args>(args)...));
+}
+
+} // namespace redeye
+
+/**
+ * Internal invariant violation: a simulator bug. Prints the message
+ * with source location and aborts.
+ */
+#define panic(...)                                                         \
+    ::redeye::detail::terminate(                                           \
+        ::redeye::LogLevel::Panic,                                         \
+        ::redeye::detail::fold(__VA_ARGS__), __FILE__, __LINE__)
+
+/**
+ * Unrecoverable user error (bad configuration, unsupported model).
+ * Prints the message and exits with status 1.
+ */
+#define fatal(...)                                                         \
+    ::redeye::detail::terminate(                                           \
+        ::redeye::LogLevel::Fatal,                                         \
+        ::redeye::detail::fold(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Assert an internal invariant; failure is a panic. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            panic("condition '" #cond "' holds: ", __VA_ARGS__);           \
+        }                                                                  \
+    } while (0)
+
+/** Reject invalid user input; failure is fatal. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            fatal("condition '" #cond "' holds: ", __VA_ARGS__);           \
+        }                                                                  \
+    } while (0)
+
+#endif // REDEYE_CORE_LOGGING_HH

@@ -1,0 +1,106 @@
+#include "core/stats.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sumSq_ += x * x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::meanSquare() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sumSq_ / static_cast<double>(count_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    fatal_if(bins == 0, "histogram needs at least one bin");
+    fatal_if(hi <= lo, "histogram interval is empty: [", lo, ", ", hi,
+             ")");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<long>(frac * static_cast<double>(bins()));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<long>(bins()))
+        idx = static_cast<long>(bins()) - 1;
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(bins());
+    return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+measureSnrDb(const std::vector<float> &clean,
+             const std::vector<float> &noisy)
+{
+    panic_if(clean.size() != noisy.size(),
+             "SNR operands differ in size: ", clean.size(), " vs ",
+             noisy.size());
+
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        const double s = clean[i];
+        const double n = static_cast<double>(noisy[i]) - s;
+        signal += s * s;
+        noise += n * n;
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(signal / noise);
+}
+
+} // namespace redeye

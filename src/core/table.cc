@@ -1,0 +1,97 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace redeye {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.cells.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        if (!r.separator)
+            measure(r.cells);
+
+    auto rule = [&]() {
+        for (std::size_t i = 0; i < cols; ++i) {
+            os << '+' << std::string(width[i] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            os << "| " << c << std::string(width[i] - c.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (const auto &r : rows_) {
+        if (r.separator)
+            rule();
+        else
+            line(r.cells);
+    }
+    rule();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace redeye

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table formatting for bench/experiment reports.
+ *
+ * Benches reproduce the paper's tables and figure series; TablePrinter
+ * renders aligned, titled tables to any std::ostream so outputs read
+ * like the paper's rows.
+ */
+
+#ifndef REDEYE_CORE_TABLE_HH
+#define REDEYE_CORE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace redeye {
+
+/** Accumulates rows of string cells and prints an aligned table. */
+class TablePrinter
+{
+  public:
+    /** @param title Optional heading printed above the table. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the column headers (defines column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 3);
+
+/** Format a percentage (0.845 -> "84.5%"). */
+std::string fmtPercent(double fraction, int precision = 1);
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_TABLE_HH

@@ -1,0 +1,67 @@
+#include "core/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace redeye {
+namespace units {
+
+std::string
+siFormat(double value, const std::string &unit, int precision)
+{
+    struct Prefix { double scale; const char *name; };
+    static const Prefix prefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+        {1e-15, "f"},
+    };
+
+    const double mag = std::fabs(value);
+    if (mag == 0.0 || !std::isfinite(value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f %s", precision, value,
+                      unit.c_str());
+        return buf;
+    }
+
+    const Prefix *chosen = &prefixes[sizeof(prefixes) /
+                                     sizeof(prefixes[0]) - 1];
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale) {
+            chosen = &p;
+            break;
+        }
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision,
+                  value / chosen->scale, chosen->name, unit.c_str());
+    return buf;
+}
+
+double
+powerDb(double ratio)
+{
+    return 10.0 * std::log10(ratio);
+}
+
+double
+dbToPowerRatio(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+double
+amplitudeDb(double ratio)
+{
+    return 20.0 * std::log10(ratio);
+}
+
+double
+dbToAmplitudeRatio(double db)
+{
+    return std::pow(10.0, db / 20.0);
+}
+
+} // namespace units
+} // namespace redeye

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical unit helpers.
+ *
+ * Quantities are plain doubles in base SI units (joule, second, farad,
+ * volt, watt, hertz, metre, byte). The helpers here provide named
+ * scale constants and SI-prefixed pretty printing so that benches can
+ * report "1.4 mJ" rather than "0.0014".
+ */
+
+#ifndef REDEYE_CORE_UNITS_HH
+#define REDEYE_CORE_UNITS_HH
+
+#include <string>
+
+namespace redeye {
+namespace units {
+
+// Scale constants; multiply to convert into base SI units.
+constexpr double femto = 1e-15;
+constexpr double pico = 1e-12;
+constexpr double nano = 1e-9;
+constexpr double micro = 1e-6;
+constexpr double milli = 1e-3;
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+
+// Common sensor-domain quantities.
+constexpr double fF = femto;     ///< femtofarad in farads
+constexpr double pF = pico;      ///< picofarad in farads
+constexpr double uJ = micro;     ///< microjoule in joules
+constexpr double mJ = milli;     ///< millijoule in joules
+constexpr double mW = milli;     ///< milliwatt in watts
+constexpr double us = micro;     ///< microsecond in seconds
+constexpr double ms = milli;     ///< millisecond in seconds
+constexpr double MHz = mega;     ///< megahertz in hertz
+constexpr double kB = 1024.0;    ///< kibibyte in bytes
+
+/** Boltzmann constant [J/K]. */
+constexpr double kBoltzmann = 1.380649e-23;
+
+/** Default simulation temperature [K] (27 C, the TT corner). */
+constexpr double roomTemperature = 300.15;
+
+/**
+ * Format a value with an SI prefix and unit suffix, e.g.
+ * siFormat(1.4e-3, "J") == "1.400 mJ".
+ */
+std::string siFormat(double value, const std::string &unit,
+                     int precision = 3);
+
+/** Convert a power ratio to decibels: 10*log10(ratio). */
+double powerDb(double ratio);
+
+/** Convert decibels to a power ratio: 10^(db/10). */
+double dbToPowerRatio(double db);
+
+/** Convert an amplitude ratio to decibels: 20*log10(ratio). */
+double amplitudeDb(double ratio);
+
+/** Convert decibels to an amplitude ratio: 10^(db/20). */
+double dbToAmplitudeRatio(double db);
+
+} // namespace units
+} // namespace redeye
+
+#endif // REDEYE_CORE_UNITS_HH

@@ -1,0 +1,90 @@
+#include "models/alexnet.hh"
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/dropout.hh"
+#include "nn/inner_product.hh"
+#include "nn/lrn.hh"
+#include "nn/pool.hh"
+#include "nn/softmax.hh"
+
+namespace redeye {
+namespace models {
+
+std::unique_ptr<nn::Network>
+buildAlexNet(std::size_t input_size, std::size_t classes)
+{
+    auto net = std::make_unique<nn::Network>("alexnet");
+    net->setInputShape(Shape(1, 3, input_size, input_size));
+
+    nn::LrnParams lrn;
+    lrn.localSize = 5;
+    lrn.alpha = 1e-4f;
+    lrn.beta = 0.75f;
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+                 "conv1", nn::ConvParams::square(96, 11, 4, 0)),
+             {nn::kInputName});
+    net->add(std::make_unique<nn::ReluLayer>("relu1"));
+    net->add(std::make_unique<nn::LrnLayer>("norm1", lrn));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool1",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv2", nn::ConvParams::square(256, 5, 1, 2, 2)));
+    net->add(std::make_unique<nn::ReluLayer>("relu2"));
+    net->add(std::make_unique<nn::LrnLayer>("norm2", lrn));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool2",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv3", nn::ConvParams::square(384, 3, 1, 1)));
+    net->add(std::make_unique<nn::ReluLayer>("relu3"));
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv4", nn::ConvParams::square(384, 3, 1, 1, 2)));
+    net->add(std::make_unique<nn::ReluLayer>("relu4"));
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv5", nn::ConvParams::square(256, 3, 1, 1, 2)));
+    net->add(std::make_unique<nn::ReluLayer>("relu5"));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool5",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    net->add(std::make_unique<nn::InnerProductLayer>("fc6", 4096));
+    net->add(std::make_unique<nn::ReluLayer>("relu6"));
+    net->add(std::make_unique<nn::DropoutLayer>("drop6", 0.5f,
+                                                Rng(0xa1e6)));
+    net->add(std::make_unique<nn::InnerProductLayer>("fc7", 4096));
+    net->add(std::make_unique<nn::ReluLayer>("relu7"));
+    net->add(std::make_unique<nn::DropoutLayer>("drop7", 0.5f,
+                                                Rng(0xa1e7)));
+    net->add(std::make_unique<nn::InnerProductLayer>("fc8", classes));
+    net->add(std::make_unique<nn::SoftmaxLayer>("prob"));
+    return net;
+}
+
+std::vector<std::string>
+alexNetAnalogLayers(unsigned depth)
+{
+    fatal_if(depth < 1 || depth > 3,
+             "AlexNet depth must be in [1, 3], got ", depth);
+    std::vector<std::string> layers = {"conv1", "relu1", "norm1",
+                                       "pool1"};
+    if (depth >= 2) {
+        layers.insert(layers.end(),
+                      {"conv2", "relu2", "norm2", "pool2"});
+    }
+    if (depth >= 3) {
+        layers.insert(layers.end(),
+                      {"conv3", "relu3", "conv4", "relu4", "conv5",
+                       "relu5", "pool5"});
+    }
+    return layers;
+}
+
+} // namespace models
+} // namespace redeye

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * AlexNet (Krizhevsky et al., 2012) topology. The paper "also
+ * evaluates RedEye on AlexNet with similar findings"; we provide the
+ * graph for the same workload analyses.
+ */
+
+#ifndef REDEYE_MODELS_ALEXNET_HH
+#define REDEYE_MODELS_ALEXNET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace redeye {
+namespace models {
+
+/** Build the full AlexNet graph (untrained weights). */
+std::unique_ptr<nn::Network> buildAlexNet(std::size_t input_size = 227,
+                                          std::size_t classes = 1000);
+
+/**
+ * Analog prefix layers for an AlexNet depth cut (1..3): after pool1,
+ * pool2, and conv5/pool5 respectively.
+ */
+std::vector<std::string> alexNetAnalogLayers(unsigned depth);
+
+} // namespace models
+} // namespace redeye
+
+#endif // REDEYE_MODELS_ALEXNET_HH

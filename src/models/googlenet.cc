@@ -1,0 +1,133 @@
+#include "models/googlenet.hh"
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "models/inception.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/dropout.hh"
+#include "nn/inner_product.hh"
+#include "nn/lrn.hh"
+#include "nn/pool.hh"
+#include "nn/softmax.hh"
+
+namespace redeye {
+namespace models {
+
+namespace {
+
+const InceptionSpec kSpec3a{64, 96, 128, 16, 32, 32};
+const InceptionSpec kSpec3b{128, 128, 192, 32, 96, 64};
+const InceptionSpec kSpec4a{192, 96, 208, 16, 48, 64};
+const InceptionSpec kSpec4b{160, 112, 224, 24, 64, 64};
+const InceptionSpec kSpec4c{128, 128, 256, 24, 64, 64};
+const InceptionSpec kSpec4d{112, 144, 288, 32, 64, 64};
+const InceptionSpec kSpec4e{256, 160, 320, 32, 128, 128};
+const InceptionSpec kSpec5a{256, 160, 320, 32, 128, 128};
+const InceptionSpec kSpec5b{384, 192, 384, 48, 128, 128};
+
+} // namespace
+
+std::unique_ptr<nn::Network>
+buildGoogLeNet(std::size_t input_size, std::size_t classes)
+{
+    auto net = std::make_unique<nn::Network>("googlenet");
+    net->setInputShape(Shape(1, 3, input_size, input_size));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+                 "conv1/7x7_s2", nn::ConvParams::square(64, 7, 2, 3)),
+             {nn::kInputName});
+    net->add(std::make_unique<nn::ReluLayer>("conv1/relu"));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool1/3x3_s2",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+    net->add(std::make_unique<nn::LrnLayer>("pool1/norm1",
+                                            nn::LrnParams{}));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv2/3x3_reduce", nn::ConvParams::square(64, 1)));
+    net->add(std::make_unique<nn::ReluLayer>("conv2/relu_reduce"));
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv2/3x3", nn::ConvParams::square(192, 3, 1, 1)));
+    net->add(std::make_unique<nn::ReluLayer>("conv2/relu"));
+    net->add(std::make_unique<nn::LrnLayer>("conv2/norm2",
+                                            nn::LrnParams{}));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool2/3x3_s2",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    addInception(*net, "inception_3a", "pool2/3x3_s2", kSpec3a);
+    addInception(*net, "inception_3b", "inception_3a/output", kSpec3b);
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool3/3x3_s2",
+                                                nn::PoolParams{3, 2,
+                                                               0}),
+             {"inception_3b/output"});
+
+    addInception(*net, "inception_4a", "pool3/3x3_s2", kSpec4a);
+    addInception(*net, "inception_4b", "inception_4a/output", kSpec4b);
+    addInception(*net, "inception_4c", "inception_4b/output", kSpec4c);
+    addInception(*net, "inception_4d", "inception_4c/output", kSpec4d);
+    addInception(*net, "inception_4e", "inception_4d/output", kSpec4e);
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool4/3x3_s2",
+                                                nn::PoolParams{3, 2,
+                                                               0}),
+             {"inception_4e/output"});
+
+    addInception(*net, "inception_5a", "pool4/3x3_s2", kSpec5a);
+    addInception(*net, "inception_5b", "inception_5a/output", kSpec5b);
+
+    const Shape tail = net->nodeShape("inception_5b/output");
+    net->add(std::make_unique<nn::AvgPoolLayer>(
+        "pool5/avg", nn::PoolParams{tail.h, 1, 0}));
+    net->add(std::make_unique<nn::DropoutLayer>("pool5/drop", 0.4f,
+                                                Rng(0xd09)));
+    net->add(std::make_unique<nn::InnerProductLayer>("loss3/classifier",
+                                                     classes));
+    net->add(std::make_unique<nn::SoftmaxLayer>("prob"));
+    return net;
+}
+
+std::vector<std::string>
+googLeNetAnalogLayers(unsigned depth)
+{
+    fatal_if(depth < 1 || depth > kGoogLeNetDepths,
+             "GoogLeNet depth must be in [1, ", kGoogLeNetDepths,
+             "], got ", depth);
+
+    std::vector<std::string> layers = {
+        "conv1/7x7_s2", "conv1/relu", "pool1/3x3_s2", "pool1/norm1"};
+    if (depth >= 2) {
+        layers.insert(layers.end(),
+                      {"conv2/3x3_reduce", "conv2/relu_reduce",
+                       "conv2/3x3", "conv2/relu", "conv2/norm2"});
+    }
+    auto add_inception = [&layers](const std::string &prefix) {
+        for (const char *suffix :
+             {"/1x1", "/1x1/relu", "/3x3_reduce", "/3x3_reduce/relu",
+              "/3x3", "/3x3/relu", "/5x5_reduce", "/5x5_reduce/relu",
+              "/5x5", "/5x5/relu", "/pool", "/pool_proj",
+              "/pool_proj/relu", "/output"}) {
+            layers.push_back(prefix + suffix);
+        }
+    };
+    if (depth >= 3) {
+        layers.push_back("pool2/3x3_s2");
+        add_inception("inception_3a");
+    }
+    if (depth >= 4) {
+        add_inception("inception_3b");
+        layers.push_back("pool3/3x3_s2");
+    }
+    if (depth >= 5)
+        add_inception("inception_4a");
+    return layers;
+}
+
+std::string
+googLeNetCutLayer(unsigned depth)
+{
+    return googLeNetAnalogLayers(depth).back();
+}
+
+} // namespace models
+} // namespace redeye

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GoogLeNet (Szegedy et al., 2014) topology and the five RedEye depth
+ * partitions of Figure 6.
+ *
+ * The paper evaluates RedEye on 227x227 color frames; we build the
+ * full 22-layer main branch (auxiliary classifiers omitted — they are
+ * training-time only) and expose the partition boundaries:
+ *
+ *   Depth1: conv1 + pool1 (+ norm1)
+ *   Depth2: + conv2 reduce/3x3 (+ norm2)
+ *   Depth3: + pool2 + inception_3a
+ *   Depth4: + inception_3b + pool3
+ *   Depth5: + inception_4a   (the aux classifier branches here,
+ *            which is why RedEye cannot execute further)
+ */
+
+#ifndef REDEYE_MODELS_GOOGLENET_HH
+#define REDEYE_MODELS_GOOGLENET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace redeye {
+namespace models {
+
+/** Number of RedEye depth partitions (Figure 6). */
+inline constexpr unsigned kGoogLeNetDepths = 5;
+
+/** Input image extent used in the evaluation. */
+inline constexpr std::size_t kFrameSize = 227;
+
+/** Build the full GoogLeNet graph (untrained weights). */
+std::unique_ptr<nn::Network> buildGoogLeNet(
+    std::size_t input_size = kFrameSize, std::size_t classes = 1000);
+
+/**
+ * Names of the layers executed on RedEye for partition @p depth
+ * (1..5), in topological order. All remaining layers run on the
+ * digital host.
+ */
+std::vector<std::string> googLeNetAnalogLayers(unsigned depth);
+
+/**
+ * Name of the last analog layer for @p depth — the tensor crossing
+ * the A/D boundary.
+ */
+std::string googLeNetCutLayer(unsigned depth);
+
+} // namespace models
+} // namespace redeye
+
+#endif // REDEYE_MODELS_GOOGLENET_HH

@@ -1,0 +1,66 @@
+#include "models/inception.hh"
+
+#include "nn/activation.hh"
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace models {
+
+namespace {
+
+/** Add conv + relu and return the relu's name. */
+std::string
+convRelu(nn::Network &net, const std::string &name,
+         const std::string &input, std::size_t channels,
+         std::size_t kernel, std::size_t pad,
+         std::vector<std::string> &added)
+{
+    net.add(std::make_unique<nn::ConvolutionLayer>(
+                name, nn::ConvParams::square(channels, kernel, 1, pad)),
+            {input});
+    added.push_back(name);
+    const std::string relu = name + "/relu";
+    net.add(std::make_unique<nn::ReluLayer>(relu), {name});
+    added.push_back(relu);
+    return relu;
+}
+
+} // namespace
+
+std::vector<std::string>
+addInception(nn::Network &net, const std::string &prefix,
+             const std::string &input, const InceptionSpec &spec)
+{
+    std::vector<std::string> added;
+
+    const std::string b1 = convRelu(net, prefix + "/1x1", input,
+                                    spec.c1x1, 1, 0, added);
+
+    const std::string r3 = convRelu(net, prefix + "/3x3_reduce", input,
+                                    spec.c3x3Reduce, 1, 0, added);
+    const std::string b3 = convRelu(net, prefix + "/3x3", r3, spec.c3x3,
+                                    3, 1, added);
+
+    const std::string r5 = convRelu(net, prefix + "/5x5_reduce", input,
+                                    spec.c5x5Reduce, 1, 0, added);
+    const std::string b5 = convRelu(net, prefix + "/5x5", r5, spec.c5x5,
+                                    5, 2, added);
+
+    const std::string pool = prefix + "/pool";
+    net.add(std::make_unique<nn::MaxPoolLayer>(
+                pool, nn::PoolParams{3, 1, 1}),
+            {input});
+    added.push_back(pool);
+    const std::string bp = convRelu(net, prefix + "/pool_proj", pool,
+                                    spec.cPoolProj, 1, 0, added);
+
+    const std::string out = prefix + "/output";
+    net.add(std::make_unique<nn::ConcatLayer>(out), {b1, b3, b5, bp});
+    added.push_back(out);
+    return added;
+}
+
+} // namespace models
+} // namespace redeye

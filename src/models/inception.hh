@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Inception module builder shared by GoogLeNet and MiniGoogLeNet.
+ *
+ * An inception module is four parallel branches concatenated along
+ * channels: 1x1 conv; 1x1 reduce -> 3x3 conv; 1x1 reduce -> 5x5 conv;
+ * 3x3 max pool -> 1x1 projection.
+ */
+
+#ifndef REDEYE_MODELS_INCEPTION_HH
+#define REDEYE_MODELS_INCEPTION_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace redeye {
+namespace models {
+
+/** Channel counts of one inception module. */
+struct InceptionSpec {
+    std::size_t c1x1;       ///< 1x1 branch outputs
+    std::size_t c3x3Reduce; ///< 3x3 branch reduction outputs
+    std::size_t c3x3;       ///< 3x3 branch outputs
+    std::size_t c5x5Reduce; ///< 5x5 branch reduction outputs
+    std::size_t c5x5;       ///< 5x5 branch outputs
+    std::size_t cPoolProj;  ///< pool-projection outputs
+
+    /** Concatenated output channel count. */
+    std::size_t
+    totalChannels() const
+    {
+        return c1x1 + c3x3 + c5x5 + cPoolProj;
+    }
+};
+
+/**
+ * Append an inception module named @p prefix consuming @p input.
+ *
+ * @return Names of the layers added, ending with the concat layer
+ * "<prefix>/output".
+ */
+std::vector<std::string> addInception(nn::Network &net,
+                                      const std::string &prefix,
+                                      const std::string &input,
+                                      const InceptionSpec &spec);
+
+} // namespace models
+} // namespace redeye
+
+#endif // REDEYE_MODELS_INCEPTION_HH

@@ -1,0 +1,147 @@
+#include "models/mini_googlenet.hh"
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "models/inception.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/inner_product.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace models {
+
+namespace {
+
+const InceptionSpec kSpecA{24, 16, 32, 8, 16, 16};  // -> 88 channels
+const InceptionSpec kSpecB{32, 24, 48, 8, 24, 24};  // -> 128 channels
+
+} // namespace
+
+std::unique_ptr<nn::Network>
+buildMiniGoogLeNet(std::size_t classes, Rng &rng)
+{
+    auto net = std::make_unique<nn::Network>("mini-googlenet");
+    net->setInputShape(Shape(1, 3, kMiniInputSize, kMiniInputSize));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+                 "conv1", nn::ConvParams::square(32, 5, 1, 2)),
+             {nn::kInputName});
+    net->add(std::make_unique<nn::ReluLayer>("conv1/relu"));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool1",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv2/reduce", nn::ConvParams::square(16, 1)));
+    net->add(std::make_unique<nn::ReluLayer>("conv2/relu_reduce"));
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+        "conv2", nn::ConvParams::square(48, 3, 1, 1)));
+    net->add(std::make_unique<nn::ReluLayer>("conv2/relu"));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool2",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+
+    addInception(*net, "inception_a", "pool2", kSpecA);
+    addInception(*net, "inception_b", "inception_a/output", kSpecB);
+
+    const Shape tail = net->nodeShape("inception_b/output");
+    net->add(std::make_unique<nn::AvgPoolLayer>(
+        "pool/global", nn::PoolParams{tail.h, 1, 0}));
+    net->add(std::make_unique<nn::InnerProductLayer>("classifier",
+                                                     classes));
+
+    // Initialize every trainable layer.
+    for (std::size_t i = 0; i < net->size(); ++i) {
+        nn::Layer &layer = net->layerAt(i);
+        if (auto *conv = dynamic_cast<nn::ConvolutionLayer *>(&layer))
+            conv->initHe(rng);
+        else if (auto *fc =
+                     dynamic_cast<nn::InnerProductLayer *>(&layer))
+            fc->initHe(rng);
+    }
+    return net;
+}
+
+std::unique_ptr<nn::Network>
+buildMiniGoogLeNetPrefix(unsigned depth, Rng &rng)
+{
+    fatal_if(depth < 1 || depth > 5,
+             "MiniGoogLeNet depth must be in [1, 5], got ", depth);
+    auto net = std::make_unique<nn::Network>(
+        "mini-googlenet-prefix-d" + std::to_string(depth));
+    net->setInputShape(Shape(1, 3, kMiniInputSize, kMiniInputSize));
+
+    net->add(std::make_unique<nn::ConvolutionLayer>(
+                 "conv1", nn::ConvParams::square(32, 5, 1, 2)),
+             {nn::kInputName});
+    net->add(std::make_unique<nn::ReluLayer>("conv1/relu"));
+    net->add(std::make_unique<nn::MaxPoolLayer>("pool1",
+                                                nn::PoolParams{3, 2,
+                                                               0}));
+    if (depth >= 2) {
+        net->add(std::make_unique<nn::ConvolutionLayer>(
+            "conv2/reduce", nn::ConvParams::square(16, 1)));
+        net->add(std::make_unique<nn::ReluLayer>(
+            "conv2/relu_reduce"));
+        net->add(std::make_unique<nn::ConvolutionLayer>(
+            "conv2", nn::ConvParams::square(48, 3, 1, 1)));
+        net->add(std::make_unique<nn::ReluLayer>("conv2/relu"));
+    }
+    if (depth >= 3) {
+        net->add(std::make_unique<nn::MaxPoolLayer>(
+            "pool2", nn::PoolParams{3, 2, 0}));
+        addInception(*net, "inception_a", "pool2", kSpecA);
+    }
+    if (depth >= 4) {
+        addInception(*net, "inception_b", "inception_a/output",
+                     kSpecB);
+    }
+    if (depth >= 5) {
+        const Shape tail = net->nodeShape("inception_b/output");
+        net->add(std::make_unique<nn::AvgPoolLayer>(
+                     "pool/global", nn::PoolParams{tail.h, 1, 0}),
+                 {"inception_b/output"});
+    }
+
+    for (std::size_t i = 0; i < net->size(); ++i) {
+        nn::Layer &layer = net->layerAt(i);
+        if (auto *conv = dynamic_cast<nn::ConvolutionLayer *>(&layer))
+            conv->initHe(rng);
+    }
+    return net;
+}
+
+std::vector<std::string>
+miniGoogLeNetAnalogLayers(unsigned depth)
+{
+    fatal_if(depth < 1 || depth > 5,
+             "MiniGoogLeNet depth must be in [1, 5], got ", depth);
+    std::vector<std::string> layers = {"conv1", "conv1/relu", "pool1"};
+    auto add_inception = [&layers](const std::string &prefix) {
+        for (const char *suffix :
+             {"/1x1", "/1x1/relu", "/3x3_reduce", "/3x3_reduce/relu",
+              "/3x3", "/3x3/relu", "/5x5_reduce", "/5x5_reduce/relu",
+              "/5x5", "/5x5/relu", "/pool", "/pool_proj",
+              "/pool_proj/relu", "/output"}) {
+            layers.push_back(prefix + suffix);
+        }
+    };
+    if (depth >= 2) {
+        layers.insert(layers.end(), {"conv2/reduce",
+                                     "conv2/relu_reduce", "conv2",
+                                     "conv2/relu"});
+    }
+    if (depth >= 3) {
+        layers.push_back("pool2");
+        add_inception("inception_a");
+    }
+    if (depth >= 4)
+        add_inception("inception_b");
+    if (depth >= 5)
+        layers.push_back("pool/global");
+    return layers;
+}
+
+} // namespace models
+} // namespace redeye

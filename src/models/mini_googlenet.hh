@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MiniGoogLeNet: an inception-style ConvNet small enough to train
+ * in-repo, used for the accuracy-vs-noise experiments (Figures 9/10).
+ *
+ * The ImageNet-trained GoogLeNet weights are not redistributable, so
+ * the accuracy curves are measured on this network trained on the
+ * synthetic shapes dataset (src/data). The topology mirrors
+ * GoogLeNet's front end (conv -> pool -> reduce/conv -> pool -> two
+ * inception modules -> global pool -> classifier) so the same five
+ * depth cuts apply structurally.
+ */
+
+#ifndef REDEYE_MODELS_MINI_GOOGLENET_HH
+#define REDEYE_MODELS_MINI_GOOGLENET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace redeye {
+
+class Rng;
+
+namespace models {
+
+/** Input extent of MiniGoogLeNet. */
+inline constexpr std::size_t kMiniInputSize = 32;
+
+/** Build the MiniGoogLeNet graph. */
+std::unique_ptr<nn::Network> buildMiniGoogLeNet(std::size_t classes,
+                                                Rng &rng);
+
+/**
+ * Analog prefix layers for MiniGoogLeNet depth cut (1..5),
+ * structurally mirroring googLeNetAnalogLayers().
+ */
+std::vector<std::string> miniGoogLeNetAnalogLayers(unsigned depth);
+
+/**
+ * Build only the analog prefix of MiniGoogLeNet for depth cut
+ * @p depth: a network whose final node is the cut tensor. Used
+ * where gradients with respect to the cut features are needed
+ * (e.g. the feature-inversion privacy probe). Weights are
+ * He-initialized; copy trained weights in with
+ * nn::copyWeightsByName().
+ */
+std::unique_ptr<nn::Network> buildMiniGoogLeNetPrefix(unsigned depth,
+                                                      Rng &rng);
+
+} // namespace models
+} // namespace redeye
+
+#endif // REDEYE_MODELS_MINI_GOOGLENET_HH

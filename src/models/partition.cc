@@ -1,0 +1,136 @@
+#include "models/partition.hh"
+
+#include <set>
+
+#include "core/logging.hh"
+#include "nn/conv.hh"
+#include "nn/lrn.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace models {
+
+namespace {
+
+/** Per-item input shapes of node @p i. */
+std::vector<Shape>
+nodeInputShapes(nn::Network &net, std::size_t i)
+{
+    std::vector<Shape> shapes;
+    for (const auto &in : net.inputsOf(i))
+        shapes.push_back(net.nodeShape(in));
+    return shapes;
+}
+
+LayerWork
+analyzeLayer(nn::Network &net, std::size_t i)
+{
+    nn::Layer &layer = net.layerAt(i);
+    LayerWork w;
+    w.name = layer.name();
+    w.kind = layer.kind();
+    w.outShape = net.nodeShape(layer.name());
+    w.outputElements = w.outShape.size();
+
+    const auto in_shapes = nodeInputShapes(net, i);
+    for (const Shape &s : in_shapes)
+        w.inputElements += s.size();
+
+    switch (w.kind) {
+      case nn::LayerKind::Convolution: {
+        auto &conv = static_cast<nn::ConvolutionLayer &>(layer);
+        w.macs = conv.macCount(in_shapes);
+        const auto &p = conv.convParams();
+        w.macTaps = (in_shapes[0].c / p.groups) * p.kernelH *
+                    p.kernelW;
+        break;
+      }
+      case nn::LayerKind::MaxPool: {
+        auto &pool = static_cast<nn::MaxPoolLayer &>(layer);
+        w.comparisons = pool.comparisonCount(in_shapes);
+        break;
+      }
+      case nn::LayerKind::AvgPool: {
+        auto &pool = static_cast<nn::AvgPoolLayer &>(layer);
+        const auto k = pool.poolParams().kernel;
+        w.macs = w.outputElements * k * k;
+        w.macTaps = k * k;
+        break;
+      }
+      case nn::LayerKind::LRN: {
+        // Realized by the convolutional module rescaling weights
+        // with the pooled local response: one multiply per tap in
+        // the channel window.
+        auto &lrn = static_cast<nn::LrnLayer &>(layer);
+        w.macs = w.outputElements * lrn.lrnParams().localSize;
+        w.macTaps = lrn.lrnParams().localSize;
+        break;
+      }
+      case nn::LayerKind::InnerProduct:
+        w.macs = layer.macCount(in_shapes);
+        w.macTaps = in_shapes[0].sliceSize();
+        break;
+      default:
+        break;
+    }
+    return w;
+}
+
+} // namespace
+
+PartitionStats
+analyzePartition(nn::Network &net,
+                 const std::vector<std::string> &analog_layers)
+{
+    fatal_if(analog_layers.empty(), "empty partition");
+    std::set<std::string> wanted(analog_layers.begin(),
+                                 analog_layers.end());
+    for (const auto &name : analog_layers) {
+        fatal_if(!net.hasLayer(name), "network '", net.name(),
+                 "' has no layer '", name, "' named in the partition");
+    }
+
+    PartitionStats stats;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const std::string &name = net.layerAt(i).name();
+        if (!wanted.count(name))
+            continue;
+        LayerWork w = analyzeLayer(net, i);
+
+        stats.totalMacs += w.macs;
+        stats.totalComparisons += w.comparisons;
+        // Every produced value is written to an inter-stage buffer;
+        // every consumed value is read from one.
+        stats.totalMemoryWrites += w.outputElements;
+        stats.totalMemoryReads += w.inputElements;
+        if (w.kind == nn::LayerKind::Convolution)
+            ++stats.convLayers;
+        if (w.kind == nn::LayerKind::MaxPool)
+            ++stats.poolLayers;
+
+        stats.cutShape = w.outShape;
+        stats.cutElements = w.outputElements;
+        stats.layers.push_back(std::move(w));
+    }
+    fatal_if(stats.layers.size() != wanted.size(),
+             "partition listed duplicate layers");
+    return stats;
+}
+
+std::size_t
+digitalTailMacs(nn::Network &net,
+                const std::vector<std::string> &analog_layers)
+{
+    std::set<std::string> analog(analog_layers.begin(),
+                                 analog_layers.end());
+    std::size_t macs = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        if (analog.count(net.layerAt(i).name()))
+            continue;
+        macs += analyzeLayer(net, i).macs;
+    }
+    return macs;
+}
+
+} // namespace models
+} // namespace redeye

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Partition analysis: workload statistics of the analog prefix a
+ * developer assigns to RedEye, and of the digital tail left to the
+ * host. These drive the architecture energy/timing model and the
+ * host-system models.
+ */
+
+#ifndef REDEYE_MODELS_PARTITION_HH
+#define REDEYE_MODELS_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace models {
+
+/** Workload of one layer in a partition. */
+struct LayerWork {
+    std::string name;
+    nn::LayerKind kind = nn::LayerKind::Custom;
+    Shape outShape;              ///< per-item output shape
+    std::size_t macs = 0;        ///< multiply-accumulates
+    std::size_t macTaps = 0;     ///< kernel taps per output (conv)
+    std::size_t comparisons = 0; ///< comparator decisions (max pool)
+    std::size_t outputElements = 0;
+    std::size_t inputElements = 0;
+};
+
+/** Aggregate workload of an analog prefix. */
+struct PartitionStats {
+    std::vector<LayerWork> layers;
+    std::size_t totalMacs = 0;
+    std::size_t totalComparisons = 0;
+    std::size_t totalMemoryWrites = 0; ///< buffer-cell writes
+    std::size_t totalMemoryReads = 0;  ///< buffer-cell reads
+    std::size_t convLayers = 0;        ///< convolution layer count
+    std::size_t poolLayers = 0;        ///< max-pool layer count
+    Shape cutShape;           ///< per-item shape at the A/D boundary
+    std::size_t cutElements = 0; ///< values quantized per frame
+};
+
+/**
+ * Analyze the workload of the prefix formed by @p analog_layers of
+ * @p net (names must exist; order irrelevant). The cut tensor is the
+ * output of the last listed layer in topological order.
+ */
+PartitionStats analyzePartition(
+    nn::Network &net, const std::vector<std::string> &analog_layers);
+
+/** MACs of the layers NOT in @p analog_layers (the digital tail). */
+std::size_t digitalTailMacs(
+    nn::Network &net, const std::vector<std::string> &analog_layers);
+
+} // namespace models
+} // namespace redeye
+
+#endif // REDEYE_MODELS_PARTITION_HH

@@ -1,0 +1,40 @@
+#include "nn/activation.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+Shape
+ReluLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "relu '", name(), "' takes one input");
+    return in[0];
+}
+
+void
+ReluLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    if (out.shape() != x.shape())
+        out = Tensor(x.shape());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void
+ReluLayer::backward(const std::vector<const Tensor *> &in,
+                    const Tensor &out, const Tensor &out_grad,
+                    std::vector<Tensor> &in_grads)
+{
+    (void)out;
+    const Tensor &x = *in[0];
+    Tensor &dx = in_grads[0];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i] > 0.0f)
+            dx[i] += out_grad[i];
+    }
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Pointwise nonlinearity layers.
+ */
+
+#ifndef REDEYE_NN_ACTIVATION_HH
+#define REDEYE_NN_ACTIVATION_HH
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Rectified linear unit: out = max(0, in). */
+class ReluLayer : public Layer
+{
+  public:
+    explicit ReluLayer(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::ReLU; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_ACTIVATION_HH

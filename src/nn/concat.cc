@@ -1,0 +1,70 @@
+#include "nn/concat.hh"
+
+#include <cstring>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+Shape
+ConcatLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.empty(), "concat '", name(), "' needs inputs");
+    Shape out = in[0];
+    for (std::size_t i = 1; i < in.size(); ++i) {
+        fatal_if(in[i].n != out.n || in[i].h != out.h ||
+                     in[i].w != out.w,
+                 "concat '", name(), "': input ", i, " shape ",
+                 in[i].str(), " incompatible with ", out.str());
+        out.c += in[i].c;
+    }
+    return out;
+}
+
+void
+ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    std::vector<Shape> shapes;
+    shapes.reserve(in.size());
+    for (const Tensor *t : in)
+        shapes.push_back(t->shape());
+    const Shape os = outputShape(shapes);
+    if (out.shape() != os)
+        out = Tensor(os);
+
+    for (std::size_t n = 0; n < os.n; ++n) {
+        std::size_t c_off = 0;
+        for (const Tensor *t : in) {
+            const Shape &is = t->shape();
+            const std::size_t bytes = is.sliceSize() * sizeof(float);
+            std::memcpy(out.data() + os.index(n, c_off, 0, 0),
+                        t->data() + is.index(n, 0, 0, 0), bytes);
+            c_off += is.c;
+        }
+    }
+}
+
+void
+ConcatLayer::backward(const std::vector<const Tensor *> &in,
+                      const Tensor &out, const Tensor &out_grad,
+                      std::vector<Tensor> &in_grads)
+{
+    const Shape &os = out.shape();
+    for (std::size_t n = 0; n < os.n; ++n) {
+        std::size_t c_off = 0;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            const Shape &is = in[i]->shape();
+            const std::size_t count = is.sliceSize();
+            const float *src = out_grad.data() +
+                               os.index(n, c_off, 0, 0);
+            float *dst = in_grads[i].data() + is.index(n, 0, 0, 0);
+            for (std::size_t j = 0; j < count; ++j)
+                dst[j] += src[j];
+            c_off += is.c;
+        }
+    }
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Channel-axis concatenation, used by GoogLeNet inception modules to
+ * merge parallel branches.
+ */
+
+#ifndef REDEYE_NN_CONCAT_HH
+#define REDEYE_NN_CONCAT_HH
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Concatenate inputs along the channel axis. */
+class ConcatLayer : public Layer
+{
+  public:
+    explicit ConcatLayer(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Concat; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_CONCAT_HH

@@ -1,0 +1,211 @@
+#include "nn/conv.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace nn {
+
+ConvolutionLayer::ConvolutionLayer(std::string name, ConvParams params)
+    : Layer(std::move(name)), params_(params)
+{
+    fatal_if(params_.outChannels == 0, "conv '", this->name(),
+             "': outChannels must be positive");
+    fatal_if(params_.kernelH == 0 || params_.kernelW == 0, "conv '",
+             this->name(), "': kernel extent must be positive");
+    fatal_if(params_.strideH == 0 || params_.strideW == 0, "conv '",
+             this->name(), "': stride must be positive");
+    fatal_if(params_.groups == 0, "conv '", this->name(),
+             "': groups must be positive");
+    fatal_if(params_.outChannels % params_.groups != 0, "conv '",
+             this->name(), "': outChannels not divisible by groups");
+    window_ = WindowParams{params_.kernelH, params_.kernelW,
+                           params_.strideH, params_.strideW,
+                           params_.padH, params_.padW};
+}
+
+void
+ConvolutionLayer::materialize(std::size_t in_channels) const
+{
+    fatal_if(in_channels % params_.groups != 0, "conv '", name(),
+             "': input channels ", in_channels,
+             " not divisible by groups ", params_.groups);
+    const Shape wshape(params_.outChannels, in_channels / params_.groups,
+                       params_.kernelH, params_.kernelW);
+    if (weights_.shape() == wshape)
+        return;
+    panic_if(!weights_.empty(), "conv '", name(),
+             "' rebound to a different input shape");
+    weights_ = Tensor(wshape);
+    weightGrad_ = Tensor(wshape);
+    if (params_.bias) {
+        biases_ = Tensor(Shape(1, params_.outChannels, 1, 1));
+        biasGrad_ = Tensor(Shape(1, params_.outChannels, 1, 1));
+    }
+}
+
+Shape
+ConvolutionLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "conv '", name(), "' takes one input");
+    const Shape &s = in[0];
+    fatal_if(s.h + 2 * params_.padH < params_.kernelH ||
+                 s.w + 2 * params_.padW < params_.kernelW,
+             "conv '", name(), "': kernel larger than padded input ",
+             s.str());
+    materialize(s.c);
+    return Shape(s.n, params_.outChannels, window_.outH(s.h),
+                 window_.outW(s.w));
+}
+
+void
+ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
+                          Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const Shape &is = x.shape();
+    const Shape os = outputShape({is});
+    if (out.shape() != os)
+        out = Tensor(os);
+
+    const std::size_t groups = params_.groups;
+    const std::size_t in_cg = is.c / groups;
+    const std::size_t out_cg = os.c / groups;
+    const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
+    const std::size_t ohw = os.h * os.w;
+
+    for (std::size_t n = 0; n < is.n; ++n) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const float *img = x.data() +
+                               x.shape().index(n, g * in_cg, 0, 0);
+            im2col(img, in_cg, is.h, is.w, window_, colBuf_);
+            const float *w = weights_.data() + g * out_cg * k;
+            float *o = out.data() + out.shape().index(n, g * out_cg,
+                                                      0, 0);
+            matmul(w, colBuf_.data(), o, out_cg, k, ohw);
+        }
+        if (params_.bias) {
+            for (std::size_t c = 0; c < os.c; ++c) {
+                const float b = biases_[c];
+                float *o = out.data() + out.shape().index(n, c, 0, 0);
+                for (std::size_t i = 0; i < ohw; ++i)
+                    o[i] += b;
+            }
+        }
+    }
+
+    if (clip_)
+        out.clamp(-*clip_, *clip_);
+}
+
+void
+ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
+                           const Tensor &out, const Tensor &out_grad,
+                           std::vector<Tensor> &in_grads)
+{
+    const Tensor &x = *in[0];
+    const Shape &is = x.shape();
+    const Shape &os = out.shape();
+
+    // Mask gradients through the clipping nonlinearity, if enabled.
+    Tensor masked;
+    const Tensor *g_out = &out_grad;
+    if (clip_) {
+        masked = out_grad;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (std::fabs(out[i]) >= *clip_)
+                masked[i] = 0.0f;
+        }
+        g_out = &masked;
+    }
+
+    const std::size_t groups = params_.groups;
+    const std::size_t in_cg = is.c / groups;
+    const std::size_t out_cg = os.c / groups;
+    const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
+    const std::size_t ohw = os.h * os.w;
+
+    Tensor &dx = in_grads[0];
+    for (std::size_t n = 0; n < is.n; ++n) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const float *img = x.data() +
+                               x.shape().index(n, g * in_cg, 0, 0);
+            im2col(img, in_cg, is.h, is.w, window_, colBuf_);
+
+            const float *go = g_out->data() +
+                              os.index(n, g * out_cg, 0, 0);
+            float *dw = weightGrad_.data() + g * out_cg * k;
+            // dW[out_cg x k] += G[out_cg x ohw] * cols^T.
+            matmulTransB(go, colBuf_.data(), dw, out_cg, ohw, k, true);
+
+            // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
+            colGradBuf_.assign(k * ohw, 0.0f);
+            const float *w = weights_.data() + g * out_cg * k;
+            matmulTransA(w, go, colGradBuf_.data(), k, out_cg, ohw,
+                         true);
+
+            // Scatter into a scratch image, then accumulate, so that
+            // other consumers' contributions to dx are preserved.
+            imgGradBuf_.assign(in_cg * is.h * is.w, 0.0f);
+            col2im(colGradBuf_, in_cg, is.h, is.w, window_,
+                   imgGradBuf_.data());
+            float *dimg = dx.data() + is.index(n, g * in_cg, 0, 0);
+            for (std::size_t i = 0; i < imgGradBuf_.size(); ++i)
+                dimg[i] += imgGradBuf_[i];
+        }
+        if (params_.bias) {
+            for (std::size_t c = 0; c < os.c; ++c) {
+                const float *go = g_out->data() + os.index(n, c, 0, 0);
+                double acc = 0.0;
+                for (std::size_t i = 0; i < ohw; ++i)
+                    acc += go[i];
+                biasGrad_[c] += static_cast<float>(acc);
+            }
+        }
+    }
+}
+
+std::vector<Tensor *>
+ConvolutionLayer::params()
+{
+    std::vector<Tensor *> out{&weights_};
+    if (params_.bias)
+        out.push_back(&biases_);
+    return out;
+}
+
+std::vector<Tensor *>
+ConvolutionLayer::paramGrads()
+{
+    std::vector<Tensor *> out{&weightGrad_};
+    if (params_.bias)
+        out.push_back(&biasGrad_);
+    return out;
+}
+
+std::size_t
+ConvolutionLayer::macCount(const std::vector<Shape> &in) const
+{
+    const Shape os = outputShape(in);
+    const std::size_t k = (in[0].c / params_.groups) * params_.kernelH *
+                          params_.kernelW;
+    return os.size() * k;
+}
+
+void
+ConvolutionLayer::initHe(Rng &rng)
+{
+    panic_if(weights_.empty(), "conv '", name(),
+             "' not materialized; add it to a network first");
+    const Shape &ws = weights_.shape();
+    const double fan_in = static_cast<double>(ws.c * ws.h * ws.w);
+    const double stddev = std::sqrt(2.0 / fan_in);
+    weights_.fillGaussian(rng, 0.0f, static_cast<float>(stddev));
+    if (params_.bias)
+        biases_.zero();
+}
+
+} // namespace nn
+} // namespace redeye

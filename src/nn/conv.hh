@@ -1,0 +1,118 @@
+/**
+ * @file
+ * 2-D convolution layer (stride, zero padding, channel groups).
+ *
+ * Forward is computed by im2col + matrix product per batch item. The
+ * layer optionally applies output clipping at a configurable signal
+ * swing, mirroring RedEye's convolutional module, which "clips signals
+ * at maximum swing to perform nonlinear rectification".
+ */
+
+#ifndef REDEYE_NN_CONV_HH
+#define REDEYE_NN_CONV_HH
+
+#include <optional>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "tensor/im2col.hh"
+
+namespace redeye {
+
+class Rng;
+
+namespace nn {
+
+/** Static configuration of a convolution layer. */
+struct ConvParams {
+    std::size_t outChannels = 1;
+    std::size_t kernelH = 1;
+    std::size_t kernelW = 1;
+    std::size_t strideH = 1;
+    std::size_t strideW = 1;
+    std::size_t padH = 0;
+    std::size_t padW = 0;
+    std::size_t groups = 1;
+    bool bias = true;
+
+    /** Square-kernel convenience builder. */
+    static ConvParams
+    square(std::size_t out_channels, std::size_t kernel,
+           std::size_t stride = 1, std::size_t pad = 0,
+           std::size_t groups = 1)
+    {
+        ConvParams p;
+        p.outChannels = out_channels;
+        p.kernelH = p.kernelW = kernel;
+        p.strideH = p.strideW = stride;
+        p.padH = p.padW = pad;
+        p.groups = groups;
+        return p;
+    }
+};
+
+/** Convolution layer with trainable kernel and bias. */
+class ConvolutionLayer : public Layer
+{
+  public:
+    ConvolutionLayer(std::string name, ConvParams params);
+
+    LayerKind kind() const override { return LayerKind::Convolution; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    std::vector<Tensor *> params() override;
+    std::vector<Tensor *> paramGrads() override;
+
+    std::size_t macCount(const std::vector<Shape> &in) const override;
+
+    const ConvParams &convParams() const { return params_; }
+
+    /** Kernel weights as (outC, inC/groups, kh, kw). */
+    Tensor &weights() { return weights_; }
+    const Tensor &weights() const { return weights_; }
+
+    /** Bias vector as (1, outC, 1, 1); empty when bias is disabled. */
+    Tensor &biases() { return biases_; }
+    const Tensor &biases() const { return biases_; }
+
+    /**
+     * Clip outputs into [-swing, +swing], modelling the analog signal
+     * range limit. Disabled by default (digital reference behaviour).
+     */
+    void setOutputClip(std::optional<float> swing) { clip_ = swing; }
+
+    std::optional<float> outputClip() const { return clip_; }
+
+    /** He-initialize weights and zero biases. */
+    void initHe(Rng &rng);
+
+  private:
+    /** Bind parameter tensors once the input channel count is known. */
+    void materialize(std::size_t in_channels) const;
+
+    ConvParams params_;
+    WindowParams window_;
+    mutable Tensor weights_;
+    mutable Tensor biases_;
+    mutable Tensor weightGrad_;
+    mutable Tensor biasGrad_;
+    std::optional<float> clip_;
+
+    // Scratch buffers reused across forward/backward calls.
+    std::vector<float> colBuf_;
+    std::vector<float> colGradBuf_;
+    std::vector<float> imgGradBuf_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_CONV_HH

@@ -1,0 +1,60 @@
+#include "nn/dropout.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+DropoutLayer::DropoutLayer(std::string name, float ratio, Rng rng)
+    : Layer(std::move(name)), ratio_(ratio), rng_(rng)
+{
+    fatal_if(ratio_ < 0.0f || ratio_ >= 1.0f, "dropout '", this->name(),
+             "': ratio must be in [0, 1), got ", ratio_);
+}
+
+Shape
+DropoutLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "dropout '", name(), "' takes one input");
+    return in[0];
+}
+
+void
+DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    if (out.shape() != x.shape())
+        out = Tensor(x.shape());
+
+    if (!training() || ratio_ == 0.0f) {
+        out.vec() = x.vec();
+        mask_.clear();
+        return;
+    }
+
+    const float keep = 1.0f - ratio_;
+    mask_.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        mask_[i] = rng_.bernoulli(keep) ? 1.0f / keep : 0.0f;
+        out[i] = x[i] * mask_[i];
+    }
+}
+
+void
+DropoutLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &out_grad,
+                       std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    (void)out;
+    Tensor &dx = in_grads[0];
+    if (mask_.empty()) {
+        dx.add(out_grad);
+        return;
+    }
+    for (std::size_t i = 0; i < dx.size(); ++i)
+        dx[i] += out_grad[i] * mask_[i];
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Inverted dropout. Active only in training mode; at inference the
+ * layer is the identity (as in the deployed GoogLeNet graph).
+ */
+
+#ifndef REDEYE_NN_DROPOUT_HH
+#define REDEYE_NN_DROPOUT_HH
+
+#include <vector>
+
+#include "core/rng.hh"
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Inverted dropout layer. */
+class DropoutLayer : public Layer
+{
+  public:
+    /**
+     * @param ratio Probability of dropping a unit, in [0, 1).
+     * @param rng Private random stream for mask generation.
+     */
+    DropoutLayer(std::string name, float ratio, Rng rng);
+
+    LayerKind kind() const override { return LayerKind::Dropout; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    float ratio() const { return ratio_; }
+
+  private:
+    float ratio_;
+    Rng rng_;
+    std::vector<float> mask_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_DROPOUT_HH

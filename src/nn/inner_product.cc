@@ -1,0 +1,138 @@
+#include "nn/inner_product.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "tensor/im2col.hh"
+
+namespace redeye {
+namespace nn {
+
+InnerProductLayer::InnerProductLayer(std::string name,
+                                     std::size_t outputs, bool bias)
+    : Layer(std::move(name)), outputs_(outputs), bias_(bias)
+{
+    fatal_if(outputs_ == 0, "fc '", this->name(),
+             "': outputs must be positive");
+}
+
+void
+InnerProductLayer::materialize(std::size_t inputs) const
+{
+    const Shape wshape(outputs_, inputs, 1, 1);
+    if (weights_.shape() == wshape)
+        return;
+    panic_if(!weights_.empty(), "fc '", name(),
+             "' rebound to a different input size");
+    weights_ = Tensor(wshape);
+    weightGrad_ = Tensor(wshape);
+    if (bias_) {
+        biases_ = Tensor(Shape(1, outputs_, 1, 1));
+        biasGrad_ = Tensor(Shape(1, outputs_, 1, 1));
+    }
+}
+
+Shape
+InnerProductLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "fc '", name(), "' takes one input");
+    materialize(in[0].sliceSize());
+    return Shape(in[0].n, outputs_, 1, 1);
+}
+
+void
+InnerProductLayer::forward(const std::vector<const Tensor *> &in,
+                           Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const std::size_t batch = x.shape().n;
+    const std::size_t inputs = x.shape().sliceSize();
+    const Shape os = outputShape({x.shape()});
+    if (out.shape() != os)
+        out = Tensor(os);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *xi = x.data() + n * inputs;
+        float *oi = out.data() + n * outputs_;
+        // out = W[outputs x inputs] * x.
+        matmul(weights_.data(), xi, oi, outputs_, inputs, 1);
+        if (bias_) {
+            for (std::size_t o = 0; o < outputs_; ++o)
+                oi[o] += biases_[o];
+        }
+    }
+}
+
+void
+InnerProductLayer::backward(const std::vector<const Tensor *> &in,
+                            const Tensor &out, const Tensor &out_grad,
+                            std::vector<Tensor> &in_grads)
+{
+    (void)out;
+    const Tensor &x = *in[0];
+    const std::size_t batch = x.shape().n;
+    const std::size_t inputs = x.shape().sliceSize();
+    Tensor &dx = in_grads[0];
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float *xi = x.data() + n * inputs;
+        const float *go = out_grad.data() + n * outputs_;
+        float *dxi = dx.data() + n * inputs;
+
+        // dW += g * x^T  (outer product).
+        for (std::size_t o = 0; o < outputs_; ++o) {
+            const float g = go[o];
+            if (g == 0.0f)
+                continue;
+            float *dwrow = weightGrad_.data() + o * inputs;
+            for (std::size_t i = 0; i < inputs; ++i)
+                dwrow[i] += g * xi[i];
+            if (bias_)
+                biasGrad_[o] += g;
+        }
+
+        // dx += W^T * g.
+        matmulTransA(weights_.data(), go, dxi, inputs, outputs_, 1,
+                     true);
+    }
+}
+
+std::vector<Tensor *>
+InnerProductLayer::params()
+{
+    std::vector<Tensor *> out{&weights_};
+    if (bias_)
+        out.push_back(&biases_);
+    return out;
+}
+
+std::vector<Tensor *>
+InnerProductLayer::paramGrads()
+{
+    std::vector<Tensor *> out{&weightGrad_};
+    if (bias_)
+        out.push_back(&biasGrad_);
+    return out;
+}
+
+std::size_t
+InnerProductLayer::macCount(const std::vector<Shape> &in) const
+{
+    return in[0].n * outputs_ * in[0].sliceSize();
+}
+
+void
+InnerProductLayer::initHe(Rng &rng)
+{
+    panic_if(weights_.empty(), "fc '", name(),
+             "' not materialized; add it to a network first");
+    const double fan_in = static_cast<double>(weights_.shape().c);
+    const double stddev = std::sqrt(2.0 / fan_in);
+    weights_.fillGaussian(rng, 0.0f, static_cast<float>(stddev));
+    if (bias_)
+        biases_.zero();
+}
+
+} // namespace nn
+} // namespace redeye

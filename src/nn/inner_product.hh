@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully-connected (inner product) layer. Flattens each batch item and
+ * applies out = W x + b, producing a (n, outputs, 1, 1) tensor.
+ */
+
+#ifndef REDEYE_NN_INNER_PRODUCT_HH
+#define REDEYE_NN_INNER_PRODUCT_HH
+
+#include "nn/layer.hh"
+
+namespace redeye {
+
+class Rng;
+
+namespace nn {
+
+/** Fully-connected layer with trainable weight matrix and bias. */
+class InnerProductLayer : public Layer
+{
+  public:
+    InnerProductLayer(std::string name, std::size_t outputs,
+                      bool bias = true);
+
+    LayerKind kind() const override { return LayerKind::InnerProduct; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    std::vector<Tensor *> params() override;
+    std::vector<Tensor *> paramGrads() override;
+
+    std::size_t macCount(const std::vector<Shape> &in) const override;
+
+    /** Weights as (outputs, inputs, 1, 1). */
+    Tensor &weights() { return weights_; }
+
+    /** Bias as (1, outputs, 1, 1). */
+    Tensor &biases() { return biases_; }
+
+    std::size_t outputs() const { return outputs_; }
+
+    /** He-initialize weights and zero biases. */
+    void initHe(Rng &rng);
+
+  private:
+    void materialize(std::size_t inputs) const;
+
+    std::size_t outputs_;
+    bool bias_;
+    mutable Tensor weights_;
+    mutable Tensor biases_;
+    mutable Tensor weightGrad_;
+    mutable Tensor biasGrad_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_INNER_PRODUCT_HH

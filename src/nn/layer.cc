@@ -1,0 +1,42 @@
+#include "nn/layer.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Input: return "Input";
+      case LayerKind::Convolution: return "Convolution";
+      case LayerKind::ReLU: return "ReLU";
+      case LayerKind::MaxPool: return "MaxPool";
+      case LayerKind::AvgPool: return "AvgPool";
+      case LayerKind::LRN: return "LRN";
+      case LayerKind::Concat: return "Concat";
+      case LayerKind::InnerProduct: return "InnerProduct";
+      case LayerKind::Dropout: return "Dropout";
+      case LayerKind::Softmax: return "Softmax";
+      case LayerKind::GaussianNoise: return "GaussianNoise";
+      case LayerKind::QuantizationNoise: return "QuantizationNoise";
+      case LayerKind::Custom: return "Custom";
+    }
+    return "?";
+}
+
+void
+Layer::backward(const std::vector<const Tensor *> &in, const Tensor &out,
+                const Tensor &out_grad, std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    (void)out;
+    (void)out_grad;
+    (void)in_grads;
+    panic("layer '", name_, "' (", layerKindName(kind()),
+          ") does not implement backward()");
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Layer abstraction for the ConvNet framework.
+ *
+ * A Layer consumes one or more input tensors and produces exactly one
+ * output tensor. Layers may hold parameters (weights/biases) and cache
+ * forward-pass state needed by backward(). The RedEye compiler pattern
+ * matches on LayerKind to map network prefixes onto analog modules,
+ * and the energy model queries macCount()/outputShape() for workload
+ * accounting.
+ */
+
+#ifndef REDEYE_NN_LAYER_HH
+#define REDEYE_NN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Discriminator used by the RedEye compiler and the noise injector. */
+enum class LayerKind {
+    Input,
+    Convolution,
+    ReLU,
+    MaxPool,
+    AvgPool,
+    LRN,
+    Concat,
+    InnerProduct,
+    Dropout,
+    Softmax,
+    GaussianNoise,
+    QuantizationNoise,
+    Custom,
+};
+
+/** Human-readable name of a LayerKind. */
+const char *layerKindName(LayerKind kind);
+
+/** Abstract network layer. */
+class Layer
+{
+  public:
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Unique (within a Network) layer name. */
+    const std::string &name() const { return name_; }
+
+    /** Kind discriminator. */
+    virtual LayerKind kind() const = 0;
+
+    /**
+     * Infer the output shape from input shapes; called once when the
+     * layer is added to a Network. Implementations should fatal() on
+     * invalid configurations.
+     */
+    virtual Shape outputShape(const std::vector<Shape> &in) const = 0;
+
+    /**
+     * Compute the output from the inputs. May cache state for
+     * backward().
+     */
+    virtual void forward(const std::vector<const Tensor *> &in,
+                         Tensor &out) = 0;
+
+    /**
+     * Propagate gradients. @p in_grads arrives pre-sized to the input
+     * shapes and zero-filled; implementations accumulate into it and
+     * into their parameter gradients.
+     *
+     * The default implementation panics; inference-only layers may
+     * keep it.
+     */
+    virtual void backward(const std::vector<const Tensor *> &in,
+                          const Tensor &out, const Tensor &out_grad,
+                          std::vector<Tensor> &in_grads);
+
+    /** Learnable parameter tensors (empty when parameterless). */
+    virtual std::vector<Tensor *> params() { return {}; }
+
+    /** Gradient tensors, parallel to params(). */
+    virtual std::vector<Tensor *> paramGrads() { return {}; }
+
+    /** True while the network runs in training mode. */
+    bool training() const { return training_; }
+
+    /** Toggle training/eval behaviour (dropout, noise layers, ...). */
+    virtual void setTraining(bool training) { training_ = training; }
+
+    /**
+     * Multiply-accumulate operations performed per forward pass with
+     * the given input shapes; used for workload/energy accounting.
+     */
+    virtual std::size_t
+    macCount(const std::vector<Shape> &in) const
+    {
+        (void)in;
+        return 0;
+    }
+
+  private:
+    std::string name_;
+    bool training_ = false;
+};
+
+/** Alias used throughout the framework. */
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_LAYER_HH

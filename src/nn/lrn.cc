@@ -1,0 +1,110 @@
+#include "nn/lrn.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+LrnLayer::LrnLayer(std::string name, LrnParams params)
+    : Layer(std::move(name)), params_(params)
+{
+    fatal_if(params_.localSize == 0 || params_.localSize % 2 == 0,
+             "lrn '", this->name(), "': localSize must be odd");
+}
+
+Shape
+LrnLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "lrn '", name(), "' takes one input");
+    return in[0];
+}
+
+void
+LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const Shape &s = x.shape();
+    if (out.shape() != s)
+        out = Tensor(s);
+    if (scale_.shape() != s)
+        scale_ = Tensor(s);
+
+    const long half = static_cast<long>(params_.localSize / 2);
+    const float alpha_n = params_.alpha /
+                          static_cast<float>(params_.localSize);
+
+    for (std::size_t n = 0; n < s.n; ++n) {
+        for (std::size_t h = 0; h < s.h; ++h) {
+            for (std::size_t w = 0; w < s.w; ++w) {
+                for (std::size_t c = 0; c < s.c; ++c) {
+                    double acc = 0.0;
+                    const long lo = static_cast<long>(c) - half;
+                    const long hi = static_cast<long>(c) + half;
+                    for (long cc = lo; cc <= hi; ++cc) {
+                        if (cc < 0 || cc >= static_cast<long>(s.c))
+                            continue;
+                        const float v = x.at(
+                            n, static_cast<std::size_t>(cc), h, w);
+                        acc += static_cast<double>(v) * v;
+                    }
+                    const float sc = params_.k +
+                                     alpha_n *
+                                         static_cast<float>(acc);
+                    scale_.at(n, c, h, w) = sc;
+                    out.at(n, c, h, w) =
+                        x.at(n, c, h, w) /
+                        std::pow(sc, params_.beta);
+                }
+            }
+        }
+    }
+}
+
+void
+LrnLayer::backward(const std::vector<const Tensor *> &in,
+                   const Tensor &out, const Tensor &out_grad,
+                   std::vector<Tensor> &in_grads)
+{
+    const Tensor &x = *in[0];
+    const Shape &s = x.shape();
+    panic_if(scale_.shape() != s, "lrn '", name(),
+             "' backward without forward");
+    Tensor &dx = in_grads[0];
+
+    const long half = static_cast<long>(params_.localSize / 2);
+    const float alpha_n = params_.alpha /
+                          static_cast<float>(params_.localSize);
+
+    // d out[c'] / d in[c] = scale^-beta * delta(c,c')
+    //     - 2 beta alpha_n in[c] out[c'] / scale[c'] (c in window c')
+    for (std::size_t n = 0; n < s.n; ++n) {
+        for (std::size_t h = 0; h < s.h; ++h) {
+            for (std::size_t w = 0; w < s.w; ++w) {
+                for (std::size_t c = 0; c < s.c; ++c) {
+                    double acc =
+                        out_grad.at(n, c, h, w) /
+                        std::pow(scale_.at(n, c, h, w), params_.beta);
+                    const long lo = static_cast<long>(c) - half;
+                    const long hi = static_cast<long>(c) + half;
+                    double cross = 0.0;
+                    for (long cc = lo; cc <= hi; ++cc) {
+                        if (cc < 0 || cc >= static_cast<long>(s.c))
+                            continue;
+                        const auto cu = static_cast<std::size_t>(cc);
+                        cross += out_grad.at(n, cu, h, w) *
+                                 out.at(n, cu, h, w) /
+                                 scale_.at(n, cu, h, w);
+                    }
+                    acc -= 2.0 * params_.beta * alpha_n *
+                           x.at(n, c, h, w) * cross;
+                    dx.at(n, c, h, w) += static_cast<float>(acc);
+                }
+            }
+        }
+    }
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Local response normalization (across channels), as used by AlexNet
+ * and GoogLeNet:
+ *
+ *   out[c] = in[c] / (k + (alpha/n) * sum_{c' in window} in[c']^2)^beta
+ *
+ * On RedEye, normalization is realized by letting the convolutional
+ * module rescale weights using the pooled local response (Section
+ * III-B); functionally it is this layer.
+ */
+
+#ifndef REDEYE_NN_LRN_HH
+#define REDEYE_NN_LRN_HH
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** LRN hyperparameters (Caffe defaults). */
+struct LrnParams {
+    std::size_t localSize = 5; ///< channel window (odd)
+    float alpha = 1e-4f;
+    float beta = 0.75f;
+    float k = 1.0f;
+};
+
+/** Across-channel local response normalization. */
+class LrnLayer : public Layer
+{
+  public:
+    LrnLayer(std::string name, LrnParams params);
+
+    LayerKind kind() const override { return LayerKind::LRN; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    const LrnParams &lrnParams() const { return params_; }
+
+  private:
+    LrnParams params_;
+    Tensor scale_; ///< forward cache: (k + alpha/n * sum sq)
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_LRN_HH

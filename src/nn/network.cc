@@ -1,0 +1,292 @@
+#include "nn/network.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+Network::Network(std::string name) : name_(std::move(name))
+{
+}
+
+void
+Network::setInputShape(const Shape &shape)
+{
+    fatal_if(!nodes_.empty(),
+             "setInputShape() must precede the first add()");
+    fatal_if(shape.c == 0 || shape.h == 0 || shape.w == 0,
+             "invalid input shape ", shape.str());
+    inputShape_ = Shape(1, shape.c, shape.h, shape.w);
+}
+
+int
+Network::indexOf(const std::string &name) const
+{
+    if (name == kInputName)
+        return -1;
+    auto it = byName_.find(name);
+    fatal_if(it == byName_.end(), "network '", name_,
+             "' has no layer named '", name, "'");
+    return it->second;
+}
+
+std::vector<Shape>
+Network::inputShapes(const Node &node) const
+{
+    std::vector<Shape> shapes;
+    shapes.reserve(node.inputs.size());
+    for (int idx : node.inputs) {
+        shapes.push_back(idx < 0 ? inputShape_ : nodes_[idx].shape);
+    }
+    return shapes;
+}
+
+Layer &
+Network::add(LayerPtr layer, std::vector<std::string> inputs)
+{
+    fatal_if(!inputShape_.valid(),
+             "call setInputShape() before adding layers");
+    fatal_if(!layer, "null layer");
+    fatal_if(byName_.count(layer->name()), "duplicate layer name '",
+             layer->name(), "'");
+
+    Node node;
+    if (inputs.empty()) {
+        node.inputs.push_back(static_cast<int>(nodes_.size()) - 1);
+    } else {
+        for (const auto &in : inputs)
+            node.inputs.push_back(indexOf(in));
+    }
+    node.layer = std::move(layer);
+    node.shape = node.layer->outputShape(inputShapes(node));
+
+    byName_[node.layer->name()] = static_cast<int>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    return *nodes_.back().layer;
+}
+
+Layer &
+Network::insertAfter(const std::string &after, LayerPtr layer)
+{
+    fatal_if(!layer, "null layer");
+    fatal_if(byName_.count(layer->name()), "duplicate layer name '",
+             layer->name(), "'");
+    const int pos = indexOf(after);
+    fatal_if(pos < 0, "cannot insert after the external input; "
+                      "insert after the first layer instead");
+
+    Node node;
+    node.inputs.push_back(pos);
+    node.layer = std::move(layer);
+    node.shape = node.layer->outputShape({nodes_[pos].shape});
+
+    // Insert directly after the producer and shift indices.
+    const int at = pos + 1;
+    nodes_.insert(nodes_.begin() + at, std::move(node));
+    for (auto &[nm, idx] : byName_) {
+        (void)nm;
+        if (idx >= at)
+            ++idx;
+    }
+    byName_[nodes_[at].layer->name()] = at;
+    for (std::size_t i = at + 1; i < nodes_.size(); ++i) {
+        for (int &in : nodes_[i].inputs) {
+            if (in == pos)
+                in = at; // rewire consumers of 'after'
+            else if (in >= at)
+                ++in;
+        }
+    }
+    return *nodes_[at].layer;
+}
+
+std::vector<std::string>
+Network::inputsOf(std::size_t i) const
+{
+    panic_if(i >= nodes_.size(), "node index out of range");
+    std::vector<std::string> out;
+    for (int idx : nodes_[i].inputs) {
+        out.push_back(idx < 0 ? std::string(kInputName)
+                              : nodes_[idx].layer->name());
+    }
+    return out;
+}
+
+Layer &
+Network::layer(const std::string &name)
+{
+    const int idx = indexOf(name);
+    fatal_if(idx < 0, "'@input' is not a layer");
+    return *nodes_[idx].layer;
+}
+
+bool
+Network::hasLayer(const std::string &name) const
+{
+    return byName_.count(name) > 0;
+}
+
+Shape
+Network::nodeShape(const std::string &name) const
+{
+    const int idx = indexOf(name);
+    return idx < 0 ? inputShape_ : nodes_[idx].shape;
+}
+
+Shape
+Network::outputShape() const
+{
+    fatal_if(nodes_.empty(), "empty network");
+    return nodes_.back().shape;
+}
+
+const Tensor &
+Network::forward(const Tensor &input)
+{
+    fatal_if(nodes_.empty(), "empty network");
+    const Shape &is = input.shape();
+    fatal_if(is.c != inputShape_.c || is.h != inputShape_.h ||
+                 is.w != inputShape_.w,
+             "input shape ", is.str(), " does not match declared ",
+             inputShape_.str());
+
+    input_ = input;
+    acts_.resize(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        std::vector<const Tensor *> ins;
+        ins.reserve(nodes_[i].inputs.size());
+        for (int idx : nodes_[i].inputs)
+            ins.push_back(idx < 0 ? &input_ : &acts_[idx]);
+        nodes_[i].layer->forward(ins, acts_[i]);
+    }
+    return acts_.back();
+}
+
+const Tensor &
+Network::activation(const std::string &name) const
+{
+    const int idx = indexOf(name);
+    fatal_if(idx < 0, "'@input' activation is the input itself");
+    panic_if(acts_.size() != nodes_.size(),
+             "activation() before forward()");
+    return acts_[idx];
+}
+
+const Tensor &
+Network::backward(const Tensor &out_grad)
+{
+    panic_if(acts_.size() != nodes_.size(), "backward() before forward()");
+    panic_if(out_grad.shape() != acts_.back().shape(),
+             "out_grad shape ", out_grad.shape().str(),
+             " != output shape ", acts_.back().shape().str());
+
+    grads_.assign(nodes_.size(), Tensor());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        grads_[i] = Tensor(acts_[i].shape());
+    }
+    inputGrad_ = Tensor(input_.shape());
+    grads_.back() = out_grad;
+
+    for (std::size_t ri = nodes_.size(); ri-- > 0;) {
+        Node &node = nodes_[ri];
+        std::vector<const Tensor *> ins;
+        std::vector<Tensor *> grad_targets;
+        ins.reserve(node.inputs.size());
+        for (int idx : node.inputs) {
+            ins.push_back(idx < 0 ? &input_ : &acts_[idx]);
+            grad_targets.push_back(idx < 0 ? &inputGrad_
+                                           : &grads_[idx]);
+        }
+        // Layers accumulate into their producers' gradient buffers;
+        // wrap the targets in a temporary vector of references.
+        std::vector<Tensor> scratch;
+        scratch.reserve(ins.size());
+        for (std::size_t k = 0; k < ins.size(); ++k)
+            scratch.push_back(Tensor(ins[k]->shape()));
+        node.layer->backward(ins, acts_[ri], grads_[ri], scratch);
+        for (std::size_t k = 0; k < ins.size(); ++k)
+            grad_targets[k]->add(scratch[k]);
+    }
+    return inputGrad_;
+}
+
+std::vector<Tensor *>
+Network::params()
+{
+    std::vector<Tensor *> out;
+    for (auto &node : nodes_) {
+        for (Tensor *p : node.layer->params())
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Tensor *>
+Network::paramGrads()
+{
+    std::vector<Tensor *> out;
+    for (auto &node : nodes_) {
+        for (Tensor *g : node.layer->paramGrads())
+            out.push_back(g);
+    }
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (Tensor *g : paramGrads())
+        g->zero();
+}
+
+void
+Network::setTraining(bool training)
+{
+    for (auto &node : nodes_)
+        node.layer->setTraining(training);
+}
+
+std::size_t
+Network::totalMacs() const
+{
+    std::size_t total = 0;
+    for (const auto &node : nodes_)
+        total += node.layer->macCount(inputShapes(node));
+    return total;
+}
+
+std::size_t
+Network::parameterCount()
+{
+    std::size_t total = 0;
+    for (Tensor *p : params())
+        total += p->size();
+    return total;
+}
+
+std::string
+Network::summary() const
+{
+    std::ostringstream oss;
+    oss << "network '" << name_ << "' input " << inputShape_.str()
+        << "\n";
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        oss << "  [" << i << "] " << node.layer->name() << " ("
+            << layerKindName(node.layer->kind()) << ") <- ";
+        for (std::size_t k = 0; k < node.inputs.size(); ++k) {
+            if (k)
+                oss << ", ";
+            oss << (node.inputs[k] < 0
+                        ? kInputName
+                        : nodes_[node.inputs[k]].layer->name());
+        }
+        oss << " -> " << node.shape.str() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace nn
+} // namespace redeye

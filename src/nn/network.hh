@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Network: a DAG of layers with a single external input and a
+ * designated output node.
+ *
+ * Layers are added in topological order; each references its inputs by
+ * layer name ("@input" denotes the external input; an empty input list
+ * defaults to the previously added layer). The network validates
+ * shapes at add() time using per-item (n == 1) shapes, and executes
+ * with any batch size at forward() time.
+ */
+
+#ifndef REDEYE_NN_NETWORK_HH
+#define REDEYE_NN_NETWORK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Name that denotes the network's external input tensor. */
+inline const char *const kInputName = "@input";
+
+/** A DAG of layers. */
+class Network
+{
+  public:
+    explicit Network(std::string name = "net");
+
+    const std::string &name() const { return name_; }
+
+    /**
+     * Declare the per-item input shape (n is ignored; pass 1).
+     * Must be called before the first add().
+     */
+    void setInputShape(const Shape &shape);
+
+    const Shape &inputShape() const { return inputShape_; }
+
+    /**
+     * Append a layer. @p inputs lists producer layer names (or
+     * kInputName); when empty, the previously added layer (or the
+     * network input for the first layer) is used.
+     *
+     * @return Reference to the added layer.
+     */
+    Layer &add(LayerPtr layer, std::vector<std::string> inputs = {});
+
+    /**
+     * Insert a layer immediately after an existing node: the new
+     * layer consumes @p after's output, and every consumer of
+     * @p after is rewired to consume the new layer. Used by the noise
+     * injector.
+     */
+    Layer &insertAfter(const std::string &after, LayerPtr layer);
+
+    /** Number of layers. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Layer by position (topological order). */
+    Layer &layerAt(std::size_t i) { return *nodes_[i].layer; }
+    const Layer &layerAt(std::size_t i) const { return *nodes_[i].layer; }
+
+    /** Input layer names of the node at position i. */
+    std::vector<std::string> inputsOf(std::size_t i) const;
+
+    /** Layer by name (panics if absent). */
+    Layer &layer(const std::string &name);
+
+    /** True if a layer with this name exists. */
+    bool hasLayer(const std::string &name) const;
+
+    /** Per-item output shape of a node (n == 1). */
+    Shape nodeShape(const std::string &name) const;
+
+    /** Per-item output shape of the final node. */
+    Shape outputShape() const;
+
+    /** Run the DAG; returns the final node's activation. */
+    const Tensor &forward(const Tensor &input);
+
+    /** Activation of a named node from the last forward() call. */
+    const Tensor &activation(const std::string &name) const;
+
+    /**
+     * Backpropagate from the final node. @p out_grad must match the
+     * final activation's shape. Parameter gradients accumulate into
+     * paramGrads(); call zeroGrads() between steps.
+     *
+     * @return Gradient with respect to the network input.
+     */
+    const Tensor &backward(const Tensor &out_grad);
+
+    /** All parameter tensors across layers. */
+    std::vector<Tensor *> params();
+
+    /** All parameter gradient tensors across layers. */
+    std::vector<Tensor *> paramGrads();
+
+    /** Zero every parameter gradient. */
+    void zeroGrads();
+
+    /** Toggle training mode on every layer. */
+    void setTraining(bool training);
+
+    /** Total forward MACs for a batch of 1. */
+    std::size_t totalMacs() const;
+
+    /** Sum of parameter element counts. */
+    std::size_t parameterCount();
+
+    /** Human-readable topology summary. */
+    std::string summary() const;
+
+  private:
+    struct Node {
+        LayerPtr layer;
+        std::vector<int> inputs; ///< node indices; -1 = external input
+        Shape shape;             ///< per-item output shape (n == 1)
+    };
+
+    /** Per-item shapes of a node's inputs. */
+    std::vector<Shape> inputShapes(const Node &node) const;
+
+    int indexOf(const std::string &name) const;
+
+    std::string name_;
+    Shape inputShape_;
+    std::vector<Node> nodes_;
+    std::map<std::string, int> byName_;
+
+    // Execution state from the last forward()/backward().
+    Tensor input_;
+    std::vector<Tensor> acts_;
+    std::vector<Tensor> grads_;
+    Tensor inputGrad_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_NETWORK_HH

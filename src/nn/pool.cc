@@ -1,0 +1,246 @@
+#include "nn/pool.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+std::size_t
+PoolParams::outExtent(std::size_t in) const
+{
+    // Caffe ceil-mode pooling.
+    const double num = static_cast<double>(in + 2 * pad - kernel);
+    auto out = static_cast<std::size_t>(
+        std::ceil(num / static_cast<double>(stride))) + 1;
+    // Clip the last window so it starts inside the (padded) input.
+    if (pad > 0 && (out - 1) * stride >= in + pad)
+        --out;
+    return out;
+}
+
+namespace {
+
+void
+validate(const char *what, const std::string &name,
+         const PoolParams &params, const std::vector<Shape> &in)
+{
+    fatal_if(in.size() != 1, what, " '", name, "' takes one input");
+    fatal_if(params.kernel == 0 || params.stride == 0, what, " '", name,
+             "': kernel and stride must be positive");
+    fatal_if(in[0].h + 2 * params.pad < params.kernel ||
+                 in[0].w + 2 * params.pad < params.kernel,
+             what, " '", name, "': window larger than padded input ",
+             in[0].str());
+}
+
+} // namespace
+
+MaxPoolLayer::MaxPoolLayer(std::string name, PoolParams params)
+    : Layer(std::move(name)), params_(params)
+{
+}
+
+Shape
+MaxPoolLayer::outputShape(const std::vector<Shape> &in) const
+{
+    validate("maxpool", name(), params_, in);
+    return Shape(in[0].n, in[0].c, params_.outExtent(in[0].h),
+                 params_.outExtent(in[0].w));
+}
+
+void
+MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const Shape &is = x.shape();
+    const Shape os = outputShape({is});
+    if (out.shape() != os)
+        out = Tensor(os);
+    argmax_.assign(os.size(), 0);
+
+    for (std::size_t n = 0; n < os.n; ++n) {
+        for (std::size_t c = 0; c < os.c; ++c) {
+            for (std::size_t oh = 0; oh < os.h; ++oh) {
+                for (std::size_t ow = 0; ow < os.w; ++ow) {
+                    const long h0 = static_cast<long>(oh *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    const long w0 = static_cast<long>(ow *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    float best =
+                        -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t kh = 0; kh < params_.kernel; ++kh) {
+                        const long ih = h0 + static_cast<long>(kh);
+                        if (ih < 0 || ih >= static_cast<long>(is.h))
+                            continue;
+                        for (std::size_t kw = 0; kw < params_.kernel;
+                             ++kw) {
+                            const long iw = w0 + static_cast<long>(kw);
+                            if (iw < 0 ||
+                                iw >= static_cast<long>(is.w)) {
+                                continue;
+                            }
+                            const std::size_t idx = is.index(
+                                n, c, static_cast<std::size_t>(ih),
+                                static_cast<std::size_t>(iw));
+                            if (x[idx] > best) {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    const std::size_t oidx = os.index(n, c, oh, ow);
+                    out[oidx] = best;
+                    argmax_[oidx] = best_idx;
+                }
+            }
+        }
+    }
+}
+
+void
+MaxPoolLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &out_grad,
+                       std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    panic_if(argmax_.size() != out.size(),
+             "maxpool '", name(), "' backward without forward");
+    Tensor &dx = in_grads[0];
+    for (std::size_t i = 0; i < out.size(); ++i)
+        dx[argmax_[i]] += out_grad[i];
+}
+
+std::size_t
+MaxPoolLayer::comparisonCount(const std::vector<Shape> &in) const
+{
+    const Shape os = outputShape(in);
+    return os.size() * (params_.kernel * params_.kernel - 1);
+}
+
+AvgPoolLayer::AvgPoolLayer(std::string name, PoolParams params)
+    : Layer(std::move(name)), params_(params)
+{
+}
+
+Shape
+AvgPoolLayer::outputShape(const std::vector<Shape> &in) const
+{
+    validate("avgpool", name(), params_, in);
+    return Shape(in[0].n, in[0].c, params_.outExtent(in[0].h),
+                 params_.outExtent(in[0].w));
+}
+
+void
+AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const Shape &is = x.shape();
+    const Shape os = outputShape({is});
+    if (out.shape() != os)
+        out = Tensor(os);
+
+    for (std::size_t n = 0; n < os.n; ++n) {
+        for (std::size_t c = 0; c < os.c; ++c) {
+            for (std::size_t oh = 0; oh < os.h; ++oh) {
+                for (std::size_t ow = 0; ow < os.w; ++ow) {
+                    const long h0 = static_cast<long>(oh *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    const long w0 = static_cast<long>(ow *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    double acc = 0.0;
+                    std::size_t count = 0;
+                    for (std::size_t kh = 0; kh < params_.kernel; ++kh) {
+                        const long ih = h0 + static_cast<long>(kh);
+                        if (ih < 0 || ih >= static_cast<long>(is.h))
+                            continue;
+                        for (std::size_t kw = 0; kw < params_.kernel;
+                             ++kw) {
+                            const long iw = w0 + static_cast<long>(kw);
+                            if (iw < 0 ||
+                                iw >= static_cast<long>(is.w)) {
+                                continue;
+                            }
+                            acc += x.at(n, c,
+                                        static_cast<std::size_t>(ih),
+                                        static_cast<std::size_t>(iw));
+                            ++count;
+                        }
+                    }
+                    out.at(n, c, oh, ow) =
+                        count ? static_cast<float>(acc /
+                                                   static_cast<double>(
+                                                       count))
+                              : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+void
+AvgPoolLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &out_grad,
+                       std::vector<Tensor> &in_grads)
+{
+    const Tensor &x = *in[0];
+    const Shape &is = x.shape();
+    const Shape &os = out.shape();
+    Tensor &dx = in_grads[0];
+
+    for (std::size_t n = 0; n < os.n; ++n) {
+        for (std::size_t c = 0; c < os.c; ++c) {
+            for (std::size_t oh = 0; oh < os.h; ++oh) {
+                for (std::size_t ow = 0; ow < os.w; ++ow) {
+                    const long h0 = static_cast<long>(oh *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    const long w0 = static_cast<long>(ow *
+                                                      params_.stride) -
+                                    static_cast<long>(params_.pad);
+                    std::size_t count = 0;
+                    for (std::size_t kh = 0; kh < params_.kernel; ++kh) {
+                        const long ih = h0 + static_cast<long>(kh);
+                        if (ih < 0 || ih >= static_cast<long>(is.h))
+                            continue;
+                        for (std::size_t kw = 0; kw < params_.kernel;
+                             ++kw) {
+                            const long iw = w0 + static_cast<long>(kw);
+                            if (iw >= 0 && iw < static_cast<long>(is.w))
+                                ++count;
+                        }
+                    }
+                    if (count == 0)
+                        continue;
+                    const float g = out_grad.at(n, c, oh, ow) /
+                                    static_cast<float>(count);
+                    for (std::size_t kh = 0; kh < params_.kernel; ++kh) {
+                        const long ih = h0 + static_cast<long>(kh);
+                        if (ih < 0 || ih >= static_cast<long>(is.h))
+                            continue;
+                        for (std::size_t kw = 0; kw < params_.kernel;
+                             ++kw) {
+                            const long iw = w0 + static_cast<long>(kw);
+                            if (iw < 0 ||
+                                iw >= static_cast<long>(is.w)) {
+                                continue;
+                            }
+                            dx.at(n, c, static_cast<std::size_t>(ih),
+                                  static_cast<std::size_t>(iw)) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace nn
+} // namespace redeye

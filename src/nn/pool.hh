@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Spatial pooling layers (max and average).
+ *
+ * Pooling windows follow Caffe's ceil-mode semantics (GoogLeNet's
+ * pool layers rely on it): the output extent is
+ * ceil((in + 2*pad - kernel) / stride) + 1, and windows are clipped to
+ * the padded input.
+ */
+
+#ifndef REDEYE_NN_POOL_HH
+#define REDEYE_NN_POOL_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Static configuration for pooling. */
+struct PoolParams {
+    std::size_t kernel = 2;
+    std::size_t stride = 2;
+    std::size_t pad = 0;
+
+    std::size_t outExtent(std::size_t in) const;
+};
+
+/** Max pooling: propagate the largest response in the window. */
+class MaxPoolLayer : public Layer
+{
+  public:
+    MaxPoolLayer(std::string name, PoolParams params);
+
+    LayerKind kind() const override { return LayerKind::MaxPool; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    const PoolParams &poolParams() const { return params_; }
+
+    /** Comparator invocations per forward pass (RedEye workload). */
+    std::size_t comparisonCount(const std::vector<Shape> &in) const;
+
+  private:
+    PoolParams params_;
+    std::vector<std::size_t> argmax_; ///< forward cache for backward
+};
+
+/** Average pooling over the window. */
+class AvgPoolLayer : public Layer
+{
+  public:
+    AvgPoolLayer(std::string name, PoolParams params);
+
+    LayerKind kind() const override { return LayerKind::AvgPool; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    const PoolParams &poolParams() const { return params_; }
+
+  private:
+    PoolParams params_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_POOL_HH

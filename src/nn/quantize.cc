@@ -1,0 +1,49 @@
+#include "nn/quantize.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace nn {
+
+QuantizationReport
+quantizeTensor(Tensor &t, unsigned bits)
+{
+    fatal_if(bits < 2 || bits > 16, "weight bits must be in [2, 16]");
+    QuantizationReport report;
+    const float amax = t.absMax();
+    if (amax == 0.0f || t.empty())
+        return report;
+
+    const double levels = static_cast<double>((1u << (bits - 1)) - 1);
+    const double scale = amax / levels;
+    report.scale = scale;
+
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double q = std::round(t[i] / scale) * scale;
+        const double err = std::fabs(q - t[i]);
+        report.maxError = std::max(report.maxError, err);
+        sum_sq += err * err;
+        t[i] = static_cast<float>(q);
+    }
+    report.rmsError = std::sqrt(sum_sq /
+                                static_cast<double>(t.size()));
+    return report;
+}
+
+double
+quantizeNetworkWeights(Network &net, unsigned bits)
+{
+    double worst_rms = 0.0;
+    for (Tensor *p : net.params()) {
+        const auto report = quantizeTensor(*p, bits);
+        worst_rms = std::max(worst_rms, report.rmsError);
+    }
+    return worst_rms;
+}
+
+} // namespace nn
+} // namespace redeye

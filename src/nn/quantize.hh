@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fixed-point weight quantization.
+ *
+ * RedEye stores kernel weights digitally and applies them through
+ * 8-bit tunable capacitors (Section IV-A); the paper validates that
+ * "ConvNet tasks can use 8-bit fixed-point weights with accurate
+ * operation". quantizeTensor() emulates that storage: symmetric
+ * uniform quantization to a signed n-bit grid scaled to the tensor's
+ * absolute maximum.
+ */
+
+#ifndef REDEYE_NN_QUANTIZE_HH
+#define REDEYE_NN_QUANTIZE_HH
+
+#include <cstddef>
+
+#include "tensor/tensor.hh"
+
+namespace redeye {
+namespace nn {
+
+class Network;
+
+/** Result of quantizing one tensor. */
+struct QuantizationReport {
+    double scale = 0.0;     ///< LSB step size
+    double maxError = 0.0;  ///< largest introduced absolute error
+    double rmsError = 0.0;  ///< RMS introduced error
+};
+
+/**
+ * Quantize @p t in place to a symmetric signed @p bits grid
+ * (levels -(2^(bits-1)-1) ... +(2^(bits-1)-1)) scaled to absMax.
+ *
+ * @return Error statistics of the rounding.
+ */
+QuantizationReport quantizeTensor(Tensor &t, unsigned bits);
+
+/**
+ * Quantize every parameter tensor of @p net to @p bits (RedEye default
+ * 8). Returns the worst per-tensor RMS error.
+ */
+double quantizeNetworkWeights(Network &net, unsigned bits = 8);
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_QUANTIZE_HH

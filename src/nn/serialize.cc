@@ -1,0 +1,166 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/logging.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52454457; // "REDW"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    fatal_if(!is, "truncated weight stream");
+    return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU32(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto len = readU32(is);
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    fatal_if(!is, "truncated weight stream");
+    return s;
+}
+
+struct ParamRef {
+    std::string key;
+    Tensor *tensor;
+};
+
+std::vector<ParamRef>
+collect(Network &net)
+{
+    std::vector<ParamRef> refs;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        Layer &layer = net.layerAt(i);
+        auto params = layer.params();
+        for (std::size_t k = 0; k < params.size(); ++k) {
+            refs.push_back(
+                {layer.name() + "#" + std::to_string(k), params[k]});
+        }
+    }
+    return refs;
+}
+
+} // namespace
+
+void
+saveWeights(Network &net, std::ostream &os)
+{
+    auto refs = collect(net);
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    writeU32(os, static_cast<std::uint32_t>(refs.size()));
+    for (const auto &ref : refs) {
+        writeString(os, ref.key);
+        const Shape &s = ref.tensor->shape();
+        writeU32(os, static_cast<std::uint32_t>(s.n));
+        writeU32(os, static_cast<std::uint32_t>(s.c));
+        writeU32(os, static_cast<std::uint32_t>(s.h));
+        writeU32(os, static_cast<std::uint32_t>(s.w));
+        os.write(reinterpret_cast<const char *>(ref.tensor->data()),
+                 static_cast<std::streamsize>(ref.tensor->size() *
+                                              sizeof(float)));
+    }
+    fatal_if(!os, "failed writing weight stream");
+}
+
+void
+saveWeights(Network &net, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open '", path, "' for writing");
+    saveWeights(net, os);
+}
+
+void
+loadWeights(Network &net, std::istream &is)
+{
+    auto refs = collect(net);
+    fatal_if(readU32(is) != kMagic, "not a RedEye weight stream");
+    fatal_if(readU32(is) != kVersion, "unsupported weight version");
+    const auto count = readU32(is);
+    fatal_if(count != refs.size(), "weight stream has ", count,
+             " tensors; network expects ", refs.size());
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string key = readString(is);
+        fatal_if(key != refs[i].key, "weight stream tensor '", key,
+                 "' does not match expected '", refs[i].key, "'");
+        Shape s;
+        s.n = readU32(is);
+        s.c = readU32(is);
+        s.h = readU32(is);
+        s.w = readU32(is);
+        fatal_if(!(s == refs[i].tensor->shape()), "tensor '", key,
+                 "' shape ", s.str(), " != expected ",
+                 refs[i].tensor->shape().str());
+        is.read(reinterpret_cast<char *>(refs[i].tensor->data()),
+                static_cast<std::streamsize>(refs[i].tensor->size() *
+                                             sizeof(float)));
+        fatal_if(!is, "truncated weight stream");
+    }
+}
+
+void
+loadWeights(Network &net, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot open '", path, "' for reading");
+    loadWeights(net, is);
+}
+
+std::size_t
+copyWeightsByName(Network &dst, Network &src)
+{
+    std::size_t copied = 0;
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        Layer &layer = dst.layerAt(i);
+        if (!src.hasLayer(layer.name()))
+            continue;
+        Layer &from = src.layer(layer.name());
+        auto dst_params = layer.params();
+        auto src_params = from.params();
+        fatal_if(dst_params.size() != src_params.size(),
+                 "layer '", layer.name(),
+                 "' parameter count differs between networks");
+        for (std::size_t k = 0; k < dst_params.size(); ++k) {
+            fatal_if(!(dst_params[k]->shape() ==
+                       src_params[k]->shape()),
+                     "layer '", layer.name(), "' parameter ", k,
+                     " shape mismatch: ",
+                     dst_params[k]->shape().str(), " vs ",
+                     src_params[k]->shape().str());
+            dst_params[k]->vec() = src_params[k]->vec();
+            ++copied;
+        }
+    }
+    return copied;
+}
+
+} // namespace nn
+} // namespace redeye

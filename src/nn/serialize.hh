@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary parameter serialization.
+ *
+ * Saves/loads every parameter tensor of a network keyed by layer name
+ * and parameter index, so examples can train once and reuse weights.
+ * The format is a simple tagged binary stream; load validates shapes.
+ */
+
+#ifndef REDEYE_NN_SERIALIZE_HH
+#define REDEYE_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace redeye {
+namespace nn {
+
+class Network;
+
+/** Write all parameters of @p net to @p os. */
+void saveWeights(Network &net, std::ostream &os);
+
+/** Write all parameters of @p net to the named file (fatal on error). */
+void saveWeights(Network &net, const std::string &path);
+
+/**
+ * Read parameters into @p net from @p is. Layer names and shapes must
+ * match exactly (fatal otherwise).
+ */
+void loadWeights(Network &net, std::istream &is);
+
+/** Read parameters from the named file (fatal on error). */
+void loadWeights(Network &net, const std::string &path);
+
+/**
+ * Copy parameters from @p src into every layer of @p dst that has a
+ * same-named counterpart in @p src (shapes must match; fatal
+ * otherwise). Layers of @p dst absent from @p src are left as-is.
+ * Used to initialize a subnetwork (e.g. an analog prefix) from a
+ * trained full network.
+ *
+ * @return Number of parameter tensors copied.
+ */
+std::size_t copyWeightsByName(Network &dst, Network &src);
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_SERIALIZE_HH

@@ -1,0 +1,125 @@
+#include "nn/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+Shape
+SoftmaxLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "softmax '", name(), "' takes one input");
+    fatal_if(in[0].h != 1 || in[0].w != 1, "softmax '", name(),
+             "' expects flattened (n, c, 1, 1) input, got ",
+             in[0].str());
+    return in[0];
+}
+
+void
+SoftmaxLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+{
+    const Tensor &x = *in[0];
+    const Shape &s = x.shape();
+    if (out.shape() != s)
+        out = Tensor(s);
+
+    for (std::size_t n = 0; n < s.n; ++n) {
+        const float *xi = x.data() + n * s.c;
+        float *oi = out.data() + n * s.c;
+        const float m = *std::max_element(xi, xi + s.c);
+        double sum = 0.0;
+        for (std::size_t c = 0; c < s.c; ++c) {
+            oi[c] = std::exp(xi[c] - m);
+            sum += oi[c];
+        }
+        const auto inv = static_cast<float>(1.0 / sum);
+        for (std::size_t c = 0; c < s.c; ++c)
+            oi[c] *= inv;
+    }
+}
+
+void
+SoftmaxLayer::backward(const std::vector<const Tensor *> &in,
+                       const Tensor &out, const Tensor &out_grad,
+                       std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    const Shape &s = out.shape();
+    Tensor &dx = in_grads[0];
+    for (std::size_t n = 0; n < s.n; ++n) {
+        const float *y = out.data() + n * s.c;
+        const float *g = out_grad.data() + n * s.c;
+        float *d = dx.data() + n * s.c;
+        double dot = 0.0;
+        for (std::size_t c = 0; c < s.c; ++c)
+            dot += static_cast<double>(y[c]) * g[c];
+        for (std::size_t c = 0; c < s.c; ++c)
+            d[c] += y[c] * (g[c] - static_cast<float>(dot));
+    }
+}
+
+double
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<std::int32_t> &labels, Tensor &grad)
+{
+    const Shape &s = logits.shape();
+    panic_if(s.h != 1 || s.w != 1, "loss expects (n, c, 1, 1) logits");
+    panic_if(labels.size() != s.n, "label count ", labels.size(),
+             " != batch ", s.n);
+    if (grad.shape() != s)
+        grad = Tensor(s);
+
+    double loss = 0.0;
+    const auto inv_batch = 1.0 / static_cast<double>(s.n);
+    for (std::size_t n = 0; n < s.n; ++n) {
+        const float *xi = logits.data() + n * s.c;
+        float *gi = grad.data() + n * s.c;
+        const std::int32_t label = labels[n];
+        panic_if(label < 0 || static_cast<std::size_t>(label) >= s.c,
+                 "label ", label, " out of range for ", s.c,
+                 " classes");
+
+        const float m = *std::max_element(xi, xi + s.c);
+        double sum = 0.0;
+        for (std::size_t c = 0; c < s.c; ++c)
+            sum += std::exp(static_cast<double>(xi[c]) - m);
+        const double log_sum = std::log(sum) + m;
+        loss += (log_sum - xi[static_cast<std::size_t>(label)]) *
+                inv_batch;
+
+        for (std::size_t c = 0; c < s.c; ++c) {
+            const double p = std::exp(static_cast<double>(xi[c]) -
+                                      log_sum);
+            const double target =
+                c == static_cast<std::size_t>(label) ? 1.0 : 0.0;
+            gi[c] = static_cast<float>((p - target) * inv_batch);
+        }
+    }
+    return loss;
+}
+
+bool
+topNContains(const float *scores, std::size_t classes,
+             std::int32_t label, std::size_t n)
+{
+    panic_if(label < 0 || static_cast<std::size_t>(label) >= classes,
+             "label out of range");
+    const float target = scores[static_cast<std::size_t>(label)];
+    std::size_t strictly_better = 0;
+    std::size_t ties_before = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+        if (scores[c] > target) {
+            ++strictly_better;
+        } else if (scores[c] == target &&
+                   c < static_cast<std::size_t>(label)) {
+            ++ties_before;
+        }
+    }
+    return strictly_better + ties_before < n;
+}
+
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Softmax layer and softmax-cross-entropy loss.
+ *
+ * SoftmaxLayer normalizes each batch item's channel vector into a
+ * probability distribution. softmaxCrossEntropy() fuses the softmax
+ * with a cross-entropy loss over integer labels, returning the mean
+ * loss and the gradient with respect to the logits — the numerically
+ * stable formulation used by the trainer.
+ */
+
+#ifndef REDEYE_NN_SOFTMAX_HH
+#define REDEYE_NN_SOFTMAX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Per-item channel softmax. */
+class SoftmaxLayer : public Layer
+{
+  public:
+    explicit SoftmaxLayer(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Softmax; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+};
+
+/**
+ * Mean softmax-cross-entropy loss over a batch of logits.
+ *
+ * @param logits Shape (n, classes, 1, 1).
+ * @param labels One integer class per batch item.
+ * @param grad Output gradient w.r.t. the logits (resized).
+ * @return Mean loss over the batch.
+ */
+double softmaxCrossEntropy(const Tensor &logits,
+                           const std::vector<std::int32_t> &labels,
+                           Tensor &grad);
+
+/**
+ * True if the ground-truth label is among the top-n scoring classes.
+ * Ties are broken toward lower class indices.
+ */
+bool topNContains(const float *scores, std::size_t classes,
+                  std::int32_t label, std::size_t n);
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_SOFTMAX_HH

@@ -1,0 +1,69 @@
+#include "nn/solver.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace nn {
+
+SgdSolver::SgdSolver(Network &net, SolverParams params)
+    : net_(net), params_(params)
+{
+    fatal_if(params_.learningRate <= 0.0, "learning rate must be > 0");
+    fatal_if(params_.momentum < 0.0 || params_.momentum >= 1.0,
+             "momentum must be in [0, 1)");
+    for (Tensor *p : net_.params())
+        velocity_.emplace_back(p->shape());
+}
+
+double
+SgdSolver::currentLearningRate() const
+{
+    double lr = params_.learningRate;
+    if (params_.lrStep > 0) {
+        const auto decays = iteration_ / params_.lrStep;
+        lr *= std::pow(params_.lrDecay, static_cast<double>(decays));
+    }
+    return lr;
+}
+
+void
+SgdSolver::step()
+{
+    auto params = net_.params();
+    auto grads = net_.paramGrads();
+    panic_if(params.size() != grads.size() ||
+                 params.size() != velocity_.size(),
+             "parameter/gradient bookkeeping out of sync");
+
+    double scale = 1.0;
+    if (params_.gradClip > 0.0) {
+        double norm_sq = 0.0;
+        for (Tensor *g : grads) {
+            for (std::size_t i = 0; i < g->size(); ++i)
+                norm_sq += static_cast<double>((*g)[i]) * (*g)[i];
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > params_.gradClip)
+            scale = params_.gradClip / norm;
+    }
+
+    const double lr = currentLearningRate();
+    for (std::size_t k = 0; k < params.size(); ++k) {
+        Tensor &p = *params[k];
+        Tensor &g = *grads[k];
+        Tensor &v = velocity_[k];
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            const double grad = scale * g[i] +
+                                params_.weightDecay * p[i];
+            v[i] = static_cast<float>(params_.momentum * v[i] -
+                                      lr * grad);
+            p[i] += v[i];
+        }
+    }
+    ++iteration_;
+}
+
+} // namespace nn
+} // namespace redeye

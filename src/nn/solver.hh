@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SGD solver with momentum, L2 weight decay and step learning-rate
+ * decay — the recipe the GoogLeNet and AlexNet papers train with,
+ * scaled down for the in-repo MiniGoogLeNet.
+ */
+
+#ifndef REDEYE_NN_SOLVER_HH
+#define REDEYE_NN_SOLVER_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace redeye {
+namespace nn {
+
+/** Solver hyperparameters. */
+struct SolverParams {
+    double learningRate = 0.01;
+    double momentum = 0.9;
+    double weightDecay = 5e-4;
+    double lrDecay = 0.5;        ///< multiplier applied every lrStep
+    std::size_t lrStep = 0;      ///< iterations between decays (0 = off)
+    double gradClip = 0.0;       ///< max gradient L2 norm (0 = off)
+};
+
+/** Momentum SGD over a Network's parameters. */
+class SgdSolver
+{
+  public:
+    SgdSolver(Network &net, SolverParams params);
+
+    /**
+     * Apply one update step from the currently accumulated parameter
+     * gradients, then advance the iteration counter.
+     */
+    void step();
+
+    /** Iterations applied so far. */
+    std::size_t iteration() const { return iteration_; }
+
+    /** Learning rate currently in effect. */
+    double currentLearningRate() const;
+
+    const SolverParams &params() const { return params_; }
+
+  private:
+    Network &net_;
+    SolverParams params_;
+    std::size_t iteration_ = 0;
+    std::vector<Tensor> velocity_;
+};
+
+} // namespace nn
+} // namespace redeye
+
+#endif // REDEYE_NN_SOLVER_HH

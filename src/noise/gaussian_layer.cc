@@ -1,0 +1,69 @@
+#include "noise/gaussian_layer.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "noise/snr.hh"
+
+namespace redeye {
+namespace noise {
+
+GaussianNoiseLayer::GaussianNoiseLayer(std::string name, double snr_db,
+                                       Rng rng)
+    : Layer(std::move(name)), snrDb_(snr_db), rng_(rng)
+{
+}
+
+Shape
+GaussianNoiseLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "gaussian noise '", name(),
+             "' takes one input");
+    return in[0];
+}
+
+void
+GaussianNoiseLayer::forward(const std::vector<const Tensor *> &in,
+                            Tensor &out)
+{
+    const Tensor &x = *in[0];
+    if (out.shape() != x.shape())
+        out = Tensor(x.shape());
+
+    if (!enabled_ || std::isinf(snrDb_) || x.empty()) {
+        out.vec() = x.vec();
+        lastSigma_ = 0.0;
+        return;
+    }
+
+    // Signal power is the mean square of the input tensor.
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        sum_sq += static_cast<double>(x[i]) * x[i];
+    const double rms = std::sqrt(sum_sq /
+                                 static_cast<double>(x.size()));
+    const double sigma = noiseSigmaForSnr(rms, snrDb_);
+    lastSigma_ = sigma;
+
+    if (sigma == 0.0) {
+        out.vec() = x.vec();
+        return;
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = x[i] +
+                 static_cast<float>(rng_.gaussian(0.0, sigma));
+    }
+}
+
+void
+GaussianNoiseLayer::backward(const std::vector<const Tensor *> &in,
+                             const Tensor &out, const Tensor &out_grad,
+                             std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    (void)out;
+    in_grads[0].add(out_grad);
+}
+
+} // namespace noise
+} // namespace redeye

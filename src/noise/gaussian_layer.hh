@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Gaussian noise layer.
+ *
+ * Models "noise inflicted by data transactions and computational
+ * operations" (Section III-D): i.i.d. zero-mean Gaussian noise added
+ * to its input, with standard deviation chosen so that the layer's
+ * output SNR relative to the input signal power equals the programmed
+ * value. Inserted after sampling, convolution and normalization layers
+ * by the noise injector.
+ */
+
+#ifndef REDEYE_NOISE_GAUSSIAN_LAYER_HH
+#define REDEYE_NOISE_GAUSSIAN_LAYER_HH
+
+#include "core/rng.hh"
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace noise {
+
+/** Additive Gaussian noise parameterized by SNR in dB. */
+class GaussianNoiseLayer : public nn::Layer
+{
+  public:
+    /**
+     * @param snr_db Programmed SNR; +inf disables the noise.
+     * @param rng Private random stream.
+     */
+    GaussianNoiseLayer(std::string name, double snr_db, Rng rng);
+
+    nn::LayerKind
+    kind() const override
+    {
+        return nn::LayerKind::GaussianNoise;
+    }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    /** Noise is independent of the signal: gradients pass through. */
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    /** Reprogram the SNR at run time (the RedEye noise-admission knob). */
+    void setSnrDb(double snr_db) { snrDb_ = snr_db; }
+
+    double snrDb() const { return snrDb_; }
+
+    /** Enable/disable without changing the programmed SNR. */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    bool enabled() const { return enabled_; }
+
+    /** Sigma used by the most recent forward pass (0 if disabled). */
+    double lastSigma() const { return lastSigma_; }
+
+  private:
+    double snrDb_;
+    Rng rng_;
+    bool enabled_ = true;
+    double lastSigma_ = 0.0;
+};
+
+} // namespace noise
+} // namespace redeye
+
+#endif // REDEYE_NOISE_GAUSSIAN_LAYER_HH

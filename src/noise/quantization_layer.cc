@@ -1,0 +1,94 @@
+#include "noise/quantization_layer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace noise {
+
+QuantizationNoiseLayer::QuantizationNoiseLayer(std::string name,
+                                               unsigned bits, Rng rng,
+                                               QuantizationModel model)
+    : Layer(std::move(name)), bits_(bits), rng_(rng), model_(model)
+{
+    setBits(bits);
+}
+
+void
+QuantizationNoiseLayer::setBits(unsigned bits)
+{
+    fatal_if(bits < 1 || bits > 16, "quantization '", name(),
+             "': bits must be in [1, 16], got ", bits);
+    bits_ = bits;
+}
+
+Shape
+QuantizationNoiseLayer::outputShape(const std::vector<Shape> &in) const
+{
+    fatal_if(in.size() != 1, "quantization '", name(),
+             "' takes one input");
+    return in[0];
+}
+
+void
+QuantizationNoiseLayer::forward(const std::vector<const Tensor *> &in,
+                                Tensor &out)
+{
+    const Tensor &x = *in[0];
+    if (out.shape() != x.shape())
+        out = Tensor(x.shape());
+
+    if (!enabled_ || x.empty()) {
+        out.vec() = x.vec();
+        lastLsb_ = 0.0;
+        return;
+    }
+
+    const float swing = swing_ ? *swing_ : x.absMax();
+    if (swing == 0.0f) {
+        out.vec() = x.vec();
+        lastLsb_ = 0.0;
+        return;
+    }
+
+    // Full scale [-swing, +swing] divided into 2^bits levels.
+    const double levels = std::pow(2.0, static_cast<double>(bits_));
+    const double lsb = 2.0 * static_cast<double>(swing) / levels;
+    lastLsb_ = lsb;
+
+    if (model_ == QuantizationModel::AdditiveUniform) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double e = rng_.uniform(-lsb / 2.0, lsb / 2.0);
+            out[i] = x[i] + static_cast<float>(e);
+        }
+    } else {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double clipped =
+                std::clamp(static_cast<double>(x[i]),
+                           -static_cast<double>(swing),
+                           static_cast<double>(swing));
+            // Mid-rise grid: centers at (k + 0.5) * lsb - swing.
+            double code = std::floor((clipped + swing) / lsb);
+            code = std::clamp(code, 0.0, levels - 1.0);
+            out[i] = static_cast<float>((code + 0.5) * lsb - swing);
+        }
+    }
+}
+
+void
+QuantizationNoiseLayer::backward(const std::vector<const Tensor *> &in,
+                                 const Tensor &out,
+                                 const Tensor &out_grad,
+                                 std::vector<Tensor> &in_grads)
+{
+    (void)in;
+    (void)out;
+    // Straight-through estimator: quantization error is treated as
+    // additive noise for gradient purposes.
+    in_grads[0].add(out_grad);
+}
+
+} // namespace noise
+} // namespace redeye

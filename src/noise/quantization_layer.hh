@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quantization noise layer.
+ *
+ * Represents "error introduced at the circuit output by truncating to
+ * finite ADC resolution" (Section III-D). Two models are provided:
+ *
+ *  - AdditiveUniform (paper's formulation): uniform noise of +-LSB/2
+ *    across the signal, with the LSB derived from the signal range and
+ *    the programmed resolution q.
+ *  - RoundToGrid: actually snap values to the 2^q-level grid, i.e. the
+ *    digital representation the host receives. This additionally
+ *    captures range clipping.
+ *
+ * Both reduce to the same noise power for a signal that exercises the
+ * full range.
+ */
+
+#ifndef REDEYE_NOISE_QUANTIZATION_LAYER_HH
+#define REDEYE_NOISE_QUANTIZATION_LAYER_HH
+
+#include <optional>
+
+#include "core/rng.hh"
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace noise {
+
+/** How quantization error is realized. */
+enum class QuantizationModel {
+    AdditiveUniform,
+    RoundToGrid,
+};
+
+/** ADC truncation noise parameterized by resolution (bits). */
+class QuantizationNoiseLayer : public nn::Layer
+{
+  public:
+    /**
+     * @param bits ADC resolution q (1..16).
+     * @param rng Private stream (used by the AdditiveUniform model).
+     */
+    QuantizationNoiseLayer(std::string name, unsigned bits, Rng rng,
+                           QuantizationModel model =
+                               QuantizationModel::AdditiveUniform);
+
+    nn::LayerKind
+    kind() const override
+    {
+        return nn::LayerKind::QuantizationNoise;
+    }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    /** Reprogram the resolution (the dynamic quantization mechanism). */
+    void setBits(unsigned bits);
+
+    unsigned bits() const { return bits_; }
+
+    void setModel(QuantizationModel model) { model_ = model; }
+
+    QuantizationModel model() const { return model_; }
+
+    /**
+     * Fix the full-scale range to [-swing, +swing] instead of deriving
+     * it from each tensor's absolute maximum.
+     */
+    void setSwing(std::optional<float> swing) { swing_ = swing; }
+
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    bool enabled() const { return enabled_; }
+
+    /** LSB used by the most recent forward pass. */
+    double lastLsb() const { return lastLsb_; }
+
+  private:
+    unsigned bits_;
+    Rng rng_;
+    QuantizationModel model_;
+    std::optional<float> swing_;
+    bool enabled_ = true;
+    double lastLsb_ = 0.0;
+};
+
+} // namespace noise
+} // namespace redeye
+
+#endif // REDEYE_NOISE_QUANTIZATION_LAYER_HH

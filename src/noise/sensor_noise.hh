@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Raw image sampling model.
+ *
+ * The evaluation "undoes gamma correction to simulate raw pixel
+ * values" and "emulates photodiode noise and other analog sampling
+ * effects by applying Poisson noise and fixed pattern noise in the
+ * input layer" (Section V-A). SensorSamplingLayer implements that
+ * front end:
+ *
+ *   1. inverse gamma (x^gamma) to linear photon counts,
+ *   2. Poisson shot noise at a configurable full-well electron count,
+ *   3. static per-pixel fixed-pattern noise (gain and offset),
+ *   4. additive Gaussian read noise,
+ *   5. renormalization back to [0, 1].
+ */
+
+#ifndef REDEYE_NOISE_SENSOR_NOISE_HH
+#define REDEYE_NOISE_SENSOR_NOISE_HH
+
+#include "core/rng.hh"
+#include "nn/layer.hh"
+
+namespace redeye {
+namespace noise {
+
+/** Photodiode/sampling model parameters. */
+struct SensorParams {
+    double gamma = 2.2;          ///< display gamma being undone
+    double fullWellElectrons = 4000.0; ///< electrons at full scale
+    double prnuSigma = 0.01;     ///< photo-response non-uniformity (gain)
+    double dsnuSigma = 0.002;    ///< dark-signal non-uniformity (offset)
+    double readNoiseSigma = 0.001; ///< additive read noise, full-scale units
+    bool enablePoisson = true;
+    bool enableFixedPattern = true;
+
+    /**
+     * Scene illumination scale factor; 1.0 is nominal. Low-light
+     * operation (e.g. the paper's 1-lux discussion) reduces photon
+     * counts and thus the achievable SNR.
+     */
+    double illuminationScale = 1.0;
+};
+
+/** Raw sampling front end as a network layer. */
+class SensorSamplingLayer : public nn::Layer
+{
+  public:
+    /**
+     * @param rng Stream used for shot/read noise; the fixed-pattern
+     * maps are drawn once from a fork of it (static per instance,
+     * as on a physical die).
+     */
+    SensorSamplingLayer(std::string name, SensorParams params, Rng rng);
+
+    nn::LayerKind kind() const override { return nn::LayerKind::Custom; }
+
+    Shape outputShape(const std::vector<Shape> &in) const override;
+
+    void forward(const std::vector<const Tensor *> &in,
+                 Tensor &out) override;
+
+    /** Pass-through gradient (noise treated as additive). */
+    void backward(const std::vector<const Tensor *> &in,
+                  const Tensor &out, const Tensor &out_grad,
+                  std::vector<Tensor> &in_grads) override;
+
+    const SensorParams &sensorParams() const { return params_; }
+
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Expected output SNR in dB for a mid-scale pixel under the
+     * current parameters (shot-noise limited estimate).
+     */
+    double expectedSnrDb() const;
+
+  private:
+    void materializeFixedPattern(const Shape &per_item);
+
+    SensorParams params_;
+    Rng rng_;
+    bool enabled_ = true;
+    Tensor prnuGain_;   ///< per-pixel gain map (n == 1)
+    Tensor dsnuOffset_; ///< per-pixel offset map (n == 1)
+};
+
+} // namespace noise
+} // namespace redeye
+
+#endif // REDEYE_NOISE_SENSOR_NOISE_HH

@@ -1,0 +1,57 @@
+#include "noise/snr.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace noise {
+
+double
+noiseSigmaForSnr(double signal_rms, double snr_db)
+{
+    panic_if(signal_rms < 0.0, "negative RMS");
+    return signal_rms / std::pow(10.0, snr_db / 20.0);
+}
+
+double
+snrFromSigma(double signal_rms, double sigma)
+{
+    if (sigma <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal_rms <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return 20.0 * std::log10(signal_rms / sigma);
+}
+
+double
+idealQuantizerSnrDb(unsigned bits)
+{
+    return 6.0206 * static_cast<double>(bits) + 1.7609;
+}
+
+double
+quantizerRmsError(double lsb)
+{
+    return lsb / std::sqrt(12.0);
+}
+
+double
+combineNoiseSigmas(double sigma_a, double sigma_b)
+{
+    return std::sqrt(sigma_a * sigma_a + sigma_b * sigma_b);
+}
+
+double
+cascadedSnrDb(double per_stage_snr_db, std::size_t stages)
+{
+    if (stages == 0)
+        return std::numeric_limits<double>::infinity();
+    // Noise powers add: SNR_total = SNR_stage - 10 log10(stages).
+    return per_stage_snr_db -
+           10.0 * std::log10(static_cast<double>(stages));
+}
+
+} // namespace noise
+} // namespace redeye

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SNR arithmetic shared by the noise layers and the analog energy
+ * model.
+ *
+ * Throughout the simulator SNR is a power ratio in dB:
+ * SNR = 10 log10(P_signal / P_noise). For a signal with RMS amplitude
+ * s and additive zero-mean noise of standard deviation sigma,
+ * SNR = 20 log10(s / sigma).
+ */
+
+#ifndef REDEYE_NOISE_SNR_HH
+#define REDEYE_NOISE_SNR_HH
+
+#include <cstddef>
+
+namespace redeye {
+namespace noise {
+
+/** Noise standard deviation that yields @p snr_db for RMS @p rms. */
+double noiseSigmaForSnr(double signal_rms, double snr_db);
+
+/** SNR in dB of signal RMS @p rms with noise sigma @p sigma. */
+double snrFromSigma(double signal_rms, double sigma);
+
+/**
+ * Quantization SNR of an ideal mid-rise quantizer digitizing a
+ * full-scale signal with @p bits: 6.02*bits + 1.76 dB.
+ */
+double idealQuantizerSnrDb(unsigned bits);
+
+/**
+ * RMS quantization error of an ideal quantizer with LSB step @p lsb:
+ * lsb / sqrt(12).
+ */
+double quantizerRmsError(double lsb);
+
+/** Combine two independent noise powers (variances add). */
+double combineNoiseSigmas(double sigma_a, double sigma_b);
+
+/**
+ * SNR after a chain of @p stages identical operations each adding
+ * noise at @p per_stage_snr_db relative to the same signal power.
+ */
+double cascadedSnrDb(double per_stage_snr_db, std::size_t stages);
+
+} // namespace noise
+} // namespace redeye
+
+#endif // REDEYE_NOISE_SNR_HH

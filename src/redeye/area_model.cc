@@ -1,0 +1,49 @@
+#include "redeye/area_model.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+AreaEstimate
+estimateArea(const Program &program, std::size_t pixel_columns,
+             std::size_t sram_kb, const AreaParams &params)
+{
+    fatal_if(pixel_columns == 0, "no pixel columns");
+    fatal_if(params.pixelColumnsPerSlice == 0,
+             "slice must serve at least one column");
+
+    AreaEstimate est;
+    est.columnSlices = (pixel_columns + params.pixelColumnsPerSlice -
+                        1) /
+                       params.pixelColumnsPerSlice;
+    est.sliceAreaMm2 = static_cast<double>(est.columnSlices) *
+                       params.columnSliceMm2;
+    est.mcuAreaMm2 = params.mcuWidthMm * params.mcuHeightMm;
+    est.pixelArrayMm2 = params.pixelArrayMm * params.pixelArrayMm;
+    est.sramAreaMm2 = static_cast<double>(sram_kb) *
+                      params.sramMm2PerKb;
+    est.totalMm2 = est.sliceAreaMm2 + est.mcuAreaMm2 +
+                   est.pixelArrayMm2 + est.sramAreaMm2;
+
+    // Interconnect tally per slice. Horizontal data bridges reach
+    // floor(k/2) neighbors on each side for the widest kernel.
+    const std::size_t k = std::max<std::size_t>(
+        1, program.maxKernelWidth());
+    InterconnectBreakdown &ic = est.interconnect;
+    ic.dataBridges = 2 * (k / 2);
+    // buffer->conv, conv->pool, pool->buffer (cyclic return),
+    // buffer->ADC, pixel->buffer.
+    ic.moduleLinks = 5;
+    // one cyclic route plus a bypass per processing module (conv,
+    // pool, quantization) and one global skip.
+    ic.flowControl = 1 + 4;
+    // serial weight distribution: data, strobe.
+    ic.weightBus = 2;
+    // clock, reset, row strobe, program select, noise-mode select.
+    ic.clockAndSync = 5;
+    return est;
+}
+
+} // namespace arch
+} // namespace redeye

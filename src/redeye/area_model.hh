@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Silicon area model (Section V-D).
+ *
+ * "We estimate the silicon area using the sizes of unit circuit
+ * components, multiplied by the number of components on chip. Each
+ * column slice is estimated to occupy 0.225 mm^2, with a low
+ * interconnect complexity of 23 per column. ... In total, RedEye
+ * components amount to a die size of 10.2 x 5.0 mm^2, including the
+ * 0.5 x 7 mm^2 customized on-chip microcontroller and the
+ * 4.5 x 4.5 mm^2 pixel array."
+ *
+ * One column slice serves a stride-2 column pair (the first
+ * convolution halves the horizontal rate), so a 227-column pixel
+ * array needs 114 slices: 114 x 0.225 = 25.7 mm^2 of processing
+ * fabric.
+ */
+
+#ifndef REDEYE_REDEYE_AREA_MODEL_HH
+#define REDEYE_REDEYE_AREA_MODEL_HH
+
+#include <cstddef>
+
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+
+/** Unit-component areas in 0.18 um [mm^2]. */
+struct AreaParams {
+    double columnSliceMm2 = 0.225;
+    double mcuWidthMm = 0.5;
+    double mcuHeightMm = 7.0;
+    double pixelArrayMm = 4.5;  ///< square pixel array edge
+    double sramMm2PerKb = 0.012; ///< on-chip SRAM density
+    std::size_t pixelColumnsPerSlice = 2; ///< stride-2 pairing
+};
+
+/** Interconnect tally of one column slice. */
+struct InterconnectBreakdown {
+    std::size_t dataBridges = 0;  ///< horizontal neighbor taps
+    std::size_t moduleLinks = 0;  ///< buffer/conv/pool/ADC chain
+    std::size_t flowControl = 0;  ///< cyclic + per-module bypass
+    std::size_t weightBus = 0;    ///< kernel distribution
+    std::size_t clockAndSync = 0; ///< clock, reset, row strobe
+
+    std::size_t
+    total() const
+    {
+        return dataBridges + moduleLinks + flowControl + weightBus +
+               clockAndSync;
+    }
+};
+
+/** Whole-chip area estimate. */
+struct AreaEstimate {
+    std::size_t columnSlices = 0;
+    double sliceAreaMm2 = 0.0;
+    double mcuAreaMm2 = 0.0;
+    double pixelArrayMm2 = 0.0;
+    double sramAreaMm2 = 0.0;
+    double totalMm2 = 0.0;
+    InterconnectBreakdown interconnect;
+};
+
+/**
+ * Estimate chip area for a device with @p pixel_columns running
+ * @p program (whose maximum kernel width sets the bridge reach).
+ */
+AreaEstimate estimateArea(const Program &program,
+                          std::size_t pixel_columns,
+                          std::size_t sram_kb = 128,
+                          const AreaParams &params = AreaParams{});
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_AREA_MODEL_HH

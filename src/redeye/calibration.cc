@@ -1,0 +1,23 @@
+#include "redeye/calibration.hh"
+
+namespace redeye {
+namespace arch {
+
+Calibration
+Calibration::paper()
+{
+    // Constants fit (tools/fit_calibration) so that, with the
+    // GoogLeNet partitions of Figure 6 on 227x227 frames:
+    //  - Depth5 at 40 dB / 4-bit consumes 1.4 mJ analog (Table I),
+    //  - one 10-bit readout sample costs 7.116 nJ, reproducing the
+    //    1.1 mJ conventional-sensor baseline (Section V-B),
+    //  - Depth5 processes a frame in 32 ms (Figure 7b).
+    Calibration c;
+    c.analogScale = 5.2051;
+    c.readoutScale = 837.697;
+    c.timingScale = 2.1058;
+    return c;
+}
+
+} // namespace arch
+} // namespace redeye

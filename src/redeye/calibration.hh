@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Calibration of the behavioral energy/timing model.
+ *
+ * The paper extracts absolute noise/power/timing parameters from
+ * Cadence Spectre; we instead anchor the closed-form circuit physics
+ * to every absolute number the paper publishes:
+ *
+ *  - Table I: Depth5 at 40/50/60 dB consumes 1.4/14/140 mJ per frame
+ *    (energy linear in the fidelity capacitance).
+ *  - Section V-B: Depth1 processing + quantization is 0.17 mJ; the
+ *    conventional 10-bit 227x227 image sensor's analog portion is
+ *    1.1 mJ per frame.
+ *  - Figure 7b: Depth5 processes a frame in 32 ms.
+ *
+ * analogScale multiplies the physical per-operation energies of the
+ * circuit primitives (absorbing wiring, clock distribution and bias
+ * overheads the primitives do not model); readoutScale does the same
+ * for the conservative survey-based readout estimate; timingScale
+ * stretches the minimal settling slots to the scheduled slot length.
+ * The calibration tests assert the anchors above hold within a few
+ * percent.
+ */
+
+#ifndef REDEYE_REDEYE_CALIBRATION_HH
+#define REDEYE_REDEYE_CALIBRATION_HH
+
+namespace redeye {
+namespace arch {
+
+/** Behavioral-model calibration constants. */
+struct Calibration {
+    /** Multiplier on analog processing energy (MAC, memory, cmp). */
+    double analogScale = 1.0;
+
+    /** Multiplier on SAR readout conversion energy. */
+    double readoutScale = 1.0;
+
+    /** Multiplier on minimal settling time per scheduled slot. */
+    double timingScale = 1.0;
+
+    /** Constants fit to the paper's anchors (see file comment). */
+    static Calibration paper();
+
+    /** Uncalibrated raw circuit physics. */
+    static Calibration raw() { return Calibration{}; }
+};
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_CALIBRATION_HH

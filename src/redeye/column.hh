@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Column-parallel functional execution engine.
+ *
+ * The structural counterpart of the analytic energy model: a
+ * ColumnArray instantiates per-column module circuits (buffer cells,
+ * MAC, comparator, SAR ADC from src/analog) and routes real signal
+ * values through them, one output row per timestep, with every
+ * circuit-level noise and energy mechanism engaged. Output x
+ * positions map onto columns; horizontally adjacent columns bridge
+ * their buffered samples for kernel windows (Section III-B3).
+ *
+ * Used for bit-level validation (does the analog pipeline compute
+ * the ConvNet?) and for measuring realized SNR against the
+ * noise-layer abstraction.
+ */
+
+#ifndef REDEYE_REDEYE_COLUMN_HH
+#define REDEYE_REDEYE_COLUMN_HH
+
+#include <memory>
+#include <vector>
+
+#include "analog/comparator.hh"
+#include "analog/mac_unit.hh"
+#include "analog/memory_cell.hh"
+#include "analog/sar_adc.hh"
+#include "core/rng.hh"
+#include "nn/conv.hh"
+#include "nn/pool.hh"
+#include "redeye/energy_model.hh"
+#include "tensor/tensor.hh"
+
+namespace redeye {
+namespace arch {
+
+/** Static configuration of the functional array. */
+struct ColumnArrayConfig {
+    std::size_t columns = 32;
+    double convSnrDb = 40.0;
+    unsigned weightBits = 8;
+    unsigned adcBits = 4;
+};
+
+/** Column-parallel mixed-signal execution engine. */
+class ColumnArray
+{
+  public:
+    ColumnArray(ColumnArrayConfig config,
+                analog::ProcessParams process, Rng rng);
+
+    /**
+     * Execute a convolution layer's arithmetic through the MAC
+     * circuits. @p in is a single-item (1, C, H, W) tensor in value
+     * domain; kernel weights are quantized to the array's digital
+     * weight resolution on the fly.
+     *
+     * @param rectify Clip outputs at the rectified signal range
+     * (the folded ReLU).
+     */
+    Tensor runConvolution(const Tensor &in,
+                          nn::ConvolutionLayer &layer, bool rectify);
+
+    /** Execute max pooling through the comparator circuits. */
+    Tensor runMaxPool(const Tensor &in, const nn::MaxPoolLayer &layer);
+
+    /**
+     * Quantize through the per-column SAR ADCs and reconstruct to
+     * value domain (what the host receives after bit alignment).
+     */
+    Tensor runQuantization(const Tensor &in);
+
+    /** Reprogram the noise admission of the conv modules. */
+    void setConvSnrDb(double snr_db);
+
+    /** Reprogram the ADC resolution. */
+    void setAdcBits(unsigned bits);
+
+    /** Accrued energy by category since the last reset. */
+    EnergyBreakdown energy() const;
+
+    void resetEnergy();
+
+    /** Comparator decisions forced by the metastability timeout. */
+    std::size_t forcedDecisions() const;
+
+    const ColumnArrayConfig &config() const { return config_; }
+
+  private:
+    /** Per-column circuit instances. */
+    struct Column {
+        Column(const ColumnArrayConfig &config,
+               const analog::ProcessParams &process, Rng &rng);
+
+        analog::MacUnit mac;
+        analog::AnalogMemoryCell buffer;
+        analog::DynamicComparator comparator;
+        analog::SarAdc adc;
+    };
+
+    Column &columnFor(std::size_t x) { return cols_[x % cols_.size()]; }
+
+    ColumnArrayConfig config_;
+    analog::ProcessParams process_;
+    Rng rng_;
+    std::vector<Column> cols_;
+};
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_COLUMN_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ConvNet-to-RedEye compiler.
+ *
+ * Lowers the analog prefix of a partitioned network onto RedEye
+ * module engagements:
+ *
+ *  - Convolution   -> convolutional module instruction
+ *  - ReLU          -> folded into the preceding convolution (the
+ *                     module clips at maximum swing)
+ *  - LRN           -> folded as weight renormalization of the
+ *                     preceding convolution (Section III-B)
+ *  - MaxPool       -> max pooling module instruction
+ *  - AvgPool       -> lowered to a convolution with uniform weights
+ *  - Concat        -> pure routing (flow control), no instruction
+ *  - anything else -> fatal: RedEye cannot execute it; the developer
+ *                     must cut the partition earlier
+ *
+ * A quantization instruction is appended at the cut.
+ */
+
+#ifndef REDEYE_REDEYE_COMPILER_HH
+#define REDEYE_REDEYE_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "redeye/config.hh"
+#include "redeye/program.hh"
+
+namespace redeye {
+
+namespace nn {
+class Network;
+}
+
+namespace arch {
+
+/**
+ * Compile the prefix of @p net formed by @p analog_layers into a
+ * RedEye program under @p config. Layer names must exist in the
+ * network; fatal on layers RedEye cannot express.
+ */
+Program compile(nn::Network &net,
+                const std::vector<std::string> &analog_layers,
+                const RedEyeConfig &config);
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_COMPILER_HH

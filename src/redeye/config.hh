@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Run-time configuration of a RedEye device: the knobs a developer
+ * loads into the program SRAM alongside the ConvNet definition
+ * (Section III-C) plus the fixed platform constants of Section V-D.
+ */
+
+#ifndef REDEYE_REDEYE_CONFIG_HH
+#define REDEYE_REDEYE_CONFIG_HH
+
+#include <map>
+#include <string>
+
+namespace redeye {
+namespace arch {
+
+/** Device configuration. */
+struct RedEyeConfig {
+    /** ADC resolution of the quantization module (dynamic knob). */
+    unsigned adcBits = 4;
+
+    /** Default noise admission for convolutional modules [dB]. */
+    double convSnrDb = 40.0;
+
+    /**
+     * Per-layer SNR overrides, keyed by network layer name; layers
+     * absent here use convSnrDb.
+     */
+    std::map<std::string, double> layerSnrDb;
+
+    /** Target frame rate [fps]. */
+    double frameRate = 30.0;
+
+    /** Central controller clock [Hz] (Section V-D: 250 MHz). */
+    double controllerClockHz = 250e6;
+
+    /**
+     * Cortex-M0+ power/frequency ratio in 0.18 um [W/Hz]
+     * (47.4 uW/MHz).
+     */
+    double controllerPowerPerHz = 47.4e-12;
+
+    /** Columns in the array (one per pixel column). */
+    std::size_t columns = 227;
+
+    /** SNR programmed for a given layer. */
+    double
+    snrForLayer(const std::string &layer) const
+    {
+        auto it = layerSnrDb.find(layer);
+        return it == layerSnrDb.end() ? convSnrDb : it->second;
+    }
+};
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_CONFIG_HH

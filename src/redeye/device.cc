@@ -1,0 +1,160 @@
+#include "redeye/device.hh"
+
+#include <cmath>
+#include <set>
+
+#include "core/logging.hh"
+#include "nn/concat.hh"
+#include "nn/lrn.hh"
+#include "nn/network.hh"
+#include "noise/snr.hh"
+
+namespace redeye {
+namespace arch {
+
+RedEyeDevice::RedEyeDevice(ColumnArrayConfig config,
+                           analog::ProcessParams process, Rng rng)
+    : array_(config, process, rng.fork()), rng_(rng)
+{
+}
+
+DeviceRun
+RedEyeDevice::run(nn::Network &net,
+                  const std::vector<std::string> &analog_layers,
+                  const Tensor &input)
+{
+    fatal_if(input.shape().n != 1,
+             "device executes one frame at a time");
+    std::set<std::string> wanted(analog_layers.begin(),
+                                 analog_layers.end());
+    for (const auto &name : analog_layers) {
+        fatal_if(!net.hasLayer(name), "network has no layer '", name,
+                 "'");
+    }
+
+    array_.resetEnergy();
+    DeviceRun result;
+    std::map<std::string, Tensor> acts;
+    Tensor last = input;
+    std::string last_name = nn::kInputName;
+
+    auto fetch = [&](const std::string &name) -> const Tensor & {
+        if (name == nn::kInputName)
+            return input;
+        auto it = acts.find(name);
+        fatal_if(it == acts.end(), "analog layer consumes '", name,
+                 "', which is not in the partition");
+        return it->second;
+    };
+
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        nn::Layer &layer = net.layerAt(i);
+        if (!wanted.count(layer.name()))
+            continue;
+        const auto inputs = net.inputsOf(i);
+        Tensor out;
+
+        switch (layer.kind()) {
+          case nn::LayerKind::Convolution: {
+            auto &conv = static_cast<nn::ConvolutionLayer &>(layer);
+            // Fold an immediately following in-partition ReLU.
+            bool rectify = false;
+            if (i + 1 < net.size()) {
+                nn::Layer &next = net.layerAt(i + 1);
+                if (next.kind() == nn::LayerKind::ReLU &&
+                    wanted.count(next.name())) {
+                    rectify = true;
+                }
+            }
+            out = array_.runConvolution(fetch(inputs[0]), conv,
+                                        rectify);
+            break;
+          }
+          case nn::LayerKind::ReLU: {
+            // Either folded into the preceding conv (then this is a
+            // copy) or applied as clipping on a buffered tensor.
+            const Tensor &x = fetch(inputs[0]);
+            out = x;
+            for (std::size_t k = 0; k < out.size(); ++k)
+                out[k] = std::max(0.0f, out[k]);
+            break;
+          }
+          case nn::LayerKind::MaxPool: {
+            auto &pool = static_cast<nn::MaxPoolLayer &>(layer);
+            out = array_.runMaxPool(fetch(inputs[0]), pool);
+            break;
+          }
+          case nn::LayerKind::AvgPool: {
+            // Lowered to a uniform-weight convolution on hardware;
+            // functionally: exact mean + conv-module noise.
+            std::vector<const Tensor *> ins{&fetch(inputs[0])};
+            layer.forward(ins, out);
+            const double rms = std::sqrt(
+                out.vec().empty()
+                    ? 0.0
+                    : [&] {
+                          double s = 0.0;
+                          for (float v : out.vec())
+                              s += static_cast<double>(v) * v;
+                          return s / static_cast<double>(out.size());
+                      }());
+            const double sigma = noise::noiseSigmaForSnr(
+                rms, array_.config().convSnrDb);
+            for (std::size_t k = 0; k < out.size(); ++k) {
+                out[k] += static_cast<float>(
+                    rng_.gaussian(0.0, sigma));
+            }
+            break;
+          }
+          case nn::LayerKind::LRN: {
+            // Realized as conv-module weight renormalization: exact
+            // math plus module noise at the programmed SNR.
+            std::vector<const Tensor *> ins{&fetch(inputs[0])};
+            layer.forward(ins, out);
+            double s = 0.0;
+            for (float v : out.vec())
+                s += static_cast<double>(v) * v;
+            const double rms = out.size()
+                                   ? std::sqrt(s /
+                                               static_cast<double>(
+                                                   out.size()))
+                                   : 0.0;
+            const double sigma = noise::noiseSigmaForSnr(
+                rms, array_.config().convSnrDb);
+            for (std::size_t k = 0; k < out.size(); ++k) {
+                out[k] += static_cast<float>(
+                    rng_.gaussian(0.0, sigma));
+            }
+            break;
+          }
+          case nn::LayerKind::Concat: {
+            auto &concat = static_cast<nn::ConcatLayer &>(layer);
+            std::vector<const Tensor *> ins;
+            for (const auto &name : inputs)
+                ins.push_back(&fetch(name));
+            concat.forward(ins, out);
+            break;
+          }
+          default:
+            fatal("RedEye device cannot execute layer '",
+                  layer.name(), "' of kind ",
+                  nn::layerKindName(layer.kind()));
+        }
+
+        result.executedLayers.push_back(layer.name());
+        acts[layer.name()] = out;
+        last = std::move(out);
+        last_name = layer.name();
+    }
+
+    fatal_if(result.executedLayers.empty(),
+             "partition executed no layers");
+
+    result.features = array_.runQuantization(last);
+    result.energy = array_.energy();
+    result.forcedDecisions = array_.forcedDecisions();
+    return result;
+}
+
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RedEyeDevice: functional whole-partition execution.
+ *
+ * Drives the ColumnArray through every analog layer of a partitioned
+ * network — convolutions (with folded ReLU), max pooling, LRN (weight
+ * renormalization with module noise), concat routing — and exports
+ * the quantized cut tensor, exactly what the host would retrieve from
+ * the feature SRAM. Collects the realized energy breakdown alongside.
+ */
+
+#ifndef REDEYE_REDEYE_DEVICE_HH
+#define REDEYE_REDEYE_DEVICE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "redeye/column.hh"
+
+namespace redeye {
+
+namespace nn {
+class Network;
+}
+
+namespace arch {
+
+/** Result of a functional frame execution. */
+struct DeviceRun {
+    Tensor features;      ///< quantized cut tensor (value domain)
+    EnergyBreakdown energy;
+    std::size_t forcedDecisions = 0;
+    std::vector<std::string> executedLayers;
+};
+
+/** Functional RedEye device. */
+class RedEyeDevice
+{
+  public:
+    RedEyeDevice(ColumnArrayConfig config,
+                 analog::ProcessParams process, Rng rng);
+
+    /**
+     * Execute the analog prefix @p analog_layers of @p net on the
+     * single-frame tensor @p input (1, C, H, W), returning the
+     * quantized features crossing the A/D boundary.
+     */
+    DeviceRun run(nn::Network &net,
+                  const std::vector<std::string> &analog_layers,
+                  const Tensor &input);
+
+    ColumnArray &array() { return array_; }
+
+  private:
+    ColumnArray array_;
+    Rng rng_;
+};
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_DEVICE_HH

@@ -1,0 +1,198 @@
+#include "redeye/energy_model.hh"
+
+#include <cmath>
+
+#include "analog/capacitor.hh"
+#include "analog/comparator.hh"
+#include "analog/mac_unit.hh"
+#include "analog/memory_cell.hh"
+#include "analog/noise_damping.hh"
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+namespace {
+
+/** MAC unit programmed to @p snr_db. */
+analog::MacUnit
+macAt(double snr_db, const analog::ProcessParams &process)
+{
+    analog::MacUnit mac(analog::MacParams{}, process);
+    mac.setSnrDb(snr_db);
+    return mac;
+}
+
+/** Buffer cell sized for @p snr_db fidelity. */
+analog::MemoryCellParams
+bufferCellAt(double snr_db)
+{
+    analog::MemoryCellParams p;
+    p.holdCapF = analog::dampingCapForSnr(snr_db);
+    return p;
+}
+
+} // namespace
+
+RedEyeModel::RedEyeModel(Program program, RedEyeConfig config,
+                         analog::ProcessParams process,
+                         Calibration calibration)
+    : program_(std::move(program)), config_(config), process_(process),
+      calibration_(calibration)
+{
+    fatal_if(program_.empty(), "cannot model an empty program");
+    fatal_if(config_.columns == 0, "column array cannot be empty");
+    fatal_if(config_.frameRate <= 0.0, "frame rate must be positive");
+}
+
+double
+RedEyeModel::macEnergyJ(double snr_db, std::size_t taps) const
+{
+    const auto mac = macAt(snr_db, process_);
+    return calibration_.analogScale * mac.energyPerWindow(taps) /
+           static_cast<double>(taps);
+}
+
+double
+RedEyeModel::macCycleTimeS(double snr_db) const
+{
+    const auto mac = macAt(snr_db, process_);
+    return calibration_.timingScale * mac.timePerWindow(8) /
+           static_cast<double>(mac.macParams().inputs) * 8.0;
+}
+
+double
+RedEyeModel::conversionEnergyJ() const
+{
+    // SAR switching + per-bit comparator energy, scaled by the
+    // conservative survey-based readout calibration.
+    const unsigned n = config_.adcBits;
+    const double c_sigma = std::ldexp(process_.unitCapF,
+                                      static_cast<int>(n));
+    const double vref = process_.signalSwing;
+    analog::ComparatorParams cmp;
+    const double raw = c_sigma * vref * vref +
+                       static_cast<double>(n) * cmp.energyPerDecisionJ;
+    return calibration_.readoutScale * raw;
+}
+
+double
+RedEyeModel::bufferAccessEnergyJ() const
+{
+    const auto cell_params = bufferCellAt(config_.convSnrDb);
+    analog::AnalogMemoryCell cell(cell_params, process_);
+    return calibration_.analogScale *
+           (cell.writeEnergy() + cell.readEnergy());
+}
+
+FrameEstimate
+RedEyeModel::estimateFrame() const
+{
+    FrameEstimate est;
+    analog::ComparatorParams cmp_params;
+
+    for (const auto &instr : program_.instructions()) {
+        InstructionCost cost;
+        cost.layer = instr.layer;
+        cost.kind = instr.kind;
+
+        // Active columns: one per output x position, capped by the
+        // physical array width.
+        const std::size_t active = std::max<std::size_t>(
+            1, std::min(config_.columns, instr.outShape.w));
+
+        switch (instr.kind) {
+          case ModuleKind::Convolution: {
+            const auto mac = macAt(instr.snrDb, process_);
+            const std::size_t windows = instr.outShape.size();
+            cost.energyJ = calibration_.analogScale *
+                           mac.energyPerWindow(instr.taps) *
+                           static_cast<double>(windows);
+            est.energy.macJ += cost.energyJ;
+
+            const double window_time =
+                calibration_.timingScale *
+                mac.timePerWindow(instr.taps);
+            cost.timeS = window_time *
+                         static_cast<double>(windows) /
+                         static_cast<double>(active);
+            break;
+          }
+          case ModuleKind::MaxPooling: {
+            const double per_cmp = cmp_params.energyPerDecisionJ;
+            cost.energyJ = calibration_.analogScale * per_cmp *
+                           static_cast<double>(instr.comparisons);
+            est.energy.comparatorJ += cost.energyJ;
+            cost.timeS = cmp_params.nominalTimeS *
+                         calibration_.timingScale *
+                         static_cast<double>(instr.comparisons) /
+                         static_cast<double>(active);
+            break;
+          }
+          case ModuleKind::Quantization: {
+            const double per_conv = conversionEnergyJ();
+            cost.energyJ = per_conv *
+                           static_cast<double>(instr.conversions);
+            est.energy.readoutJ += cost.energyJ;
+            const double t_conv =
+                static_cast<double>(instr.adcBits + 1) *
+                cmp_params.nominalTimeS * calibration_.timingScale;
+            cost.timeS = t_conv *
+                         static_cast<double>(instr.conversions) /
+                         static_cast<double>(active);
+            est.conversions += instr.conversions;
+            break;
+          }
+          case ModuleKind::Buffer:
+            break;
+        }
+        est.analogTimeS += cost.timeS;
+        est.perInstruction.push_back(cost);
+    }
+
+    // Inter-stage buffer traffic (storage module).
+    const auto cell_params = bufferCellAt(config_.convSnrDb);
+    analog::AnalogMemoryCell cell(cell_params, process_);
+    est.energy.memoryJ =
+        calibration_.analogScale *
+        (cell.writeEnergy() *
+             static_cast<double>(program_.totalBufferWrites()) +
+         cell.readEnergy() *
+             static_cast<double>(program_.totalBufferReads()));
+
+    // Digital controller: fixed power over the frame interval.
+    const double ctrl_power = config_.controllerClockHz *
+                              config_.controllerPowerPerHz;
+    est.energy.controllerJ = ctrl_power / config_.frameRate;
+
+    est.outputBytes = program_.outputBytes();
+    return est;
+}
+
+double
+imageSensorAnalogEnergyJ(std::size_t width, std::size_t height,
+                         std::size_t channels, unsigned bits)
+{
+    fatal_if(bits < 1 || bits > 14, "unrealistic sensor bit depth ",
+             bits);
+    // Anchor: 10-bit 227x227x3 -> 1.1 mJ per frame (Section V-B),
+    // i.e. 7.116 nJ per sample including the column amplifier. SAR
+    // energy halves per bit removed.
+    constexpr double anchor_per_sample = 1.1e-3 /
+                                         (227.0 * 227.0 * 3.0);
+    const double per_sample = anchor_per_sample *
+                              std::ldexp(1.0,
+                                         static_cast<int>(bits) - 10);
+    return per_sample * static_cast<double>(width * height * channels);
+}
+
+double
+imageSensorOutputBytes(std::size_t width, std::size_t height,
+                       std::size_t channels, unsigned bits)
+{
+    return static_cast<double>(width * height * channels) *
+           static_cast<double>(bits) / 8.0;
+}
+
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Analytic per-frame energy/timing model of a RedEye program.
+ *
+ * Combines the analog circuit primitives (src/analog) with the
+ * compiled program's workload counts to estimate the quantities the
+ * paper's evaluation charts: energy per frame with category
+ * breakdown, analog processing time, and exported data size.
+ */
+
+#ifndef REDEYE_REDEYE_ENERGY_MODEL_HH
+#define REDEYE_REDEYE_ENERGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "analog/process.hh"
+#include "redeye/calibration.hh"
+#include "redeye/config.hh"
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+
+/** Energy per frame by hardware category [J]. */
+struct EnergyBreakdown {
+    double macJ = 0.0;        ///< convolutional modules
+    double memoryJ = 0.0;     ///< analog buffer traffic
+    double comparatorJ = 0.0; ///< max pooling modules
+    double readoutJ = 0.0;    ///< quantization module (SAR)
+    double controllerJ = 0.0; ///< digital controller (Cortex-M0+)
+
+    double
+    totalJ() const
+    {
+        return macJ + memoryJ + comparatorJ + readoutJ + controllerJ;
+    }
+
+    /** Analog-only portion (what Fig. 7a compares against the IS). */
+    double
+    analogJ() const
+    {
+        return macJ + memoryJ + comparatorJ + readoutJ;
+    }
+};
+
+/** Per-instruction cost attribution. */
+struct InstructionCost {
+    std::string layer;
+    ModuleKind kind = ModuleKind::Buffer;
+    double energyJ = 0.0;
+    double timeS = 0.0;
+};
+
+/** Whole-frame estimate. */
+struct FrameEstimate {
+    EnergyBreakdown energy;
+    double analogTimeS = 0.0;  ///< column-parallel processing time
+    double outputBytes = 0.0;  ///< exported feature payload
+    std::size_t conversions = 0;
+    std::vector<InstructionCost> perInstruction;
+};
+
+/** Analytic RedEye device model. */
+class RedEyeModel
+{
+  public:
+    RedEyeModel(Program program, RedEyeConfig config,
+                analog::ProcessParams process =
+                    analog::ProcessParams::typical(),
+                Calibration calibration = Calibration::paper());
+
+    /** Estimate one frame under the current configuration. */
+    FrameEstimate estimateFrame() const;
+
+    /** Energy of one MAC at @p snr_db noise admission [J]. */
+    double macEnergyJ(double snr_db, std::size_t taps) const;
+
+    /** Scheduled time of one 8-input MAC cycle at @p snr_db [s]. */
+    double macCycleTimeS(double snr_db) const;
+
+    /** Energy of one SAR conversion at the configured q [J]. */
+    double conversionEnergyJ() const;
+
+    /** Energy of one buffer write + read pair [J]. */
+    double bufferAccessEnergyJ() const;
+
+    const Program &program() const { return program_; }
+
+    const RedEyeConfig &config() const { return config_; }
+
+    RedEyeConfig &config() { return config_; }
+
+    const Calibration &calibration() const { return calibration_; }
+
+  private:
+    Program program_;
+    RedEyeConfig config_;
+    analog::ProcessParams process_;
+    Calibration calibration_;
+};
+
+/**
+ * The paper's conventional-image-sensor comparison point: analog
+ * readout energy of an n-bit WxH color sensor, calibrated so the
+ * 10-bit 227x227 baseline consumes 1.1 mJ per frame. Scaling with
+ * resolution follows SAR energy (~2x per bit).
+ */
+double imageSensorAnalogEnergyJ(std::size_t width, std::size_t height,
+                                std::size_t channels, unsigned bits);
+
+/** Output payload of a conventional sensor frame [bytes]. */
+double imageSensorOutputBytes(std::size_t width, std::size_t height,
+                              std::size_t channels, unsigned bits);
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_ENERGY_MODEL_HH

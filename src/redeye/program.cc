@@ -1,0 +1,160 @@
+#include "redeye/program.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+const char *
+moduleKindName(ModuleKind kind)
+{
+    switch (kind) {
+      case ModuleKind::Buffer: return "buffer";
+      case ModuleKind::Convolution: return "conv";
+      case ModuleKind::MaxPooling: return "maxpool";
+      case ModuleKind::Quantization: return "quantize";
+    }
+    return "?";
+}
+
+std::string
+Instruction::str() const
+{
+    std::ostringstream oss;
+    oss << moduleKindName(kind) << " '" << layer << "' "
+        << inShape.str() << " -> " << outShape.str();
+    switch (kind) {
+      case ModuleKind::Convolution:
+        oss << " k" << kernelH << "x" << kernelW << " s" << strideH
+            << " p" << padH << " taps=" << taps << " macs=" << macs
+            << " snr=" << snrDb << "dB";
+        if (rectify)
+            oss << " +rectify";
+        if (normalize)
+            oss << " +normalize";
+        break;
+      case ModuleKind::MaxPooling:
+        oss << " k" << poolKernel << " s" << poolStride
+            << " cmps=" << comparisons;
+        break;
+      case ModuleKind::Quantization:
+        oss << " q=" << adcBits << "b conversions=" << conversions;
+        break;
+      case ModuleKind::Buffer:
+        break;
+    }
+    return oss.str();
+}
+
+void
+Program::append(Instruction instr)
+{
+    instrs_.push_back(std::move(instr));
+}
+
+std::size_t
+Program::totalMacs() const
+{
+    std::size_t total = 0;
+    for (const auto &i : instrs_)
+        total += i.macs;
+    return total;
+}
+
+std::size_t
+Program::totalComparisons() const
+{
+    std::size_t total = 0;
+    for (const auto &i : instrs_)
+        total += i.comparisons;
+    return total;
+}
+
+std::size_t
+Program::totalBufferWrites() const
+{
+    std::size_t total = 0;
+    for (const auto &i : instrs_) {
+        if (i.kind != ModuleKind::Quantization)
+            total += i.outShape.size();
+    }
+    return total;
+}
+
+std::size_t
+Program::totalBufferReads() const
+{
+    std::size_t total = 0;
+    for (const auto &i : instrs_)
+        total += i.inShape.size();
+    return total;
+}
+
+std::size_t
+Program::kernelBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &i : instrs_)
+        total += i.kernelBytes;
+    return total;
+}
+
+std::size_t
+Program::outputElements() const
+{
+    for (auto it = instrs_.rbegin(); it != instrs_.rend(); ++it) {
+        if (it->kind == ModuleKind::Quantization)
+            return it->conversions;
+    }
+    return instrs_.empty() ? 0 : instrs_.back().outShape.size();
+}
+
+double
+Program::outputBytes() const
+{
+    for (auto it = instrs_.rbegin(); it != instrs_.rend(); ++it) {
+        if (it->kind == ModuleKind::Quantization) {
+            return static_cast<double>(it->conversions) *
+                   static_cast<double>(it->adcBits) / 8.0;
+        }
+    }
+    return 0.0;
+}
+
+std::size_t
+Program::maxKernelWidth() const
+{
+    std::size_t best = 0;
+    for (const auto &i : instrs_)
+        best = std::max(best, std::max(i.kernelW, i.poolKernel));
+    return best;
+}
+
+std::size_t
+Program::convolutionCount() const
+{
+    std::size_t count = 0;
+    for (const auto &i : instrs_) {
+        if (i.kind == ModuleKind::Convolution)
+            ++count;
+    }
+    return count;
+}
+
+std::string
+Program::str() const
+{
+    std::ostringstream oss;
+    oss << "redeye program: " << instrs_.size() << " instructions, "
+        << totalMacs() << " MACs, " << kernelBytes()
+        << " kernel bytes\n";
+    for (std::size_t i = 0; i < instrs_.size(); ++i)
+        oss << "  [" << i << "] " << instrs_[i].str() << "\n";
+    return oss.str();
+}
+
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RedEye ConvNet program representation.
+ *
+ * A developer "writes a ConvNet program to the RedEye program SRAM of
+ * the control plane" (Section III-C): the layer ordering, layer
+ * dimensions, convolutional kernel weights, and noise parameters.
+ * Program is that artifact — the unit the controller loads into the
+ * cyclic signal flow. Instructions map one-to-one onto module
+ * engagements of the cyclic pipeline.
+ */
+
+#ifndef REDEYE_REDEYE_PROGRAM_HH
+#define REDEYE_REDEYE_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hh"
+
+namespace redeye {
+namespace arch {
+
+/** RedEye module types (Figure 3). */
+enum class ModuleKind {
+    Buffer,       ///< analog storage module
+    Convolution,  ///< 3-D convolutional module
+    MaxPooling,   ///< max pooling module
+    Quantization, ///< SAR ADC readout module
+};
+
+/** Human-readable module name. */
+const char *moduleKindName(ModuleKind kind);
+
+/** One module engagement in the cyclic pipeline. */
+struct Instruction {
+    ModuleKind kind = ModuleKind::Buffer;
+    std::string layer; ///< originating network layer name
+
+    Shape inShape;  ///< per-item input shape
+    Shape outShape; ///< per-item output shape
+
+    // Convolution fields.
+    std::size_t kernelH = 0;
+    std::size_t kernelW = 0;
+    std::size_t strideH = 1;
+    std::size_t strideW = 1;
+    std::size_t padH = 0;
+    std::size_t padW = 0;
+    std::size_t taps = 0; ///< kernel taps per output (incl. channels)
+    std::size_t macs = 0; ///< total MACs
+    bool rectify = false;   ///< fold ReLU clip at max swing
+    bool normalize = false; ///< fold local response normalization
+    double snrDb = 40.0;    ///< programmed noise admission
+
+    // Max pooling fields.
+    std::size_t poolKernel = 0;
+    std::size_t poolStride = 1;
+    std::size_t poolPad = 0;
+    std::size_t comparisons = 0;
+
+    // Quantization fields.
+    unsigned adcBits = 0;
+    std::size_t conversions = 0;
+
+    /** Kernel-weight bytes this instruction stores (8-bit weights). */
+    std::size_t kernelBytes = 0;
+
+    /**
+     * The 8-bit fixed-point kernel image itself (weights then
+     * biases), as issued to the tunable capacitors; size equals
+     * kernelBytes for convolutions compiled from a network.
+     */
+    std::vector<std::int8_t> kernelImage;
+
+    /** LSB scale of the quantized weights (weight = code * scale). */
+    double kernelScale = 0.0;
+
+    /** LSB scale of the quantized biases. */
+    double biasScale = 0.0;
+
+    /** One-line description. */
+    std::string str() const;
+};
+
+/** A compiled RedEye program. */
+class Program
+{
+  public:
+    /** Append an instruction (compiler use). */
+    void append(Instruction instr);
+
+    const std::vector<Instruction> &instructions() const
+    {
+        return instrs_;
+    }
+
+    bool empty() const { return instrs_.empty(); }
+
+    std::size_t size() const { return instrs_.size(); }
+
+    const Instruction &at(std::size_t i) const { return instrs_.at(i); }
+
+    /** Total MACs per frame. */
+    std::size_t totalMacs() const;
+
+    /** Total comparator decisions per frame. */
+    std::size_t totalComparisons() const;
+
+    /** Total buffer writes per frame (every produced value). */
+    std::size_t totalBufferWrites() const;
+
+    /** Total buffer reads per frame (every consumed value). */
+    std::size_t totalBufferReads() const;
+
+    /** Kernel-weight storage the program needs [bytes]. */
+    std::size_t kernelBytes() const;
+
+    /** Values crossing the A/D boundary per frame. */
+    std::size_t outputElements() const;
+
+    /** Output payload per frame [bytes] given the programmed ADC. */
+    double outputBytes() const;
+
+    /** Largest convolution kernel width (interconnect reach). */
+    std::size_t maxKernelWidth() const;
+
+    /** Number of convolution-module engagements. */
+    std::size_t convolutionCount() const;
+
+    /** Multi-line program listing. */
+    std::string str() const;
+
+  private:
+    std::vector<Instruction> instrs_;
+};
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_PROGRAM_HH

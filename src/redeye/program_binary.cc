@@ -1,0 +1,277 @@
+#include "redeye/program_binary.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52455045; // "REPE"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer
+{
+  public:
+    explicit Writer(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        for (char c : s)
+            out_.push_back(static_cast<std::uint8_t>(c));
+    }
+
+    void
+    shape(const Shape &s)
+    {
+        u32(static_cast<std::uint32_t>(s.n));
+        u32(static_cast<std::uint32_t>(s.c));
+        u32(static_cast<std::uint32_t>(s.h));
+        u32(static_cast<std::uint32_t>(s.w));
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &in) : in_(in) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return in_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const auto len = u32();
+        need(len);
+        std::string s(reinterpret_cast<const char *>(&in_[pos_]),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    Shape
+    shape()
+    {
+        Shape s;
+        s.n = u32();
+        s.c = u32();
+        s.h = u32();
+        s.w = u32();
+        return s;
+    }
+
+    bool
+    done() const
+    {
+        return pos_ == in_.size();
+    }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        fatal_if(pos_ + n > in_.size(),
+                 "truncated RedEye program image");
+    }
+
+    const std::vector<std::uint8_t> &in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeProgram(const Program &program)
+{
+    std::vector<std::uint8_t> out;
+    Writer w(out);
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u32(static_cast<std::uint32_t>(program.size()));
+
+    for (const auto &i : program.instructions()) {
+        w.u8(static_cast<std::uint8_t>(i.kind));
+        w.str(i.layer);
+        w.shape(i.inShape);
+        w.shape(i.outShape);
+        w.u32(static_cast<std::uint32_t>(i.kernelH));
+        w.u32(static_cast<std::uint32_t>(i.kernelW));
+        w.u32(static_cast<std::uint32_t>(i.strideH));
+        w.u32(static_cast<std::uint32_t>(i.strideW));
+        w.u32(static_cast<std::uint32_t>(i.padH));
+        w.u32(static_cast<std::uint32_t>(i.padW));
+        w.u64(i.taps);
+        w.u64(i.macs);
+        w.u8(i.rectify ? 1 : 0);
+        w.u8(i.normalize ? 1 : 0);
+        w.f64(i.snrDb);
+        w.u32(static_cast<std::uint32_t>(i.poolKernel));
+        w.u32(static_cast<std::uint32_t>(i.poolStride));
+        w.u32(static_cast<std::uint32_t>(i.poolPad));
+        w.u64(i.comparisons);
+        w.u32(i.adcBits);
+        w.u64(i.conversions);
+        w.f64(i.kernelScale);
+        w.f64(i.biasScale);
+        w.u64(i.kernelBytes);
+        w.u64(i.kernelImage.size());
+        for (std::int8_t b : i.kernelImage)
+            w.u8(static_cast<std::uint8_t>(b));
+    }
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<std::uint8_t> &image)
+{
+    Reader r(image);
+    fatal_if(r.u32() != kMagic, "not a RedEye program image");
+    fatal_if(r.u32() != kVersion,
+             "unsupported program image version");
+    const auto count = r.u32();
+
+    Program prog;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        Instruction i;
+        const auto kind = r.u8();
+        fatal_if(kind > static_cast<std::uint8_t>(
+                            ModuleKind::Quantization),
+                 "invalid module kind ", int(kind));
+        i.kind = static_cast<ModuleKind>(kind);
+        i.layer = r.str();
+        i.inShape = r.shape();
+        i.outShape = r.shape();
+        i.kernelH = r.u32();
+        i.kernelW = r.u32();
+        i.strideH = r.u32();
+        i.strideW = r.u32();
+        i.padH = r.u32();
+        i.padW = r.u32();
+        i.taps = r.u64();
+        i.macs = r.u64();
+        i.rectify = r.u8() != 0;
+        i.normalize = r.u8() != 0;
+        i.snrDb = r.f64();
+        i.poolKernel = r.u32();
+        i.poolStride = r.u32();
+        i.poolPad = r.u32();
+        i.comparisons = r.u64();
+        i.adcBits = r.u32();
+        i.conversions = r.u64();
+        i.kernelScale = r.f64();
+        i.biasScale = r.f64();
+        i.kernelBytes = r.u64();
+        const auto kbytes = r.u64();
+        i.kernelImage.reserve(kbytes);
+        for (std::uint64_t b = 0; b < kbytes; ++b)
+            i.kernelImage.push_back(
+                static_cast<std::int8_t>(r.u8()));
+        prog.append(std::move(i));
+    }
+    fatal_if(!r.done(), "trailing bytes in program image");
+    return prog;
+}
+
+void
+writeProgram(const Program &program, const std::string &path)
+{
+    const auto image = encodeProgram(program);
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open '", path, "' for writing");
+    os.write(reinterpret_cast<const char *>(image.data()),
+             static_cast<std::streamsize>(image.size()));
+    fatal_if(!os, "failed writing '", path, "'");
+}
+
+Program
+readProgram(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    fatal_if(!is, "cannot open '", path, "' for reading");
+    const auto size = static_cast<std::size_t>(is.tellg());
+    is.seekg(0);
+    std::vector<std::uint8_t> image(size);
+    is.read(reinterpret_cast<char *>(image.data()),
+            static_cast<std::streamsize>(size));
+    fatal_if(!is, "failed reading '", path, "'");
+    return decodeProgram(image);
+}
+
+std::size_t
+controlPlaneBytes(const Program &program)
+{
+    return encodeProgram(program).size() - program.kernelBytes();
+}
+
+} // namespace arch
+} // namespace redeye

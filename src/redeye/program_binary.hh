@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Program SRAM image format.
+ *
+ * "A developer utilizes RedEye by writing a ConvNet program to the
+ * RedEye program SRAM of the control plane ... The ConvNet program
+ * includes the layer ordering, layer dimensions, and convolutional
+ * kernel weights", plus the noise parameters (Section III-C). This
+ * module defines that artifact concretely: a tagged little-endian
+ * byte image that round-trips a compiled Program, so toolchains can
+ * ship programs to (simulated) devices and size them against the
+ * SRAM budget.
+ *
+ * Layout: header (magic, version, instruction count) followed by
+ * one record per instruction — kind, layer-name string, shapes,
+ * geometry, noise parameter, and the 8-bit kernel image.
+ */
+
+#ifndef REDEYE_REDEYE_PROGRAM_BINARY_HH
+#define REDEYE_REDEYE_PROGRAM_BINARY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+
+/** Serialize @p program into an SRAM byte image. */
+std::vector<std::uint8_t> encodeProgram(const Program &program);
+
+/**
+ * Decode a byte image back into a Program (fatal on a malformed
+ * image). encode(decode(x)) == x.
+ */
+Program decodeProgram(const std::vector<std::uint8_t> &image);
+
+/** Write the image to a file (fatal on I/O error). */
+void writeProgram(const Program &program, const std::string &path);
+
+/** Read an image from a file (fatal on I/O error). */
+Program readProgram(const std::string &path);
+
+/**
+ * Size of the control-plane portion of the image (everything except
+ * kernel bytes): what the instruction sequencer stores.
+ */
+std::size_t controlPlaneBytes(const Program &program);
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_PROGRAM_BINARY_HH

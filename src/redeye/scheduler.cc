@@ -1,0 +1,185 @@
+#include "redeye/scheduler.hh"
+
+#include <algorithm>
+
+#include "analog/comparator.hh"
+#include "analog/mac_unit.hh"
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+ScheduleReport
+scheduleProgram(const Program &program, const RedEyeConfig &config,
+                const analog::ProcessParams &process,
+                const Calibration &calibration)
+{
+    fatal_if(program.empty(), "cannot schedule an empty program");
+    fatal_if(config.columns == 0, "column array cannot be empty");
+
+    analog::ComparatorParams cmp_params;
+    ScheduleReport report;
+    std::size_t cycle = 0;
+    bool cycle_open = false;
+
+    for (const auto &instr : program.instructions()) {
+        StageTiming stage;
+        stage.layer = instr.layer;
+        stage.kind = instr.kind;
+        stage.rows = std::max<std::size_t>(1, instr.outShape.h);
+
+        const std::size_t active = std::max<std::size_t>(
+            1, std::min(config.columns, instr.outShape.w));
+        // Work items a single column produces per output row.
+        const double per_row = static_cast<double>(
+            instr.outShape.size() /
+            std::max<std::size_t>(1, instr.outShape.h));
+        const double per_column_row = per_row /
+                                      static_cast<double>(active);
+
+        switch (instr.kind) {
+          case ModuleKind::Convolution: {
+            // Each convolution opens a new cyclic-reuse round.
+            if (cycle_open)
+                ++cycle;
+            cycle_open = true;
+            analog::MacUnit mac(analog::MacParams{}, process);
+            mac.setSnrDb(instr.snrDb);
+            stage.rowPeriodS = calibration.timingScale *
+                               mac.timePerWindow(instr.taps) *
+                               per_column_row;
+            break;
+          }
+          case ModuleKind::MaxPooling: {
+            // Pooling pipelines behind the producing convolution in
+            // the same round.
+            cycle_open = true;
+            const double cmps = static_cast<double>(
+                instr.poolKernel * instr.poolKernel - 1);
+            stage.rowPeriodS = calibration.timingScale *
+                               cmp_params.nominalTimeS * cmps *
+                               per_column_row;
+            break;
+          }
+          case ModuleKind::Quantization: {
+            // The readout drains concurrently with the final round.
+            const double t_conv =
+                static_cast<double>(instr.adcBits + 1) *
+                cmp_params.nominalTimeS * calibration.timingScale;
+            stage.rows = std::max<std::size_t>(1, instr.inShape.h);
+            stage.rowPeriodS =
+                t_conv *
+                static_cast<double>(instr.conversions) /
+                static_cast<double>(stage.rows) /
+                static_cast<double>(active);
+            break;
+          }
+          case ModuleKind::Buffer:
+            break;
+        }
+
+        stage.cycle = cycle;
+        stage.spanS = stage.rowPeriodS *
+                      static_cast<double>(stage.rows);
+        report.stages.push_back(stage);
+    }
+
+    report.cycles = cycle + 1;
+
+    // Frame latency: rounds run sequentially; stages within a round
+    // pipeline at row granularity, so a round spans its slowest
+    // stage (plus one bottleneck row of fill, which we fold in).
+    for (std::size_t c = 0; c < report.cycles; ++c) {
+        double round_span = 0.0;
+        for (const auto &s : report.stages) {
+            if (s.cycle != c)
+                continue;
+            round_span = std::max(round_span, s.spanS);
+            if (s.kind == ModuleKind::Convolution)
+                report.busyConvS += s.spanS;
+            if (s.spanS > report.bottleneckSpanS) {
+                report.bottleneckSpanS = s.spanS;
+                report.bottleneckLayer = s.layer;
+            }
+        }
+        report.frameLatencyS += round_span;
+    }
+    if (report.frameLatencyS > 0.0) {
+        report.convUtilization = report.busyConvS /
+                                 report.frameLatencyS;
+    }
+    return report;
+}
+
+std::vector<RoundPlan>
+flowPlan(const Program &program)
+{
+    fatal_if(program.empty(), "cannot plan an empty program");
+
+    std::vector<RoundPlan> plan;
+    auto open_round = [&plan]() -> RoundPlan & {
+        RoundPlan r;
+        r.round = plan.size();
+        plan.push_back(r);
+        return plan.back();
+    };
+
+    for (const auto &instr : program.instructions()) {
+        switch (instr.kind) {
+          case ModuleKind::Convolution: {
+            RoundPlan &r = open_round();
+            r.convLayer = instr.layer;
+            r.convBypassed = false;
+            break;
+          }
+          case ModuleKind::MaxPooling: {
+            // Attach to the open round if its pooling module is
+            // free; otherwise open a pool-only round (conv module
+            // bypassed).
+            if (plan.empty() || !plan.back().poolBypassed) {
+                RoundPlan &r = open_round();
+                r.poolLayer = instr.layer;
+                r.poolBypassed = false;
+            } else {
+                plan.back().poolLayer = instr.layer;
+                plan.back().poolBypassed = false;
+            }
+            break;
+          }
+          case ModuleKind::Quantization:
+            fatal_if(plan.empty(),
+                     "quantization with no processing rounds");
+            plan.back().quantizeDrain = true;
+            break;
+          case ModuleKind::Buffer:
+            break;
+        }
+    }
+
+    // Every round but the last routes its result back to the
+    // storage module for the next cycle of reuse.
+    for (std::size_t i = 0; i + 1 < plan.size(); ++i)
+        plan[i].cyclicReturn = true;
+    return plan;
+}
+
+std::string
+flowPlanStr(const std::vector<RoundPlan> &plan)
+{
+    std::string out;
+    for (const auto &r : plan) {
+        out += "round " + std::to_string(r.round) + ": conv=";
+        out += r.convBypassed ? "(bypass)" : r.convLayer;
+        out += " pool=";
+        out += r.poolBypassed ? "(bypass)" : r.poolLayer;
+        out += r.cyclicReturn ? " -> storage (cyclic)"
+                              : " -> quantization";
+        if (r.quantizeDrain)
+            out += " [drain]";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace arch
+} // namespace redeye

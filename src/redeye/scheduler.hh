@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cyclic pipeline scheduler (Section III-B2/B3).
+ *
+ * RedEye's controller "simultaneously pipes signal flow through
+ * multiple modules": within one cycle of the module chain, a
+ * convolutional module and the max-pooling module behind it operate
+ * row-by-row in pipeline, advancing the processing window one row
+ * per clocked timestep; the cyclic flow control then routes the
+ * result back through the storage module for the next ConvNet layer
+ * (the next cycle). Quantization drains concurrently with the final
+ * cycle.
+ *
+ * The scheduler turns a compiled Program into that timeline: stage
+ * row periods, per-cycle spans, the frame latency, the bottleneck
+ * stage and module utilization — a finer-grained view than the
+ * energy model's serialized time sum.
+ */
+
+#ifndef REDEYE_REDEYE_SCHEDULER_HH
+#define REDEYE_REDEYE_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "analog/process.hh"
+#include "redeye/calibration.hh"
+#include "redeye/config.hh"
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+
+/** Timing of one module engagement. */
+struct StageTiming {
+    std::string layer;
+    ModuleKind kind = ModuleKind::Buffer;
+    std::size_t cycle = 0;    ///< cyclic-reuse round it runs in
+    std::size_t rows = 0;     ///< output rows (timesteps)
+    double rowPeriodS = 0.0;  ///< time per output row
+    double spanS = 0.0;       ///< rows * rowPeriod
+};
+
+/** Whole-frame schedule. */
+struct ScheduleReport {
+    std::vector<StageTiming> stages;
+    std::size_t cycles = 0;      ///< cyclic-reuse rounds
+    double frameLatencyS = 0.0;  ///< sum over rounds of slowest stage
+    double busyConvS = 0.0;      ///< conv-module busy time
+    double convUtilization = 0.0; ///< busyConv / frameLatency
+    std::string bottleneckLayer;
+    double bottleneckSpanS = 0.0;
+
+    /** True if back-to-back frames sustain @p fps. */
+    bool
+    sustains(double fps) const
+    {
+        return frameLatencyS <= 1.0 / fps;
+    }
+};
+
+/** Build the pipelined timeline of @p program. */
+ScheduleReport scheduleProgram(
+    const Program &program, const RedEyeConfig &config,
+    const analog::ProcessParams &process =
+        analog::ProcessParams::typical(),
+    const Calibration &calibration = Calibration::paper());
+
+/**
+ * Module engagement of one cyclic round: which modules the flow
+ * control engages, which it bypasses, and where the output routes
+ * ("If any layer is unneeded in a ConvNet dataflow, the bypass flow
+ * control of each module provides an alternate signal route to
+ * circumvent the corresponding module", Section III-B2).
+ */
+struct RoundPlan {
+    std::size_t round = 0;
+    std::string convLayer;  ///< engaged convolution ("" = bypassed)
+    std::string poolLayer;  ///< engaged pooling ("" = bypassed)
+    bool convBypassed = true;
+    bool poolBypassed = true;
+    bool cyclicReturn = false; ///< output returns to storage module
+    bool quantizeDrain = false; ///< readout drains this round
+};
+
+/** Derive the flow-control plan of @p program. */
+std::vector<RoundPlan> flowPlan(const Program &program);
+
+/** Render the plan as a small table (for program listings). */
+std::string flowPlanStr(const std::vector<RoundPlan> &plan);
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_SCHEDULER_HH

@@ -1,0 +1,54 @@
+#include "redeye/sram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace arch {
+
+SramRequirements
+analyzeSram(const Program &program, const SramConfig &config)
+{
+    fatal_if(config.kernelTileChannels == 0,
+             "kernel tile must hold at least one channel");
+
+    SramRequirements req;
+    req.featureBytes = static_cast<std::size_t>(
+        std::ceil(program.outputBytes()));
+
+    for (const auto &instr : program.instructions()) {
+        if (instr.kind != ModuleKind::Convolution ||
+            instr.kernelBytes == 0) {
+            continue;
+        }
+        req.kernelTotalBytes += instr.kernelBytes;
+        const std::size_t out_c = instr.outShape.c;
+        const std::size_t per_channel =
+            instr.kernelBytes / std::max<std::size_t>(1, out_c);
+        // Tile as many output channels as the kernel partition
+        // allows, up to the configured maximum.
+        std::size_t tile_channels = config.kernelTileChannels;
+        if (per_channel > 0) {
+            tile_channels = std::min(tile_channels,
+                                     std::max<std::size_t>(
+                                         1, config.kernelBytes /
+                                                per_channel));
+        }
+        tile_channels = std::min(tile_channels, out_c);
+        req.kernelWorkingSetBytes = std::max(
+            req.kernelWorkingSetBytes, per_channel * tile_channels);
+        req.kernelPageEvents +=
+            (out_c + tile_channels - 1) / tile_channels;
+    }
+
+    req.fits = req.featureBytes <= config.featureBytes &&
+               req.kernelWorkingSetBytes <= config.kernelBytes &&
+               config.featureBytes + config.kernelBytes <=
+                   config.totalBytes;
+    return req;
+}
+
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * On-chip SRAM models for the RedEye control plane.
+ *
+ * Section V-D: "RedEye requires 100-kB memory to store features and
+ * 9-kB for kernels, which fit within the 128-kB on-chip SRAM."
+ * Feature SRAM buffers the quantized output features for host
+ * retrieval; kernel SRAM holds the active working set of 8-bit
+ * kernel weights, paged per output-channel tile because whole-layer
+ * kernel sets exceed on-chip storage.
+ */
+
+#ifndef REDEYE_REDEYE_SRAM_HH
+#define REDEYE_REDEYE_SRAM_HH
+
+#include <cstddef>
+
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+
+/** SRAM provisioning. */
+struct SramConfig {
+    std::size_t totalBytes = 128 * 1024;   ///< on-chip SRAM
+    std::size_t featureBytes = 100 * 1024; ///< feature partition
+    std::size_t kernelBytes = 9 * 1024;    ///< kernel partition
+    std::size_t kernelTileChannels = 16;   ///< output channels paged
+                                           ///< together
+};
+
+/** Requirements of a compiled program. */
+struct SramRequirements {
+    std::size_t featureBytes = 0; ///< quantized cut tensor
+    std::size_t kernelWorkingSetBytes = 0; ///< largest paged tile
+    std::size_t kernelTotalBytes = 0;      ///< whole program kernels
+    std::size_t kernelPageEvents = 0;      ///< tile loads per frame
+    bool fits = false;
+};
+
+/** Compute the SRAM needs of @p program under @p config. */
+SramRequirements analyzeSram(const Program &program,
+                             const SramConfig &config = SramConfig{});
+
+} // namespace arch
+} // namespace redeye
+
+#endif // REDEYE_REDEYE_SRAM_HH

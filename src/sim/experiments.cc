@@ -1,0 +1,171 @@
+#include "sim/experiments.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+#include "models/googlenet.hh"
+#include "models/partition.hh"
+#include "redeye/compiler.hh"
+#include "sim/simplex.hh"
+
+namespace redeye {
+namespace sim {
+
+std::vector<DepthRow>
+googLeNetDepthSweep(const arch::RedEyeConfig &config,
+                    std::size_t frame_size)
+{
+    auto net = models::buildGoogLeNet(frame_size);
+    std::vector<DepthRow> rows;
+
+    for (unsigned depth = 1; depth <= models::kGoogLeNetDepths;
+         ++depth) {
+        const auto layers = models::googLeNetAnalogLayers(depth);
+        const auto prog = arch::compile(*net, layers, config);
+        arch::RedEyeConfig cfg = config;
+        cfg.columns = frame_size;
+        arch::RedEyeModel model(prog, cfg);
+        const auto est = model.estimateFrame();
+
+        DepthRow row;
+        row.depth = depth;
+        row.analogMacs = prog.totalMacs();
+        row.analogEnergyJ = est.energy.analogJ();
+        row.totalEnergyJ = est.energy.totalJ();
+        row.frameTimeS = est.analogTimeS;
+        row.outputBytes = est.outputBytes;
+        row.digitalTailMacs = static_cast<double>(
+            models::digitalTailMacs(*net, layers));
+        row.cutShape = prog.instructions().back().inShape;
+        row.breakdown = est.energy;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+convNetEnergyAtSnr(unsigned depth, double snr_db,
+                   std::size_t frame_size)
+{
+    auto net = models::buildGoogLeNet(frame_size);
+    const auto layers = models::googLeNetAnalogLayers(depth);
+    arch::RedEyeConfig cfg;
+    cfg.convSnrDb = snr_db;
+    cfg.columns = frame_size;
+    const auto prog = arch::compile(*net, layers, cfg);
+    arch::RedEyeModel model(prog, cfg);
+    const auto est = model.estimateFrame();
+    return est.energy.macJ + est.energy.memoryJ +
+           est.energy.comparatorJ;
+}
+
+double
+quantizationEnergyAtBits(unsigned depth, unsigned bits,
+                         std::size_t frame_size)
+{
+    auto net = models::buildGoogLeNet(frame_size);
+    const auto layers = models::googLeNetAnalogLayers(depth);
+    arch::RedEyeConfig cfg;
+    cfg.adcBits = bits;
+    cfg.columns = frame_size;
+    const auto prog = arch::compile(*net, layers, cfg);
+    arch::RedEyeModel model(prog, cfg);
+    return model.estimateFrame().energy.readoutJ;
+}
+
+std::vector<AccuracyPoint>
+accuracyVsSnr(nn::Network &net, InjectionHandles &handles,
+              const data::Dataset &dataset,
+              const std::vector<double> &snrs, unsigned bits,
+              const EvalOptions &options)
+{
+    handles.setAdcBits(bits);
+    std::vector<AccuracyPoint> points;
+    for (double snr : snrs) {
+        handles.setSnrDb(snr);
+        const auto r = evaluate(net, dataset, options);
+        points.push_back(AccuracyPoint{snr, bits, r.top1, r.topN});
+    }
+    return points;
+}
+
+std::vector<AccuracyPoint>
+accuracyVsBits(nn::Network &net, InjectionHandles &handles,
+               const data::Dataset &dataset,
+               const std::vector<unsigned> &bits_list, double snr_db,
+               const EvalOptions &options)
+{
+    handles.setSnrDb(snr_db);
+    std::vector<AccuracyPoint> points;
+    for (unsigned bits : bits_list) {
+        handles.setAdcBits(bits);
+        const auto r = evaluate(net, dataset, options);
+        points.push_back(AccuracyPoint{snr_db, bits, r.top1,
+                                       r.topN});
+    }
+    return points;
+}
+
+NoiseTuningResult
+tuneNoiseParameters(nn::Network &net, InjectionHandles &handles,
+                    const data::Dataset &dataset,
+                    double target_accuracy, unsigned depth,
+                    const EvalOptions &options)
+{
+    fatal_if(target_accuracy <= 0.0 || target_accuracy > 1.0,
+             "target accuracy must be in (0, 1]");
+
+    NoiseTuningResult best;
+    best.energyJ = std::numeric_limits<double>::infinity();
+    std::size_t evals = 0;
+
+    // The quantization knob is small and discrete: scan it. For each
+    // q, simplex-search the SNR (1-D after the evaluation insight of
+    // Section III-D) for the cheapest setting that holds accuracy.
+    for (unsigned bits = 2; bits <= 8; ++bits) {
+        const double quant_e = quantizationEnergyAtBits(depth, bits);
+        auto objective = [&](const std::vector<double> &x) {
+            const double snr = std::clamp(x[0], 25.0, 70.0);
+            handles.setSnrDb(snr);
+            handles.setAdcBits(bits);
+            ++evals;
+            const auto r = evaluate(net, dataset, options);
+            const double energy = convNetEnergyAtSnr(depth, snr) +
+                                  quant_e;
+            // Penalize accuracy shortfall steeply; energy in mJ.
+            const double shortfall =
+                std::max(0.0, target_accuracy - r.topN);
+            return energy * 1e3 + shortfall * 1e3;
+        };
+
+        SimplexOptions sopt;
+        sopt.maxIterations = 24;
+        sopt.tolerance = 1e-4;
+        const auto res = nelderMead(objective, {50.0}, {8.0}, sopt);
+
+        const double snr = std::clamp(res.x[0], 25.0, 70.0);
+        handles.setSnrDb(snr);
+        handles.setAdcBits(bits);
+        const auto check = evaluate(net, dataset, options);
+        ++evals;
+        if (check.topN + 1e-9 < target_accuracy)
+            continue;
+        const double energy = convNetEnergyAtSnr(depth, snr) +
+                              quant_e;
+        if (energy < best.energyJ) {
+            best.snrDb = snr;
+            best.adcBits = bits;
+            best.accuracy = check.topN;
+            best.energyJ = energy;
+        }
+    }
+    best.evaluations = evals;
+    fatal_if(!std::isfinite(best.energyJ),
+             "no noise configuration reaches the target accuracy ",
+             target_accuracy);
+    return best;
+}
+
+} // namespace sim
+} // namespace redeye

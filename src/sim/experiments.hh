@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared experiment runners behind the bench binaries: the GoogLeNet
+ * depth sweep (Figure 7), noise sweeps (Figures 9/10), and the
+ * noise-parameter optimizer the paper's developer workflow describes.
+ */
+
+#ifndef REDEYE_SIM_EXPERIMENTS_HH
+#define REDEYE_SIM_EXPERIMENTS_HH
+
+#include <memory>
+#include <vector>
+
+#include "data/shapes_dataset.hh"
+#include "redeye/energy_model.hh"
+#include "sim/evaluator.hh"
+#include "sim/noise_injector.hh"
+
+namespace redeye {
+namespace sim {
+
+/** One row of the Figure 7 depth sweep. */
+struct DepthRow {
+    unsigned depth = 0;
+    std::size_t analogMacs = 0;
+    double analogEnergyJ = 0.0; ///< MAC + memory + comparator + ADC
+    double totalEnergyJ = 0.0;  ///< + controller
+    double frameTimeS = 0.0;
+    double outputBytes = 0.0;
+    double digitalTailMacs = 0.0;
+    Shape cutShape;
+    arch::EnergyBreakdown breakdown;
+};
+
+/**
+ * Run the GoogLeNet depth sweep (Depth1..Depth5) under @p config,
+ * returning one row per partition.
+ */
+std::vector<DepthRow> googLeNetDepthSweep(
+    const arch::RedEyeConfig &config,
+    std::size_t frame_size = 227);
+
+/**
+ * Analog ConvNet processing energy (MAC + memory + comparator,
+ * excluding readout and controller) of GoogLeNet Depth @p depth at
+ * Gaussian noise admission @p snr_db. The solid curve of Figure 9.
+ */
+double convNetEnergyAtSnr(unsigned depth, double snr_db,
+                          std::size_t frame_size = 227);
+
+/**
+ * Quantization (readout) energy of GoogLeNet Depth @p depth at ADC
+ * resolution @p bits. The solid curve of Figure 10.
+ */
+double quantizationEnergyAtBits(unsigned depth, unsigned bits,
+                                std::size_t frame_size = 227);
+
+/** One point of an accuracy-vs-noise sweep. */
+struct AccuracyPoint {
+    double snrDb = 0.0;
+    unsigned adcBits = 0;
+    double top1 = 0.0;
+    double topN = 0.0;
+};
+
+/**
+ * Measure accuracy of the noise-injected network @p net over
+ * @p dataset for each SNR in @p snrs (ADC fixed at @p bits).
+ */
+std::vector<AccuracyPoint> accuracyVsSnr(
+    nn::Network &net, InjectionHandles &handles,
+    const data::Dataset &dataset, const std::vector<double> &snrs,
+    unsigned bits, const EvalOptions &options = EvalOptions{});
+
+/**
+ * Measure accuracy for each ADC resolution in @p bits_list (Gaussian
+ * SNR fixed at @p snr_db).
+ */
+std::vector<AccuracyPoint> accuracyVsBits(
+    nn::Network &net, InjectionHandles &handles,
+    const data::Dataset &dataset,
+    const std::vector<unsigned> &bits_list, double snr_db,
+    const EvalOptions &options = EvalOptions{});
+
+/** Result of the noise-parameter search. */
+struct NoiseTuningResult {
+    double snrDb = 0.0;
+    unsigned adcBits = 0;
+    double accuracy = 0.0;
+    double energyJ = 0.0;
+    std::size_t evaluations = 0;
+};
+
+/**
+ * Search (simplex over SNR, sweep over q) for the minimum-energy
+ * noise configuration of Depth @p depth keeping Top-N accuracy of
+ * @p net on @p dataset at or above @p target_accuracy.
+ */
+NoiseTuningResult tuneNoiseParameters(
+    nn::Network &net, InjectionHandles &handles,
+    const data::Dataset &dataset, double target_accuracy,
+    unsigned depth, const EvalOptions &options = EvalOptions{});
+
+} // namespace sim
+} // namespace redeye
+
+#endif // REDEYE_SIM_EXPERIMENTS_HH

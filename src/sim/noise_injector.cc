@@ -1,0 +1,92 @@
+#include "sim/noise_injector.hh"
+
+#include <set>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace sim {
+
+void
+InjectionHandles::setSnrDb(double snr_db)
+{
+    for (auto *g : gaussians)
+        g->setSnrDb(snr_db);
+}
+
+void
+InjectionHandles::setAdcBits(unsigned bits)
+{
+    panic_if(!quantization, "no quantization layer injected");
+    quantization->setBits(bits);
+}
+
+void
+InjectionHandles::setEnabled(bool enabled)
+{
+    for (auto *g : gaussians)
+        g->setEnabled(enabled);
+    if (quantization)
+        quantization->setEnabled(enabled);
+}
+
+InjectionHandles
+injectNoise(nn::Network &net,
+            const std::vector<std::string> &analog_layers,
+            const NoiseSpec &spec)
+{
+    fatal_if(analog_layers.empty(), "empty partition");
+    std::set<std::string> wanted(analog_layers.begin(),
+                                 analog_layers.end());
+    for (const auto &name : analog_layers) {
+        fatal_if(!net.hasLayer(name), "network '", net.name(),
+                 "' has no layer '", name, "'");
+    }
+
+    Rng rng(spec.seed);
+    InjectionHandles handles;
+
+    // Collect targets first: inserting while iterating would shift
+    // positions under us.
+    std::vector<std::string> targets;
+    std::string cut;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        nn::Layer &layer = net.layerAt(i);
+        if (!wanted.count(layer.name()))
+            continue;
+        cut = layer.name();
+        switch (layer.kind()) {
+          case nn::LayerKind::Convolution:
+          case nn::LayerKind::LRN:
+          case nn::LayerKind::MaxPool:
+          case nn::LayerKind::AvgPool:
+            targets.push_back(layer.name());
+            break;
+          default:
+            break;
+        }
+    }
+    fatal_if(cut.empty(), "partition has no layers");
+
+    for (const auto &name : targets) {
+        auto noise_layer = std::make_unique<noise::GaussianNoiseLayer>(
+            name + "/gauss_noise", spec.snrDb, rng.fork());
+        auto *raw = noise_layer.get();
+        net.insertAfter(name, std::move(noise_layer));
+        handles.gaussians.push_back(raw);
+        if (name == cut)
+            cut = raw->name(); // keep the quantizer outermost
+    }
+
+    auto quant = std::make_unique<noise::QuantizationNoiseLayer>(
+        cut + "/quant_noise", spec.adcBits, rng.fork(),
+        spec.quantModel);
+    handles.quantization = quant.get();
+    net.insertAfter(cut, std::move(quant));
+    return handles;
+}
+
+} // namespace sim
+} // namespace redeye

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Noise injection transform (Section III-D).
+ *
+ * "Starting with ConvNet models designed for execution on digital
+ * processors, we inject two types of noise layers into the processing
+ * flow": a Gaussian noise layer after every analog operation module
+ * (convolution, normalization, pooling) and a quantization noise
+ * layer at the A/D boundary. The injector rewrites a Network in place
+ * and returns handles so sweeps can retune SNR/bits without
+ * rebuilding the graph.
+ */
+
+#ifndef REDEYE_SIM_NOISE_INJECTOR_HH
+#define REDEYE_SIM_NOISE_INJECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "noise/gaussian_layer.hh"
+#include "noise/quantization_layer.hh"
+
+namespace redeye {
+
+namespace nn {
+class Network;
+}
+
+namespace sim {
+
+/** Injection parameters. */
+struct NoiseSpec {
+    double snrDb = 40.0;  ///< initial SNR of every Gaussian layer
+    unsigned adcBits = 4; ///< initial ADC resolution at the boundary
+    noise::QuantizationModel quantModel =
+        noise::QuantizationModel::AdditiveUniform;
+    std::uint64_t seed = 0x401fe;
+};
+
+/** Handles to the injected layers. */
+struct InjectionHandles {
+    std::vector<noise::GaussianNoiseLayer *> gaussians;
+    noise::QuantizationNoiseLayer *quantization = nullptr;
+
+    /** Reprogram every Gaussian layer's SNR. */
+    void setSnrDb(double snr_db);
+
+    /** Reprogram the boundary ADC resolution. */
+    void setAdcBits(unsigned bits);
+
+    /** Enable/disable all injected noise. */
+    void setEnabled(bool enabled);
+};
+
+/**
+ * Inject noise layers after every convolution, LRN, pooling and
+ * average-pooling layer of @p analog_layers, and a quantization
+ * layer after the last analog layer (the cut). The listed layers
+ * must exist in @p net.
+ */
+InjectionHandles injectNoise(
+    nn::Network &net, const std::vector<std::string> &analog_layers,
+    const NoiseSpec &spec);
+
+} // namespace sim
+} // namespace redeye
+
+#endif // REDEYE_SIM_NOISE_INJECTOR_HH

@@ -1,0 +1,78 @@
+#include "sim/pretrained.hh"
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "models/mini_googlenet.hh"
+#include "nn/quantize.hh"
+#include "nn/serialize.hh"
+#include "sim/training.hh"
+
+namespace redeye {
+namespace sim {
+
+namespace {
+
+PretrainedSetup
+buildPretrained(const std::string &cache_path, bool verbose,
+                const data::ShapesParams &sp, std::size_t epochs)
+{
+    PretrainedSetup setup;
+    Rng wrng(0x517);
+    setup.net = models::buildMiniGoogLeNet(data::kShapeClasses, wrng);
+
+    Rng drng(0x11ab);
+    const auto train = data::generateShapes(80, sp, drng);
+    setup.val = data::generateShapes(20, sp, drng);
+
+    if (!cache_path.empty() &&
+        std::filesystem::exists(cache_path)) {
+        nn::loadWeights(*setup.net, cache_path);
+        return setup;
+    }
+
+    if (verbose)
+        inform("training MiniGoogLeNet (first run; ~1 minute)...");
+    TrainOptions opt;
+    opt.epochs = epochs;
+    opt.solver.lrStep = 150;
+    opt.solver.lrDecay = 0.5;
+    opt.verbose = verbose;
+    trainClassifier(*setup.net, train, opt);
+    nn::quantizeNetworkWeights(*setup.net, 8);
+
+    if (!cache_path.empty()) {
+        // Write-and-rename so concurrent first runs (parallel test
+        // processes) never observe a torn cache.
+        const std::string tmp = cache_path + ".tmp." +
+                                std::to_string(::getpid());
+        nn::saveWeights(*setup.net, tmp);
+        std::filesystem::rename(tmp, cache_path);
+    }
+    return setup;
+}
+
+} // namespace
+
+PretrainedSetup
+pretrainedMiniGoogLeNet(const std::string &cache_path, bool verbose)
+{
+    return buildPretrained(cache_path, verbose,
+                           data::ShapesParams{}, 10);
+}
+
+PretrainedSetup
+pretrainedMiniGoogLeNet(PretrainedTask task, bool verbose)
+{
+    if (task == PretrainedTask::Standard)
+        return pretrainedMiniGoogLeNet("redeye_mini_weights.bin",
+                                       verbose);
+    // The hard task converges slower; give it more epochs.
+    return buildPretrained("redeye_mini_hard_weights.bin", verbose,
+                           data::ShapesParams::hard(), 16);
+}
+
+} // namespace sim
+} // namespace redeye

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Cached trained MiniGoogLeNet.
+ *
+ * The accuracy experiments need a trained classifier; training takes
+ * about a minute. This helper trains once with a fixed, seeded
+ * recipe and caches the weights next to the working directory, so
+ * every bench/example/test process after the first loads instantly.
+ * Results are bit-identical either way.
+ */
+
+#ifndef REDEYE_SIM_PRETRAINED_HH
+#define REDEYE_SIM_PRETRAINED_HH
+
+#include <memory>
+#include <string>
+
+#include "data/shapes_dataset.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace sim {
+
+/** The fixed dataset recipe paired with the pretrained weights. */
+struct PretrainedSetup {
+    std::unique_ptr<nn::Network> net; ///< trained, 8-bit weights
+    data::Dataset val;                ///< held-out evaluation set
+};
+
+/**
+ * Return the standard trained MiniGoogLeNet and its validation set.
+ * Loads weights from @p cache_path when present; otherwise trains
+ * (about a minute) and writes the cache.
+ */
+PretrainedSetup pretrainedMiniGoogLeNet(
+    const std::string &cache_path = "redeye_mini_weights.bin",
+    bool verbose = false);
+
+/** Which classification task the pretrained model solves. */
+enum class PretrainedTask {
+    Standard, ///< high-contrast shapes; wide noise margin
+    Hard,     ///< faint shapes in clutter; knee near the paper's
+};
+
+/**
+ * Task-selected variant. The Hard task trains on
+ * data::ShapesParams::hard() (cache "redeye_mini_hard_weights.bin"):
+ * its smaller classification margin moves the accuracy-vs-SNR knee
+ * up toward the paper's ImageNet behaviour.
+ */
+PretrainedSetup pretrainedMiniGoogLeNet(PretrainedTask task,
+                                        bool verbose = false);
+
+} // namespace sim
+} // namespace redeye
+
+#endif // REDEYE_SIM_PRETRAINED_HH

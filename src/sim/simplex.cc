@@ -1,0 +1,141 @@
+#include "sim/simplex.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace sim {
+
+namespace {
+
+using Point = std::vector<double>;
+
+Point
+affine(const Point &a, const Point &b, double t)
+{
+    // a + t * (b - a)
+    Point out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + t * (b[i] - a[i]);
+    return out;
+}
+
+} // namespace
+
+SimplexResult
+nelderMead(
+    const std::function<double(const std::vector<double> &)> &objective,
+    const std::vector<double> &initial,
+    const std::vector<double> &steps, const SimplexOptions &options)
+{
+    fatal_if(initial.empty(), "empty initial point");
+    fatal_if(initial.size() != steps.size(),
+             "initial point and steps differ in dimension");
+
+    const std::size_t n = initial.size();
+    SimplexResult result;
+
+    // Build the initial simplex: the start plus one offset vertex
+    // per dimension.
+    std::vector<Point> verts(n + 1, initial);
+    for (std::size_t i = 0; i < n; ++i)
+        verts[i + 1][i] += steps[i];
+
+    std::vector<double> values(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+        values[i] = objective(verts[i]);
+        ++result.evaluations;
+    }
+
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+        ++result.iterations;
+
+        // Order vertices by objective value.
+        std::vector<std::size_t> order(n + 1);
+        for (std::size_t i = 0; i <= n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return values[a] < values[b];
+                  });
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[n - 1];
+
+        if (std::fabs(values[worst] - values[best]) <
+            options.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        Point centroid(n, 0.0);
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += verts[i][d];
+        }
+        for (double &c : centroid)
+            c /= static_cast<double>(n);
+
+        // Reflection.
+        Point reflected = affine(centroid, verts[worst],
+                                 -options.reflection);
+        const double f_ref = objective(reflected);
+        ++result.evaluations;
+
+        if (f_ref < values[best]) {
+            // Expansion.
+            Point expanded = affine(centroid, verts[worst],
+                                    -options.expansion);
+            const double f_exp = objective(expanded);
+            ++result.evaluations;
+            if (f_exp < f_ref) {
+                verts[worst] = std::move(expanded);
+                values[worst] = f_exp;
+            } else {
+                verts[worst] = std::move(reflected);
+                values[worst] = f_ref;
+            }
+            continue;
+        }
+        if (f_ref < values[second_worst]) {
+            verts[worst] = std::move(reflected);
+            values[worst] = f_ref;
+            continue;
+        }
+
+        // Contraction toward the centroid.
+        Point contracted = affine(centroid, verts[worst],
+                                  options.contraction);
+        const double f_con = objective(contracted);
+        ++result.evaluations;
+        if (f_con < values[worst]) {
+            verts[worst] = std::move(contracted);
+            values[worst] = f_con;
+            continue;
+        }
+
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == best)
+                continue;
+            verts[i] = affine(verts[best], verts[i], options.shrink);
+            values[i] = objective(verts[i]);
+            ++result.evaluations;
+        }
+    }
+
+    const auto best_it = std::min_element(values.begin(),
+                                          values.end());
+    result.value = *best_it;
+    result.x = verts[static_cast<std::size_t>(
+        std::distance(values.begin(), best_it))];
+    return result;
+}
+
+} // namespace sim
+} // namespace redeye

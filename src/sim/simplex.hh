@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Nelder-Mead simplex minimizer.
+ *
+ * Section III-D: finding energy-optimal noise parameters is "an
+ * intensive search over a parameter space of dimension R^(n+1) for n
+ * Gaussian layers and 1 quantization layer. Such highly dimensional
+ * searches would typically require tools such as the canonical
+ * simplex search." This is that tool; the noise-parameter objective
+ * lives in sim/experiments.
+ */
+
+#ifndef REDEYE_SIM_SIMPLEX_HH
+#define REDEYE_SIM_SIMPLEX_HH
+
+#include <functional>
+#include <vector>
+
+namespace redeye {
+namespace sim {
+
+/** Simplex search options. */
+struct SimplexOptions {
+    std::size_t maxIterations = 400;
+    double tolerance = 1e-9; ///< value-spread convergence threshold
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+};
+
+/** Search outcome. */
+struct SimplexResult {
+    std::vector<double> x;   ///< best point found
+    double value = 0.0;      ///< objective at x
+    std::size_t iterations = 0;
+    std::size_t evaluations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimize @p objective starting from @p initial, with per-dimension
+ * initial simplex steps @p steps.
+ */
+SimplexResult nelderMead(
+    const std::function<double(const std::vector<double> &)> &objective,
+    const std::vector<double> &initial,
+    const std::vector<double> &steps,
+    const SimplexOptions &options = SimplexOptions{});
+
+} // namespace sim
+} // namespace redeye
+
+#endif // REDEYE_SIM_SIMPLEX_HH

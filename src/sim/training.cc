@@ -1,0 +1,71 @@
+#include "sim/training.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "nn/softmax.hh"
+
+namespace redeye {
+namespace sim {
+
+TrainResult
+trainClassifier(nn::Network &net, const data::Dataset &train_set,
+                const TrainOptions &options)
+{
+    fatal_if(train_set.size() == 0, "empty training set");
+    fatal_if(options.batchSize == 0, "batch size must be positive");
+    fatal_if(options.epochs == 0, "need at least one epoch");
+
+    nn::SgdSolver solver(net, options.solver);
+    Rng shuffle_rng(options.shuffleSeed);
+    net.setTraining(true);
+
+    TrainResult result;
+    std::vector<std::size_t> order(train_set.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    Tensor loss_grad;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(),
+                     shuffle_rng.engine());
+        double epoch_loss = 0.0;
+        std::size_t batches = 0;
+
+        for (std::size_t start = 0; start < order.size();
+             start += options.batchSize) {
+            const std::size_t count = std::min(options.batchSize,
+                                               order.size() - start);
+            std::vector<std::size_t> idx(order.begin() + start,
+                                         order.begin() + start +
+                                             count);
+            data::Dataset batch = data::makeBatch(train_set, idx);
+
+            const Tensor &logits = net.forward(batch.images);
+            const double loss = nn::softmaxCrossEntropy(
+                logits, batch.labels, loss_grad);
+            net.zeroGrads();
+            net.backward(loss_grad);
+            solver.step();
+
+            epoch_loss += loss;
+            ++batches;
+            ++result.iterations;
+        }
+
+        result.finalLoss = epoch_loss /
+                           static_cast<double>(batches);
+        if (options.verbose) {
+            inform("epoch ", epoch + 1, "/", options.epochs,
+                   " mean loss ", result.finalLoss, " lr ",
+                   solver.currentLearningRate());
+        }
+    }
+
+    net.setTraining(false);
+    return result;
+}
+
+} // namespace sim
+} // namespace redeye

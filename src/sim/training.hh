@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Classifier training loop for the in-repo accuracy experiments.
+ *
+ * Trains a network (typically MiniGoogLeNet) on a labeled dataset
+ * with momentum SGD and softmax-cross-entropy loss. The loop is
+ * deterministic for a given seed.
+ */
+
+#ifndef REDEYE_SIM_TRAINING_HH
+#define REDEYE_SIM_TRAINING_HH
+
+#include <cstdint>
+
+#include "data/shapes_dataset.hh"
+#include "nn/solver.hh"
+
+namespace redeye {
+namespace sim {
+
+/** Training options. */
+struct TrainOptions {
+    std::size_t epochs = 8;
+    std::size_t batchSize = 32;
+    nn::SolverParams solver;
+    std::uint64_t shuffleSeed = 0x7a11;
+    bool verbose = false;
+
+    TrainOptions()
+    {
+        solver.learningRate = 0.02;
+        solver.momentum = 0.9;
+        solver.weightDecay = 1e-4;
+        solver.gradClip = 5.0;
+    }
+};
+
+/** Training outcome. */
+struct TrainResult {
+    double finalLoss = 0.0;
+    std::size_t iterations = 0;
+};
+
+/**
+ * Train @p net on @p train_set. The network's final layer must emit
+ * (n, classes, 1, 1) logits.
+ */
+TrainResult trainClassifier(nn::Network &net,
+                            const data::Dataset &train_set,
+                            const TrainOptions &options =
+                                TrainOptions{});
+
+} // namespace sim
+} // namespace redeye
+
+#endif // REDEYE_SIM_TRAINING_HH

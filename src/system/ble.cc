@@ -1,0 +1,52 @@
+#include "system/ble.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace sys {
+
+BleParams
+BleParams::paper()
+{
+    // Two anchors: a 227x227x3 10-bit raw frame (193,233 bytes ->
+    // 129.42 mJ, 1.54 s) and the Depth4 4-bit feature tensor
+    // (14x14x480 -> 47,040 bytes -> 33.7 mJ, 0.40 s). Solving the
+    // affine model through both:
+    constexpr double raw_bytes = 227.0 * 227.0 * 3.0 * 10.0 / 8.0;
+    constexpr double feat_bytes = 14.0 * 14.0 * 480.0 * 4.0 / 8.0;
+    constexpr double de = (129.42e-3 - 33.7e-3) /
+                          (raw_bytes - feat_bytes);
+    constexpr double dt = (1.54 - 0.40) / (raw_bytes - feat_bytes);
+
+    BleParams p;
+    p.energyPerByteJ = de;
+    p.fixedEnergyJ = 129.42e-3 - de * raw_bytes;
+    p.timePerByteS = dt;
+    p.fixedTimeS = 1.54 - dt * raw_bytes;
+    return p;
+}
+
+BleLink::BleLink(BleParams params) : params_(params)
+{
+    fatal_if(params_.energyPerByteJ <= 0.0 ||
+                 params_.timePerByteS <= 0.0,
+             "BLE marginal costs must be positive");
+}
+
+double
+BleLink::transferEnergyJ(double payload_bytes) const
+{
+    fatal_if(payload_bytes < 0.0, "negative payload");
+    return params_.fixedEnergyJ +
+           params_.energyPerByteJ * payload_bytes;
+}
+
+double
+BleLink::transferTimeS(double payload_bytes) const
+{
+    fatal_if(payload_bytes < 0.0, "negative payload");
+    return params_.fixedTimeS + params_.timePerByteS * payload_bytes;
+}
+
+} // namespace sys
+} // namespace redeye

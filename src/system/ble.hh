@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bluetooth Low Energy link model for cloudlet offload.
+ *
+ * Anchored to the characterization the paper cites (Siekkinen et
+ * al.): "conventionally exporting a 227x227 frame will consume
+ * 129.42 mJ over 1.54 seconds", while "RedEye Depth4 output only
+ * consumes 33.7 mJ per frame, over 0.40 seconds". A fixed
+ * per-transfer cost (connection maintenance) plus a per-byte rate
+ * fits both anchor points.
+ */
+
+#ifndef REDEYE_SYSTEM_BLE_HH
+#define REDEYE_SYSTEM_BLE_HH
+
+#include <cstddef>
+
+namespace redeye {
+namespace sys {
+
+/** BLE link characterization. */
+struct BleParams {
+    double fixedEnergyJ;   ///< per-transfer connection overhead [J]
+    double energyPerByteJ; ///< marginal energy per payload byte [J]
+    double fixedTimeS;     ///< per-transfer latency overhead [s]
+    double timePerByteS;   ///< marginal time per payload byte [s]
+
+    /** Parameters fit to the paper's two anchor transfers. */
+    static BleParams paper();
+};
+
+/** BLE transfer estimator. */
+class BleLink
+{
+  public:
+    explicit BleLink(BleParams params = BleParams::paper());
+
+    /** Energy to ship @p payload_bytes [J]. */
+    double transferEnergyJ(double payload_bytes) const;
+
+    /** Time to ship @p payload_bytes [s]. */
+    double transferTimeS(double payload_bytes) const;
+
+    const BleParams &params() const { return params_; }
+
+  private:
+    BleParams params_;
+};
+
+} // namespace sys
+} // namespace redeye
+
+#endif // REDEYE_SYSTEM_BLE_HH

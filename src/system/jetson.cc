@@ -1,0 +1,65 @@
+#include "system/jetson.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace sys {
+
+const char *
+jetsonProcessorName(JetsonProcessor proc)
+{
+    return proc == JetsonProcessor::CPU ? "CPU" : "GPU";
+}
+
+JetsonParams
+JetsonParams::paper(JetsonProcessor proc, double full_macs,
+                    double depth5_tail_macs)
+{
+    JetsonParams p;
+    if (proc == JetsonProcessor::GPU) {
+        p.powerW = 12.2;
+        p.fullTimeS = 33.3e-3;
+        p.depth5TimeS = 18.6e-3;
+    } else {
+        p.powerW = 3.1;
+        p.fullTimeS = 545e-3;
+        p.depth5TimeS = 297e-3;
+    }
+    p.fullMacs = full_macs;
+    p.depth5Macs = depth5_tail_macs;
+    return p;
+}
+
+JetsonTk1::JetsonTk1(JetsonParams params) : params_(params)
+{
+    fatal_if(params_.powerW <= 0.0, "power must be positive");
+    fatal_if(params_.fullMacs <= params_.depth5Macs,
+             "full workload must exceed the Depth5 tail");
+    fatal_if(params_.fullTimeS <= params_.depth5TimeS,
+             "full execution must take longer than the tail");
+    timePerMacS_ = (params_.fullTimeS - params_.depth5TimeS) /
+                   (params_.fullMacs - params_.depth5Macs);
+    fixedTimeS_ = params_.fullTimeS - timePerMacS_ * params_.fullMacs;
+}
+
+double
+JetsonTk1::executionTimeS(double macs) const
+{
+    fatal_if(macs < 0.0, "negative workload");
+    // The affine fit is an interpolation between the two measured
+    // anchors; extrapolating below the Depth5 tail is pinned at the
+    // Depth5 measurement per MAC.
+    if (macs < params_.depth5Macs) {
+        return params_.depth5TimeS * macs / params_.depth5Macs;
+    }
+    return fixedTimeS_ + timePerMacS_ * macs;
+}
+
+double
+JetsonTk1::executionEnergyJ(double macs) const
+{
+    return params_.powerW * executionTimeS(macs);
+}
+
+} // namespace sys
+} // namespace redeye

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NVIDIA Jetson TK1 host model.
+ *
+ * Anchored to the paper's oscilloscope measurements of GoogLeNet
+ * under Caffe: GPU 12.2 W over 33.3 ms (406 mJ/frame), CPU 3.1 W over
+ * 545 ms (1.7 J/frame); with Depth5 RedEye features the GPU tail
+ * takes 18.6 ms and the CPU tail 297 ms. Execution time is modeled
+ * affinely in the MAC workload (fixed framework overhead + marginal
+ * cost per MAC), fit through each processor's two anchors, so other
+ * partition depths interpolate.
+ */
+
+#ifndef REDEYE_SYSTEM_JETSON_HH
+#define REDEYE_SYSTEM_JETSON_HH
+
+#include <cstddef>
+
+namespace redeye {
+namespace sys {
+
+/** Which Jetson processor executes the digital tail. */
+enum class JetsonProcessor { CPU, GPU };
+
+/** Name of the processor. */
+const char *jetsonProcessorName(JetsonProcessor proc);
+
+/** One processor's measured characterization. */
+struct JetsonParams {
+    double powerW;        ///< draw while executing ConvNet layers
+    double fullTimeS;     ///< full GoogLeNet per frame
+    double depth5TimeS;   ///< Depth5 tail per frame
+    double fullMacs;      ///< MACs of full GoogLeNet
+    double depth5Macs;    ///< MACs of the Depth5 tail
+
+    /** Paper characterization for @p proc; workload counts must be
+     * supplied by the caller (from models::analyzePartition). */
+    static JetsonParams paper(JetsonProcessor proc, double full_macs,
+                              double depth5_tail_macs);
+};
+
+/** Affine-in-MACs Jetson execution model. */
+class JetsonTk1
+{
+  public:
+    explicit JetsonTk1(JetsonParams params);
+
+    /** Time to execute a tail of @p macs MACs [s]. */
+    double executionTimeS(double macs) const;
+
+    /** Energy to execute a tail of @p macs MACs [J]. */
+    double executionEnergyJ(double macs) const;
+
+    double powerW() const { return params_.powerW; }
+
+    const JetsonParams &params() const { return params_; }
+
+  private:
+    double fixedTimeS_;
+    double timePerMacS_;
+    JetsonParams params_;
+};
+
+} // namespace sys
+} // namespace redeye
+
+#endif // REDEYE_SYSTEM_JETSON_HH

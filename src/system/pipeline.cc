@@ -1,0 +1,49 @@
+#include "system/pipeline.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace sys {
+
+CloudletPipeline::CloudletPipeline(BleLink link) : link_(link)
+{
+}
+
+SystemCost
+CloudletPipeline::estimate(double sensor_energy_j, double sensor_time_s,
+                           double payload_bytes) const
+{
+    fatal_if(sensor_energy_j < 0.0 || sensor_time_s < 0.0,
+             "negative sensor cost");
+    SystemCost cost;
+    cost.sensorJ = sensor_energy_j;
+    cost.transferJ = link_.transferEnergyJ(payload_bytes);
+    const double link_time = link_.transferTimeS(payload_bytes);
+    cost.frameTimeS = std::max(sensor_time_s, link_time);
+    cost.fps = cost.frameTimeS > 0.0 ? 1.0 / cost.frameTimeS : 0.0;
+    return cost;
+}
+
+HostPipeline::HostPipeline(JetsonTk1 host) : host_(host)
+{
+}
+
+SystemCost
+HostPipeline::estimate(double sensor_energy_j, double sensor_time_s,
+                       double tail_macs) const
+{
+    fatal_if(sensor_energy_j < 0.0 || sensor_time_s < 0.0,
+             "negative sensor cost");
+    SystemCost cost;
+    cost.sensorJ = sensor_energy_j;
+    cost.computeJ = host_.executionEnergyJ(tail_macs);
+    const double host_time = host_.executionTimeS(tail_macs);
+    cost.frameTimeS = std::max(sensor_time_s, host_time);
+    cost.fps = cost.frameTimeS > 0.0 ? 1.0 / cost.frameTimeS : 0.0;
+    return cost;
+}
+
+} // namespace sys
+} // namespace redeye

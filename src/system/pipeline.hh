@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end system pipelines: how RedEye composes with a cloudlet
+ * link or an on-device host into the per-frame system energy/timing
+ * the paper's Figure 8 charts.
+ */
+
+#ifndef REDEYE_SYSTEM_PIPELINE_HH
+#define REDEYE_SYSTEM_PIPELINE_HH
+
+#include "system/ble.hh"
+#include "system/jetson.hh"
+
+namespace redeye {
+namespace sys {
+
+/** Per-frame cost of one system configuration. */
+struct SystemCost {
+    double sensorJ = 0.0;   ///< image sensor or RedEye
+    double transferJ = 0.0; ///< BLE payload (cloudlet only)
+    double computeJ = 0.0;  ///< host ConvNet execution
+    double frameTimeS = 0.0; ///< per-frame latency (pipelined)
+    double fps = 0.0;        ///< sustained pipelined frame rate
+
+    double
+    totalJ() const
+    {
+        return sensorJ + transferJ + computeJ;
+    }
+};
+
+/** Cloudlet offload: sensor -> BLE -> remote compute (free). */
+class CloudletPipeline
+{
+  public:
+    explicit CloudletPipeline(BleLink link = BleLink());
+
+    /**
+     * @param sensor_energy_j Energy of the capture device per frame.
+     * @param sensor_time_s Capture/processing latency per frame.
+     * @param payload_bytes Data shipped per frame.
+     */
+    SystemCost estimate(double sensor_energy_j, double sensor_time_s,
+                        double payload_bytes) const;
+
+  private:
+    BleLink link_;
+};
+
+/** On-device host: sensor -> Jetson CPU/GPU. */
+class HostPipeline
+{
+  public:
+    explicit HostPipeline(JetsonTk1 host);
+
+    /**
+     * @param sensor_energy_j Capture-device energy per frame.
+     * @param sensor_time_s Capture-device latency per frame.
+     * @param tail_macs Digital ConvNet workload left to the host.
+     *
+     * Sensor and host stages are pipelined: sustained rate is set by
+     * the slower stage.
+     */
+    SystemCost estimate(double sensor_energy_j, double sensor_time_s,
+                        double tail_macs) const;
+
+  private:
+    JetsonTk1 host_;
+};
+
+} // namespace sys
+} // namespace redeye
+
+#endif // REDEYE_SYSTEM_PIPELINE_HH

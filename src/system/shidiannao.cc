@@ -1,0 +1,34 @@
+#include "system/shidiannao.hh"
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace sys {
+
+std::size_t
+shiDianNaoPatchCount(std::size_t frame_w, std::size_t frame_h,
+                     const ShiDianNaoParams &params)
+{
+    fatal_if(params.stride == 0, "stride must be positive");
+    fatal_if(frame_w < params.patchW || frame_h < params.patchH,
+             "frame smaller than one patch");
+    const std::size_t nx = (frame_w - params.patchW) / params.stride +
+                           1;
+    const std::size_t ny = (frame_h - params.patchH) / params.stride +
+                           1;
+    return nx * ny;
+}
+
+double
+shiDianNaoEnergyJ(std::size_t frame_w, std::size_t frame_h,
+                  const ShiDianNaoParams &params)
+{
+    const double per_patch = params.frameEnergyJ /
+                             static_cast<double>(params.anchorPatches);
+    return per_patch * static_cast<double>(
+                           shiDianNaoPatchCount(frame_w, frame_h,
+                                                params));
+}
+
+} // namespace sys
+} // namespace redeye

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ShiDianNao accelerator comparison model.
+ *
+ * The paper compares against cited ShiDianNao statistics: "144
+ * instances of the authors' 64x30 patch, with a stride of 16 pixels
+ * in the 227x227 region, for 2.18 mJ of energy consumption per
+ * frame", plus the 1.1 mJ image sensor, totaling over 3.2 mJ per
+ * frame for a 7-layer ConvNet.
+ */
+
+#ifndef REDEYE_SYSTEM_SHIDIANNAO_HH
+#define REDEYE_SYSTEM_SHIDIANNAO_HH
+
+#include <cstddef>
+
+namespace redeye {
+namespace sys {
+
+/** Patch-tiled accelerator model. */
+struct ShiDianNaoParams {
+    std::size_t patchW = 64;
+    std::size_t patchH = 30;
+    std::size_t stride = 16;
+    double frameEnergyJ = 2.18e-3; ///< 144 patches on 227x227
+    std::size_t anchorPatches = 144;
+};
+
+/** Number of patch instances tiling a WxH frame. */
+std::size_t shiDianNaoPatchCount(std::size_t frame_w,
+                                 std::size_t frame_h,
+                                 const ShiDianNaoParams &params =
+                                     ShiDianNaoParams{});
+
+/** Accelerator energy for a WxH frame [J]. */
+double shiDianNaoEnergyJ(std::size_t frame_w, std::size_t frame_h,
+                         const ShiDianNaoParams &params =
+                             ShiDianNaoParams{});
+
+} // namespace sys
+} // namespace redeye
+
+#endif // REDEYE_SYSTEM_SHIDIANNAO_HH

@@ -1,0 +1,145 @@
+#include "tensor/im2col.hh"
+
+#include <cstring>
+
+namespace redeye {
+
+void
+im2col(const float *image, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp,
+       std::vector<float> &cols)
+{
+    const std::size_t out_h = wp.outH(height);
+    const std::size_t out_w = wp.outW(width);
+    const std::size_t rows = channels * wp.kernelH * wp.kernelW;
+    cols.assign(rows * out_h * out_w, 0.0f);
+
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t kh = 0; kh < wp.kernelH; ++kh) {
+            for (std::size_t kw = 0; kw < wp.kernelW; ++kw, ++row) {
+                float *dst = cols.data() + row * out_h * out_w;
+                for (std::size_t oh = 0; oh < out_h; ++oh) {
+                    const long ih = static_cast<long>(oh * wp.strideH +
+                                                      kh) -
+                                    static_cast<long>(wp.padH);
+                    if (ih < 0 || ih >= static_cast<long>(height)) {
+                        dst += out_w;
+                        continue;
+                    }
+                    const float *src = image +
+                                       (c * height +
+                                        static_cast<std::size_t>(ih)) *
+                                           width;
+                    for (std::size_t ow = 0; ow < out_w; ++ow) {
+                        const long iw =
+                            static_cast<long>(ow * wp.strideW + kw) -
+                            static_cast<long>(wp.padW);
+                        if (iw >= 0 && iw < static_cast<long>(width))
+                            *dst = src[static_cast<std::size_t>(iw)];
+                        ++dst;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const std::vector<float> &cols, std::size_t channels,
+       std::size_t height, std::size_t width, const WindowParams &wp,
+       float *image)
+{
+    const std::size_t out_h = wp.outH(height);
+    const std::size_t out_w = wp.outW(width);
+    std::memset(image, 0, channels * height * width * sizeof(float));
+
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t kh = 0; kh < wp.kernelH; ++kh) {
+            for (std::size_t kw = 0; kw < wp.kernelW; ++kw, ++row) {
+                const float *src = cols.data() + row * out_h * out_w;
+                for (std::size_t oh = 0; oh < out_h; ++oh) {
+                    const long ih = static_cast<long>(oh * wp.strideH +
+                                                      kh) -
+                                    static_cast<long>(wp.padH);
+                    if (ih < 0 || ih >= static_cast<long>(height)) {
+                        src += out_w;
+                        continue;
+                    }
+                    float *dst = image +
+                                 (c * height +
+                                  static_cast<std::size_t>(ih)) *
+                                     width;
+                    for (std::size_t ow = 0; ow < out_w; ++ow) {
+                        const long iw =
+                            static_cast<long>(ow * wp.strideW + kw) -
+                            static_cast<long>(wp.padW);
+                        if (iw >= 0 && iw < static_cast<long>(width))
+                            dst[static_cast<std::size_t>(iw)] += *src;
+                        ++src;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+matmul(const float *a, const float *b, float *c, std::size_t m,
+       std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = a[i * k + p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransA(const float *a, const float *b, float *c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a + p * m;
+        const float *brow = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTransB(const float *a, const float *b, float *c, std::size_t m,
+             std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+} // namespace redeye

@@ -1,0 +1,15 @@
+#include "tensor/shape.hh"
+
+#include <cstdio>
+
+namespace redeye {
+
+std::string
+Shape::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%zux%zux%zux%zu", n, c, h, w);
+    return buf;
+}
+
+} // namespace redeye

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tensor shape in NCHW layout.
+ *
+ * All activations in the framework are 4-D (batch, channels, height,
+ * width); fully-connected activations use h == w == 1. Convolution
+ * kernels reuse the same type as (out_channels, in_channels, kh, kw).
+ */
+
+#ifndef REDEYE_TENSOR_SHAPE_HH
+#define REDEYE_TENSOR_SHAPE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace redeye {
+
+/** 4-D NCHW shape. */
+struct Shape {
+    std::size_t n = 0; ///< batch (or kernel output channels)
+    std::size_t c = 0; ///< channels
+    std::size_t h = 0; ///< height
+    std::size_t w = 0; ///< width
+
+    Shape() = default;
+
+    Shape(std::size_t n_, std::size_t c_, std::size_t h_, std::size_t w_)
+        : n(n_), c(c_), h(h_), w(w_)
+    {}
+
+    /** Total number of elements. */
+    std::size_t size() const { return n * c * h * w; }
+
+    /** Elements per batch item. */
+    std::size_t sliceSize() const { return c * h * w; }
+
+    /** Elements per channel plane. */
+    std::size_t planeSize() const { return h * w; }
+
+    /** Linear index of (in, ic, ih, iw); no bounds checking. */
+    std::size_t
+    index(std::size_t in, std::size_t ic, std::size_t ih,
+          std::size_t iw) const
+    {
+        return ((in * c + ic) * h + ih) * w + iw;
+    }
+
+    /** True if every extent is nonzero. */
+    bool valid() const { return n && c && h && w; }
+
+    bool operator==(const Shape &o) const = default;
+
+    /** Render as "NxCxHxW". */
+    std::string str() const;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_TENSOR_SHAPE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Dense float tensor in NCHW layout.
+ *
+ * The Tensor is the currency of the ConvNet framework (src/nn) and the
+ * noise/analog simulation layers. Storage is a contiguous
+ * std::vector<float>; the class is freely copyable and movable.
+ */
+
+#ifndef REDEYE_TENSOR_TENSOR_HH
+#define REDEYE_TENSOR_TENSOR_HH
+
+#include <vector>
+
+#include "tensor/shape.hh"
+
+namespace redeye {
+
+class Rng;
+
+/** Dense 4-D float tensor. */
+class Tensor
+{
+  public:
+    /** Empty tensor (size 0). */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(const Shape &shape);
+
+    /** Tensor of the given shape filled with a constant. */
+    Tensor(const Shape &shape, float fill_value);
+
+    /** Tensor wrapping explicit data (size must match the shape). */
+    Tensor(const Shape &shape, std::vector<float> data);
+
+    const Shape &shape() const { return shape_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    std::vector<float> &vec() { return data_; }
+    const std::vector<float> &vec() const { return data_; }
+
+    /** Unchecked linear access. */
+    float &operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /** Unchecked NCHW access. */
+    float &
+    at(std::size_t n, std::size_t c, std::size_t h, std::size_t w)
+    {
+        return data_[shape_.index(n, c, h, w)];
+    }
+
+    float
+    at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const
+    {
+        return data_[shape_.index(n, c, h, w)];
+    }
+
+    /** Bounds-checked NCHW access (panics on violation). */
+    float &checkedAt(std::size_t n, std::size_t c, std::size_t h,
+                     std::size_t w);
+
+    /** Set every element to a constant. */
+    void fill(float value);
+
+    /** Set every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Fill i.i.d. uniform in [lo, hi). */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /** Fill i.i.d. Gaussian. */
+    void fillGaussian(Rng &rng, float mean, float stddev);
+
+    /**
+     * Reinterpret as a different shape with the same element count
+     * (panics on mismatch).
+     */
+    Tensor reshaped(const Shape &shape) const;
+
+    /** Copy out one batch item as an n == 1 tensor. */
+    Tensor slice(std::size_t batch_index) const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Mean of all elements (0 when empty). */
+    double mean() const;
+
+    /** Largest absolute element (0 when empty). */
+    float absMax() const;
+
+    /** Elementwise in-place scale. */
+    void scale(float factor);
+
+    /** Elementwise in-place add of another tensor (shapes must match). */
+    void add(const Tensor &other);
+
+    /** Elementwise in-place axpy: this += alpha * other. */
+    void axpy(float alpha, const Tensor &other);
+
+    /** Elementwise in-place clamp into [lo, hi]. */
+    void clamp(float lo, float hi);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+/** Largest absolute difference between two equal-shaped tensors. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace redeye
+
+#endif // REDEYE_TENSOR_TENSOR_HH

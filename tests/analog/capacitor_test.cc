@@ -1,0 +1,115 @@
+/** @file Tests for capacitor primitives (kT/C physics). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analog/capacitor.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+#include "core/units.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(KtcTest, KnownValueAtRoomTemperature)
+{
+    // kT/C for 1 pF at 300 K with gamma = 1: ~64.4 uV rms.
+    const double rms = ktcNoiseRms(1e-12, 300.0, 1.0);
+    EXPECT_NEAR(rms, 64.4e-6, 1e-6);
+}
+
+TEST(KtcTest, ScalesAsInverseSqrtC)
+{
+    const ProcessParams p = ProcessParams::typical();
+    const double r1 = ktcNoiseRms(10e-15, p);
+    const double r2 = ktcNoiseRms(1000e-15, p);
+    EXPECT_NEAR(r1 / r2, 10.0, 1e-9);
+}
+
+TEST(KtcTest, GammaRaisesNoise)
+{
+    EXPECT_GT(ktcNoiseRms(1e-12, 300.0, 2.0),
+              ktcNoiseRms(1e-12, 300.0, 1.0));
+}
+
+TEST(KtcTest, HotterIsNoisier)
+{
+    EXPECT_GT(ktcNoiseRms(1e-12, 353.0, 1.5),
+              ktcNoiseRms(1e-12, 253.0, 1.5));
+}
+
+TEST(ChargeEnergyTest, QuadraticInVoltage)
+{
+    EXPECT_DOUBLE_EQ(chargeEnergy(1e-12, 2.0), 4e-12);
+    EXPECT_DOUBLE_EQ(chargeEnergy(10e-15, 1.8),
+                     10e-15 * 1.8 * 1.8);
+}
+
+TEST(CapForSnrTest, InvertsKtc)
+{
+    const ProcessParams p = ProcessParams::typical();
+    const double c = capForSnr(40.0, 0.3, p);
+    const double sigma = ktcNoiseRms(c, p);
+    EXPECT_NEAR(20.0 * std::log10(0.3 / sigma), 40.0, 1e-9);
+}
+
+TEST(CapForSnrTest, TenDbPerDecade)
+{
+    const ProcessParams p = ProcessParams::typical();
+    EXPECT_NEAR(capForSnr(50.0, 0.3, p) / capForSnr(40.0, 0.3, p),
+                10.0, 1e-9);
+}
+
+TEST(SamplingCapTest, NoiseStatisticsMatchModel)
+{
+    const ProcessParams p = ProcessParams::typical();
+    SamplingCap cap(10e-15, p);
+    Rng rng(1);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(cap.sample(0.5, rng) - 0.5);
+    EXPECT_NEAR(stat.mean(), 0.0, cap.noiseRms() * 0.05);
+    EXPECT_NEAR(stat.stddev(), cap.noiseRms(), cap.noiseRms() * 0.05);
+}
+
+TEST(SamplingCapTest, EnergyAccrues)
+{
+    const ProcessParams p = ProcessParams::typical();
+    SamplingCap cap(10e-15, p);
+    Rng rng(2);
+    cap.sample(0.1, rng);
+    cap.sample(0.2, rng);
+    EXPECT_NEAR(cap.energyJ(),
+                2.0 * chargeEnergy(10e-15, p.supplyVoltage), 1e-20);
+    cap.resetEnergy();
+    EXPECT_EQ(cap.energyJ(), 0.0);
+}
+
+TEST(MismatchTest, LargerCapsMatchBetter)
+{
+    Rng rng(3);
+    RunningStat small, large;
+    for (int i = 0; i < 5000; ++i) {
+        small.add(drawMismatchedCap(10e-15, 10e-15, 0.01, rng) /
+                  10e-15);
+        large.add(drawMismatchedCap(640e-15, 10e-15, 0.01, rng) /
+                  640e-15);
+    }
+    // Pelgrom: sigma_rel shrinks as 1/sqrt(units) = 1/8.
+    EXPECT_NEAR(small.stddev() / large.stddev(), 8.0, 1.0);
+    EXPECT_NEAR(small.mean(), 1.0, 1e-3);
+}
+
+TEST(CapacitorTest, InvalidArgumentsPanic)
+{
+    EXPECT_DEATH(ktcNoiseRms(0.0, 300.0, 1.0), "capacitance");
+    Rng rng(4);
+    EXPECT_DEATH(drawMismatchedCap(0.0, 1e-15, 0.01, rng),
+                 "capacitance");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

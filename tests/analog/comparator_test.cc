@@ -1,0 +1,123 @@
+/** @file Tests for the dynamic comparator with metastability forcing. */
+
+#include <gtest/gtest.h>
+
+#include "analog/comparator.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+DynamicComparator
+makeComparator()
+{
+    return DynamicComparator(ComparatorParams{},
+                             ProcessParams::typical());
+}
+
+TEST(ComparatorTest, LargeDifferencesDecidedCorrectly)
+{
+    auto cmp = makeComparator();
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(cmp.compare(0.5, 0.1, rng).aGreater);
+        EXPECT_FALSE(cmp.compare(0.1, 0.5, rng).aGreater);
+    }
+    EXPECT_EQ(cmp.forcedCount(), 0u);
+}
+
+TEST(ComparatorTest, DecisionTimeGrowsAsInputsConverge)
+{
+    auto cmp = makeComparator();
+    EXPECT_LT(cmp.decisionTime(0.5), cmp.decisionTime(0.01));
+    EXPECT_LT(cmp.decisionTime(0.01), cmp.decisionTime(1e-5));
+}
+
+TEST(ComparatorTest, FullSwingAtNominalTime)
+{
+    auto cmp = makeComparator();
+    EXPECT_DOUBLE_EQ(cmp.decisionTime(0.9),
+                     cmp.params().nominalTimeS);
+}
+
+TEST(ComparatorTest, TinyDifferenceForcesArbitraryDecision)
+{
+    auto cmp = makeComparator();
+    Rng rng(2);
+    // Well below both the noise floor and the metastable threshold.
+    std::size_t a_wins = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const auto d = cmp.compare(0.5, 0.5, rng);
+        a_wins += d.aGreater ? 1 : 0;
+    }
+    EXPECT_GT(cmp.forcedCount(), 0u);
+    // Forced decisions are unbiased coin flips (noise may also
+    // resolve some comparisons honestly, still ~50/50).
+    EXPECT_NEAR(static_cast<double>(a_wins) / trials, 0.5, 0.05);
+}
+
+TEST(ComparatorTest, ForcedDecisionsCappedAtTimeout)
+{
+    auto cmp = makeComparator();
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto d = cmp.compare(0.5, 0.5, rng);
+        EXPECT_LE(d.timeS, cmp.params().timeoutS + 1e-15);
+    }
+}
+
+TEST(ComparatorTest, MetastableEnergyBounded)
+{
+    // The forcing mechanism bounds the worst-case energy; without it
+    // the energy would grow without limit as inputs converge.
+    auto cmp = makeComparator();
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const auto d = cmp.compare(0.5, 0.5 + 1e-9, rng);
+        EXPECT_LE(d.energyJ, cmp.timeoutEnergy() + 1e-20);
+        EXPECT_GE(d.energyJ, cmp.nominalEnergy() - 1e-20);
+    }
+}
+
+TEST(ComparatorTest, EasyDecisionsCostNominalEnergy)
+{
+    auto cmp = makeComparator();
+    Rng rng(5);
+    const auto d = cmp.compare(0.9, 0.0, rng);
+    EXPECT_NEAR(d.energyJ, cmp.nominalEnergy(),
+                cmp.nominalEnergy() * 0.05);
+}
+
+TEST(ComparatorTest, MetastableThresholdConsistentWithTimeout)
+{
+    auto cmp = makeComparator();
+    const double v = cmp.metastableDeltaV();
+    EXPECT_NEAR(cmp.decisionTime(v), cmp.params().timeoutS,
+                cmp.params().timeoutS * 1e-6);
+}
+
+TEST(ComparatorTest, CountsAccumulate)
+{
+    auto cmp = makeComparator();
+    Rng rng(6);
+    cmp.compare(0.4, 0.1, rng);
+    cmp.compare(0.1, 0.4, rng);
+    EXPECT_EQ(cmp.decisionCount(), 2u);
+    EXPECT_GT(cmp.energyJ(), 0.0);
+    cmp.resetEnergy();
+    EXPECT_EQ(cmp.energyJ(), 0.0);
+}
+
+TEST(ComparatorTest, InvalidTimingFatal)
+{
+    ComparatorParams p;
+    p.timeoutS = p.nominalTimeS; // timeout must exceed nominal
+    EXPECT_EXIT(DynamicComparator(p, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "timeout");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

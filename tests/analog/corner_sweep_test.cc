@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Five-corner verification sweep (Section IV-B): "we simulate over
+ * five process corners ... in order to ensure that variations of
+ * circuit characteristics remain acceptable in all reasonable
+ * fabrication scenarios and operating environments."
+ *
+ * Parameterized over every corner, each performance-critical block
+ * must stay within bounded deviation of its typical behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analog/capacitor.hh"
+#include "analog/comparator.hh"
+#include "analog/mac_unit.hh"
+#include "analog/opamp.hh"
+#include "analog/sar_adc.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+class CornerSweepTest : public ::testing::TestWithParam<Corner>
+{
+  protected:
+    ProcessParams tt_ = ProcessParams::typical();
+    ProcessParams corner_ = ProcessParams::atCorner(GetParam());
+};
+
+TEST_P(CornerSweepTest, OpAmpSettlingWithinBand)
+{
+    OpAmp tt(OpAmpParams{}, tt_);
+    OpAmp at(OpAmpParams{}, corner_);
+    const double ratio = at.settlingTime(30e-15) /
+                         tt.settlingTime(30e-15);
+    EXPECT_GT(ratio, 0.70) << cornerName(GetParam());
+    EXPECT_LT(ratio, 1.40) << cornerName(GetParam());
+}
+
+TEST_P(CornerSweepTest, OpAmpPowerWithinBand)
+{
+    OpAmp tt(OpAmpParams{}, tt_);
+    OpAmp at(OpAmpParams{}, corner_);
+    const double ratio = at.staticPower() / tt.staticPower();
+    EXPECT_GT(ratio, 0.80);
+    EXPECT_LT(ratio, 1.25);
+}
+
+TEST_P(CornerSweepTest, MacEnergyWithinBand)
+{
+    MacUnit tt(MacParams{}, tt_);
+    MacUnit at(MacParams{}, corner_);
+    tt.setSnrDb(40.0);
+    at.setSnrDb(40.0);
+    const double ratio = at.energyPerWindow(147) /
+                         tt.energyPerWindow(147);
+    EXPECT_GT(ratio, 0.80) << cornerName(GetParam());
+    EXPECT_LT(ratio, 1.25) << cornerName(GetParam());
+}
+
+TEST_P(CornerSweepTest, MacStillFunctionallyCorrect)
+{
+    MacUnit mac(MacParams{}, corner_);
+    mac.setSnrDb(60.0);
+    Rng rng(42);
+    const std::vector<double> x(8, 0.1);
+    const std::vector<int> w(8, 100);
+    double acc = 0.0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        acc += mac.multiplyAccumulate(x, w, rng);
+    EXPECT_NEAR(acc / trials, 8 * 0.1 * 100.0 / 128.0, 0.01)
+        << cornerName(GetParam());
+}
+
+TEST_P(CornerSweepTest, ComparatorDecidesCorrectlyAtEveryCorner)
+{
+    DynamicComparator cmp(ComparatorParams{}, corner_);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_TRUE(cmp.compare(0.6, 0.2, rng).aGreater);
+        EXPECT_FALSE(cmp.compare(0.2, 0.6, rng).aGreater);
+    }
+    EXPECT_EQ(cmp.forcedCount(), 0u);
+}
+
+TEST_P(CornerSweepTest, AdcEnobAcceptableAtEveryCorner)
+{
+    SarAdcParams params;
+    Rng seed(11);
+    SarAdc adc(params, corner_, seed);
+    adc.setResolution(8);
+    Rng rng(13);
+    const double enob = adc.measureEnob(rng, 2048);
+    EXPECT_GT(enob, 6.0) << cornerName(GetParam());
+}
+
+TEST_P(CornerSweepTest, HotCornersAreNoisier)
+{
+    // Thermal noise tracks the corner temperature.
+    const double tt = ktcNoiseRms(10e-15, tt_);
+    const double at = ktcNoiseRms(10e-15, corner_);
+    if (corner_.temperatureK > tt_.temperatureK)
+        EXPECT_GT(at, tt);
+    else if (corner_.temperatureK < tt_.temperatureK)
+        EXPECT_LT(at, tt);
+    else
+        EXPECT_DOUBLE_EQ(at, tt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiveCorners, CornerSweepTest,
+    ::testing::Values(Corner::TT, Corner::FF, Corner::SS, Corner::FS,
+                      Corner::SF),
+    [](const ::testing::TestParamInfo<Corner> &info) {
+        switch (info.param) {
+          case Corner::TT: return "TT";
+          case Corner::FF: return "FF";
+          case Corner::SS: return "SS";
+          case Corner::FS: return "FS";
+          case Corner::SF: return "SF";
+        }
+        return "unknown";
+    });
+
+} // namespace
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,155 @@
+/** @file Tests for the mixed-signal MAC unit. */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analog/mac_unit.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+MacUnit
+makeMac(double snr_db = 40.0)
+{
+    MacUnit mac(MacParams{}, ProcessParams::typical());
+    mac.setSnrDb(snr_db);
+    return mac;
+}
+
+double
+idealDot(const std::vector<double> &x, const std::vector<int> &w)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += x[i] * w[i] / 128.0;
+    return acc;
+}
+
+TEST(MacUnitTest, MeanMatchesIdealDotProduct)
+{
+    auto mac = makeMac(60.0);
+    Rng rng(1);
+    const std::vector<double> x{0.1, -0.2, 0.3, 0.05, -0.15, 0.2,
+                                0.0, 0.1};
+    const std::vector<int> w{100, -50, 25, 127, -127, 3, 64, -8};
+    RunningStat stat;
+    for (int i = 0; i < 5000; ++i)
+        stat.add(mac.multiplyAccumulate(x, w, rng));
+    EXPECT_NEAR(stat.mean(), idealDot(x, w), 0.005);
+}
+
+TEST(MacUnitTest, RealizedNoiseNearAnalyticPrediction)
+{
+    auto mac = makeMac(40.0);
+    Rng rng(2);
+    const std::vector<double> x(8, 0.1);
+    const std::vector<int> w(8, 127);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(mac.multiplyAccumulate(x, w, rng));
+    // Analytic estimate is for a mid-scale weight; allow 2x band.
+    const double predicted = mac.outputNoiseRms(8);
+    EXPECT_GT(stat.stddev(), predicted * 0.4);
+    EXPECT_LT(stat.stddev(), predicted * 2.5);
+}
+
+TEST(MacUnitTest, EnergyScalesLinearlyWithFidelityCap)
+{
+    // Table I: 10x capacitance -> 10x energy.
+    auto mac = makeMac();
+    mac.setDampingCap(10e-15);
+    const double e40 = mac.energyPerWindow(147);
+    mac.setDampingCap(100e-15);
+    const double e50 = mac.energyPerWindow(147);
+    mac.setDampingCap(1e-12);
+    const double e60 = mac.energyPerWindow(147);
+    EXPECT_NEAR(e50 / e40, 10.0, 0.1);
+    EXPECT_NEAR(e60 / e50, 10.0, 0.1);
+}
+
+TEST(MacUnitTest, NoisePowerInverseInFidelityCap)
+{
+    auto mac = makeMac();
+    mac.setSnrDb(40.0);
+    const double n40 = mac.outputNoiseRms(8);
+    mac.setSnrDb(60.0);
+    const double n60 = mac.outputNoiseRms(8);
+    // 20 dB SNR step = 10x amplitude.
+    EXPECT_NEAR(n40 / n60, 10.0, 0.2);
+}
+
+TEST(MacUnitTest, SnrProgrammingRoundTrip)
+{
+    auto mac = makeMac();
+    mac.setSnrDb(55.0);
+    EXPECT_NEAR(mac.ratedSnrDb(), 55.0, 1e-9);
+    EXPECT_NEAR(mac.dampingCapF(), 10e-15 * std::pow(10.0, 1.5),
+                1e-18);
+}
+
+TEST(MacUnitTest, WideWindowsUseMoreCycles)
+{
+    auto mac = makeMac();
+    // 147 taps -> ceil(147/8) = 19 cycles vs 8 taps -> 1 cycle.
+    EXPECT_NEAR(mac.timePerWindow(147) / mac.timePerWindow(8), 19.0,
+                1e-9);
+}
+
+TEST(MacUnitTest, EnergyPerWindowGrowsWithTaps)
+{
+    auto mac = makeMac();
+    EXPECT_GT(mac.energyPerWindow(576), mac.energyPerWindow(147));
+    EXPECT_GT(mac.energyPerWindow(147), mac.energyPerWindow(9));
+}
+
+TEST(MacUnitTest, LongVectorProcessedInCycles)
+{
+    auto mac = makeMac(60.0);
+    Rng rng(3);
+    std::vector<double> x(24, 0.05);
+    std::vector<int> w(24, 64);
+    RunningStat stat;
+    for (int i = 0; i < 3000; ++i)
+        stat.add(mac.multiplyAccumulate(x, w, rng));
+    EXPECT_NEAR(stat.mean(), idealDot(x, w), 0.02);
+}
+
+TEST(MacUnitTest, EnergyAccrualTracksAnalyticEstimate)
+{
+    auto mac = makeMac(40.0);
+    Rng rng(4);
+    const std::vector<double> x(8, 0.1);
+    std::vector<int> w(8, 255); // worst-case weights
+    mac.resetEnergy();
+    for (int i = 0; i < 100; ++i)
+        mac.multiplyAccumulate(x, w, rng);
+    EXPECT_NEAR(mac.energyJ(), 100.0 * mac.energyPerWindow(8),
+                mac.energyJ() * 0.05);
+}
+
+TEST(MacUnitTest, MismatchedSizesPanic)
+{
+    auto mac = makeMac();
+    Rng rng(5);
+    EXPECT_DEATH(mac.multiplyAccumulate({0.1, 0.2}, {1}, rng),
+                 "mismatch");
+}
+
+TEST(MacUnitTest, EmptyWindowFatal)
+{
+    auto mac = makeMac();
+    Rng rng(6);
+    EXPECT_EXIT(mac.multiplyAccumulate({}, {}, rng),
+                ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT((void)mac.energyPerWindow(0),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

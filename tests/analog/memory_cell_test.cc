@@ -1,0 +1,111 @@
+/** @file Tests for the analog memory cell. */
+
+#include <gtest/gtest.h>
+
+#include "analog/capacitor.hh"
+#include "analog/memory_cell.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(MemoryCellTest, WriteReadRoundTripWithinNoise)
+{
+    AnalogMemoryCell cell(MemoryCellParams{},
+                          ProcessParams::typical());
+    Rng rng(1);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        cell.write(0.5, rng);
+        stat.add(cell.read(rng));
+    }
+    EXPECT_NEAR(stat.mean(), 0.5, 1e-4);
+    const double expected = std::sqrt(
+        cell.writeNoiseRms() * cell.writeNoiseRms() +
+        cell.params().bufferNoiseRms * cell.params().bufferNoiseRms);
+    EXPECT_NEAR(stat.stddev(), expected, expected * 0.05);
+}
+
+TEST(MemoryCellTest, EnergyNoiseTradeoff)
+{
+    // Bigger hold capacitor: more write energy, less write noise.
+    MemoryCellParams small_p;
+    small_p.holdCapF = 10e-15;
+    MemoryCellParams big_p;
+    big_p.holdCapF = 1e-12;
+    AnalogMemoryCell small(small_p, ProcessParams::typical());
+    AnalogMemoryCell big(big_p, ProcessParams::typical());
+    EXPECT_NEAR(big.writeEnergy() / small.writeEnergy(), 100.0, 1e-6);
+    EXPECT_NEAR(small.writeNoiseRms() / big.writeNoiseRms(), 10.0,
+                1e-6);
+}
+
+TEST(MemoryCellTest, DroopDecaysHeldValue)
+{
+    MemoryCellParams p;
+    p.droopPerSecond = 0.5;
+    p.bufferNoiseRms = 0.0;
+    AnalogMemoryCell cell(p, ProcessParams::typical());
+    Rng rng(2);
+    RunningStat stat;
+    for (int i = 0; i < 5000; ++i) {
+        cell.write(1.0, rng);
+        stat.add(cell.read(rng, 1.0));
+    }
+    EXPECT_NEAR(stat.mean(), std::exp(-0.5), 1e-3);
+}
+
+TEST(MemoryCellTest, ImmediateReadNoDroop)
+{
+    MemoryCellParams p;
+    p.droopPerSecond = 0.5;
+    p.bufferNoiseRms = 0.0;
+    // Huge cap: negligible write noise.
+    p.holdCapF = 1e-9;
+    AnalogMemoryCell cell(p, ProcessParams::typical());
+    Rng rng(3);
+    cell.write(0.8, rng);
+    EXPECT_NEAR(cell.read(rng, 0.0), 0.8, 1e-4);
+}
+
+TEST(MemoryCellTest, EnergyAccounting)
+{
+    AnalogMemoryCell cell(MemoryCellParams{},
+                          ProcessParams::typical());
+    Rng rng(4);
+    cell.write(0.1, rng);
+    cell.read(rng);
+    EXPECT_NEAR(cell.energyJ(),
+                cell.writeEnergy() + cell.readEnergy(), 1e-21);
+}
+
+TEST(MemoryCellTest, ReadBeforeWritePanics)
+{
+    AnalogMemoryCell cell(MemoryCellParams{},
+                          ProcessParams::typical());
+    Rng rng(5);
+    EXPECT_DEATH(cell.read(rng), "unwritten");
+}
+
+TEST(MemoryCellTest, NegativeHoldTimePanics)
+{
+    AnalogMemoryCell cell(MemoryCellParams{},
+                          ProcessParams::typical());
+    Rng rng(6);
+    cell.write(0.1, rng);
+    EXPECT_DEATH(cell.read(rng, -1.0), "negative");
+}
+
+TEST(MemoryCellTest, InvalidParamsFatal)
+{
+    MemoryCellParams p;
+    p.holdCapF = 0.0;
+    EXPECT_EXIT(AnalogMemoryCell(p, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "capacitance");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

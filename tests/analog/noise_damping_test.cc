@@ -1,0 +1,51 @@
+/** @file Tests for the SNR <-> damping capacitance mapping. */
+
+#include <gtest/gtest.h>
+
+#include "analog/noise_damping.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(NoiseDampingTest, TableOneAnchors)
+{
+    EXPECT_NEAR(dampingCapForSnr(40.0), 10e-15, 1e-20);
+    EXPECT_NEAR(dampingCapForSnr(50.0), 100e-15, 1e-19);
+    EXPECT_NEAR(dampingCapForSnr(60.0), 1e-12, 1e-18);
+}
+
+TEST(NoiseDampingTest, RoundTrip)
+{
+    for (double snr : {25.0, 33.3, 47.0, 60.0, 70.0})
+        EXPECT_NEAR(snrForDampingCap(dampingCapForSnr(snr)), snr,
+                    1e-9);
+}
+
+TEST(NoiseDampingTest, TenDbPerDecade)
+{
+    EXPECT_NEAR(dampingCapForSnr(50.0) / dampingCapForSnr(40.0), 10.0,
+                1e-9);
+}
+
+TEST(NoiseDampingTest, RangeEnforced)
+{
+    EXPECT_EXIT(dampingCapForSnr(20.0), ::testing::ExitedWithCode(1),
+                "outside");
+    EXPECT_EXIT(dampingCapForSnr(80.0), ::testing::ExitedWithCode(1),
+                "outside");
+    EXPECT_EXIT(snrForDampingCap(0.0), ::testing::ExitedWithCode(1),
+                "capacitance");
+}
+
+TEST(NoiseDampingTest, OperationModesTable)
+{
+    ASSERT_EQ(std::size(kOperationModes), 3u);
+    EXPECT_STREQ(kOperationModes[0].name, "High-efficiency");
+    EXPECT_DOUBLE_EQ(kOperationModes[0].snrDb, 40.0);
+    EXPECT_DOUBLE_EQ(kOperationModes[2].snrDb, 60.0);
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

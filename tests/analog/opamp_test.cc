@@ -1,0 +1,126 @@
+/** @file Tests for the op amp behavioral model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analog/opamp.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(OpAmpTest, TransconductanceFromBias)
+{
+    OpAmpParams p;
+    p.biasCurrentA = 5e-6;
+    p.overdriveV = 0.2;
+    OpAmp amp(p, ProcessParams::typical());
+    EXPECT_NEAR(amp.transconductance(), 2.0 * 5e-6 / 0.2, 1e-12);
+}
+
+TEST(OpAmpTest, TauLinearInLoad)
+{
+    OpAmp amp(OpAmpParams{}, ProcessParams::typical());
+    EXPECT_NEAR(amp.tau(100e-15) / amp.tau(10e-15), 10.0, 1e-9);
+}
+
+TEST(OpAmpTest, SettleEnergyLinearInLoad)
+{
+    // E = P_static * t_settle and t_settle ~ C: the energy-vs-
+    // capacitance tradeoff that Table I rides.
+    OpAmp amp(OpAmpParams{}, ProcessParams::typical());
+    EXPECT_NEAR(amp.settleEnergy(1e-12) / amp.settleEnergy(10e-15),
+                100.0, 1e-6);
+}
+
+TEST(OpAmpTest, SettlingErrorDecaysExponentially)
+{
+    OpAmp amp(OpAmpParams{}, ProcessParams::typical());
+    const double c = 30e-15;
+    const double t = amp.tau(c);
+    const double e1 = amp.settlingError(1.0 * t, c);
+    const double e3 = amp.settlingError(3.0 * t, c);
+    EXPECT_NEAR((e1 - 1.0 / 1000.0) / (e3 - 1.0 / 1000.0),
+                std::exp(2.0), 0.01 * std::exp(2.0));
+}
+
+TEST(OpAmpTest, FiniteGainFloorsError)
+{
+    OpAmpParams p;
+    p.dcGain = 100.0;
+    OpAmp amp(p, ProcessParams::typical());
+    // After very long settling only the 1/A term remains.
+    EXPECT_NEAR(amp.settlingError(1.0, 10e-15), 0.01, 1e-6);
+}
+
+TEST(OpAmpTest, AllottedSlotSettlesAccurately)
+{
+    OpAmp amp(OpAmpParams{}, ProcessParams::typical());
+    const double c = 30e-15;
+    const double err = amp.settlingError(amp.settlingTime(c), c);
+    // 7 taus: dynamic error below 0.1%, plus 0.1% finite gain.
+    EXPECT_LT(err, 0.003);
+}
+
+TEST(OpAmpTest, SettleStatisticsMatchNoiseModel)
+{
+    OpAmpParams p;
+    p.inputNoiseRms = 100e-6;
+    OpAmp amp(p, ProcessParams::typical());
+    Rng rng(1);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(amp.settle(0.5, 30e-15, 1.0, rng));
+    EXPECT_NEAR(stat.stddev(), 100e-6, 5e-6);
+    EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+}
+
+TEST(OpAmpTest, NoiseScalesWithClosedLoopGain)
+{
+    OpAmpParams p;
+    p.inputNoiseRms = 100e-6;
+    OpAmp amp(p, ProcessParams::typical());
+    Rng rng(2);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(amp.settle(0.0, 30e-15, 4.0, rng));
+    EXPECT_NEAR(stat.stddev(), 400e-6, 20e-6);
+}
+
+TEST(OpAmpTest, FastCornerSettlesFaster)
+{
+    OpAmp tt(OpAmpParams{}, ProcessParams::atCorner(Corner::TT));
+    OpAmp ff(OpAmpParams{}, ProcessParams::atCorner(Corner::FF));
+    OpAmp ss(OpAmpParams{}, ProcessParams::atCorner(Corner::SS));
+    EXPECT_LT(ff.settlingTime(30e-15), tt.settlingTime(30e-15));
+    EXPECT_GT(ss.settlingTime(30e-15), tt.settlingTime(30e-15));
+}
+
+TEST(OpAmpTest, EnergyAccrualAndReset)
+{
+    OpAmp amp(OpAmpParams{}, ProcessParams::typical());
+    Rng rng(3);
+    amp.settle(0.1, 10e-15, 1.0, rng);
+    EXPECT_NEAR(amp.energyJ(), amp.settleEnergy(10e-15), 1e-20);
+    amp.resetEnergy();
+    EXPECT_EQ(amp.energyJ(), 0.0);
+}
+
+TEST(OpAmpTest, InvalidParamsFatal)
+{
+    OpAmpParams p;
+    p.biasCurrentA = 0.0;
+    EXPECT_EXIT(OpAmp(p, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "bias");
+    OpAmpParams p2;
+    p2.dcGain = 0.5;
+    EXPECT_EXIT(OpAmp(p2, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "gain");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

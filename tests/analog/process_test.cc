@@ -1,0 +1,61 @@
+/** @file Tests for process corner descriptions. */
+
+#include <gtest/gtest.h>
+
+#include "analog/process.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(ProcessTest, TypicalDefaults)
+{
+    const auto p = ProcessParams::typical();
+    EXPECT_DOUBLE_EQ(p.supplyVoltage, 1.8); // 0.18 um nominal Vdd
+    EXPECT_DOUBLE_EQ(p.unitCapF, 10e-15);
+    EXPECT_DOUBLE_EQ(p.speedFactor, 1.0);
+    EXPECT_DOUBLE_EQ(p.biasFactor, 1.0);
+}
+
+TEST(ProcessTest, FiveCornersEnumerated)
+{
+    EXPECT_EQ(std::size(kAllCorners), 5u);
+}
+
+TEST(ProcessTest, CornerNames)
+{
+    EXPECT_STREQ(cornerName(Corner::TT), "TT 27C");
+    EXPECT_STREQ(cornerName(Corner::FF), "FF -20C");
+    EXPECT_STREQ(cornerName(Corner::SS), "SS 80C");
+}
+
+TEST(ProcessTest, FastCornerColdAndFast)
+{
+    const auto ff = ProcessParams::atCorner(Corner::FF);
+    EXPECT_LT(ff.temperatureK, 300.0);
+    EXPECT_GT(ff.speedFactor, 1.0);
+}
+
+TEST(ProcessTest, SlowCornerHotAndSlow)
+{
+    const auto ss = ProcessParams::atCorner(Corner::SS);
+    EXPECT_GT(ss.temperatureK, 300.15);
+    EXPECT_LT(ss.speedFactor, 1.0);
+}
+
+TEST(ProcessTest, VariationsWithinAcceptableBounds)
+{
+    // The paper's verification requirement: circuit characteristics
+    // stay acceptable over every corner. Speed/bias vary < 25%.
+    for (Corner c : kAllCorners) {
+        const auto p = ProcessParams::atCorner(c);
+        EXPECT_GT(p.speedFactor, 0.75) << cornerName(c);
+        EXPECT_LT(p.speedFactor, 1.25) << cornerName(c);
+        EXPECT_GT(p.biasFactor, 0.80) << cornerName(c);
+        EXPECT_LT(p.biasFactor, 1.20) << cornerName(c);
+    }
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

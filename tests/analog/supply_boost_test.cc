@@ -1,0 +1,72 @@
+/** @file Tests for the supply-boost alternative mechanism. */
+
+#include <gtest/gtest.h>
+
+#include "analog/noise_damping.hh"
+#include "analog/supply_boost.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+const ProcessParams kTT = ProcessParams::typical();
+
+TEST(SupplyBoostTest, AnchorIsUnityScale)
+{
+    EXPECT_DOUBLE_EQ(boostEnergyScale(40.0), 1.0);
+    EXPECT_DOUBLE_EQ(boostSwingForSnr(40.0, kTT), kTT.signalSwing);
+    EXPECT_DOUBLE_EQ(boostSupplyForSnr(40.0, kTT),
+                     kTT.supplyVoltage);
+}
+
+TEST(SupplyBoostTest, TwentyDbCostsTenXSwing)
+{
+    EXPECT_NEAR(boostSwingForSnr(60.0, kTT), kTT.signalSwing * 10.0,
+                1e-9);
+    EXPECT_NEAR(boostEnergyScale(60.0), 100.0, 1e-9);
+}
+
+TEST(SupplyBoostTest, SameEnergyScalingAsDamping)
+{
+    // Both mechanisms pay 10x per 10 dB; boost's theoretical edge
+    // is constant settling time/area, not the per-dB energy slope.
+    for (double snr : {45.0, 50.0, 60.0}) {
+        const double damping_scale =
+            dampingCapForSnr(snr) / dampingCapForSnr(40.0);
+        EXPECT_NEAR(boostEnergyScale(snr), damping_scale, 1e-9)
+            << snr;
+    }
+}
+
+TEST(SupplyBoostTest, LeavesRatedRegionAlmostImmediately)
+{
+    // 10% supply headroom buys less than 1 dB: the paper's reason
+    // to reject the mechanism.
+    const double max_snr = boostMaxRatedSnrDb(kTT);
+    EXPECT_LT(max_snr, 41.0);
+    EXPECT_GT(max_snr, 40.0);
+    EXPECT_TRUE(boostWithinRatedRegion(40.0, kTT));
+    EXPECT_FALSE(boostWithinRatedRegion(45.0, kTT));
+    EXPECT_FALSE(boostWithinRatedRegion(60.0, kTT));
+}
+
+TEST(SupplyBoostTest, DampingStaysInRatedRegionEverywhere)
+{
+    // The chosen mechanism never moves the supply at all.
+    for (double snr : {40.0, 50.0, 60.0, 70.0}) {
+        (void)dampingCapForSnr(snr); // valid across the whole range
+    }
+    SUCCEED();
+}
+
+TEST(SupplyBoostTest, BelowAnchorFatal)
+{
+    EXPECT_EXIT(boostEnergyScale(30.0), ::testing::ExitedWithCode(1),
+                "anchor");
+    EXPECT_EXIT(boostSwingForSnr(39.0, kTT),
+                ::testing::ExitedWithCode(1), "anchor");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,120 @@
+/** @file Tests for the 8-bit charge-sharing tunable capacitor. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analog/tunable_cap.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace redeye {
+namespace analog {
+namespace {
+
+TEST(TunableCapTest, GainIsWeightOverHalfScale)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    EXPECT_DOUBLE_EQ(cap.gainFor(128), 1.0);
+    EXPECT_DOUBLE_EQ(cap.gainFor(64), 0.5);
+    EXPECT_DOUBLE_EQ(cap.gainFor(-128), -1.0);
+    EXPECT_DOUBLE_EQ(cap.gainFor(0), 0.0);
+    EXPECT_DOUBLE_EQ(cap.gainFor(1), 1.0 / 128.0);
+}
+
+TEST(TunableCapTest, MaxWeightRange)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    EXPECT_EQ(cap.maxWeight(), 255);
+    EXPECT_EXIT((void)cap.gainFor(256), ::testing::ExitedWithCode(1),
+                "exceeds");
+}
+
+TEST(TunableCapTest, ApplyMeanMatchesIdealGain)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(1);
+    RunningStat stat;
+    for (int i = 0; i < 5000; ++i)
+        stat.add(cap.apply(0.5, 77, rng));
+    EXPECT_NEAR(stat.mean(), 0.5 * 77.0 / 128.0, 1e-4);
+}
+
+TEST(TunableCapTest, ApplyNoiseMatchesPrediction)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(2);
+    RunningStat stat;
+    const int w = 255; // all bits active: largest noise
+    for (int i = 0; i < 20000; ++i)
+        stat.add(cap.apply(0.5, w, rng));
+    EXPECT_NEAR(stat.stddev(), cap.outputNoiseRms(w),
+                cap.outputNoiseRms(w) * 0.05);
+}
+
+TEST(TunableCapTest, NegativeWeightFlipsSign)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(3);
+    RunningStat stat;
+    for (int i = 0; i < 2000; ++i)
+        stat.add(cap.apply(0.5, -100, rng));
+    EXPECT_NEAR(stat.mean(), -0.5 * 100.0 / 128.0, 1e-3);
+}
+
+TEST(TunableCapTest, EnergyCountsActiveBits)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    // 0b10101010 has 4 active bits.
+    EXPECT_NEAR(cap.energyPerApply(0xAA) / cap.energyPerApply(0x80),
+                4.0, 1e-9);
+    EXPECT_EQ(cap.energyPerApply(0), 0.0);
+}
+
+TEST(TunableCapTest, ThirtyTwoTimesBetterThanNaive)
+{
+    // The headline claim of Section IV-A: the 8-bit charge-sharing
+    // design reduces sampling energy by ~2^8/8 = 32x versus the
+    // naive binary-weighted array.
+    TunableCapacitor cap(8, ProcessParams::typical());
+    const double ratio = cap.naiveDesignEnergy() /
+                         cap.worstCaseEnergy();
+    EXPECT_NEAR(ratio, 255.0 / 8.0, 1e-9);
+    EXPECT_GT(ratio, 31.0);
+}
+
+TEST(TunableCapTest, SmallWeightsQuieterThanLarge)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    EXPECT_LT(cap.outputNoiseRms(1), cap.outputNoiseRms(255));
+}
+
+TEST(TunableCapTest, EnergyAccumulatesAcrossApplies)
+{
+    TunableCapacitor cap(8, ProcessParams::typical());
+    Rng rng(4);
+    cap.apply(0.1, 255, rng);
+    cap.apply(0.1, 255, rng);
+    EXPECT_NEAR(cap.energyJ(), 2.0 * cap.energyPerApply(255), 1e-20);
+}
+
+TEST(TunableCapTest, FourBitVariant)
+{
+    TunableCapacitor cap(4, ProcessParams::typical());
+    EXPECT_EQ(cap.maxWeight(), 15);
+    EXPECT_DOUBLE_EQ(cap.gainFor(8), 1.0);
+    EXPECT_NEAR(cap.naiveDesignEnergy() / cap.worstCaseEnergy(),
+                15.0 / 4.0, 1e-9);
+}
+
+TEST(TunableCapTest, InvalidBitsFatal)
+{
+    EXPECT_EXIT(TunableCapacitor(0, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "bits");
+    EXPECT_EXIT(TunableCapacitor(17, ProcessParams::typical()),
+                ::testing::ExitedWithCode(1), "bits");
+}
+
+} // namespace
+} // namespace analog
+} // namespace redeye

@@ -1,0 +1,80 @@
+/** @file Tests for the CSV writer. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/csv.hh"
+
+namespace redeye {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream oss;
+    oss << is.rdbuf();
+    return oss.str();
+}
+
+TEST(CsvEscapeTest, PlainCellsUntouched)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+    EXPECT_EQ(csvEscape("1.25"), "1.25");
+    EXPECT_EQ(csvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, CommasAndQuotesQuoted)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows)
+{
+    const std::string path = "csv_test_out.csv";
+    {
+        CsvWriter w(path);
+        w.header({"snr_db", "top1", "energy_j"});
+        w.row({"40", "0.735", "1.38e-3"});
+        w.row({"30", "0.715", "1.40e-4"});
+        EXPECT_EQ(w.rows(), 2u);
+    }
+    EXPECT_EQ(slurp(path), "snr_db,top1,energy_j\n"
+                           "40,0.735,1.38e-3\n"
+                           "30,0.715,1.40e-4\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, QuotingAppliedInsideRows)
+{
+    const std::string path = "csv_test_quote.csv";
+    {
+        CsvWriter w(path);
+        w.row({"a,b", "plain"});
+    }
+    EXPECT_EQ(slurp(path), "\"a,b\",plain\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, DoubleHeaderPanics)
+{
+    const std::string path = "csv_test_hdr.csv";
+    CsvWriter w(path);
+    w.header({"a"});
+    EXPECT_DEATH(w.header({"b"}), "already written");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathFatal)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent/dir/x.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace redeye

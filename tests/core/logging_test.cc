@@ -1,0 +1,67 @@
+/** @file Tests for panic/fatal/warn/inform semantics. */
+
+#include <gtest/gtest.h>
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace {
+
+TEST(LoggingTest, PanicAborts)
+{
+    EXPECT_DEATH({ panic("boom ", 42); }, "boom 42");
+}
+
+TEST(LoggingTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT({ fatal("bad config: ", "xyz"); },
+                ::testing::ExitedWithCode(1), "bad config: xyz");
+}
+
+TEST(LoggingTest, PanicIfTriggersOnTrue)
+{
+    EXPECT_DEATH({ panic_if(1 + 1 == 2, "math works"); },
+                 "math works");
+}
+
+TEST(LoggingTest, PanicIfPassesOnFalse)
+{
+    panic_if(false, "never");
+    SUCCEED();
+}
+
+TEST(LoggingTest, FatalIfTriggersOnTrue)
+{
+    EXPECT_EXIT({ fatal_if(true, "reason"); },
+                ::testing::ExitedWithCode(1), "reason");
+}
+
+TEST(LoggingTest, FatalIfPassesOnFalse)
+{
+    fatal_if(false, "never");
+    SUCCEED();
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    warn("a warning ", 1);
+    inform("a status ", 2);
+    SUCCEED();
+}
+
+TEST(LoggingTest, ThresholdSuppressesInform)
+{
+    setLogThreshold(LogLevel::Warn);
+    EXPECT_EQ(logThreshold(), LogLevel::Warn);
+    inform("suppressed");
+    setLogThreshold(LogLevel::Inform);
+    EXPECT_EQ(logThreshold(), LogLevel::Inform);
+}
+
+TEST(LoggingTest, FoldConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::fold("x=", 3, " y=", 1.5), "x=3 y=1.5");
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,110 @@
+/** @file Tests for the deterministic random stream. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace redeye {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differs = false;
+    for (int i = 0; i < 10 && !differs; ++i)
+        differs = a.raw() != b.raw();
+    EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption)
+{
+    Rng a(99);
+    Rng child = a.fork();
+    const auto c0 = child.raw();
+    Rng b(99);
+    Rng child2 = b.fork();
+    EXPECT_EQ(c0, child2.raw());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, -1.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, -1.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch)
+{
+    Rng rng(11);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.gaussian(2.0, 3.0));
+    EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatches)
+{
+    Rng rng(13);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(static_cast<double>(rng.poisson(6.5)));
+    EXPECT_NEAR(stat.mean(), 6.5, 0.15);
+    // Poisson variance equals its mean.
+    EXPECT_NEAR(stat.variance(), 6.5, 0.3);
+}
+
+TEST(RngTest, PoissonOfZeroMeanIsZero)
+{
+    Rng rng(17);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,95 @@
+/** @file Tests for the ASCII table printer. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/table.hh"
+
+namespace redeye {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    TablePrinter t("Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| long-name "), std::string::npos);
+    // All data lines have equal length.
+    std::istringstream lines(out);
+    std::string line;
+    std::getline(lines, line); // title
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TablePrinterTest, PadsShortRows)
+{
+    TablePrinter t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_NE(oss.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsNothing)
+{
+    TablePrinter t;
+    std::ostringstream oss;
+    t.print(oss);
+    EXPECT_TRUE(oss.str().empty());
+}
+
+TEST(TablePrinterTest, SeparatorAddsRule)
+{
+    TablePrinter t;
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::ostringstream oss;
+    t.print(oss);
+    // Header rule + top + separator + bottom = 4 rules.
+    std::size_t rules = 0;
+    std::istringstream lines(oss.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (!line.empty() && line[0] == '+')
+            ++rules;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinterTest, RowCount)
+{
+    TablePrinter t;
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FmtTest, FixedPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtPercentTest, Formats)
+{
+    EXPECT_EQ(fmtPercent(0.845), "84.5%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace redeye

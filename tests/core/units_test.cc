@@ -1,0 +1,72 @@
+/** @file Tests for SI formatting and dB conversion. */
+
+#include <gtest/gtest.h>
+
+#include "core/units.hh"
+
+namespace redeye {
+namespace units {
+namespace {
+
+TEST(SiFormatTest, MilliRange)
+{
+    EXPECT_EQ(siFormat(1.4e-3, "J"), "1.400 mJ");
+}
+
+TEST(SiFormatTest, FemtoRange)
+{
+    EXPECT_EQ(siFormat(10e-15, "F"), "10.000 fF");
+}
+
+TEST(SiFormatTest, UnitRange)
+{
+    EXPECT_EQ(siFormat(2.5, "W", 1), "2.5 W");
+}
+
+TEST(SiFormatTest, KiloRange)
+{
+    EXPECT_EQ(siFormat(250e6, "Hz", 0), "250 MHz");
+}
+
+TEST(SiFormatTest, Zero)
+{
+    EXPECT_EQ(siFormat(0.0, "J", 1), "0.0 J");
+}
+
+TEST(SiFormatTest, NegativeValues)
+{
+    EXPECT_EQ(siFormat(-3.0e-6, "s", 1), "-3.0 us");
+}
+
+TEST(DbTest, PowerRoundTrip)
+{
+    EXPECT_NEAR(powerDb(100.0), 20.0, 1e-12);
+    EXPECT_NEAR(dbToPowerRatio(20.0), 100.0, 1e-9);
+    EXPECT_NEAR(dbToPowerRatio(powerDb(42.0)), 42.0, 1e-9);
+}
+
+TEST(DbTest, AmplitudeRoundTrip)
+{
+    EXPECT_NEAR(amplitudeDb(10.0), 20.0, 1e-12);
+    EXPECT_NEAR(dbToAmplitudeRatio(40.0), 100.0, 1e-9);
+}
+
+TEST(DbTest, AmplitudeVsPowerConsistency)
+{
+    // An amplitude ratio r is a power ratio r^2.
+    const double r = 7.3;
+    EXPECT_NEAR(amplitudeDb(r), powerDb(r * r), 1e-12);
+}
+
+TEST(ConstantsTest, BoltzmannAndScales)
+{
+    EXPECT_NEAR(kBoltzmann, 1.380649e-23, 1e-28);
+    EXPECT_DOUBLE_EQ(fF, 1e-15);
+    EXPECT_DOUBLE_EQ(pF, 1e-12);
+    EXPECT_DOUBLE_EQ(mJ, 1e-3);
+    EXPECT_DOUBLE_EQ(kB, 1024.0);
+}
+
+} // namespace
+} // namespace units
+} // namespace redeye

@@ -1,0 +1,75 @@
+/** @file Tests for the AlexNet topology. */
+
+#include <gtest/gtest.h>
+
+#include "models/alexnet.hh"
+#include "models/partition.hh"
+
+namespace redeye {
+namespace models {
+namespace {
+
+TEST(AlexNetTest, CanonicalShapes)
+{
+    auto net = buildAlexNet(227);
+    EXPECT_EQ(net->nodeShape("conv1"), Shape(1, 96, 55, 55));
+    EXPECT_EQ(net->nodeShape("pool1"), Shape(1, 96, 27, 27));
+    EXPECT_EQ(net->nodeShape("conv2"), Shape(1, 256, 27, 27));
+    EXPECT_EQ(net->nodeShape("pool2"), Shape(1, 256, 13, 13));
+    EXPECT_EQ(net->nodeShape("conv5"), Shape(1, 256, 13, 13));
+    EXPECT_EQ(net->nodeShape("pool5"), Shape(1, 256, 6, 6));
+    EXPECT_EQ(net->outputShape(), Shape(1, 1000, 1, 1));
+}
+
+TEST(AlexNetTest, GroupedConvolutions)
+{
+    auto net = buildAlexNet(227);
+    // conv2/conv4/conv5 use 2 groups (the original dual-GPU split);
+    // parameter counts reflect halved input channels.
+    auto &conv2 = net->layer("conv2");
+    EXPECT_EQ(conv2.params()[0]->shape(), Shape(256, 48, 5, 5));
+}
+
+TEST(AlexNetTest, LayerCountsMatchPaperDescription)
+{
+    // Section II-C: AlexNet has 7 nonlinearity layers and 3 pooling
+    // layers in the main path.
+    auto net = buildAlexNet(227);
+    std::size_t relus = 0, pools = 0, lrns = 0;
+    for (std::size_t i = 0; i < net->size(); ++i) {
+        switch (net->layerAt(i).kind()) {
+          case nn::LayerKind::ReLU: ++relus; break;
+          case nn::LayerKind::MaxPool: ++pools; break;
+          case nn::LayerKind::LRN: ++lrns; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(relus, 7u);
+    EXPECT_EQ(pools, 3u);
+    EXPECT_EQ(lrns, 2u);
+}
+
+TEST(AlexNetTest, DepthCutsValid)
+{
+    auto net = buildAlexNet(227);
+    for (unsigned d = 1; d <= 3; ++d) {
+        const auto layers = alexNetAnalogLayers(d);
+        const auto stats = analyzePartition(*net, layers);
+        EXPECT_GT(stats.totalMacs, 0u);
+    }
+    EXPECT_EXIT(alexNetAnalogLayers(4), ::testing::ExitedWithCode(1),
+                "depth");
+}
+
+TEST(AlexNetTest, FcLayersDominateParameters)
+{
+    auto net = buildAlexNet(227);
+    // ~60M parameters, most in fc6.
+    const auto total = net->parameterCount();
+    EXPECT_GT(total, 55u * 1000 * 1000);
+    EXPECT_LT(total, 70u * 1000 * 1000);
+}
+
+} // namespace
+} // namespace models
+} // namespace redeye

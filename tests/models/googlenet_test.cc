@@ -1,0 +1,125 @@
+/** @file Tests for the GoogLeNet topology and depth partitions. */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "models/partition.hh"
+
+namespace redeye {
+namespace models {
+namespace {
+
+TEST(GoogLeNetTest, FrontEndShapes)
+{
+    auto net = buildGoogLeNet(227);
+    EXPECT_EQ(net->nodeShape("conv1/7x7_s2"), Shape(1, 64, 114, 114));
+    EXPECT_EQ(net->nodeShape("pool1/3x3_s2"), Shape(1, 64, 57, 57));
+    EXPECT_EQ(net->nodeShape("conv2/3x3"), Shape(1, 192, 57, 57));
+    EXPECT_EQ(net->nodeShape("pool2/3x3_s2"), Shape(1, 192, 28, 28));
+}
+
+TEST(GoogLeNetTest, InceptionChannelArithmetic)
+{
+    auto net = buildGoogLeNet(227);
+    // Canonical GoogLeNet channel counts.
+    EXPECT_EQ(net->nodeShape("inception_3a/output").c, 256u);
+    EXPECT_EQ(net->nodeShape("inception_3b/output").c, 480u);
+    EXPECT_EQ(net->nodeShape("inception_4a/output").c, 512u);
+    EXPECT_EQ(net->nodeShape("inception_4e/output").c, 832u);
+    EXPECT_EQ(net->nodeShape("inception_5b/output").c, 1024u);
+}
+
+TEST(GoogLeNetTest, SpatialPyramid)
+{
+    auto net = buildGoogLeNet(227);
+    EXPECT_EQ(net->nodeShape("inception_3a/output").h, 28u);
+    EXPECT_EQ(net->nodeShape("inception_4a/output").h, 14u);
+    EXPECT_EQ(net->nodeShape("inception_5b/output").h, 7u);
+}
+
+TEST(GoogLeNetTest, ClassifierOutputs1000)
+{
+    auto net = buildGoogLeNet(227);
+    EXPECT_EQ(net->outputShape(), Shape(1, 1000, 1, 1));
+}
+
+TEST(GoogLeNetTest, Depth5CutIsInception4a)
+{
+    // The aux classifier branches after 4a, which is why RedEye
+    // cannot execute deeper (Section V-A).
+    EXPECT_EQ(googLeNetCutLayer(5), "inception_4a/output");
+}
+
+TEST(GoogLeNetTest, DepthCutsNested)
+{
+    for (unsigned d = 1; d < kGoogLeNetDepths; ++d) {
+        const auto a = googLeNetAnalogLayers(d);
+        const auto b = googLeNetAnalogLayers(d + 1);
+        EXPECT_LT(a.size(), b.size());
+        // Prefix property: deeper partitions extend shallower ones.
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(GoogLeNetTest, PartitionLayersExist)
+{
+    auto net = buildGoogLeNet(227);
+    for (unsigned d = 1; d <= kGoogLeNetDepths; ++d) {
+        for (const auto &name : googLeNetAnalogLayers(d))
+            EXPECT_TRUE(net->hasLayer(name)) << name;
+    }
+}
+
+TEST(GoogLeNetTest, Depth5FeatureTensorFits100kB)
+{
+    // Section V-D: 100 kB of feature SRAM holds the Depth5 cut at
+    // 8 bits.
+    auto net = buildGoogLeNet(227);
+    const Shape cut = net->nodeShape(googLeNetCutLayer(5));
+    EXPECT_EQ(cut.size(), 14u * 14 * 512);
+    EXPECT_LE(cut.size(), 100u * 1024);
+}
+
+TEST(GoogLeNetTest, TotalMacsInExpectedRange)
+{
+    auto net = buildGoogLeNet(227);
+    const double gmacs = static_cast<double>(net->totalMacs()) / 1e9;
+    // ~1.6 GMACs for the 227x227 variant (conv + fc, no aux heads).
+    EXPECT_GT(gmacs, 1.2);
+    EXPECT_LT(gmacs, 2.2);
+}
+
+TEST(GoogLeNetTest, InvalidDepthFatal)
+{
+    EXPECT_EXIT(googLeNetAnalogLayers(0),
+                ::testing::ExitedWithCode(1), "depth");
+    EXPECT_EXIT(googLeNetAnalogLayers(6),
+                ::testing::ExitedWithCode(1), "depth");
+}
+
+class GoogLeNetDepthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GoogLeNetDepthTest, AnalogMacsGrowMonotonically)
+{
+    const unsigned depth = GetParam();
+    auto net = buildGoogLeNet(227);
+    const auto here = analyzePartition(
+        *net, googLeNetAnalogLayers(depth));
+    if (depth > 1) {
+        const auto prev = analyzePartition(
+            *net, googLeNetAnalogLayers(depth - 1));
+        EXPECT_GT(here.totalMacs, prev.totalMacs);
+    }
+    EXPECT_GT(here.totalMacs, 0u);
+    EXPECT_TRUE(here.cutShape.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDepths, GoogLeNetDepthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace models
+} // namespace redeye

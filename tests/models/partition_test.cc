@@ -1,0 +1,100 @@
+/** @file Tests for partition workload analysis. */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "models/partition.hh"
+
+namespace redeye {
+namespace models {
+namespace {
+
+TEST(PartitionTest, Depth1WorkloadNumbers)
+{
+    auto net = buildGoogLeNet(227);
+    const auto stats = analyzePartition(*net,
+                                        googLeNetAnalogLayers(1));
+    // conv1: 114*114*64 outputs x 147 taps.
+    const std::size_t conv1 = 114u * 114 * 64 * 147;
+    // norm1 adds 5 MACs per post-pool element (weight rescaling).
+    const std::size_t norm1 = 57u * 57 * 64 * 5;
+    EXPECT_EQ(stats.totalMacs, conv1 + norm1);
+    // pool1: 57*57*64 outputs, 8 comparisons each.
+    EXPECT_EQ(stats.totalComparisons, 57u * 57 * 64 * 8);
+    EXPECT_EQ(stats.cutShape, Shape(1, 64, 57, 57));
+    EXPECT_EQ(stats.cutElements, 57u * 57 * 64);
+    EXPECT_EQ(stats.convLayers, 1u);
+    EXPECT_EQ(stats.poolLayers, 1u);
+}
+
+TEST(PartitionTest, MemoryTrafficCountsReadsAndWrites)
+{
+    auto net = buildGoogLeNet(227);
+    const auto stats = analyzePartition(*net,
+                                        googLeNetAnalogLayers(1));
+    EXPECT_GT(stats.totalMemoryWrites, 0u);
+    EXPECT_GT(stats.totalMemoryReads, stats.totalMemoryWrites / 2);
+}
+
+TEST(PartitionTest, DigitalTailComplementsAnalogPrefix)
+{
+    auto net = buildGoogLeNet(227);
+    const auto all = net->totalMacs();
+    for (unsigned d = 1; d <= kGoogLeNetDepths; ++d) {
+        const auto layers = googLeNetAnalogLayers(d);
+        const auto stats = analyzePartition(*net, layers);
+        const auto tail = digitalTailMacs(*net, layers);
+        // Analog-prefix conv MACs + tail covers the network (the
+        // prefix adds LRN/pool pseudo-MACs not counted in
+        // Network::totalMacs, so allow a small excess).
+        EXPECT_GE(stats.totalMacs + tail, all);
+        EXPECT_LT(stats.totalMacs + tail, all + all / 50);
+        // Deeper cut -> smaller tail.
+        if (d > 1) {
+            EXPECT_LT(tail,
+                      digitalTailMacs(*net,
+                                      googLeNetAnalogLayers(d - 1)));
+        }
+    }
+}
+
+TEST(PartitionTest, CutShapeIsLastListedLayer)
+{
+    auto net = buildGoogLeNet(227);
+    const auto stats = analyzePartition(*net,
+                                        googLeNetAnalogLayers(5));
+    EXPECT_EQ(stats.cutShape, Shape(1, 512, 14, 14));
+}
+
+TEST(PartitionTest, UnknownLayerFatal)
+{
+    auto net = buildGoogLeNet(227);
+    EXPECT_EXIT(analyzePartition(*net, {"no/such/layer"}),
+                ::testing::ExitedWithCode(1), "no layer");
+}
+
+TEST(PartitionTest, EmptyPartitionFatal)
+{
+    auto net = buildGoogLeNet(227);
+    EXPECT_EXIT(analyzePartition(*net, {}),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(PartitionTest, PerLayerRecordsPresent)
+{
+    auto net = buildGoogLeNet(227);
+    const auto layers = googLeNetAnalogLayers(2);
+    const auto stats = analyzePartition(*net, layers);
+    EXPECT_EQ(stats.layers.size(), layers.size());
+    // Every conv layer has taps recorded.
+    for (const auto &w : stats.layers) {
+        if (w.kind == nn::LayerKind::Convolution) {
+            EXPECT_GT(w.macTaps, 0u);
+            EXPECT_EQ(w.macs % w.macTaps, 0u);
+        }
+    }
+}
+
+} // namespace
+} // namespace models
+} // namespace redeye

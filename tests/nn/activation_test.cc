@@ -1,0 +1,67 @@
+/** @file Tests for ReLU. */
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(ReluTest, ClampsNegatives)
+{
+    ReluLayer relu("r");
+    Tensor x(Shape(1, 1, 1, 4),
+             std::vector<float>{-2, -0.5f, 0, 3});
+    Tensor y;
+    relu.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 0.0f);
+    EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(ReluTest, ShapePreserved)
+{
+    ReluLayer relu("r");
+    EXPECT_EQ(relu.outputShape({Shape(2, 3, 4, 5)}),
+              Shape(2, 3, 4, 5));
+}
+
+TEST(ReluTest, BackwardMasksGradient)
+{
+    ReluLayer relu("r");
+    Tensor x(Shape(1, 1, 1, 3), std::vector<float>{-1, 2, 0});
+    Tensor y;
+    relu.forward({&x}, y);
+    Tensor gy(y.shape(), 5.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    relu.backward({&x}, y, gy, gx);
+    EXPECT_FLOAT_EQ(gx[0][0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[0][1], 5.0f);
+    EXPECT_FLOAT_EQ(gx[0][2], 0.0f); // gradient is 0 at x == 0
+}
+
+TEST(ReluTest, BackwardAccumulates)
+{
+    ReluLayer relu("r");
+    Tensor x(Shape(1, 1, 1, 1), std::vector<float>{1});
+    Tensor y;
+    relu.forward({&x}, y);
+    Tensor gy(y.shape(), 2.0f);
+    std::vector<Tensor> gx{Tensor(x.shape(), 10.0f)};
+    relu.backward({&x}, y, gy, gx);
+    EXPECT_FLOAT_EQ(gx[0][0], 12.0f);
+}
+
+TEST(ReluTest, TwoInputsFatal)
+{
+    ReluLayer relu("r");
+    EXPECT_EXIT((void)relu.outputShape({Shape(1, 1, 1, 1),
+                                        Shape(1, 1, 1, 1)}),
+                ::testing::ExitedWithCode(1), "one input");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,79 @@
+/** @file Tests for channel concatenation. */
+
+#include <gtest/gtest.h>
+
+#include "nn/concat.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(ConcatTest, ChannelsStacked)
+{
+    ConcatLayer cat("cat");
+    Tensor a(Shape(1, 1, 2, 2), 1.0f);
+    Tensor b(Shape(1, 2, 2, 2), 2.0f);
+    Tensor y;
+    cat.forward({&a, &b}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 3, 2, 2));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), 2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 2, 0, 1), 2.0f);
+}
+
+TEST(ConcatTest, BatchedConcatKeepsItemsSeparate)
+{
+    ConcatLayer cat("cat");
+    Tensor a(Shape(2, 1, 1, 1), std::vector<float>{1, 2});
+    Tensor b(Shape(2, 1, 1, 1), std::vector<float>{10, 20});
+    Tensor y;
+    cat.forward({&a, &b}, y);
+    ASSERT_EQ(y.shape(), Shape(2, 2, 1, 1));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 0, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(y.at(1, 1, 0, 0), 20.0f);
+}
+
+TEST(ConcatTest, BackwardSplitsGradient)
+{
+    ConcatLayer cat("cat");
+    Tensor a(Shape(1, 1, 1, 1), 0.0f);
+    Tensor b(Shape(1, 1, 1, 1), 0.0f);
+    Tensor y;
+    cat.forward({&a, &b}, y);
+    Tensor gy(Shape(1, 2, 1, 1), std::vector<float>{3, 4});
+    std::vector<Tensor> gx{Tensor(a.shape()), Tensor(b.shape())};
+    cat.backward({&a, &b}, y, gy, gx);
+    EXPECT_FLOAT_EQ(gx[0][0], 3.0f);
+    EXPECT_FLOAT_EQ(gx[1][0], 4.0f);
+}
+
+TEST(ConcatTest, MismatchedSpatialFatal)
+{
+    ConcatLayer cat("cat");
+    EXPECT_EXIT((void)cat.outputShape({Shape(1, 1, 2, 2),
+                                       Shape(1, 1, 3, 3)}),
+                ::testing::ExitedWithCode(1), "incompatible");
+}
+
+TEST(ConcatTest, NoInputsFatal)
+{
+    ConcatLayer cat("cat");
+    EXPECT_EXIT((void)cat.outputShape({}),
+                ::testing::ExitedWithCode(1), "needs inputs");
+}
+
+TEST(ConcatTest, FourWayInceptionShape)
+{
+    ConcatLayer cat("cat");
+    EXPECT_EQ(cat.outputShape({Shape(1, 64, 28, 28),
+                               Shape(1, 128, 28, 28),
+                               Shape(1, 32, 28, 28),
+                               Shape(1, 32, 28, 28)}),
+              Shape(1, 256, 28, 28));
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,197 @@
+/** @file Tests for the convolution layer's forward semantics. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/conv.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+Tensor
+make(const Shape &s, std::initializer_list<float> vals)
+{
+    return Tensor(s, std::vector<float>(vals));
+}
+
+TEST(ConvTest, IdentityOneByOneKernel)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 1));
+    Tensor x = make(Shape(1, 1, 2, 2), {1, 2, 3, 4});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    EXPECT_EQ(y.shape(), x.shape());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(ConvTest, BoxFilterSumsWindow)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 2));
+    Tensor x = make(Shape(1, 1, 3, 3), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 2, 2));
+    EXPECT_FLOAT_EQ(y[0], 1 + 2 + 4 + 5);
+    EXPECT_FLOAT_EQ(y[3], 5 + 6 + 8 + 9);
+}
+
+TEST(ConvTest, StrideSkipsPositions)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 1, 2));
+    Tensor x = make(Shape(1, 1, 4, 4),
+                    {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                     14, 15});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 2, 2));
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 2.0f);
+    EXPECT_FLOAT_EQ(y[2], 8.0f);
+    EXPECT_FLOAT_EQ(y[3], 10.0f);
+}
+
+TEST(ConvTest, ZeroPaddingContributesNothing)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 3, 1, 1));
+    Tensor x = make(Shape(1, 1, 1, 1), {5});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 1, 1));
+    EXPECT_FLOAT_EQ(y[0], 5.0f); // only the center tap lands inside
+}
+
+TEST(ConvTest, BiasAddedPerChannel)
+{
+    ConvParams p = ConvParams::square(2, 1);
+    ConvolutionLayer conv("c", p);
+    Tensor x = make(Shape(1, 1, 1, 2), {1, 2});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(0.0f);
+    conv.biases()[0] = 10.0f;
+    conv.biases()[1] = -4.0f;
+    Tensor y;
+    conv.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 10.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0, 1), -4.0f);
+}
+
+TEST(ConvTest, ChannelsSummed)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 1));
+    Tensor x = make(Shape(1, 3, 1, 1), {1, 10, 100});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 111.0f);
+}
+
+TEST(ConvTest, GroupsPartitionChannels)
+{
+    // 2 groups: each output channel sees only its half of inputs.
+    ConvolutionLayer conv("c", ConvParams::square(2, 1, 1, 0, 2));
+    Tensor x = make(Shape(1, 2, 1, 1), {3, 7});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f); // (2, 1, 1, 1)
+    Tensor y;
+    conv.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 7.0f);
+}
+
+TEST(ConvTest, OutputClipLimitsSwing)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 1));
+    conv.setOutputClip(2.0f);
+    Tensor x = make(Shape(1, 1, 1, 3), {-5, 1, 5});
+    (void)conv.outputShape({x.shape()});
+    conv.weights().fill(1.0f);
+    Tensor y;
+    conv.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], -2.0f);
+    EXPECT_FLOAT_EQ(y[1], 1.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(ConvTest, MacCountFormula)
+{
+    ConvolutionLayer conv("c", ConvParams::square(64, 7, 2, 3));
+    const Shape in(1, 3, 227, 227);
+    // out 114x114x64, taps 3*49.
+    EXPECT_EQ(conv.macCount({in}), 114u * 114 * 64 * 147);
+}
+
+TEST(ConvTest, BatchedForwardMatchesPerItem)
+{
+    Rng rng(10);
+    ConvolutionLayer conv("c", ConvParams::square(4, 3, 1, 1));
+    Tensor x(Shape(3, 2, 5, 5));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+
+    Tensor y;
+    conv.forward({&x}, y);
+    for (std::size_t n = 0; n < 3; ++n) {
+        Tensor xi = x.slice(n);
+        Tensor yi;
+        conv.forward({&xi}, yi);
+        Tensor expect = y.slice(n);
+        EXPECT_LT(maxAbsDiff(yi, expect), 1e-5f);
+    }
+}
+
+TEST(ConvTest, RebindDifferentChannelsPanics)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 1));
+    (void)conv.outputShape({Shape(1, 2, 4, 4)});
+    EXPECT_DEATH((void)conv.outputShape({Shape(1, 3, 4, 4)}),
+                 "rebound");
+}
+
+TEST(ConvTest, KernelLargerThanInputFatal)
+{
+    ConvolutionLayer conv("c", ConvParams::square(1, 5));
+    EXPECT_EXIT((void)conv.outputShape({Shape(1, 1, 3, 3)}),
+                ::testing::ExitedWithCode(1), "kernel larger");
+}
+
+TEST(ConvTest, InvalidParamsFatal)
+{
+    EXPECT_EXIT(ConvolutionLayer("c", ConvParams::square(0, 1)),
+                ::testing::ExitedWithCode(1), "outChannels");
+    ConvParams p = ConvParams::square(3, 1);
+    p.groups = 2;
+    EXPECT_EXIT(ConvolutionLayer("c", p),
+                ::testing::ExitedWithCode(1), "divisible");
+}
+
+TEST(ConvTest, HeInitScalesWithFanIn)
+{
+    Rng rng(20);
+    ConvolutionLayer conv("c", ConvParams::square(8, 3));
+    (void)conv.outputShape({Shape(1, 16, 8, 8)});
+    conv.initHe(rng);
+    // fan_in = 16*9 = 144 -> stddev ~ sqrt(2/144) ~ 0.118.
+    double sum_sq = 0.0;
+    const Tensor &w = conv.weights();
+    for (std::size_t i = 0; i < w.size(); ++i)
+        sum_sq += static_cast<double>(w[i]) * w[i];
+    const double stddev = std::sqrt(sum_sq /
+                                    static_cast<double>(w.size()));
+    EXPECT_NEAR(stddev, std::sqrt(2.0 / 144.0), 0.02);
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

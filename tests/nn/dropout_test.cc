@@ -1,0 +1,83 @@
+/** @file Tests for inverted dropout. */
+
+#include <gtest/gtest.h>
+
+#include "nn/dropout.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(DropoutTest, IdentityAtInference)
+{
+    DropoutLayer drop("d", 0.5f, Rng(1));
+    drop.setTraining(false);
+    Tensor x(Shape(1, 1, 4, 4), 2.0f);
+    Tensor y;
+    drop.forward({&x}, y);
+    EXPECT_LT(maxAbsDiff(x, y), 1e-9f);
+}
+
+TEST(DropoutTest, TrainingZeroesApproxRatio)
+{
+    DropoutLayer drop("d", 0.4f, Rng(2));
+    drop.setTraining(true);
+    Tensor x(Shape(1, 1, 100, 100), 1.0f);
+    Tensor y;
+    drop.forward({&x}, y);
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        zeros += y[i] == 0.0f ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.4, 0.03);
+}
+
+TEST(DropoutTest, InvertedScalingPreservesExpectation)
+{
+    DropoutLayer drop("d", 0.5f, Rng(3));
+    drop.setTraining(true);
+    Tensor x(Shape(1, 1, 200, 200), 1.0f);
+    Tensor y;
+    drop.forward({&x}, y);
+    EXPECT_NEAR(y.mean(), 1.0, 0.05);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask)
+{
+    DropoutLayer drop("d", 0.5f, Rng(4));
+    drop.setTraining(true);
+    Tensor x(Shape(1, 1, 10, 10), 1.0f);
+    Tensor y;
+    drop.forward({&x}, y);
+    Tensor gy(y.shape(), 1.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    drop.backward({&x}, y, gy, gx);
+    // Gradient is zero exactly where the activation was dropped.
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] == 0.0f)
+            EXPECT_FLOAT_EQ(gx[0][i], 0.0f);
+        else
+            EXPECT_GT(gx[0][i], 0.0f);
+    }
+}
+
+TEST(DropoutTest, ZeroRatioIsIdentityInTraining)
+{
+    DropoutLayer drop("d", 0.0f, Rng(5));
+    drop.setTraining(true);
+    Tensor x(Shape(1, 1, 3, 3), 7.0f);
+    Tensor y;
+    drop.forward({&x}, y);
+    EXPECT_LT(maxAbsDiff(x, y), 1e-9f);
+}
+
+TEST(DropoutTest, InvalidRatioFatal)
+{
+    EXPECT_EXIT(DropoutLayer("d", 1.0f, Rng(6)),
+                ::testing::ExitedWithCode(1), "ratio");
+    EXPECT_EXIT(DropoutLayer("d", -0.1f, Rng(6)),
+                ::testing::ExitedWithCode(1), "ratio");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

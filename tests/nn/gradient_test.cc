@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Numeric gradient verification.
+ *
+ * For every differentiable layer, compares backward() against a
+ * central-difference estimate of d loss / d input and d loss / d
+ * parameters, where loss = sum(out * probe) for a fixed random probe.
+ */
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/inner_product.hh"
+#include "nn/lrn.hh"
+#include "nn/pool.hh"
+#include "nn/softmax.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+/** loss = <forward(inputs), probe>. */
+double
+lossOf(Layer &layer, const std::vector<Tensor> &inputs,
+       const Tensor &probe)
+{
+    std::vector<const Tensor *> ins;
+    for (const auto &t : inputs)
+        ins.push_back(&t);
+    Tensor out;
+    layer.forward(ins, out);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        loss += static_cast<double>(out[i]) * probe[i];
+    return loss;
+}
+
+/**
+ * Verify analytic gradients of @p layer at @p inputs against central
+ * differences, for the inputs and every parameter tensor.
+ */
+void
+checkGradients(Layer &layer, std::vector<Tensor> inputs,
+               double tol = 2e-2, double eps = 1e-3)
+{
+    Rng rng(0xbeef);
+    std::vector<const Tensor *> ins;
+    for (const auto &t : inputs)
+        ins.push_back(&t);
+    Tensor out;
+    layer.forward(ins, out);
+    Tensor probe(out.shape());
+    probe.fillGaussian(rng, 0.0f, 1.0f);
+
+    // Analytic gradients.
+    for (Tensor *g : layer.paramGrads())
+        g->zero();
+    std::vector<Tensor> in_grads;
+    for (const auto &t : inputs)
+        in_grads.emplace_back(t.shape());
+    layer.forward(ins, out); // refresh caches
+    layer.backward(ins, out, probe, in_grads);
+
+    // Numeric input gradients (subsampled for large tensors).
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+        Tensor &x = inputs[k];
+        const std::size_t stride = std::max<std::size_t>(
+            1, x.size() / 64);
+        for (std::size_t i = 0; i < x.size(); i += stride) {
+            const float saved = x[i];
+            x[i] = saved + static_cast<float>(eps);
+            const double lp = lossOf(layer, inputs, probe);
+            x[i] = saved - static_cast<float>(eps);
+            const double lm = lossOf(layer, inputs, probe);
+            x[i] = saved;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(in_grads[k][i], numeric,
+                        tol * (1.0 + std::fabs(numeric)))
+                << "input " << k << " element " << i;
+        }
+    }
+
+    // Numeric parameter gradients.
+    auto params = layer.params();
+    auto grads = layer.paramGrads();
+    for (std::size_t p = 0; p < params.size(); ++p) {
+        Tensor &w = *params[p];
+        const std::size_t stride = std::max<std::size_t>(
+            1, w.size() / 48);
+        for (std::size_t i = 0; i < w.size(); i += stride) {
+            const float saved = w[i];
+            w[i] = saved + static_cast<float>(eps);
+            const double lp = lossOf(layer, inputs, probe);
+            w[i] = saved - static_cast<float>(eps);
+            const double lm = lossOf(layer, inputs, probe);
+            w[i] = saved;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR((*grads[p])[i], numeric,
+                        tol * (1.0 + std::fabs(numeric)))
+                << "param " << p << " element " << i;
+        }
+    }
+}
+
+Tensor
+randomTensor(const Shape &s, std::uint64_t seed, float stddev = 1.0f)
+{
+    Rng rng(seed);
+    Tensor t(s);
+    t.fillGaussian(rng, 0.0f, stddev);
+    return t;
+}
+
+TEST(GradientTest, Convolution)
+{
+    Rng rng(1);
+    ConvolutionLayer conv("c", ConvParams::square(3, 3, 1, 1));
+    Tensor x = randomTensor(Shape(2, 2, 5, 5), 11);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    checkGradients(conv, {x});
+}
+
+TEST(GradientTest, ConvolutionStrided)
+{
+    Rng rng(2);
+    ConvolutionLayer conv("c", ConvParams::square(2, 3, 2, 1));
+    Tensor x = randomTensor(Shape(1, 3, 7, 7), 12);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    checkGradients(conv, {x});
+}
+
+TEST(GradientTest, ConvolutionGrouped)
+{
+    Rng rng(3);
+    ConvolutionLayer conv("c", ConvParams::square(4, 3, 1, 1, 2));
+    Tensor x = randomTensor(Shape(1, 4, 5, 5), 13);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    checkGradients(conv, {x});
+}
+
+TEST(GradientTest, ConvolutionNoBias)
+{
+    Rng rng(4);
+    ConvParams p = ConvParams::square(2, 1);
+    p.bias = false;
+    ConvolutionLayer conv("c", p);
+    Tensor x = randomTensor(Shape(1, 3, 4, 4), 14);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    checkGradients(conv, {x});
+}
+
+TEST(GradientTest, Relu)
+{
+    ReluLayer relu("r");
+    // Keep values away from the kink at 0.
+    Tensor x = randomTensor(Shape(1, 2, 4, 4), 15);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (std::fabs(x[i]) < 0.05f)
+            x[i] = 0.1f;
+    }
+    checkGradients(relu, {x});
+}
+
+TEST(GradientTest, MaxPool)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    // Distinct values avoid argmax ties under perturbation.
+    Tensor x(Shape(1, 2, 4, 4));
+    Rng rng(16);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i) * 0.37f +
+               static_cast<float>(rng.uniform(0.0, 0.01));
+    checkGradients(pool, {x});
+}
+
+TEST(GradientTest, AvgPool)
+{
+    AvgPoolLayer pool("p", PoolParams{3, 2, 0});
+    Tensor x = randomTensor(Shape(1, 2, 5, 5), 17);
+    checkGradients(pool, {x});
+}
+
+TEST(GradientTest, Lrn)
+{
+    LrnLayer lrn("n", LrnParams{5, 1e-2f, 0.75f, 1.0f});
+    Tensor x = randomTensor(Shape(1, 8, 3, 3), 18);
+    checkGradients(lrn, {x});
+}
+
+TEST(GradientTest, InnerProduct)
+{
+    Rng rng(5);
+    InnerProductLayer fc("fc", 6);
+    Tensor x = randomTensor(Shape(2, 5, 1, 1), 19);
+    (void)fc.outputShape({x.shape()});
+    fc.initHe(rng);
+    checkGradients(fc, {x});
+}
+
+TEST(GradientTest, Concat)
+{
+    ConcatLayer cat("cat");
+    Tensor a = randomTensor(Shape(1, 2, 3, 3), 20);
+    Tensor b = randomTensor(Shape(1, 3, 3, 3), 21);
+    checkGradients(cat, {a, b});
+}
+
+TEST(GradientTest, Softmax)
+{
+    SoftmaxLayer sm("sm");
+    Tensor x = randomTensor(Shape(2, 6, 1, 1), 22);
+    checkGradients(sm, {x});
+}
+
+TEST(GradientTest, SoftmaxCrossEntropyMatchesNumeric)
+{
+    Tensor logits = randomTensor(Shape(3, 5, 1, 1), 23);
+    const std::vector<std::int32_t> labels{0, 2, 4};
+    Tensor grad;
+    softmaxCrossEntropy(logits, labels, grad);
+
+    const double eps = 1e-3;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const float saved = logits[i];
+        Tensor tmp;
+        logits[i] = saved + static_cast<float>(eps);
+        const double lp = softmaxCrossEntropy(logits, labels, tmp);
+        logits[i] = saved - static_cast<float>(eps);
+        const double lm = softmaxCrossEntropy(logits, labels, tmp);
+        logits[i] = saved;
+        EXPECT_NEAR(grad[i], (lp - lm) / (2.0 * eps), 1e-3);
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

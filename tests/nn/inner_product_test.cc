@@ -1,0 +1,96 @@
+/** @file Tests for the fully-connected layer. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/inner_product.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(InnerProductTest, KnownMatrixVectorProduct)
+{
+    InnerProductLayer fc("fc", 2);
+    Tensor x(Shape(1, 3, 1, 1), std::vector<float>{1, 2, 3});
+    (void)fc.outputShape({x.shape()});
+    // W = [[1,0,0],[0,1,1]]
+    fc.weights().fill(0.0f);
+    fc.weights()[0] = 1.0f;
+    fc.weights()[4] = 1.0f;
+    fc.weights()[5] = 1.0f;
+    Tensor y;
+    fc.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 2, 1, 1));
+    EXPECT_FLOAT_EQ(y[0], 1.0f);
+    EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(InnerProductTest, BiasAdded)
+{
+    InnerProductLayer fc("fc", 2);
+    Tensor x(Shape(1, 2, 1, 1), std::vector<float>{0, 0});
+    (void)fc.outputShape({x.shape()});
+    fc.biases()[0] = 3.0f;
+    fc.biases()[1] = -1.0f;
+    Tensor y;
+    fc.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], -1.0f);
+}
+
+TEST(InnerProductTest, FlattensSpatialInput)
+{
+    InnerProductLayer fc("fc", 1);
+    Tensor x(Shape(1, 2, 2, 2), 1.0f);
+    (void)fc.outputShape({x.shape()});
+    fc.weights().fill(1.0f);
+    fc.biases().zero();
+    Tensor y;
+    fc.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 8.0f);
+}
+
+TEST(InnerProductTest, BatchRowsIndependent)
+{
+    InnerProductLayer fc("fc", 1, false);
+    Tensor x(Shape(2, 2, 1, 1), std::vector<float>{1, 2, 10, 20});
+    (void)fc.outputShape({x.shape()});
+    fc.weights().fill(1.0f);
+    Tensor y;
+    fc.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 30.0f);
+}
+
+TEST(InnerProductTest, NoBiasHasOneParam)
+{
+    InnerProductLayer fc("fc", 4, false);
+    (void)fc.outputShape({Shape(1, 3, 1, 1)});
+    EXPECT_EQ(fc.params().size(), 1u);
+    EXPECT_EQ(fc.paramGrads().size(), 1u);
+}
+
+TEST(InnerProductTest, MacCount)
+{
+    InnerProductLayer fc("fc", 10);
+    EXPECT_EQ(fc.macCount({Shape(2, 4, 3, 3)}), 2u * 10 * 36);
+}
+
+TEST(InnerProductTest, ZeroOutputsFatal)
+{
+    EXPECT_EXIT(InnerProductLayer("fc", 0),
+                ::testing::ExitedWithCode(1), "outputs");
+}
+
+TEST(InnerProductTest, RebindPanics)
+{
+    InnerProductLayer fc("fc", 2);
+    (void)fc.outputShape({Shape(1, 3, 1, 1)});
+    EXPECT_DEATH((void)fc.outputShape({Shape(1, 4, 1, 1)}),
+                 "rebound");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

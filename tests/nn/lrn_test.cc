@@ -1,0 +1,89 @@
+/** @file Tests for local response normalization. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/lrn.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(LrnTest, SingleChannelMatchesFormula)
+{
+    LrnParams p;
+    p.localSize = 1;
+    p.alpha = 1.0f;
+    p.beta = 0.5f;
+    p.k = 1.0f;
+    LrnLayer lrn("n", p);
+    Tensor x(Shape(1, 1, 1, 1), std::vector<float>{3.0f});
+    Tensor y;
+    lrn.forward({&x}, y);
+    // out = 3 / (1 + 1*9)^0.5 = 3 / sqrt(10).
+    EXPECT_NEAR(y[0], 3.0 / std::sqrt(10.0), 1e-6);
+}
+
+TEST(LrnTest, CrossChannelWindowSums)
+{
+    LrnParams p;
+    p.localSize = 3;
+    p.alpha = 3.0f; // alpha/n = 1
+    p.beta = 1.0f;
+    p.k = 0.0f;
+    LrnLayer lrn("n", p);
+    Tensor x(Shape(1, 3, 1, 1), std::vector<float>{1, 2, 1});
+    Tensor y;
+    lrn.forward({&x}, y);
+    // Channel 1 sees all three: scale = 1 + 4 + 1 = 6.
+    EXPECT_NEAR(y[1], 2.0 / 6.0, 1e-6);
+    // Channel 0 sees channels 0,1: scale = 1 + 4 = 5.
+    EXPECT_NEAR(y[0], 1.0 / 5.0, 1e-6);
+}
+
+TEST(LrnTest, UnitScaleWhenKOneAlphaZero)
+{
+    LrnParams p;
+    p.alpha = 0.0f;
+    p.k = 1.0f;
+    LrnLayer lrn("n", p);
+    Tensor x(Shape(1, 4, 2, 2));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i) - 7.5f;
+    Tensor y;
+    lrn.forward({&x}, y);
+    EXPECT_LT(maxAbsDiff(x, y), 1e-6f);
+}
+
+TEST(LrnTest, SuppressesLargeActivationsMore)
+{
+    LrnLayer lrn("n", LrnParams{});
+    Tensor x(Shape(1, 1, 1, 2), std::vector<float>{1.0f, 100.0f});
+    Tensor y;
+    lrn.forward({&x}, y);
+    // Normalization shrinks the big value proportionally more.
+    EXPECT_LT(y[1] / 100.0f, y[0] / 1.0f);
+}
+
+TEST(LrnTest, EvenLocalSizeFatal)
+{
+    LrnParams p;
+    p.localSize = 4;
+    EXPECT_EXIT(LrnLayer("n", p), ::testing::ExitedWithCode(1),
+                "odd");
+}
+
+TEST(LrnTest, BackwardWithoutForwardPanics)
+{
+    LrnLayer lrn("n", LrnParams{});
+    Tensor x(Shape(1, 2, 1, 1));
+    Tensor y(x.shape());
+    Tensor gy(x.shape());
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    EXPECT_DEATH(lrn.backward({&x}, y, gy, gx), "without forward");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,216 @@
+/** @file Tests for the network DAG. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/concat.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+std::unique_ptr<Network>
+linearNet()
+{
+    auto net = std::make_unique<Network>("lin");
+    net->setInputShape(Shape(1, 1, 4, 4));
+    net->add(std::make_unique<ConvolutionLayer>(
+                 "c1", ConvParams::square(2, 3, 1, 1)),
+             {kInputName});
+    net->add(std::make_unique<ReluLayer>("r1"));
+    return net;
+}
+
+TEST(NetworkTest, AddDefaultsToPreviousLayer)
+{
+    auto net = linearNet();
+    EXPECT_EQ(net->size(), 2u);
+    EXPECT_EQ(net->inputsOf(1), std::vector<std::string>{"c1"});
+    EXPECT_EQ(net->inputsOf(0),
+              std::vector<std::string>{kInputName});
+}
+
+TEST(NetworkTest, ShapeInferenceAtAddTime)
+{
+    auto net = linearNet();
+    EXPECT_EQ(net->nodeShape("c1"), Shape(1, 2, 4, 4));
+    EXPECT_EQ(net->outputShape(), Shape(1, 2, 4, 4));
+}
+
+TEST(NetworkTest, ForwardProducesOutput)
+{
+    Rng rng(1);
+    auto net = linearNet();
+    static_cast<ConvolutionLayer &>(net->layer("c1")).initHe(rng);
+    Tensor x(Shape(2, 1, 4, 4));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    const Tensor &y = net->forward(x);
+    EXPECT_EQ(y.shape(), Shape(2, 2, 4, 4));
+    // ReLU output is non-negative.
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(NetworkTest, ActivationAccessibleByName)
+{
+    Rng rng(2);
+    auto net = linearNet();
+    static_cast<ConvolutionLayer &>(net->layer("c1")).initHe(rng);
+    Tensor x(Shape(1, 1, 4, 4), 1.0f);
+    net->forward(x);
+    const Tensor &c1 = net->activation("c1");
+    EXPECT_EQ(c1.shape(), Shape(1, 2, 4, 4));
+}
+
+TEST(NetworkTest, DagWithConcatBranches)
+{
+    Network net("dag");
+    net.setInputShape(Shape(1, 1, 4, 4));
+    net.add(std::make_unique<ConvolutionLayer>(
+                "a", ConvParams::square(2, 1)),
+            {kInputName});
+    net.add(std::make_unique<ConvolutionLayer>(
+                "b", ConvParams::square(3, 1)),
+            {kInputName});
+    net.add(std::make_unique<ConcatLayer>("cat"), {"a", "b"});
+    EXPECT_EQ(net.outputShape(), Shape(1, 5, 4, 4));
+}
+
+TEST(NetworkTest, InsertAfterRewiresConsumers)
+{
+    auto net = linearNet();
+    net->insertAfter("c1", std::make_unique<ReluLayer>("mid"));
+    // r1 must now consume "mid", not "c1".
+    bool found = false;
+    for (std::size_t i = 0; i < net->size(); ++i) {
+        if (net->layerAt(i).name() == "r1") {
+            EXPECT_EQ(net->inputsOf(i),
+                      std::vector<std::string>{"mid"});
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(net->size(), 3u);
+}
+
+TEST(NetworkTest, InsertAfterPreservesForwardSemantics)
+{
+    Rng rng(3);
+    auto net = linearNet();
+    static_cast<ConvolutionLayer &>(net->layer("c1")).initHe(rng);
+    Tensor x(Shape(1, 1, 4, 4));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor before = net->forward(x);
+
+    // An extra ReLU after c1 is a no-op on the r1 output because
+    // ReLU is idempotent.
+    net->insertAfter("c1", std::make_unique<ReluLayer>("extra"));
+    Tensor after = net->forward(x);
+    // r1(relu(c1)) >= 0 everywhere and equals relu(c1).
+    EXPECT_EQ(before.shape(), after.shape());
+    for (std::size_t i = 0; i < after.size(); ++i)
+        EXPECT_GE(after[i], 0.0f);
+}
+
+TEST(NetworkTest, DuplicateNameFatal)
+{
+    auto net = linearNet();
+    EXPECT_EXIT(net->add(std::make_unique<ReluLayer>("r1")),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(NetworkTest, UnknownInputFatal)
+{
+    auto net = linearNet();
+    EXPECT_EXIT(net->add(std::make_unique<ReluLayer>("r2"),
+                         {"nonexistent"}),
+                ::testing::ExitedWithCode(1), "no layer");
+}
+
+TEST(NetworkTest, MissingInputShapeFatal)
+{
+    Network net("empty");
+    EXPECT_EXIT(net.add(std::make_unique<ReluLayer>("r")),
+                ::testing::ExitedWithCode(1), "setInputShape");
+}
+
+TEST(NetworkTest, WrongInputShapeFatal)
+{
+    auto net = linearNet();
+    Tensor x(Shape(1, 2, 4, 4));
+    EXPECT_EXIT(net->forward(x), ::testing::ExitedWithCode(1),
+                "does not match");
+}
+
+TEST(NetworkTest, ParamsAggregatedAcrossLayers)
+{
+    auto net = linearNet();
+    // c1 has weights + biases; relu none.
+    EXPECT_EQ(net->params().size(), 2u);
+    EXPECT_EQ(net->paramGrads().size(), 2u);
+}
+
+TEST(NetworkTest, ZeroGradsClears)
+{
+    auto net = linearNet();
+    for (Tensor *g : net->paramGrads())
+        g->fill(5.0f);
+    net->zeroGrads();
+    for (Tensor *g : net->paramGrads())
+        EXPECT_EQ(g->absMax(), 0.0f);
+}
+
+TEST(NetworkTest, TotalMacsSumsConvolutions)
+{
+    auto net = linearNet();
+    // c1: 4x4x2 outputs x 9 taps.
+    EXPECT_EQ(net->totalMacs(), 4u * 4 * 2 * 9);
+}
+
+TEST(NetworkTest, SummaryMentionsEveryLayer)
+{
+    auto net = linearNet();
+    const std::string s = net->summary();
+    EXPECT_NE(s.find("c1"), std::string::npos);
+    EXPECT_NE(s.find("r1"), std::string::npos);
+    EXPECT_NE(s.find("Convolution"), std::string::npos);
+}
+
+TEST(NetworkTest, MultiConsumerBackwardAccumulates)
+{
+    // input feeds two convs; each maps 1->1 with weight 1; concat.
+    // d(sum)/d(input) should be 2 everywhere.
+    Network net("multi");
+    net.setInputShape(Shape(1, 1, 2, 2));
+    auto mk = [&](const std::string &name) {
+        auto conv = std::make_unique<ConvolutionLayer>(
+            name, ConvParams::square(1, 1));
+        auto *ptr = conv.get();
+        net.add(std::move(conv), {kInputName});
+        ptr->weights().fill(1.0f);
+    };
+    mk("a");
+    mk("b");
+    net.add(std::make_unique<ConcatLayer>("cat"), {"a", "b"});
+
+    Tensor x(Shape(1, 1, 2, 2), 1.0f);
+    net.forward(x);
+    Tensor gy(Shape(1, 2, 2, 2), 1.0f);
+    const Tensor &gx = net.backward(gy);
+    for (std::size_t i = 0; i < gx.size(); ++i)
+        EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+TEST(NetworkTest, ParameterCount)
+{
+    auto net = linearNet();
+    // weights 2*1*3*3 = 18, biases 2.
+    EXPECT_EQ(net->parameterCount(), 20u);
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

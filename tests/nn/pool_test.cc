@@ -1,0 +1,178 @@
+/** @file Tests for max/average pooling. */
+
+#include <gtest/gtest.h>
+
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(PoolParamsTest, CeilModeExtent)
+{
+    // Caffe ceil semantics: GoogLeNet pool1 maps 114 -> 57.
+    PoolParams p{3, 2, 0};
+    EXPECT_EQ(p.outExtent(114), 57u);
+    EXPECT_EQ(p.outExtent(57), 28u);
+    EXPECT_EQ(p.outExtent(28), 14u);
+    EXPECT_EQ(p.outExtent(14), 7u);
+}
+
+TEST(PoolParamsTest, PaddedWindowClipped)
+{
+    // With pad, the trailing window must start inside the input.
+    PoolParams p{3, 1, 1};
+    EXPECT_EQ(p.outExtent(4), 4u);
+}
+
+TEST(MaxPoolTest, PicksWindowMaximum)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 4),
+             std::vector<float>{1, 5, 2, 0, 3, -1, 7, 4});
+    Tensor y;
+    pool.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 1, 2));
+    EXPECT_FLOAT_EQ(y[0], 5.0f);
+    EXPECT_FLOAT_EQ(y[1], 7.0f);
+}
+
+TEST(MaxPoolTest, HandlesAllNegative)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 2),
+             std::vector<float>{-4, -2, -9, -6});
+    Tensor y;
+    pool.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], -2.0f);
+}
+
+TEST(MaxPoolTest, ChannelsIndependent)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 2, 2, 2),
+             std::vector<float>{1, 2, 3, 4, 40, 30, 20, 10});
+    Tensor y;
+    pool.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 40.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 2), std::vector<float>{1, 9, 3, 4});
+    Tensor y;
+    pool.forward({&x}, y);
+    Tensor gy(y.shape(), 2.5f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    pool.backward({&x}, y, gy, gx);
+    EXPECT_FLOAT_EQ(gx[0][0], 0.0f);
+    EXPECT_FLOAT_EQ(gx[0][1], 2.5f);
+    EXPECT_FLOAT_EQ(gx[0][2], 0.0f);
+    EXPECT_FLOAT_EQ(gx[0][3], 0.0f);
+}
+
+TEST(MaxPoolTest, BackwardWithoutForwardPanics)
+{
+    MaxPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 2));
+    Tensor y(Shape(1, 1, 1, 1));
+    Tensor gy(y.shape());
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    EXPECT_DEATH(pool.backward({&x}, y, gy, gx), "without forward");
+}
+
+TEST(MaxPoolTest, ComparisonCount)
+{
+    MaxPoolLayer pool("p", PoolParams{3, 2, 0});
+    // out 57x57 per channel x 64 channels, 8 comparisons each.
+    EXPECT_EQ(pool.comparisonCount({Shape(1, 64, 114, 114)}),
+              57u * 57 * 64 * 8);
+}
+
+TEST(AvgPoolTest, AveragesWindow)
+{
+    AvgPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 2), std::vector<float>{1, 2, 3, 6});
+    Tensor y;
+    pool.forward({&x}, y);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPoolTest, PartialWindowUsesValidCount)
+{
+    // 3x3 input, 2x2 kernel stride 2 (ceil) -> 2x2 output; edge
+    // windows cover fewer pixels and average over the covered count.
+    AvgPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 3, 3),
+             std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor y;
+    pool.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 2, 2));
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), (1 + 2 + 4 + 5) / 4.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), (3 + 6) / 2.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0f);
+}
+
+TEST(AvgPoolTest, GlobalPoolReducesToMean)
+{
+    AvgPoolLayer pool("p", PoolParams{4, 1, 0});
+    Tensor x(Shape(1, 1, 4, 4), 2.0f);
+    x[0] = 18.0f;
+    Tensor y;
+    pool.forward({&x}, y);
+    ASSERT_EQ(y.shape(), Shape(1, 1, 1, 1));
+    EXPECT_FLOAT_EQ(y[0], (15 * 2.0f + 18.0f) / 16.0f);
+}
+
+TEST(AvgPoolTest, BackwardSpreadsUniformly)
+{
+    AvgPoolLayer pool("p", PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 1, 2, 2), 1.0f);
+    Tensor y;
+    pool.forward({&x}, y);
+    Tensor gy(y.shape(), 4.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    pool.backward({&x}, y, gy, gx);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(gx[0][i], 1.0f);
+}
+
+TEST(PoolTest, WindowLargerThanInputFatal)
+{
+    MaxPoolLayer pool("p", PoolParams{5, 2, 0});
+    EXPECT_EXIT((void)pool.outputShape({Shape(1, 1, 3, 3)}),
+                ::testing::ExitedWithCode(1), "window larger");
+}
+
+/** Property sweep: output extent always covers the whole input. */
+class PoolExtentTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PoolExtentTest, EveryInputPixelIsCoveredBySomeWindow)
+{
+    const auto [in, kernel, stride] = GetParam();
+    if (kernel > in)
+        GTEST_SKIP();
+    PoolParams p{static_cast<std::size_t>(kernel),
+                 static_cast<std::size_t>(stride), 0};
+    const std::size_t out = p.outExtent(in);
+    // Last window must reach the final input pixel.
+    EXPECT_GE((out - 1) * p.stride + p.kernel,
+              static_cast<std::size_t>(in));
+    // First window starts at 0 (no pad).
+    EXPECT_GE(out, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoolExtentTest,
+    ::testing::Combine(::testing::Values(7, 14, 28, 57, 114, 227),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace nn
+} // namespace redeye

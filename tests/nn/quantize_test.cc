@@ -1,0 +1,101 @@
+/** @file Tests for fixed-point weight quantization. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "nn/quantize.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(QuantizeTest, ErrorBoundedByHalfLsb)
+{
+    Rng rng(1);
+    Tensor t(Shape(1, 1, 32, 32));
+    t.fillGaussian(rng, 0.0f, 0.3f);
+    const float amax = t.absMax();
+    const auto report = quantizeTensor(t, 8);
+    EXPECT_LE(report.maxError, report.scale / 2.0 + 1e-9);
+    EXPECT_NEAR(report.scale, amax / 127.0, 1e-9);
+}
+
+TEST(QuantizeTest, ValuesLandOnGrid)
+{
+    Rng rng(2);
+    Tensor t(Shape(1, 1, 8, 8));
+    t.fillUniform(rng, -1.0f, 1.0f);
+    const auto report = quantizeTensor(t, 4);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const double steps = t[i] / report.scale;
+        EXPECT_NEAR(steps, std::round(steps), 1e-4);
+    }
+}
+
+TEST(QuantizeTest, EightBitErrorSmall)
+{
+    // The paper validates 8-bit weights as sufficient; RMS error
+    // should be tiny relative to the weight range.
+    Rng rng(3);
+    Tensor t(Shape(64, 3, 7, 7));
+    t.fillGaussian(rng, 0.0f, 0.1f);
+    const float amax = t.absMax();
+    const auto report = quantizeTensor(t, 8);
+    EXPECT_LT(report.rmsError / amax, 0.005);
+}
+
+TEST(QuantizeTest, ZeroTensorUnchanged)
+{
+    Tensor t(Shape(1, 1, 4, 4), 0.0f);
+    const auto report = quantizeTensor(t, 8);
+    EXPECT_EQ(report.scale, 0.0);
+    EXPECT_EQ(report.maxError, 0.0);
+}
+
+TEST(QuantizeTest, FewerBitsLargerError)
+{
+    Rng rng(4);
+    Tensor a(Shape(1, 1, 16, 16));
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor b = a;
+    const auto r8 = quantizeTensor(a, 8);
+    const auto r3 = quantizeTensor(b, 3);
+    EXPECT_GT(r3.rmsError, r8.rmsError * 4);
+}
+
+TEST(QuantizeTest, InvalidBitsFatal)
+{
+    Tensor t(Shape(1, 1, 2, 2), 1.0f);
+    EXPECT_EXIT(quantizeTensor(t, 1), ::testing::ExitedWithCode(1),
+                "bits");
+    EXPECT_EXIT(quantizeTensor(t, 17), ::testing::ExitedWithCode(1),
+                "bits");
+}
+
+TEST(QuantizeTest, NetworkWeightsQuantized)
+{
+    Rng rng(5);
+    Network net("q");
+    net.setInputShape(Shape(1, 3, 8, 8));
+    auto conv = std::make_unique<ConvolutionLayer>(
+        "c1", ConvParams::square(4, 3, 1, 1));
+    auto *conv_ptr = conv.get();
+    net.add(std::move(conv), {kInputName});
+    conv_ptr->initHe(rng);
+
+    const double worst = quantizeNetworkWeights(net, 8);
+    EXPECT_GT(worst, 0.0);
+    // Idempotent: re-quantizing quantized weights changes nothing.
+    Tensor before = conv_ptr->weights();
+    quantizeNetworkWeights(net, 8);
+    EXPECT_LT(maxAbsDiff(before, conv_ptr->weights()), 1e-7f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,115 @@
+/** @file Tests for weight serialization. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/inner_product.hh"
+#include "nn/network.hh"
+#include "nn/serialize.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+std::unique_ptr<Network>
+buildNet(std::uint64_t seed)
+{
+    auto net = std::make_unique<Network>("s");
+    net->setInputShape(Shape(1, 2, 6, 6));
+    auto conv = std::make_unique<ConvolutionLayer>(
+        "c1", ConvParams::square(3, 3, 1, 1));
+    auto *conv_ptr = conv.get();
+    net->add(std::move(conv), {kInputName});
+    net->add(std::make_unique<ReluLayer>("r1"));
+    auto fc = std::make_unique<InnerProductLayer>("fc", 4);
+    auto *fc_ptr = fc.get();
+    net->add(std::move(fc));
+    Rng rng(seed);
+    conv_ptr->initHe(rng);
+    fc_ptr->initHe(rng);
+    return net;
+}
+
+TEST(SerializeTest, RoundTripRestoresWeights)
+{
+    auto a = buildNet(1);
+    auto b = buildNet(2);
+    // Different seeds -> different weights.
+    EXPECT_GT(maxAbsDiff(*a->params()[0], *b->params()[0]), 0.0f);
+
+    std::stringstream ss;
+    saveWeights(*a, ss);
+    loadWeights(*b, ss);
+
+    auto pa = a->params();
+    auto pb = b->params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(*pa[i], *pb[i]), 0.0f);
+}
+
+TEST(SerializeTest, RoundTripPreservesForwardOutput)
+{
+    auto a = buildNet(3);
+    auto b = buildNet(4);
+    std::stringstream ss;
+    saveWeights(*a, ss);
+    loadWeights(*b, ss);
+
+    Rng rng(5);
+    Tensor x(Shape(1, 2, 6, 6));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor ya = a->forward(x);
+    Tensor yb = b->forward(x);
+    EXPECT_EQ(maxAbsDiff(ya, yb), 0.0f);
+}
+
+TEST(SerializeTest, BadMagicFatal)
+{
+    auto net = buildNet(6);
+    std::stringstream ss;
+    ss << "garbage data here";
+    EXPECT_EXIT(loadWeights(*net, ss), ::testing::ExitedWithCode(1),
+                "not a RedEye weight stream");
+}
+
+TEST(SerializeTest, TruncatedStreamFatal)
+{
+    auto net = buildNet(7);
+    std::stringstream ss;
+    saveWeights(*net, ss);
+    std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(loadWeights(*net, cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(SerializeTest, MismatchedNetworkFatal)
+{
+    auto a = buildNet(8);
+    std::stringstream ss;
+    saveWeights(*a, ss);
+
+    Network other("o");
+    other.setInputShape(Shape(1, 2, 6, 6));
+    auto conv = std::make_unique<ConvolutionLayer>(
+        "different", ConvParams::square(3, 3, 1, 1));
+    other.add(std::move(conv), {kInputName});
+    EXPECT_EXIT(loadWeights(other, ss), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(SerializeTest, MissingFileFatal)
+{
+    auto net = buildNet(9);
+    EXPECT_EXIT(loadWeights(*net, "/nonexistent/path/w.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,144 @@
+/** @file Tests for softmax, cross-entropy loss and Top-N. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/softmax.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    SoftmaxLayer sm("sm");
+    Tensor x(Shape(2, 4, 1, 1));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i) * 0.3f - 1.0f;
+    Tensor y;
+    sm.forward({&x}, y);
+    for (std::size_t n = 0; n < 2; ++n) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 4; ++c)
+            sum += y.at(n, c, 0, 0);
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(SoftmaxTest, OrderPreserved)
+{
+    SoftmaxLayer sm("sm");
+    Tensor x(Shape(1, 3, 1, 1), std::vector<float>{1, 3, 2});
+    Tensor y;
+    sm.forward({&x}, y);
+    EXPECT_GT(y[1], y[2]);
+    EXPECT_GT(y[2], y[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeLogits)
+{
+    SoftmaxLayer sm("sm");
+    Tensor x(Shape(1, 2, 1, 1), std::vector<float>{1000.0f, 999.0f});
+    Tensor y;
+    sm.forward({&x}, y);
+    EXPECT_TRUE(std::isfinite(y[0]));
+    EXPECT_NEAR(y[0] + y[1], 1.0, 1e-6);
+    EXPECT_GT(y[0], y[1]);
+}
+
+TEST(SoftmaxTest, SpatialInputFatal)
+{
+    SoftmaxLayer sm("sm");
+    EXPECT_EXIT((void)sm.outputShape({Shape(1, 3, 2, 2)}),
+                ::testing::ExitedWithCode(1), "flattened");
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC)
+{
+    Tensor logits(Shape(1, 10, 1, 1), 0.0f);
+    Tensor grad;
+    const double loss = softmaxCrossEntropy(logits, {3}, grad);
+    EXPECT_NEAR(loss, std::log(10.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectNearZeroLoss)
+{
+    Tensor logits(Shape(1, 3, 1, 1),
+                  std::vector<float>{0.0f, 20.0f, 0.0f});
+    Tensor grad;
+    EXPECT_LT(softmaxCrossEntropy(logits, {1}, grad), 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientSumsToZeroPerRow)
+{
+    Tensor logits(Shape(2, 5, 1, 1));
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        logits[i] = static_cast<float>(i % 3) - 1.0f;
+    Tensor grad;
+    softmaxCrossEntropy(logits, {0, 4}, grad);
+    for (std::size_t n = 0; n < 2; ++n) {
+        double sum = 0.0;
+        for (std::size_t c = 0; c < 5; ++c)
+            sum += grad.at(n, c, 0, 0);
+        EXPECT_NEAR(sum, 0.0, 1e-6);
+    }
+}
+
+TEST(CrossEntropyTest, GradientSignAtTarget)
+{
+    Tensor logits(Shape(1, 3, 1, 1), 0.0f);
+    Tensor grad;
+    softmaxCrossEntropy(logits, {2}, grad);
+    EXPECT_LT(grad[2], 0.0f); // push target up
+    EXPECT_GT(grad[0], 0.0f); // push others down
+}
+
+TEST(CrossEntropyTest, MeanOverBatch)
+{
+    Tensor one(Shape(1, 2, 1, 1), std::vector<float>{2, 0});
+    Tensor two(Shape(2, 2, 1, 1),
+               std::vector<float>{2, 0, 2, 0});
+    Tensor g1, g2;
+    const double l1 = softmaxCrossEntropy(one, {0}, g1);
+    const double l2 = softmaxCrossEntropy(two, {0, 0}, g2);
+    EXPECT_NEAR(l1, l2, 1e-9);
+    EXPECT_NEAR(g2[0], g1[0] / 2.0f, 1e-9);
+}
+
+TEST(CrossEntropyTest, BadLabelPanics)
+{
+    Tensor logits(Shape(1, 3, 1, 1));
+    Tensor grad;
+    EXPECT_DEATH(softmaxCrossEntropy(logits, {3}, grad),
+                 "out of range");
+}
+
+TEST(TopNTest, Top1IsArgmax)
+{
+    const float s[] = {0.1f, 0.7f, 0.2f};
+    EXPECT_TRUE(topNContains(s, 3, 1, 1));
+    EXPECT_FALSE(topNContains(s, 3, 0, 1));
+}
+
+TEST(TopNTest, Top5OfTen)
+{
+    float s[10];
+    for (int i = 0; i < 10; ++i)
+        s[i] = static_cast<float>(i);
+    EXPECT_TRUE(topNContains(s, 10, 9, 5));
+    EXPECT_TRUE(topNContains(s, 10, 5, 5));
+    EXPECT_FALSE(topNContains(s, 10, 4, 5));
+}
+
+TEST(TopNTest, TiesBrokenByLowerIndex)
+{
+    const float s[] = {0.5f, 0.5f, 0.5f};
+    EXPECT_TRUE(topNContains(s, 3, 0, 1));
+    EXPECT_FALSE(topNContains(s, 3, 2, 2));
+    EXPECT_TRUE(topNContains(s, 3, 2, 3));
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

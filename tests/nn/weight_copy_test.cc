@@ -1,0 +1,80 @@
+/** @file Tests for copyWeightsByName and prefix networks. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "models/mini_googlenet.hh"
+#include "nn/serialize.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+TEST(WeightCopyTest, PrefixMatchesFullNetworkActivations)
+{
+    // Gold-standard check: a prefix network loaded from the full
+    // network reproduces the full network's activation at the cut.
+    Rng wrng(1);
+    auto full = models::buildMiniGoogLeNet(10, wrng);
+
+    for (unsigned depth : {1u, 3u, 5u}) {
+        Rng prng(99);
+        auto prefix = models::buildMiniGoogLeNetPrefix(depth, prng);
+        const auto copied = copyWeightsByName(*prefix, *full);
+        EXPECT_GT(copied, 0u);
+
+        Rng xrng(7);
+        Tensor x(Shape(2, 3, 32, 32));
+        x.fillUniform(xrng, 0.0f, 1.0f);
+
+        const Tensor from_prefix = prefix->forward(x);
+        full->forward(x);
+        const auto cut = models::miniGoogLeNetAnalogLayers(depth)
+                             .back();
+        const Tensor &from_full = full->activation(cut);
+        ASSERT_EQ(from_prefix.shape(), from_full.shape())
+            << "depth " << depth;
+        EXPECT_LT(maxAbsDiff(from_prefix, from_full), 1e-6f)
+            << "depth " << depth;
+    }
+}
+
+TEST(WeightCopyTest, CopyCountsEveryParameterTensor)
+{
+    Rng a(1), b(2);
+    auto src = models::buildMiniGoogLeNet(10, a);
+    auto dst = models::buildMiniGoogLeNet(10, b);
+    const auto copied = copyWeightsByName(*dst, *src);
+    EXPECT_EQ(copied, src->params().size());
+    auto ps = src->params();
+    auto pd = dst->params();
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        EXPECT_EQ(maxAbsDiff(*ps[i], *pd[i]), 0.0f);
+}
+
+TEST(WeightCopyTest, MissingLayersSkipped)
+{
+    Rng a(3), b(4);
+    auto src = models::buildMiniGoogLeNetPrefix(1, a); // conv1 only
+    auto dst = models::buildMiniGoogLeNet(10, b);
+    const Tensor before = *dst->layer("conv2").params()[0];
+    const auto copied = copyWeightsByName(*dst, *src);
+    // Only conv1's weights + biases copied.
+    EXPECT_EQ(copied, 2u);
+    EXPECT_EQ(maxAbsDiff(before, *dst->layer("conv2").params()[0]),
+              0.0f);
+}
+
+TEST(WeightCopyTest, ShapeMismatchFatal)
+{
+    Rng a(5), b(6);
+    auto src = models::buildMiniGoogLeNet(10, a);
+    // A different-classes network: the classifier shape mismatches.
+    auto dst = models::buildMiniGoogLeNet(7, b);
+    EXPECT_EXIT(copyWeightsByName(*dst, *src),
+                ::testing::ExitedWithCode(1), "shape mismatch");
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,111 @@
+/** @file Tests for the Gaussian noise layer. */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+#include "noise/gaussian_layer.hh"
+
+namespace redeye {
+namespace noise {
+namespace {
+
+TEST(GaussianLayerTest, RealizedSnrMatchesProgrammed)
+{
+    GaussianNoiseLayer layer("g", 30.0, Rng(1));
+    Tensor x(Shape(1, 4, 64, 64));
+    Rng rng(2);
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_NEAR(measureSnrDb(x.vec(), y.vec()), 30.0, 0.5);
+}
+
+TEST(GaussianLayerTest, SnrScalesWithSignalAmplitude)
+{
+    // Noise sigma tracks the signal RMS: doubling the signal doubles
+    // sigma, keeping the SNR constant.
+    GaussianNoiseLayer layer("g", 40.0, Rng(3));
+    Tensor small(Shape(1, 1, 64, 64));
+    Rng rng(4);
+    small.fillGaussian(rng, 0.0f, 0.1f);
+    Tensor big = small;
+    big.scale(10.0f);
+
+    Tensor ys, yb;
+    layer.forward({&small}, ys);
+    layer.forward({&big}, yb);
+    EXPECT_NEAR(measureSnrDb(small.vec(), ys.vec()), 40.0, 1.0);
+    EXPECT_NEAR(measureSnrDb(big.vec(), yb.vec()), 40.0, 1.0);
+}
+
+TEST(GaussianLayerTest, InfiniteSnrIsIdentity)
+{
+    GaussianNoiseLayer layer(
+        "g", std::numeric_limits<double>::infinity(), Rng(5));
+    Tensor x(Shape(1, 1, 8, 8), 0.5f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_EQ(maxAbsDiff(x, y), 0.0f);
+    EXPECT_EQ(layer.lastSigma(), 0.0);
+}
+
+TEST(GaussianLayerTest, DisabledIsIdentity)
+{
+    GaussianNoiseLayer layer("g", 10.0, Rng(6));
+    layer.setEnabled(false);
+    Tensor x(Shape(1, 1, 8, 8), 0.5f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_EQ(maxAbsDiff(x, y), 0.0f);
+}
+
+TEST(GaussianLayerTest, ZeroInputStaysZero)
+{
+    GaussianNoiseLayer layer("g", 40.0, Rng(7));
+    Tensor x(Shape(1, 1, 8, 8), 0.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_EQ(y.absMax(), 0.0f); // zero RMS -> zero sigma
+}
+
+TEST(GaussianLayerTest, ReprogrammableAtRuntime)
+{
+    GaussianNoiseLayer layer("g", 60.0, Rng(8));
+    Tensor x(Shape(1, 1, 64, 64));
+    Rng rng(9);
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    const double snr_high = measureSnrDb(x.vec(), y.vec());
+    layer.setSnrDb(20.0);
+    layer.forward({&x}, y);
+    const double snr_low = measureSnrDb(x.vec(), y.vec());
+    EXPECT_GT(snr_high, snr_low + 30.0);
+}
+
+TEST(GaussianLayerTest, BackwardPassesThrough)
+{
+    GaussianNoiseLayer layer("g", 40.0, Rng(10));
+    Tensor x(Shape(1, 1, 2, 2), 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    Tensor gy(y.shape(), 3.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    layer.backward({&x}, y, gy, gx);
+    EXPECT_EQ(maxAbsDiff(gx[0], gy), 0.0f);
+}
+
+TEST(GaussianLayerTest, ShapePreserved)
+{
+    GaussianNoiseLayer layer("g", 40.0, Rng(11));
+    EXPECT_EQ(layer.outputShape({Shape(2, 3, 5, 7)}),
+              Shape(2, 3, 5, 7));
+    EXPECT_EQ(layer.kind(), nn::LayerKind::GaussianNoise);
+}
+
+} // namespace
+} // namespace noise
+} // namespace redeye

@@ -1,0 +1,139 @@
+/** @file Tests for the quantization noise layer. */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+#include "noise/quantization_layer.hh"
+#include "noise/snr.hh"
+
+namespace redeye {
+namespace noise {
+namespace {
+
+TEST(QuantLayerTest, AdditiveUniformBoundedByHalfLsb)
+{
+    QuantizationNoiseLayer layer("q", 4, Rng(1));
+    Tensor x(Shape(1, 1, 64, 64));
+    Rng rng(2);
+    x.fillUniform(rng, -1.0f, 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    const double lsb = layer.lastLsb();
+    EXPECT_GT(lsb, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_LE(std::fabs(y[i] - x[i]), lsb / 2.0 + 1e-7);
+}
+
+TEST(QuantLayerTest, AdditiveUniformRmsMatchesTheory)
+{
+    QuantizationNoiseLayer layer("q", 6, Rng(3));
+    Tensor x(Shape(1, 4, 64, 64));
+    Rng rng(4);
+    x.fillUniform(rng, -1.0f, 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    double err_sq = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double e = y[i] - x[i];
+        err_sq += e * e;
+    }
+    const double rms = std::sqrt(err_sq /
+                                 static_cast<double>(x.size()));
+    EXPECT_NEAR(rms, quantizerRmsError(layer.lastLsb()), 0.05 * rms);
+}
+
+TEST(QuantLayerTest, RoundToGridProducesFewLevels)
+{
+    QuantizationNoiseLayer layer("q", 3, Rng(5),
+                                 QuantizationModel::RoundToGrid);
+    Tensor x(Shape(1, 1, 64, 64));
+    Rng rng(6);
+    x.fillUniform(rng, -1.0f, 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    std::set<float> levels(y.vec().begin(), y.vec().end());
+    EXPECT_LE(levels.size(), 8u);
+    EXPECT_GE(levels.size(), 4u);
+}
+
+TEST(QuantLayerTest, RoundToGridClampsOutOfRange)
+{
+    QuantizationNoiseLayer layer("q", 4, Rng(7),
+                                 QuantizationModel::RoundToGrid);
+    layer.setSwing(1.0f);
+    Tensor x(Shape(1, 1, 1, 2), std::vector<float>{5.0f, -5.0f});
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_LT(y[0], 1.0f);
+    EXPECT_GT(y[1], -1.0f);
+}
+
+TEST(QuantLayerTest, MoreBitsLessError)
+{
+    Tensor x(Shape(1, 1, 64, 64));
+    Rng rng(8);
+    x.fillUniform(rng, -1.0f, 1.0f);
+    double rms[2];
+    unsigned bits[2] = {3, 8};
+    for (int k = 0; k < 2; ++k) {
+        QuantizationNoiseLayer layer("q", bits[k], Rng(9));
+        Tensor y;
+        layer.forward({&x}, y);
+        double err = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+            err += (y[i] - x[i]) * (y[i] - x[i]);
+        rms[k] = std::sqrt(err / static_cast<double>(x.size()));
+    }
+    // 5 fewer bits -> 32x the error.
+    EXPECT_NEAR(rms[0] / rms[1], 32.0, 6.0);
+}
+
+TEST(QuantLayerTest, FixedSwingOverridesMeasuredRange)
+{
+    QuantizationNoiseLayer layer("q", 4, Rng(10));
+    layer.setSwing(2.0f);
+    Tensor x(Shape(1, 1, 8, 8), 0.1f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_NEAR(layer.lastLsb(), 4.0 / 16.0, 1e-9);
+}
+
+TEST(QuantLayerTest, DisabledIsIdentity)
+{
+    QuantizationNoiseLayer layer("q", 2, Rng(11));
+    layer.setEnabled(false);
+    Tensor x(Shape(1, 1, 4, 4), 0.7f);
+    Tensor y;
+    layer.forward({&x}, y);
+    EXPECT_EQ(maxAbsDiff(x, y), 0.0f);
+}
+
+TEST(QuantLayerTest, DynamicResolutionReprogramming)
+{
+    QuantizationNoiseLayer layer("q", 10, Rng(12));
+    layer.setBits(4);
+    EXPECT_EQ(layer.bits(), 4u);
+    EXPECT_EXIT(layer.setBits(0), ::testing::ExitedWithCode(1),
+                "bits");
+    EXPECT_EXIT(layer.setBits(17), ::testing::ExitedWithCode(1),
+                "bits");
+}
+
+TEST(QuantLayerTest, BackwardIsStraightThrough)
+{
+    QuantizationNoiseLayer layer("q", 4, Rng(13));
+    Tensor x(Shape(1, 1, 2, 2), 1.0f);
+    Tensor y;
+    layer.forward({&x}, y);
+    Tensor gy(y.shape(), 2.0f);
+    std::vector<Tensor> gx{Tensor(x.shape())};
+    layer.backward({&x}, y, gy, gx);
+    EXPECT_EQ(maxAbsDiff(gx[0], gy), 0.0f);
+}
+
+} // namespace
+} // namespace noise
+} // namespace redeye

@@ -1,0 +1,68 @@
+/** @file Tests for SNR arithmetic. */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "noise/snr.hh"
+
+namespace redeye {
+namespace noise {
+namespace {
+
+TEST(SnrTest, SigmaForKnownSnr)
+{
+    // 40 dB: amplitude ratio 100.
+    EXPECT_NEAR(noiseSigmaForSnr(1.0, 40.0), 0.01, 1e-12);
+    EXPECT_NEAR(noiseSigmaForSnr(2.0, 20.0), 0.2, 1e-12);
+}
+
+TEST(SnrTest, RoundTrip)
+{
+    const double sigma = noiseSigmaForSnr(0.7, 53.0);
+    EXPECT_NEAR(snrFromSigma(0.7, sigma), 53.0, 1e-9);
+}
+
+TEST(SnrTest, DegenerateCases)
+{
+    EXPECT_TRUE(std::isinf(snrFromSigma(1.0, 0.0)));
+    EXPECT_GT(snrFromSigma(1.0, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(snrFromSigma(0.0, 1.0)));
+    EXPECT_LT(snrFromSigma(0.0, 1.0), 0.0);
+}
+
+TEST(SnrTest, IdealQuantizerRule)
+{
+    // The 6.02 n + 1.76 dB rule.
+    EXPECT_NEAR(idealQuantizerSnrDb(10), 61.97, 0.05);
+    EXPECT_NEAR(idealQuantizerSnrDb(4), 25.84, 0.05);
+    // One more bit buys ~6 dB.
+    EXPECT_NEAR(idealQuantizerSnrDb(8) - idealQuantizerSnrDb(7), 6.02,
+                0.01);
+}
+
+TEST(SnrTest, QuantizerRmsError)
+{
+    EXPECT_NEAR(quantizerRmsError(1.0), 1.0 / std::sqrt(12.0), 1e-12);
+    EXPECT_NEAR(quantizerRmsError(0.5), 0.5 / std::sqrt(12.0), 1e-12);
+}
+
+TEST(SnrTest, NoisePowersAdd)
+{
+    EXPECT_NEAR(combineNoiseSigmas(3.0, 4.0), 5.0, 1e-12);
+    EXPECT_NEAR(combineNoiseSigmas(0.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(SnrTest, CascadeDegradesByLogStages)
+{
+    // Two equal stages cost 3.01 dB.
+    EXPECT_NEAR(cascadedSnrDb(40.0, 2), 40.0 - 3.0103, 1e-3);
+    EXPECT_NEAR(cascadedSnrDb(40.0, 10), 30.0, 1e-9);
+    EXPECT_DOUBLE_EQ(cascadedSnrDb(40.0, 1), 40.0);
+    EXPECT_TRUE(std::isinf(cascadedSnrDb(40.0, 0)));
+}
+
+} // namespace
+} // namespace noise
+} // namespace redeye

@@ -1,0 +1,84 @@
+/** @file Tests for the silicon area model. */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "redeye/area_model.hh"
+#include "redeye/compiler.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+Program
+depth5Program()
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    return compile(*net, models::googLeNetAnalogLayers(5), cfg);
+}
+
+TEST(AreaTest, PaperAnchors)
+{
+    const auto est = estimateArea(depth5Program(), 227);
+    // 227 stride-2-paired columns -> 114 slices at 0.225 mm^2.
+    EXPECT_EQ(est.columnSlices, 114u);
+    EXPECT_NEAR(est.sliceAreaMm2, 114 * 0.225, 1e-9);
+    // MCU 0.5 x 7 mm^2, pixel array 4.5 x 4.5 mm^2.
+    EXPECT_NEAR(est.mcuAreaMm2, 3.5, 1e-9);
+    EXPECT_NEAR(est.pixelArrayMm2, 20.25, 1e-9);
+    // Total in the neighborhood of the quoted 10.2 x 5.0 = 51 mm^2.
+    EXPECT_GT(est.totalMm2, 45.0);
+    EXPECT_LT(est.totalMm2, 56.0);
+}
+
+TEST(AreaTest, InterconnectComplexityIs23)
+{
+    // Section V-D: "a low interconnect complexity of 23 per column"
+    // for the GoogLeNet program (7-wide kernels -> 6 data bridges).
+    const auto est = estimateArea(depth5Program(), 227);
+    EXPECT_EQ(est.interconnect.dataBridges, 6u);
+    EXPECT_EQ(est.interconnect.total(), 23u);
+}
+
+TEST(AreaTest, NarrowKernelsNeedFewerBridges)
+{
+    // A 3x3-only program bridges one neighbor on each side.
+    Program prog;
+    Instruction conv;
+    conv.kind = ModuleKind::Convolution;
+    conv.layer = "c";
+    conv.kernelH = conv.kernelW = 3;
+    conv.inShape = conv.outShape = Shape(1, 1, 8, 8);
+    conv.taps = 9;
+    prog.append(conv);
+    const auto est = estimateArea(prog, 64);
+    EXPECT_EQ(est.interconnect.dataBridges, 2u);
+    EXPECT_LT(est.interconnect.total(), 23u);
+}
+
+TEST(AreaTest, SlicesScaleWithColumns)
+{
+    const auto small = estimateArea(depth5Program(), 64);
+    const auto big = estimateArea(depth5Program(), 640);
+    EXPECT_EQ(small.columnSlices, 32u);
+    EXPECT_EQ(big.columnSlices, 320u);
+    EXPECT_GT(big.totalMm2, small.totalMm2);
+}
+
+TEST(AreaTest, SramAreaIncluded)
+{
+    const auto with_sram = estimateArea(depth5Program(), 227, 128);
+    const auto no_sram = estimateArea(depth5Program(), 227, 0);
+    EXPECT_GT(with_sram.totalMm2, no_sram.totalMm2);
+}
+
+TEST(AreaTest, ZeroColumnsFatal)
+{
+    EXPECT_EXIT(estimateArea(depth5Program(), 0),
+                ::testing::ExitedWithCode(1), "columns");
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

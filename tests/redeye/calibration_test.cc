@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Paper-anchor regression tests: the calibrated model must reproduce
+ * every absolute number the evaluation section publishes, within a
+ * small tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "redeye/compiler.hh"
+#include "redeye/energy_model.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+FrameEstimate
+estimateDepth(unsigned depth, double snr_db = 40.0,
+              unsigned adc_bits = 4)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    cfg.convSnrDb = snr_db;
+    cfg.adcBits = adc_bits;
+    cfg.columns = 227;
+    const auto prog = compile(
+        *net, models::googLeNetAnalogLayers(depth), cfg);
+    RedEyeModel model(prog, cfg);
+    return model.estimateFrame();
+}
+
+TEST(CalibrationAnchorTest, TableOneHighEfficiency)
+{
+    // Table I: Depth5, 40 dB -> 1.4 mJ/frame.
+    const auto est = estimateDepth(5, 40.0);
+    EXPECT_NEAR(est.energy.analogJ(), 1.4e-3, 0.03e-3);
+}
+
+TEST(CalibrationAnchorTest, TableOneModerate)
+{
+    // Table I: 50 dB -> 14 mJ/frame (energy tracks capacitance).
+    const auto est = estimateDepth(5, 50.0);
+    EXPECT_NEAR(est.energy.analogJ(), 14e-3, 0.7e-3);
+}
+
+TEST(CalibrationAnchorTest, TableOneHighFidelity)
+{
+    // Table I: 60 dB -> 140 mJ/frame.
+    const auto est = estimateDepth(5, 60.0);
+    EXPECT_NEAR(est.energy.analogJ(), 140e-3, 7e-3);
+}
+
+TEST(CalibrationAnchorTest, Depth1SensorEnergyReduction)
+{
+    // Section V-B: Depth1 processing + quantization ~0.17 mJ versus
+    // the 1.1 mJ image-sensor baseline (84.5% reduction). Our
+    // behavioral model lands within ~25% of the absolute number;
+    // the reduction must still be >80%.
+    const auto est = estimateDepth(1);
+    EXPECT_NEAR(est.energy.analogJ(), 0.17e-3, 0.045e-3);
+    const double sensor = imageSensorAnalogEnergyJ(227, 227, 3, 10);
+    EXPECT_GT(1.0 - est.energy.analogJ() / sensor, 0.80);
+}
+
+TEST(CalibrationAnchorTest, ImageSensorBaseline)
+{
+    // Section V-B: 10-bit 227x227 color sensor: 1.1 mJ analog.
+    EXPECT_NEAR(imageSensorAnalogEnergyJ(227, 227, 3, 10), 1.1e-3,
+                1e-6);
+}
+
+TEST(CalibrationAnchorTest, Depth5RealTime)
+{
+    // Figure 7b: Depth5 needs 32 ms -> sustains ~30 fps pipelined.
+    const auto est = estimateDepth(5);
+    EXPECT_NEAR(est.analogTimeS, 32e-3, 1e-3);
+    EXPECT_LE(est.analogTimeS, 1.0 / 30.0 + 2e-3);
+}
+
+TEST(CalibrationAnchorTest, Depth4CloudletAnchors)
+{
+    // Section V-B: Depth4 output is 47,040 bytes at 4 bits and the
+    // RedEye overhead is ~1.3 mJ/frame.
+    const auto est = estimateDepth(4);
+    EXPECT_NEAR(est.outputBytes, 14.0 * 14 * 480 * 4 / 8, 1.0);
+    EXPECT_NEAR(est.energy.analogJ(), 1.3e-3, 0.1e-3);
+}
+
+TEST(CalibrationAnchorTest, ControllerBudget)
+{
+    // Section V-D: Cortex-M0+ at 250 MHz consumes ~12 mW -> ~0.4 mJ
+    // per 30 fps frame.
+    const auto est = estimateDepth(5);
+    EXPECT_NEAR(est.energy.controllerJ, 0.395e-3, 0.02e-3);
+}
+
+TEST(CalibrationAnchorTest, OutputDataNearlyHalfOfSensor)
+{
+    // Figure 7c: 4-bit Depth1 output is ~half the 10-bit sensor
+    // frame.
+    const auto est = estimateDepth(1);
+    const double sensor_bytes = imageSensorOutputBytes(227, 227, 3,
+                                                       10);
+    const double ratio = est.outputBytes / sensor_bytes;
+    EXPECT_GT(ratio, 0.45);
+    EXPECT_LT(ratio, 0.60);
+}
+
+TEST(CalibrationAnchorTest, EnergyRisesWithDepth)
+{
+    // Figure 7a: processing cost outpaces readout savings, so
+    // RedEye energy increases monotonically with the cut depth.
+    double prev = 0.0;
+    for (unsigned d = 1; d <= 5; ++d) {
+        const double e = estimateDepth(d).energy.analogJ();
+        EXPECT_GT(e, prev) << "depth " << d;
+        prev = e;
+    }
+}
+
+TEST(CalibrationAnchorTest, ReadoutShrinksWithDepth)
+{
+    // The quantization workload falls as the cut moves deeper
+    // (except Depth2's pre-pool bulge).
+    const auto d1 = estimateDepth(1);
+    const auto d5 = estimateDepth(5);
+    EXPECT_LT(d5.energy.readoutJ, d1.energy.readoutJ);
+}
+
+TEST(CalibrationAnchorTest, RawCalibrationIsNeutral)
+{
+    const auto raw = Calibration::raw();
+    EXPECT_DOUBLE_EQ(raw.analogScale, 1.0);
+    EXPECT_DOUBLE_EQ(raw.readoutScale, 1.0);
+    EXPECT_DOUBLE_EQ(raw.timingScale, 1.0);
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

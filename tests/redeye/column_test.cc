@@ -1,0 +1,188 @@
+/** @file Tests for the functional column-parallel engine. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.hh"
+#include "nn/quantize.hh"
+#include "redeye/column.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+ColumnArray
+makeArray(double snr = 60.0, unsigned adc_bits = 8,
+          std::size_t columns = 16)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = columns;
+    cfg.convSnrDb = snr;
+    cfg.adcBits = adc_bits;
+    return ColumnArray(cfg, analog::ProcessParams::typical(),
+                       Rng(0xc01));
+}
+
+Tensor
+randomImage(const Shape &s, std::uint64_t seed, float lo = 0.0f,
+            float hi = 1.0f)
+{
+    Rng rng(seed);
+    Tensor t(s);
+    t.fillUniform(rng, lo, hi);
+    return t;
+}
+
+TEST(ColumnArrayTest, ConvolutionTracksDigitalReference)
+{
+    auto array = makeArray(60.0);
+    Rng rng(1);
+    nn::ConvolutionLayer conv("c",
+                              nn::ConvParams::square(4, 3, 1, 1));
+    Tensor x = randomImage(Shape(1, 2, 8, 8), 2);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+
+    Tensor digital;
+    conv.forward({&x}, digital);
+    Tensor analog_out = array.runConvolution(x, conv, false);
+    ASSERT_EQ(analog_out.shape(), digital.shape());
+
+    // At 60 dB with 8-bit weights the analog result should track
+    // the digital reference closely (weight quantization dominates).
+    const double snr = measureSnrDb(digital.vec(), analog_out.vec());
+    EXPECT_GT(snr, 25.0);
+}
+
+TEST(ColumnArrayTest, LowerSnrNoisierOutput)
+{
+    Rng rng(3);
+    nn::ConvolutionLayer conv("c", nn::ConvParams::square(2, 3));
+    Tensor x = randomImage(Shape(1, 1, 10, 10), 4);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    // Quantize to the array's weight grid so the digital reference
+    // differs only by analog noise.
+    nn::quantizeTensor(conv.weights(), 8);
+    Tensor digital;
+    conv.forward({&x}, digital);
+
+    auto hi = makeArray(60.0);
+    auto lo = makeArray(30.0);
+    const Tensor out_hi = hi.runConvolution(x, conv, false);
+    const Tensor out_lo = lo.runConvolution(x, conv, false);
+    EXPECT_GT(measureSnrDb(digital.vec(), out_hi.vec()),
+              measureSnrDb(digital.vec(), out_lo.vec()) + 5.0);
+}
+
+TEST(ColumnArrayTest, RectifyClipsNegative)
+{
+    Rng rng(5);
+    nn::ConvolutionLayer conv("c", nn::ConvParams::square(2, 3));
+    Tensor x = randomImage(Shape(1, 1, 8, 8), 6, -1.0f, 1.0f);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    auto array = makeArray();
+    const Tensor out = array.runConvolution(x, conv, true);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(ColumnArrayTest, GroupedConvRejected)
+{
+    Rng rng(7);
+    nn::ConvolutionLayer conv("c",
+                              nn::ConvParams::square(2, 1, 1, 0, 2));
+    Tensor x = randomImage(Shape(1, 2, 4, 4), 8);
+    (void)conv.outputShape({x.shape()});
+    auto array = makeArray();
+    EXPECT_EXIT(array.runConvolution(x, conv, false),
+                ::testing::ExitedWithCode(1), "grouped");
+}
+
+TEST(ColumnArrayTest, MaxPoolMatchesDigitalOnDistinctValues)
+{
+    nn::MaxPoolLayer pool("p", nn::PoolParams{2, 2, 0});
+    Tensor x(Shape(1, 2, 6, 6));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i % 17) * 0.05f;
+    Tensor digital;
+    pool.forward({&x}, digital);
+
+    auto array = makeArray();
+    const Tensor analog_out = array.runMaxPool(x, pool);
+    // Values are well separated relative to comparator noise: exact
+    // agreement expected.
+    EXPECT_LT(maxAbsDiff(digital, analog_out), 1e-5f);
+}
+
+TEST(ColumnArrayTest, QuantizationErrorBounded)
+{
+    auto array = makeArray(60.0, 6);
+    Tensor x = randomImage(Shape(1, 2, 8, 8), 9);
+    const Tensor out = array.runQuantization(x);
+    const double lsb = x.absMax() / 64.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_LE(std::fabs(out[i] - x[i]), 2.5 * lsb);
+}
+
+TEST(ColumnArrayTest, FewerAdcBitsCoarser)
+{
+    Tensor x = randomImage(Shape(1, 1, 12, 12), 10);
+    auto fine = makeArray(60.0, 8);
+    auto coarse = makeArray(60.0, 2);
+    const Tensor yf = fine.runQuantization(x);
+    const Tensor yc = coarse.runQuantization(x);
+    EXPECT_GT(measureSnrDb(x.vec(), yf.vec()),
+              measureSnrDb(x.vec(), yc.vec()) + 20.0);
+}
+
+TEST(ColumnArrayTest, EnergyAccruesPerCategory)
+{
+    Rng rng(11);
+    nn::ConvolutionLayer conv("c", nn::ConvParams::square(2, 3));
+    nn::MaxPoolLayer pool("p", nn::PoolParams{2, 2, 0});
+    Tensor x = randomImage(Shape(1, 1, 8, 8), 12);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+
+    auto array = makeArray();
+    EXPECT_EQ(array.energy().totalJ(), 0.0);
+    const Tensor c = array.runConvolution(x, conv, true);
+    const Tensor p = array.runMaxPool(c, pool);
+    array.runQuantization(p);
+    const auto e = array.energy();
+    EXPECT_GT(e.macJ, 0.0);
+    EXPECT_GT(e.memoryJ, 0.0);
+    EXPECT_GT(e.comparatorJ, 0.0);
+    EXPECT_GT(e.readoutJ, 0.0);
+    array.resetEnergy();
+    EXPECT_EQ(array.energy().totalJ(), 0.0);
+}
+
+TEST(ColumnArrayTest, ReprogrammableKnobs)
+{
+    auto array = makeArray(40.0, 4);
+    array.setConvSnrDb(55.0);
+    array.setAdcBits(8);
+    EXPECT_DOUBLE_EQ(array.config().convSnrDb, 55.0);
+    EXPECT_EQ(array.config().adcBits, 8u);
+    EXPECT_EXIT(array.setAdcBits(0), ::testing::ExitedWithCode(1),
+                "ADC bits");
+}
+
+TEST(ColumnArrayTest, BatchedInputRejected)
+{
+    Rng rng(13);
+    nn::ConvolutionLayer conv("c", nn::ConvParams::square(1, 1));
+    Tensor x = randomImage(Shape(2, 1, 4, 4), 14);
+    (void)conv.outputShape({Shape(1, 1, 4, 4)});
+    auto array = makeArray();
+    EXPECT_EXIT(array.runConvolution(x, conv, false),
+                ::testing::ExitedWithCode(1), "one frame");
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

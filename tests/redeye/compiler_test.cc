@@ -1,0 +1,167 @@
+/** @file Tests for the ConvNet-to-RedEye compiler. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "models/googlenet.hh"
+#include "models/mini_googlenet.hh"
+#include "redeye/compiler.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+TEST(CompilerTest, Depth1ProgramStructure)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(1),
+                              cfg);
+    // conv1 (+folded relu/norm), pool1, quantize.
+    ASSERT_EQ(prog.size(), 3u);
+    EXPECT_EQ(prog.at(0).kind, ModuleKind::Convolution);
+    EXPECT_TRUE(prog.at(0).rectify);
+    EXPECT_TRUE(prog.at(0).normalize);
+    EXPECT_EQ(prog.at(1).kind, ModuleKind::MaxPooling);
+    EXPECT_EQ(prog.at(2).kind, ModuleKind::Quantization);
+    EXPECT_EQ(prog.at(2).conversions, 57u * 57 * 64);
+}
+
+TEST(CompilerTest, ReluFoldedIntoConv)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(2),
+                              cfg);
+    for (const auto &i : prog.instructions()) {
+        if (i.kind == ModuleKind::Convolution &&
+            i.layer.rfind("conv", 0) == 0) {
+            EXPECT_TRUE(i.rectify) << i.layer;
+        }
+    }
+}
+
+TEST(CompilerTest, NormFoldAddsMacs)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(1),
+                              cfg);
+    const std::size_t conv1 = 114u * 114 * 64 * 147;
+    // normalize folds LRN (5-channel window) over the pool1 output.
+    EXPECT_EQ(prog.at(0).macs, conv1 + 57u * 57 * 64 * 5);
+}
+
+TEST(CompilerTest, PerLayerSnrOverride)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    cfg.convSnrDb = 40.0;
+    cfg.layerSnrDb["conv2/3x3"] = 55.0;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(2),
+                              cfg);
+    bool checked = false;
+    for (const auto &i : prog.instructions()) {
+        if (i.layer == "conv2/3x3") {
+            EXPECT_DOUBLE_EQ(i.snrDb, 55.0);
+            checked = true;
+        } else if (i.kind == ModuleKind::Convolution) {
+            EXPECT_DOUBLE_EQ(i.snrDb, 40.0);
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(CompilerTest, AdcBitsProgrammed)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    cfg.adcBits = 6;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(1),
+                              cfg);
+    EXPECT_EQ(prog.instructions().back().adcBits, 6u);
+}
+
+TEST(CompilerTest, InceptionCompilesConcatAsRouting)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(3),
+                              cfg);
+    for (const auto &i : prog.instructions())
+        EXPECT_NE(i.layer, "inception_3a/output");
+    // Six convs in 3a + conv1 + conv2s + pools + quantizer.
+    EXPECT_GT(prog.convolutionCount(), 6u);
+}
+
+TEST(CompilerTest, KernelBytesCountWeightsAndBiases)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    const auto prog = compile(*net, models::googLeNetAnalogLayers(1),
+                              cfg);
+    // conv1: 64 x 147 weights + 64 biases, 1 byte each.
+    EXPECT_EQ(prog.at(0).kernelBytes, 64u * 147 + 64u);
+}
+
+TEST(CompilerTest, UnsupportedLayerFatal)
+{
+    Rng rng(1);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    RedEyeConfig cfg;
+    // The classifier is an inner-product layer: not expressible.
+    auto layers = models::miniGoogLeNetAnalogLayers(5);
+    layers.push_back("classifier");
+    EXPECT_EXIT(compile(*net, layers, cfg),
+                ::testing::ExitedWithCode(1), "cannot execute");
+}
+
+TEST(CompilerTest, AvgPoolLoweredToConv)
+{
+    Rng rng(2);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    RedEyeConfig cfg;
+    const auto prog = compile(
+        *net, models::miniGoogLeNetAnalogLayers(5), cfg);
+    bool found = false;
+    for (const auto &i : prog.instructions()) {
+        if (i.layer == "pool/global") {
+            EXPECT_EQ(i.kind, ModuleKind::Convolution);
+            EXPECT_EQ(i.taps, 8u * 8);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CompilerTest, InvalidAdcBitsFatal)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    cfg.adcBits = 0;
+    EXPECT_EXIT(compile(*net, models::googLeNetAnalogLayers(1), cfg),
+                ::testing::ExitedWithCode(1), "ADC resolution");
+    cfg.adcBits = 11;
+    EXPECT_EXIT(compile(*net, models::googLeNetAnalogLayers(1), cfg),
+                ::testing::ExitedWithCode(1), "ADC resolution");
+}
+
+TEST(CompilerTest, EmptyPartitionFatal)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    EXPECT_EXIT(compile(*net, {}, cfg), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST(CompilerTest, UnknownLayerFatal)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    EXPECT_EXIT(compile(*net, {"bogus"}, cfg),
+                ::testing::ExitedWithCode(1), "no layer");
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,165 @@
+/** @file Tests for the analytic energy/timing model. */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "redeye/compiler.hh"
+#include "redeye/energy_model.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+Program
+depthProgram(unsigned depth, RedEyeConfig cfg)
+{
+    auto net = models::buildGoogLeNet(227);
+    return compile(*net, models::googLeNetAnalogLayers(depth), cfg);
+}
+
+TEST(EnergyModelTest, BreakdownSumsToTotal)
+{
+    RedEyeConfig cfg;
+    RedEyeModel model(depthProgram(2, cfg), cfg);
+    const auto est = model.estimateFrame();
+    EXPECT_NEAR(est.energy.totalJ(),
+                est.energy.macJ + est.energy.memoryJ +
+                    est.energy.comparatorJ + est.energy.readoutJ +
+                    est.energy.controllerJ,
+                1e-12);
+    EXPECT_GT(est.energy.macJ, 0.0);
+    EXPECT_GT(est.energy.memoryJ, 0.0);
+    EXPECT_GT(est.energy.comparatorJ, 0.0);
+    EXPECT_GT(est.energy.readoutJ, 0.0);
+}
+
+TEST(EnergyModelTest, MacsDominabeAnalogBudget)
+{
+    // The paper's premise: convolution processing dominates.
+    RedEyeConfig cfg;
+    RedEyeModel model(depthProgram(5, cfg), cfg);
+    const auto est = model.estimateFrame();
+    EXPECT_GT(est.energy.macJ, 0.5 * est.energy.analogJ());
+}
+
+TEST(EnergyModelTest, PerInstructionCostsCoverEnergy)
+{
+    RedEyeConfig cfg;
+    RedEyeModel model(depthProgram(1, cfg), cfg);
+    const auto est = model.estimateFrame();
+    ASSERT_EQ(est.perInstruction.size(), 3u);
+    double sum = 0.0;
+    for (const auto &c : est.perInstruction)
+        sum += c.energyJ;
+    EXPECT_NEAR(sum,
+                est.energy.macJ + est.energy.comparatorJ +
+                    est.energy.readoutJ,
+                est.energy.totalJ() * 1e-9);
+}
+
+TEST(EnergyModelTest, HigherSnrCostsMoreEnergyAndTime)
+{
+    RedEyeConfig lo;
+    lo.convSnrDb = 40.0;
+    RedEyeConfig hi;
+    hi.convSnrDb = 55.0;
+    RedEyeModel m_lo(depthProgram(3, lo), lo);
+    RedEyeModel m_hi(depthProgram(3, hi), hi);
+    const auto e_lo = m_lo.estimateFrame();
+    const auto e_hi = m_hi.estimateFrame();
+    EXPECT_GT(e_hi.energy.macJ, e_lo.energy.macJ * 10);
+    EXPECT_GT(e_hi.analogTimeS, e_lo.analogTimeS);
+}
+
+TEST(EnergyModelTest, MoreAdcBitsCostMoreReadout)
+{
+    RedEyeConfig c4;
+    c4.adcBits = 4;
+    RedEyeConfig c8;
+    c8.adcBits = 8;
+    RedEyeModel m4(depthProgram(1, c4), c4);
+    RedEyeModel m8(depthProgram(1, c8), c8);
+    const double r4 = m4.estimateFrame().energy.readoutJ;
+    const double r8 = m8.estimateFrame().energy.readoutJ;
+    // ~2x per bit over the array-dominated regime.
+    EXPECT_GT(r8 / r4, 8.0);
+    EXPECT_LT(r8 / r4, 24.0);
+}
+
+TEST(EnergyModelTest, OutputBytesTrackAdcBits)
+{
+    RedEyeConfig c4;
+    c4.adcBits = 4;
+    RedEyeConfig c8;
+    c8.adcBits = 8;
+    RedEyeModel m4(depthProgram(1, c4), c4);
+    RedEyeModel m8(depthProgram(1, c8), c8);
+    EXPECT_NEAR(m8.estimateFrame().outputBytes /
+                    m4.estimateFrame().outputBytes,
+                2.0, 1e-9);
+}
+
+TEST(EnergyModelTest, FewerColumnsSlower)
+{
+    // Depth1 is dominated by the 114-wide conv1: halving the array
+    // nearly halves the throughput.
+    RedEyeConfig wide;
+    wide.columns = 227;
+    RedEyeConfig narrow;
+    narrow.columns = 57;
+    RedEyeModel mw(depthProgram(1, wide), wide);
+    RedEyeModel mn(depthProgram(1, narrow), narrow);
+    EXPECT_GT(mn.estimateFrame().analogTimeS,
+              mw.estimateFrame().analogTimeS * 1.5);
+}
+
+TEST(EnergyModelTest, ControllerEnergyIndependentOfWorkload)
+{
+    RedEyeConfig cfg;
+    RedEyeModel m1(depthProgram(1, cfg), cfg);
+    RedEyeModel m5(depthProgram(5, cfg), cfg);
+    EXPECT_DOUBLE_EQ(m1.estimateFrame().energy.controllerJ,
+                     m5.estimateFrame().energy.controllerJ);
+}
+
+TEST(EnergyModelTest, ImageSensorScalesWithGeometryAndBits)
+{
+    const double base = imageSensorAnalogEnergyJ(227, 227, 3, 10);
+    EXPECT_NEAR(imageSensorAnalogEnergyJ(454, 227, 3, 10), 2 * base,
+                1e-9);
+    EXPECT_NEAR(imageSensorAnalogEnergyJ(227, 227, 3, 9), base / 2,
+                1e-9);
+    EXPECT_NEAR(imageSensorOutputBytes(227, 227, 3, 10),
+                227.0 * 227 * 3 * 10 / 8, 1e-9);
+}
+
+TEST(EnergyModelTest, EmptyProgramFatal)
+{
+    RedEyeConfig cfg;
+    EXPECT_EXIT(RedEyeModel(Program{}, cfg),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+class AdcBitsTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AdcBitsTest, ConversionEnergyMonotoneInBits)
+{
+    const unsigned bits = GetParam();
+    RedEyeConfig a;
+    a.adcBits = bits;
+    RedEyeConfig b;
+    b.adcBits = bits + 1;
+    RedEyeModel ma(depthProgram(1, a), a);
+    RedEyeModel mb(depthProgram(1, b), b);
+    EXPECT_GT(mb.conversionEnergyJ(), ma.conversionEnergyJ());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, AdcBitsTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u,
+                                           7u, 8u, 9u));
+
+} // namespace
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,150 @@
+/** @file Tests for the program SRAM image format. */
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "models/mini_googlenet.hh"
+#include "core/rng.hh"
+#include "redeye/compiler.hh"
+#include "redeye/program_binary.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+Program
+compiledProgram()
+{
+    Rng rng(1);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    RedEyeConfig cfg;
+    cfg.adcBits = 4;
+    cfg.layerSnrDb["conv2"] = 52.5;
+    return compile(*net, models::miniGoogLeNetAnalogLayers(3), cfg);
+}
+
+bool
+equalPrograms(const Program &a, const Program &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Instruction &x = a.at(i);
+        const Instruction &y = b.at(i);
+        if (x.kind != y.kind || x.layer != y.layer ||
+            !(x.inShape == y.inShape) ||
+            !(x.outShape == y.outShape) || x.kernelH != y.kernelH ||
+            x.kernelW != y.kernelW || x.strideH != y.strideH ||
+            x.padH != y.padH || x.taps != y.taps ||
+            x.macs != y.macs || x.rectify != y.rectify ||
+            x.normalize != y.normalize || x.snrDb != y.snrDb ||
+            x.poolKernel != y.poolKernel ||
+            x.comparisons != y.comparisons ||
+            x.adcBits != y.adcBits ||
+            x.conversions != y.conversions ||
+            x.kernelBytes != y.kernelBytes ||
+            x.kernelScale != y.kernelScale ||
+            x.biasScale != y.biasScale ||
+            x.kernelImage != y.kernelImage) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(ProgramBinaryTest, RoundTripPreservesEverything)
+{
+    const Program prog = compiledProgram();
+    const auto image = encodeProgram(prog);
+    const Program back = decodeProgram(image);
+    EXPECT_TRUE(equalPrograms(prog, back));
+}
+
+TEST(ProgramBinaryTest, CompilerEmitsKernelImages)
+{
+    const Program prog = compiledProgram();
+    for (const auto &i : prog.instructions()) {
+        if (i.kind != ModuleKind::Convolution)
+            continue;
+        EXPECT_EQ(i.kernelImage.size(), i.kernelBytes) << i.layer;
+        EXPECT_GT(i.kernelScale, 0.0) << i.layer;
+        // 8-bit codes exercise the range.
+        int max_mag = 0;
+        for (std::int8_t b : i.kernelImage)
+            max_mag = std::max(max_mag, std::abs(int(b)));
+        EXPECT_EQ(max_mag, 127) << i.layer;
+    }
+}
+
+TEST(ProgramBinaryTest, PerLayerSnrSurvives)
+{
+    const Program prog = compiledProgram();
+    const Program back = decodeProgram(encodeProgram(prog));
+    bool found = false;
+    for (const auto &i : back.instructions()) {
+        if (i.layer == "conv2") {
+            EXPECT_DOUBLE_EQ(i.snrDb, 52.5);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ProgramBinaryTest, FileRoundTrip)
+{
+    const Program prog = compiledProgram();
+    const std::string path = "program_binary_test.repeye";
+    writeProgram(prog, path);
+    const Program back = readProgram(path);
+    EXPECT_TRUE(equalPrograms(prog, back));
+    std::remove(path.c_str());
+}
+
+TEST(ProgramBinaryTest, ControlPlaneIsSmall)
+{
+    // The sequencer's share of the image is tiny next to kernels:
+    // layer ordering + dimensions + noise parameters.
+    const Program prog = compiledProgram();
+    const auto control = controlPlaneBytes(prog);
+    EXPECT_LT(control, 4u * 1024);
+    EXPECT_GT(control, 100u);
+    EXPECT_EQ(encodeProgram(prog).size(),
+              control + prog.kernelBytes());
+}
+
+TEST(ProgramBinaryTest, GarbageImageFatal)
+{
+    std::vector<std::uint8_t> junk{1, 2, 3, 4, 5};
+    EXPECT_EXIT(decodeProgram(junk), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(ProgramBinaryTest, TruncatedImageFatal)
+{
+    const Program prog = compiledProgram();
+    auto image = encodeProgram(prog);
+    image.resize(image.size() / 2);
+    EXPECT_EXIT(decodeProgram(image), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(ProgramBinaryTest, TrailingBytesFatal)
+{
+    const Program prog = compiledProgram();
+    auto image = encodeProgram(prog);
+    image.push_back(0);
+    EXPECT_EXIT(decodeProgram(image), ::testing::ExitedWithCode(1),
+                "trailing");
+}
+
+TEST(ProgramBinaryTest, MissingFileFatal)
+{
+    EXPECT_EXIT(readProgram("/nonexistent/prog.repeye"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,115 @@
+/** @file Tests for the RedEye program representation. */
+
+#include <gtest/gtest.h>
+
+#include "redeye/program.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+Instruction
+convInstr(std::size_t macs, std::size_t taps, double snr = 40.0)
+{
+    Instruction i;
+    i.kind = ModuleKind::Convolution;
+    i.layer = "conv";
+    i.inShape = Shape(1, 3, 8, 8);
+    i.outShape = Shape(1, 4, 8, 8);
+    i.kernelH = i.kernelW = 3;
+    i.taps = taps;
+    i.macs = macs;
+    i.snrDb = snr;
+    i.kernelBytes = 4 * taps;
+    return i;
+}
+
+Instruction
+quantInstr(unsigned bits, std::size_t conversions)
+{
+    Instruction i;
+    i.kind = ModuleKind::Quantization;
+    i.layer = "@readout";
+    i.inShape = Shape(1, 4, 8, 8);
+    i.outShape = Shape(1, 4, 8, 8);
+    i.adcBits = bits;
+    i.conversions = conversions;
+    return i;
+}
+
+TEST(ProgramTest, Aggregates)
+{
+    Program p;
+    p.append(convInstr(1000, 27));
+    p.append(convInstr(2000, 9));
+    p.append(quantInstr(4, 256));
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.totalMacs(), 3000u);
+    EXPECT_EQ(p.kernelBytes(), 4u * 27 + 4u * 9);
+    EXPECT_EQ(p.convolutionCount(), 2u);
+}
+
+TEST(ProgramTest, OutputBytesFromQuantizer)
+{
+    Program p;
+    p.append(convInstr(10, 9));
+    p.append(quantInstr(4, 256));
+    EXPECT_DOUBLE_EQ(p.outputBytes(), 256.0 * 4.0 / 8.0);
+    EXPECT_EQ(p.outputElements(), 256u);
+}
+
+TEST(ProgramTest, NoQuantizerNoOutput)
+{
+    Program p;
+    p.append(convInstr(10, 9));
+    EXPECT_DOUBLE_EQ(p.outputBytes(), 0.0);
+}
+
+TEST(ProgramTest, MaxKernelWidthAcrossKinds)
+{
+    Program p;
+    Instruction conv = convInstr(10, 9);
+    conv.kernelW = 7;
+    p.append(conv);
+    Instruction pool;
+    pool.kind = ModuleKind::MaxPooling;
+    pool.poolKernel = 3;
+    pool.inShape = pool.outShape = Shape(1, 1, 4, 4);
+    p.append(pool);
+    EXPECT_EQ(p.maxKernelWidth(), 7u);
+}
+
+TEST(ProgramTest, BufferTrafficExcludesQuantizerWrites)
+{
+    Program p;
+    p.append(convInstr(10, 9)); // out 4*8*8 = 256
+    p.append(quantInstr(4, 256));
+    EXPECT_EQ(p.totalBufferWrites(), 256u);
+    // conv reads 3*8*8, quantizer reads 256.
+    EXPECT_EQ(p.totalBufferReads(), 192u + 256u);
+}
+
+TEST(ProgramTest, ListingMentionsEveryInstruction)
+{
+    Program p;
+    p.append(convInstr(10, 9));
+    p.append(quantInstr(4, 256));
+    const std::string s = p.str();
+    EXPECT_NE(s.find("conv"), std::string::npos);
+    EXPECT_NE(s.find("quantize"), std::string::npos);
+    EXPECT_NE(s.find("q=4b"), std::string::npos);
+}
+
+TEST(ProgramTest, InstructionStrHasFlags)
+{
+    Instruction i = convInstr(10, 9);
+    i.rectify = true;
+    i.normalize = true;
+    const std::string s = i.str();
+    EXPECT_NE(s.find("+rectify"), std::string::npos);
+    EXPECT_NE(s.find("+normalize"), std::string::npos);
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

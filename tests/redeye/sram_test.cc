@@ -1,0 +1,83 @@
+/** @file Tests for the on-chip SRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "models/googlenet.hh"
+#include "redeye/compiler.hh"
+#include "redeye/sram.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+Program
+depthProgram(unsigned depth, unsigned adc_bits = 4)
+{
+    auto net = models::buildGoogLeNet(227);
+    RedEyeConfig cfg;
+    cfg.adcBits = adc_bits;
+    return compile(*net, models::googLeNetAnalogLayers(depth), cfg);
+}
+
+TEST(SramTest, Depth5FitsPaperProvisioning)
+{
+    // Section V-D: 100 kB features + 9 kB kernels fit in 128 kB.
+    // At 8-bit readout the Depth5 cut is 14x14x512 = 98 kB.
+    const auto req = analyzeSram(depthProgram(5, 8));
+    EXPECT_LE(req.featureBytes, 100u * 1024);
+    EXPECT_GT(req.featureBytes, 90u * 1024);
+    EXPECT_LE(req.kernelWorkingSetBytes, 9u * 1024);
+    EXPECT_TRUE(req.fits);
+}
+
+TEST(SramTest, FourBitHalvesFeatureFootprint)
+{
+    const auto r8 = analyzeSram(depthProgram(5, 8));
+    const auto r4 = analyzeSram(depthProgram(5, 4));
+    EXPECT_NEAR(static_cast<double>(r4.featureBytes),
+                static_cast<double>(r8.featureBytes) / 2.0, 2.0);
+}
+
+TEST(SramTest, KernelTotalsExceedWorkingSet)
+{
+    // Whole-program kernels are paged; the working set is what must
+    // fit on chip at once.
+    const auto req = analyzeSram(depthProgram(5));
+    EXPECT_GT(req.kernelTotalBytes, req.kernelWorkingSetBytes);
+    EXPECT_GT(req.kernelPageEvents, 0u);
+}
+
+TEST(SramTest, Depth2FeatureTensorDoesNotFit)
+{
+    // Depth2 cuts before pool2: 57x57x192 at 8 bits is ~609 kB,
+    // far over the feature partition. (Shallow cloudlet cuts ship
+    // rows incrementally; the whole-tensor buffer does not fit.)
+    const auto req = analyzeSram(depthProgram(2, 8));
+    EXPECT_FALSE(req.fits);
+    EXPECT_GT(req.featureBytes, 100u * 1024);
+}
+
+TEST(SramTest, SmallerTileShrinksWorkingSet)
+{
+    SramConfig small;
+    small.kernelTileChannels = 4;
+    SramConfig large;
+    large.kernelTileChannels = 64;
+    const auto prog = depthProgram(3);
+    const auto rs = analyzeSram(prog, small);
+    const auto rl = analyzeSram(prog, large);
+    EXPECT_LT(rs.kernelWorkingSetBytes, rl.kernelWorkingSetBytes);
+    EXPECT_GT(rs.kernelPageEvents, rl.kernelPageEvents);
+}
+
+TEST(SramTest, ZeroTileFatal)
+{
+    SramConfig bad;
+    bad.kernelTileChannels = 0;
+    EXPECT_EXIT(analyzeSram(depthProgram(1), bad),
+                ::testing::ExitedWithCode(1), "tile");
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

@@ -1,0 +1,117 @@
+/** @file Tests for the Top-N evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/inner_product.hh"
+#include "nn/network.hh"
+#include "sim/evaluator.hh"
+
+namespace redeye {
+namespace sim {
+namespace {
+
+/** Tiny dataset where class = brightest channel. */
+data::Dataset
+channelDataset(std::size_t n)
+{
+    data::Dataset ds;
+    ds.images = Tensor(Shape(n, 3, 4, 4));
+    ds.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto label = static_cast<std::int32_t>(i % 3);
+        ds.labels[i] = label;
+        for (std::size_t c = 0; c < 3; ++c) {
+            for (std::size_t p = 0; p < 16; ++p) {
+                ds.images[i * 48 + c * 16 + p] =
+                    c == static_cast<std::size_t>(label) ? 1.0f
+                                                         : 0.1f;
+            }
+        }
+    }
+    return ds;
+}
+
+/** Classifier that sums each channel: perfect on channelDataset. */
+std::unique_ptr<nn::Network>
+channelClassifier()
+{
+    auto net = std::make_unique<nn::Network>("cc");
+    net->setInputShape(Shape(1, 3, 4, 4));
+    auto fc = std::make_unique<nn::InnerProductLayer>("fc", 3, false);
+    auto *ptr = fc.get();
+    net->add(std::move(fc), {nn::kInputName});
+    // weights (3, 48): class c sums channel c.
+    ptr->weights().zero();
+    for (std::size_t c = 0; c < 3; ++c)
+        for (std::size_t p = 0; p < 16; ++p)
+            ptr->weights()[c * 48 + c * 16 + p] = 1.0f;
+    return net;
+}
+
+TEST(EvaluatorTest, PerfectClassifierScoresOne)
+{
+    auto net = channelClassifier();
+    const auto ds = channelDataset(30);
+    const auto r = evaluate(*net, ds);
+    EXPECT_DOUBLE_EQ(r.top1, 1.0);
+    EXPECT_DOUBLE_EQ(r.topN, 1.0);
+    EXPECT_EQ(r.images, 30u);
+}
+
+TEST(EvaluatorTest, BrokenClassifierScoresTopNOnly)
+{
+    auto net = channelClassifier();
+    // Sabotage: logits become constant -> ties resolve to class 0.
+    net->layer("fc").params()[0]->zero();
+    const auto ds = channelDataset(30);
+    EvalOptions opt;
+    opt.topN = 3;
+    const auto r = evaluate(*net, ds, opt);
+    EXPECT_NEAR(r.top1, 1.0 / 3.0, 1e-9); // only class-0 items hit
+    EXPECT_DOUBLE_EQ(r.topN, 1.0);        // top-3 of 3 always hits
+}
+
+TEST(EvaluatorTest, MaxImagesLimitsWork)
+{
+    auto net = channelClassifier();
+    const auto ds = channelDataset(30);
+    EvalOptions opt;
+    opt.maxImages = 7;
+    const auto r = evaluate(*net, ds, opt);
+    EXPECT_EQ(r.images, 7u);
+}
+
+TEST(EvaluatorTest, BatchBoundariesDoNotMatter)
+{
+    auto net = channelClassifier();
+    const auto ds = channelDataset(29); // not a batch multiple
+    EvalOptions a;
+    a.batchSize = 4;
+    EvalOptions b;
+    b.batchSize = 32;
+    EXPECT_DOUBLE_EQ(evaluate(*net, ds, a).top1,
+                     evaluate(*net, ds, b).top1);
+}
+
+TEST(EvaluatorTest, SensorSamplingBarelyHurtsEasyTask)
+{
+    auto net = channelClassifier();
+    const auto ds = channelDataset(30);
+    EvalOptions opt;
+    opt.sensor = noise::SensorParams{};
+    const auto r = evaluate(*net, ds, opt);
+    EXPECT_GT(r.top1, 0.9);
+}
+
+TEST(EvaluatorTest, EmptyDatasetFatal)
+{
+    auto net = channelClassifier();
+    data::Dataset empty;
+    EXPECT_EXIT(evaluate(*net, empty), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+} // namespace
+} // namespace sim
+} // namespace redeye

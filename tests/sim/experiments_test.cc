@@ -1,0 +1,90 @@
+/** @file Tests for the experiment runners. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "models/mini_googlenet.hh"
+#include "sim/experiments.hh"
+
+namespace redeye {
+namespace sim {
+namespace {
+
+TEST(ExperimentsTest, DepthSweepShape)
+{
+    arch::RedEyeConfig cfg;
+    const auto rows = googLeNetDepthSweep(cfg);
+    ASSERT_EQ(rows.size(), 5u);
+    for (unsigned d = 0; d < 5; ++d) {
+        EXPECT_EQ(rows[d].depth, d + 1);
+        EXPECT_GT(rows[d].analogEnergyJ, 0.0);
+        EXPECT_GT(rows[d].frameTimeS, 0.0);
+        EXPECT_GT(rows[d].outputBytes, 0.0);
+    }
+    // Figure 7a shape: energy and MACs rise with depth; the digital
+    // tail shrinks.
+    for (unsigned d = 1; d < 5; ++d) {
+        EXPECT_GT(rows[d].analogEnergyJ, rows[d - 1].analogEnergyJ);
+        EXPECT_GT(rows[d].analogMacs, rows[d - 1].analogMacs);
+        EXPECT_LT(rows[d].digitalTailMacs,
+                  rows[d - 1].digitalTailMacs);
+    }
+}
+
+TEST(ExperimentsTest, ConvNetEnergyTenPerTenDb)
+{
+    // Figure 9's solid line: processing energy rises ~10x per 10 dB.
+    const double e40 = convNetEnergyAtSnr(5, 40.0);
+    const double e50 = convNetEnergyAtSnr(5, 50.0);
+    EXPECT_NEAR(e50 / e40, 10.0, 0.5);
+}
+
+TEST(ExperimentsTest, QuantEnergyGrowsWithBits)
+{
+    // Figure 10's solid line.
+    double prev = 0.0;
+    for (unsigned bits = 2; bits <= 8; ++bits) {
+        const double e = quantizationEnergyAtBits(5, bits);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+    EXPECT_GT(quantizationEnergyAtBits(5, 8) /
+                  quantizationEnergyAtBits(5, 4),
+              8.0);
+}
+
+TEST(ExperimentsTest, AccuracySweepsRespondToNoise)
+{
+    Rng rng(1);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    auto handles = injectNoise(
+        *net, models::miniGoogLeNetAnalogLayers(2), NoiseSpec{});
+    Rng drng(2);
+    data::ShapesParams sp;
+    const auto ds = data::generateShapes(6, sp, drng);
+    EvalOptions opt;
+    opt.topN = 5;
+
+    // Untrained network: accuracy is near chance regardless of
+    // noise, but the sweep machinery must return one point per
+    // configuration with sane bounds.
+    const auto by_snr = accuracyVsSnr(*net, handles, ds,
+                                      {60.0, 40.0, 25.0}, 4, opt);
+    ASSERT_EQ(by_snr.size(), 3u);
+    for (const auto &p : by_snr) {
+        EXPECT_GE(p.top1, 0.0);
+        EXPECT_LE(p.top1, 1.0);
+        EXPECT_GE(p.topN, p.top1);
+        EXPECT_EQ(p.adcBits, 4u);
+    }
+
+    const auto by_bits = accuracyVsBits(*net, handles, ds,
+                                        {2u, 4u, 8u}, 40.0, opt);
+    ASSERT_EQ(by_bits.size(), 3u);
+    for (const auto &p : by_bits)
+        EXPECT_DOUBLE_EQ(p.snrDb, 40.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace redeye

@@ -1,0 +1,116 @@
+/** @file Tests for the noise injection transform. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "core/stats.hh"
+#include "models/mini_googlenet.hh"
+#include "nn/network.hh"
+#include "sim/noise_injector.hh"
+
+namespace redeye {
+namespace sim {
+namespace {
+
+TEST(InjectorTest, InsertsGaussianAfterEveryAnalogModule)
+{
+    Rng rng(1);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    const auto layers = models::miniGoogLeNetAnalogLayers(2);
+    // conv1, pool1, conv2/reduce, conv2 = 4 noise targets.
+    const auto handles = injectNoise(*net, layers, NoiseSpec{});
+    EXPECT_EQ(handles.gaussians.size(), 4u);
+    ASSERT_NE(handles.quantization, nullptr);
+    EXPECT_TRUE(net->hasLayer("conv1/gauss_noise"));
+    EXPECT_TRUE(net->hasLayer("pool1/gauss_noise"));
+}
+
+TEST(InjectorTest, QuantizerPlacedAtCut)
+{
+    Rng rng(2);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    const auto layers = models::miniGoogLeNetAnalogLayers(1);
+    const auto handles = injectNoise(*net, layers, NoiseSpec{});
+    // Cut is pool1; its gaussian precedes the quantizer.
+    EXPECT_EQ(handles.quantization->name(),
+              "pool1/gauss_noise/quant_noise");
+}
+
+TEST(InjectorTest, GraphStillExecutesAndClassifies)
+{
+    Rng rng(3);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    injectNoise(*net, models::miniGoogLeNetAnalogLayers(3),
+                NoiseSpec{});
+    Tensor x(Shape(2, 3, 32, 32));
+    Rng xrng(4);
+    x.fillUniform(xrng, 0.0f, 1.0f);
+    const Tensor &y = net->forward(x);
+    EXPECT_EQ(y.shape(), Shape(2, 10, 1, 1));
+    EXPECT_TRUE(std::isfinite(y.sum()));
+}
+
+TEST(InjectorTest, DisabledInjectionMatchesCleanNetwork)
+{
+    Rng ra(5), rb(5);
+    auto clean = models::buildMiniGoogLeNet(10, ra);
+    auto noisy = models::buildMiniGoogLeNet(10, rb);
+    auto handles = injectNoise(
+        *noisy, models::miniGoogLeNetAnalogLayers(2), NoiseSpec{});
+    handles.setEnabled(false);
+
+    Tensor x(Shape(1, 3, 32, 32));
+    Rng xrng(6);
+    x.fillUniform(xrng, 0.0f, 1.0f);
+    const Tensor yc = clean->forward(x);
+    const Tensor yn = noisy->forward(x);
+    EXPECT_LT(maxAbsDiff(yc, yn), 1e-6f);
+}
+
+TEST(InjectorTest, HandlesRetuneAllLayers)
+{
+    Rng rng(7);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    auto handles = injectNoise(
+        *net, models::miniGoogLeNetAnalogLayers(2), NoiseSpec{});
+    handles.setSnrDb(33.0);
+    for (const auto *g : handles.gaussians)
+        EXPECT_DOUBLE_EQ(g->snrDb(), 33.0);
+    handles.setAdcBits(7);
+    EXPECT_EQ(handles.quantization->bits(), 7u);
+}
+
+TEST(InjectorTest, LowerSnrDegradesOutputMore)
+{
+    Rng rng(8);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    auto handles = injectNoise(
+        *net, models::miniGoogLeNetAnalogLayers(2), NoiseSpec{});
+    Tensor x(Shape(1, 3, 32, 32));
+    Rng xrng(9);
+    x.fillUniform(xrng, 0.0f, 1.0f);
+
+    handles.setEnabled(false);
+    const Tensor clean = net->forward(x);
+    handles.setEnabled(true);
+    // Keep the quantizer fine so the Gaussian knob dominates.
+    handles.setAdcBits(10);
+    handles.setSnrDb(60.0);
+    const Tensor hi = net->forward(x);
+    handles.setSnrDb(25.0);
+    const Tensor lo = net->forward(x);
+    EXPECT_GT(measureSnrDb(clean.vec(), hi.vec()),
+              measureSnrDb(clean.vec(), lo.vec()) + 10.0);
+}
+
+TEST(InjectorTest, UnknownLayerFatal)
+{
+    Rng rng(10);
+    auto net = models::buildMiniGoogLeNet(10, rng);
+    EXPECT_EXIT(injectNoise(*net, {"missing"}, NoiseSpec{}),
+                ::testing::ExitedWithCode(1), "no layer");
+}
+
+} // namespace
+} // namespace sim
+} // namespace redeye

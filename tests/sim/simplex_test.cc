@@ -1,0 +1,116 @@
+/** @file Tests for the Nelder-Mead simplex minimizer. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/simplex.hh"
+
+namespace redeye {
+namespace sim {
+namespace {
+
+TEST(SimplexTest, QuadraticBowl1D)
+{
+    const auto res = nelderMead(
+        [](const std::vector<double> &x) {
+            return (x[0] - 3.0) * (x[0] - 3.0);
+        },
+        {0.0}, {1.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 3.0, 1e-3);
+    EXPECT_NEAR(res.value, 0.0, 1e-6);
+}
+
+TEST(SimplexTest, QuadraticBowl3D)
+{
+    const auto res = nelderMead(
+        [](const std::vector<double> &x) {
+            double s = 0.0;
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                const double d = x[i] - static_cast<double>(i);
+                s += d * d;
+            }
+            return s;
+        },
+        {5.0, 5.0, 5.0}, {1.0, 1.0, 1.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 0.0, 1e-2);
+    EXPECT_NEAR(res.x[1], 1.0, 1e-2);
+    EXPECT_NEAR(res.x[2], 2.0, 1e-2);
+}
+
+TEST(SimplexTest, Rosenbrock)
+{
+    SimplexOptions opt;
+    opt.maxIterations = 2000;
+    const auto res = nelderMead(
+        [](const std::vector<double> &x) {
+            const double a = 1.0 - x[0];
+            const double b = x[1] - x[0] * x[0];
+            return a * a + 100.0 * b * b;
+        },
+        {-1.2, 1.0}, {0.5, 0.5}, opt);
+    EXPECT_NEAR(res.x[0], 1.0, 0.02);
+    EXPECT_NEAR(res.x[1], 1.0, 0.04);
+}
+
+TEST(SimplexTest, RespectsIterationBudget)
+{
+    SimplexOptions opt;
+    opt.maxIterations = 5;
+    opt.tolerance = 0.0; // never converge by value spread
+    const auto res = nelderMead(
+        [](const std::vector<double> &x) { return x[0] * x[0]; },
+        {10.0}, {1.0}, opt);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 5u);
+}
+
+TEST(SimplexTest, CountsEvaluations)
+{
+    std::size_t calls = 0;
+    const auto res = nelderMead(
+        [&calls](const std::vector<double> &x) {
+            ++calls;
+            return std::fabs(x[0]);
+        },
+        {4.0}, {1.0});
+    EXPECT_EQ(res.evaluations, calls);
+}
+
+TEST(SimplexTest, DiscontinuousPenaltyStillImproves)
+{
+    // The noise-tuning objective uses a step penalty; the search
+    // should still reduce the objective.
+    const auto res = nelderMead(
+        [](const std::vector<double> &x) {
+            const double energy = std::pow(10.0, x[0] / 10.0);
+            const double penalty = x[0] < 40.0 ? 1e6 : 0.0;
+            return energy + penalty;
+        },
+        {60.0}, {5.0});
+    EXPECT_NEAR(res.x[0], 40.0, 1.5);
+}
+
+TEST(SimplexTest, EmptyInitialFatal)
+{
+    EXPECT_EXIT(nelderMead([](const std::vector<double> &) {
+                    return 0.0;
+                },
+                           {}, {}),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(SimplexTest, DimensionMismatchFatal)
+{
+    EXPECT_EXIT(nelderMead([](const std::vector<double> &) {
+                    return 0.0;
+                },
+                           {1.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "dimension");
+}
+
+} // namespace
+} // namespace sim
+} // namespace redeye

@@ -1,0 +1,131 @@
+/** @file Tests for the training loop. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/conv.hh"
+#include "nn/inner_product.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+#include "sim/evaluator.hh"
+#include "sim/training.hh"
+
+namespace redeye {
+namespace sim {
+namespace {
+
+/** Tiny convnet for 16x16 shapes. */
+std::unique_ptr<nn::Network>
+tinyNet(Rng &rng)
+{
+    auto net = std::make_unique<nn::Network>("tiny");
+    net->setInputShape(Shape(1, 3, 16, 16));
+    auto conv = std::make_unique<nn::ConvolutionLayer>(
+        "c1", nn::ConvParams::square(8, 3, 1, 1));
+    auto *cp = conv.get();
+    net->add(std::move(conv), {nn::kInputName});
+    net->add(std::make_unique<nn::MaxPoolLayer>(
+        "p1", nn::PoolParams{4, 4, 0}));
+    auto fc = std::make_unique<nn::InnerProductLayer>(
+        "fc", data::kShapeClasses);
+    auto *fp = fc.get();
+    net->add(std::move(fc));
+    cp->initHe(rng);
+    fp->initHe(rng);
+    return net;
+}
+
+TEST(TrainingTest, LossDecreases)
+{
+    Rng rng(1);
+    auto net = tinyNet(rng);
+    data::ShapesParams sp;
+    sp.imageSize = 16;
+    Rng drng(2);
+    const auto train = data::generateShapes(20, sp, drng);
+
+    TrainOptions opt;
+    opt.epochs = 1;
+    const auto first = trainClassifier(*net, train, opt);
+    opt.epochs = 5;
+    const auto later = trainClassifier(*net, train, opt);
+    EXPECT_LT(later.finalLoss, first.finalLoss);
+}
+
+TEST(TrainingTest, BeatsChanceOnValidation)
+{
+    Rng rng(3);
+    auto net = tinyNet(rng);
+    data::ShapesParams sp;
+    sp.imageSize = 16;
+    Rng drng(4);
+    const auto train = data::generateShapes(40, sp, drng);
+    const auto val = data::generateShapes(10, sp, drng);
+
+    TrainOptions opt;
+    opt.epochs = 6;
+    trainClassifier(*net, train, opt);
+    const auto r = evaluate(*net, val);
+    // Chance is 10% top-1 / 50% top-5.
+    EXPECT_GT(r.top1, 0.3);
+    EXPECT_GT(r.topN, 0.8);
+}
+
+TEST(TrainingTest, DeterministicForSeeds)
+{
+    data::ShapesParams sp;
+    sp.imageSize = 16;
+    Rng d1(5);
+    const auto train = data::generateShapes(10, sp, d1);
+
+    Rng ra(6), rb(6);
+    auto na = tinyNet(ra);
+    auto nb = tinyNet(rb);
+    TrainOptions opt;
+    opt.epochs = 2;
+    const auto a = trainClassifier(*na, train, opt);
+    const auto b = trainClassifier(*nb, train, opt);
+    EXPECT_DOUBLE_EQ(a.finalLoss, b.finalLoss);
+}
+
+TEST(TrainingTest, IterationCountMatchesSchedule)
+{
+    Rng rng(7);
+    auto net = tinyNet(rng);
+    data::ShapesParams sp;
+    sp.imageSize = 16;
+    Rng drng(8);
+    const auto train = data::generateShapes(10, sp, drng); // 100 img
+    TrainOptions opt;
+    opt.epochs = 3;
+    opt.batchSize = 32; // 4 batches/epoch
+    const auto r = trainClassifier(*net, train, opt);
+    EXPECT_EQ(r.iterations, 12u);
+}
+
+TEST(TrainingTest, LeavesNetworkInEvalMode)
+{
+    Rng rng(9);
+    auto net = tinyNet(rng);
+    data::ShapesParams sp;
+    sp.imageSize = 16;
+    Rng drng(10);
+    const auto train = data::generateShapes(5, sp, drng);
+    TrainOptions opt;
+    opt.epochs = 1;
+    trainClassifier(*net, train, opt);
+    for (std::size_t i = 0; i < net->size(); ++i)
+        EXPECT_FALSE(net->layerAt(i).training());
+}
+
+TEST(TrainingTest, EmptySetFatal)
+{
+    Rng rng(11);
+    auto net = tinyNet(rng);
+    EXPECT_EXIT(trainClassifier(*net, data::Dataset{}),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace sim
+} // namespace redeye

@@ -1,0 +1,71 @@
+/** @file Tests for the BLE cloudlet link model. */
+
+#include <gtest/gtest.h>
+
+#include "system/ble.hh"
+
+namespace redeye {
+namespace sys {
+namespace {
+
+constexpr double kRawFrameBytes = 227.0 * 227.0 * 3.0 * 10.0 / 8.0;
+constexpr double kDepth4Bytes = 14.0 * 14.0 * 480.0 * 4.0 / 8.0;
+
+TEST(BleTest, RawFrameAnchor)
+{
+    // "Conventionally exporting a 227x227 frame will consume
+    // 129.42 mJ over 1.54 seconds."
+    BleLink link;
+    EXPECT_NEAR(link.transferEnergyJ(kRawFrameBytes), 129.42e-3,
+                1e-6);
+    EXPECT_NEAR(link.transferTimeS(kRawFrameBytes), 1.54, 1e-6);
+}
+
+TEST(BleTest, Depth4Anchor)
+{
+    // "RedEye Depth4 output only consumes 33.7 mJ per frame, over
+    // 0.40 seconds."
+    BleLink link;
+    EXPECT_NEAR(link.transferEnergyJ(kDepth4Bytes), 33.7e-3, 1e-6);
+    EXPECT_NEAR(link.transferTimeS(kDepth4Bytes), 0.40, 1e-6);
+}
+
+TEST(BleTest, CloudletSavingsMatchPaper)
+{
+    // Including the 1.1 mJ sensor vs 1.3 mJ RedEye overhead, the
+    // system saving is ~73.2%.
+    BleLink link;
+    const double conventional = 1.1e-3 +
+                                link.transferEnergyJ(kRawFrameBytes);
+    const double redeye = 1.3e-3 +
+                          link.transferEnergyJ(kDepth4Bytes);
+    EXPECT_NEAR(1.0 - redeye / conventional, 0.732, 0.01);
+}
+
+TEST(BleTest, FixedOverheadPositive)
+{
+    const auto p = BleParams::paper();
+    EXPECT_GT(p.fixedEnergyJ, 0.0);
+    EXPECT_GT(p.fixedTimeS, 0.0);
+    EXPECT_GT(p.energyPerByteJ, 0.0);
+}
+
+TEST(BleTest, EnergyAffineInPayload)
+{
+    BleLink link;
+    const double e0 = link.transferEnergyJ(0.0);
+    const double e1 = link.transferEnergyJ(1000.0);
+    const double e2 = link.transferEnergyJ(2000.0);
+    EXPECT_NEAR(e2 - e1, e1 - e0, 1e-12);
+}
+
+TEST(BleTest, NegativePayloadFatal)
+{
+    BleLink link;
+    EXPECT_EXIT(link.transferEnergyJ(-1.0),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+} // namespace
+} // namespace sys
+} // namespace redeye

@@ -1,0 +1,99 @@
+/** @file Tests for the Jetson TK1 host model. */
+
+#include <gtest/gtest.h>
+
+#include "system/jetson.hh"
+
+namespace redeye {
+namespace sys {
+namespace {
+
+// Representative workload counts (from the GoogLeNet model; exact
+// values are validated in the integration tests).
+constexpr double kFullMacs = 1.6e9;
+constexpr double kTail5Macs = 0.6e9;
+
+TEST(JetsonTest, GpuAnchors)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    // Full GoogLeNet: 12.2 W x 33.3 ms ~= 406 mJ.
+    EXPECT_NEAR(gpu.executionEnergyJ(kFullMacs), 406e-3, 2e-3);
+    // Depth5 tail: 18.6 ms -> ~227 mJ.
+    EXPECT_NEAR(gpu.executionTimeS(kTail5Macs), 18.6e-3, 1e-6);
+    EXPECT_NEAR(gpu.executionEnergyJ(kTail5Macs), 226.9e-3, 1e-3);
+}
+
+TEST(JetsonTest, CpuAnchors)
+{
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    // Full: 3.1 W x 545 ms ~= 1.69 J.
+    EXPECT_NEAR(cpu.executionEnergyJ(kFullMacs), 1.69, 0.01);
+    EXPECT_NEAR(cpu.executionTimeS(kTail5Macs), 297e-3, 1e-6);
+}
+
+TEST(JetsonTest, PaperSavingsReproduced)
+{
+    // GPU saving ~44.3%, CPU saving ~45.6% (plus RedEye overhead).
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    const double g_save =
+        1.0 - (gpu.executionEnergyJ(kTail5Macs) + 1.4e-3) /
+                  (gpu.executionEnergyJ(kFullMacs) + 1.1e-3);
+    const double c_save =
+        1.0 - (cpu.executionEnergyJ(kTail5Macs) + 1.4e-3) /
+                  (cpu.executionEnergyJ(kFullMacs) + 1.1e-3);
+    EXPECT_NEAR(g_save, 0.443, 0.02);
+    EXPECT_NEAR(c_save, 0.456, 0.02);
+}
+
+TEST(JetsonTest, TimeInterpolatesBetweenAnchors)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    const double mid = (kFullMacs + kTail5Macs) / 2.0;
+    const double t = gpu.executionTimeS(mid);
+    EXPECT_GT(t, 18.6e-3);
+    EXPECT_LT(t, 33.3e-3);
+}
+
+TEST(JetsonTest, BelowAnchorRangePinnedProportionally)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    EXPECT_NEAR(gpu.executionTimeS(kTail5Macs / 2.0), 18.6e-3 / 2.0,
+                1e-9);
+    EXPECT_NEAR(gpu.executionTimeS(0.0), 0.0, 1e-12);
+}
+
+TEST(JetsonTest, CpuSlowerThanGpu)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    EXPECT_GT(cpu.executionTimeS(kFullMacs),
+              gpu.executionTimeS(kFullMacs) * 10);
+}
+
+TEST(JetsonTest, ProcessorNames)
+{
+    EXPECT_STREQ(jetsonProcessorName(JetsonProcessor::CPU), "CPU");
+    EXPECT_STREQ(jetsonProcessorName(JetsonProcessor::GPU), "GPU");
+}
+
+TEST(JetsonTest, InconsistentAnchorsFatal)
+{
+    auto p = JetsonParams::paper(JetsonProcessor::GPU, kFullMacs,
+                                 kTail5Macs);
+    p.depth5Macs = p.fullMacs; // tail == full: invalid
+    EXPECT_EXIT(JetsonTk1{p}, ::testing::ExitedWithCode(1),
+                "must exceed");
+}
+
+} // namespace
+} // namespace sys
+} // namespace redeye

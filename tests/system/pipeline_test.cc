@@ -1,0 +1,89 @@
+/** @file Tests for end-to-end system pipelines. */
+
+#include <gtest/gtest.h>
+
+#include "system/pipeline.hh"
+
+namespace redeye {
+namespace sys {
+namespace {
+
+constexpr double kFullMacs = 1.6e9;
+constexpr double kTail5Macs = 0.6e9;
+constexpr double kRawFrameBytes = 227.0 * 227.0 * 3.0 * 10.0 / 8.0;
+constexpr double kDepth4Bytes = 14.0 * 14.0 * 480.0 * 4.0 / 8.0;
+
+TEST(CloudletPipelineTest, TransferDominatesConventional)
+{
+    CloudletPipeline pipe;
+    const auto cost = pipe.estimate(1.1e-3, 33e-3, kRawFrameBytes);
+    EXPECT_GT(cost.transferJ, 100.0 * cost.sensorJ);
+    EXPECT_NEAR(cost.totalJ(), 1.1e-3 + 129.42e-3, 1e-6);
+    EXPECT_NEAR(cost.frameTimeS, 1.54, 1e-6);
+    EXPECT_NEAR(cost.fps, 1.0 / 1.54, 1e-6);
+}
+
+TEST(CloudletPipelineTest, RedEyeCutsTransferAndLatency)
+{
+    CloudletPipeline pipe;
+    const auto conventional = pipe.estimate(1.1e-3, 33e-3,
+                                            kRawFrameBytes);
+    const auto redeye = pipe.estimate(1.3e-3, 27e-3, kDepth4Bytes);
+    EXPECT_NEAR(1.0 - redeye.totalJ() / conventional.totalJ(), 0.732,
+                0.01);
+    EXPECT_GT(redeye.fps, conventional.fps * 3.0);
+}
+
+TEST(HostPipelineTest, GpuSystemSavings)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline pipe(gpu);
+    const auto conventional = pipe.estimate(1.1e-3, 1.0 / 30.0,
+                                            kFullMacs);
+    const auto redeye = pipe.estimate(1.4e-3, 32e-3, kTail5Macs);
+    EXPECT_NEAR(1.0 - redeye.totalJ() / conventional.totalJ(), 0.44,
+                0.02);
+}
+
+TEST(HostPipelineTest, PipelinedRateSetBySlowerStage)
+{
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline pipe(cpu);
+    // CPU tail (297 ms) dwarfs the 32 ms RedEye stage.
+    const auto cost = pipe.estimate(1.4e-3, 32e-3, kTail5Macs);
+    EXPECT_NEAR(cost.frameTimeS, 297e-3, 1e-6);
+    // Paper: CPU accelerates from 1.83 fps to 3.36 fps.
+    EXPECT_NEAR(cost.fps, 3.36, 0.05);
+}
+
+TEST(HostPipelineTest, GpuKeepsRealTime)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline pipe(gpu);
+    const auto cost = pipe.estimate(1.4e-3, 32e-3, kTail5Macs);
+    // RedEye (32 ms) is the bottleneck but stays ~30 fps.
+    EXPECT_GT(cost.fps, 29.0);
+}
+
+TEST(HostPipelineTest, CpuConventionalRate)
+{
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline pipe(cpu);
+    const auto cost = pipe.estimate(1.1e-3, 1.0 / 30.0, kFullMacs);
+    EXPECT_NEAR(cost.fps, 1.83, 0.05);
+}
+
+TEST(PipelineTest, NegativeSensorCostFatal)
+{
+    CloudletPipeline pipe;
+    EXPECT_EXIT(pipe.estimate(-1.0, 0.0, 100.0),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+} // namespace
+} // namespace sys
+} // namespace redeye

@@ -1,0 +1,51 @@
+/** @file Tests for the ShiDianNao comparison model. */
+
+#include <gtest/gtest.h>
+
+#include "system/shidiannao.hh"
+
+namespace redeye {
+namespace sys {
+namespace {
+
+TEST(ShiDianNaoTest, PatchTilingMatchesPaper)
+{
+    // "144 instances of the authors' 64x30 patch, with a stride of
+    // 16 pixels in the 227x227 region."
+    const auto count = shiDianNaoPatchCount(227, 227);
+    EXPECT_GE(count, 130u);
+    EXPECT_LE(count, 155u);
+}
+
+TEST(ShiDianNaoTest, FrameEnergyAnchor)
+{
+    const double e = shiDianNaoEnergyJ(227, 227);
+    // Per-patch energy x realized patch count ~ 2.18 mJ.
+    EXPECT_NEAR(e, 2.18e-3, 0.25e-3);
+}
+
+TEST(ShiDianNaoTest, SystemComparisonFavorsRedEye)
+{
+    // Section V-B: accelerator + sensor > 3.2 mJ vs RedEye Depth4's
+    // 1.3 mJ -> ~59% reduction.
+    const double accel = shiDianNaoEnergyJ(227, 227) + 1.1e-3;
+    EXPECT_GT(accel, 3.1e-3);
+    const double reduction = 1.0 - 1.3e-3 / accel;
+    EXPECT_NEAR(reduction, 0.59, 0.04);
+}
+
+TEST(ShiDianNaoTest, EnergyScalesWithFrameArea)
+{
+    EXPECT_GT(shiDianNaoEnergyJ(454, 454),
+              3.5 * shiDianNaoEnergyJ(227, 227));
+}
+
+TEST(ShiDianNaoTest, SmallFrameFatal)
+{
+    EXPECT_EXIT(shiDianNaoPatchCount(32, 16),
+                ::testing::ExitedWithCode(1), "smaller");
+}
+
+} // namespace
+} // namespace sys
+} // namespace redeye

@@ -1,0 +1,169 @@
+/** @file Tests for im2col/col2im and the matmul kernels. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/im2col.hh"
+
+namespace redeye {
+namespace {
+
+TEST(WindowParamsTest, OutputExtents)
+{
+    WindowParams wp{3, 3, 1, 1, 0, 0};
+    EXPECT_EQ(wp.outH(5), 3u);
+    EXPECT_EQ(wp.outW(5), 3u);
+
+    WindowParams strided{3, 3, 2, 2, 1, 1};
+    EXPECT_EQ(strided.outH(5), 3u); // (5 + 2 - 3)/2 + 1
+}
+
+TEST(Im2ColTest, IdentityKernel)
+{
+    // 1x1 kernel: columns equal the image.
+    const std::vector<float> img{1, 2, 3, 4};
+    std::vector<float> cols;
+    im2col(img.data(), 1, 2, 2, WindowParams{1, 1, 1, 1, 0, 0}, cols);
+    EXPECT_EQ(cols, img);
+}
+
+TEST(Im2ColTest, KnownPatchLayout)
+{
+    // 1-channel 3x3 image, 2x2 kernel, stride 1, no pad -> 4 rows x
+    // 4 output positions.
+    const std::vector<float> img{1, 2, 3,
+                                 4, 5, 6,
+                                 7, 8, 9};
+    std::vector<float> cols;
+    im2col(img.data(), 1, 3, 3, WindowParams{2, 2, 1, 1, 0, 0}, cols);
+    ASSERT_EQ(cols.size(), 16u);
+    // Row 0 = kernel tap (0,0) over output positions.
+    EXPECT_EQ(std::vector<float>(cols.begin(), cols.begin() + 4),
+              (std::vector<float>{1, 2, 4, 5}));
+    // Row 3 = kernel tap (1,1).
+    EXPECT_EQ(std::vector<float>(cols.begin() + 12, cols.end()),
+              (std::vector<float>{5, 6, 8, 9}));
+}
+
+TEST(Im2ColTest, PaddingReadsZero)
+{
+    const std::vector<float> img{1, 2, 3, 4};
+    std::vector<float> cols;
+    im2col(img.data(), 1, 2, 2, WindowParams{3, 3, 1, 1, 1, 1}, cols);
+    ASSERT_EQ(cols.size(), 9u * 4u);
+    // Kernel tap (0,0) at output (0,0) reads the padded corner.
+    EXPECT_EQ(cols[0], 0.0f);
+    // Kernel tap (1,1) (row 4) at output (0,0) reads pixel (0,0).
+    EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+}
+
+TEST(Im2ColTest, MultiChannelRowsStacked)
+{
+    // 2 channels of 2x2, 1x1 kernel: rows = channels.
+    const std::vector<float> img{1, 2, 3, 4, 10, 20, 30, 40};
+    std::vector<float> cols;
+    im2col(img.data(), 2, 2, 2, WindowParams{1, 1, 1, 1, 0, 0}, cols);
+    ASSERT_EQ(cols.size(), 8u);
+    EXPECT_EQ(cols[0], 1.0f);
+    EXPECT_EQ(cols[4], 10.0f);
+}
+
+TEST(Col2ImTest, AdjointOfIm2Col)
+{
+    // <im2col(x), y> == <x, col2im(y)> for random x, y.
+    const std::size_t C = 2, H = 4, W = 4;
+    WindowParams wp{3, 3, 1, 1, 1, 1};
+    std::vector<float> x(C * H * W);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>((i * 37 % 11)) - 5.0f;
+
+    std::vector<float> cols;
+    im2col(x.data(), C, H, W, wp, cols);
+
+    std::vector<float> y(cols.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] = static_cast<float>((i * 13 % 7)) - 3.0f;
+
+    std::vector<float> back(C * H * W);
+    col2im(y, C, H, W, wp, back.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i)
+        lhs += static_cast<double>(cols[i]) * y[i];
+    for (std::size_t i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-6 * std::abs(lhs) + 1e-6);
+}
+
+TEST(MatmulTest, SmallKnownProduct)
+{
+    // A 2x3, B 3x2.
+    const std::vector<float> a{1, 2, 3, 4, 5, 6};
+    const std::vector<float> b{7, 8, 9, 10, 11, 12};
+    std::vector<float> c(4, -1.0f);
+    matmul(a.data(), b.data(), c.data(), 2, 3, 2);
+    EXPECT_EQ(c, (std::vector<float>{58, 64, 139, 154}));
+}
+
+TEST(MatmulTest, AccumulateAddsToExisting)
+{
+    const std::vector<float> a{1, 0, 0, 1};
+    const std::vector<float> b{5, 6, 7, 8};
+    std::vector<float> c{1, 1, 1, 1};
+    matmul(a.data(), b.data(), c.data(), 2, 2, 2, true);
+    EXPECT_EQ(c, (std::vector<float>{6, 7, 8, 9}));
+}
+
+TEST(MatmulTest, TransAMatchesExplicitTranspose)
+{
+    // A stored [k x m] = [2 x 3]; want A^T (3x2) * B (2x2).
+    const std::vector<float> a{1, 2, 3, 4, 5, 6};
+    const std::vector<float> b{1, 2, 3, 4};
+    std::vector<float> c(6);
+    matmulTransA(a.data(), b.data(), c.data(), 3, 2, 2);
+    // A^T = [[1,4],[2,5],[3,6]]
+    EXPECT_EQ(c, (std::vector<float>{13, 18, 17, 24, 21, 30}));
+}
+
+TEST(MatmulTest, TransBMatchesExplicitTranspose)
+{
+    // A (2x2) * B^T where B stored [n x k] = [3 x 2].
+    const std::vector<float> a{1, 2, 3, 4};
+    const std::vector<float> b{1, 2, 3, 4, 5, 6};
+    std::vector<float> c(6);
+    matmulTransB(a.data(), b.data(), c.data(), 2, 2, 3);
+    // B^T = [[1,3,5],[2,4,6]]
+    EXPECT_EQ(c, (std::vector<float>{5, 11, 17, 11, 25, 39}));
+}
+
+TEST(MatmulTest, CrossCheckVariants)
+{
+    // matmul(A, B) == matmulTransA(A^T stored, B) ==
+    // matmulTransB(A, B^T stored).
+    const std::size_t m = 3, k = 4, n = 5;
+    std::vector<float> a(m * k), at(k * m), b(k * n), bt(n * k);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t p = 0; p < k; ++p) {
+            a[i * k + p] = static_cast<float>((i * 7 + p * 3) % 5) -
+                           2.0f;
+            at[p * m + i] = a[i * k + p];
+        }
+    for (std::size_t p = 0; p < k; ++p)
+        for (std::size_t j = 0; j < n; ++j) {
+            b[p * n + j] = static_cast<float>((p * 5 + j * 2) % 7) -
+                           3.0f;
+            bt[j * k + p] = b[p * n + j];
+        }
+    std::vector<float> c1(m * n), c2(m * n), c3(m * n);
+    matmul(a.data(), b.data(), c1.data(), m, k, n);
+    matmulTransA(at.data(), b.data(), c2.data(), m, k, n);
+    matmulTransB(a.data(), bt.data(), c3.data(), m, k, n);
+    for (std::size_t i = 0; i < c1.size(); ++i) {
+        EXPECT_FLOAT_EQ(c1[i], c2[i]);
+        EXPECT_FLOAT_EQ(c1[i], c3[i]);
+    }
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,60 @@
+/** @file Tests for NCHW Shape. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/shape.hh"
+
+namespace redeye {
+namespace {
+
+TEST(ShapeTest, SizeAndSlices)
+{
+    Shape s(2, 3, 4, 5);
+    EXPECT_EQ(s.size(), 120u);
+    EXPECT_EQ(s.sliceSize(), 60u);
+    EXPECT_EQ(s.planeSize(), 20u);
+}
+
+TEST(ShapeTest, IndexIsRowMajorNchw)
+{
+    Shape s(2, 3, 4, 5);
+    EXPECT_EQ(s.index(0, 0, 0, 0), 0u);
+    EXPECT_EQ(s.index(0, 0, 0, 1), 1u);
+    EXPECT_EQ(s.index(0, 0, 1, 0), 5u);
+    EXPECT_EQ(s.index(0, 1, 0, 0), 20u);
+    EXPECT_EQ(s.index(1, 0, 0, 0), 60u);
+    EXPECT_EQ(s.index(1, 2, 3, 4), 119u);
+}
+
+TEST(ShapeTest, IndexIsDense)
+{
+    Shape s(2, 2, 3, 3);
+    std::size_t expected = 0;
+    for (std::size_t n = 0; n < s.n; ++n)
+        for (std::size_t c = 0; c < s.c; ++c)
+            for (std::size_t h = 0; h < s.h; ++h)
+                for (std::size_t w = 0; w < s.w; ++w)
+                    EXPECT_EQ(s.index(n, c, h, w), expected++);
+}
+
+TEST(ShapeTest, ValidRequiresAllExtents)
+{
+    EXPECT_TRUE(Shape(1, 1, 1, 1).valid());
+    EXPECT_FALSE(Shape(0, 1, 1, 1).valid());
+    EXPECT_FALSE(Shape(1, 0, 1, 1).valid());
+    EXPECT_FALSE(Shape().valid());
+}
+
+TEST(ShapeTest, Equality)
+{
+    EXPECT_EQ(Shape(1, 2, 3, 4), Shape(1, 2, 3, 4));
+    EXPECT_NE(Shape(1, 2, 3, 4), Shape(1, 2, 4, 3));
+}
+
+TEST(ShapeTest, StringForm)
+{
+    EXPECT_EQ(Shape(1, 3, 227, 227).str(), "1x3x227x227");
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,32 @@
+#include <cstdio>
+#include "models/googlenet.hh"
+#include "models/partition.hh"
+#include "redeye/compiler.hh"
+#include "redeye/energy_model.hh"
+#include "analog/noise_damping.hh"
+using namespace redeye;
+int main() {
+    auto net = models::buildGoogLeNet(227);
+    arch::RedEyeConfig cfg; cfg.columns = 227;
+    for (unsigned d = 1; d <= 5; ++d) {
+        const auto layers = models::googLeNetAnalogLayers(d);
+        const auto prog = arch::compile(*net, layers, cfg);
+        arch::RedEyeModel m(prog, cfg);
+        auto est = m.estimateFrame();
+        std::printf("depth%u: analog=%.1f uJ total=%.2f mJ time=%.2f ms out=%.0f B cut=%s\n",
+            d, est.energy.analogJ()*1e6, est.energy.totalJ()*1e3,
+            est.analogTimeS*1e3, est.outputBytes,
+            prog.instructions().back().inShape.str().c_str());
+    }
+    // Table I modes
+    for (double snr : {40.0, 50.0, 60.0}) {
+        arch::RedEyeConfig c2 = cfg; c2.convSnrDb = snr;
+        const auto layers = models::googLeNetAnalogLayers(5);
+        const auto prog = arch::compile(*net, layers, c2);
+        arch::RedEyeModel m(prog, c2);
+        auto est = m.estimateFrame();
+        std::printf("mode %2.0fdB cap=%.0ffF energy=%.2f mJ\n", snr,
+            analog::dampingCapForSnr(snr)*1e15, est.energy.analogJ()*1e3);
+    }
+    return 0;
+}

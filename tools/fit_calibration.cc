@@ -1,0 +1,61 @@
+// Calibration fitting tool: computes the raw (uncalibrated) model
+// outputs at the paper's anchor configurations and prints the scale
+// factors that make the anchors exact. Run once; constants go into
+// src/redeye/calibration.cc.
+#include <cstdio>
+#include "models/googlenet.hh"
+#include "models/partition.hh"
+#include "redeye/compiler.hh"
+#include "redeye/energy_model.hh"
+
+using namespace redeye;
+
+int main() {
+    auto net = models::buildGoogLeNet(227);
+    arch::RedEyeConfig cfg;          // 4-bit, 40 dB, 30 fps
+    cfg.columns = 227;
+
+    const auto layers5 = models::googLeNetAnalogLayers(5);
+    const auto prog5 = arch::compile(*net, layers5, cfg);
+    arch::RedEyeModel raw5(prog5, cfg, analog::ProcessParams::typical(),
+                           arch::Calibration::raw());
+    const auto est5 = raw5.estimateFrame();
+
+    std::printf("depth5 macs            : %zu\n", prog5.totalMacs());
+    std::printf("depth5 raw mac+mem+cmp : %.6e J\n",
+                est5.energy.macJ + est5.energy.memoryJ + est5.energy.comparatorJ);
+    std::printf("  macJ=%.3e memJ=%.3e cmpJ=%.3e adcJ=%.3e\n",
+                est5.energy.macJ, est5.energy.memoryJ,
+                est5.energy.comparatorJ, est5.energy.readoutJ);
+    std::printf("depth5 raw time        : %.6e s\n", est5.analogTimeS);
+
+    // readout: raw 10-bit conversion energy vs 7.116 nJ anchor
+    arch::RedEyeConfig cfg10 = cfg; cfg10.adcBits = 10;
+    arch::RedEyeModel raw10(prog5, cfg10, analog::ProcessParams::typical(),
+                            arch::Calibration::raw());
+    const double raw_conv10 = raw10.conversionEnergyJ();
+    const double anchor10 = 1.1e-3 / (227.0*227.0*3.0);
+    std::printf("raw 10-bit conversion  : %.6e J\n", raw_conv10);
+    std::printf("readoutScale           : %.6f\n", anchor10 / raw_conv10);
+
+    // analogScale: make depth5 (mac+mem+cmp) + calibrated readout = 1.4 mJ
+    const double readout_scale = anchor10 / raw_conv10;
+    arch::RedEyeModel raw4(prog5, cfg, analog::ProcessParams::typical(),
+                           arch::Calibration::raw());
+    const double readout4 = raw4.estimateFrame().energy.readoutJ * readout_scale;
+    const double proc_raw = est5.energy.macJ + est5.energy.memoryJ + est5.energy.comparatorJ;
+    std::printf("calibrated depth5 readout(4b): %.6e J\n", readout4);
+    std::printf("analogScale            : %.6f\n", (1.4e-3 - readout4) / proc_raw);
+
+    // timingScale: depth5 frame in 32 ms
+    std::printf("timingScale            : %.6f\n", 32e-3 / est5.analogTimeS);
+
+    // sanity: depth1
+    const auto layers1 = models::googLeNetAnalogLayers(1);
+    const auto prog1 = arch::compile(*net, layers1, cfg);
+    std::printf("depth1 macs            : %zu\n", prog1.totalMacs());
+    std::printf("full googlenet macs    : %zu\n", net->totalMacs());
+    std::printf("depth5 tail macs       : %zu\n",
+                models::digitalTailMacs(*net, layers5));
+    return 0;
+}

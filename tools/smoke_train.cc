@@ -1,0 +1,27 @@
+// Quick trainability check of MiniGoogLeNet on the shapes dataset.
+#include <cstdio>
+#include <ctime>
+#include "core/rng.hh"
+#include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
+#include "sim/evaluator.hh"
+#include "sim/training.hh"
+using namespace redeye;
+int main() {
+    Rng rng(42);
+    data::ShapesParams sp;
+    auto train = data::generateShapes(120, sp, rng);
+    auto val = data::generateShapes(30, sp, rng);
+    Rng wrng(7);
+    auto net = models::buildMiniGoogLeNet(data::kShapeClasses, wrng);
+    sim::TrainOptions topt;
+    topt.epochs = 4;
+    topt.verbose = true;
+    std::clock_t t0 = std::clock();
+    auto tr = sim::trainClassifier(*net, train, topt);
+    double secs = double(std::clock() - t0) / CLOCKS_PER_SEC;
+    auto ev = sim::evaluate(*net, val);
+    std::printf("loss=%.3f iters=%zu top1=%.3f top5=%.3f (%.1fs)\n",
+                tr.finalLoss, tr.iterations, ev.top1, ev.topN, secs);
+    return 0;
+}
