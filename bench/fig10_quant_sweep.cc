@@ -32,6 +32,7 @@ main()
     const std::vector<unsigned> bits{10, 8, 7, 6, 5, 4, 3, 2, 1};
     sim::EvalOptions opt;
     opt.topN = 5;
+    opt.threads = 0; // auto: REDEYE_THREADS or hardware concurrency
     const auto points = sim::accuracyVsBits(*setup.net, handles,
                                             setup.val, bits, 40.0,
                                             opt);

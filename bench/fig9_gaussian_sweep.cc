@@ -46,6 +46,7 @@ main()
                                    10.0, 5.0};
     sim::EvalOptions opt;
     opt.topN = 5;
+    opt.threads = 0; // auto: REDEYE_THREADS or hardware concurrency
     const auto std_pts = sim::accuracyVsSnr(
         *standard.net, std_handles, standard.val, snrs, 4, opt);
     const auto hard_pts = sim::accuracyVsSnr(

@@ -79,6 +79,7 @@ main()
             }
             sim::EvalOptions opt;
             opt.topN = 5;
+            opt.threads = 0; // auto thread count
             opt.sensor = sp;
             const auto r = sim::evaluate(*setup.net, setup.val, opt);
             cells.push_back(fmtPercent(r.top1));

@@ -1,14 +1,16 @@
 /**
  * @file
  * Microbenchmarks of the ConvNet substrate: convolution forward and
- * backward throughput, noise-layer overheads, and dataset
- * generation.
+ * backward throughput, noise-layer overheads, dataset generation,
+ * and serial-vs-parallel network forward scaling.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "core/exec.hh"
 #include "core/rng.hh"
 #include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
 #include "nn/conv.hh"
 #include "nn/pool.hh"
 #include "noise/gaussian_layer.hh"
@@ -124,6 +126,43 @@ BM_QuantizationNoiseLayer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_QuantizationNoiseLayer);
+
+/**
+ * Batched forward through the depth-4 MiniGoogLeNet analog partition
+ * under an ExecContext with Arg(0) threads. Run with Arg(1) for the
+ * serial baseline; the "items/s" counter makes the serial-vs-parallel
+ * comparison directly readable.
+ */
+void
+BM_MiniPartitionForward(benchmark::State &state)
+{
+    const std::size_t threads =
+        static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kBatch = 16;
+
+    Rng rng(10);
+    auto net = models::buildMiniGoogLeNetPrefix(4, rng);
+    Tensor x(Shape(kBatch, 3, models::kMiniInputSize,
+                   models::kMiniInputSize));
+    x.fillGaussian(rng, 0.5f, 0.25f);
+
+    ThreadPool pool(threads);
+    ExecContext ctx(pool);
+    for (auto _ : state) {
+        const Tensor &y = net->forward(x, ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["items/s"] = benchmark::Counter(
+        static_cast<double>(kBatch),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MiniPartitionForward)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_RenderShape(benchmark::State &state)

@@ -60,6 +60,7 @@ main()
     opt.epochs = 16; // noisy gradients converge slower
     opt.solver.lrStep = 220;
     opt.solver.lrDecay = 0.5;
+    opt.threads = 0; // auto: REDEYE_THREADS or hardware concurrency
     sim::trainClassifier(*aware, train, opt);
     nn::quantizeNetworkWeights(*aware, 8);
 
@@ -68,6 +69,7 @@ main()
                                    8.0, 6.0};
     sim::EvalOptions eopt;
     eopt.topN = 5;
+    eopt.threads = 0;
     const auto base_pts = sim::accuracyVsSnr(
         *baseline.net, base_handles, val, snrs, 4, eopt);
     const auto aware_pts = sim::accuracyVsSnr(

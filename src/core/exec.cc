@@ -1,0 +1,183 @@
+#include "core/exec.hh"
+
+#include <cstdlib>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+namespace {
+
+/** Set while the current thread executes chunks for some pool. */
+thread_local bool t_inside_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads)
+{
+    fatal_if(threads_ == 0, "thread pool needs at least one thread");
+    workers_.reserve(threads_ - 1);
+    for (std::size_t i = 0; i + 1 < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return t_inside_worker;
+}
+
+void
+ThreadPool::executeChunks(std::unique_lock<std::mutex> &lock)
+{
+    // Pull chunks until the current generation's supply is exhausted.
+    // Called with the lock held; releases it around user code.
+    while (nextChunk_ < chunkCount_) {
+        const std::size_t chunk = nextChunk_++;
+        const auto *fn = fn_;
+        lock.unlock();
+        t_inside_worker = true;
+        try {
+            (*fn)(chunk);
+        } catch (...) {
+            t_inside_worker = false;
+            lock.lock();
+            if (!error_)
+                error_ = std::current_exception();
+            if (--pending_ == 0)
+                done_.notify_all();
+            continue;
+        }
+        t_inside_worker = false;
+        lock.lock();
+        if (--pending_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock,
+                   [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        executeChunks(lock);
+    }
+}
+
+void
+ThreadPool::run(std::size_t chunks,
+                const std::function<void(std::size_t)> &fn)
+{
+    if (chunks == 0)
+        return;
+    if (threads_ == 1 || chunks == 1 || insideWorker()) {
+        // Serial pool, single chunk, or a nested run() from inside a
+        // chunk: execute inline.
+        for (std::size_t c = 0; c < chunks; ++c)
+            fn(c);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    panic_if(pending_ != 0, "ThreadPool::run() is not reentrant "
+                            "across external threads");
+    fn_ = &fn;
+    chunkCount_ = chunks;
+    nextChunk_ = 0;
+    pending_ = chunks;
+    error_ = nullptr;
+    ++generation_;
+    wake_.notify_all();
+
+    // The caller works too.
+    executeChunks(lock);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    chunkCount_ = 0;
+
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+ExecContext &
+ExecContext::serial()
+{
+    static ExecContext ctx;
+    return ctx;
+}
+
+void
+parallelForChunks(
+    ExecContext &ctx, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &fn)
+{
+    if (n == 0)
+        return;
+    ThreadPool *pool = ctx.pool();
+    const std::size_t threads = ctx.threads();
+    if (!pool || threads == 1 || n == 1) {
+        fn(0, n, 0);
+        return;
+    }
+    const std::size_t chunks = std::min(threads, n);
+    pool->run(chunks, [&](std::size_t c) {
+        const std::size_t begin = n * c / chunks;
+        const std::size_t end = n * (c + 1) / chunks;
+        fn(begin, end, c);
+    });
+}
+
+void
+parallelFor(ExecContext &ctx, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    parallelForChunks(ctx, n,
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t chunk) {
+                          (void)chunk;
+                          for (std::size_t i = begin; i < end; ++i)
+                              fn(i);
+                      });
+}
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("REDEYE_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+resolveThreadCount(std::size_t requested)
+{
+    return requested == 0 ? defaultThreadCount() : requested;
+}
+
+} // namespace redeye

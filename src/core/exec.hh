@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Execution context: pooled parallelism for the ConvNet + simulation
+ * stack.
+ *
+ * Every hot path in the framework (layer batch loops, the noise
+ * sweeps, the evaluator) is expressed as an index-parallel loop over
+ * independent work items. ExecContext carries the runtime resources
+ * those loops need — a ThreadPool handle and optional per-layer
+ * timing hooks — and parallelFor() runs a loop either inline (serial
+ * context) or across the pool with static contiguous chunking.
+ *
+ * Determinism contract:
+ *  - forward passes are bit-identical at any thread count: each work
+ *    item writes a disjoint output range and stochastic layers derive
+ *    per-item counter-based RNG streams (see core/rng.hh), so neither
+ *    scheduling order nor chunk boundaries can change results;
+ *  - backward passes reduce per-chunk parameter-gradient scratch in
+ *    chunk order, which is deterministic for a fixed thread count
+ *    (floating-point accumulation order depends on the chunking).
+ */
+
+#ifndef REDEYE_CORE_EXEC_HH
+#define REDEYE_CORE_EXEC_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace redeye {
+
+/**
+ * Fixed-size pool of worker threads executing chunked index ranges.
+ *
+ * A pool constructed with `threads` provides `threads`-way
+ * concurrency: `threads - 1` persistent workers plus the calling
+ * thread, which participates in chunk execution while it waits.
+ * run() is blocking and must not be invoked concurrently from
+ * multiple external threads; a nested run() issued from inside a
+ * chunk executes inline (serially) instead of deadlocking.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Total concurrency (>= 1). */
+    explicit ThreadPool(std::size_t threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + caller). */
+    std::size_t threads() const { return threads_; }
+
+    /**
+     * Execute @p fn(chunk) for every chunk in [0, chunks). Blocks
+     * until all chunks finish. The first exception thrown by any
+     * chunk is rethrown here after the loop completes.
+     */
+    void run(std::size_t chunks,
+             const std::function<void(std::size_t)> &fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool insideWorker();
+
+  private:
+    void workerLoop();
+    void executeChunks(std::unique_lock<std::mutex> &lock);
+
+    std::size_t threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t chunkCount_ = 0;
+    std::size_t nextChunk_ = 0;
+    std::size_t pending_ = 0;
+    std::uint64_t generation_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * Runtime context threaded through Network/Layer forward and
+ * backward. A default-constructed context is serial; attach a
+ * ThreadPool for parallel execution. The context does not own the
+ * pool.
+ */
+class ExecContext
+{
+  public:
+    /** Hook invoked after each layer: (layer name, seconds). */
+    using LayerTimer =
+        std::function<void(const std::string &, double)>;
+
+    /** Serial context (no pool, no timing). */
+    ExecContext() = default;
+
+    /** Context executing on @p pool. */
+    explicit ExecContext(ThreadPool &pool) : pool_(&pool) {}
+
+    /** Attached pool, or nullptr when serial. */
+    ThreadPool *pool() const { return pool_; }
+
+    /** Effective concurrency (1 when serial). */
+    std::size_t
+    threads() const
+    {
+        return pool_ ? pool_->threads() : 1;
+    }
+
+    /**
+     * Install a per-layer timing hook; Network::forward/backward
+     * invoke it once per layer. Pass nullptr to clear.
+     */
+    void setLayerTimer(LayerTimer timer) { timer_ = std::move(timer); }
+
+    const LayerTimer &layerTimer() const { return timer_; }
+
+    /**
+     * Process-wide serial context, used by the compatibility
+     * overloads that omit the context argument. Do not install a
+     * timer on it.
+     */
+    static ExecContext &serial();
+
+  private:
+    ThreadPool *pool_ = nullptr;
+    LayerTimer timer_;
+};
+
+/**
+ * Run @p fn(begin, end, chunk) over a static contiguous partition of
+ * [0, n) into min(ctx.threads(), n) chunks. Chunk boundaries depend
+ * only on n and the thread count, never on scheduling, so loops whose
+ * chunks write disjoint state are deterministic. @p chunk indexes
+ * per-chunk scratch (always < ctx.threads()).
+ */
+void parallelForChunks(
+    ExecContext &ctx, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>
+        &fn);
+
+/**
+ * Run @p fn(i) for every i in [0, n), potentially in parallel.
+ * Iterations must be independent.
+ */
+void parallelFor(ExecContext &ctx, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Thread count selected by the environment: REDEYE_THREADS when set
+ * to a positive integer, otherwise std::thread::hardware_concurrency
+ * (at least 1).
+ */
+std::size_t defaultThreadCount();
+
+/** Map a user-facing thread knob: 0 = defaultThreadCount(), else n. */
+std::size_t resolveThreadCount(std::size_t requested);
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_EXEC_HH

@@ -6,6 +6,30 @@
  * seeded Rng so that whole experiments are bit-reproducible. Rng
  * supports fork(), deriving an independent child stream, so modules
  * can be given private streams without coupling their consumption.
+ *
+ * ## Counter-based per-item streams
+ *
+ * Stochastic layers (Gaussian/quantization noise, the sensor
+ * sampling model, dropout) do not draw from one sequential engine
+ * across a batch. Instead each forward pass derives one independent
+ * stream per batch item from a (seed, pass, item) counter triple:
+ *
+ *     stream(seed, pass, item) =
+ *         Rng(splitmix64(seed ^ splitmix64(pass * kPassSalt + item)))
+ *
+ * where `seed` is the layer's private base seed, `pass` counts the
+ * layer's noisy forward passes, and `item` is the batch index. The
+ * scheme makes the realized noise
+ *
+ *  - independent of thread count and scheduling: item i's draws come
+ *    from its own engine regardless of which worker runs it;
+ *  - independent of batch partitioning order within a pass: draws for
+ *    item i never consume state that item j produced;
+ *  - fresh across passes: the pass counter advances per forward, so
+ *    repeated evaluations of the same batch see new noise, exactly
+ *    like the old sequential-engine behaviour.
+ *
+ * streamRng() below implements the derivation.
  */
 
 #ifndef REDEYE_CORE_RNG_HH
@@ -87,6 +111,33 @@ class Rng
   private:
     std::mt19937_64 engine_;
 };
+
+/**
+ * SplitMix64 finalizer: a bijective 64-bit mixer with full avalanche,
+ * used to decorrelate counter-derived seeds.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Salt separating pass counters from item indices in streamRng(). */
+inline constexpr std::uint64_t kPassSalt = 0x2545f4914f6cdd1dULL;
+
+/**
+ * Counter-based per-item stream: an Rng that depends only on the
+ * (seed, pass, item) triple. See the file comment for the scheme and
+ * its determinism guarantees.
+ */
+inline Rng
+streamRng(std::uint64_t seed, std::uint64_t pass, std::uint64_t item)
+{
+    return Rng(splitmix64(seed ^ splitmix64(pass * kPassSalt + item)));
+}
 
 } // namespace redeye
 

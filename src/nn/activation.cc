@@ -13,27 +13,36 @@ ReluLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-ReluLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+ReluLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                   ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     if (out.shape() != x.shape())
         out = Tensor(x.shape());
-    for (std::size_t i = 0; i < x.size(); ++i)
-        out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    parallelForChunks(ctx, x.size(),
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t) {
+                          for (std::size_t i = begin; i < end; ++i)
+                              out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+                      });
 }
 
 void
 ReluLayer::backward(const std::vector<const Tensor *> &in,
                     const Tensor &out, const Tensor &out_grad,
-                    std::vector<Tensor> &in_grads)
+                    std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     (void)out;
     const Tensor &x = *in[0];
     Tensor &dx = in_grads[0];
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        if (x[i] > 0.0f)
-            dx[i] += out_grad[i];
-    }
+    parallelForChunks(ctx, x.size(),
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                              if (x[i] > 0.0f)
+                                  dx[i] += out_grad[i];
+                          }
+                      });
 }
 
 } // namespace nn

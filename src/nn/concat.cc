@@ -23,7 +23,8 @@ ConcatLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                     ExecContext &ctx)
 {
     std::vector<Shape> shapes;
     shapes.reserve(in.size());
@@ -33,7 +34,7 @@ ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
     if (out.shape() != os)
         out = Tensor(os);
 
-    for (std::size_t n = 0; n < os.n; ++n) {
+    parallelFor(ctx, os.n, [&](std::size_t n) {
         std::size_t c_off = 0;
         for (const Tensor *t : in) {
             const Shape &is = t->shape();
@@ -42,16 +43,16 @@ ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
                         t->data() + is.index(n, 0, 0, 0), bytes);
             c_off += is.c;
         }
-    }
+    });
 }
 
 void
 ConcatLayer::backward(const std::vector<const Tensor *> &in,
                       const Tensor &out, const Tensor &out_grad,
-                      std::vector<Tensor> &in_grads)
+                      std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     const Shape &os = out.shape();
-    for (std::size_t n = 0; n < os.n; ++n) {
+    parallelFor(ctx, os.n, [&](std::size_t n) {
         std::size_t c_off = 0;
         for (std::size_t i = 0; i < in.size(); ++i) {
             const Shape &is = in[i]->shape();
@@ -63,7 +64,7 @@ ConcatLayer::backward(const std::vector<const Tensor *> &in,
                 dst[j] += src[j];
             c_off += is.c;
         }
-    }
+    });
 }
 
 } // namespace nn

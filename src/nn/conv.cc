@@ -1,5 +1,6 @@
 #include "nn/conv.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/logging.hh"
@@ -62,7 +63,7 @@ ConvolutionLayer::outputShape(const std::vector<Shape> &in) const
 
 void
 ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
-                          Tensor &out)
+                          Tensor &out, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
@@ -76,25 +77,30 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
     const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
     const std::size_t ohw = os.h * os.w;
 
-    for (std::size_t n = 0; n < is.n; ++n) {
-        for (std::size_t g = 0; g < groups; ++g) {
-            const float *img = x.data() +
-                               x.shape().index(n, g * in_cg, 0, 0);
-            im2col(img, in_cg, is.h, is.w, window_, colBuf_);
-            const float *w = weights_.data() + g * out_cg * k;
-            float *o = out.data() + out.shape().index(n, g * out_cg,
-                                                      0, 0);
-            matmul(w, colBuf_.data(), o, out_cg, k, ohw);
-        }
-        if (params_.bias) {
-            for (std::size_t c = 0; c < os.c; ++c) {
-                const float b = biases_[c];
-                float *o = out.data() + out.shape().index(n, c, 0, 0);
-                for (std::size_t i = 0; i < ohw; ++i)
-                    o[i] += b;
+    // Batch items are independent: each chunk lowers its items with a
+    // private column buffer and writes a disjoint output range.
+    parallelForChunks(ctx, is.n, [&](std::size_t n0, std::size_t n1,
+                                     std::size_t) {
+        std::vector<float> cols;
+        for (std::size_t n = n0; n < n1; ++n) {
+            for (std::size_t g = 0; g < groups; ++g) {
+                const float *img = x.data() +
+                                   is.index(n, g * in_cg, 0, 0);
+                im2col(img, in_cg, is.h, is.w, window_, cols);
+                const float *w = weights_.data() + g * out_cg * k;
+                float *o = out.data() + os.index(n, g * out_cg, 0, 0);
+                matmul(w, cols.data(), o, out_cg, k, ohw);
+            }
+            if (params_.bias) {
+                for (std::size_t c = 0; c < os.c; ++c) {
+                    const float b = biases_[c];
+                    float *o = out.data() + os.index(n, c, 0, 0);
+                    for (std::size_t i = 0; i < ohw; ++i)
+                        o[i] += b;
+                }
             }
         }
-    }
+    });
 
     if (clip_)
         out.clamp(-*clip_, *clip_);
@@ -103,7 +109,8 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
 void
 ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
                            const Tensor &out, const Tensor &out_grad,
-                           std::vector<Tensor> &in_grads)
+                           std::vector<Tensor> &in_grads,
+                           ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
@@ -127,42 +134,75 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
     const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
     const std::size_t ohw = os.h * os.w;
 
+    // dx rows are disjoint per item; parameter gradients accumulate
+    // into per-chunk scratch and reduce in chunk order afterwards.
+    const std::size_t slots = std::min(ctx.threads(),
+                                       std::max<std::size_t>(is.n, 1));
+    std::vector<std::vector<float>> dw_slots(slots);
+    std::vector<std::vector<double>> db_slots(slots);
+
     Tensor &dx = in_grads[0];
-    for (std::size_t n = 0; n < is.n; ++n) {
-        for (std::size_t g = 0; g < groups; ++g) {
-            const float *img = x.data() +
-                               x.shape().index(n, g * in_cg, 0, 0);
-            im2col(img, in_cg, is.h, is.w, window_, colBuf_);
+    parallelForChunks(ctx, is.n, [&](std::size_t n0, std::size_t n1,
+                                     std::size_t slot) {
+        auto &dw_acc = dw_slots[slot];
+        dw_acc.assign(weightGrad_.size(), 0.0f);
+        auto &db_acc = db_slots[slot];
+        if (params_.bias)
+            db_acc.assign(os.c, 0.0);
 
-            const float *go = g_out->data() +
-                              os.index(n, g * out_cg, 0, 0);
-            float *dw = weightGrad_.data() + g * out_cg * k;
-            // dW[out_cg x k] += G[out_cg x ohw] * cols^T.
-            matmulTransB(go, colBuf_.data(), dw, out_cg, ohw, k, true);
+        std::vector<float> cols;
+        std::vector<float> col_grad;
+        std::vector<float> img_grad;
+        for (std::size_t n = n0; n < n1; ++n) {
+            for (std::size_t g = 0; g < groups; ++g) {
+                const float *img = x.data() +
+                                   is.index(n, g * in_cg, 0, 0);
+                im2col(img, in_cg, is.h, is.w, window_, cols);
 
-            // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
-            colGradBuf_.assign(k * ohw, 0.0f);
-            const float *w = weights_.data() + g * out_cg * k;
-            matmulTransA(w, go, colGradBuf_.data(), k, out_cg, ohw,
-                         true);
+                const float *go = g_out->data() +
+                                  os.index(n, g * out_cg, 0, 0);
+                float *dw = dw_acc.data() + g * out_cg * k;
+                // dW[out_cg x k] += G[out_cg x ohw] * cols^T.
+                matmulTransB(go, cols.data(), dw, out_cg, ohw, k,
+                             true);
 
-            // Scatter into a scratch image, then accumulate, so that
-            // other consumers' contributions to dx are preserved.
-            imgGradBuf_.assign(in_cg * is.h * is.w, 0.0f);
-            col2im(colGradBuf_, in_cg, is.h, is.w, window_,
-                   imgGradBuf_.data());
-            float *dimg = dx.data() + is.index(n, g * in_cg, 0, 0);
-            for (std::size_t i = 0; i < imgGradBuf_.size(); ++i)
-                dimg[i] += imgGradBuf_[i];
-        }
-        if (params_.bias) {
-            for (std::size_t c = 0; c < os.c; ++c) {
-                const float *go = g_out->data() + os.index(n, c, 0, 0);
-                double acc = 0.0;
-                for (std::size_t i = 0; i < ohw; ++i)
-                    acc += go[i];
-                biasGrad_[c] += static_cast<float>(acc);
+                // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
+                col_grad.assign(k * ohw, 0.0f);
+                const float *w = weights_.data() + g * out_cg * k;
+                matmulTransA(w, go, col_grad.data(), k, out_cg, ohw,
+                             true);
+
+                // Scatter into a scratch image, then accumulate, so
+                // that other consumers' contributions to dx are
+                // preserved.
+                img_grad.assign(in_cg * is.h * is.w, 0.0f);
+                col2im(col_grad, in_cg, is.h, is.w, window_,
+                       img_grad.data());
+                float *dimg = dx.data() + is.index(n, g * in_cg, 0, 0);
+                for (std::size_t i = 0; i < img_grad.size(); ++i)
+                    dimg[i] += img_grad[i];
             }
+            if (params_.bias) {
+                for (std::size_t c = 0; c < os.c; ++c) {
+                    const float *go = g_out->data() +
+                                      os.index(n, c, 0, 0);
+                    double acc = 0.0;
+                    for (std::size_t i = 0; i < ohw; ++i)
+                        acc += go[i];
+                    db_acc[c] += acc;
+                }
+            }
+        }
+    });
+
+    for (std::size_t s = 0; s < slots; ++s) {
+        if (dw_slots[s].empty())
+            continue;
+        for (std::size_t i = 0; i < weightGrad_.size(); ++i)
+            weightGrad_[i] += dw_slots[s][i];
+        if (params_.bias) {
+            for (std::size_t c = 0; c < os.c; ++c)
+                biasGrad_[c] += static_cast<float>(db_slots[s][c]);
         }
     }
 }

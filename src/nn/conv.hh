@@ -61,12 +61,16 @@ class ConvolutionLayer : public Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     std::vector<Tensor *> params() override;
     std::vector<Tensor *> paramGrads() override;
@@ -105,11 +109,6 @@ class ConvolutionLayer : public Layer
     mutable Tensor weightGrad_;
     mutable Tensor biasGrad_;
     std::optional<float> clip_;
-
-    // Scratch buffers reused across forward/backward calls.
-    std::vector<float> colBuf_;
-    std::vector<float> colGradBuf_;
-    std::vector<float> imgGradBuf_;
 };
 
 } // namespace nn

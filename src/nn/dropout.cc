@@ -6,7 +6,7 @@ namespace redeye {
 namespace nn {
 
 DropoutLayer::DropoutLayer(std::string name, float ratio, Rng rng)
-    : Layer(std::move(name)), ratio_(ratio), rng_(rng)
+    : Layer(std::move(name)), ratio_(ratio), seed_(rng.raw())
 {
     fatal_if(ratio_ < 0.0f || ratio_ >= 1.0f, "dropout '", this->name(),
              "': ratio must be in [0, 1), got ", ratio_);
@@ -20,7 +20,8 @@ DropoutLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     if (out.shape() != x.shape())
@@ -34,16 +35,24 @@ DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
 
     const float keep = 1.0f - ratio_;
     mask_.resize(x.size());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        mask_[i] = rng_.bernoulli(keep) ? 1.0f / keep : 0.0f;
-        out[i] = x[i] * mask_[i];
-    }
+    const std::size_t slice = x.shape().sliceSize();
+    const std::uint64_t pass = pass_++;
+    // One counter-based stream per batch item (core/rng.hh): the
+    // mask is bit-identical at any thread count.
+    parallelFor(ctx, x.shape().n, [&](std::size_t n) {
+        Rng stream = streamRng(seed_, pass, n);
+        const std::size_t begin = n * slice;
+        for (std::size_t i = begin; i < begin + slice; ++i) {
+            mask_[i] = stream.bernoulli(keep) ? 1.0f / keep : 0.0f;
+            out[i] = x[i] * mask_[i];
+        }
+    });
 }
 
 void
 DropoutLayer::backward(const std::vector<const Tensor *> &in,
                        const Tensor &out, const Tensor &out_grad,
-                       std::vector<Tensor> &in_grads)
+                       std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     (void)in;
     (void)out;
@@ -52,8 +61,12 @@ DropoutLayer::backward(const std::vector<const Tensor *> &in,
         dx.add(out_grad);
         return;
     }
-    for (std::size_t i = 0; i < dx.size(); ++i)
-        dx[i] += out_grad[i] * mask_[i];
+    parallelForChunks(ctx, dx.size(),
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t) {
+                          for (std::size_t i = begin; i < end; ++i)
+                              dx[i] += out_grad[i] * mask_[i];
+                      });
 }
 
 } // namespace nn

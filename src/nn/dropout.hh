@@ -29,18 +29,23 @@ class DropoutLayer : public Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     float ratio() const { return ratio_; }
 
   private:
     float ratio_;
-    Rng rng_;
+    std::uint64_t seed_;   ///< base of the per-item mask streams
+    std::uint64_t pass_ = 0; ///< counts masked forward passes
     std::vector<float> mask_;
 };
 

@@ -1,5 +1,6 @@
 #include "nn/inner_product.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/logging.hh"
@@ -43,7 +44,7 @@ InnerProductLayer::outputShape(const std::vector<Shape> &in) const
 
 void
 InnerProductLayer::forward(const std::vector<const Tensor *> &in,
-                           Tensor &out)
+                           Tensor &out, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const std::size_t batch = x.shape().n;
@@ -52,7 +53,7 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
     if (out.shape() != os)
         out = Tensor(os);
 
-    for (std::size_t n = 0; n < batch; ++n) {
+    parallelFor(ctx, batch, [&](std::size_t n) {
         const float *xi = x.data() + n * inputs;
         float *oi = out.data() + n * outputs_;
         // out = W[outputs x inputs] * x.
@@ -61,13 +62,14 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
             for (std::size_t o = 0; o < outputs_; ++o)
                 oi[o] += biases_[o];
         }
-    }
+    });
 }
 
 void
 InnerProductLayer::backward(const std::vector<const Tensor *> &in,
                             const Tensor &out, const Tensor &out_grad,
-                            std::vector<Tensor> &in_grads)
+                            std::vector<Tensor> &in_grads,
+                            ExecContext &ctx)
 {
     (void)out;
     const Tensor &x = *in[0];
@@ -75,26 +77,53 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
     const std::size_t inputs = x.shape().sliceSize();
     Tensor &dx = in_grads[0];
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        const float *xi = x.data() + n * inputs;
-        const float *go = out_grad.data() + n * outputs_;
-        float *dxi = dx.data() + n * inputs;
+    // dx rows are disjoint per item; dW/db accumulate into per-chunk
+    // scratch, reduced in chunk order below.
+    const std::size_t slots = std::min(ctx.threads(),
+                                       std::max<std::size_t>(batch, 1));
+    std::vector<std::vector<float>> dw_slots(slots);
+    std::vector<std::vector<float>> db_slots(slots);
 
-        // dW += g * x^T  (outer product).
-        for (std::size_t o = 0; o < outputs_; ++o) {
-            const float g = go[o];
-            if (g == 0.0f)
-                continue;
-            float *dwrow = weightGrad_.data() + o * inputs;
-            for (std::size_t i = 0; i < inputs; ++i)
-                dwrow[i] += g * xi[i];
-            if (bias_)
-                biasGrad_[o] += g;
+    parallelForChunks(ctx, batch, [&](std::size_t n0, std::size_t n1,
+                                      std::size_t slot) {
+        auto &dw_acc = dw_slots[slot];
+        dw_acc.assign(weightGrad_.size(), 0.0f);
+        auto &db_acc = db_slots[slot];
+        if (bias_)
+            db_acc.assign(outputs_, 0.0f);
+
+        for (std::size_t n = n0; n < n1; ++n) {
+            const float *xi = x.data() + n * inputs;
+            const float *go = out_grad.data() + n * outputs_;
+            float *dxi = dx.data() + n * inputs;
+
+            // dW += g * x^T  (outer product).
+            for (std::size_t o = 0; o < outputs_; ++o) {
+                const float g = go[o];
+                if (g == 0.0f)
+                    continue;
+                float *dwrow = dw_acc.data() + o * inputs;
+                for (std::size_t i = 0; i < inputs; ++i)
+                    dwrow[i] += g * xi[i];
+                if (bias_)
+                    db_acc[o] += g;
+            }
+
+            // dx += W^T * g.
+            matmulTransA(weights_.data(), go, dxi, inputs, outputs_, 1,
+                         true);
         }
+    });
 
-        // dx += W^T * g.
-        matmulTransA(weights_.data(), go, dxi, inputs, outputs_, 1,
-                     true);
+    for (std::size_t s = 0; s < slots; ++s) {
+        if (dw_slots[s].empty())
+            continue;
+        for (std::size_t i = 0; i < weightGrad_.size(); ++i)
+            weightGrad_[i] += dw_slots[s][i];
+        if (bias_) {
+            for (std::size_t o = 0; o < outputs_; ++o)
+                biasGrad_[o] += db_slots[s][o];
+        }
     }
 }
 

@@ -28,12 +28,14 @@ layerKindName(LayerKind kind)
 
 void
 Layer::backward(const std::vector<const Tensor *> &in, const Tensor &out,
-                const Tensor &out_grad, std::vector<Tensor> &in_grads)
+                const Tensor &out_grad, std::vector<Tensor> &in_grads,
+                ExecContext &ctx)
 {
     (void)in;
     (void)out;
     (void)out_grad;
     (void)in_grads;
+    (void)ctx;
     panic("layer '", name_, "' (", layerKindName(kind()),
           ") does not implement backward()");
 }

@@ -8,6 +8,13 @@
  * matches on LayerKind to map network prefixes onto analog modules,
  * and the energy model queries macCount()/outputShape() for workload
  * accounting.
+ *
+ * Execution model: the virtual forward()/backward() hooks take an
+ * ExecContext carrying the thread pool; implementations parallelize
+ * their batch/item loops through parallelFor(). Non-virtual
+ * convenience overloads without the context run on the process-wide
+ * serial context, so pre-ExecContext call sites keep compiling
+ * unchanged.
  */
 
 #ifndef REDEYE_NN_LAYER_HH
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec.hh"
 #include "tensor/tensor.hh"
 
 namespace redeye {
@@ -67,26 +75,53 @@ class Layer
     virtual Shape outputShape(const std::vector<Shape> &in) const = 0;
 
     /**
-     * Compute the output from the inputs. May cache state for
-     * backward().
+     * Compute the output from the inputs, parallelizing independent
+     * work across @p ctx. May cache state for backward(). The
+     * result must be bit-identical at any thread count.
      */
     virtual void forward(const std::vector<const Tensor *> &in,
-                         Tensor &out) = 0;
+                         Tensor &out, ExecContext &ctx) = 0;
+
+    /** Convenience overload: forward on the serial context. */
+    void
+    forward(const std::vector<const Tensor *> &in, Tensor &out)
+    {
+        forward(in, out, ExecContext::serial());
+    }
 
     /**
-     * Propagate gradients. @p in_grads arrives pre-sized to the input
-     * shapes and zero-filled; implementations accumulate into it and
-     * into their parameter gradients.
+     * Propagate gradients across @p ctx. @p in_grads arrives
+     * pre-sized to the input shapes and zero-filled; implementations
+     * accumulate into it and into their parameter gradients. Results
+     * are deterministic for a fixed thread count (parameter-gradient
+     * reduction order follows the chunking).
      *
      * The default implementation panics; inference-only layers may
      * keep it.
      */
     virtual void backward(const std::vector<const Tensor *> &in,
                           const Tensor &out, const Tensor &out_grad,
-                          std::vector<Tensor> &in_grads);
+                          std::vector<Tensor> &in_grads,
+                          ExecContext &ctx);
+
+    /** Convenience overload: backward on the serial context. */
+    void
+    backward(const std::vector<const Tensor *> &in, const Tensor &out,
+             const Tensor &out_grad, std::vector<Tensor> &in_grads)
+    {
+        backward(in, out, out_grad, in_grads, ExecContext::serial());
+    }
 
     /** Learnable parameter tensors (empty when parameterless). */
     virtual std::vector<Tensor *> params() { return {}; }
+
+    /** Read-only view of the parameter tensors. */
+    std::vector<const Tensor *>
+    params() const
+    {
+        const auto mut = const_cast<Layer *>(this)->params();
+        return {mut.begin(), mut.end()};
+    }
 
     /** Gradient tensors, parallel to params(). */
     virtual std::vector<Tensor *> paramGrads() { return {}; }

@@ -22,7 +22,8 @@ LrnLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                  ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &s = x.shape();
@@ -35,8 +36,12 @@ LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
     const float alpha_n = params_.alpha /
                           static_cast<float>(params_.localSize);
 
-    for (std::size_t n = 0; n < s.n; ++n) {
-        for (std::size_t h = 0; h < s.h; ++h) {
+    // Normalization crosses channels only; rows (n, h) are
+    // independent.
+    parallelFor(ctx, s.n * s.h, [&](std::size_t row) {
+        const std::size_t n = row / s.h;
+        const std::size_t h = row % s.h;
+        {
             for (std::size_t w = 0; w < s.w; ++w) {
                 for (std::size_t c = 0; c < s.c; ++c) {
                     double acc = 0.0;
@@ -59,13 +64,13 @@ LrnLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
                 }
             }
         }
-    }
+    });
 }
 
 void
 LrnLayer::backward(const std::vector<const Tensor *> &in,
                    const Tensor &out, const Tensor &out_grad,
-                   std::vector<Tensor> &in_grads)
+                   std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &s = x.shape();
@@ -79,8 +84,10 @@ LrnLayer::backward(const std::vector<const Tensor *> &in,
 
     // d out[c'] / d in[c] = scale^-beta * delta(c,c')
     //     - 2 beta alpha_n in[c] out[c'] / scale[c'] (c in window c')
-    for (std::size_t n = 0; n < s.n; ++n) {
-        for (std::size_t h = 0; h < s.h; ++h) {
+    parallelFor(ctx, s.n * s.h, [&](std::size_t row) {
+        const std::size_t n = row / s.h;
+        const std::size_t h = row % s.h;
+        {
             for (std::size_t w = 0; w < s.w; ++w) {
                 for (std::size_t c = 0; c < s.c; ++c) {
                     double acc =
@@ -103,7 +110,7 @@ LrnLayer::backward(const std::vector<const Tensor *> &in,
                 }
             }
         }
-    }
+    });
 }
 
 } // namespace nn

@@ -36,12 +36,16 @@ class LrnLayer : public Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     const LrnParams &lrnParams() const { return params_; }
 

@@ -1,5 +1,6 @@
 #include "nn/network.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "core/logging.hh"
@@ -143,7 +144,7 @@ Network::outputShape() const
 }
 
 const Tensor &
-Network::forward(const Tensor &input)
+Network::forward(const Tensor &input, ExecContext &ctx)
 {
     fatal_if(nodes_.empty(), "empty network");
     const Shape &is = input.shape();
@@ -152,6 +153,9 @@ Network::forward(const Tensor &input)
              "input shape ", is.str(), " does not match declared ",
              inputShape_.str());
 
+    using Clock = std::chrono::steady_clock;
+    const ExecContext::LayerTimer &timer = ctx.layerTimer();
+
     input_ = input;
     acts_.resize(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -159,7 +163,13 @@ Network::forward(const Tensor &input)
         ins.reserve(nodes_[i].inputs.size());
         for (int idx : nodes_[i].inputs)
             ins.push_back(idx < 0 ? &input_ : &acts_[idx]);
-        nodes_[i].layer->forward(ins, acts_[i]);
+        const auto start = timer ? Clock::now() : Clock::time_point();
+        nodes_[i].layer->forward(ins, acts_[i], ctx);
+        if (timer) {
+            const std::chrono::duration<double> dt = Clock::now() -
+                                                     start;
+            timer(nodes_[i].layer->name(), dt.count());
+        }
     }
     return acts_.back();
 }
@@ -175,7 +185,7 @@ Network::activation(const std::string &name) const
 }
 
 const Tensor &
-Network::backward(const Tensor &out_grad)
+Network::backward(const Tensor &out_grad, ExecContext &ctx)
 {
     panic_if(acts_.size() != nodes_.size(), "backward() before forward()");
     panic_if(out_grad.shape() != acts_.back().shape(),
@@ -205,7 +215,7 @@ Network::backward(const Tensor &out_grad)
         scratch.reserve(ins.size());
         for (std::size_t k = 0; k < ins.size(); ++k)
             scratch.push_back(Tensor(ins[k]->shape()));
-        node.layer->backward(ins, acts_[ri], grads_[ri], scratch);
+        node.layer->backward(ins, acts_[ri], grads_[ri], scratch, ctx);
         for (std::size_t k = 0; k < ins.size(); ++k)
             grad_targets[k]->add(scratch[k]);
     }
@@ -223,12 +233,34 @@ Network::params()
     return out;
 }
 
+std::vector<const Tensor *>
+Network::params() const
+{
+    std::vector<const Tensor *> out;
+    for (const auto &node : nodes_) {
+        for (const Tensor *p : node.layer->params())
+            out.push_back(p);
+    }
+    return out;
+}
+
 std::vector<Tensor *>
 Network::paramGrads()
 {
     std::vector<Tensor *> out;
     for (auto &node : nodes_) {
         for (Tensor *g : node.layer->paramGrads())
+            out.push_back(g);
+    }
+    return out;
+}
+
+std::vector<const Tensor *>
+Network::paramGrads() const
+{
+    std::vector<const Tensor *> out;
+    for (const auto &node : nodes_) {
+        for (const Tensor *g : node.layer->paramGrads())
             out.push_back(g);
     }
     return out;
@@ -258,10 +290,10 @@ Network::totalMacs() const
 }
 
 std::size_t
-Network::parameterCount()
+Network::parameterCount() const
 {
     std::size_t total = 0;
-    for (Tensor *p : params())
+    for (const Tensor *p : params())
         total += p->size();
     return total;
 }

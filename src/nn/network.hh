@@ -81,8 +81,19 @@ class Network
     /** Per-item output shape of the final node. */
     Shape outputShape() const;
 
-    /** Run the DAG; returns the final node's activation. */
-    const Tensor &forward(const Tensor &input);
+    /**
+     * Run the DAG under an execution context; returns the final
+     * node's activation. If @p ctx has a layer timer installed, it is
+     * invoked with each layer's name and wall-clock seconds.
+     */
+    const Tensor &forward(const Tensor &input, ExecContext &ctx);
+
+    /** Serial-context convenience overload. */
+    const Tensor &
+    forward(const Tensor &input)
+    {
+        return forward(input, ExecContext::serial());
+    }
 
     /** Activation of a named node from the last forward() call. */
     const Tensor &activation(const std::string &name) const;
@@ -94,13 +105,26 @@ class Network
      *
      * @return Gradient with respect to the network input.
      */
-    const Tensor &backward(const Tensor &out_grad);
+    const Tensor &backward(const Tensor &out_grad, ExecContext &ctx);
+
+    /** Serial-context convenience overload. */
+    const Tensor &
+    backward(const Tensor &out_grad)
+    {
+        return backward(out_grad, ExecContext::serial());
+    }
 
     /** All parameter tensors across layers. */
     std::vector<Tensor *> params();
 
+    /** Read-only view of all parameter tensors across layers. */
+    std::vector<const Tensor *> params() const;
+
     /** All parameter gradient tensors across layers. */
     std::vector<Tensor *> paramGrads();
+
+    /** Read-only view of all parameter gradient tensors. */
+    std::vector<const Tensor *> paramGrads() const;
 
     /** Zero every parameter gradient. */
     void zeroGrads();
@@ -112,7 +136,7 @@ class Network
     std::size_t totalMacs() const;
 
     /** Sum of parameter element counts. */
-    std::size_t parameterCount();
+    std::size_t parameterCount() const;
 
     /** Human-readable topology summary. */
     std::string summary() const;

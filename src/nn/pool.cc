@@ -52,7 +52,8 @@ MaxPoolLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
@@ -61,8 +62,11 @@ MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
         out = Tensor(os);
     argmax_.assign(os.size(), 0);
 
-    for (std::size_t n = 0; n < os.n; ++n) {
-        for (std::size_t c = 0; c < os.c; ++c) {
+    // Each (item, channel) plane is independent.
+    parallelFor(ctx, os.n * os.c, [&](std::size_t plane) {
+        const std::size_t n = plane / os.c;
+        const std::size_t c = plane % os.c;
+        {
             for (std::size_t oh = 0; oh < os.h; ++oh) {
                 for (std::size_t ow = 0; ow < os.w; ++ow) {
                     const long h0 = static_cast<long>(oh *
@@ -100,20 +104,27 @@ MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
                 }
             }
         }
-    }
+    });
 }
 
 void
 MaxPoolLayer::backward(const std::vector<const Tensor *> &in,
                        const Tensor &out, const Tensor &out_grad,
-                       std::vector<Tensor> &in_grads)
+                       std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     (void)in;
     panic_if(argmax_.size() != out.size(),
              "maxpool '", name(), "' backward without forward");
     Tensor &dx = in_grads[0];
-    for (std::size_t i = 0; i < out.size(); ++i)
-        dx[argmax_[i]] += out_grad[i];
+    // Overlapping windows may scatter to the same input cell, but
+    // only within one batch item: parallelize over items.
+    const Shape &os = out.shape();
+    const std::size_t per_item = os.c * os.h * os.w;
+    parallelFor(ctx, os.n, [&](std::size_t n) {
+        const std::size_t begin = n * per_item;
+        for (std::size_t i = begin; i < begin + per_item; ++i)
+            dx[argmax_[i]] += out_grad[i];
+    });
 }
 
 std::size_t
@@ -137,7 +148,8 @@ AvgPoolLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
@@ -145,8 +157,10 @@ AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
     if (out.shape() != os)
         out = Tensor(os);
 
-    for (std::size_t n = 0; n < os.n; ++n) {
-        for (std::size_t c = 0; c < os.c; ++c) {
+    parallelFor(ctx, os.n * os.c, [&](std::size_t plane) {
+        const std::size_t n = plane / os.c;
+        const std::size_t c = plane % os.c;
+        {
             for (std::size_t oh = 0; oh < os.h; ++oh) {
                 for (std::size_t ow = 0; ow < os.w; ++ow) {
                     const long h0 = static_cast<long>(oh *
@@ -182,21 +196,25 @@ AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
                 }
             }
         }
-    }
+    });
 }
 
 void
 AvgPoolLayer::backward(const std::vector<const Tensor *> &in,
                        const Tensor &out, const Tensor &out_grad,
-                       std::vector<Tensor> &in_grads)
+                       std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
     const Shape &os = out.shape();
     Tensor &dx = in_grads[0];
 
-    for (std::size_t n = 0; n < os.n; ++n) {
-        for (std::size_t c = 0; c < os.c; ++c) {
+    // Windows overlap spatially but never across (item, channel)
+    // planes: parallelize over planes.
+    parallelFor(ctx, os.n * os.c, [&](std::size_t plane) {
+        const std::size_t n = plane / os.c;
+        const std::size_t c = plane % os.c;
+        {
             for (std::size_t oh = 0; oh < os.h; ++oh) {
                 for (std::size_t ow = 0; ow < os.w; ++ow) {
                     const long h0 = static_cast<long>(oh *
@@ -239,7 +257,7 @@ AvgPoolLayer::backward(const std::vector<const Tensor *> &in,
                 }
             }
         }
-    }
+    });
 }
 
 } // namespace nn

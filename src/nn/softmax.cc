@@ -19,14 +19,15 @@ SoftmaxLayer::outputShape(const std::vector<Shape> &in) const
 }
 
 void
-SoftmaxLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
+SoftmaxLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
+                      ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &s = x.shape();
     if (out.shape() != s)
         out = Tensor(s);
 
-    for (std::size_t n = 0; n < s.n; ++n) {
+    parallelFor(ctx, s.n, [&](std::size_t n) {
         const float *xi = x.data() + n * s.c;
         float *oi = out.data() + n * s.c;
         const float m = *std::max_element(xi, xi + s.c);
@@ -38,18 +39,18 @@ SoftmaxLayer::forward(const std::vector<const Tensor *> &in, Tensor &out)
         const auto inv = static_cast<float>(1.0 / sum);
         for (std::size_t c = 0; c < s.c; ++c)
             oi[c] *= inv;
-    }
+    });
 }
 
 void
 SoftmaxLayer::backward(const std::vector<const Tensor *> &in,
                        const Tensor &out, const Tensor &out_grad,
-                       std::vector<Tensor> &in_grads)
+                       std::vector<Tensor> &in_grads, ExecContext &ctx)
 {
     (void)in;
     const Shape &s = out.shape();
     Tensor &dx = in_grads[0];
-    for (std::size_t n = 0; n < s.n; ++n) {
+    parallelFor(ctx, s.n, [&](std::size_t n) {
         const float *y = out.data() + n * s.c;
         const float *g = out_grad.data() + n * s.c;
         float *d = dx.data() + n * s.c;
@@ -58,7 +59,7 @@ SoftmaxLayer::backward(const std::vector<const Tensor *> &in,
             dot += static_cast<double>(y[c]) * g[c];
         for (std::size_t c = 0; c < s.c; ++c)
             d[c] += y[c] * (g[c] - static_cast<float>(dot));
-    }
+    });
 }
 
 double

@@ -10,7 +10,7 @@ namespace noise {
 
 GaussianNoiseLayer::GaussianNoiseLayer(std::string name, double snr_db,
                                        Rng rng)
-    : Layer(std::move(name)), snrDb_(snr_db), rng_(rng)
+    : Layer(std::move(name)), snrDb_(snr_db), seed_(rng.raw())
 {
 }
 
@@ -24,7 +24,7 @@ GaussianNoiseLayer::outputShape(const std::vector<Shape> &in) const
 
 void
 GaussianNoiseLayer::forward(const std::vector<const Tensor *> &in,
-                            Tensor &out)
+                            Tensor &out, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     if (out.shape() != x.shape())
@@ -49,19 +49,30 @@ GaussianNoiseLayer::forward(const std::vector<const Tensor *> &in,
         out.vec() = x.vec();
         return;
     }
-    for (std::size_t i = 0; i < x.size(); ++i) {
-        out[i] = x[i] +
-                 static_cast<float>(rng_.gaussian(0.0, sigma));
-    }
+
+    // One counter-based stream per batch item (core/rng.hh): noise is
+    // bit-identical at any thread count and batch partition.
+    const std::size_t slice = x.shape().sliceSize();
+    const std::uint64_t pass = pass_++;
+    parallelFor(ctx, x.shape().n, [&](std::size_t n) {
+        Rng stream = streamRng(seed_, pass, n);
+        const std::size_t begin = n * slice;
+        for (std::size_t i = begin; i < begin + slice; ++i) {
+            out[i] = x[i] +
+                     static_cast<float>(stream.gaussian(0.0, sigma));
+        }
+    });
 }
 
 void
 GaussianNoiseLayer::backward(const std::vector<const Tensor *> &in,
                              const Tensor &out, const Tensor &out_grad,
-                             std::vector<Tensor> &in_grads)
+                             std::vector<Tensor> &in_grads,
+                             ExecContext &ctx)
 {
     (void)in;
     (void)out;
+    (void)ctx;
     in_grads[0].add(out_grad);
 }
 

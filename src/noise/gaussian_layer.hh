@@ -25,7 +25,8 @@ class GaussianNoiseLayer : public nn::Layer
   public:
     /**
      * @param snr_db Programmed SNR; +inf disables the noise.
-     * @param rng Private random stream.
+     * @param rng Seeds the layer's private counter-based per-item
+     * streams (see core/rng.hh).
      */
     GaussianNoiseLayer(std::string name, double snr_db, Rng rng);
 
@@ -37,13 +38,17 @@ class GaussianNoiseLayer : public nn::Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     /** Noise is independent of the signal: gradients pass through. */
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     /** Reprogram the SNR at run time (the RedEye noise-admission knob). */
     void setSnrDb(double snr_db) { snrDb_ = snr_db; }
@@ -60,7 +65,8 @@ class GaussianNoiseLayer : public nn::Layer
 
   private:
     double snrDb_;
-    Rng rng_;
+    std::uint64_t seed_;     ///< base of the per-item noise streams
+    std::uint64_t pass_ = 0; ///< counts noisy forward passes
     bool enabled_ = true;
     double lastSigma_ = 0.0;
 };

@@ -11,7 +11,8 @@ namespace noise {
 QuantizationNoiseLayer::QuantizationNoiseLayer(std::string name,
                                                unsigned bits, Rng rng,
                                                QuantizationModel model)
-    : Layer(std::move(name)), bits_(bits), rng_(rng), model_(model)
+    : Layer(std::move(name)), bits_(bits), seed_(rng.raw()),
+      model_(model)
 {
     setBits(bits);
 }
@@ -34,7 +35,7 @@ QuantizationNoiseLayer::outputShape(const std::vector<Shape> &in) const
 
 void
 QuantizationNoiseLayer::forward(const std::vector<const Tensor *> &in,
-                                Tensor &out)
+                                Tensor &out, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     if (out.shape() != x.shape())
@@ -59,21 +60,35 @@ QuantizationNoiseLayer::forward(const std::vector<const Tensor *> &in,
     lastLsb_ = lsb;
 
     if (model_ == QuantizationModel::AdditiveUniform) {
-        for (std::size_t i = 0; i < x.size(); ++i) {
-            const double e = rng_.uniform(-lsb / 2.0, lsb / 2.0);
-            out[i] = x[i] + static_cast<float>(e);
-        }
+        // One counter-based stream per batch item (core/rng.hh):
+        // noise is bit-identical at any thread count.
+        const std::size_t slice = x.shape().sliceSize();
+        const std::uint64_t pass = pass_++;
+        parallelFor(ctx, x.shape().n, [&](std::size_t n) {
+            Rng stream = streamRng(seed_, pass, n);
+            const std::size_t begin = n * slice;
+            for (std::size_t i = begin; i < begin + slice; ++i) {
+                const double e = stream.uniform(-lsb / 2.0, lsb / 2.0);
+                out[i] = x[i] + static_cast<float>(e);
+            }
+        });
     } else {
-        for (std::size_t i = 0; i < x.size(); ++i) {
-            const double clipped =
-                std::clamp(static_cast<double>(x[i]),
-                           -static_cast<double>(swing),
-                           static_cast<double>(swing));
-            // Mid-rise grid: centers at (k + 0.5) * lsb - swing.
-            double code = std::floor((clipped + swing) / lsb);
-            code = std::clamp(code, 0.0, levels - 1.0);
-            out[i] = static_cast<float>((code + 0.5) * lsb - swing);
-        }
+        parallelForChunks(
+            ctx, x.size(),
+            [&](std::size_t begin, std::size_t end, std::size_t) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    const double clipped =
+                        std::clamp(static_cast<double>(x[i]),
+                                   -static_cast<double>(swing),
+                                   static_cast<double>(swing));
+                    // Mid-rise grid: centers at (k + 0.5) * lsb
+                    // - swing.
+                    double code = std::floor((clipped + swing) / lsb);
+                    code = std::clamp(code, 0.0, levels - 1.0);
+                    out[i] = static_cast<float>((code + 0.5) * lsb -
+                                                swing);
+                }
+            });
     }
 }
 
@@ -81,10 +96,12 @@ void
 QuantizationNoiseLayer::backward(const std::vector<const Tensor *> &in,
                                  const Tensor &out,
                                  const Tensor &out_grad,
-                                 std::vector<Tensor> &in_grads)
+                                 std::vector<Tensor> &in_grads,
+                                 ExecContext &ctx)
 {
     (void)in;
     (void)out;
+    (void)ctx;
     // Straight-through estimator: quantization error is treated as
     // additive noise for gradient purposes.
     in_grads[0].add(out_grad);

@@ -39,7 +39,8 @@ class QuantizationNoiseLayer : public nn::Layer
   public:
     /**
      * @param bits ADC resolution q (1..16).
-     * @param rng Private stream (used by the AdditiveUniform model).
+     * @param rng Seeds the per-item counter-based streams used by the
+     * AdditiveUniform model (see core/rng.hh).
      */
     QuantizationNoiseLayer(std::string name, unsigned bits, Rng rng,
                            QuantizationModel model =
@@ -53,12 +54,16 @@ class QuantizationNoiseLayer : public nn::Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     /** Reprogram the resolution (the dynamic quantization mechanism). */
     void setBits(unsigned bits);
@@ -84,7 +89,8 @@ class QuantizationNoiseLayer : public nn::Layer
 
   private:
     unsigned bits_;
-    Rng rng_;
+    std::uint64_t seed_;     ///< base of the per-item noise streams
+    std::uint64_t pass_ = 0; ///< counts noisy forward passes
     QuantizationModel model_;
     std::optional<float> swing_;
     bool enabled_ = true;

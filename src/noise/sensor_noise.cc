@@ -10,7 +10,8 @@ namespace noise {
 
 SensorSamplingLayer::SensorSamplingLayer(std::string name,
                                          SensorParams params, Rng rng)
-    : Layer(std::move(name)), params_(params), rng_(rng)
+    : Layer(std::move(name)), params_(params), seed_(rng.raw()),
+      patternRng_(rng.fork())
 {
     fatal_if(params_.gamma <= 0.0, "sensor '", this->name(),
              "': gamma must be positive");
@@ -34,7 +35,7 @@ SensorSamplingLayer::materializeFixedPattern(const Shape &per_item)
         return;
     // Draw the die's static pattern once from a dedicated stream so
     // that shot-noise consumption does not change the pattern.
-    Rng pattern_rng = rng_.fork();
+    Rng pattern_rng = patternRng_.fork();
     prnuGain_ = Tensor(per_item);
     dsnuOffset_ = Tensor(per_item);
     prnuGain_.fillGaussian(pattern_rng, 1.0f,
@@ -45,7 +46,7 @@ SensorSamplingLayer::materializeFixedPattern(const Shape &per_item)
 
 void
 SensorSamplingLayer::forward(const std::vector<const Tensor *> &in,
-                             Tensor &out)
+                             Tensor &out, ExecContext &ctx)
 {
     const Tensor &x = *in[0];
     const Shape &s = x.shape();
@@ -64,7 +65,11 @@ SensorSamplingLayer::forward(const std::vector<const Tensor *> &in,
                         params_.illuminationScale;
     const std::size_t slice = s.sliceSize();
 
-    for (std::size_t n = 0; n < s.n; ++n) {
+    // One counter-based stream per image (core/rng.hh): sampled
+    // values are bit-identical at any thread count or batch split.
+    const std::uint64_t pass = pass_++;
+    parallelFor(ctx, s.n, [&](std::size_t n) {
+        Rng stream = streamRng(seed_, pass, n);
         const float *xi = x.data() + n * slice;
         float *oi = out.data() + n * slice;
         for (std::size_t i = 0; i < slice; ++i) {
@@ -75,27 +80,30 @@ SensorSamplingLayer::forward(const std::vector<const Tensor *> &in,
 
             if (params_.enablePoisson) {
                 const double electrons = linear * well;
-                linear = static_cast<double>(rng_.poisson(electrons)) /
-                         well;
+                linear =
+                    static_cast<double>(stream.poisson(electrons)) /
+                    well;
             }
             if (params_.enableFixedPattern) {
                 linear = linear * prnuGain_[i] + dsnuOffset_[i];
             }
             if (params_.readNoiseSigma > 0.0) {
-                linear += rng_.gaussian(0.0, params_.readNoiseSigma);
+                linear += stream.gaussian(0.0, params_.readNoiseSigma);
             }
             oi[i] = static_cast<float>(linear);
         }
-    }
+    });
 }
 
 void
 SensorSamplingLayer::backward(const std::vector<const Tensor *> &in,
                               const Tensor &out, const Tensor &out_grad,
-                              std::vector<Tensor> &in_grads)
+                              std::vector<Tensor> &in_grads,
+                              ExecContext &ctx)
 {
     (void)in;
     (void)out;
+    (void)ctx;
     in_grads[0].add(out_grad);
 }
 

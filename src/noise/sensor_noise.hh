@@ -47,9 +47,9 @@ class SensorSamplingLayer : public nn::Layer
 {
   public:
     /**
-     * @param rng Stream used for shot/read noise; the fixed-pattern
-     * maps are drawn once from a fork of it (static per instance,
-     * as on a physical die).
+     * @param rng Seeds the per-item counter-based shot/read-noise
+     * streams (see core/rng.hh); the fixed-pattern maps are drawn once
+     * from a fork of it (static per instance, as on a physical die).
      */
     SensorSamplingLayer(std::string name, SensorParams params, Rng rng);
 
@@ -57,13 +57,17 @@ class SensorSamplingLayer : public nn::Layer
 
     Shape outputShape(const std::vector<Shape> &in) const override;
 
-    void forward(const std::vector<const Tensor *> &in,
-                 Tensor &out) override;
+    using Layer::forward;
+    using Layer::backward;
+
+    void forward(const std::vector<const Tensor *> &in, Tensor &out,
+                 ExecContext &ctx) override;
 
     /** Pass-through gradient (noise treated as additive). */
     void backward(const std::vector<const Tensor *> &in,
                   const Tensor &out, const Tensor &out_grad,
-                  std::vector<Tensor> &in_grads) override;
+                  std::vector<Tensor> &in_grads,
+                  ExecContext &ctx) override;
 
     const SensorParams &sensorParams() const { return params_; }
 
@@ -81,7 +85,9 @@ class SensorSamplingLayer : public nn::Layer
     void materializeFixedPattern(const Shape &per_item);
 
     SensorParams params_;
-    Rng rng_;
+    std::uint64_t seed_;     ///< base of the per-item noise streams
+    std::uint64_t pass_ = 0; ///< counts noisy forward passes
+    Rng patternRng_;         ///< dedicated stream for the die pattern
     bool enabled_ = true;
     Tensor prnuGain_;   ///< per-pixel gain map (n == 1)
     Tensor dsnuOffset_; ///< per-pixel offset map (n == 1)

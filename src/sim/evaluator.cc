@@ -28,6 +28,9 @@ evaluate(nn::Network &net, const data::Dataset &dataset,
                        Rng(options.sensorSeed));
     }
 
+    ThreadPool pool(resolveThreadCount(options.threads));
+    ExecContext ctx(pool);
+
     net.setTraining(false);
     EvalResult result;
     std::size_t top1_hits = 0;
@@ -44,10 +47,10 @@ evaluate(nn::Network &net, const data::Dataset &dataset,
         Tensor input = batch.images;
         if (sensor) {
             std::vector<const Tensor *> ins{&batch.images};
-            sensor->forward(ins, input);
+            sensor->forward(ins, input, ctx);
         }
 
-        const Tensor &scores = net.forward(input);
+        const Tensor &scores = net.forward(input, ctx);
         const Shape &os = scores.shape();
         panic_if(os.h != 1 || os.w != 1,
                  "classifier output must be (n, classes, 1, 1), got ",

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "core/exec.hh"
 #include "data/shapes_dataset.hh"
 #include "noise/sensor_noise.hh"
 
@@ -33,6 +34,13 @@ struct EvalOptions {
     std::size_t maxImages = 0; ///< 0 = whole dataset
     std::optional<noise::SensorParams> sensor; ///< raw sampling model
     std::uint64_t sensorSeed = 0x5e9505;
+
+    /**
+     * Worker threads for batch-parallel execution: 1 = serial
+     * (default), 0 = auto (REDEYE_THREADS or hardware concurrency).
+     * Results are bit-identical at any setting.
+     */
+    std::size_t threads = 1;
 };
 
 /** Accuracy results. */

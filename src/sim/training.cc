@@ -20,6 +20,8 @@ trainClassifier(nn::Network &net, const data::Dataset &train_set,
 
     nn::SgdSolver solver(net, options.solver);
     Rng shuffle_rng(options.shuffleSeed);
+    ThreadPool pool(resolveThreadCount(options.threads));
+    ExecContext ctx(pool);
     net.setTraining(true);
 
     TrainResult result;
@@ -42,11 +44,11 @@ trainClassifier(nn::Network &net, const data::Dataset &train_set,
                                              count);
             data::Dataset batch = data::makeBatch(train_set, idx);
 
-            const Tensor &logits = net.forward(batch.images);
+            const Tensor &logits = net.forward(batch.images, ctx);
             const double loss = nn::softmaxCrossEntropy(
                 logits, batch.labels, loss_grad);
             net.zeroGrads();
-            net.backward(loss_grad);
+            net.backward(loss_grad, ctx);
             solver.step();
 
             epoch_loss += loss;

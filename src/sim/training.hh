@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "core/exec.hh"
 #include "data/shapes_dataset.hh"
 #include "nn/solver.hh"
 
@@ -25,6 +26,14 @@ struct TrainOptions {
     nn::SolverParams solver;
     std::uint64_t shuffleSeed = 0x7a11;
     bool verbose = false;
+
+    /**
+     * Worker threads for batch-parallel execution: 1 = serial
+     * (default), 0 = auto (REDEYE_THREADS or hardware concurrency).
+     * The loop stays deterministic for a fixed thread count; backward
+     * gradient reductions may round differently across counts.
+     */
+    std::size_t threads = 1;
 
     TrainOptions()
     {

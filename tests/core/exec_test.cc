@@ -1,0 +1,189 @@
+/** @file Tests for the ThreadPool / ExecContext / parallelFor API. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/exec.hh"
+
+namespace redeye {
+namespace {
+
+TEST(ThreadPoolTest, ReportsRequestedConcurrency)
+{
+    ThreadPool serial(1);
+    EXPECT_EQ(serial.threads(), 1u);
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+}
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kChunks = 64;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.run(kChunks, [&](std::size_t c) { ++hits[c]; });
+    for (std::size_t c = 0; c < kChunks; ++c)
+        EXPECT_EQ(hits[c].load(), 1) << "chunk " << c;
+}
+
+TEST(ThreadPoolTest, ZeroChunksIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.run(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.run(16,
+                          [&](std::size_t c) {
+                              if (c == 7)
+                                  throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool must remain usable after an exceptional run.
+    std::atomic<std::size_t> count{0};
+    pool.run(8, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 8u);
+}
+
+TEST(ThreadPoolTest, NestedRunExecutesInline)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> inner_total{0};
+    pool.run(4, [&](std::size_t) {
+        EXPECT_TRUE(ThreadPool::insideWorker());
+        pool.run(3, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 12u);
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+TEST(ParallelForTest, SerialContextCoversTheFullRange)
+{
+    ExecContext ctx;
+    std::vector<int> seen(100, 0);
+    parallelFor(ctx, seen.size(), [&](std::size_t i) { ++seen[i]; });
+    EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 100);
+}
+
+TEST(ParallelForTest, PooledContextCoversTheFullRange)
+{
+    ThreadPool pool(4);
+    ExecContext ctx(pool);
+    std::vector<std::atomic<int>> seen(1000);
+    parallelFor(ctx, seen.size(), [&](std::size_t i) { ++seen[i]; });
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    ExecContext ctx(pool);
+    bool ran = false;
+    parallelFor(ctx, 0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, FewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    ExecContext ctx(pool);
+    std::vector<std::atomic<int>> seen(3);
+    parallelFor(ctx, seen.size(), [&](std::size_t i) { ++seen[i]; });
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i].load(), 1);
+}
+
+TEST(ParallelForChunksTest, PartitionIsContiguousAndComplete)
+{
+    ThreadPool pool(4);
+    ExecContext ctx(pool);
+    constexpr std::size_t kN = 103; // not divisible by the pool size
+    std::vector<std::atomic<int>> seen(kN);
+    std::atomic<std::size_t> chunks{0};
+    parallelForChunks(ctx, kN,
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t chunk) {
+                          EXPECT_LT(chunk, pool.threads());
+                          EXPECT_LE(begin, end);
+                          for (std::size_t i = begin; i < end; ++i)
+                              ++seen[i];
+                          ++chunks;
+                      });
+    EXPECT_EQ(chunks.load(), pool.threads());
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForChunksTest, SerialContextUsesOneChunk)
+{
+    ExecContext ctx;
+    std::size_t calls = 0;
+    parallelForChunks(ctx, 10,
+                      [&](std::size_t begin, std::size_t end,
+                          std::size_t chunk) {
+                          EXPECT_EQ(begin, 0u);
+                          EXPECT_EQ(end, 10u);
+                          EXPECT_EQ(chunk, 0u);
+                          ++calls;
+                      });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndRangeStaysUsable)
+{
+    ThreadPool pool(4);
+    ExecContext ctx(pool);
+    EXPECT_THROW(parallelFor(ctx, 100,
+                             [&](std::size_t i) {
+                                 if (i == 42)
+                                     throw std::runtime_error("bad");
+                             }),
+                 std::runtime_error);
+    std::atomic<std::size_t> count{0};
+    parallelFor(ctx, 10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ExecContextTest, SerialSingletonHasNoPool)
+{
+    ExecContext &ctx = ExecContext::serial();
+    EXPECT_EQ(ctx.pool(), nullptr);
+    EXPECT_EQ(ctx.threads(), 1u);
+}
+
+TEST(ExecContextTest, ThreadsReflectsAttachedPool)
+{
+    ThreadPool pool(3);
+    ExecContext ctx(pool);
+    EXPECT_EQ(ctx.pool(), &pool);
+    EXPECT_EQ(ctx.threads(), 3u);
+}
+
+TEST(ThreadCountTest, ResolveMapsZeroToDefault)
+{
+    EXPECT_EQ(resolveThreadCount(5), 5u);
+    EXPECT_EQ(resolveThreadCount(0), defaultThreadCount());
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadCountTest, EnvironmentOverridesDefault)
+{
+    ASSERT_EQ(setenv("REDEYE_THREADS", "3", 1), 0);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ASSERT_EQ(setenv("REDEYE_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ASSERT_EQ(unsetenv("REDEYE_THREADS"), 0);
+}
+
+} // namespace
+} // namespace redeye
