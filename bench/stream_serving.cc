@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Sustained-rate serving bench for the streaming runtime.
+ *
+ * Drives the continuous-vision pipeline (sensor sampling -> RedEye
+ * device -> host tail) with a Poisson load generator, sweeping the
+ * arrival rate across the saturation point and the device-stage
+ * worker count, and reports the saturation curve: sustained fps,
+ * drop counts and p50/p95/p99 latency per operating point.
+ *
+ * The capacity of each thread-count configuration is first measured
+ * with a short unpaced (closed-loop) run; the sweep then offers
+ * fractions and multiples of that capacity so the curve brackets
+ * saturation regardless of the machine it runs on.
+ *
+ * Flags:
+ *   --frames N        frames offered per sweep point (default 96)
+ *   --threads LIST    device-stage worker counts (default "1,2,4")
+ *   --rates LIST      absolute arrival rates in fps; overrides the
+ *                     capacity-relative sweep
+ *   --policy P        block | drop-newest | drop-oldest
+ *                     (default drop-oldest)
+ *   --capacity N      queue bound (default 4)
+ *   --depth D         MiniGoogLeNet analog depth cut (default 1)
+ *   --per-class N     replay dataset examples per class (default 4)
+ *   --csv PATH        also write the sweep as CSV
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+#include "stream/vision.hh"
+
+using namespace redeye;
+
+namespace {
+
+struct Options {
+    std::uint64_t frames = 96;
+    std::vector<std::size_t> threads{1, 2, 4};
+    std::vector<double> rates; ///< empty = capacity-relative sweep
+    stream::AdmissionPolicy policy =
+        stream::AdmissionPolicy::DropOldest;
+    std::size_t capacity = 4;
+    unsigned depth = 1;
+    std::size_t perClass = 4;
+    std::string csvPath;
+};
+
+std::vector<double>
+parseDoubles(const std::string &list)
+{
+    std::vector<double> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(std::stod(item));
+    fatal_if(out.empty(), "empty list: ", list);
+    return out;
+}
+
+stream::AdmissionPolicy
+parsePolicy(const std::string &name)
+{
+    if (name == "block")
+        return stream::AdmissionPolicy::Block;
+    if (name == "drop-newest")
+        return stream::AdmissionPolicy::DropNewest;
+    if (name == "drop-oldest")
+        return stream::AdmissionPolicy::DropOldest;
+    fatal("unknown admission policy '", name,
+          "' (block | drop-newest | drop-oldest)");
+}
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--frames") {
+            opt.frames = std::stoull(value());
+        } else if (arg == "--threads") {
+            opt.threads.clear();
+            for (double t : parseDoubles(value()))
+                opt.threads.push_back(static_cast<std::size_t>(t));
+        } else if (arg == "--rates") {
+            opt.rates = parseDoubles(value());
+        } else if (arg == "--policy") {
+            opt.policy = parsePolicy(value());
+        } else if (arg == "--capacity") {
+            opt.capacity = std::stoul(value());
+        } else if (arg == "--depth") {
+            opt.depth = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--per-class") {
+            opt.perClass = std::stoul(value());
+        } else if (arg == "--csv") {
+            opt.csvPath = value();
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+    return opt;
+}
+
+stream::VisionConfig
+visionConfig(const Options &opt, std::size_t device_workers)
+{
+    stream::VisionConfig cfg;
+    cfg.depth = opt.depth;
+    cfg.deviceWorkers = device_workers;
+    return cfg;
+}
+
+/** One sweep point. */
+struct Point {
+    std::size_t threads = 0;
+    double arrivalFps = 0.0; ///< 0 = unpaced calibration
+    stream::StreamReport report;
+};
+
+Point
+runPoint(const Options &opt, stream::FrameSource &source,
+         std::size_t device_workers, double arrival_fps)
+{
+    stream::RunnerConfig rc;
+    rc.frames = opt.frames;
+    rc.queueCapacity = opt.capacity;
+    rc.policy = opt.policy;
+    rc.arrivals = arrival_fps > 0.0
+                      ? stream::ArrivalSchedule::poisson(arrival_fps)
+                      : stream::ArrivalSchedule::unpaced();
+
+    stream::StreamRunner runner(
+        source, makeVisionStages(visionConfig(opt, device_workers)),
+        rc);
+    Point p;
+    p.threads = device_workers;
+    p.arrivalFps = arrival_fps;
+    p.report = runner.run();
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    auto dataset = stream::makeReplayDataset(opt.perClass, 0x5eed);
+    stream::ShapesReplaySource source(std::move(dataset));
+
+    std::cout << "stream_serving: depth " << opt.depth << ", policy "
+              << admissionPolicyName(opt.policy) << ", queue capacity "
+              << opt.capacity << ", " << opt.frames
+              << " frames per point\n\n";
+
+    TablePrinter table("saturation sweep");
+    table.setHeader({"device workers", "arrival fps", "offered fps",
+                     "sustained fps", "dropped", "latency p50",
+                     "latency p95", "latency p99", "system E/frame"});
+
+    std::vector<Point> points;
+    for (std::size_t workers : opt.threads) {
+        // Closed-loop capacity measurement for this configuration.
+        const Point cal = runPoint(opt, source, workers, 0.0);
+        const double capacity_fps = cal.report.sustainedFps;
+        std::cout << "capacity @" << workers
+                  << " device workers: " << fmt(capacity_fps, 2)
+                  << " fps (p99 service latency "
+                  << units::siFormat(cal.report.latencyP99S, "s")
+                  << ")\n";
+
+        std::vector<double> rates = opt.rates;
+        if (rates.empty()) {
+            for (double mult : {0.5, 0.8, 1.5, 2.0})
+                rates.push_back(mult * capacity_fps);
+        }
+        for (double rate : rates)
+            points.push_back(runPoint(opt, source, workers, rate));
+    }
+    std::cout << "\n";
+
+    for (const Point &p : points) {
+        table.addRow(
+            {std::to_string(p.threads), fmt(p.arrivalFps, 2),
+             fmt(p.report.offeredFps, 2),
+             fmt(p.report.sustainedFps, 2),
+             std::to_string(p.report.framesDropped),
+             units::siFormat(p.report.latencyP50S, "s"),
+             units::siFormat(p.report.latencyP95S, "s"),
+             units::siFormat(p.report.latencyP99S, "s"),
+             units::siFormat(p.report.systemEnergyMeanJ, "J")});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBelow capacity the sustained rate tracks the "
+                 "offered rate with zero drops; past\nsaturation the "
+                 "admission policy sheds load while the queue bound "
+                 "keeps tail\nlatency flat.\n";
+
+    if (!opt.csvPath.empty()) {
+        CsvWriter csv(opt.csvPath);
+        csv.header({"device_workers", "arrival_fps", "offered_fps",
+                    "sustained_fps", "admitted", "dropped",
+                    "completed", "latency_p50_s", "latency_p95_s",
+                    "latency_p99_s", "analog_j_per_frame",
+                    "system_j_per_frame"});
+        for (const Point &p : points) {
+            csv.row({std::to_string(p.threads), fmt(p.arrivalFps, 4),
+                     fmt(p.report.offeredFps, 4),
+                     fmt(p.report.sustainedFps, 4),
+                     std::to_string(p.report.framesAdmitted),
+                     std::to_string(p.report.framesDropped),
+                     std::to_string(p.report.framesCompleted),
+                     fmt(p.report.latencyP50S, 6),
+                     fmt(p.report.latencyP95S, 6),
+                     fmt(p.report.latencyP99S, 6),
+                     fmt(p.report.analogEnergyMeanJ, 9),
+                     fmt(p.report.systemEnergyMeanJ, 9)});
+        }
+        std::cout << "\nwrote " << csv.rows() << " sweep rows to "
+                  << csv.path() << "\n";
+    }
+    return 0;
+}

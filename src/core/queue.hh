@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue.
+ *
+ * The hand-off primitive of the streaming runtime (src/stream): each
+ * pipeline stage pops frames from its inbound queue and pushes results
+ * downstream. The queue is bounded so that a slow stage exerts
+ * backpressure on its producers instead of buffering without limit;
+ * admission policies (drop-oldest/drop-newest/block) are built from
+ * the three push flavours below.
+ *
+ * Lifecycle: producers call close() when no further items will be
+ * pushed; consumers drain the remaining items and then see pop()
+ * return false. All operations are safe to call concurrently from any
+ * number of threads.
+ */
+
+#ifndef REDEYE_CORE_QUEUE_HH
+#define REDEYE_CORE_QUEUE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+/** Outcome of a push attempt. */
+enum class QueuePush {
+    Ok,      ///< item enqueued
+    Full,    ///< rejected: queue at capacity (tryPush only)
+    Closed,  ///< rejected: queue already closed
+};
+
+/** Bounded blocking MPMC FIFO. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity Maximum queued items (>= 1). */
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        fatal_if(capacity_ == 0, "queue capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Enqueue @p item, blocking while the queue is full. Returns
+     * QueuePush::Ok, or QueuePush::Closed if the queue was (or
+     * became, while blocked) closed.
+     */
+    QueuePush
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return QueuePush::Closed;
+        enqueue(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /** Enqueue without blocking; fails with Full at capacity. */
+    QueuePush
+    tryPush(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return QueuePush::Closed;
+        if (items_.size() >= capacity_)
+            return QueuePush::Full;
+        enqueue(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Enqueue without blocking, evicting the oldest queued item to
+     * make room when the queue is full. The evicted item (if any) is
+     * returned through @p evicted so the caller can account for it.
+     */
+    QueuePush
+    pushEvictOldest(T item, std::optional<T> &evicted)
+    {
+        evicted.reset();
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_)
+            return QueuePush::Closed;
+        if (items_.size() >= capacity_) {
+            evicted.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        enqueue(std::move(item));
+        lock.unlock();
+        notEmpty_.notify_one();
+        return QueuePush::Ok;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty and not
+     * closed. Returns false once the queue is closed and drained —
+     * the consumer's termination signal.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false; // closed and drained
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Dequeue without blocking; false when empty (or drained). */
+    bool
+    tryPop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /**
+     * Mark the queue closed: subsequent pushes fail, blocked pushers
+     * and poppers wake, and consumers drain what remains. Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notFull_.notify_all();
+        notEmpty_.notify_all();
+    }
+
+    /** True once close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Items currently queued. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** Maximum items the queue holds. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Largest depth observed since construction. */
+    std::size_t
+    highWater() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return highWater_;
+    }
+
+    /** Total successful pushes (including ones that evicted). */
+    std::uint64_t
+    totalPushed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return pushed_;
+    }
+
+  private:
+    /** Append under the lock and update the counters. */
+    void
+    enqueue(T item)
+    {
+        items_.push_back(std::move(item));
+        ++pushed_;
+        highWater_ = std::max(highWater_, items_.size());
+    }
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+    std::size_t highWater_ = 0;
+    std::uint64_t pushed_ = 0;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_QUEUE_HH

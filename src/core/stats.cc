@@ -1,5 +1,6 @@
 #include "core/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -71,6 +72,59 @@ Histogram::add(double x)
         idx = static_cast<long>(bins()) - 1;
     ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    fatal_if(total_ == 0, "percentile of an empty histogram");
+    fatal_if(p < 0.0 || p > 100.0, "percentile rank out of range: ",
+             p);
+    const double target = p / 100.0 * static_cast<double>(total_);
+    const double width = (hi_ - lo_) / static_cast<double>(bins());
+    std::size_t below = 0;
+    for (std::size_t i = 0; i < bins(); ++i) {
+        const std::size_t in_bin = counts_[i];
+        if (static_cast<double>(below + in_bin) >= target &&
+            in_bin > 0) {
+            // Interpolate within the straddling bin assuming its
+            // samples are spread uniformly across the bin.
+            const double frac =
+                (target - static_cast<double>(below)) /
+                static_cast<double>(in_bin);
+            const double lo_edge =
+                lo_ + static_cast<double>(i) * width;
+            return lo_edge + std::clamp(frac, 0.0, 1.0) * width;
+        }
+        below += in_bin;
+    }
+    return hi_;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    fatal_if(values.empty(), "percentile of an empty sample set");
+    fatal_if(p < 0.0 || p > 100.0, "percentile rank out of range: ",
+             p);
+    const double rank = p / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const std::size_t hi_idx =
+        std::min(lo_idx + 1, values.size() - 1);
+    std::nth_element(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(lo_idx),
+                     values.end());
+    const double lo_val = values[lo_idx];
+    if (hi_idx == lo_idx)
+        return lo_val;
+    // nth_element leaves [lo_idx+1, end) all >= lo_val; the next
+    // order statistic is its minimum.
+    const double hi_val = *std::min_element(
+        values.begin() + static_cast<std::ptrdiff_t>(hi_idx),
+        values.end());
+    const double frac = rank - static_cast<double>(lo_idx);
+    return lo_val + frac * (hi_val - lo_val);
 }
 
 double

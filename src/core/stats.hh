@@ -83,6 +83,14 @@ class Histogram
     /** Count in bin i. */
     std::size_t binCount(std::size_t i) const { return counts_.at(i); }
 
+    /**
+     * Approximate p-th percentile (p in [0, 100]) of the folded
+     * samples, reconstructed from the bin counts by interpolating
+     * within the bin that straddles the target rank. Resolution is
+     * one bin width; fatal when the histogram is empty.
+     */
+    double percentile(double p) const;
+
     /** Center value of bin i. */
     double binCenter(std::size_t i) const;
 
@@ -98,6 +106,15 @@ class Histogram
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
 };
+
+/**
+ * Exact p-th percentile (p in [0, 100]) of @p values using linear
+ * interpolation between closest ranks (the "exclusive" convention of
+ * most plotting packages is avoided; this matches numpy's default):
+ * p = 0 yields the minimum, p = 100 the maximum. The input is copied
+ * and partially sorted; fatal when @p values is empty.
+ */
+double percentile(std::vector<double> values, double p);
 
 /**
  * Measured signal-to-noise ratio between a clean reference and a noisy

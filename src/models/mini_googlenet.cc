@@ -112,6 +112,57 @@ buildMiniGoogLeNetPrefix(unsigned depth, Rng &rng)
     return net;
 }
 
+std::unique_ptr<nn::Network>
+buildMiniGoogLeNetTail(unsigned depth, std::size_t classes,
+                       const Shape &cut, Rng &rng)
+{
+    fatal_if(depth < 1 || depth > 5,
+             "MiniGoogLeNet depth must be in [1, 5], got ", depth);
+    auto net = std::make_unique<nn::Network>(
+        "mini-googlenet-tail-d" + std::to_string(depth));
+    net->setInputShape(cut);
+
+    if (depth <= 1) {
+        net->add(std::make_unique<nn::ConvolutionLayer>(
+                     "conv2/reduce", nn::ConvParams::square(16, 1)),
+                 {nn::kInputName});
+        net->add(std::make_unique<nn::ReluLayer>(
+            "conv2/relu_reduce"));
+        net->add(std::make_unique<nn::ConvolutionLayer>(
+            "conv2", nn::ConvParams::square(48, 3, 1, 1)));
+        net->add(std::make_unique<nn::ReluLayer>("conv2/relu"));
+    }
+    if (depth <= 2) {
+        net->add(std::make_unique<nn::MaxPoolLayer>(
+            "pool2", nn::PoolParams{3, 2, 0}));
+        addInception(*net, "inception_a", "pool2", kSpecA);
+    }
+    if (depth <= 3) {
+        addInception(*net, "inception_b",
+                     depth == 3 ? nn::kInputName
+                                : "inception_a/output",
+                     kSpecB);
+    }
+    if (depth <= 4) {
+        const Shape tail =
+            depth == 4 ? cut : net->nodeShape("inception_b/output");
+        net->add(std::make_unique<nn::AvgPoolLayer>(
+            "pool/global", nn::PoolParams{tail.h, 1, 0}));
+    }
+    net->add(std::make_unique<nn::InnerProductLayer>("classifier",
+                                                     classes));
+
+    for (std::size_t i = 0; i < net->size(); ++i) {
+        nn::Layer &layer = net->layerAt(i);
+        if (auto *conv = dynamic_cast<nn::ConvolutionLayer *>(&layer))
+            conv->initHe(rng);
+        else if (auto *fc =
+                     dynamic_cast<nn::InnerProductLayer *>(&layer))
+            fc->initHe(rng);
+    }
+    return net;
+}
+
 std::vector<std::string>
 miniGoogLeNetAnalogLayers(unsigned depth)
 {

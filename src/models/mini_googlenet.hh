@@ -50,6 +50,20 @@ std::vector<std::string> miniGoogLeNetAnalogLayers(unsigned depth);
 std::unique_ptr<nn::Network> buildMiniGoogLeNetPrefix(unsigned depth,
                                                       Rng &rng);
 
+/**
+ * Build the digital tail of MiniGoogLeNet for depth cut @p depth: a
+ * network whose external input is the cut tensor (shape @p cut, as
+ * reported by Network::nodeShape() of the last analog layer) and
+ * whose layers carry the same names as the full network, so trained
+ * weights transfer with nn::copyWeightsByName(). The streaming
+ * runtime's host stage runs this network on the quantized features
+ * RedEye exports.
+ */
+std::unique_ptr<nn::Network> buildMiniGoogLeNetTail(unsigned depth,
+                                                    std::size_t classes,
+                                                    const Shape &cut,
+                                                    Rng &rng);
+
 } // namespace models
 } // namespace redeye
 

@@ -76,6 +76,18 @@ class SensorSamplingLayer : public nn::Layer
     bool enabled() const { return enabled_; }
 
     /**
+     * Pin the pass counter so the next forward() draws the noise of
+     * pass @p pass (it then advances as usual). The streaming runtime
+     * keys the counter to the frame index so that every replica of
+     * this layer — one per stage worker — realizes the same noise for
+     * the same frame, regardless of which worker serves it.
+     */
+    void setPass(std::uint64_t pass) { pass_ = pass; }
+
+    /** Pass the next forward() will consume. */
+    std::uint64_t pass() const { return pass_; }
+
+    /**
      * Expected output SNR in dB for a mid-scale pixel under the
      * current parameters (shot-noise limited estimate).
      */

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The unit of work flowing through the streaming runtime.
+ *
+ * A StreamFrame is produced by a FrameSource, carried through the
+ * pipeline stages by value (bounded queues own the frames they
+ * buffer), and enriched in place: the sensor stage rewrites `image`
+ * with sampled raw pixels, the device stage fills `features` and the
+ * analog energy, the host stage fills the prediction and the system
+ * energy. Content fields are pure functions of `index` — the
+ * determinism contract of the runtime (see DESIGN.md §7).
+ */
+
+#ifndef REDEYE_STREAM_FRAME_HH
+#define REDEYE_STREAM_FRAME_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace redeye {
+namespace stream {
+
+/** One frame in flight through the pipeline. */
+struct StreamFrame {
+    std::uint64_t index = 0;   ///< monotone frame number
+    Tensor image;              ///< (1, C, H, W) pixels in [0, 1]
+    std::int32_t label = -1;   ///< ground-truth class (replay sources)
+
+    double emitS = 0.0;        ///< emission time, seconds since start
+
+    // Filled by downstream stages.
+    Tensor features;           ///< quantized cut tensor from RedEye
+    std::int32_t predicted = -1; ///< host-tail classification
+    double analogEnergyJ = 0.0;  ///< realized RedEye energy
+    double systemEnergyJ = 0.0;  ///< analog + host/link model energy
+};
+
+} // namespace stream
+} // namespace redeye
+
+#endif // REDEYE_STREAM_FRAME_HH

@@ -1,0 +1,86 @@
+#include "stream/frame_source.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace stream {
+
+ShapesReplaySource::ShapesReplaySource(data::Dataset dataset)
+    : dataset_(std::move(dataset))
+{
+    fatal_if(dataset_.size() == 0,
+             "replay source needs a non-empty dataset");
+}
+
+StreamFrame
+ShapesReplaySource::frame(std::uint64_t index)
+{
+    const std::size_t slot =
+        static_cast<std::size_t>(index % dataset_.size());
+    StreamFrame f;
+    f.index = index;
+    f.image = dataset_.images.slice(slot);
+    f.label = dataset_.labels[slot];
+    return f;
+}
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Unpaced:
+        return "unpaced";
+      case ArrivalKind::Fixed:
+        return "fixed";
+      case ArrivalKind::Poisson:
+        return "poisson";
+    }
+    return "?";
+}
+
+double
+ArrivalSchedule::interarrivalS(std::uint64_t index) const
+{
+    switch (kind) {
+      case ArrivalKind::Unpaced:
+        return 0.0;
+      case ArrivalKind::Fixed:
+        return rateHz > 0.0 ? 1.0 / rateHz : 0.0;
+      case ArrivalKind::Poisson: {
+        if (rateHz <= 0.0)
+            return 0.0;
+        // Exponential gap from the frame's private stream: the
+        // schedule is a pure function of (seed, index).
+        Rng gap = streamRng(seed, 0, index);
+        const double u = gap.uniform();
+        return -std::log1p(-u) / rateHz;
+      }
+    }
+    return 0.0;
+}
+
+ArrivalSchedule
+ArrivalSchedule::unpaced()
+{
+    return ArrivalSchedule{ArrivalKind::Unpaced, 0.0, 0};
+}
+
+ArrivalSchedule
+ArrivalSchedule::fixed(double rate_hz)
+{
+    fatal_if(rate_hz <= 0.0, "fixed arrival rate must be positive");
+    return ArrivalSchedule{ArrivalKind::Fixed, rate_hz, 0};
+}
+
+ArrivalSchedule
+ArrivalSchedule::poisson(double rate_hz, std::uint64_t seed)
+{
+    fatal_if(rate_hz <= 0.0, "Poisson arrival rate must be positive");
+    return ArrivalSchedule{ArrivalKind::Poisson, rate_hz, seed};
+}
+
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,164 @@
+#include "stream/metrics.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "core/units.hh"
+
+namespace redeye {
+namespace stream {
+
+StreamMetrics::StreamMetrics(std::vector<StageInfo> stages,
+                             std::uint64_t expected_frames)
+    : stages_(std::move(stages)), accum_(stages_.size()),
+      predictions_(expected_frames, -1)
+{
+    fatal_if(stages_.empty(), "metrics need at least one stage");
+}
+
+void
+StreamMetrics::recordOffered()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++offered_;
+}
+
+void
+StreamMetrics::recordAdmitted()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++admitted_;
+}
+
+void
+StreamMetrics::recordDropped(std::uint64_t index)
+{
+    (void)index;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++dropped_;
+}
+
+void
+StreamMetrics::recordService(std::size_t stage, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(stage >= accum_.size(), "stage index out of range");
+    accum_[stage].serviceS.push_back(seconds);
+}
+
+void
+StreamMetrics::recordQueueDepth(std::size_t stage, std::size_t depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(stage >= accum_.size(), "stage index out of range");
+    accum_[stage].depth.add(static_cast<double>(depth));
+    accum_[stage].depthMax = std::max(accum_[stage].depthMax, depth);
+}
+
+void
+StreamMetrics::recordCompleted(const StreamFrame &frame, double now_s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++completed_;
+    latencyS_.push_back(now_s - frame.emitS);
+    analogJ_.add(frame.analogEnergyJ);
+    systemJ_.add(frame.systemEnergyJ);
+    if (frame.index < predictions_.size())
+        predictions_[frame.index] = frame.predicted;
+}
+
+StreamReport
+StreamMetrics::report(double wall_s) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StreamReport r;
+    r.framesOffered = offered_;
+    r.framesAdmitted = admitted_;
+    r.framesDropped = dropped_;
+    r.framesCompleted = completed_;
+    r.wallS = wall_s;
+    if (wall_s > 0.0) {
+        r.offeredFps = static_cast<double>(offered_) / wall_s;
+        r.sustainedFps = static_cast<double>(completed_) / wall_s;
+    }
+    if (!latencyS_.empty()) {
+        RunningStat lat;
+        lat.addRange(latencyS_.begin(), latencyS_.end());
+        r.latencyMeanS = lat.mean();
+        r.latencyMaxS = lat.max();
+        r.latencyP50S = percentile(latencyS_, 50.0);
+        r.latencyP95S = percentile(latencyS_, 95.0);
+        r.latencyP99S = percentile(latencyS_, 99.0);
+    }
+    r.analogEnergyMeanJ = analogJ_.mean();
+    r.systemEnergyMeanJ = systemJ_.mean();
+
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        StageReport sr;
+        sr.name = stages_[i].name;
+        sr.workers = stages_[i].workers;
+        const auto &a = accum_[i];
+        sr.processed = a.serviceS.size();
+        if (!a.serviceS.empty()) {
+            RunningStat svc;
+            svc.addRange(a.serviceS.begin(), a.serviceS.end());
+            sr.serviceMeanS = svc.mean();
+            sr.serviceMaxS = svc.max();
+            sr.serviceP50S = percentile(a.serviceS, 50.0);
+            sr.serviceP95S = percentile(a.serviceS, 95.0);
+            sr.serviceP99S = percentile(a.serviceS, 99.0);
+        }
+        sr.queueDepthMean = a.depth.mean();
+        sr.queueDepthMax = a.depthMax;
+        r.stages.push_back(std::move(sr));
+    }
+    r.predictions = predictions_;
+    return r;
+}
+
+void
+StreamReport::print(std::ostream &os) const
+{
+    TablePrinter run("streaming run");
+    run.setHeader({"offered", "admitted", "dropped", "completed",
+                   "wall", "offered fps", "sustained fps"});
+    run.addRow({std::to_string(framesOffered),
+                std::to_string(framesAdmitted),
+                std::to_string(framesDropped),
+                std::to_string(framesCompleted),
+                units::siFormat(wallS, "s"), fmt(offeredFps, 2),
+                fmt(sustainedFps, 2)});
+    run.print(os);
+    os << "\n";
+
+    TablePrinter lat("per-frame latency and energy");
+    lat.setHeader({"p50", "p95", "p99", "max", "mean analog E",
+                   "mean system E"});
+    lat.addRow({units::siFormat(latencyP50S, "s"),
+                units::siFormat(latencyP95S, "s"),
+                units::siFormat(latencyP99S, "s"),
+                units::siFormat(latencyMaxS, "s"),
+                units::siFormat(analogEnergyMeanJ, "J"),
+                units::siFormat(systemEnergyMeanJ, "J")});
+    lat.print(os);
+    os << "\n";
+
+    TablePrinter st("stages");
+    st.setHeader({"stage", "workers", "served", "svc p50", "svc p95",
+                  "svc p99", "queue mean", "queue max"});
+    for (const StageReport &s : stages) {
+        st.addRow({s.name, std::to_string(s.workers),
+                   std::to_string(s.processed),
+                   units::siFormat(s.serviceP50S, "s"),
+                   units::siFormat(s.serviceP95S, "s"),
+                   units::siFormat(s.serviceP99S, "s"),
+                   fmt(s.queueDepthMean, 2),
+                   std::to_string(s.queueDepthMax)});
+    }
+    st.print(os);
+}
+
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Metrics collection for the streaming runtime.
+ *
+ * StreamMetrics is the single thread-safe sink every pipeline worker
+ * reports into: per-stage service times, queue depths, admission
+ * drops and frame completions. At the end of a run it is folded into
+ * a StreamReport — sustained fps, p50/p95/p99 latency, per-stage
+ * breakdowns, energy per frame, and the per-frame-index prediction
+ * vector used to verify the determinism contract.
+ */
+
+#ifndef REDEYE_STREAM_METRICS_HH
+#define REDEYE_STREAM_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/stats.hh"
+#include "stream/frame.hh"
+
+namespace redeye {
+namespace stream {
+
+/** Identity of one pipeline stage, for reporting. */
+struct StageInfo {
+    std::string name;
+    std::size_t workers = 1;
+};
+
+/** Per-stage slice of a StreamReport. */
+struct StageReport {
+    std::string name;
+    std::size_t workers = 0;
+    std::uint64_t processed = 0;
+    double serviceMeanS = 0.0;
+    double serviceP50S = 0.0;
+    double serviceP95S = 0.0;
+    double serviceP99S = 0.0;
+    double serviceMaxS = 0.0;
+    double queueDepthMean = 0.0;
+    std::size_t queueDepthMax = 0;
+};
+
+/** Result of one streaming run. */
+struct StreamReport {
+    std::uint64_t framesOffered = 0;
+    std::uint64_t framesAdmitted = 0;
+    std::uint64_t framesDropped = 0; ///< admission + eviction drops
+    std::uint64_t framesCompleted = 0;
+
+    double wallS = 0.0;        ///< first emission to last completion
+    double offeredFps = 0.0;   ///< framesOffered / wallS
+    double sustainedFps = 0.0; ///< framesCompleted / wallS
+
+    double latencyMeanS = 0.0; ///< emission -> completion
+    double latencyP50S = 0.0;
+    double latencyP95S = 0.0;
+    double latencyP99S = 0.0;
+    double latencyMaxS = 0.0;
+
+    double analogEnergyMeanJ = 0.0; ///< realized RedEye J/frame
+    double systemEnergyMeanJ = 0.0; ///< analog + host-model J/frame
+
+    std::vector<StageReport> stages;
+
+    /**
+     * Host prediction per frame index; -1 for frames that were
+     * dropped (or never offered). Bit-identical across thread counts
+     * and drop policies for every completed index.
+     */
+    std::vector<std::int32_t> predictions;
+
+    /** Human-readable summary tables. */
+    void print(std::ostream &os) const;
+};
+
+/** Thread-safe run-wide metrics sink. */
+class StreamMetrics
+{
+  public:
+    /**
+     * @param stages Stage identities, in pipeline order.
+     * @param expected_frames Upper bound on frame indices (sizes the
+     * prediction vector).
+     */
+    StreamMetrics(std::vector<StageInfo> stages,
+                  std::uint64_t expected_frames);
+
+    /** A frame left the source (pre-admission). */
+    void recordOffered();
+
+    /** A frame entered the admission queue. */
+    void recordAdmitted();
+
+    /** Frame @p index was dropped (rejected or evicted). */
+    void recordDropped(std::uint64_t index);
+
+    /** Stage @p stage served one frame in @p seconds. */
+    void recordService(std::size_t stage, double seconds);
+
+    /** Depth of stage @p stage's inbound queue after a pop. */
+    void recordQueueDepth(std::size_t stage, std::size_t depth);
+
+    /** Frame @p frame finished the last stage at time @p now_s. */
+    void recordCompleted(const StreamFrame &frame, double now_s);
+
+    /** Fold everything into a report. @p wall_s is the run's span. */
+    StreamReport report(double wall_s) const;
+
+  private:
+    struct StageAccum {
+        std::vector<double> serviceS;
+        RunningStat depth;
+        std::size_t depthMax = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<StageInfo> stages_;
+    std::vector<StageAccum> accum_;
+    std::uint64_t offered_ = 0;
+    std::uint64_t admitted_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t completed_ = 0;
+    std::vector<double> latencyS_;
+    RunningStat analogJ_;
+    RunningStat systemJ_;
+    std::vector<std::int32_t> predictions_;
+};
+
+} // namespace stream
+} // namespace redeye
+
+#endif // REDEYE_STREAM_METRICS_HH

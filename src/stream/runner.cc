@@ -1,0 +1,254 @@
+#include "stream/runner.hh"
+
+#include <thread>
+
+#include "core/exec.hh"
+#include "core/logging.hh"
+
+namespace redeye {
+namespace stream {
+
+namespace {
+
+/** Seconds between two steady-clock points. */
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+const char *
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::Block:
+        return "block";
+      case AdmissionPolicy::DropNewest:
+        return "drop-newest";
+      case AdmissionPolicy::DropOldest:
+        return "drop-oldest";
+    }
+    return "?";
+}
+
+StreamRunner::StreamRunner(FrameSource &source,
+                           std::vector<StageSpec> stages,
+                           RunnerConfig config)
+    : source_(source), stages_(std::move(stages)), config_(config)
+{
+    fatal_if(stages_.empty(), "pipeline needs at least one stage");
+    fatal_if(config_.frames == 0, "run needs at least one frame");
+    for (const StageSpec &s : stages_) {
+        fatal_if(s.workers == 0, "stage '", s.name,
+                 "' needs at least one worker");
+        fatal_if(!s.makeWorker, "stage '", s.name,
+                 "' has no worker factory");
+    }
+}
+
+double
+StreamRunner::secondsSinceStart() const
+{
+    return secondsBetween(start_, Clock::now());
+}
+
+void
+StreamRunner::abortRun()
+{
+    stop_.store(true);
+    for (auto &q : queues_)
+        q->close();
+}
+
+void
+StreamRunner::markWorkerReady()
+{
+    {
+        std::lock_guard<std::mutex> lock(readyMutex_);
+        ++readyCount_;
+    }
+    readyCv_.notify_all();
+}
+
+void
+StreamRunner::waitWorkersReady(std::size_t count)
+{
+    std::unique_lock<std::mutex> lock(readyMutex_);
+    readyCv_.wait(lock, [&] { return readyCount_ >= count; });
+}
+
+void
+StreamRunner::sourceLoop(StreamMetrics &metrics)
+{
+    // Do not start the arrival clock until every stage worker has
+    // built its state; otherwise warm-up (network construction)
+    // would masquerade as queueing delay.
+    std::size_t stage_workers = 0;
+    for (const StageSpec &s : stages_)
+        stage_workers += s.workers;
+    waitWorkersReady(stage_workers);
+
+    start_ = Clock::now();
+    Queue &q0 = *queues_[0];
+    double next_arrival = 0.0;
+
+    for (std::uint64_t i = 0; i < config_.frames; ++i) {
+        if (stop_.load())
+            break;
+        next_arrival += config_.arrivals.interarrivalS(i);
+        if (next_arrival > 0.0) {
+            std::this_thread::sleep_until(
+                start_ + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 next_arrival)));
+        }
+
+        StreamFrame frame = source_.frame(i);
+        frame.emitS = secondsSinceStart();
+        metrics.recordOffered();
+
+        bool closed = false;
+        switch (config_.policy) {
+          case AdmissionPolicy::Block: {
+            if (q0.push(std::move(frame)) == QueuePush::Ok)
+                metrics.recordAdmitted();
+            else
+                closed = true;
+            break;
+          }
+          case AdmissionPolicy::DropNewest: {
+            const QueuePush r = q0.tryPush(std::move(frame));
+            if (r == QueuePush::Ok)
+                metrics.recordAdmitted();
+            else if (r == QueuePush::Full)
+                metrics.recordDropped(i);
+            else
+                closed = true;
+            break;
+          }
+          case AdmissionPolicy::DropOldest: {
+            std::optional<StreamFrame> evicted;
+            if (q0.pushEvictOldest(std::move(frame), evicted) ==
+                QueuePush::Ok) {
+                metrics.recordAdmitted();
+                if (evicted)
+                    metrics.recordDropped(evicted->index);
+            } else {
+                closed = true;
+            }
+            break;
+          }
+        }
+        if (closed)
+            break; // the run was aborted under us
+    }
+    q0.close();
+}
+
+void
+StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
+                        StreamMetrics &metrics)
+{
+    std::function<void(StreamFrame &)> fn;
+    try {
+        fn = stages_[stage].makeWorker(worker);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        abortRun();
+    }
+    markWorkerReady();
+
+    Queue &in = *queues_[stage];
+    Queue *out =
+        stage + 1 < stages_.size() ? queues_[stage + 1].get() : nullptr;
+
+    if (fn) {
+        StreamFrame frame;
+        try {
+            while (in.pop(frame)) {
+                metrics.recordQueueDepth(stage, in.size());
+                const auto t0 = Clock::now();
+                fn(frame);
+                metrics.recordService(
+                    stage, secondsBetween(t0, Clock::now()));
+                if (out) {
+                    if (out->push(std::move(frame)) != QueuePush::Ok)
+                        break; // aborted
+                } else {
+                    metrics.recordCompleted(frame,
+                                            secondsSinceStart());
+                }
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            abortRun();
+        }
+    }
+
+    // Last worker out closes the downstream queue so the next stage
+    // drains and terminates.
+    if (out && live_[stage]->fetch_sub(1) == 1)
+        out->close();
+}
+
+StreamReport
+StreamRunner::run()
+{
+    panic_if(started_, "StreamRunner::run() may be called once");
+    started_ = true;
+
+    queues_.clear();
+    live_.clear();
+    std::vector<StageInfo> infos;
+    std::size_t total_workers = 1; // the source
+    for (const StageSpec &s : stages_) {
+        queues_.push_back(
+            std::make_unique<Queue>(config_.queueCapacity));
+        live_.push_back(std::make_unique<std::atomic<std::size_t>>(
+            s.workers));
+        infos.push_back(StageInfo{s.name, s.workers});
+        total_workers += s.workers;
+    }
+    StreamMetrics metrics(infos, config_.frames);
+
+    // Every worker is one long-lived chunk; the pool is sized so all
+    // of them run concurrently (the caller serves as one worker).
+    ThreadPool pool(total_workers);
+    start_ = Clock::now(); // placeholder until the source re-stamps
+    pool.run(total_workers, [&](std::size_t chunk) {
+        if (chunk == 0) {
+            sourceLoop(metrics);
+            return;
+        }
+        std::size_t index = chunk - 1;
+        for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+            if (index < stages_[stage].workers) {
+                stageLoop(stage, index, metrics);
+                return;
+            }
+            index -= stages_[stage].workers;
+        }
+        panic("worker chunk out of range");
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (firstError_)
+            std::rethrow_exception(firstError_);
+    }
+    return metrics.report(secondsSinceStart());
+}
+
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * StreamRunner: a bounded multi-stage streaming pipeline.
+ *
+ * One source worker paces frames out of a FrameSource according to an
+ * ArrivalSchedule and admits them into the first bounded queue under
+ * a configurable admission policy; each stage's workers pop from
+ * their inbound queue, apply the stage function, and push downstream
+ * with blocking backpressure. All workers are long-lived chunks of a
+ * single ThreadPool::run() call (core/exec.hh), so the runtime reuses
+ * the repo's pooled-execution substrate rather than raw threads.
+ *
+ * ## Backpressure and drop semantics
+ *
+ * Only the admission queue drops frames; inter-stage pushes always
+ * block. A slow stage therefore fills the queues behind it until the
+ * pressure reaches admission, where the policy decides: Block turns
+ * the source into a closed loop (no drops, arrival pacing slips),
+ * DropNewest rejects the arriving frame, DropOldest evicts the
+ * stalest admitted-but-unserved frame. In both drop modes the queue
+ * bound caps the queueing delay of every admitted frame, so tail
+ * latency stays bounded past saturation.
+ *
+ * ## Determinism contract
+ *
+ * Frame *content* (pixels, features, predictions, energies) is a pure
+ * function of the frame index: sources and stages key all their
+ * randomness with counter-based streams (core/rng.hh). Which frames
+ * complete, and all timing metrics, depend on real-time scheduling —
+ * only the content of a completed frame index is reproducible.
+ *
+ * ## Shutdown and drain
+ *
+ * The source closes the admission queue after the last frame (or as
+ * soon as requestStop() is observed); each stage closes its outbound
+ * queue when its last worker has drained the inbound one. run()
+ * returns once every in-flight frame has either completed or been
+ * dropped — a clean drain on every path. A stage function that
+ * throws aborts the run: all queues close, workers unwind, and the
+ * first exception is rethrown from run().
+ */
+
+#ifndef REDEYE_STREAM_RUNNER_HH
+#define REDEYE_STREAM_RUNNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/queue.hh"
+#include "stream/frame.hh"
+#include "stream/frame_source.hh"
+#include "stream/metrics.hh"
+
+namespace redeye {
+namespace stream {
+
+/** What happens when a frame arrives at a full admission queue. */
+enum class AdmissionPolicy {
+    Block,      ///< source blocks (closed-loop, lossless)
+    DropNewest, ///< reject the arriving frame
+    DropOldest, ///< evict the stalest queued frame
+};
+
+/** Name of an admission policy. */
+const char *admissionPolicyName(AdmissionPolicy policy);
+
+/** One pipeline stage: a name, a worker count, a worker factory. */
+struct StageSpec {
+    std::string name;
+    std::size_t workers = 1;
+
+    /**
+     * Called once per worker (with the worker's index) before any
+     * frame is served; returns the per-frame function that worker
+     * runs. Worker-local state (network replicas, scratch) lives in
+     * the returned closure. The function must derive any randomness
+     * from the frame index so replicas agree (see the determinism
+     * contract above).
+     */
+    std::function<std::function<void(StreamFrame &)>(std::size_t)>
+        makeWorker;
+};
+
+/** Runner knobs. */
+struct RunnerConfig {
+    std::uint64_t frames = 0;      ///< frames to offer (> 0)
+    std::size_t queueCapacity = 8; ///< bound of every queue
+    AdmissionPolicy policy = AdmissionPolicy::Block;
+    ArrivalSchedule arrivals = ArrivalSchedule::unpaced();
+};
+
+/** Drives a FrameSource through pipeline stages. */
+class StreamRunner
+{
+  public:
+    /**
+     * @param source Frame producer; outlives the runner.
+     * @param stages Pipeline stages, in order (at least one).
+     */
+    StreamRunner(FrameSource &source, std::vector<StageSpec> stages,
+                 RunnerConfig config);
+
+    /**
+     * Execute the run to completion (blocking) and report. May be
+     * called once per runner.
+     */
+    StreamReport run();
+
+    /**
+     * Ask a running pipeline to stop admitting new frames and drain.
+     * Safe from any thread; returns immediately.
+     */
+    void requestStop() { stop_.store(true); }
+
+    /** True once requestStop() was called. */
+    bool stopRequested() const { return stop_.load(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Queue = BoundedQueue<StreamFrame>;
+
+    void sourceLoop(StreamMetrics &metrics);
+    void stageLoop(std::size_t stage, std::size_t worker,
+                   StreamMetrics &metrics);
+
+    /** Close every queue so all workers unwind promptly. */
+    void abortRun();
+
+    void markWorkerReady();
+    void waitWorkersReady(std::size_t count);
+
+    double secondsSinceStart() const;
+
+    FrameSource &source_;
+    std::vector<StageSpec> stages_;
+    RunnerConfig config_;
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::unique_ptr<std::atomic<std::size_t>>> live_;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+
+    std::mutex readyMutex_;
+    std::condition_variable readyCv_;
+    std::size_t readyCount_ = 0;
+
+    std::mutex errorMutex_;
+    std::exception_ptr firstError_;
+
+    Clock::time_point start_;
+};
+
+} // namespace stream
+} // namespace redeye
+
+#endif // REDEYE_STREAM_RUNNER_HH

@@ -1,0 +1,186 @@
+#include "stream/vision.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/logging.hh"
+#include "models/mini_googlenet.hh"
+#include "models/partition.hh"
+#include "nn/serialize.hh"
+#include "redeye/device.hh"
+#include "system/ble.hh"
+#include "system/jetson.hh"
+
+namespace redeye {
+namespace stream {
+
+namespace {
+
+/** Index of the largest logit. */
+std::int32_t
+argmax(const Tensor &logits)
+{
+    std::int32_t best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+        if (logits[i] > logits[best])
+            best = static_cast<std::int32_t>(i);
+    }
+    return best;
+}
+
+/** Sensor stage: per-worker sampling-layer replica. */
+struct SensorWorker {
+    noise::SensorSamplingLayer layer;
+
+    explicit SensorWorker(const VisionConfig &cfg)
+        : layer("stream/sensor", cfg.sensor, Rng(cfg.sensorSeed))
+    {
+    }
+
+    void
+    process(StreamFrame &frame)
+    {
+        // Key the noise to the frame index: every replica realizes
+        // the same raw sample for the same frame.
+        layer.setPass(frame.index);
+        Tensor sampled;
+        layer.forward({&frame.image}, sampled);
+        frame.image = std::move(sampled);
+    }
+};
+
+/** Device stage: network replica + per-frame functional device. */
+struct DeviceWorker {
+    VisionConfig cfg;
+    std::unique_ptr<nn::Network> net;
+    std::vector<std::string> layers;
+    arch::ColumnArrayConfig array;
+
+    explicit DeviceWorker(const VisionConfig &config) : cfg(config)
+    {
+        Rng weights(cfg.weightSeed);
+        net = models::buildMiniGoogLeNet(cfg.classes, weights);
+        layers = models::miniGoogLeNetAnalogLayers(cfg.depth);
+        array.columns = models::kMiniInputSize;
+        array.convSnrDb = cfg.convSnrDb;
+        array.weightBits = cfg.weightBits;
+        array.adcBits = cfg.adcBits;
+    }
+
+    void
+    process(StreamFrame &frame)
+    {
+        // A fresh device per frame, seeded by the frame index: the
+        // realized analog noise (and therefore the exported features
+        // and energy) is a pure function of the index.
+        arch::RedEyeDevice device(
+            array, analog::ProcessParams::typical(),
+            Rng(streamRng(cfg.deviceSeed, 0, frame.index).raw()));
+        auto run = device.run(*net, layers, frame.image);
+        frame.features = std::move(run.features);
+        frame.analogEnergyJ = run.energy.totalJ();
+    }
+};
+
+/** Host stage: digital tail replica + system energy model. */
+struct HostWorker {
+    VisionConfig cfg;
+    std::unique_ptr<nn::Network> tail;
+    double hostEnergyJ = 0.0; ///< model energy of the digital side
+
+    explicit HostWorker(const VisionConfig &config) : cfg(config)
+    {
+        Rng weights(cfg.weightSeed);
+        auto full = models::buildMiniGoogLeNet(cfg.classes, weights);
+        const auto analog_layers =
+            models::miniGoogLeNetAnalogLayers(cfg.depth);
+        const Shape cut = full->nodeShape(analog_layers.back());
+
+        Rng tail_init(cfg.weightSeed ^ 0x7a11);
+        tail = models::buildMiniGoogLeNetTail(cfg.depth, cfg.classes,
+                                              cut, tail_init);
+        nn::copyWeightsByName(*tail, *full);
+
+        const double tail_macs = static_cast<double>(
+            models::digitalTailMacs(*full, analog_layers));
+        const double full_macs =
+            static_cast<double>(full->totalMacs());
+        switch (cfg.host) {
+          case HostTail::JetsonGpu:
+          case HostTail::JetsonCpu: {
+            sys::JetsonTk1 host(sys::JetsonParams::paper(
+                cfg.host == HostTail::JetsonGpu
+                    ? sys::JetsonProcessor::GPU
+                    : sys::JetsonProcessor::CPU,
+                full_macs, tail_macs));
+            hostEnergyJ = host.executionEnergyJ(tail_macs);
+            break;
+          }
+          case HostTail::Cloudlet: {
+            const double payload_bytes =
+                static_cast<double>(cut.size()) * cfg.adcBits / 8.0;
+            hostEnergyJ =
+                sys::BleLink().transferEnergyJ(payload_bytes);
+            break;
+          }
+        }
+    }
+
+    void
+    process(StreamFrame &frame)
+    {
+        frame.predicted = argmax(tail->forward(frame.features));
+        frame.systemEnergyJ = frame.analogEnergyJ + hostEnergyJ;
+    }
+};
+
+} // namespace
+
+const char *
+hostTailName(HostTail host)
+{
+    switch (host) {
+      case HostTail::JetsonGpu:
+        return "jetson-gpu";
+      case HostTail::JetsonCpu:
+        return "jetson-cpu";
+      case HostTail::Cloudlet:
+        return "cloudlet";
+    }
+    return "?";
+}
+
+std::vector<StageSpec>
+makeVisionStages(const VisionConfig &config)
+{
+    fatal_if(config.depth < 1 || config.depth > 5,
+             "vision depth must be in [1, 5]");
+
+    std::vector<StageSpec> stages;
+    stages.push_back(StageSpec{
+        "sensor", config.sensorWorkers, [config](std::size_t) {
+            auto state = std::make_shared<SensorWorker>(config);
+            return [state](StreamFrame &f) { state->process(f); };
+        }});
+    stages.push_back(StageSpec{
+        "redeye", config.deviceWorkers, [config](std::size_t) {
+            auto state = std::make_shared<DeviceWorker>(config);
+            return [state](StreamFrame &f) { state->process(f); };
+        }});
+    stages.push_back(StageSpec{
+        "host", config.hostWorkers, [config](std::size_t) {
+            auto state = std::make_shared<HostWorker>(config);
+            return [state](StreamFrame &f) { state->process(f); };
+        }});
+    return stages;
+}
+
+data::Dataset
+makeReplayDataset(std::size_t per_class, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return data::generateShapes(per_class, data::ShapesParams{}, rng);
+}
+
+} // namespace stream
+} // namespace redeye

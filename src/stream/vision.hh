@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The continuous-vision serving pipeline: concrete StageSpecs wiring
+ * the paper's always-on frame path into the streaming runtime.
+ *
+ *   source -> sensor sampling -> RedEye device -> host tail
+ *
+ * The sensor stage applies the raw sampling model (inverse gamma,
+ * shot noise, fixed-pattern noise); the device stage executes the
+ * analog prefix of MiniGoogLeNet through the functional ColumnArray
+ * and exports the quantized cut tensor plus the realized energy; the
+ * host stage classifies the features with the digital tail network
+ * and prices the digital side with the Jetson/BLE system models.
+ *
+ * Every stage worker owns private replicas (sensor layer, network,
+ * per-frame device) built from the same seeds, and keys all noise by
+ * the frame index, so frame content is bit-identical no matter how
+ * many workers serve a stage.
+ */
+
+#ifndef REDEYE_STREAM_VISION_HH
+#define REDEYE_STREAM_VISION_HH
+
+#include "data/shapes_dataset.hh"
+#include "noise/sensor_noise.hh"
+#include "stream/runner.hh"
+
+namespace redeye {
+namespace stream {
+
+/** Digital side of the system (pricing + tail execution host). */
+enum class HostTail {
+    JetsonGpu, ///< on-device Jetson TK1 GPU
+    JetsonCpu, ///< on-device Jetson TK1 CPU
+    Cloudlet,  ///< BLE offload (remote compute priced as free)
+};
+
+/** Name of a host tail. */
+const char *hostTailName(HostTail host);
+
+/** Configuration of the vision pipeline. */
+struct VisionConfig {
+    unsigned depth = 1;        ///< MiniGoogLeNet analog depth cut
+    std::size_t classes = data::kShapeClasses;
+    double convSnrDb = 40.0;   ///< RedEye fidelity mode
+    unsigned adcBits = 4;      ///< readout resolution
+    unsigned weightBits = 8;   ///< kernel DAC resolution
+    HostTail host = HostTail::JetsonGpu;
+
+    noise::SensorParams sensor; ///< raw sampling model
+
+    std::uint64_t weightSeed = 0x3317a11;  ///< network replica seed
+    std::uint64_t sensorSeed = 0x5e9505;   ///< sampling noise base
+    std::uint64_t deviceSeed = 0xde71ce;   ///< analog noise base
+
+    std::size_t sensorWorkers = 1;
+    std::size_t deviceWorkers = 1;
+    std::size_t hostWorkers = 1;
+};
+
+/**
+ * Build the three vision stages for a StreamRunner. Worker state is
+ * constructed lazily inside each worker (StageSpec::makeWorker), so
+ * this call itself is cheap.
+ */
+std::vector<StageSpec> makeVisionStages(const VisionConfig &config);
+
+/**
+ * Generate the replay dataset the serving benches and tests use:
+ * @p per_class examples per shape class, rendered from @p seed.
+ */
+data::Dataset makeReplayDataset(std::size_t per_class,
+                                std::uint64_t seed);
+
+} // namespace stream
+} // namespace redeye
+
+#endif // REDEYE_STREAM_VISION_HH

@@ -21,7 +21,10 @@ CloudletPipeline::estimate(double sensor_energy_j, double sensor_time_s,
     cost.sensorJ = sensor_energy_j;
     cost.transferJ = link_.transferEnergyJ(payload_bytes);
     const double link_time = link_.transferTimeS(payload_bytes);
+    // Pipelined bottleneck sets throughput; latency is the stage sum
+    // (see the SystemCost convention in the header).
     cost.frameTimeS = std::max(sensor_time_s, link_time);
+    cost.latencyS = sensor_time_s + link_time;
     cost.fps = cost.frameTimeS > 0.0 ? 1.0 / cost.frameTimeS : 0.0;
     return cost;
 }
@@ -40,7 +43,10 @@ HostPipeline::estimate(double sensor_energy_j, double sensor_time_s,
     cost.sensorJ = sensor_energy_j;
     cost.computeJ = host_.executionEnergyJ(tail_macs);
     const double host_time = host_.executionTimeS(tail_macs);
+    // Same convention as CloudletPipeline: bottleneck stage time for
+    // throughput, stage sum for latency.
     cost.frameTimeS = std::max(sensor_time_s, host_time);
+    cost.latencyS = sensor_time_s + host_time;
     cost.fps = cost.frameTimeS > 0.0 ? 1.0 / cost.frameTimeS : 0.0;
     return cost;
 }

@@ -14,12 +14,23 @@
 namespace redeye {
 namespace sys {
 
-/** Per-frame cost of one system configuration. */
+/**
+ * Per-frame cost of one system configuration.
+ *
+ * Timing convention (both pipelines): the stages are overlapped, so
+ * `frameTimeS` is the *pipelined bottleneck* — the service time of
+ * the slowest stage, which sets the sustained throughput
+ * `fps = 1 / frameTimeS`. It is NOT the end-to-end latency of one
+ * frame; that is `latencyS`, the sum of every stage's service time,
+ * and always satisfies `latencyS >= frameTimeS`. Energy fields are
+ * per frame and `totalJ()` is exactly their sum.
+ */
 struct SystemCost {
     double sensorJ = 0.0;   ///< image sensor or RedEye
     double transferJ = 0.0; ///< BLE payload (cloudlet only)
     double computeJ = 0.0;  ///< host ConvNet execution
-    double frameTimeS = 0.0; ///< per-frame latency (pipelined)
+    double frameTimeS = 0.0; ///< bottleneck stage time (pipeline period)
+    double latencyS = 0.0;   ///< end-to-end per-frame latency (stage sum)
     double fps = 0.0;        ///< sustained pipelined frame rate
 
     double

@@ -1,0 +1,213 @@
+/** @file Tests for the bounded MPMC queue. */
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/queue.hh"
+
+namespace redeye {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.push(1), QueuePush::Ok);
+    EXPECT_EQ(q.push(2), QueuePush::Ok);
+    EXPECT_EQ(q.push(3), QueuePush::Ok);
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 3);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, RejectsZeroCapacity)
+{
+    EXPECT_EXIT(BoundedQueue<int>(0), ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(BoundedQueueTest, TryPushFullAtCapacity)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_EQ(q.tryPush(1), QueuePush::Ok);
+    EXPECT_EQ(q.tryPush(2), QueuePush::Ok);
+    EXPECT_EQ(q.tryPush(3), QueuePush::Full);
+    EXPECT_EQ(q.size(), 2u);
+    int out = 0;
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_EQ(q.tryPush(3), QueuePush::Ok);
+}
+
+TEST(BoundedQueueTest, TryPopEmpty)
+{
+    BoundedQueue<int> q(2);
+    int out = 7;
+    EXPECT_FALSE(q.tryPop(out));
+    EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTest, EvictOldestReturnsEvicted)
+{
+    BoundedQueue<int> q(2);
+    std::optional<int> evicted;
+    EXPECT_EQ(q.pushEvictOldest(1, evicted), QueuePush::Ok);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(q.pushEvictOldest(2, evicted), QueuePush::Ok);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(q.pushEvictOldest(3, evicted), QueuePush::Ok);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 1);
+    EXPECT_EQ(q.size(), 2u);
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, CloseFailsPushesAndDrains)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.push(1), QueuePush::Ok);
+    EXPECT_EQ(q.push(2), QueuePush::Ok);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.push(3), QueuePush::Closed);
+    EXPECT_EQ(q.tryPush(3), QueuePush::Closed);
+    std::optional<int> evicted;
+    EXPECT_EQ(q.pushEvictOldest(3, evicted), QueuePush::Closed);
+    // Consumers drain the remainder, then see false.
+    int out = 0;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueueTest, CloseIsIdempotent)
+{
+    BoundedQueue<int> q(1);
+    q.close();
+    q.close();
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueueTest, CountersTrackPushesAndDepth)
+{
+    BoundedQueue<int> q(3);
+    EXPECT_EQ(q.totalPushed(), 0u);
+    EXPECT_EQ(q.highWater(), 0u);
+    q.push(1);
+    q.push(2);
+    int out = 0;
+    q.pop(out);
+    q.push(3);
+    EXPECT_EQ(q.totalPushed(), 3u);
+    EXPECT_EQ(q.highWater(), 2u);
+    EXPECT_EQ(q.capacity(), 3u);
+}
+
+TEST(BoundedQueueTest, BlockedPushWakesOnPop)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(1), QueuePush::Ok);
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_EQ(q.push(2), QueuePush::Ok); // blocks until the pop
+        pushed.store(true);
+    });
+    int out = 0;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, 1);
+    ASSERT_TRUE(q.pop(out)); // waits for the producer if needed
+    EXPECT_EQ(out, 2);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, BlockedPushWakesOnClose)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(1), QueuePush::Ok);
+    std::thread producer(
+        [&] { EXPECT_EQ(q.push(2), QueuePush::Closed); });
+    q.close();
+    producer.join();
+}
+
+TEST(BoundedQueueTest, BlockedPopWakesOnClose)
+{
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] {
+        int out = 0;
+        EXPECT_FALSE(q.pop(out));
+    });
+    q.close();
+    consumer.join();
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 250;
+
+    BoundedQueue<int> q(8);
+    std::mutex seen_mutex;
+    std::multiset<int> seen;
+
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_EQ(q.push(p * kPerProducer + i),
+                          QueuePush::Ok);
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            int out = 0;
+            while (q.pop(out)) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                seen.insert(out);
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p)
+        threads[p].join();
+    q.close();
+    for (std::size_t t = kProducers; t < threads.size(); ++t)
+        threads[t].join();
+
+    ASSERT_EQ(seen.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+    // Every value delivered exactly once.
+    for (int v = 0; v < kProducers * kPerProducer; ++v)
+        EXPECT_EQ(seen.count(v), 1u) << "value " << v;
+    EXPECT_EQ(q.totalPushed(),
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    EXPECT_LE(q.highWater(), q.capacity());
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload)
+{
+    BoundedQueue<std::unique_ptr<int>> q(2);
+    EXPECT_EQ(q.push(std::make_unique<int>(42)), QueuePush::Ok);
+    std::unique_ptr<int> out;
+    EXPECT_TRUE(q.pop(out));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 42);
+}
+
+} // namespace
+} // namespace redeye

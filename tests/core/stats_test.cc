@@ -102,6 +102,81 @@ TEST(HistogramTest, RejectsZeroBins)
                 ::testing::ExitedWithCode(1), "bin");
 }
 
+TEST(PercentileTest, OrderStatistics)
+{
+    // Unsorted on purpose: percentile() sorts internally.
+    std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0); // midpoint
+}
+
+TEST(PercentileTest, LinearInterpolation)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(PercentileTest, SingleSample)
+{
+    std::vector<double> v{3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 99.0), 3.0);
+}
+
+TEST(PercentileTest, TailPercentilesOnUniformRamp)
+{
+    // 0..99: p-th percentile of the ramp is 0.99 * p.
+    std::vector<double> v(100);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<double>(i);
+    EXPECT_NEAR(percentile(v, 50.0), 49.5, 1e-12);
+    EXPECT_NEAR(percentile(v, 95.0), 94.05, 1e-12);
+    EXPECT_NEAR(percentile(v, 99.0), 98.01, 1e-12);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadP)
+{
+    EXPECT_EXIT(percentile({}, 50.0), ::testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(percentile({1.0}, -1.0),
+                ::testing::ExitedWithCode(1), "percentile");
+    EXPECT_EXIT(percentile({1.0}, 101.0),
+                ::testing::ExitedWithCode(1), "percentile");
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBin)
+{
+    // 100 samples spread uniformly across [0, 10).
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 10.0);
+    // Each bin holds 10 samples; the median sits at the middle of
+    // the full range under the uniform-within-bin assumption.
+    EXPECT_NEAR(h.percentile(50.0), 5.0, 0.5);
+    EXPECT_NEAR(h.percentile(95.0), 9.5, 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(HistogramTest, PercentileSingleBinMass)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 8; ++i)
+        h.add(3.5); // all mass in bin 3: [3, 4)
+    const double p50 = h.percentile(50.0);
+    EXPECT_GE(p50, 3.0);
+    EXPECT_LE(p50, 4.0);
+}
+
+TEST(HistogramTest, PercentileRejectsEmpty)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EXIT(h.percentile(50.0), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
 TEST(MeasureSnrTest, IdenticalVectorsInfinite)
 {
     std::vector<float> v{1.0f, 2.0f, 3.0f};

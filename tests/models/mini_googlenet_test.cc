@@ -4,6 +4,7 @@
 
 #include "core/rng.hh"
 #include "models/mini_googlenet.hh"
+#include "nn/serialize.hh"
 
 namespace redeye {
 namespace models {
@@ -45,6 +46,46 @@ TEST(MiniGoogLeNetTest, ForwardRuns)
     const Tensor &y = net->forward(x);
     EXPECT_EQ(y.shape(), Shape(2, 10, 1, 1));
     EXPECT_TRUE(std::isfinite(y.sum()));
+}
+
+TEST(MiniGoogLeNetTailTest, MatchesFullNetFromEveryCut)
+{
+    Rng rng(11);
+    auto full = buildMiniGoogLeNet(10, rng);
+    Rng xr(12);
+    Tensor x(Shape(1, 3, kMiniInputSize, kMiniInputSize));
+    x.fillUniform(xr, 0.0f, 1.0f);
+    const Tensor logits = full->forward(x);
+
+    for (unsigned depth = 1; depth <= 5; ++depth) {
+        const auto analog = miniGoogLeNetAnalogLayers(depth);
+        const Shape cut = full->nodeShape(analog.back());
+
+        Rng tail_init(13);
+        auto tail = buildMiniGoogLeNetTail(depth, 10, cut, tail_init);
+        nn::copyWeightsByName(*tail, *full);
+
+        // Feeding the full net's activation at the cut into the tail
+        // must reproduce the full net's logits exactly: same layer
+        // names, same copied weights, same arithmetic.
+        const Tensor &features = full->activation(analog.back());
+        const Tensor &y = tail->forward(features);
+        ASSERT_EQ(y.shape(), logits.shape()) << "depth " << depth;
+        EXPECT_EQ(maxAbsDiff(y, logits), 0.0f) << "depth " << depth;
+    }
+}
+
+TEST(MiniGoogLeNetTailTest, DepthFiveTailIsClassifierOnly)
+{
+    Rng rng(14);
+    auto full = buildMiniGoogLeNet(10, rng);
+    const auto analog = miniGoogLeNetAnalogLayers(5);
+    const Shape cut = full->nodeShape(analog.back());
+    Rng tail_init(15);
+    auto tail = buildMiniGoogLeNetTail(5, 10, cut, tail_init);
+    // Only the inner-product classifier remains on the host.
+    EXPECT_EQ(tail->outputShape(), Shape(1, 10, 1, 1));
+    EXPECT_LT(tail->totalMacs(), full->totalMacs() / 10);
 }
 
 TEST(MiniGoogLeNetTest, DeterministicGivenSeed)

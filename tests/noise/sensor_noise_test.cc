@@ -103,6 +103,52 @@ TEST(SensorTest, DifferentDiesDifferentPatterns)
     EXPECT_GT(maxAbsDiff(ya, yb), 0.0f);
 }
 
+TEST(SensorTest, SetPassPinsTheNoiseStream)
+{
+    SensorParams p = quietSensor();
+    p.enablePoisson = true;
+    SensorSamplingLayer layer("s", p, Rng(8));
+    Tensor x(Shape(1, 1, 16, 16), 0.5f);
+
+    // The pass counter advances on every noisy forward...
+    EXPECT_EQ(layer.pass(), 0u);
+    Tensor pass0, pass1;
+    layer.forward({&x}, pass0);
+    layer.forward({&x}, pass1);
+    EXPECT_EQ(layer.pass(), 2u);
+    EXPECT_GT(maxAbsDiff(pass0, pass1), 0.0f); // fresh shot noise
+
+    // ...and setPass() rewinds it: pass 1 replays exactly.
+    layer.setPass(1);
+    Tensor replay;
+    layer.forward({&x}, replay);
+    EXPECT_EQ(maxAbsDiff(replay, pass1), 0.0f);
+}
+
+TEST(SensorTest, ReplicasAgreeWhenKeyedByFrameIndex)
+{
+    // Two identically-seeded replicas (two stage workers) serve the
+    // same frame index: with setPass() they realize identical noise
+    // regardless of how many frames each has served before.
+    SensorParams p = quietSensor();
+    p.enablePoisson = true;
+    p.enableFixedPattern = true;
+    SensorSamplingLayer a("s", p, Rng(9));
+    SensorSamplingLayer b("s", p, Rng(9));
+    Tensor x(Shape(1, 1, 16, 16), 0.5f);
+
+    Tensor scratch;
+    for (int i = 0; i < 3; ++i)
+        a.forward({&x}, scratch); // replica A is 3 frames ahead
+
+    a.setPass(7);
+    b.setPass(7);
+    Tensor ya, yb;
+    a.forward({&x}, ya);
+    b.forward({&x}, yb);
+    EXPECT_EQ(maxAbsDiff(ya, yb), 0.0f);
+}
+
 TEST(SensorTest, ExpectedSnrOrdering)
 {
     SensorParams nominal;

@@ -1,0 +1,122 @@
+/** @file Tests for frame sources and arrival schedules. */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "stream/frame_source.hh"
+
+namespace redeye {
+namespace stream {
+namespace {
+
+data::Dataset
+smallDataset()
+{
+    Rng rng(0x5eed);
+    return data::generateShapes(2, data::ShapesParams{}, rng);
+}
+
+TEST(ShapesReplaySourceTest, FrameMatchesDatasetExample)
+{
+    auto dataset = smallDataset();
+    const std::size_t n = dataset.size();
+    const Tensor images = dataset.images; // keep a reference copy
+    const auto labels = dataset.labels;
+
+    ShapesReplaySource source(std::move(dataset));
+    ASSERT_EQ(source.size(), n);
+
+    StreamFrame f = source.frame(3);
+    EXPECT_EQ(f.index, 3u);
+    EXPECT_EQ(f.label, labels[3]);
+    ASSERT_EQ(f.image.shape(), images.slice(3).shape());
+    const Tensor expected = images.slice(3);
+    for (std::size_t i = 0; i < f.image.size(); ++i)
+        ASSERT_EQ(f.image[i], expected[i]);
+}
+
+TEST(ShapesReplaySourceTest, ReplayWrapsModuloSize)
+{
+    ShapesReplaySource source(smallDataset());
+    const std::size_t n = source.size();
+
+    StreamFrame a = source.frame(1);
+    StreamFrame b = source.frame(1 + n);
+    EXPECT_EQ(b.index, 1 + n); // index is the stream position...
+    EXPECT_EQ(a.label, b.label); // ...but content replays
+    ASSERT_EQ(a.image.size(), b.image.size());
+    for (std::size_t i = 0; i < a.image.size(); ++i)
+        ASSERT_EQ(a.image[i], b.image[i]);
+}
+
+TEST(ShapesReplaySourceTest, SameIndexSameContent)
+{
+    ShapesReplaySource source(smallDataset());
+    StreamFrame a = source.frame(7);
+    StreamFrame b = source.frame(7);
+    for (std::size_t i = 0; i < a.image.size(); ++i)
+        ASSERT_EQ(a.image[i], b.image[i]);
+}
+
+TEST(ArrivalScheduleTest, UnpacedHasZeroGaps)
+{
+    const auto s = ArrivalSchedule::unpaced();
+    EXPECT_EQ(s.kind, ArrivalKind::Unpaced);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(s.interarrivalS(i), 0.0);
+}
+
+TEST(ArrivalScheduleTest, FixedGapsAreOneOverRate)
+{
+    const auto s = ArrivalSchedule::fixed(20.0);
+    EXPECT_EQ(s.kind, ArrivalKind::Fixed);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(s.interarrivalS(i), 0.05);
+}
+
+TEST(ArrivalScheduleTest, PoissonGapsAreDeterministicPerIndex)
+{
+    const auto a = ArrivalSchedule::poisson(30.0);
+    const auto b = ArrivalSchedule::poisson(30.0);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        const double gap = a.interarrivalS(i);
+        EXPECT_GT(gap, 0.0);
+        EXPECT_DOUBLE_EQ(gap, b.interarrivalS(i));
+    }
+}
+
+TEST(ArrivalScheduleTest, PoissonSeedChangesGaps)
+{
+    const auto a = ArrivalSchedule::poisson(30.0, 1);
+    const auto b = ArrivalSchedule::poisson(30.0, 2);
+    bool any_differ = false;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        any_differ |= a.interarrivalS(i) != b.interarrivalS(i);
+    EXPECT_TRUE(any_differ);
+}
+
+TEST(ArrivalScheduleTest, PoissonMeanGapApproachesOneOverRate)
+{
+    const double rate = 50.0;
+    const auto s = ArrivalSchedule::poisson(rate);
+    double sum = 0.0;
+    const std::uint64_t n = 20000;
+    for (std::uint64_t i = 0; i < n; ++i)
+        sum += s.interarrivalS(i);
+    const double mean = sum / static_cast<double>(n);
+    EXPECT_NEAR(mean, 1.0 / rate, 0.05 / rate); // within 5%
+}
+
+TEST(ArrivalKindNameTest, Names)
+{
+    EXPECT_STREQ(arrivalKindName(ArrivalKind::Unpaced), "unpaced");
+    EXPECT_STREQ(arrivalKindName(ArrivalKind::Fixed), "fixed");
+    EXPECT_STREQ(arrivalKindName(ArrivalKind::Poisson), "poisson");
+}
+
+} // namespace
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,140 @@
+/** @file Tests for the streaming metrics sink and report. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stream/metrics.hh"
+
+namespace redeye {
+namespace stream {
+namespace {
+
+StreamFrame
+completedFrame(std::uint64_t index, double emit_s,
+               std::int32_t predicted, double analog_j,
+               double system_j)
+{
+    StreamFrame f;
+    f.index = index;
+    f.emitS = emit_s;
+    f.predicted = predicted;
+    f.analogEnergyJ = analog_j;
+    f.systemEnergyJ = system_j;
+    return f;
+}
+
+TEST(StreamMetricsTest, EmptyRunReportsZeros)
+{
+    StreamMetrics m({{"a", 1}}, 4);
+    const StreamReport r = m.report(0.0);
+    EXPECT_EQ(r.framesOffered, 0u);
+    EXPECT_EQ(r.framesCompleted, 0u);
+    EXPECT_EQ(r.offeredFps, 0.0);
+    EXPECT_EQ(r.sustainedFps, 0.0);
+    EXPECT_EQ(r.latencyP99S, 0.0);
+    ASSERT_EQ(r.predictions.size(), 4u);
+    for (std::int32_t p : r.predictions)
+        EXPECT_EQ(p, -1);
+}
+
+TEST(StreamMetricsTest, CountsAndRates)
+{
+    StreamMetrics m({{"a", 1}}, 4);
+    for (int i = 0; i < 4; ++i)
+        m.recordOffered();
+    for (int i = 0; i < 3; ++i)
+        m.recordAdmitted();
+    m.recordDropped(3);
+    m.recordCompleted(completedFrame(0, 0.0, 5, 1.0, 2.0), 0.5);
+    m.recordCompleted(completedFrame(1, 0.5, 6, 3.0, 4.0), 1.5);
+
+    const StreamReport r = m.report(2.0);
+    EXPECT_EQ(r.framesOffered, 4u);
+    EXPECT_EQ(r.framesAdmitted, 3u);
+    EXPECT_EQ(r.framesDropped, 1u);
+    EXPECT_EQ(r.framesCompleted, 2u);
+    EXPECT_DOUBLE_EQ(r.wallS, 2.0);
+    EXPECT_DOUBLE_EQ(r.offeredFps, 2.0);   // 4 / 2 s
+    EXPECT_DOUBLE_EQ(r.sustainedFps, 1.0); // 2 / 2 s
+    EXPECT_DOUBLE_EQ(r.analogEnergyMeanJ, 2.0);
+    EXPECT_DOUBLE_EQ(r.systemEnergyMeanJ, 3.0);
+}
+
+TEST(StreamMetricsTest, LatencyPercentilesFromEmitToComplete)
+{
+    StreamMetrics m({{"a", 1}}, 8);
+    // Latencies 1, 2, 3, 4 seconds.
+    for (int i = 0; i < 4; ++i) {
+        m.recordAdmitted();
+        m.recordCompleted(completedFrame(i, 0.0, 0, 0.0, 0.0),
+                          static_cast<double>(i + 1));
+    }
+    const StreamReport r = m.report(4.0);
+    EXPECT_DOUBLE_EQ(r.latencyMeanS, 2.5);
+    EXPECT_DOUBLE_EQ(r.latencyP50S, 2.5);
+    EXPECT_DOUBLE_EQ(r.latencyMaxS, 4.0);
+    EXPECT_GE(r.latencyP99S, r.latencyP95S);
+    EXPECT_GE(r.latencyP95S, r.latencyP50S);
+    EXPECT_LE(r.latencyP99S, r.latencyMaxS);
+}
+
+TEST(StreamMetricsTest, PredictionsIndexedByFrame)
+{
+    StreamMetrics m({{"a", 1}}, 5);
+    m.recordCompleted(completedFrame(4, 0.0, 9, 0.0, 0.0), 0.1);
+    m.recordCompleted(completedFrame(1, 0.0, 2, 0.0, 0.0), 0.1);
+    m.recordDropped(2);
+    const StreamReport r = m.report(1.0);
+    ASSERT_EQ(r.predictions.size(), 5u);
+    EXPECT_EQ(r.predictions[0], -1); // never completed
+    EXPECT_EQ(r.predictions[1], 2);
+    EXPECT_EQ(r.predictions[2], -1); // dropped
+    EXPECT_EQ(r.predictions[4], 9);
+}
+
+TEST(StreamMetricsTest, PerStageServiceAndDepth)
+{
+    StreamMetrics m({{"fast", 2}, {"slow", 1}}, 4);
+    m.recordService(0, 0.010);
+    m.recordService(0, 0.020);
+    m.recordService(1, 0.100);
+    m.recordQueueDepth(0, 1);
+    m.recordQueueDepth(0, 3);
+    m.recordQueueDepth(1, 0);
+
+    const StreamReport r = m.report(1.0);
+    ASSERT_EQ(r.stages.size(), 2u);
+    EXPECT_EQ(r.stages[0].name, "fast");
+    EXPECT_EQ(r.stages[0].workers, 2u);
+    EXPECT_EQ(r.stages[0].processed, 2u);
+    EXPECT_DOUBLE_EQ(r.stages[0].serviceMeanS, 0.015);
+    EXPECT_DOUBLE_EQ(r.stages[0].serviceMaxS, 0.020);
+    EXPECT_DOUBLE_EQ(r.stages[0].queueDepthMean, 2.0);
+    EXPECT_EQ(r.stages[0].queueDepthMax, 3u);
+    EXPECT_EQ(r.stages[1].name, "slow");
+    EXPECT_EQ(r.stages[1].processed, 1u);
+    EXPECT_DOUBLE_EQ(r.stages[1].serviceMeanS, 0.100);
+    EXPECT_DOUBLE_EQ(r.stages[1].serviceP50S, 0.100);
+}
+
+TEST(StreamReportTest, PrintMentionsStagesAndRates)
+{
+    StreamMetrics m({{"sensor", 1}, {"redeye", 2}}, 2);
+    m.recordOffered();
+    m.recordAdmitted();
+    m.recordService(0, 0.001);
+    m.recordService(1, 0.002);
+    m.recordCompleted(completedFrame(0, 0.0, 3, 1e-6, 2e-3), 0.01);
+
+    std::ostringstream os;
+    m.report(0.5).print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("sensor"), std::string::npos);
+    EXPECT_NE(text.find("redeye"), std::string::npos);
+    EXPECT_NE(text.find("fps"), std::string::npos);
+}
+
+} // namespace
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,284 @@
+/** @file Tests for the streaming pipeline runner. */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "stream/runner.hh"
+
+namespace redeye {
+namespace stream {
+namespace {
+
+/** Cheap synthetic source: frame i carries a 1-pixel image = i. */
+class CountingSource : public FrameSource
+{
+  public:
+    StreamFrame
+    frame(std::uint64_t index) override
+    {
+        StreamFrame f;
+        f.index = index;
+        f.image =
+            Tensor(Shape(1, 1, 1, 1), static_cast<float>(index));
+        f.label = static_cast<std::int32_t>(index % 10);
+        return f;
+    }
+};
+
+/** The deterministic classification the synthetic stage computes. */
+std::int32_t
+expectedPrediction(std::uint64_t index)
+{
+    return static_cast<std::int32_t>((index * 7 + 3) % 11);
+}
+
+/** Stage that classifies from the frame's *content* (not index). */
+StageSpec
+classifyStage(std::size_t workers,
+              std::chrono::microseconds delay =
+                  std::chrono::microseconds(0))
+{
+    return StageSpec{
+        "classify", workers, [delay](std::size_t) {
+            return [delay](StreamFrame &f) {
+                if (delay.count() > 0)
+                    std::this_thread::sleep_for(delay);
+                const auto content =
+                    static_cast<std::uint64_t>(f.image[0]);
+                f.predicted = expectedPrediction(content);
+            };
+        }};
+}
+
+/** Pass-through stage (used to build multi-stage pipelines). */
+StageSpec
+passStage(const std::string &name, std::size_t workers)
+{
+    return StageSpec{name, workers, [](std::size_t) {
+                         return [](StreamFrame &) {};
+                     }};
+}
+
+TEST(StreamRunnerTest, BlockPolicyCompletesEveryFrame)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 64;
+    rc.queueCapacity = 2;
+    rc.policy = AdmissionPolicy::Block;
+
+    StreamRunner runner(
+        source, {passStage("pre", 2), classifyStage(3)}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesOffered, 64u);
+    EXPECT_EQ(r.framesAdmitted, 64u);
+    EXPECT_EQ(r.framesDropped, 0u);
+    EXPECT_EQ(r.framesCompleted, 64u);
+    ASSERT_EQ(r.predictions.size(), 64u);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    ASSERT_EQ(r.stages.size(), 2u);
+    EXPECT_EQ(r.stages[0].processed, 64u);
+    EXPECT_EQ(r.stages[1].processed, 64u);
+    // Bounded queues: observed depth never exceeds the bound.
+    for (const StageReport &s : r.stages)
+        EXPECT_LE(s.queueDepthMax, rc.queueCapacity);
+    EXPECT_GT(r.wallS, 0.0);
+    EXPECT_GT(r.sustainedFps, 0.0);
+}
+
+TEST(StreamRunnerTest, SingleStagePipeline)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 16;
+    StreamRunner runner(source, {classifyStage(1)}, rc);
+    const StreamReport r = runner.run();
+    EXPECT_EQ(r.framesCompleted, 16u);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+}
+
+TEST(StreamRunnerTest, DropNewestShedsLoadPastSaturation)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 200;
+    rc.queueCapacity = 1;
+    rc.policy = AdmissionPolicy::DropNewest;
+
+    // A 1 ms service time against unpaced arrivals forces drops.
+    StreamRunner runner(
+        source,
+        {classifyStage(1, std::chrono::microseconds(1000))}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesOffered, 200u);
+    EXPECT_GT(r.framesDropped, 0u);
+    EXPECT_EQ(r.framesAdmitted + r.framesDropped, r.framesOffered);
+    EXPECT_EQ(r.framesCompleted, r.framesAdmitted);
+    // Dropped frames stay -1; completed ones carry the right class.
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        if (r.predictions[i] != -1)
+            EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    }
+}
+
+TEST(StreamRunnerTest, DropOldestAdmitsAllEvictsStalest)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 200;
+    rc.queueCapacity = 1;
+    rc.policy = AdmissionPolicy::DropOldest;
+
+    StreamRunner runner(
+        source,
+        {classifyStage(1, std::chrono::microseconds(1000))}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesOffered, 200u);
+    EXPECT_EQ(r.framesAdmitted, 200u); // every arrival is admitted
+    EXPECT_GT(r.framesDropped, 0u);    // ... by evicting stale ones
+    EXPECT_EQ(r.framesCompleted + r.framesDropped, r.framesAdmitted);
+    // The newest frame is never evicted, so the last index survives.
+    EXPECT_EQ(r.predictions[199], expectedPrediction(199));
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        if (r.predictions[i] != -1)
+            EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    }
+}
+
+TEST(StreamRunnerTest, ContentIdenticalAcrossWorkerCountsAndPolicies)
+{
+    // The reference: serial, lossless.
+    CountingSource source;
+    RunnerConfig ref_rc;
+    ref_rc.frames = 128;
+    StreamRunner ref_runner(source, {classifyStage(1)}, ref_rc);
+    const StreamReport ref = ref_runner.run();
+
+    struct Config {
+        std::size_t workers;
+        AdmissionPolicy policy;
+    };
+    for (const Config &cfg :
+         {Config{4, AdmissionPolicy::Block},
+          Config{2, AdmissionPolicy::DropNewest},
+          Config{3, AdmissionPolicy::DropOldest}}) {
+        CountingSource src;
+        RunnerConfig rc;
+        rc.frames = 128;
+        rc.queueCapacity = 2;
+        rc.policy = cfg.policy;
+        StreamRunner runner(src, {classifyStage(cfg.workers)}, rc);
+        const StreamReport r = runner.run();
+        // Which frames complete may differ; their content may not.
+        for (std::uint64_t i = 0; i < 128; ++i) {
+            if (r.predictions[i] != -1)
+                EXPECT_EQ(r.predictions[i], ref.predictions[i])
+                    << "frame " << i << " with "
+                    << admissionPolicyName(cfg.policy);
+        }
+    }
+}
+
+TEST(StreamRunnerTest, RequestStopDrainsCleanly)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 1000000; // far more than the run will offer
+    rc.queueCapacity = 1;
+
+    StreamRunner *active = nullptr;
+    StageSpec stop_stage{
+        "stopper", 1, [&active](std::size_t) {
+            return [&active](StreamFrame &f) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                if (f.index >= 3)
+                    active->requestStop();
+            };
+        }};
+
+    StreamRunner runner(source, {stop_stage}, rc);
+    active = &runner;
+    const StreamReport r = runner.run();
+
+    EXPECT_TRUE(runner.stopRequested());
+    EXPECT_LT(r.framesOffered, 1000000u); // stopped early
+    EXPECT_GE(r.framesCompleted, 4u);     // saw index 3
+    EXPECT_EQ(r.framesCompleted, r.framesAdmitted);
+}
+
+TEST(StreamRunnerTest, StageExceptionPropagatesAndUnwinds)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 50;
+    rc.queueCapacity = 2;
+
+    StageSpec faulty{"faulty", 2, [](std::size_t) {
+                         return [](StreamFrame &f) {
+                             if (f.index == 5)
+                                 throw std::runtime_error(
+                                     "injected stage fault");
+                         };
+                     }};
+    StreamRunner runner(source,
+                        {passStage("pre", 1), faulty,
+                         passStage("post", 1)},
+                        rc);
+    EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(StreamRunnerTest, WorkerFactoryExceptionPropagates)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 10;
+    StageSpec bad{"bad", 1,
+                  [](std::size_t) -> std::function<void(StreamFrame &)> {
+                      throw std::runtime_error("no worker for you");
+                  }};
+    StreamRunner runner(source, {bad}, rc);
+    EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(StreamRunnerTest, RejectsBadConfigs)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 1;
+    EXPECT_EXIT(StreamRunner(source, {}, rc),
+                ::testing::ExitedWithCode(1), "stage");
+
+    RunnerConfig no_frames;
+    no_frames.frames = 0;
+    EXPECT_EXIT(StreamRunner(source, {passStage("a", 1)}, no_frames),
+                ::testing::ExitedWithCode(1), "frame");
+
+    EXPECT_EXIT(StreamRunner(source, {passStage("a", 0)}, rc),
+                ::testing::ExitedWithCode(1), "worker");
+}
+
+TEST(StreamRunnerTest, PolicyNames)
+{
+    EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Block),
+                 "block");
+    EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::DropNewest),
+                 "drop-newest");
+    EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::DropOldest),
+                 "drop-oldest");
+}
+
+} // namespace
+} // namespace stream
+} // namespace redeye

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * End-to-end tests of the continuous-vision serving pipeline: the
+ * determinism contract (frame content is a pure function of the
+ * frame index, independent of worker counts and admission policy)
+ * and lossless sub-saturation serving.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/vision.hh"
+
+namespace redeye {
+namespace stream {
+namespace {
+
+constexpr std::uint64_t kFrames = 4;
+
+StreamReport
+runVision(FrameSource &source, std::size_t sensor_workers,
+          std::size_t device_workers, AdmissionPolicy policy)
+{
+    VisionConfig vc;
+    vc.depth = 1;
+    vc.sensorWorkers = sensor_workers;
+    vc.deviceWorkers = device_workers;
+
+    RunnerConfig rc;
+    rc.frames = kFrames;
+    rc.queueCapacity = 4;
+    rc.policy = policy;
+
+    StreamRunner runner(source, makeVisionStages(vc), rc);
+    return runner.run();
+}
+
+TEST(VisionStreamTest, DeterministicAcrossWorkersAndPolicies)
+{
+    ShapesReplaySource source(makeReplayDataset(1, 0x5eed));
+
+    // Reference: serial workers, lossless admission.
+    const StreamReport ref =
+        runVision(source, 1, 1, AdmissionPolicy::Block);
+    EXPECT_EQ(ref.framesOffered, kFrames);
+    EXPECT_EQ(ref.framesDropped, 0u); // Block never drops
+    EXPECT_EQ(ref.framesCompleted, kFrames);
+    ASSERT_EQ(ref.predictions.size(), kFrames);
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+        EXPECT_GE(ref.predictions[i], 0);
+        EXPECT_LT(ref.predictions[i],
+                  static_cast<std::int32_t>(data::kShapeClasses));
+    }
+    EXPECT_GT(ref.analogEnergyMeanJ, 0.0);
+    EXPECT_GT(ref.systemEnergyMeanJ, ref.analogEnergyMeanJ);
+
+    // More workers, different admission policies: every completed
+    // frame index must classify bit-identically.
+    const StreamReport threaded =
+        runVision(source, 2, 2, AdmissionPolicy::Block);
+    EXPECT_EQ(threaded.framesCompleted, kFrames);
+    for (std::uint64_t i = 0; i < kFrames; ++i)
+        EXPECT_EQ(threaded.predictions[i], ref.predictions[i])
+            << "frame " << i;
+
+    const StreamReport dropping =
+        runVision(source, 1, 2, AdmissionPolicy::DropOldest);
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+        if (dropping.predictions[i] != -1)
+            EXPECT_EQ(dropping.predictions[i], ref.predictions[i])
+                << "frame " << i;
+    }
+}
+
+TEST(VisionStreamTest, ReportsStageBreakdown)
+{
+    ShapesReplaySource source(makeReplayDataset(1, 0x5eed));
+    const StreamReport r =
+        runVision(source, 1, 1, AdmissionPolicy::Block);
+    ASSERT_EQ(r.stages.size(), 3u);
+    EXPECT_EQ(r.stages[0].name, "sensor");
+    EXPECT_EQ(r.stages[1].name, "redeye");
+    EXPECT_EQ(r.stages[2].name, "host");
+    for (const StageReport &s : r.stages) {
+        EXPECT_EQ(s.processed, kFrames);
+        EXPECT_GT(s.serviceMeanS, 0.0);
+    }
+    EXPECT_GE(r.latencyP99S, r.latencyP50S);
+    EXPECT_GT(r.sustainedFps, 0.0);
+}
+
+TEST(VisionStreamTest, RejectsBadDepth)
+{
+    VisionConfig vc;
+    vc.depth = 0;
+    EXPECT_EXIT(makeVisionStages(vc), ::testing::ExitedWithCode(1),
+                "depth");
+    vc.depth = 6;
+    EXPECT_EXIT(makeVisionStages(vc), ::testing::ExitedWithCode(1),
+                "depth");
+}
+
+} // namespace
+} // namespace stream
+} // namespace redeye

@@ -1,5 +1,7 @@
 /** @file Tests for end-to-end system pipelines. */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "system/pipeline.hh"
@@ -75,6 +77,68 @@ TEST(HostPipelineTest, CpuConventionalRate)
     HostPipeline pipe(cpu);
     const auto cost = pipe.estimate(1.1e-3, 1.0 / 30.0, kFullMacs);
     EXPECT_NEAR(cost.fps, 1.83, 0.05);
+}
+
+TEST(CloudletPipelineTest, ZeroPayloadPaysFixedLinkCostOnly)
+{
+    CloudletPipeline pipe;
+    const auto cost = pipe.estimate(1.0e-3, 10e-3, 0.0);
+    // Connection maintenance is payload-independent, so a zero-byte
+    // frame still pays the link's fixed energy and time.
+    const BleLink link;
+    EXPECT_DOUBLE_EQ(cost.transferJ, link.transferEnergyJ(0.0));
+    EXPECT_GT(cost.transferJ, 0.0);
+    EXPECT_DOUBLE_EQ(cost.latencyS, 10e-3 + link.transferTimeS(0.0));
+    EXPECT_DOUBLE_EQ(cost.totalJ(), cost.sensorJ + cost.transferJ);
+}
+
+TEST(HostPipelineTest, ZeroTailMacsLeavesSensorAsBottleneck)
+{
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline pipe(gpu);
+    // Everything computed in-sensor: no host work remains.
+    const auto cost = pipe.estimate(1.4e-3, 32e-3, 0.0);
+    EXPECT_DOUBLE_EQ(cost.computeJ, 0.0);
+    EXPECT_DOUBLE_EQ(cost.frameTimeS, 32e-3);
+    EXPECT_DOUBLE_EQ(cost.latencyS, 32e-3);
+    EXPECT_DOUBLE_EQ(cost.fps, 1.0 / 32e-3);
+    EXPECT_DOUBLE_EQ(cost.totalJ(), cost.sensorJ);
+}
+
+TEST(PipelineTest, TotalEnergyIsExactlyComponentSum)
+{
+    CloudletPipeline cloudlet;
+    const auto c = cloudlet.estimate(1.1e-3, 33e-3, kDepth4Bytes);
+    EXPECT_DOUBLE_EQ(c.totalJ(), c.sensorJ + c.transferJ + c.computeJ);
+    EXPECT_EQ(c.computeJ, 0.0); // remote compute is priced as free
+
+    JetsonTk1 gpu(JetsonParams::paper(JetsonProcessor::GPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline host(gpu);
+    const auto h = host.estimate(1.4e-3, 32e-3, kTail5Macs);
+    EXPECT_DOUBLE_EQ(h.totalJ(), h.sensorJ + h.transferJ + h.computeJ);
+    EXPECT_EQ(h.transferJ, 0.0); // no link in the on-device path
+}
+
+TEST(PipelineTest, LatencyIsStageSumAndBoundsFrameTime)
+{
+    CloudletPipeline cloudlet;
+    const auto c = cloudlet.estimate(1.1e-3, 33e-3, kRawFrameBytes);
+    EXPECT_GE(c.latencyS, c.frameTimeS);
+    EXPECT_DOUBLE_EQ(c.latencyS,
+                     33e-3 + BleLink().transferTimeS(kRawFrameBytes));
+
+    JetsonTk1 cpu(JetsonParams::paper(JetsonProcessor::CPU,
+                                      kFullMacs, kTail5Macs));
+    HostPipeline host(cpu);
+    const auto h = host.estimate(1.4e-3, 32e-3, kTail5Macs);
+    EXPECT_GE(h.latencyS, h.frameTimeS);
+    EXPECT_DOUBLE_EQ(h.latencyS,
+                     32e-3 + cpu.executionTimeS(kTail5Macs));
+    // Bottleneck + other stage = sum.
+    EXPECT_DOUBLE_EQ(h.latencyS - h.frameTimeS,
+                     std::min(32e-3, cpu.executionTimeS(kTail5Macs)));
 }
 
 TEST(PipelineTest, NegativeSensorCostFatal)
