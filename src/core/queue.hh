@@ -19,6 +19,7 @@
 #define REDEYE_CORE_QUEUE_HH
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +37,13 @@ enum class QueuePush {
     Ok,      ///< item enqueued
     Full,    ///< rejected: queue at capacity (tryPush only)
     Closed,  ///< rejected: queue already closed
+};
+
+/** Outcome of a timed pop attempt. */
+enum class QueuePop {
+    Ok,       ///< item dequeued
+    TimedOut, ///< nothing arrived within the deadline
+    Closed,   ///< queue closed and drained
 };
 
 /** Bounded blocking MPMC FIFO. */
@@ -127,6 +135,28 @@ class BoundedQueue
         lock.unlock();
         notFull_.notify_one();
         return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking at most @p seconds while the
+     * queue is empty and not closed. A watchdog-friendly pop: a
+     * consumer that must stay responsive (to check a stop flag, kick
+     * a heartbeat) uses this instead of the unbounded pop().
+     */
+    QueuePop
+    tryPopFor(T &out, double seconds)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [&] { return closed_ || !items_.empty(); });
+        if (!items_.empty()) {
+            out = std::move(items_.front());
+            items_.pop_front();
+            lock.unlock();
+            notFull_.notify_one();
+            return QueuePop::Ok;
+        }
+        return closed_ ? QueuePop::Closed : QueuePop::TimedOut;
     }
 
     /** Dequeue without blocking; false when empty (or drained). */

@@ -1,0 +1,40 @@
+#include "core/status.hh"
+
+namespace redeye {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::FailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::Unavailable:
+        return "UNAVAILABLE";
+      case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "?";
+}
+
+std::string
+Status::str() const
+{
+    if (ok())
+        return "OK";
+    std::string s = statusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+} // namespace redeye

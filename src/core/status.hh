@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Typed error reporting: Status and StatusOr.
+ *
+ * The simulator historically reported every user error through
+ * fatal(), which exits the process — acceptable for a batch
+ * experiment, wrong for a serving runtime that must keep answering
+ * when one request is malformed or one frame fails. Status carries a
+ * machine-readable code plus a human-readable message; StatusOr<T>
+ * is either a value or a non-OK Status. Fallible entry points
+ * (the RedEye compiler, RedEyeDevice::tryRun, StreamRunner::tryRun)
+ * return these; the legacy fatal()-on-error wrappers remain for
+ * batch tools and tests.
+ *
+ * Conventions (DESIGN.md §8):
+ *  - InvalidArgument    caller passed a malformed program/config
+ *  - FailedPrecondition object state forbids the call (e.g. run()
+ *                       called twice)
+ *  - DeadlineExceeded   a watchdog timeout expired
+ *  - Internal           a simulator bug surfaced as an exception
+ *  - Unavailable        hardware degraded past the point of service
+ */
+
+#ifndef REDEYE_CORE_STATUS_HH
+#define REDEYE_CORE_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+/** Machine-readable error category. */
+enum class StatusCode {
+    Ok,
+    InvalidArgument,
+    FailedPrecondition,
+    DeadlineExceeded,
+    ResourceExhausted,
+    Unavailable,
+    Internal,
+};
+
+/** Canonical name of a status code (e.g. "INVALID_ARGUMENT"). */
+const char *statusCodeName(StatusCode code);
+
+/** A result code plus a human-readable message. */
+class Status
+{
+  public:
+    /** Default: OK. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(StatusCode::InvalidArgument, std::move(msg));
+    }
+
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::FailedPrecondition, std::move(msg));
+    }
+
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return Status(StatusCode::DeadlineExceeded, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::ResourceExhausted, std::move(msg));
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return Status(StatusCode::Unavailable, std::move(msg));
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return Status(StatusCode::Internal, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+
+    StatusCode code() const { return code_; }
+
+    const std::string &message() const { return message_; }
+
+    /** "CODE: message" (or "OK"). */
+    std::string str() const;
+
+    bool
+    operator==(const Status &other) const
+    {
+        return code_ == other.code_ && message_ == other.message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a value of type T or a non-OK Status explaining why there
+ * is no value. Accessing value() on an error is a panic (an internal
+ * bug: the caller skipped the ok() check).
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Construct from an error (must not be OK). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        panic_if(status_.ok(),
+                 "StatusOr built from an OK status without a value");
+    }
+
+    /** Construct from a value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        panic_if(!ok(), "StatusOr::value() on error: ", status_.str());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        panic_if(!ok(), "StatusOr::value() on error: ", status_.str());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace redeye
+
+/**
+ * Propagate a non-OK Status to the caller:
+ * RETURN_IF_ERROR(validate(x)); continues on OK.
+ */
+#define RETURN_IF_ERROR(expr)                                              \
+    do {                                                                   \
+        ::redeye::Status status_macro_ = (expr);                           \
+        if (!status_macro_.ok())                                           \
+            return status_macro_;                                          \
+    } while (0)
+
+#endif // REDEYE_CORE_STATUS_HH

@@ -1,0 +1,215 @@
+#include "fault/fault_model.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+
+namespace redeye {
+namespace fault {
+
+namespace {
+
+/**
+ * Independent stream for one (kind, column) cell of the campaign.
+ * The kind is folded into the pass counter of streamRng, so adding a
+ * new fault kind never perturbs the realization of existing ones.
+ */
+Rng
+faultStream(const FaultCampaign &c, FaultKind kind, std::size_t column)
+{
+    return streamRng(c.seed, static_cast<std::uint64_t>(kind) + 1,
+                     static_cast<std::uint64_t>(column));
+}
+
+void
+checkRate(double rate, const char *name)
+{
+    fatal_if(rate < 0.0 || rate > 1.0, "fault rate '", name,
+             "' must be in [0, 1], got ", rate);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::StuckWeightBit:
+        return "stuck-weight-bit";
+      case FaultKind::DeadColumn:
+        return "dead-column";
+      case FaultKind::ColumnOffset:
+        return "column-offset";
+      case FaultKind::MemoryLeak:
+        return "memory-leak";
+      case FaultKind::ComparatorOffset:
+        return "comparator-offset";
+      case FaultKind::AdcStuckBit:
+        return "adc-stuck-bit";
+    }
+    return "?";
+}
+
+bool
+FaultCampaign::any() const
+{
+    return stuckWeightBitRate > 0.0 || deadColumnRate > 0.0 ||
+           offsetColumnRate > 0.0 || memoryLeakRate > 0.0 ||
+           comparatorOffsetRate > 0.0 || adcStuckBitRate > 0.0;
+}
+
+FaultCampaign
+FaultCampaign::deadColumns(double rate, std::uint64_t seed)
+{
+    FaultCampaign c;
+    c.seed = seed;
+    c.deadColumnRate = rate;
+    return c;
+}
+
+bool
+ColumnFaults::any() const
+{
+    return dead || offsetV != 0.0 || weightStuckBit >= 0 ||
+           extraHoldS > 0.0 || comparatorOffsetV != 0.0 ||
+           adcStuckBit >= 0;
+}
+
+FaultModel::FaultModel(FaultCampaign campaign, std::size_t columns)
+    : campaign_(campaign), cols_(columns)
+{
+    fatal_if(columns == 0, "fault model needs at least one column");
+    checkRate(campaign_.stuckWeightBitRate, "stuckWeightBitRate");
+    checkRate(campaign_.deadColumnRate, "deadColumnRate");
+    checkRate(campaign_.offsetColumnRate, "offsetColumnRate");
+    checkRate(campaign_.memoryLeakRate, "memoryLeakRate");
+    checkRate(campaign_.comparatorOffsetRate, "comparatorOffsetRate");
+    checkRate(campaign_.adcStuckBitRate, "adcStuckBitRate");
+    fatal_if(campaign_.leakHoldS < 0.0, "leak hold time must be >= 0");
+
+    for (std::size_t c = 0; c < columns; ++c) {
+        ColumnFaults &f = cols_[c];
+
+        {
+            Rng r = faultStream(campaign_, FaultKind::DeadColumn, c);
+            f.dead = r.bernoulli(campaign_.deadColumnRate);
+        }
+        {
+            Rng r = faultStream(campaign_, FaultKind::ColumnOffset, c);
+            if (r.bernoulli(campaign_.offsetColumnRate)) {
+                // Signed offset of the configured magnitude.
+                f.offsetV = r.bernoulli(0.5)
+                                ? campaign_.columnOffsetV
+                                : -campaign_.columnOffsetV;
+            }
+        }
+        {
+            Rng r = faultStream(campaign_, FaultKind::StuckWeightBit,
+                                c);
+            if (r.bernoulli(campaign_.stuckWeightBitRate)) {
+                // 8-bit weight DAC: any magnitude bit may stick.
+                f.weightStuckBit =
+                    static_cast<int>(r.uniformInt(0, 7));
+                f.weightStuckHigh = r.bernoulli(0.5);
+            }
+        }
+        {
+            Rng r = faultStream(campaign_, FaultKind::MemoryLeak, c);
+            if (r.bernoulli(campaign_.memoryLeakRate)) {
+                // Leak severity varies across cells: [0.5x, 1.5x] of
+                // the campaign's nominal hold time.
+                f.extraHoldS =
+                    campaign_.leakHoldS * r.uniform(0.5, 1.5);
+            }
+        }
+        {
+            Rng r = faultStream(campaign_,
+                                FaultKind::ComparatorOffset, c);
+            if (r.bernoulli(campaign_.comparatorOffsetRate)) {
+                f.comparatorOffsetV =
+                    r.bernoulli(0.5) ? campaign_.comparatorOffsetV
+                                     : -campaign_.comparatorOffsetV;
+            }
+        }
+        {
+            Rng r = faultStream(campaign_, FaultKind::AdcStuckBit, c);
+            if (r.bernoulli(campaign_.adcStuckBitRate)) {
+                // The 10-bit SAR's upper bits are the damaging ones;
+                // draw over the full physical resolution.
+                f.adcStuckBit = static_cast<int>(r.uniformInt(0, 9));
+                f.adcStuckHigh = r.bernoulli(0.5);
+            }
+        }
+
+        if (f.any() && campaign_.onsetHorizon > 0) {
+            Rng r = streamRng(campaign_.seed ^ 0x05e7ULL, 0, c);
+            f.onset = static_cast<std::uint64_t>(r.uniformInt(
+                0,
+                static_cast<std::int64_t>(campaign_.onsetHorizon)));
+        }
+    }
+}
+
+const ColumnFaults &
+FaultModel::column(std::size_t column) const
+{
+    panic_if(column >= cols_.size(), "fault query for column ",
+             column, " of ", cols_.size());
+    return cols_[column];
+}
+
+std::size_t
+FaultModel::deadColumnCount(std::uint64_t frame) const
+{
+    std::size_t n = 0;
+    for (const auto &f : cols_)
+        n += f.dead && f.activeAt(frame);
+    return n;
+}
+
+std::size_t
+FaultModel::faultyColumnCount(std::uint64_t frame) const
+{
+    std::size_t n = 0;
+    for (const auto &f : cols_)
+        n += f.activeAt(frame);
+    return n;
+}
+
+std::string
+FaultModel::str() const
+{
+    std::ostringstream oss;
+    oss << "fault campaign seed 0x" << std::hex << campaign_.seed
+        << std::dec << ", " << cols_.size() << " columns, "
+        << faultyColumnCount() << " faulty (" << deadColumnCount()
+        << " dead)\n";
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        const ColumnFaults &f = cols_[c];
+        if (!f.any())
+            continue;
+        oss << "  col " << c << " @frame " << f.onset << ":";
+        if (f.dead)
+            oss << " dead";
+        if (f.offsetV != 0.0)
+            oss << " offset=" << f.offsetV << "V";
+        if (f.weightStuckBit >= 0) {
+            oss << " weight-bit" << f.weightStuckBit << "="
+                << (f.weightStuckHigh ? 1 : 0);
+        }
+        if (f.extraHoldS > 0.0)
+            oss << " leak=" << f.extraHoldS << "s";
+        if (f.comparatorOffsetV != 0.0)
+            oss << " cmp-offset=" << f.comparatorOffsetV << "V";
+        if (f.adcStuckBit >= 0) {
+            oss << " adc-bit" << f.adcStuckBit << "="
+                << (f.adcStuckHigh ? 1 : 0);
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace fault
+} // namespace redeye

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic analog fault campaigns.
+ *
+ * The paper models well-behaved Gaussian and quantization noise but
+ * assumes every column circuit works forever. Real analog arrays
+ * drift and die: capacitor bits stick, op amps rail, storage cells
+ * leak, comparators acquire offsets, ADC bits freeze. A FaultModel
+ * realizes one such campaign — which columns are afflicted, by what,
+ * and from which frame onward — as a pure function of a seed, so a
+ * campaign is reproducible bit-for-bit across runs, worker counts
+ * and machines.
+ *
+ * The model is execution-agnostic: it only answers queries ("what is
+ * wrong with column c at frame f?"). The functional column array
+ * (redeye/column.hh) consults it through a narrow hook
+ * (ColumnArray::armFaults); with no model armed the execution path
+ * is untouched and bit-identical to pristine silicon.
+ */
+
+#ifndef REDEYE_FAULT_FAULT_MODEL_HH
+#define REDEYE_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace redeye {
+namespace fault {
+
+/** Kinds of injected analog hardware faults. */
+enum class FaultKind {
+    StuckWeightBit,   ///< stuck capacitor bit in the MAC weight bank
+    DeadColumn,       ///< column rails (op amp stuck at full swing)
+    ColumnOffset,     ///< systematic voltage offset on the MAC output
+    MemoryLeak,       ///< storage cell droops as if held for extra time
+    ComparatorOffset, ///< input-referred offset in the max-pool latch
+    AdcStuckBit,      ///< SAR ADC output bit frozen at 0 or 1
+};
+
+/** Human-readable fault kind name. */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One fault campaign: per-column incidence rates and severities,
+ * plus the seed the realization is drawn from. All rates are
+ * probabilities in [0, 1] applied independently per column.
+ */
+struct FaultCampaign {
+    std::uint64_t seed = 0xfa017;
+
+    /**
+     * Faults onset at a frame index drawn uniformly in
+     * [0, onsetHorizon]; 0 means every fault is present from birth.
+     * Lets wear-out appear *during* a streaming run so the periodic
+     * calibration probe has something to detect.
+     */
+    std::uint64_t onsetHorizon = 0;
+
+    double stuckWeightBitRate = 0.0; ///< stuck MAC capacitor bit
+    double deadColumnRate = 0.0;     ///< column railed at full swing
+    double offsetColumnRate = 0.0;   ///< MAC output offset
+    double columnOffsetV = 0.05;     ///< offset magnitude [V]
+    double memoryLeakRate = 0.0;     ///< leaky storage cell
+    double leakHoldS = 10.0;         ///< effective extra hold time [s]
+    double comparatorOffsetRate = 0.0;
+    double comparatorOffsetV = 0.05; ///< latch offset magnitude [V]
+    double adcStuckBitRate = 0.0;    ///< frozen ADC output bit
+
+    /** True if any rate is non-zero. */
+    bool any() const;
+
+    /** A campaign of only dead columns at @p rate. */
+    static FaultCampaign deadColumns(double rate,
+                                     std::uint64_t seed = 0xfa017);
+};
+
+/** Realized fault state of one column. */
+struct ColumnFaults {
+    /** First frame index at which this column's faults apply. */
+    std::uint64_t onset = 0;
+
+    bool dead = false;          ///< output railed at full swing
+    double offsetV = 0.0;       ///< MAC output offset [V]
+    int weightStuckBit = -1;    ///< magnitude bit index; -1 = none
+    bool weightStuckHigh = false;
+    double extraHoldS = 0.0;    ///< buffer leak as extra hold time
+    double comparatorOffsetV = 0.0;
+    int adcStuckBit = -1;       ///< output code bit index; -1 = none
+    bool adcStuckHigh = false;
+
+    /** True if any fault is realized (regardless of onset). */
+    bool any() const;
+
+    /** True if any fault is active at frame @p frame. */
+    bool
+    activeAt(std::uint64_t frame) const
+    {
+        return any() && frame >= onset;
+    }
+};
+
+/**
+ * A realized campaign over a fixed-width column array. Construction
+ * draws every fault from counter-based streams keyed by
+ * (seed, kind, column), so the realization depends only on the
+ * campaign and the column count — never on query order.
+ */
+class FaultModel
+{
+  public:
+    FaultModel(FaultCampaign campaign, std::size_t columns);
+
+    const FaultCampaign &campaign() const { return campaign_; }
+
+    std::size_t columns() const { return cols_.size(); }
+
+    /** Realized faults of @p column (must be < columns()). */
+    const ColumnFaults &column(std::size_t column) const;
+
+    /** Columns with a dead fault active at @p frame. */
+    std::size_t deadColumnCount(
+        std::uint64_t frame =
+            std::numeric_limits<std::uint64_t>::max()) const;
+
+    /** Columns with any fault active at @p frame. */
+    std::size_t faultyColumnCount(
+        std::uint64_t frame =
+            std::numeric_limits<std::uint64_t>::max()) const;
+
+    /** Multi-line listing of every realized fault. */
+    std::string str() const;
+
+  private:
+    FaultCampaign campaign_;
+    std::vector<ColumnFaults> cols_;
+};
+
+} // namespace fault
+} // namespace redeye
+
+#endif // REDEYE_FAULT_FAULT_MODEL_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "core/logging.hh"
 
@@ -67,6 +68,36 @@ ColumnArray::setAdcBits(unsigned bits)
         col.adc.setResolution(bits);
 }
 
+void
+ColumnArray::armFaults(const fault::FaultModel *faults,
+                       std::uint64_t frame)
+{
+    fatal_if(faults && faults->columns() != cols_.size(),
+             "fault model covers ", faults ? faults->columns() : 0,
+             " columns, array has ", cols_.size());
+    faults_ = faults;
+    faultFrame_ = frame;
+}
+
+void
+ColumnArray::setColumnMap(std::vector<std::size_t> map)
+{
+    for (std::size_t p : map) {
+        fatal_if(p >= cols_.size(), "column map entry ", p,
+                 " out of range for ", cols_.size(), " columns");
+    }
+    map_ = std::move(map);
+}
+
+const fault::ColumnFaults *
+ColumnArray::activeFaults(std::size_t physical) const
+{
+    if (!faults_)
+        return nullptr;
+    const fault::ColumnFaults &f = faults_->column(physical);
+    return f.activeAt(faultFrame_) ? &f : nullptr;
+}
+
 Tensor
 ColumnArray::runConvolution(const Tensor &in,
                             nn::ConvolutionLayer &layer, bool rectify)
@@ -125,7 +156,9 @@ ColumnArray::runConvolution(const Tensor &in,
 
     for (std::size_t oy = 0; oy < os.h; ++oy) {
         for (std::size_t ox = 0; ox < os.w; ++ox) {
-            Column &col = columnFor(ox);
+            const std::size_t pcol = physicalFor(ox);
+            Column &col = cols_[pcol];
+            const fault::ColumnFaults *cf = activeFaults(pcol);
             for (std::size_t oc = 0; oc < os.c; ++oc) {
                 window.clear();
                 weights.clear();
@@ -147,15 +180,22 @@ ColumnArray::runConvolution(const Tensor &in,
                                 // Buffered sample, bridged from the
                                 // neighboring column's storage; the
                                 // buffer holds full-swing samples.
-                                Column &src = columnFor(
+                                // A leaky cell droops as if the
+                                // sample had been held extra time.
+                                const std::size_t psrc = physicalFor(
                                     static_cast<std::size_t>(ix));
+                                Column &src = cols_[psrc];
+                                const fault::ColumnFaults *sf =
+                                    activeFaults(psrc);
                                 const double value = in.at(
                                     0, ic,
                                     static_cast<std::size_t>(iy),
                                     static_cast<std::size_t>(ix));
                                 src.buffer.write(
                                     value / in_scale * swing, rng_);
-                                v = src.buffer.read(rng_) *
+                                v = src.buffer.read(
+                                        rng_,
+                                        sf ? sf->extraHoldS : 0.0) *
                                     in_scale / swing;
                             }
                             window.push_back(v * k_in);
@@ -164,11 +204,36 @@ ColumnArray::runConvolution(const Tensor &in,
                         }
                     }
                 }
+                if (cf && cf->weightStuckBit >= 0) {
+                    // Stuck capacitor bit in this column's weight
+                    // bank: the magnitude bit is forced for every
+                    // weight the bank realizes.
+                    const int bit = cf->weightStuckBit;
+                    for (int &wv : weights) {
+                        int mag = std::abs(wv);
+                        if (cf->weightStuckHigh)
+                            mag |= 1 << bit;
+                        else
+                            mag &= ~(1 << bit);
+                        wv = wv < 0 ? -mag : mag;
+                    }
+                }
                 double volts = col.mac.multiplyAccumulate(window,
                                                           weights,
                                                           rng_);
                 if (p.bias)
                     volts += layer.biases()[oc] / out_factor;
+                if (cf) {
+                    volts += cf->offsetV;
+                    if (cf->dead) {
+                        // Railed op amp: the column always reports
+                        // full positive swing. The MAC above still
+                        // ran (it burns energy and consumes its
+                        // noise draws), keeping healthy columns
+                        // bit-identical to a fault-free run.
+                        volts = swing;
+                    }
+                }
                 // Physical clipping at the signal swing; rectified
                 // layers clip at zero as well (folded ReLU).
                 volts = std::clamp(volts, rectify ? 0.0 : -swing,
@@ -197,7 +262,9 @@ ColumnArray::runMaxPool(const Tensor &in, const nn::MaxPoolLayer &layer)
     for (std::size_t oc = 0; oc < os.c; ++oc) {
         for (std::size_t oy = 0; oy < os.h; ++oy) {
             for (std::size_t ox = 0; ox < os.w; ++ox) {
-                Column &col = columnFor(ox);
+                const std::size_t pcol = physicalFor(ox);
+                Column &col = cols_[pcol];
+                const fault::ColumnFaults *cf = activeFaults(pcol);
                 bool have = false;
                 double best = 0.0;
                 for (std::size_t ky = 0; ky < p.kernel; ++ky) {
@@ -212,7 +279,7 @@ ColumnArray::runMaxPool(const Tensor &in, const nn::MaxPoolLayer &layer)
                                         static_cast<long>(p.pad);
                         if (ix < 0 || ix >= static_cast<long>(is.w))
                             continue;
-                        const double v =
+                        double v =
                             in.at(0, oc,
                                   static_cast<std::size_t>(iy),
                                   static_cast<std::size_t>(ix)) /
@@ -222,11 +289,19 @@ ColumnArray::runMaxPool(const Tensor &in, const nn::MaxPoolLayer &layer)
                             have = true;
                             continue;
                         }
-                        const auto d = col.comparator.compare(v, best,
+                        // Input-referred latch offset: the decision
+                        // sees the challenger shifted, but the
+                        // routed signal itself is unshifted.
+                        const double seen =
+                            cf ? v + cf->comparatorOffsetV : v;
+                        const auto d = col.comparator.compare(seen,
+                                                              best,
                                                               rng_);
                         best = d.aGreater ? v : best;
                     }
                 }
+                if (cf && cf->dead)
+                    best = swing; // railed column
                 out.at(0, oc, oy, ox) = static_cast<float>(
                     best * in_scale / swing);
             }
@@ -249,11 +324,27 @@ ColumnArray::runQuantization(const Tensor &in)
     for (std::size_t c = 0; c < is.c; ++c) {
         for (std::size_t y = 0; y < is.h; ++y) {
             for (std::size_t x = 0; x < is.w; ++x) {
-                Column &col = columnFor(x);
+                const std::size_t pcol = physicalFor(x);
+                Column &col = cols_[pcol];
+                const fault::ColumnFaults *cf = activeFaults(pcol);
                 const double v = std::max(
                     0.0, static_cast<double>(in.at(0, c, y, x)));
-                const double volts = v / in_max * col.adc.vref();
-                const auto code = col.adc.convert(volts, rng_);
+                double volts = v / in_max * col.adc.vref();
+                if (cf && cf->dead)
+                    volts = col.adc.vref(); // railed input
+                auto code = col.adc.convert(volts, rng_);
+                if (cf && cf->adcStuckBit >= 0 &&
+                    cf->adcStuckBit <
+                        static_cast<int>(col.adc.resolution())) {
+                    // Frozen SAR bit. Only bits the programmed
+                    // resolution keeps in the array can stick; a
+                    // stuck capacitor among the cut-off bits is
+                    // harmless.
+                    const std::uint32_t mask =
+                        1u << cf->adcStuckBit;
+                    code = cf->adcStuckHigh ? (code | mask)
+                                            : (code & ~mask);
+                }
                 out.at(0, c, y, x) = static_cast<float>(
                     col.adc.reconstruct(code) / col.adc.vref() *
                     in_max);

@@ -26,6 +26,7 @@
 #include "analog/memory_cell.hh"
 #include "analog/sar_adc.hh"
 #include "core/rng.hh"
+#include "fault/fault_model.hh"
 #include "nn/conv.hh"
 #include "nn/pool.hh"
 #include "redeye/energy_model.hh"
@@ -76,6 +77,32 @@ class ColumnArray
     /** Reprogram the ADC resolution. */
     void setAdcBits(unsigned bits);
 
+    /**
+     * Arm a fault campaign: every subsequent run consults @p faults
+     * (one entry per physical column, so the model's column count
+     * must match the array's) for faults active at frame index
+     * @p frame. Passing nullptr disarms. With no model armed the
+     * execution path is bit-identical to pristine silicon — the
+     * fault hooks neither draw randomness nor alter any value.
+     */
+    void armFaults(const fault::FaultModel *faults,
+                   std::uint64_t frame = 0);
+
+    /** Armed fault model (nullptr when pristine). */
+    const fault::FaultModel *faults() const { return faults_; }
+
+    /**
+     * Remap logical output positions onto physical columns: position
+     * x is served by column map[x % map.size()] instead of
+     * x % columns. The degradation policy uses this to steer work
+     * (MACs, buffered samples, comparisons, conversions) off columns
+     * the calibration probe flagged dead. An empty map restores the
+     * identity mapping.
+     */
+    void setColumnMap(std::vector<std::size_t> map);
+
+    const std::vector<std::size_t> &columnMap() const { return map_; }
+
     /** Accrued energy by category since the last reset. */
     EnergyBreakdown energy() const;
 
@@ -98,12 +125,28 @@ class ColumnArray
         analog::SarAdc adc;
     };
 
-    Column &columnFor(std::size_t x) { return cols_[x % cols_.size()]; }
+    /** Physical column serving logical position @p x. */
+    std::size_t
+    physicalFor(std::size_t x) const
+    {
+        return map_.empty() ? x % cols_.size() : map_[x % map_.size()];
+    }
+
+    Column &columnFor(std::size_t x) { return cols_[physicalFor(x)]; }
+
+    /**
+     * Faults of physical column @p physical active at the armed
+     * frame, or nullptr when pristine (or not yet onset).
+     */
+    const fault::ColumnFaults *activeFaults(std::size_t physical) const;
 
     ColumnArrayConfig config_;
     analog::ProcessParams process_;
     Rng rng_;
     std::vector<Column> cols_;
+    std::vector<std::size_t> map_; ///< logical->physical (empty = id)
+    const fault::FaultModel *faults_ = nullptr;
+    std::uint64_t faultFrame_ = 0;
 };
 
 } // namespace arch

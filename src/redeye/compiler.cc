@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "core/logging.hh"
 #include "nn/conv.hh"
@@ -52,24 +53,69 @@ quantizeKernel(nn::ConvolutionLayer &conv, Instruction &instr)
              " != accounted bytes ", instr.kernelBytes);
 }
 
+/** InvalidArgument with a streamed message. */
+template <typename... Args>
+Status
+reject(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return Status::invalidArgument(oss.str());
+}
+
+/** Reject zero-sized (degenerate) layer shapes. */
+Status
+checkShapes(const std::string &layer, const Shape &in,
+            const Shape &out)
+{
+    if (in.size() == 0) {
+        return reject("layer '", layer, "' has a zero-sized input "
+                      "shape (", in.c, "x", in.h, "x", in.w, ")");
+    }
+    if (out.size() == 0) {
+        return reject("layer '", layer, "' has a zero-sized output "
+                      "shape (", out.c, "x", out.h, "x", out.w, ")");
+    }
+    return Status();
+}
+
+/** Reject window geometries that exceed their padded input. */
+Status
+checkWindow(const std::string &layer, const Shape &in,
+            std::size_t kernel_h, std::size_t kernel_w,
+            std::size_t pad_h, std::size_t pad_w)
+{
+    if (kernel_h == 0 || kernel_w == 0)
+        return reject("layer '", layer, "' has a zero-sized kernel");
+    if (kernel_h > in.h + 2 * pad_h || kernel_w > in.w + 2 * pad_w) {
+        return reject("layer '", layer, "': kernel ", kernel_h, "x",
+                      kernel_w, " is larger than the padded input ",
+                      in.h + 2 * pad_h, "x", in.w + 2 * pad_w);
+    }
+    return Status();
+}
+
 } // namespace
 
-Program
-compile(nn::Network &net,
-        const std::vector<std::string> &analog_layers,
-        const RedEyeConfig &config)
+StatusOr<Program>
+compileOrStatus(nn::Network &net,
+                const std::vector<std::string> &analog_layers,
+                const RedEyeConfig &config)
 {
-    fatal_if(analog_layers.empty(),
-             "cannot compile an empty partition");
-    fatal_if(config.adcBits < 1 || config.adcBits > 10,
-             "ADC resolution must be in [1, 10], got ",
-             config.adcBits);
+    if (analog_layers.empty())
+        return reject("cannot compile an empty partition");
+    if (config.adcBits < 1 || config.adcBits > 10) {
+        return reject("ADC resolution must be in [1, 10], got ",
+                      config.adcBits);
+    }
 
     std::set<std::string> wanted(analog_layers.begin(),
                                  analog_layers.end());
     for (const auto &name : analog_layers) {
-        fatal_if(!net.hasLayer(name), "network '", net.name(),
-                 "' has no layer '", name, "'");
+        if (!net.hasLayer(name)) {
+            return reject("network '", net.name(),
+                          "' has no layer '", name, "'");
+        }
     }
 
     std::vector<Instruction> instrs;
@@ -86,14 +132,23 @@ compile(nn::Network &net,
                                    ? Shape()
                                    : soleInputShape(net, i);
         const Shape out_shape = net.nodeShape(layer.name());
+        if (layer.kind() != nn::LayerKind::Concat) {
+            RETURN_IF_ERROR(
+                checkShapes(layer.name(), in_shape, out_shape));
+        }
         cut_shape = out_shape;
 
         switch (layer.kind()) {
           case nn::LayerKind::Convolution: {
             auto &conv = static_cast<nn::ConvolutionLayer &>(layer);
             const auto &p = conv.convParams();
-            fatal_if(p.groups != 1 && in_shape.c % p.groups != 0,
-                     "conv '", layer.name(), "': bad grouping");
+            if (p.groups != 1 && in_shape.c % p.groups != 0) {
+                return reject("conv '", layer.name(),
+                              "': bad grouping");
+            }
+            RETURN_IF_ERROR(checkWindow(layer.name(), in_shape,
+                                        p.kernelH, p.kernelW, p.padH,
+                                        p.padW));
             Instruction instr;
             instr.kind = ModuleKind::Convolution;
             instr.layer = layer.name();
@@ -120,16 +175,20 @@ compile(nn::Network &net,
             break;
           }
           case nn::LayerKind::ReLU: {
-            fatal_if(!have_conv, "ReLU '", layer.name(),
-                     "' has no preceding convolutional module to "
-                     "fold into");
+            if (!have_conv) {
+                return reject("ReLU '", layer.name(),
+                              "' has no preceding convolutional "
+                              "module to fold into");
+            }
             instrs[last_conv_idx].rectify = true;
             break;
           }
           case nn::LayerKind::LRN: {
-            fatal_if(!have_conv, "LRN '", layer.name(),
-                     "' has no preceding convolutional module to "
-                     "fold into");
+            if (!have_conv) {
+                return reject("LRN '", layer.name(),
+                              "' has no preceding convolutional "
+                              "module to fold into");
+            }
             auto &lrn = static_cast<nn::LrnLayer &>(layer);
             Instruction &conv = instrs[last_conv_idx];
             conv.normalize = true;
@@ -142,6 +201,9 @@ compile(nn::Network &net,
           case nn::LayerKind::MaxPool: {
             auto &pool = static_cast<nn::MaxPoolLayer &>(layer);
             const auto &p = pool.poolParams();
+            RETURN_IF_ERROR(checkWindow(layer.name(), in_shape,
+                                        p.kernel, p.kernel, p.pad,
+                                        p.pad));
             Instruction instr;
             instr.kind = ModuleKind::MaxPooling;
             instr.layer = layer.name();
@@ -158,6 +220,9 @@ compile(nn::Network &net,
           case nn::LayerKind::AvgPool: {
             auto &pool = static_cast<nn::AvgPoolLayer &>(layer);
             const auto &p = pool.poolParams();
+            RETURN_IF_ERROR(checkWindow(layer.name(), in_shape,
+                                        p.kernel, p.kernel, p.pad,
+                                        p.pad));
             // Lowered to a convolution with uniform 1/k^2 weights.
             Instruction instr;
             instr.kind = ModuleKind::Convolution;
@@ -193,14 +258,15 @@ compile(nn::Network &net,
             // corresponding module.
             break;
           default:
-            fatal("RedEye cannot execute layer '", layer.name(),
-                  "' of kind ",
-                  nn::layerKindName(layer.kind()),
-                  "; cut the partition before it");
+            return reject("RedEye cannot execute layer '",
+                          layer.name(), "' of kind ",
+                          nn::layerKindName(layer.kind()),
+                          "; cut the partition before it");
         }
     }
 
-    fatal_if(instrs.empty(), "partition produced no instructions");
+    if (instrs.empty())
+        return reject("partition produced no instructions");
 
     Instruction quant;
     quant.kind = ModuleKind::Quantization;
@@ -215,6 +281,17 @@ compile(nn::Network &net,
     for (auto &instr : instrs)
         prog.append(std::move(instr));
     return prog;
+}
+
+Program
+compile(nn::Network &net,
+        const std::vector<std::string> &analog_layers,
+        const RedEyeConfig &config)
+{
+    StatusOr<Program> prog =
+        compileOrStatus(net, analog_layers, config);
+    fatal_if(!prog.ok(), prog.status().message());
+    return std::move(prog.value());
 }
 
 } // namespace arch

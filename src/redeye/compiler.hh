@@ -13,10 +13,16 @@
  *  - MaxPool       -> max pooling module instruction
  *  - AvgPool       -> lowered to a convolution with uniform weights
  *  - Concat        -> pure routing (flow control), no instruction
- *  - anything else -> fatal: RedEye cannot execute it; the developer
- *                     must cut the partition earlier
+ *  - anything else -> rejected: RedEye cannot execute it; the
+ *                     developer must cut the partition earlier
  *
  * A quantization instruction is appended at the cut.
+ *
+ * compileOrStatus() reports malformed inputs (empty partition,
+ * unknown layers, out-of-range ADC resolution, zero-sized shapes,
+ * kernels larger than their padded input, unsupported kinds) as a
+ * typed core::Status; compile() is the legacy fatal-on-error
+ * wrapper for batch tools.
  */
 
 #ifndef REDEYE_REDEYE_COMPILER_HH
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hh"
 #include "redeye/config.hh"
 #include "redeye/program.hh"
 
@@ -38,9 +45,15 @@ namespace arch {
 
 /**
  * Compile the prefix of @p net formed by @p analog_layers into a
- * RedEye program under @p config. Layer names must exist in the
- * network; fatal on layers RedEye cannot express.
+ * RedEye program under @p config, or a non-OK Status describing the
+ * first defect found.
  */
+StatusOr<Program>
+compileOrStatus(nn::Network &net,
+                const std::vector<std::string> &analog_layers,
+                const RedEyeConfig &config);
+
+/** Like compileOrStatus(), but a malformed input is fatal. */
 Program compile(nn::Network &net,
                 const std::vector<std::string> &analog_layers,
                 const RedEyeConfig &config);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "core/logging.hh"
 #include "nn/concat.hh"
@@ -12,25 +13,96 @@
 namespace redeye {
 namespace arch {
 
+namespace {
+
+/** Layer kinds the analog array can realize. */
+bool
+analogExecutable(nn::LayerKind kind)
+{
+    switch (kind) {
+      case nn::LayerKind::Convolution:
+      case nn::LayerKind::ReLU:
+      case nn::LayerKind::MaxPool:
+      case nn::LayerKind::AvgPool:
+      case nn::LayerKind::LRN:
+      case nn::LayerKind::Concat:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Structural validation of the requested partition against @p net:
+ * every named layer exists and is analog-executable, every consumed
+ * activation is produced inside the partition (or is the sensor
+ * input), and at least one layer executes.
+ */
+Status
+validatePartition(nn::Network &net,
+                  const std::vector<std::string> &analog_layers,
+                  const Tensor &input)
+{
+    if (input.shape().n != 1) {
+        return Status::invalidArgument(
+            "device executes one frame at a time, got batch of " +
+            std::to_string(input.shape().n));
+    }
+    std::set<std::string> wanted(analog_layers.begin(),
+                                 analog_layers.end());
+    for (const auto &name : analog_layers) {
+        if (!net.hasLayer(name)) {
+            return Status::invalidArgument("network has no layer '" +
+                                           name + "'");
+        }
+    }
+
+    std::set<std::string> produced{std::string(nn::kInputName)};
+    std::size_t executed = 0;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        nn::Layer &layer = net.layerAt(i);
+        if (!wanted.count(layer.name()))
+            continue;
+        if (!analogExecutable(layer.kind())) {
+            return Status::invalidArgument(
+                "RedEye device cannot execute layer '" +
+                layer.name() + "' of kind " +
+                nn::layerKindName(layer.kind()));
+        }
+        for (const auto &name : net.inputsOf(i)) {
+            if (!produced.count(name)) {
+                return Status::invalidArgument(
+                    "analog layer consumes '" + name +
+                    "', which is not in the partition");
+            }
+        }
+        produced.insert(layer.name());
+        ++executed;
+    }
+    if (executed == 0) {
+        return Status::invalidArgument(
+            "partition executed no layers");
+    }
+    return Status();
+}
+
+} // namespace
+
 RedEyeDevice::RedEyeDevice(ColumnArrayConfig config,
                            analog::ProcessParams process, Rng rng)
     : array_(config, process, rng.fork()), rng_(rng)
 {
 }
 
-DeviceRun
-RedEyeDevice::run(nn::Network &net,
-                  const std::vector<std::string> &analog_layers,
-                  const Tensor &input)
+StatusOr<DeviceRun>
+RedEyeDevice::tryRun(nn::Network &net,
+                     const std::vector<std::string> &analog_layers,
+                     const Tensor &input)
 {
-    fatal_if(input.shape().n != 1,
-             "device executes one frame at a time");
+    RETURN_IF_ERROR(validatePartition(net, analog_layers, input));
+
     std::set<std::string> wanted(analog_layers.begin(),
                                  analog_layers.end());
-    for (const auto &name : analog_layers) {
-        fatal_if(!net.hasLayer(name), "network has no layer '", name,
-                 "'");
-    }
 
     array_.resetEnergy();
     DeviceRun result;
@@ -38,12 +110,13 @@ RedEyeDevice::run(nn::Network &net,
     Tensor last = input;
     std::string last_name = nn::kInputName;
 
+    // Validation guarantees every fetched activation exists.
     auto fetch = [&](const std::string &name) -> const Tensor & {
         if (name == nn::kInputName)
             return input;
         auto it = acts.find(name);
-        fatal_if(it == acts.end(), "analog layer consumes '", name,
-                 "', which is not in the partition");
+        panic_if(it == acts.end(), "validated partition missing '",
+                 name, "'");
         return it->second;
     };
 
@@ -136,9 +209,8 @@ RedEyeDevice::run(nn::Network &net,
             break;
           }
           default:
-            fatal("RedEye device cannot execute layer '",
-                  layer.name(), "' of kind ",
-                  nn::layerKindName(layer.kind()));
+            panic("validated partition reached unsupported layer '",
+                  layer.name(), "'");
         }
 
         result.executedLayers.push_back(layer.name());
@@ -147,13 +219,20 @@ RedEyeDevice::run(nn::Network &net,
         last_name = layer.name();
     }
 
-    fatal_if(result.executedLayers.empty(),
-             "partition executed no layers");
-
     result.features = array_.runQuantization(last);
     result.energy = array_.energy();
     result.forcedDecisions = array_.forcedDecisions();
     return result;
+}
+
+DeviceRun
+RedEyeDevice::run(nn::Network &net,
+                  const std::vector<std::string> &analog_layers,
+                  const Tensor &input)
+{
+    StatusOr<DeviceRun> result = tryRun(net, analog_layers, input);
+    fatal_if(!result.ok(), result.status().message());
+    return std::move(result.value());
 }
 
 } // namespace arch

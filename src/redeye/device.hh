@@ -7,6 +7,11 @@
  * renormalization with module noise), concat routing — and exports
  * the quantized cut tensor, exactly what the host would retrieve from
  * the feature SRAM. Collects the realized energy breakdown alongside.
+ *
+ * Fault campaigns (src/fault) arm through armFaults(); with none
+ * armed, execution is bit-identical to pristine silicon. tryRun()
+ * surfaces malformed partitions as a typed core::Status instead of
+ * exiting, so a serving runtime can fail one frame and keep going.
  */
 
 #ifndef REDEYE_REDEYE_DEVICE_HH
@@ -16,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hh"
 #include "redeye/column.hh"
 
 namespace redeye {
@@ -44,11 +50,31 @@ class RedEyeDevice
     /**
      * Execute the analog prefix @p analog_layers of @p net on the
      * single-frame tensor @p input (1, C, H, W), returning the
-     * quantized features crossing the A/D boundary.
+     * quantized features crossing the A/D boundary, or an
+     * InvalidArgument status when the partition is malformed (empty,
+     * unknown layers, out-of-partition consumers, unsupported layer
+     * kinds, batched input).
      */
+    StatusOr<DeviceRun> tryRun(nn::Network &net,
+                               const std::vector<std::string>
+                                   &analog_layers,
+                               const Tensor &input);
+
+    /** Like tryRun(), but a malformed partition is fatal. */
     DeviceRun run(nn::Network &net,
                   const std::vector<std::string> &analog_layers,
                   const Tensor &input);
+
+    /**
+     * Arm a fault campaign for subsequent runs (nullptr disarms);
+     * @p frame selects which faults have onset. See
+     * ColumnArray::armFaults.
+     */
+    void
+    armFaults(const fault::FaultModel *faults, std::uint64_t frame = 0)
+    {
+        array_.armFaults(faults, frame);
+    }
 
     ColumnArray &array() { return array_; }
 

@@ -34,6 +34,15 @@ struct StreamFrame {
     std::int32_t predicted = -1; ///< host-tail classification
     double analogEnergyJ = 0.0;  ///< realized RedEye energy
     double systemEnergyJ = 0.0;  ///< analog + host/link model energy
+
+    /**
+     * Degradation bookkeeping. A stage sets `failed` to surrender the
+     * frame: the runner counts it and drops it instead of forwarding.
+     * `analogBypassed` marks frames the degradation policy routed
+     * around the analog stage (the host runs the full digital net).
+     */
+    bool failed = false;
+    bool analogBypassed = false;
 };
 
 } // namespace stream

@@ -41,6 +41,14 @@ StreamMetrics::recordDropped(std::uint64_t index)
 }
 
 void
+StreamMetrics::recordFailed(std::uint64_t index)
+{
+    (void)index;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failed_;
+}
+
+void
 StreamMetrics::recordService(std::size_t stage, double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -77,6 +85,7 @@ StreamMetrics::report(double wall_s) const
     r.framesOffered = offered_;
     r.framesAdmitted = admitted_;
     r.framesDropped = dropped_;
+    r.framesFailed = failed_;
     r.framesCompleted = completed_;
     r.wallS = wall_s;
     if (wall_s > 0.0) {
@@ -122,11 +131,13 @@ void
 StreamReport::print(std::ostream &os) const
 {
     TablePrinter run("streaming run");
-    run.setHeader({"offered", "admitted", "dropped", "completed",
-                   "wall", "offered fps", "sustained fps"});
+    run.setHeader({"offered", "admitted", "dropped", "failed",
+                   "completed", "wall", "offered fps",
+                   "sustained fps"});
     run.addRow({std::to_string(framesOffered),
                 std::to_string(framesAdmitted),
                 std::to_string(framesDropped),
+                std::to_string(framesFailed),
                 std::to_string(framesCompleted),
                 units::siFormat(wallS, "s"), fmt(offeredFps, 2),
                 fmt(sustainedFps, 2)});

@@ -50,6 +50,7 @@ struct StreamReport {
     std::uint64_t framesOffered = 0;
     std::uint64_t framesAdmitted = 0;
     std::uint64_t framesDropped = 0; ///< admission + eviction drops
+    std::uint64_t framesFailed = 0;  ///< stage failures + watchdog kills
     std::uint64_t framesCompleted = 0;
 
     double wallS = 0.0;        ///< first emission to last completion
@@ -99,6 +100,12 @@ class StreamMetrics
     /** Frame @p index was dropped (rejected or evicted). */
     void recordDropped(std::uint64_t index);
 
+    /**
+     * Frame @p index failed in a stage (the stage surrendered it or
+     * the watchdog declared it dead) and leaves the pipeline.
+     */
+    void recordFailed(std::uint64_t index);
+
     /** Stage @p stage served one frame in @p seconds. */
     void recordService(std::size_t stage, double seconds);
 
@@ -124,6 +131,7 @@ class StreamMetrics
     std::uint64_t offered_ = 0;
     std::uint64_t admitted_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t failed_ = 0;
     std::uint64_t completed_ = 0;
     std::vector<double> latencyS_;
     RunningStat analogJ_;

@@ -1,0 +1,143 @@
+#include "stream/probe.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.hh"
+#include "nn/conv.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace stream {
+
+namespace {
+
+/**
+ * The known test vector: an ascending ramp across the columns on row
+ * 0 and the mirrored, descending ramp on row 1 (two rows make the
+ * 2x2 max-pool window legal). A railed column reads near the ramp
+ * maximum, which matches the expected value at one end of one ramp —
+ * but never of both, so every dead column shows a large error on at
+ * least one row. Within a pool window adjacent candidates differ by
+ * one ramp step, so a comparator offset that flips the decision
+ * produces a full-step error — detectable above the aligned-noise
+ * floor.
+ */
+Tensor
+probeRamp(std::size_t columns)
+{
+    Tensor ramp(Shape(1, 1, 2, columns));
+    for (std::size_t x = 0; x < columns; ++x) {
+        const auto v = static_cast<float>(
+            0.1 + 0.8 * static_cast<double>(x) /
+                      static_cast<double>(std::max<std::size_t>(
+                          1, columns - 1)));
+        ramp.at(0, 0, 0, x) = v;
+        ramp.at(0, 0, 1, columns - 1 - x) = v;
+    }
+    return ramp;
+}
+
+/** Run the probe workload through one array. */
+struct ProbeOutputs {
+    Tensor conv;   ///< conv + readout, one value per column
+    Tensor pooled; ///< 2-wide max pool, comparator decisions
+};
+
+ProbeOutputs
+runWorkload(arch::ColumnArray &array, const Tensor &ramp,
+            nn::ConvolutionLayer &conv,
+            const nn::MaxPoolLayer &pool)
+{
+    ProbeOutputs out;
+    Tensor convolved = array.runConvolution(ramp, conv, true);
+    out.pooled = array.runMaxPool(convolved, pool);
+    out.conv = array.runQuantization(convolved);
+    return out;
+}
+
+} // namespace
+
+std::string
+ProbeReport::str() const
+{
+    std::ostringstream oss;
+    oss << "probe: " << suspectColumns.size() << "/"
+        << columnError.size() << " suspect columns [";
+    for (std::size_t i = 0; i < suspectColumns.size(); ++i)
+        oss << (i ? " " : "") << suspectColumns[i];
+    oss << "]";
+    return oss.str();
+}
+
+ProbeReport
+runCalibrationProbe(const arch::ColumnArrayConfig &array_config,
+                    const fault::FaultModel *faults,
+                    std::uint64_t frame, const ProbeConfig &config)
+{
+    fatal_if(config.threshold <= 0.0,
+             "probe threshold must be positive");
+    const std::size_t columns = array_config.columns;
+
+    const Tensor ramp = probeRamp(columns);
+
+    // Unit-weight 1x1 convolution: output x == input x, per column.
+    nn::ConvParams conv_params = nn::ConvParams::square(1, 1);
+    conv_params.bias = false;
+    nn::ConvolutionLayer conv("probe/conv", conv_params);
+    conv.outputShape({ramp.shape()}); // materialize the weights
+    conv.weights() = Tensor(conv.weights().shape(), 1.0f);
+
+    nn::MaxPoolLayer pool("probe/pool", nn::PoolParams{2, 1, 0});
+
+    // Identically seeded arrays realize identical noise; the
+    // difference below is purely the fault contribution.
+    const auto process = analog::ProcessParams::typical();
+    arch::ColumnArray reference(array_config, process,
+                                Rng(config.seed));
+    arch::ColumnArray probed(array_config, process, Rng(config.seed));
+    probed.armFaults(faults, frame);
+
+    const ProbeOutputs want = runWorkload(reference, ramp, conv, pool);
+    const ProbeOutputs got = runWorkload(probed, ramp, conv, pool);
+
+    const double scale = std::max(
+        1e-12, static_cast<double>(want.conv.absMax()));
+
+    ProbeReport report;
+    report.columnError.assign(columns, 0.0);
+    for (std::size_t x = 0; x < columns; ++x) {
+        for (std::size_t y = 0; y < want.conv.shape().h; ++y) {
+            report.columnError[x] = std::max(
+                report.columnError[x],
+                std::abs(got.conv.at(0, 0, y, x) -
+                         want.conv.at(0, 0, y, x)) /
+                    scale);
+        }
+    }
+    // Max-pool output x is served by column x's comparator (kernel 2,
+    // stride 1) but draws candidates from columns x and x+1 — skip
+    // windows whose inputs the conv check already flagged, so a
+    // railed neighbour cannot smear onto a healthy comparator.
+    for (std::size_t x = 0; x < want.pooled.shape().w; ++x) {
+        if (report.columnError[x] > config.threshold ||
+            report.columnError[x + 1] > config.threshold) {
+            continue;
+        }
+        report.columnError[x] = std::max(
+            report.columnError[x],
+            static_cast<double>(std::abs(got.pooled.at(0, 0, 0, x) -
+                                         want.pooled.at(0, 0, 0, x))) /
+                scale);
+    }
+
+    for (std::size_t x = 0; x < columns; ++x) {
+        if (report.columnError[x] > config.threshold)
+            report.suspectColumns.push_back(x);
+    }
+    return report;
+}
+
+} // namespace stream
+} // namespace redeye

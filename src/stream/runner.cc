@@ -1,5 +1,6 @@
 #include "stream/runner.hh"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/exec.hh"
@@ -149,8 +150,37 @@ StreamRunner::sourceLoop(StreamMetrics &metrics)
 }
 
 void
+StreamRunner::watchdogLoop(StreamMetrics &metrics)
+{
+    const auto deadline =
+        std::chrono::duration<double>(config_.stageTimeoutS);
+    const auto deadline_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline)
+            .count();
+    // Scan well inside the deadline so overruns are caught promptly,
+    // but never spin faster than once a millisecond.
+    const auto tick = std::chrono::duration<double>(
+        std::max(config_.stageTimeoutS / 8.0, 1e-3));
+
+    while (!watchdogStop_.load()) {
+        std::this_thread::sleep_for(tick);
+        const auto now = Clock::now().time_since_epoch().count();
+        for (auto &slot : slots_) {
+            if (!slot->active.load())
+                continue;
+            if (now - slot->startNs.load() < deadline_ns)
+                continue;
+            // Claim the frame; the worker drops it on return. If the
+            // worker claimed first the frame just completed in time.
+            if (!slot->claimed.exchange(true))
+                metrics.recordFailed(slot->frame.load());
+        }
+    }
+}
+
+void
 StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
-                        StreamMetrics &metrics)
+                        WorkerSlot *slot, StreamMetrics &metrics)
 {
     std::function<void(StreamFrame &)> fn;
     try {
@@ -175,9 +205,29 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
             while (in.pop(frame)) {
                 metrics.recordQueueDepth(stage, in.size());
                 const auto t0 = Clock::now();
+                if (slot) {
+                    slot->frame.store(frame.index);
+                    slot->claimed.store(false);
+                    slot->startNs.store(
+                        t0.time_since_epoch().count());
+                    slot->active.store(true);
+                }
                 fn(frame);
+                bool watchdog_claimed = false;
+                if (slot) {
+                    slot->active.store(false);
+                    // Claim the frame back; losing means the
+                    // watchdog already counted it failed.
+                    watchdog_claimed = slot->claimed.exchange(true);
+                }
                 metrics.recordService(
                     stage, secondsBetween(t0, Clock::now()));
+                if (watchdog_claimed)
+                    continue; // deadline overrun: drop the frame
+                if (frame.failed) {
+                    metrics.recordFailed(frame.index);
+                    continue; // the stage surrendered the frame
+                }
                 if (out) {
                     if (out->push(std::move(frame)) != QueuePush::Ok)
                         break; // aborted
@@ -203,13 +253,13 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
 }
 
 StreamReport
-StreamRunner::run()
+StreamRunner::runImpl()
 {
-    panic_if(started_, "StreamRunner::run() may be called once");
     started_ = true;
 
     queues_.clear();
     live_.clear();
+    slots_.clear();
     std::vector<StageInfo> infos;
     std::size_t total_workers = 1; // the source
     for (const StageSpec &s : stages_) {
@@ -220,7 +270,14 @@ StreamRunner::run()
         infos.push_back(StageInfo{s.name, s.workers});
         total_workers += s.workers;
     }
+    for (std::size_t i = 0; i + 1 < total_workers; ++i)
+        slots_.push_back(std::make_unique<WorkerSlot>());
     StreamMetrics metrics(infos, config_.frames);
+
+    std::thread watchdog;
+    watchdogStop_.store(false);
+    if (config_.stageTimeoutS > 0.0)
+        watchdog = std::thread([&] { watchdogLoop(metrics); });
 
     // Every worker is one long-lived chunk; the pool is sized so all
     // of them run concurrently (the caller serves as one worker).
@@ -232,9 +289,10 @@ StreamRunner::run()
             return;
         }
         std::size_t index = chunk - 1;
+        WorkerSlot *slot = slots_[chunk - 1].get();
         for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
             if (index < stages_[stage].workers) {
-                stageLoop(stage, index, metrics);
+                stageLoop(stage, index, slot, metrics);
                 return;
             }
             index -= stages_[stage].workers;
@@ -242,12 +300,41 @@ StreamRunner::run()
         panic("worker chunk out of range");
     });
 
+    if (watchdog.joinable()) {
+        watchdogStop_.store(true);
+        watchdog.join();
+    }
+
     {
         std::lock_guard<std::mutex> lock(errorMutex_);
         if (firstError_)
             std::rethrow_exception(firstError_);
     }
     return metrics.report(secondsSinceStart());
+}
+
+StreamReport
+StreamRunner::run()
+{
+    panic_if(started_, "StreamRunner::run() may be called once");
+    return runImpl();
+}
+
+StatusOr<StreamReport>
+StreamRunner::tryRun()
+{
+    if (started_) {
+        return Status::failedPrecondition(
+            "StreamRunner::run() may be called once");
+    }
+    try {
+        return runImpl();
+    } catch (const std::exception &e) {
+        return Status::internal(std::string("stage failure: ") +
+                                e.what());
+    } catch (...) {
+        return Status::internal("stage failure: unknown exception");
+    }
 }
 
 } // namespace stream

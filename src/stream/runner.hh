@@ -37,7 +37,19 @@
  * returns once every in-flight frame has either completed or been
  * dropped — a clean drain on every path. A stage function that
  * throws aborts the run: all queues close, workers unwind, and the
- * first exception is rethrown from run().
+ * first exception is rethrown from run() (tryRun() converts it to a
+ * Status instead).
+ *
+ * ## Watchdog
+ *
+ * With RunnerConfig::stageTimeoutS > 0 a watchdog thread scans the
+ * per-worker hand-off slots: a frame held past the deadline is
+ * immediately counted failed (StreamReport::framesFailed) and, once
+ * the stalled stage function returns, dropped instead of forwarded.
+ * A frame that wedges one worker therefore costs exactly that frame;
+ * the remaining workers keep the pipeline live and run() still
+ * drains cleanly. Stages can also surrender a frame voluntarily by
+ * setting StreamFrame::failed.
  */
 
 #ifndef REDEYE_STREAM_RUNNER_HH
@@ -52,6 +64,7 @@
 #include <vector>
 
 #include "core/queue.hh"
+#include "core/status.hh"
 #include "stream/frame.hh"
 #include "stream/frame_source.hh"
 #include "stream/metrics.hh"
@@ -92,6 +105,15 @@ struct RunnerConfig {
     std::size_t queueCapacity = 8; ///< bound of every queue
     AdmissionPolicy policy = AdmissionPolicy::Block;
     ArrivalSchedule arrivals = ArrivalSchedule::unpaced();
+
+    /**
+     * Per-frame stage deadline in seconds; 0 disables the watchdog.
+     * A frame a stage holds longer than this is declared failed
+     * (StreamReport::framesFailed) and dropped when the stage
+     * function eventually returns; the other workers keep serving,
+     * so one wedged frame can never deadlock the pipeline.
+     */
+    double stageTimeoutS = 0.0;
 };
 
 /** Drives a FrameSource through pipeline stages. */
@@ -107,9 +129,17 @@ class StreamRunner
 
     /**
      * Execute the run to completion (blocking) and report. May be
-     * called once per runner.
+     * called once per runner. A stage exception aborts the run and
+     * is rethrown here.
      */
     StreamReport run();
+
+    /**
+     * Like run(), but reports failure as a Status instead of
+     * throwing: FailedPrecondition when the runner already ran,
+     * Internal carrying the first stage exception's message.
+     */
+    StatusOr<StreamReport> tryRun();
 
     /**
      * Ask a running pipeline to stop admitting new frames and drain.
@@ -124,9 +154,27 @@ class StreamRunner
     using Clock = std::chrono::steady_clock;
     using Queue = BoundedQueue<StreamFrame>;
 
+    /**
+     * Watchdog hand-off slot, one per stage worker. The worker
+     * publishes the frame it is serving; the watchdog thread claims
+     * frames that exceed the stage deadline. Exactly one side wins
+     * `claimed` per frame: if the watchdog wins it records the
+     * failure and the worker drops the frame on return; if the
+     * worker wins the frame proceeds normally.
+     */
+    struct WorkerSlot {
+        std::atomic<std::uint64_t> frame{0};
+        std::atomic<std::int64_t> startNs{0};
+        std::atomic<bool> active{false};
+        std::atomic<bool> claimed{false};
+    };
+
     void sourceLoop(StreamMetrics &metrics);
     void stageLoop(std::size_t stage, std::size_t worker,
-                   StreamMetrics &metrics);
+                   WorkerSlot *slot, StreamMetrics &metrics);
+    void watchdogLoop(StreamMetrics &metrics);
+
+    StreamReport runImpl();
 
     /** Close every queue so all workers unwind promptly. */
     void abortRun();
@@ -142,7 +190,9 @@ class StreamRunner
 
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::unique_ptr<std::atomic<std::size_t>>> live_;
+    std::vector<std::unique_ptr<WorkerSlot>> slots_;
     std::atomic<bool> stop_{false};
+    std::atomic<bool> watchdogStop_{false};
     bool started_ = false;
 
     std::mutex readyMutex_;

@@ -1,6 +1,7 @@
 #include "stream/vision.hh"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 
 #include "core/logging.hh"
@@ -55,16 +56,44 @@ struct DeviceWorker {
     std::unique_ptr<nn::Network> net;
     std::vector<std::string> layers;
     arch::ColumnArrayConfig array;
+    std::map<std::uint64_t, DegradePlan> plans; ///< per-epoch cache
 
     explicit DeviceWorker(const VisionConfig &config) : cfg(config)
     {
         Rng weights(cfg.weightSeed);
         net = models::buildMiniGoogLeNet(cfg.classes, weights);
+        if (cfg.weights)
+            nn::copyWeightsByName(*net, *cfg.weights);
         layers = models::miniGoogLeNetAnalogLayers(cfg.depth);
         array.columns = models::kMiniInputSize;
         array.convSnrDb = cfg.convSnrDb;
         array.weightBits = cfg.weightBits;
         array.adcBits = cfg.adcBits;
+    }
+
+    /**
+     * Degradation plan for the epoch containing @p index. Probing is
+     * a pure function of (fault model, epoch), so every worker's
+     * cache converges on identical plans — worker-local state, no
+     * races, bit-identical frames regardless of worker count.
+     */
+    const DegradePlan &
+    planFor(std::uint64_t index)
+    {
+        const std::uint64_t epoch = index / cfg.degrade.probePeriod;
+        auto it = plans.find(epoch);
+        if (it == plans.end()) {
+            ProbeConfig pc;
+            pc.threshold = cfg.degrade.probeThreshold;
+            const ProbeReport probe = runCalibrationProbe(
+                array, cfg.faults.get(),
+                epoch * cfg.degrade.probePeriod, pc);
+            it = plans
+                     .emplace(epoch, planDegradation(probe, array,
+                                                     cfg.degrade))
+                     .first;
+        }
+        return it->second;
     }
 
     void
@@ -76,6 +105,25 @@ struct DeviceWorker {
         arch::RedEyeDevice device(
             array, analog::ProcessParams::typical(),
             Rng(streamRng(cfg.deviceSeed, 0, frame.index).raw()));
+        if (cfg.faults) {
+            device.armFaults(cfg.faults.get(), frame.index);
+            if (cfg.degrade.enabled) {
+                const DegradePlan &plan = planFor(frame.index);
+                if (plan.mode == DegradeMode::Bypass) {
+                    // Hardware past saving: hand the raw frame to
+                    // the host's full digital network.
+                    frame.analogBypassed = true;
+                    frame.features = frame.image;
+                    frame.analogEnergyJ = 0.0;
+                    return;
+                }
+                if (plan.mode == DegradeMode::Remap) {
+                    device.array().setColumnMap(plan.columnMap);
+                    if (plan.adcBits)
+                        device.array().setAdcBits(plan.adcBits);
+                }
+            }
+        }
         auto run = device.run(*net, layers, frame.image);
         frame.features = std::move(run.features);
         frame.analogEnergyJ = run.energy.totalJ();
@@ -85,13 +133,17 @@ struct DeviceWorker {
 /** Host stage: digital tail replica + system energy model. */
 struct HostWorker {
     VisionConfig cfg;
+    std::unique_ptr<nn::Network> full; ///< bypass path (degradation)
     std::unique_ptr<nn::Network> tail;
-    double hostEnergyJ = 0.0; ///< model energy of the digital side
+    double hostEnergyJ = 0.0;   ///< model energy of the digital tail
+    double bypassEnergyJ = 0.0; ///< full digital net, analog bypassed
 
     explicit HostWorker(const VisionConfig &config) : cfg(config)
     {
         Rng weights(cfg.weightSeed);
-        auto full = models::buildMiniGoogLeNet(cfg.classes, weights);
+        full = models::buildMiniGoogLeNet(cfg.classes, weights);
+        if (cfg.weights)
+            nn::copyWeightsByName(*full, *cfg.weights);
         const auto analog_layers =
             models::miniGoogLeNetAnalogLayers(cfg.depth);
         const Shape cut = full->nodeShape(analog_layers.back());
@@ -114,6 +166,7 @@ struct HostWorker {
                     : sys::JetsonProcessor::CPU,
                 full_macs, tail_macs));
             hostEnergyJ = host.executionEnergyJ(tail_macs);
+            bypassEnergyJ = host.executionEnergyJ(full_macs);
             break;
           }
           case HostTail::Cloudlet: {
@@ -121,6 +174,10 @@ struct HostWorker {
                 static_cast<double>(cut.size()) * cfg.adcBits / 8.0;
             hostEnergyJ =
                 sys::BleLink().transferEnergyJ(payload_bytes);
+            // Bypass ships raw 8-bit pixels instead of features.
+            const Shape in = full->inputShape();
+            bypassEnergyJ = sys::BleLink().transferEnergyJ(
+                static_cast<double>(in.sliceSize()));
             break;
           }
         }
@@ -129,6 +186,14 @@ struct HostWorker {
     void
     process(StreamFrame &frame)
     {
+        if (frame.analogBypassed) {
+            // The degradation policy routed around the analog stage:
+            // `features` carries the raw sampled image and the full
+            // digital network serves the frame.
+            frame.predicted = argmax(full->forward(frame.features));
+            frame.systemEnergyJ = bypassEnergyJ;
+            return;
+        }
         frame.predicted = argmax(tail->forward(frame.features));
         frame.systemEnergyJ = frame.analogEnergyJ + hostEnergyJ;
     }
@@ -155,6 +220,8 @@ makeVisionStages(const VisionConfig &config)
 {
     fatal_if(config.depth < 1 || config.depth > 5,
              "vision depth must be in [1, 5]");
+    fatal_if(config.degrade.enabled && config.degrade.probePeriod == 0,
+             "degradation probe period must be >= 1");
 
     std::vector<StageSpec> stages;
     stages.push_back(StageSpec{

@@ -21,8 +21,13 @@
 #ifndef REDEYE_STREAM_VISION_HH
 #define REDEYE_STREAM_VISION_HH
 
+#include <memory>
+
 #include "data/shapes_dataset.hh"
+#include "fault/fault_model.hh"
+#include "nn/network.hh"
 #include "noise/sensor_noise.hh"
+#include "stream/degrade.hh"
 #include "stream/runner.hh"
 
 namespace redeye {
@@ -50,12 +55,36 @@ struct VisionConfig {
     noise::SensorParams sensor; ///< raw sampling model
 
     std::uint64_t weightSeed = 0x3317a11;  ///< network replica seed
+
+    /**
+     * Optional trained weights: when set, every network replica
+     * (device prefix, host tail, bypass network) copies matching
+     * layers from this network after construction, so served
+     * predictions reflect a trained classifier instead of the random
+     * init. Shared read-only across workers; null = random init.
+     */
+    std::shared_ptr<nn::Network> weights;
     std::uint64_t sensorSeed = 0x5e9505;   ///< sampling noise base
     std::uint64_t deviceSeed = 0xde71ce;   ///< analog noise base
 
     std::size_t sensorWorkers = 1;
     std::size_t deviceWorkers = 1;
     std::size_t hostWorkers = 1;
+
+    /**
+     * Fault campaign armed on every device replica (shared,
+     * immutable; nullptr = pristine silicon). Faults with a later
+     * onset frame stay dormant until the stream reaches them.
+     */
+    std::shared_ptr<const fault::FaultModel> faults;
+
+    /**
+     * Degradation policy. When enabled, each device worker probes the
+     * (shared, static) fault model once per epoch and independently
+     * derives the identical plan — remap, ADC boost or full analog
+     * bypass — so no cross-worker coordination is needed.
+     */
+    DegradationPolicyConfig degrade;
 };
 
 /**

@@ -1,0 +1,133 @@
+/** @file Tests for Status and StatusOr. */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/status.hh"
+
+namespace redeye {
+namespace {
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.str(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage)
+{
+    const Status s = Status::invalidArgument("bad shape");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(s.message(), "bad shape");
+    EXPECT_EQ(s.str(), "INVALID_ARGUMENT: bad shape");
+
+    EXPECT_EQ(Status::failedPrecondition("x").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::deadlineExceeded("x").code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(Status::resourceExhausted("x").code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(Status::unavailable("x").code(),
+              StatusCode::Unavailable);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::Internal);
+}
+
+TEST(StatusTest, CodeNames)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidArgument),
+                 "INVALID_ARGUMENT");
+    EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
+                 "FAILED_PRECONDITION");
+    EXPECT_STREQ(statusCodeName(StatusCode::DeadlineExceeded),
+                 "DEADLINE_EXCEEDED");
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "RESOURCE_EXHAUSTED");
+    EXPECT_STREQ(statusCodeName(StatusCode::Unavailable),
+                 "UNAVAILABLE");
+    EXPECT_STREQ(statusCodeName(StatusCode::Internal), "INTERNAL");
+}
+
+TEST(StatusTest, Equality)
+{
+    EXPECT_EQ(Status(), Status());
+    EXPECT_EQ(Status::internal("a"), Status::internal("a"));
+    EXPECT_FALSE(Status::internal("a") == Status::internal("b"));
+    EXPECT_FALSE(Status::internal("a") == Status::unavailable("a"));
+}
+
+TEST(StatusOrTest, HoldsValue)
+{
+    StatusOr<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOrTest, HoldsError)
+{
+    StatusOr<int> r(Status::invalidArgument("nope"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValue)
+{
+    StatusOr<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(**r, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator)
+{
+    StatusOr<std::string> r(std::string("abc"));
+    EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorPanics)
+{
+    StatusOr<int> r(Status::internal("boom"));
+    EXPECT_DEATH((void)r.value(), "boom");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValuePanics)
+{
+    EXPECT_DEATH({ StatusOr<int> r{Status()}; (void)r; }, "OK status");
+}
+
+Status
+failAfter(int &calls, int n)
+{
+    ++calls;
+    if (calls > n)
+        return Status::unavailable("budget spent");
+    return Status();
+}
+
+Status
+propagate(int &calls)
+{
+    RETURN_IF_ERROR(failAfter(calls, 2));
+    RETURN_IF_ERROR(failAfter(calls, 2));
+    RETURN_IF_ERROR(failAfter(calls, 2)); // fails here
+    RETURN_IF_ERROR(failAfter(calls, 2)); // never reached
+    return Status();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesFirstFailure)
+{
+    int calls = 0;
+    const Status s = propagate(calls);
+    EXPECT_EQ(s.code(), StatusCode::Unavailable);
+    EXPECT_EQ(calls, 3); // the fourth call never happened
+}
+
+} // namespace
+} // namespace redeye

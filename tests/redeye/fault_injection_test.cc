@@ -1,0 +1,391 @@
+/** @file Tests for fault injection in the functional column engine. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.hh"
+#include "models/mini_googlenet.hh"
+#include "models/partition.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+#include "redeye/column.hh"
+#include "redeye/device.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+constexpr std::size_t kColumns = 16;
+
+ColumnArray
+makeArray(std::uint64_t seed = 0xc01, unsigned adc_bits = 8)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = kColumns;
+    cfg.convSnrDb = 60.0;
+    cfg.adcBits = adc_bits;
+    return ColumnArray(cfg, analog::ProcessParams::typical(),
+                       Rng(seed));
+}
+
+Tensor
+randomImage(const Shape &s, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(s);
+    t.fillUniform(rng, 0.0f, 1.0f);
+    return t;
+}
+
+/** A small conv workload across every column. */
+Tensor
+convWorkload(ColumnArray &array, std::uint64_t image_seed = 2)
+{
+    Rng rng(1);
+    nn::ConvolutionLayer conv("c", nn::ConvParams::square(2, 3, 1, 1));
+    Tensor x = randomImage(Shape(1, 1, 4, kColumns), image_seed);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    return array.runConvolution(x, conv, false);
+}
+
+/**
+ * A fault model with every entry pristine must leave execution
+ * bit-identical to running with no model armed at all.
+ */
+TEST(FaultInjectionTest, NoFaultsArmedIsBitIdentical)
+{
+    fault::FaultModel empty(fault::FaultCampaign{}, kColumns);
+
+    auto plain = makeArray();
+    auto armed = makeArray();
+    armed.armFaults(&empty, 0);
+
+    const Tensor a = convWorkload(plain);
+    const Tensor b = convWorkload(armed);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "element " << i;
+
+    const Tensor qa = plain.runQuantization(a);
+    const Tensor qb = armed.runQuantization(b);
+    for (std::size_t i = 0; i < qa.size(); ++i)
+        ASSERT_EQ(qa[i], qb[i]) << "element " << i;
+}
+
+/** Disarming (nullptr) restores pristine behaviour. */
+TEST(FaultInjectionTest, DisarmRestoresPristine)
+{
+    fault::FaultCampaign c;
+    c.deadColumnRate = 1.0;
+    fault::FaultModel all_dead(c, kColumns);
+
+    auto plain = makeArray();
+    auto armed = makeArray();
+    armed.armFaults(&all_dead, 0);
+    armed.armFaults(nullptr);
+
+    const Tensor a = convWorkload(plain);
+    const Tensor b = convWorkload(armed);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+/**
+ * The injection contract: a dead column corrupts only the positions
+ * it serves; every other column's output stays bit-identical (the
+ * dead MAC still consumes its noise draws).
+ */
+TEST(FaultInjectionTest, DeadColumnLeavesHealthyColumnsBitIdentical)
+{
+    // Find a model with exactly one dead column.
+    fault::FaultCampaign c = fault::FaultCampaign::deadColumns(0.05);
+    std::size_t dead_col = kColumns;
+    for (std::uint64_t seed = 1; seed < 100; ++seed) {
+        c.seed = seed;
+        fault::FaultModel m(c, kColumns);
+        if (m.deadColumnCount() == 1) {
+            for (std::size_t i = 0; i < kColumns; ++i) {
+                if (m.column(i).dead)
+                    dead_col = i;
+            }
+            break;
+        }
+    }
+    ASSERT_LT(dead_col, kColumns);
+    fault::FaultModel model(c, kColumns);
+
+    auto plain = makeArray();
+    auto armed = makeArray();
+    armed.armFaults(&model, 0);
+
+    const Tensor a = convWorkload(plain);
+    const Tensor b = convWorkload(armed);
+    ASSERT_EQ(a.shape(), b.shape());
+    const Shape &s = a.shape();
+    bool dead_differs = false;
+    for (std::size_t ch = 0; ch < s.c; ++ch) {
+        for (std::size_t y = 0; y < s.h; ++y) {
+            for (std::size_t x = 0; x < s.w; ++x) {
+                if (x % kColumns == dead_col) {
+                    dead_differs |=
+                        a.at(0, ch, y, x) != b.at(0, ch, y, x);
+                } else {
+                    ASSERT_EQ(a.at(0, ch, y, x), b.at(0, ch, y, x))
+                        << "healthy column " << x << " perturbed";
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(dead_differs);
+}
+
+/** Dead columns rail the quantizer at full scale. */
+TEST(FaultInjectionTest, DeadColumnRailsReadout)
+{
+    fault::FaultCampaign c;
+    c.deadColumnRate = 1.0;
+    fault::FaultModel all_dead(c, kColumns);
+
+    auto armed = makeArray();
+    armed.armFaults(&all_dead, 0);
+    Tensor x = randomImage(Shape(1, 1, 1, kColumns), 9);
+    const Tensor q = armed.runQuantization(x);
+    // Full-scale rail, reconstructed mid-rise: within a couple LSB.
+    const float expected = x.absMax();
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_NEAR(q[i], expected, 0.02f * expected);
+}
+
+/** Onset gates injection: before the onset frame the array is clean. */
+TEST(FaultInjectionTest, OnsetGatesInjection)
+{
+    fault::FaultCampaign late;
+    late.deadColumnRate = 1.0;
+    late.onsetHorizon = 1000000;
+    fault::FaultModel late_model(late, kColumns);
+    std::uint64_t last_onset = 0;
+    for (std::size_t i = 0; i < kColumns; ++i)
+        last_onset = std::max(last_onset, late_model.column(i).onset);
+    ASSERT_GT(last_onset, 0u) << "horizon produced no late onset";
+
+    auto plain = makeArray();
+    auto before = makeArray();
+    before.armFaults(&late_model, 0);
+
+    // Probe a frame before every onset: bit-identical to pristine.
+    bool all_dormant = true;
+    for (std::size_t i = 0; i < kColumns; ++i)
+        all_dormant &= late_model.column(i).onset > 0;
+    if (all_dormant) {
+        const Tensor a = convWorkload(plain);
+        const Tensor b = convWorkload(before);
+        for (std::size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+
+    // At a frame past every onset the faults bite.
+    auto after = makeArray();
+    after.armFaults(&late_model, last_onset);
+    auto plain2 = makeArray();
+    const Tensor a2 = convWorkload(plain2);
+    const Tensor b2 = convWorkload(after);
+    bool differ = false;
+    for (std::size_t i = 0; i < a2.size(); ++i)
+        differ |= a2[i] != b2[i];
+    EXPECT_TRUE(differ);
+}
+
+/** Column remapping steers work off the mapped-out column. */
+TEST(FaultInjectionTest, ColumnMapRoutesAroundDeadColumn)
+{
+    // Build a model with exactly one dead column.
+    std::size_t dead_col = kColumns;
+    fault::FaultCampaign one = fault::FaultCampaign::deadColumns(0.05);
+    for (std::uint64_t seed = 1; seed < 100; ++seed) {
+        one.seed = seed;
+        fault::FaultModel m(one, kColumns);
+        if (m.deadColumnCount() == 1) {
+            for (std::size_t i = 0; i < kColumns; ++i) {
+                if (m.column(i).dead)
+                    dead_col = i;
+            }
+            break;
+        }
+    }
+    ASSERT_LT(dead_col, kColumns);
+    fault::FaultModel single(one, kColumns);
+
+    Tensor x = randomImage(Shape(1, 1, 1, kColumns), 5);
+    const float rail = x.absMax();
+
+    // Identity mapping: the dead position rails at full scale.
+    auto identity = makeArray();
+    identity.armFaults(&single, 0);
+    const Tensor qi = identity.runQuantization(x);
+    EXPECT_NEAR(qi[dead_col], rail, 0.02f * rail);
+
+    // Route the dead position onto its healthy neighbor: logical x ->
+    // physical (dead + 1) % columns for x == dead, identity otherwise.
+    std::vector<std::size_t> map(kColumns);
+    for (std::size_t lx = 0; lx < kColumns; ++lx)
+        map[lx] = lx == dead_col ? (dead_col + 1) % kColumns : lx;
+
+    auto remapped = makeArray();
+    remapped.armFaults(&single, 0);
+    remapped.setColumnMap(map);
+    const Tensor qr = remapped.runQuantization(x);
+    // Every position now reads through a healthy column: accurate to
+    // within ADC resolution, including the formerly railed one.
+    for (std::size_t i = 0; i < qr.size(); ++i) {
+        EXPECT_NEAR(qr[i], x.at(0, 0, 0, i), 0.05f * rail)
+            << "position " << i;
+    }
+}
+
+TEST(FaultInjectionDeathTest, ArmRejectsColumnMismatch)
+{
+    fault::FaultModel model(fault::FaultCampaign{}, kColumns + 1);
+    auto array = makeArray();
+    EXPECT_EXIT(array.armFaults(&model, 0),
+                ::testing::ExitedWithCode(1), "fault model covers");
+}
+
+TEST(FaultInjectionDeathTest, ColumnMapRejectsOutOfRange)
+{
+    auto array = makeArray();
+    EXPECT_EXIT(array.setColumnMap({kColumns}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+/** Device passthrough: armFaults reaches the array. */
+TEST(FaultInjectionTest, DeviceArmsArray)
+{
+    fault::FaultCampaign c;
+    c.deadColumnRate = 1.0;
+    fault::FaultModel all_dead(c, models::kMiniInputSize);
+
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(0xbeef);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    const auto layers = models::miniGoogLeNetAnalogLayers(1);
+    Tensor x = randomImage(Shape(1, 3, models::kMiniInputSize,
+                                 models::kMiniInputSize),
+                           7);
+
+    RedEyeDevice clean(cfg, analog::ProcessParams::typical(),
+                       Rng(42));
+    RedEyeDevice faulty(cfg, analog::ProcessParams::typical(),
+                        Rng(42));
+    faulty.armFaults(&all_dead, 0);
+
+    const auto a = clean.run(*net, layers, x);
+    const auto b = faulty.run(*net, layers, x);
+    bool differ = false;
+    for (std::size_t i = 0; i < a.features.size(); ++i)
+        differ |= a.features[i] != b.features[i];
+    EXPECT_TRUE(differ);
+}
+
+/** tryRun returns typed errors instead of exiting. */
+TEST(DeviceStatusTest, RejectsBatchedInput)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(1);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    const auto layers = models::miniGoogLeNetAnalogLayers(1);
+    RedEyeDevice dev(cfg, analog::ProcessParams::typical(), Rng(2));
+
+    Tensor batched(Shape(2, 3, models::kMiniInputSize,
+                         models::kMiniInputSize));
+    auto r = dev.tryRun(*net, layers, batched);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("one frame at a time"),
+              std::string::npos);
+}
+
+TEST(DeviceStatusTest, RejectsUnknownLayer)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(1);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    RedEyeDevice dev(cfg, analog::ProcessParams::typical(), Rng(2));
+    Tensor x = randomImage(Shape(1, 3, models::kMiniInputSize,
+                                 models::kMiniInputSize),
+                           3);
+
+    auto r = dev.tryRun(*net, {"no/such/layer"}, x);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("has no layer"),
+              std::string::npos);
+}
+
+TEST(DeviceStatusTest, RejectsEmptyPartition)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(1);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    RedEyeDevice dev(cfg, analog::ProcessParams::typical(), Rng(2));
+    Tensor x = randomImage(Shape(1, 3, models::kMiniInputSize,
+                                 models::kMiniInputSize),
+                           3);
+
+    auto r = dev.tryRun(*net, {}, x);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("no layers"),
+              std::string::npos);
+}
+
+TEST(DeviceStatusTest, RejectsOutOfPartitionConsumer)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(1);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    // Take a deep partition but drop its first layer: a survivor now
+    // consumes an activation produced outside the partition.
+    auto layers = models::miniGoogLeNetAnalogLayers(2);
+    ASSERT_GT(layers.size(), 1u);
+    layers.erase(layers.begin());
+    RedEyeDevice dev(cfg, analog::ProcessParams::typical(), Rng(2));
+    Tensor x = randomImage(Shape(1, 3, models::kMiniInputSize,
+                                 models::kMiniInputSize),
+                           3);
+
+    auto r = dev.tryRun(*net, layers, x);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(r.status().message().find("not in the partition"),
+              std::string::npos);
+}
+
+TEST(DeviceStatusTest, ValidPartitionSucceeds)
+{
+    ColumnArrayConfig cfg;
+    cfg.columns = models::kMiniInputSize;
+    Rng weights(1);
+    auto net = models::buildMiniGoogLeNet(4, weights);
+    const auto layers = models::miniGoogLeNetAnalogLayers(1);
+    RedEyeDevice dev(cfg, analog::ProcessParams::typical(), Rng(2));
+    Tensor x = randomImage(Shape(1, 3, models::kMiniInputSize,
+                                 models::kMiniInputSize),
+                           3);
+
+    auto r = dev.tryRun(*net, layers, x);
+    ASSERT_TRUE(r.ok()) << r.status().str();
+    EXPECT_FALSE(r->executedLayers.empty());
+    EXPECT_GT(r->features.size(), 0u);
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

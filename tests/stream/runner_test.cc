@@ -269,6 +269,126 @@ TEST(StreamRunnerTest, RejectsBadConfigs)
                 ::testing::ExitedWithCode(1), "worker");
 }
 
+TEST(StreamRunnerTest, WatchdogFailsStalledFrameWithoutDeadlock)
+{
+    // Frame 2 wedges its worker for far longer than the stage
+    // deadline; the watchdog must declare it failed while the second
+    // worker keeps the pipeline live, and the run must still drain.
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 12;
+    rc.queueCapacity = 2;
+    rc.stageTimeoutS = 0.05;
+
+    StageSpec stalling{
+        "stall", 2, [](std::size_t) {
+            return [](StreamFrame &f) {
+                if (f.index == 2) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(400));
+                }
+                const auto content =
+                    static_cast<std::uint64_t>(f.image[0]);
+                f.predicted = expectedPrediction(content);
+            };
+        }};
+    StreamRunner runner(source, {stalling}, rc);
+    const StreamReport r = runner.run();
+
+    // The wedged frame is failed, never completed; a loaded machine
+    // (e.g. sanitizer runs) may push other frames past the deadline
+    // too, so only frame 2's fate is asserted exactly.
+    EXPECT_EQ(r.framesAdmitted, 12u);
+    EXPECT_GE(r.framesFailed, 1u);
+    EXPECT_EQ(r.framesCompleted + r.framesFailed, 12u);
+    EXPECT_EQ(r.predictions[2], -1); // failed, never forwarded
+    for (std::uint64_t i = 0; i < 12; ++i) {
+        if (r.predictions[i] != -1)
+            EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    }
+}
+
+TEST(StreamRunnerTest, WatchdogDisabledToleratesSlowFrames)
+{
+    // With no deadline configured a slow frame is simply served.
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 4;
+    StreamRunner runner(
+        source, {classifyStage(1, std::chrono::microseconds(20000))},
+        rc);
+    const StreamReport r = runner.run();
+    EXPECT_EQ(r.framesFailed, 0u);
+    EXPECT_EQ(r.framesCompleted, 4u);
+}
+
+TEST(StreamRunnerTest, StageCanSurrenderAFrame)
+{
+    // A stage marks a frame failed (e.g. its device rejected the
+    // input); the frame is counted and dropped, the rest complete.
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 16;
+    StageSpec surrendering{
+        "surrender", 1, [](std::size_t) {
+            return [](StreamFrame &f) {
+                if (f.index == 5) {
+                    f.failed = true;
+                    return;
+                }
+                const auto content =
+                    static_cast<std::uint64_t>(f.image[0]);
+                f.predicted = expectedPrediction(content);
+            };
+        }};
+    StreamRunner runner(source, {surrendering}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesFailed, 1u);
+    EXPECT_EQ(r.framesCompleted, 15u);
+    EXPECT_EQ(r.predictions[5], -1);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        if (i != 5)
+            EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    }
+}
+
+TEST(StreamRunnerTest, TryRunReportsStageExceptionAsStatus)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 20;
+    StageSpec faulty{"faulty", 1, [](std::size_t) {
+                         return [](StreamFrame &f) {
+                             if (f.index == 3)
+                                 throw std::runtime_error(
+                                     "injected stage fault");
+                         };
+                     }};
+    StreamRunner runner(source, {faulty}, rc);
+    const auto r = runner.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Internal);
+    EXPECT_NE(r.status().message().find("injected stage fault"),
+              std::string::npos);
+}
+
+TEST(StreamRunnerTest, TryRunRejectsSecondRun)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 2;
+    StreamRunner runner(source, {classifyStage(1)}, rc);
+    const auto first = runner.tryRun();
+    ASSERT_TRUE(first.ok()) << first.status().str();
+    EXPECT_EQ(first->framesCompleted, 2u);
+
+    const auto second = runner.tryRun();
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(second.status().code(),
+              StatusCode::FailedPrecondition);
+}
+
 TEST(StreamRunnerTest, PolicyNames)
 {
     EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Block),
