@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared `--csv` support for the google-benchmark binaries.
+ *
+ * Every micro bench accepts `--csv <path>` (in addition to the usual
+ * benchmark flags) and mirrors each measurement into a
+ * machine-readable CSV via core/csv: benchmark name, iterations,
+ * per-iteration real/CPU time in the benchmark's time unit, and any
+ * user counters as `name=value` pairs. runBenchmarksWithCsvFlag()
+ * strips the flag, initializes the library and runs the registered
+ * benchmarks with or without the mirror reporter.
+ */
+
+#ifndef REDEYE_BENCH_BENCH_CSV_HH
+#define REDEYE_BENCH_BENCH_CSV_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hh"
+#include "core/table.hh"
+
+namespace redeye {
+namespace bench {
+
+/** File reporter mirroring each measurement into CSV rows. */
+class CsvMirrorReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    explicit CsvMirrorReporter(const std::string &path) : csv_(path) {}
+
+    bool
+    ReportContext(const Context &) override
+    {
+        csv_.header({"name", "iterations", "real_time", "cpu_time",
+                     "time_unit", "counters"});
+        return true;
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            std::ostringstream counters;
+            bool first = true;
+            for (const auto &[name, counter] : run.counters) {
+                counters << (first ? "" : ";") << name << "="
+                         << counter.value;
+                first = false;
+            }
+            csv_.row({run.benchmark_name(),
+                      std::to_string(run.iterations),
+                      fmt(run.GetAdjustedRealTime(), 6),
+                      fmt(run.GetAdjustedCPUTime(), 6),
+                      benchmark::GetTimeUnitString(run.time_unit),
+                      counters.str()});
+        }
+    }
+
+  private:
+    CsvWriter csv_;
+};
+
+/**
+ * Parse and strip `--csv <path>`, then initialize and run the
+ * registered benchmarks, mirroring into the CSV when requested.
+ * Returns the process exit status.
+ */
+inline int
+runBenchmarksWithCsvFlag(int argc, char **argv)
+{
+    // Strip our own --csv flag before the benchmark library parses
+    // the rest.
+    std::string csv_path;
+    bool has_out_flag = false;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csv_path = argv[++i];
+            continue;
+        }
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            has_out_flag = true;
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+
+    // The library requires --benchmark_out alongside a custom file
+    // reporter; our reporter writes its own file, so satisfy the
+    // check with a sink. Stripping "--csv <path>" freed two argv
+    // slots, so there is room to append.
+    static char out_sink[] = "--benchmark_out=/dev/null";
+    if (!csv_path.empty() && !has_out_flag)
+        argv[argc++] = out_sink;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (csv_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        CsvMirrorReporter file_reporter(csv_path);
+        benchmark::RunSpecifiedBenchmarks(nullptr, &file_reporter);
+    }
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace bench
+} // namespace redeye
+
+#endif // REDEYE_BENCH_BENCH_CSV_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Kernel-layer microbenchmarks: GEMM GFLOP/s and convolution-layer
+ * sweeps over the actual mini-GoogLeNet shapes, for the reference
+ * and blocked backends at 1 and N threads.
+ *
+ * The GEMM shapes are the im2col-lowered products of every distinct
+ * convolution in MiniGoogLeNet (m = output channels, k = input
+ * channels x kernel taps, n = output positions) plus the classifier
+ * inner product in its chunk-batched form. The acceptance target of
+ * the kernel-layer PR — blocked >= 3x reference single-thread GEMM
+ * throughput on these shapes — is read directly off the GFLOP/s
+ * counter.
+ *
+ * Pass `--csv <path>` to mirror measurements into CSV (see
+ * bench_csv.hh); EXPERIMENTS.md records the baseline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench_csv.hh"
+#include "core/exec.hh"
+#include "core/rng.hh"
+#include "nn/conv.hh"
+#include "tensor/kernels.hh"
+
+using namespace redeye;
+
+namespace {
+
+struct GemmShape {
+    const char *name;
+    std::size_t m, k, n;
+};
+
+// im2col-lowered products of the mini-GoogLeNet layers (32x32 input:
+// conv1 on 32x32, conv2 stage on 15x15, inception modules on 7x7).
+const GemmShape kGemmShapes[] = {
+    {"conv1_5x5", 32, 75, 1024},
+    {"conv2_reduce_1x1", 16, 32, 225},
+    {"conv2_3x3", 48, 144, 225},
+    {"inception_a_3x3", 32, 144, 49},
+    {"inception_a_5x5", 16, 200, 49},
+    {"inception_b_1x1", 32, 88, 49},
+    {"inception_b_3x3", 48, 216, 49},
+    {"classifier_fc_b16", 16, 128, 10},
+};
+
+struct ConvShape {
+    const char *name;
+    std::size_t inC, inHW;
+    nn::ConvParams params;
+};
+
+const ConvShape kConvShapes[] = {
+    {"conv1", 3, 32, nn::ConvParams::square(32, 5, 1, 2)},
+    {"conv2", 16, 15, nn::ConvParams::square(48, 3, 1, 1)},
+    {"inception_b_3x3", 24, 7, nn::ConvParams::square(48, 3, 1, 1)},
+};
+
+void
+BM_Gemm(benchmark::State &state, GemmShape shape,
+        kernels::Backend backend)
+{
+    kernels::setBackend(backend);
+    Rng rng(0xBE7C);
+    std::vector<float> a(shape.m * shape.k), b(shape.k * shape.n),
+        c(shape.m * shape.n);
+    for (float &v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float &v : b)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto _ : state) {
+        kernels::gemm(a.data(), {shape.m, shape.k}, b.data(),
+                      {shape.k, shape.n}, c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    kernels::clearBackendOverride();
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * static_cast<double>(shape.m * shape.k * shape.n) * 1e-9,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/**
+ * Full convolution layer forward (im2col + GEMM + bias epilogue)
+ * over a batch of 8, under an ExecContext with the given thread
+ * count — shows how kernel tiling and pool parallelism compose.
+ */
+void
+BM_ConvForward(benchmark::State &state, ConvShape shape,
+               kernels::Backend backend, std::size_t threads)
+{
+    kernels::setBackend(backend);
+    Rng rng(0xC04F);
+    nn::ConvolutionLayer conv("c", shape.params);
+    Tensor x(Shape(8, shape.inC, shape.inHW, shape.inHW));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    (void)conv.outputShape({x.shape()});
+    conv.initHe(rng);
+    Tensor y;
+    ThreadPool pool(threads);
+    ExecContext ctx(pool);
+    for (auto _ : state) {
+        conv.forward({&x}, y, ctx);
+        benchmark::DoNotOptimize(y.data());
+    }
+    kernels::clearBackendOverride();
+    state.counters["GMAC/s"] = benchmark::Counter(
+        static_cast<double>(conv.macCount({x.shape()})) * 1e-9,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void
+BM_Im2Col(benchmark::State &state, kernels::Backend backend)
+{
+    kernels::setBackend(backend);
+    Rng rng(0x12C0);
+    Tensor x(Shape(1, 16, 15, 15));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    WindowParams wp{3, 3, 1, 1, 1, 1};
+    std::vector<float> cols;
+    for (auto _ : state) {
+        kernels::im2col(x.data(), 16, 15, 15, wp, cols);
+        benchmark::DoNotOptimize(cols.data());
+    }
+    kernels::clearBackendOverride();
+}
+
+void
+registerAll()
+{
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        const std::string suffix = kernels::backendName(backend);
+        for (const GemmShape &shape : kGemmShapes) {
+            benchmark::RegisterBenchmark(
+                ("BM_Gemm/" + std::string(shape.name) + "/" + suffix)
+                    .c_str(),
+                BM_Gemm, shape, backend);
+        }
+        for (const ConvShape &shape : kConvShapes) {
+            for (std::size_t threads : {std::size_t{1},
+                                        std::size_t{4}}) {
+                benchmark::RegisterBenchmark(
+                    ("BM_ConvForward/" + std::string(shape.name) +
+                     "/" + suffix + "/threads:" +
+                     std::to_string(threads))
+                        .c_str(),
+                    BM_ConvForward, shape, backend, threads)
+                    ->UseRealTime();
+            }
+        }
+        benchmark::RegisterBenchmark(
+            ("BM_Im2Col/conv2/" + suffix).c_str(), BM_Im2Col,
+            backend);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerAll();
+    return bench::runBenchmarksWithCsvFlag(argc, argv);
+}

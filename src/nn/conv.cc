@@ -5,6 +5,7 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "tensor/kernels.hh"
 
 namespace redeye {
 namespace nn {
@@ -86,18 +87,18 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
             for (std::size_t g = 0; g < groups; ++g) {
                 const float *img = x.data() +
                                    is.index(n, g * in_cg, 0, 0);
-                im2col(img, in_cg, is.h, is.w, window_, cols);
+                kernels::im2col(img, in_cg, is.h, is.w, window_, cols);
                 const float *w = weights_.data() + g * out_cg * k;
                 float *o = out.data() + os.index(n, g * out_cg, 0, 0);
-                matmul(w, cols.data(), o, out_cg, k, ohw);
-            }
-            if (params_.bias) {
-                for (std::size_t c = 0; c < os.c; ++c) {
-                    const float b = biases_[c];
-                    float *o = out.data() + os.index(n, c, 0, 0);
-                    for (std::size_t i = 0; i < ohw; ++i)
-                        o[i] += b;
-                }
+                // O[out_cg x ohw] = W[out_cg x k] * cols[k x ohw],
+                // with the per-channel bias fused into the epilogue.
+                kernels::gemm(
+                    w, kernels::MatShape{out_cg, k}, cols.data(),
+                    kernels::MatShape{k, ohw}, o,
+                    params_.bias
+                        ? kernels::Epilogue::biasPerRow(
+                              biases_.data() + g * out_cg)
+                        : kernels::Epilogue{});
             }
         }
     });
@@ -157,27 +158,33 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
             for (std::size_t g = 0; g < groups; ++g) {
                 const float *img = x.data() +
                                    is.index(n, g * in_cg, 0, 0);
-                im2col(img, in_cg, is.h, is.w, window_, cols);
+                kernels::im2col(img, in_cg, is.h, is.w, window_, cols);
 
                 const float *go = g_out->data() +
                                   os.index(n, g * out_cg, 0, 0);
                 float *dw = dw_acc.data() + g * out_cg * k;
                 // dW[out_cg x k] += G[out_cg x ohw] * cols^T.
-                matmulTransB(go, cols.data(), dw, out_cg, ohw, k,
-                             true);
+                kernels::gemmTransB(go,
+                                    kernels::MatShape{out_cg, ohw},
+                                    cols.data(),
+                                    kernels::MatShape{k, ohw}, dw,
+                                    kernels::Epilogue::accumulateInto());
 
                 // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
                 col_grad.assign(k * ohw, 0.0f);
                 const float *w = weights_.data() + g * out_cg * k;
-                matmulTransA(w, go, col_grad.data(), k, out_cg, ohw,
-                             true);
+                kernels::gemmTransA(w, kernels::MatShape{out_cg, k},
+                                    go,
+                                    kernels::MatShape{out_cg, ohw},
+                                    col_grad.data(),
+                                    kernels::Epilogue::accumulateInto());
 
                 // Scatter into a scratch image, then accumulate, so
                 // that other consumers' contributions to dx are
                 // preserved.
                 img_grad.assign(in_cg * is.h * is.w, 0.0f);
-                col2im(col_grad, in_cg, is.h, is.w, window_,
-                       img_grad.data());
+                kernels::col2im(col_grad, in_cg, is.h, is.w, window_,
+                                img_grad.data());
                 float *dimg = dx.data() + is.index(n, g * in_cg, 0, 0);
                 for (std::size_t i = 0; i < img_grad.size(); ++i)
                     dimg[i] += img_grad[i];

@@ -5,7 +5,7 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
-#include "tensor/im2col.hh"
+#include "tensor/kernels.hh"
 
 namespace redeye {
 namespace nn {
@@ -53,16 +53,38 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
     if (out.shape() != os)
         out = Tensor(os);
 
-    parallelFor(ctx, batch, [&](std::size_t n) {
-        const float *xi = x.data() + n * inputs;
-        float *oi = out.data() + n * outputs_;
-        // out = W[outputs x inputs] * x.
-        matmul(weights_.data(), xi, oi, outputs_, inputs, 1);
-        if (bias_) {
-            for (std::size_t o = 0; o < outputs_; ++o)
-                oi[o] += biases_[o];
-        }
-    });
+    // Each output row depends only on its own input row, so both
+    // paths below are bit-identical at any thread count (chunking
+    // only splits rows). The reference backend keeps the historical
+    // per-item GEMV call shape — its rounding sequence is part of the
+    // backend's bit-reproducibility contract — while the blocked
+    // backend batches the chunk into one GEMM.
+    if (kernels::backend() == kernels::Backend::Reference) {
+        parallelFor(ctx, batch, [&](std::size_t n) {
+            const float *xi = x.data() + n * inputs;
+            float *oi = out.data() + n * outputs_;
+            // out = W[outputs x inputs] * x, bias per output row.
+            kernels::gemm(
+                weights_.data(), kernels::MatShape{outputs_, inputs},
+                xi, kernels::MatShape{inputs, 1}, oi,
+                bias_ ? kernels::Epilogue::biasPerRow(biases_.data())
+                      : kernels::Epilogue{});
+        });
+    } else {
+        parallelForChunks(ctx, batch, [&](std::size_t n0,
+                                          std::size_t n1,
+                                          std::size_t) {
+            const std::size_t nb = n1 - n0;
+            // Out[nb x outputs] = X[nb x inputs] * W^T, bias per
+            // column.
+            kernels::gemmTransB(
+                x.data() + n0 * inputs, kernels::MatShape{nb, inputs},
+                weights_.data(), kernels::MatShape{outputs_, inputs},
+                out.data() + n0 * outputs_,
+                bias_ ? kernels::Epilogue::biasPerCol(biases_.data())
+                      : kernels::Epilogue{});
+        });
+    }
 }
 
 void
@@ -92,27 +114,30 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
         if (bias_)
             db_acc.assign(outputs_, 0.0f);
 
-        for (std::size_t n = n0; n < n1; ++n) {
-            const float *xi = x.data() + n * inputs;
-            const float *go = out_grad.data() + n * outputs_;
-            float *dxi = dx.data() + n * inputs;
+        const std::size_t nb = n1 - n0;
+        const float *xc = x.data() + n0 * inputs;
+        const float *gc = out_grad.data() + n0 * outputs_;
 
-            // dW += g * x^T  (outer product).
-            for (std::size_t o = 0; o < outputs_; ++o) {
-                const float g = go[o];
-                if (g == 0.0f)
-                    continue;
-                float *dwrow = dw_acc.data() + o * inputs;
-                for (std::size_t i = 0; i < inputs; ++i)
-                    dwrow[i] += g * xi[i];
-                if (bias_)
-                    db_acc[o] += g;
+        // dW[outputs x inputs] += G^T[outputs x nb] * X[nb x inputs],
+        // one chunk-wide GEMM replacing the per-item outer products.
+        kernels::gemmTransA(gc, kernels::MatShape{nb, outputs_}, xc,
+                            kernels::MatShape{nb, inputs},
+                            dw_acc.data(),
+                            kernels::Epilogue::accumulateInto());
+        if (bias_) {
+            for (std::size_t n = 0; n < nb; ++n) {
+                const float *go = gc + n * outputs_;
+                for (std::size_t o = 0; o < outputs_; ++o)
+                    db_acc[o] += go[o];
             }
-
-            // dx += W^T * g.
-            matmulTransA(weights_.data(), go, dxi, inputs, outputs_, 1,
-                         true);
         }
+
+        // dX[nb x inputs] += G[nb x outputs] * W[outputs x inputs].
+        kernels::gemm(gc, kernels::MatShape{nb, outputs_},
+                      weights_.data(),
+                      kernels::MatShape{outputs_, inputs},
+                      dx.data() + n0 * inputs,
+                      kernels::Epilogue::accumulateInto());
     });
 
     for (std::size_t s = 0; s < slots; ++s) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "tensor/kernels.hh"
+
 namespace redeye {
 
 void
@@ -85,61 +87,39 @@ col2im(const std::vector<float> &cols, std::size_t channels,
     }
 }
 
+// The matmul family below is retained as a compatibility veneer over
+// the kernel layer (tensor/kernels.hh): the named-shape gemm API is
+// the primary interface, and these wrappers dispatch to the active
+// backend like any other caller.
+
 void
 matmul(const float *a, const float *b, float *c, std::size_t m,
        std::size_t k, std::size_t n, bool accumulate)
 {
-    if (!accumulate)
-        std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t p = 0; p < k; ++p) {
-            const float av = a[i * k + p];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b + p * n;
-            float *crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    kernels::Epilogue ep;
+    ep.accumulate = accumulate;
+    kernels::gemm(a, kernels::MatShape{m, k}, b, kernels::MatShape{k, n},
+                  c, ep);
 }
 
 void
 matmulTransA(const float *a, const float *b, float *c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate)
 {
-    if (!accumulate)
-        std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t p = 0; p < k; ++p) {
-        const float *arow = a + p * m;
-        const float *brow = b + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    kernels::Epilogue ep;
+    ep.accumulate = accumulate;
+    kernels::gemmTransA(a, kernels::MatShape{k, m}, b,
+                        kernels::MatShape{k, n}, c, ep);
 }
 
 void
 matmulTransB(const float *a, const float *b, float *c, std::size_t m,
              std::size_t k, std::size_t n, bool accumulate)
 {
-    if (!accumulate)
-        std::memset(c, 0, m * n * sizeof(float));
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a + i * k;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = b + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            c[i * n + j] += acc;
-        }
-    }
+    kernels::Epilogue ep;
+    ep.accumulate = accumulate;
+    kernels::gemmTransB(a, kernels::MatShape{m, k}, b,
+                        kernels::MatShape{n, k}, c, ep);
 }
 
 } // namespace redeye

@@ -60,6 +60,12 @@ void col2im(const std::vector<float> &cols, std::size_t channels,
 /**
  * Row-major matrix product: C[m x n] = A[m x k] * B[k x n], with
  * optional accumulation into C.
+ *
+ * The matmul family is a compatibility veneer over the kernel layer
+ * (tensor/kernels.hh) and dispatches to the active backend; new code
+ * should call kernels::gemm and friends directly, whose named
+ * MatShape parameters make the per-variant meaning of m/k/n explicit
+ * and validated.
  */
 void matmul(const float *a, const float *b, float *c, std::size_t m,
             std::size_t k, std::size_t n, bool accumulate = false);

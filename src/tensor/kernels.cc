@@ -1,0 +1,644 @@
+#include "tensor/kernels.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
+#include "core/logging.hh"
+
+namespace redeye {
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// Backend selection.
+// ---------------------------------------------------------------------
+
+namespace {
+
+// -1 = no override; else static_cast<int>(Backend).
+std::atomic<int> g_override{-1};
+
+Backend
+envBackend()
+{
+    static const Backend resolved = [] {
+        const char *raw = std::getenv("RedeyeKernelBackend");
+        if (raw == nullptr || *raw == '\0')
+            return Backend::Blocked;
+        std::string v(raw);
+        for (char &ch : v)
+            ch = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        if (v == "reference")
+            return Backend::Reference;
+        if (v == "blocked")
+            return Backend::Blocked;
+        fatal("RedeyeKernelBackend='", raw,
+              "' (expected 'reference' or 'blocked')");
+    }();
+    return resolved;
+}
+
+} // namespace
+
+Backend
+backend()
+{
+    const int o = g_override.load(std::memory_order_relaxed);
+    return o < 0 ? envBackend() : static_cast<Backend>(o);
+}
+
+void
+setBackend(Backend b)
+{
+    g_override.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+void
+clearBackendOverride()
+{
+    g_override.store(-1, std::memory_order_relaxed);
+}
+
+const char *
+backendName(Backend b)
+{
+    return b == Backend::Reference ? "reference" : "blocked";
+}
+
+// ---------------------------------------------------------------------
+// Reference backend: the original scalar loops, kept verbatim. These
+// are the golden model the differential tests compare against, and
+// pinning RedeyeKernelBackend=reference reproduces historical outputs
+// bit for bit.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+refGemm(const float *a, const float *b, float *c, std::size_t m,
+        std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p) {
+            const float av = a[i * k + p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+refGemmTransA(const float *a, const float *b, float *c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+        const float *arow = a + p * m;
+        const float *brow = b + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+refGemmTransB(const float *a, const float *b, float *c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocked backend.
+//
+// Three-level cache blocking (NC columns of B, KC of the shared
+// dimension, MC rows of A) around an MR x NR register-tiled
+// microkernel over packed panels:
+//
+//   packA: MC x KC panel, stored as MR-row slivers, column-major
+//          within a sliver (a[p*MR + i]), zero-padded to MR;
+//   packB: KC x NC panel, stored as NR-column slivers, row-major
+//          within a sliver (b[p*NR + j]), zero-padded to NR.
+//
+// The packing routines absorb the transpose variants, so all three
+// products share one microkernel. Accumulation order per C element
+// is fixed by the loop nest (KC blocks outer, packed k inner), so a
+// given shape always produces the same bits on a given build,
+// independent of thread count or call context.
+// ---------------------------------------------------------------------
+
+// The microkernel accumulates an MR x NR tile in registers: two SIMD
+// lanes per row, so NR tracks the widest vector the build targets
+// (2 x 16 floats with AVX-512, 2 x 8 otherwise). With the 32-entry
+// AVX-512 register file MR=8 fits (16 accumulators) and divides the
+// channel counts of every conv in the evaluation nets exactly; the
+// 16-register AVX2 file caps the tile at MR=6.
+#if defined(__AVX512F__)
+constexpr std::size_t MR = 8;
+constexpr std::size_t NR = 32;
+#else
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 16;
+#endif
+constexpr std::size_t MC = 96;   // multiple of MR
+constexpr std::size_t KC = 256;
+constexpr std::size_t NC = 1024; // multiple of NR
+
+// Per-thread packing scratch so gemm calls inside ExecContext chunks
+// never contend or allocate in steady state.
+struct Workspace {
+    std::vector<float> packA; // MC x KC, MR-padded
+    std::vector<float> packB; // KC x NC, NR-padded
+};
+
+thread_local Workspace tls_ws;
+
+/**
+ * Pack an mc x kc panel of logical A (m x k) starting at (i0, p0)
+ * into MR-row slivers. @p trans selects storage: false = row-major
+ * [m x k] with leading dimension @p ld (= k), true = A stored
+ * transposed [k x m] with leading dimension @p ld (= m).
+ */
+void
+packAPanel(const float *a, bool trans, std::size_t ld, std::size_t i0,
+           std::size_t mc, std::size_t p0, std::size_t kc, float *dst)
+{
+    for (std::size_t ib = 0; ib < mc; ib += MR) {
+        const std::size_t mr = std::min(MR, mc - ib);
+        if (mr == MR) {
+            // Full sliver: branch-free copies (contiguous when A is
+            // stored transposed).
+            if (trans) {
+                for (std::size_t p = 0; p < kc; ++p, dst += MR)
+                    std::memcpy(dst,
+                                a + (p0 + p) * ld + i0 + ib,
+                                MR * sizeof(float));
+            } else {
+                for (std::size_t p = 0; p < kc; ++p)
+                    for (std::size_t r = 0; r < MR; ++r)
+                        *dst++ = a[(i0 + ib + r) * ld + p0 + p];
+            }
+            continue;
+        }
+        for (std::size_t p = 0; p < kc; ++p) {
+            for (std::size_t r = 0; r < MR; ++r) {
+                const std::size_t i = i0 + ib + r;
+                *dst++ = r < mr
+                             ? (trans ? a[(p0 + p) * ld + i]
+                                      : a[i * ld + p0 + p])
+                             : 0.0f;
+            }
+        }
+    }
+}
+
+/**
+ * Pack a kc x nc panel of logical B (k x n) starting at (p0, j0)
+ * into NR-column slivers. @p trans selects storage: false =
+ * row-major [k x n] with leading dimension @p ld (= n), true = B
+ * stored transposed [n x k] with leading dimension @p ld (= k).
+ */
+void
+packBPanel(const float *b, bool trans, std::size_t ld, std::size_t p0,
+           std::size_t kc, std::size_t j0, std::size_t nc, float *dst)
+{
+    for (std::size_t jb = 0; jb < nc; jb += NR) {
+        const std::size_t nr = std::min(NR, nc - jb);
+        if (nr == NR) {
+            // Full sliver: branch-free copies (contiguous when B is
+            // stored row-major).
+            if (trans) {
+                for (std::size_t p = 0; p < kc; ++p)
+                    for (std::size_t s = 0; s < NR; ++s)
+                        *dst++ = b[(j0 + jb + s) * ld + p0 + p];
+            } else {
+                for (std::size_t p = 0; p < kc; ++p, dst += NR)
+                    std::memcpy(dst,
+                                b + (p0 + p) * ld + j0 + jb,
+                                NR * sizeof(float));
+            }
+            continue;
+        }
+        for (std::size_t p = 0; p < kc; ++p) {
+            for (std::size_t s = 0; s < NR; ++s) {
+                const std::size_t j = j0 + jb + s;
+                *dst++ = s < nr
+                             ? (trans ? b[j * ld + p0 + p]
+                                      : b[(p0 + p) * ld + j])
+                             : 0.0f;
+            }
+        }
+    }
+}
+
+/**
+ * ctile[MR x NR] = sum over kc of packed-A sliver x packed-B sliver.
+ * Zero-padded pack lanes only feed tile elements the caller
+ * discards.
+ */
+#if defined(__AVX512F__)
+void
+microTile(std::size_t kc, const float *ap, const float *bp,
+          float *ctile)
+{
+    __m512 acc[MR][2];
+    for (std::size_t i = 0; i < MR; ++i) {
+        acc[i][0] = _mm512_setzero_ps();
+        acc[i][1] = _mm512_setzero_ps();
+    }
+    for (std::size_t p = 0; p < kc; ++p) {
+        const __m512 b0 = _mm512_loadu_ps(bp + p * NR);
+        const __m512 b1 = _mm512_loadu_ps(bp + p * NR + 16);
+        for (std::size_t i = 0; i < MR; ++i) {
+            const __m512 ai = _mm512_set1_ps(ap[p * MR + i]);
+            acc[i][0] = _mm512_fmadd_ps(ai, b0, acc[i][0]);
+            acc[i][1] = _mm512_fmadd_ps(ai, b1, acc[i][1]);
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        _mm512_storeu_ps(ctile + i * NR, acc[i][0]);
+        _mm512_storeu_ps(ctile + i * NR + 16, acc[i][1]);
+    }
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+void
+microTile(std::size_t kc, const float *ap, const float *bp,
+          float *ctile)
+{
+    __m256 acc[MR][2];
+    for (std::size_t i = 0; i < MR; ++i) {
+        acc[i][0] = _mm256_setzero_ps();
+        acc[i][1] = _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < kc; ++p) {
+        const __m256 b0 = _mm256_loadu_ps(bp + p * NR);
+        const __m256 b1 = _mm256_loadu_ps(bp + p * NR + 8);
+        for (std::size_t i = 0; i < MR; ++i) {
+            const __m256 ai = _mm256_broadcast_ss(ap + p * MR + i);
+            acc[i][0] = _mm256_fmadd_ps(ai, b0, acc[i][0]);
+            acc[i][1] = _mm256_fmadd_ps(ai, b1, acc[i][1]);
+        }
+    }
+    for (std::size_t i = 0; i < MR; ++i) {
+        _mm256_storeu_ps(ctile + i * NR, acc[i][0]);
+        _mm256_storeu_ps(ctile + i * NR + 8, acc[i][1]);
+    }
+}
+#else
+void
+microTile(std::size_t kc, const float *ap, const float *bp,
+          float *ctile)
+{
+    // Portable 8-wide-friendly form: the j loop is a fixed-trip-count
+    // innermost loop over contiguous data, which autovectorizers take.
+    float acc[MR * NR] = {};
+    for (std::size_t p = 0; p < kc; ++p) {
+        const float *brow = bp + p * NR;
+        const float *acol = ap + p * MR;
+        for (std::size_t i = 0; i < MR; ++i) {
+            const float av = acol[i];
+            float *crow = acc + i * NR;
+            for (std::size_t j = 0; j < NR; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    std::memcpy(ctile, acc, sizeof(acc));
+}
+#endif
+
+#if defined(__AVX512F__)
+/**
+ * Direct C[m x n] (+)= A[m x k] * B[k x n] without packing, for
+ * problems whose B panel is L1-resident: the row-major loads are
+ * already contiguous per k-step, so skipping the pack and
+ * tile-copy passes wins. Requires m to be a multiple of MR; column
+ * tails use masked loads/stores (masked-out lanes cannot fault).
+ */
+void
+directGemm(const float *a, const float *b, float *c, std::size_t m,
+           std::size_t k, std::size_t n, bool accumulate)
+{
+    for (std::size_t jb = 0; jb < n; jb += NR) {
+        const std::size_t nr = std::min(NR, n - jb);
+        const unsigned l0 =
+            nr >= 16 ? 16u : static_cast<unsigned>(nr);
+        const unsigned l1 =
+            nr >= 16 ? static_cast<unsigned>(nr - 16) : 0u;
+        const __mmask16 m0 =
+            static_cast<__mmask16>((1u << l0) - 1u);
+        const __mmask16 m1 =
+            static_cast<__mmask16>((1u << l1) - 1u);
+        for (std::size_t ib = 0; ib < m; ib += MR) {
+            __m512 acc[MR][2];
+            for (std::size_t i = 0; i < MR; ++i) {
+                acc[i][0] = _mm512_setzero_ps();
+                acc[i][1] = _mm512_setzero_ps();
+            }
+            for (std::size_t p = 0; p < k; ++p) {
+                const float *brow = b + p * n + jb;
+                const __m512 b0 = _mm512_maskz_loadu_ps(m0, brow);
+                const __m512 b1 =
+                    _mm512_maskz_loadu_ps(m1, brow + 16);
+                for (std::size_t i = 0; i < MR; ++i) {
+                    const __m512 ai =
+                        _mm512_set1_ps(a[(ib + i) * k + p]);
+                    acc[i][0] = _mm512_fmadd_ps(ai, b0, acc[i][0]);
+                    acc[i][1] = _mm512_fmadd_ps(ai, b1, acc[i][1]);
+                }
+            }
+            for (std::size_t i = 0; i < MR; ++i) {
+                float *crow = c + (ib + i) * n + jb;
+                if (accumulate) {
+                    acc[i][0] = _mm512_add_ps(
+                        _mm512_maskz_loadu_ps(m0, crow), acc[i][0]);
+                    acc[i][1] = _mm512_add_ps(
+                        _mm512_maskz_loadu_ps(m1, crow + 16),
+                        acc[i][1]);
+                }
+                _mm512_mask_storeu_ps(crow, m0, acc[i][0]);
+                _mm512_mask_storeu_ps(crow + 16, m1, acc[i][1]);
+            }
+        }
+    }
+}
+#endif
+
+/**
+ * Blocked C[m x n] (+)= op(A) * op(B). @p transA / @p transB name the
+ * storage of the operands (see packAPanel/packBPanel).
+ */
+void
+blockedGemm(const float *a, bool transA, const float *b, bool transB,
+            float *c, std::size_t m, std::size_t k, std::size_t n,
+            bool accumulate)
+{
+    if (m == 0 || n == 0)
+        return;
+    if (k == 0) {
+        if (!accumulate)
+            std::memset(c, 0, m * n * sizeof(float));
+        return;
+    }
+
+#if defined(__AVX512F__)
+    // Small single-panel products (B resident in L1, all row slivers
+    // full) skip packing entirely.
+    if (!transA && !transB && m % MR == 0 && k <= KC &&
+        k * n <= 12288) {
+        directGemm(a, b, c, m, k, n, accumulate);
+        return;
+    }
+#endif
+
+    const std::size_t lda = transA ? m : k;
+    const std::size_t ldb = transB ? k : n;
+
+    Workspace &ws = tls_ws;
+    ws.packA.resize(((MC + MR - 1) / MR) * MR * KC);
+    ws.packB.resize(((NC + NR - 1) / NR) * NR * KC);
+
+    float ctile[MR * NR];
+
+    for (std::size_t jc = 0; jc < n; jc += NC) {
+        const std::size_t nc = std::min(NC, n - jc);
+        for (std::size_t pc = 0; pc < k; pc += KC) {
+            const std::size_t kc = std::min(KC, k - pc);
+            // The first k-panel overwrites its C block instead of
+            // adding into pre-zeroed memory, saving a full pass over
+            // C for single-panel (k <= KC) products.
+            const bool overwrite = !accumulate && pc == 0;
+            packBPanel(b, transB, ldb, pc, kc, jc, nc,
+                       ws.packB.data());
+            for (std::size_t ic = 0; ic < m; ic += MC) {
+                const std::size_t mc = std::min(MC, m - ic);
+                packAPanel(a, transA, lda, ic, mc, pc, kc,
+                           ws.packA.data());
+                for (std::size_t jb = 0; jb < nc; jb += NR) {
+                    const std::size_t nr = std::min(NR, nc - jb);
+                    const float *bp =
+                        ws.packB.data() + (jb / NR) * kc * NR;
+                    for (std::size_t ib = 0; ib < mc; ib += MR) {
+                        const std::size_t mr = std::min(MR, mc - ib);
+                        const float *ap =
+                            ws.packA.data() + (ib / MR) * kc * MR;
+                        microTile(kc, ap, bp, ctile);
+                        float *cblk =
+                            c + (ic + ib) * n + jc + jb;
+                        for (std::size_t i = 0; i < mr; ++i) {
+                            float *crow = cblk + i * n;
+                            const float *trow = ctile + i * NR;
+                            if (overwrite) {
+                                for (std::size_t j = 0; j < nr; ++j)
+                                    crow[j] = trow[j];
+                            } else {
+                                for (std::size_t j = 0; j < nr; ++j)
+                                    crow[j] += trow[j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Broadcast-add the epilogue bias over C. */
+void
+applyBias(float *c, std::size_t m, std::size_t n, const Epilogue &ep)
+{
+    if (ep.biasKind == BiasKind::None)
+        return;
+    panic_if(ep.bias == nullptr, "gemm epilogue bias is null");
+    if (ep.biasKind == BiasKind::PerRow) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const float bv = ep.bias[i];
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += bv;
+        }
+    } else {
+        for (std::size_t i = 0; i < m; ++i) {
+            float *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += ep.bias[j];
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Dispatched entry points.
+// ---------------------------------------------------------------------
+
+void
+gemm(const float *a, MatShape as, const float *b, MatShape bs,
+     float *c, const Epilogue &ep)
+{
+    fatal_if(as.cols != bs.rows, "gemm: A is ", as.rows, "x", as.cols,
+             " but B is ", bs.rows, "x", bs.cols,
+             " (need A.cols == B.rows)");
+    const std::size_t m = as.rows, k = as.cols, n = bs.cols;
+    if (backend() == Backend::Reference)
+        refGemm(a, b, c, m, k, n, ep.accumulate);
+    else
+        blockedGemm(a, false, b, false, c, m, k, n, ep.accumulate);
+    applyBias(c, m, n, ep);
+}
+
+void
+gemmTransA(const float *a, MatShape as, const float *b, MatShape bs,
+           float *c, const Epilogue &ep)
+{
+    fatal_if(as.rows != bs.rows, "gemmTransA: A stored ", as.rows, "x",
+             as.cols, " but B is ", bs.rows, "x", bs.cols,
+             " (need A.rows == B.rows)");
+    const std::size_t m = as.cols, k = as.rows, n = bs.cols;
+    if (backend() == Backend::Reference)
+        refGemmTransA(a, b, c, m, k, n, ep.accumulate);
+    else
+        blockedGemm(a, true, b, false, c, m, k, n, ep.accumulate);
+    applyBias(c, m, n, ep);
+}
+
+void
+gemmTransB(const float *a, MatShape as, const float *b, MatShape bs,
+           float *c, const Epilogue &ep)
+{
+    fatal_if(as.cols != bs.cols, "gemmTransB: A is ", as.rows, "x",
+             as.cols, " but B stored ", bs.rows, "x", bs.cols,
+             " (need A.cols == B.cols)");
+    const std::size_t m = as.rows, k = as.cols, n = bs.rows;
+    if (backend() == Backend::Reference)
+        refGemmTransB(a, b, c, m, k, n, ep.accumulate);
+    else
+        blockedGemm(a, false, b, true, c, m, k, n, ep.accumulate);
+    applyBias(c, m, n, ep);
+}
+
+// ---------------------------------------------------------------------
+// im2col dispatch. The fast path precomputes the in-bounds output
+// range per row instead of branching per element, and memcpys
+// stride-1 rows; it is byte-identical to the reference loop (both
+// leave padding taps at the 0.0f the buffer was cleared to).
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+fastIm2col(const float *image, std::size_t channels,
+           std::size_t height, std::size_t width,
+           const WindowParams &wp, std::vector<float> &cols)
+{
+    const std::size_t out_h = wp.outH(height);
+    const std::size_t out_w = wp.outW(width);
+    const std::size_t rows = channels * wp.kernelH * wp.kernelW;
+    cols.assign(rows * out_h * out_w, 0.0f);
+
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t kh = 0; kh < wp.kernelH; ++kh) {
+            for (std::size_t kw = 0; kw < wp.kernelW; ++kw, ++row) {
+                // Valid ow satisfy 0 <= ow*strideW + kw - padW < width.
+                const long off = static_cast<long>(kw) -
+                                 static_cast<long>(wp.padW);
+                const long sw = static_cast<long>(wp.strideW);
+                std::size_t lo = 0;
+                if (off < 0)
+                    lo = static_cast<std::size_t>((-off + sw - 1) /
+                                                  sw);
+                const long hi_num = static_cast<long>(width) - 1 - off;
+                std::size_t hi =
+                    hi_num < 0 ? 0
+                               : std::min<std::size_t>(
+                                     out_w, static_cast<std::size_t>(
+                                                hi_num / sw) +
+                                                1);
+                if (hi < lo)
+                    hi = lo;
+
+                float *dst = cols.data() + row * out_h * out_w;
+                for (std::size_t oh = 0; oh < out_h; ++oh) {
+                    const long ih = static_cast<long>(oh * wp.strideH +
+                                                      kh) -
+                                    static_cast<long>(wp.padH);
+                    if (ih < 0 || ih >= static_cast<long>(height)) {
+                        dst += out_w;
+                        continue;
+                    }
+                    const float *src =
+                        image +
+                        (c * height + static_cast<std::size_t>(ih)) *
+                            width +
+                        static_cast<std::size_t>(
+                            static_cast<long>(lo) * sw + off);
+                    if (wp.strideW == 1) {
+                        std::memcpy(dst + lo, src,
+                                    (hi - lo) * sizeof(float));
+                    } else {
+                        for (std::size_t ow = lo; ow < hi; ++ow) {
+                            dst[ow] = *src;
+                            src += wp.strideW;
+                        }
+                    }
+                    dst += out_w;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+im2col(const float *image, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp,
+       std::vector<float> &cols)
+{
+    if (backend() == Backend::Reference)
+        redeye::im2col(image, channels, height, width, wp, cols);
+    else
+        fastIm2col(image, channels, height, width, wp, cols);
+}
+
+void
+col2im(const std::vector<float> &cols, std::size_t channels,
+       std::size_t height, std::size_t width, const WindowParams &wp,
+       float *image)
+{
+    redeye::col2im(cols, channels, height, width, wp, image);
+}
+
+} // namespace kernels
+} // namespace redeye

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * GEMM kernel layer: pluggable matrix-product backends behind one
+ * shape-checked API.
+ *
+ * Every forward and backward pass in the framework bottoms out in a
+ * handful of row-major matrix products (conv via im2col, inner
+ * product, and their gradients). This layer provides those products
+ * with two interchangeable backends:
+ *
+ *  - `reference`: the original unblocked scalar loops, kept verbatim
+ *    as the always-available golden model. With
+ *    `RedeyeKernelBackend=reference` the framework's forward pass is
+ *    bit-identical to the historical (pre-kernel-layer) outputs.
+ *  - `blocked`: cache-blocked, register-tiled GEMM with packed A/B
+ *    panels and an MR x NR microkernel, vectorized with AVX2/FMA
+ *    intrinsics when the build enables them (`__AVX2__`/`__FMA__`)
+ *    and with portable autovectorizable loops otherwise.
+ *
+ * Backend selection is process-wide: the `RedeyeKernelBackend`
+ * environment variable pins a run to `reference` or `blocked`
+ * (default `blocked`), and setBackend() overrides it
+ * programmatically (tests). Both backends are bit-identical across
+ * thread counts for a fixed shape: a gemm call is single-threaded and
+ * callers parallelize *around* it (per batch chunk, under
+ * ExecContext), so kernel tiling and pool parallelism compose without
+ * affecting results.
+ *
+ * ## Shape discipline
+ *
+ * The transposed variants take the *stored* extents of each operand
+ * as a named MatShape, and derive (and validate) the m/k/n of the
+ * product from them. The historical free functions
+ * (matmul/matmulTransA/matmulTransB in tensor/im2col.hh) took bare
+ * `m, k, n` size_t arguments whose meaning silently changed per
+ * variant — an argument-order hazard this API removes: a swapped
+ * dimension now fails the shape check instead of corrupting memory
+ * or computing a wrong product.
+ */
+
+#ifndef REDEYE_TENSOR_KERNELS_HH
+#define REDEYE_TENSOR_KERNELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/im2col.hh"
+
+namespace redeye {
+namespace kernels {
+
+/** Available GEMM implementations. */
+enum class Backend {
+    Reference, ///< unblocked scalar loops (golden model)
+    Blocked,   ///< packed-panel, register-tiled, vectorized
+};
+
+/**
+ * Active backend: the setBackend() override if one is installed,
+ * else the value of the `RedeyeKernelBackend` environment variable
+ * (`reference` | `blocked`, case-insensitive; unset = blocked).
+ * An unrecognized value is a fatal error.
+ */
+Backend backend();
+
+/** Install a process-wide backend override (tests, tools). */
+void setBackend(Backend b);
+
+/** Drop the override, returning to the environment selection. */
+void clearBackendOverride();
+
+/** Stable lowercase name of a backend ("reference"/"blocked"). */
+const char *backendName(Backend b);
+
+/** Stored extents of a row-major matrix operand. */
+struct MatShape {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+};
+
+/** How an epilogue bias vector broadcasts over C. */
+enum class BiasKind {
+    None,
+    PerRow, ///< bias[i] added to every element of row i
+    PerCol, ///< bias[j] added to every element of column j
+};
+
+/**
+ * Fused epilogue of a gemm call: optional accumulation into the
+ * existing contents of C (otherwise C is overwritten) and an
+ * optional broadcast bias added after the product completes.
+ */
+struct Epilogue {
+    bool accumulate = false;
+    const float *bias = nullptr;
+    BiasKind biasKind = BiasKind::None;
+
+    /** C += A*B. */
+    static Epilogue
+    accumulateInto()
+    {
+        Epilogue e;
+        e.accumulate = true;
+        return e;
+    }
+
+    /** C = A*B, then C[i][j] += bias[i]. */
+    static Epilogue
+    biasPerRow(const float *bias)
+    {
+        Epilogue e;
+        e.bias = bias;
+        e.biasKind = BiasKind::PerRow;
+        return e;
+    }
+
+    /** C = A*B, then C[i][j] += bias[j]. */
+    static Epilogue
+    biasPerCol(const float *bias)
+    {
+        Epilogue e;
+        e.bias = bias;
+        e.biasKind = BiasKind::PerCol;
+        return e;
+    }
+};
+
+/**
+ * C[m x n] = A[m x k] * B[k x n] (+ epilogue), row-major.
+ * Requires as.cols == bs.rows; m = as.rows, k = as.cols, n = bs.cols.
+ */
+void gemm(const float *a, MatShape as, const float *b, MatShape bs,
+          float *c, const Epilogue &ep = {});
+
+/**
+ * C[m x n] = A^T * B (+ epilogue), with A stored [k x m].
+ * Requires as.rows == bs.rows; m = as.cols, k = as.rows, n = bs.cols.
+ */
+void gemmTransA(const float *a, MatShape as, const float *b,
+                MatShape bs, float *c, const Epilogue &ep = {});
+
+/**
+ * C[m x n] = A * B^T (+ epilogue), with B stored [n x k].
+ * Requires as.cols == bs.cols; m = as.rows, k = as.cols, n = bs.rows.
+ */
+void gemmTransB(const float *a, MatShape as, const float *b,
+                MatShape bs, float *c, const Epilogue &ep = {});
+
+/**
+ * im2col lowering dispatched by backend. Both backends produce
+ * byte-identical columns (it is pure data movement); the blocked
+ * backend uses a bounds-precomputed fast path (memcpy rows for
+ * stride-1) instead of the per-element branch of the reference loop.
+ */
+void im2col(const float *image, std::size_t channels,
+            std::size_t height, std::size_t width,
+            const WindowParams &wp, std::vector<float> &cols);
+
+/** col2im scatter (adjoint of im2col); see tensor/im2col.hh. */
+void col2im(const std::vector<float> &cols, std::size_t channels,
+            std::size_t height, std::size_t width,
+            const WindowParams &wp, float *image);
+
+} // namespace kernels
+} // namespace redeye
+
+#endif // REDEYE_TENSOR_KERNELS_HH

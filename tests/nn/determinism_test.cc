@@ -25,6 +25,7 @@
 #include "nn/softmax.hh"
 #include "noise/gaussian_layer.hh"
 #include "noise/quantization_layer.hh"
+#include "tensor/kernels.hh"
 
 namespace redeye {
 namespace nn {
@@ -193,6 +194,47 @@ TEST(DeterminismTest, BackwardDeterministicAtFixedThreadCount)
     for (std::size_t i = 0; i < grads_a.size(); ++i)
         EXPECT_TRUE(bitIdentical(*grads_a[i], *grads_b[i]))
             << "parameter gradient " << i << " diverges";
+}
+
+/**
+ * Kernel-backend extension of the determinism contract: each GEMM
+ * backend must be bit-identical across thread counts (gemm calls are
+ * single-threaded and chunking only partitions independent rows),
+ * while the two backends may differ from each other only within
+ * floating-point re-association tolerance.
+ */
+TEST(DeterminismTest, KernelBackendsBitIdenticalAcrossThreadCounts)
+{
+    const Tensor x = testInput();
+    Tensor per_backend[2];
+
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        kernels::setBackend(backend);
+
+        auto serial_net = buildNet();
+        serial_net->forward(x); // 1 thread
+        const Tensor serial = serial_net->activation("sm");
+
+        auto pooled_net = buildNet();
+        ThreadPool pool(4);
+        ExecContext ctx(pool);
+        pooled_net->forward(x, ctx); // 4 threads
+        EXPECT_TRUE(bitIdentical(serial,
+                                 pooled_net->activation("sm")))
+            << kernels::backendName(backend)
+            << " backend diverges between 1 and 4 threads";
+
+        per_backend[backend == kernels::Backend::Blocked] = serial;
+    }
+    kernels::clearBackendOverride();
+
+    // Backends agree within tolerance (post-softmax outputs in
+    // [0, 1]; re-association error is far below 1e-4).
+    ASSERT_EQ(per_backend[0].size(), per_backend[1].size());
+    for (std::size_t i = 0; i < per_backend[0].size(); ++i)
+        EXPECT_NEAR(per_backend[0][i], per_backend[1][i], 1e-4f)
+            << "backends diverge beyond tolerance at " << i;
 }
 
 TEST(DeterminismTest, ConstNetworkViewsMatchMutableOnes)

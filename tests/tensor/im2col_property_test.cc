@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property and round-trip tests for the im2col/col2im lowering.
+ *
+ * A seeded fuzz over WindowParams — including stride > kernel,
+ * pad >= kernel, 1x1 kernels and asymmetric H/W — checks, for every
+ * legal sampled shape:
+ *
+ *  - outH/outW never underflow (the unsigned expression
+ *    (in + 2*pad - kernel) / stride + 1 is only evaluated for legal
+ *    shapes, and must land in [1, in + 2*pad]);
+ *  - the blocked im2col fast path is byte-identical to the reference
+ *    loop (it is pure data movement);
+ *  - col2im(im2col-indicator) equals the convolution-adjoint
+ *    accumulation counts: scattering all-ones columns back must add
+ *    exactly the number of kernel taps that read each input pixel,
+ *    as enumerated by an independent direct loop;
+ *  - the adjoint identity <im2col(x), y> == <x, col2im(y)> holds for
+ *    random x, y.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "tensor/kernels.hh"
+
+namespace redeye {
+namespace {
+
+struct Case {
+    std::size_t channels, height, width;
+    WindowParams wp;
+};
+
+bool
+legal(const Case &c)
+{
+    return c.height + 2 * c.wp.padH >= c.wp.kernelH &&
+           c.width + 2 * c.wp.padW >= c.wp.kernelW;
+}
+
+/** Directed edges plus a seeded fuzz of legal window shapes. */
+std::vector<Case>
+sampleCases()
+{
+    std::vector<Case> cases = {
+        // 1x1 kernel, unit everything.
+        {1, 1, 1, WindowParams{1, 1, 1, 1, 0, 0}},
+        // stride larger than kernel (skipped pixels).
+        {2, 9, 9, WindowParams{2, 2, 3, 3, 0, 0}},
+        // pad >= kernel extent.
+        {1, 4, 4, WindowParams{2, 2, 1, 1, 2, 3}},
+        // asymmetric H/W and kernel extents.
+        {3, 2, 11, WindowParams{1, 5, 1, 2, 0, 2}},
+        {2, 13, 3, WindowParams{4, 1, 3, 1, 2, 0}},
+        // kernel equal to padded input (single output position).
+        {1, 3, 3, WindowParams{5, 5, 1, 1, 1, 1}},
+    };
+
+    Rng rng(0x1D2C01ULL);
+    while (cases.size() < 120) {
+        Case c;
+        c.channels = static_cast<std::size_t>(rng.uniformInt(1, 4));
+        c.height = static_cast<std::size_t>(rng.uniformInt(1, 12));
+        c.width = static_cast<std::size_t>(rng.uniformInt(1, 12));
+        c.wp.kernelH = static_cast<std::size_t>(rng.uniformInt(1, 5));
+        c.wp.kernelW = static_cast<std::size_t>(rng.uniformInt(1, 5));
+        c.wp.strideH = static_cast<std::size_t>(rng.uniformInt(1, 4));
+        c.wp.strideW = static_cast<std::size_t>(rng.uniformInt(1, 4));
+        c.wp.padH = static_cast<std::size_t>(rng.uniformInt(0, 4));
+        c.wp.padW = static_cast<std::size_t>(rng.uniformInt(0, 4));
+        if (legal(c))
+            cases.push_back(c);
+    }
+    return cases;
+}
+
+/**
+ * Number of (output position, kernel tap) pairs reading input pixel
+ * (ih, iw), by direct enumeration — the adjoint accumulation count.
+ */
+std::size_t
+tapCount(const Case &c, std::size_t ih, std::size_t iw)
+{
+    const std::size_t out_h = c.wp.outH(c.height);
+    const std::size_t out_w = c.wp.outW(c.width);
+    std::size_t count = 0;
+    for (std::size_t oh = 0; oh < out_h; ++oh) {
+        for (std::size_t kh = 0; kh < c.wp.kernelH; ++kh) {
+            const long y = static_cast<long>(oh * c.wp.strideH + kh) -
+                           static_cast<long>(c.wp.padH);
+            if (y != static_cast<long>(ih))
+                continue;
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+                for (std::size_t kw = 0; kw < c.wp.kernelW; ++kw) {
+                    const long x =
+                        static_cast<long>(ow * c.wp.strideW + kw) -
+                        static_cast<long>(c.wp.padW);
+                    if (x == static_cast<long>(iw))
+                        ++count;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+TEST(Im2ColPropertyTest, OutputExtentsNeverUnderflowForLegalShapes)
+{
+    for (const Case &c : sampleCases()) {
+        ASSERT_TRUE(legal(c));
+        const std::size_t oh = c.wp.outH(c.height);
+        const std::size_t ow = c.wp.outW(c.width);
+        EXPECT_GE(oh, 1u);
+        EXPECT_GE(ow, 1u);
+        EXPECT_LE(oh, c.height + 2 * c.wp.padH);
+        EXPECT_LE(ow, c.width + 2 * c.wp.padW);
+        // The last window must fit in the padded input.
+        EXPECT_LE((oh - 1) * c.wp.strideH + c.wp.kernelH,
+                  c.height + 2 * c.wp.padH);
+        EXPECT_LE((ow - 1) * c.wp.strideW + c.wp.kernelW,
+                  c.width + 2 * c.wp.padW);
+    }
+}
+
+TEST(Im2ColPropertyTest, FastPathByteIdenticalToReference)
+{
+    Rng rng(0xFA57ULL);
+    for (const Case &c : sampleCases()) {
+        std::vector<float> img(c.channels * c.height * c.width);
+        for (float &v : img)
+            v = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+        std::vector<float> ref_cols, fast_cols;
+        {
+            kernels::setBackend(kernels::Backend::Reference);
+            kernels::im2col(img.data(), c.channels, c.height, c.width,
+                            c.wp, ref_cols);
+            kernels::setBackend(kernels::Backend::Blocked);
+            kernels::im2col(img.data(), c.channels, c.height, c.width,
+                            c.wp, fast_cols);
+            kernels::clearBackendOverride();
+        }
+        ASSERT_EQ(ref_cols.size(), fast_cols.size());
+        ASSERT_EQ(0, std::memcmp(ref_cols.data(), fast_cols.data(),
+                                 ref_cols.size() * sizeof(float)))
+            << "im2col paths diverge for c=" << c.channels << " h="
+            << c.height << " w=" << c.width << " kernel="
+            << c.wp.kernelH << "x" << c.wp.kernelW << " stride="
+            << c.wp.strideH << "x" << c.wp.strideW << " pad="
+            << c.wp.padH << "x" << c.wp.padW;
+    }
+}
+
+TEST(Im2ColPropertyTest, Col2ImOfOnesEqualsAdjointTapCounts)
+{
+    for (const Case &c : sampleCases()) {
+        const std::size_t rows =
+            c.channels * c.wp.kernelH * c.wp.kernelW;
+        const std::size_t ohw =
+            c.wp.outH(c.height) * c.wp.outW(c.width);
+        const std::vector<float> ones(rows * ohw, 1.0f);
+        std::vector<float> img(c.channels * c.height * c.width);
+        kernels::col2im(ones, c.channels, c.height, c.width, c.wp,
+                        img.data());
+
+        // Counts are small integers, so float equality is exact.
+        for (std::size_t ch = 0; ch < c.channels; ++ch) {
+            for (std::size_t ih = 0; ih < c.height; ++ih) {
+                for (std::size_t iw = 0; iw < c.width; ++iw) {
+                    const float got =
+                        img[(ch * c.height + ih) * c.width + iw];
+                    EXPECT_EQ(got, static_cast<float>(
+                                       tapCount(c, ih, iw)))
+                        << "pixel (" << ch << "," << ih << "," << iw
+                        << ")";
+                }
+            }
+        }
+    }
+}
+
+TEST(Im2ColPropertyTest, RoundTripAdjointIdentity)
+{
+    Rng rng(0xAD01ULL);
+    for (const Case &c : sampleCases()) {
+        std::vector<float> x(c.channels * c.height * c.width);
+        for (float &v : x)
+            v = static_cast<float>(rng.uniform(-3.0, 3.0));
+
+        std::vector<float> cols;
+        kernels::im2col(x.data(), c.channels, c.height, c.width, c.wp,
+                        cols);
+        std::vector<float> y(cols.size());
+        for (float &v : y)
+            v = static_cast<float>(rng.uniform(-3.0, 3.0));
+        std::vector<float> back(x.size());
+        kernels::col2im(y, c.channels, c.height, c.width, c.wp,
+                        back.data());
+
+        double lhs = 0.0, rhs = 0.0, mag = 0.0;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            lhs += static_cast<double>(cols[i]) * y[i];
+            mag += std::fabs(static_cast<double>(cols[i]) * y[i]);
+        }
+        for (std::size_t i = 0; i < x.size(); ++i)
+            rhs += static_cast<double>(x[i]) * back[i];
+        // rhs passes through float col2im accumulation (up to
+        // kernelH*kernelW taps per pixel), so allow float-epsilon
+        // scale error relative to the term-magnitude sum.
+        EXPECT_NEAR(lhs, rhs, 1e-6 * mag + 1e-6);
+    }
+}
+
+} // namespace
+} // namespace redeye
