@@ -75,21 +75,14 @@ class CsvMirrorReporter : public benchmark::BenchmarkReporter
 inline int
 runBenchmarksWithCsvFlag(int argc, char **argv)
 {
-    // Strip our own --csv flag before the benchmark library parses
-    // the rest.
-    std::string csv_path;
+    // Strip the shared --csv flag (core/csv.hh) before the benchmark
+    // library parses the rest.
+    const std::string csv_path = stripCsvFlag(argc, argv);
     bool has_out_flag = false;
-    int kept = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-            csv_path = argv[++i];
-            continue;
-        }
         if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
             has_out_flag = true;
-        argv[kept++] = argv[i];
     }
-    argc = kept;
 
     // The library requires --benchmark_out alongside a custom file
     // reporter; our reporter writes its own file, so satisfy the

@@ -74,6 +74,7 @@ Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
+    opt.csvPath = stripCsvFlag(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
@@ -94,8 +95,6 @@ parseOptions(int argc, char **argv)
             opt.workers = std::stoul(value());
         } else if (arg == "--seed") {
             opt.seed = std::stoull(value(), nullptr, 0);
-        } else if (arg == "--csv") {
-            opt.csvPath = value();
         } else {
             fatal("unknown flag '", arg, "'");
         }

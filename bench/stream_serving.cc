@@ -23,6 +23,11 @@
  *   --capacity N      queue bound (default 4)
  *   --depth D         MiniGoogLeNet analog depth cut (default 1)
  *   --per-class N     replay dataset examples per class (default 4)
+ *   --bypass          serve on the host digital path: arm a fully
+ *                     dead column array and enable degradation, so
+ *                     every frame takes the analog-bypass route.
+ *                     Isolates the digital hot path (sensor + full
+ *                     network forward) from the analog simulation.
  *   --csv PATH        also write the sweep as CSV
  */
 
@@ -37,6 +42,7 @@
 #include "core/logging.hh"
 #include "core/table.hh"
 #include "core/units.hh"
+#include "models/mini_googlenet.hh"
 #include "stream/vision.hh"
 
 using namespace redeye;
@@ -52,6 +58,7 @@ struct Options {
     std::size_t capacity = 4;
     unsigned depth = 1;
     std::size_t perClass = 4;
+    bool bypass = false;
     std::string csvPath;
 };
 
@@ -84,6 +91,7 @@ Options
 parseOptions(int argc, char **argv)
 {
     Options opt;
+    opt.csvPath = stripCsvFlag(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> std::string {
@@ -106,8 +114,8 @@ parseOptions(int argc, char **argv)
             opt.depth = static_cast<unsigned>(std::stoul(value()));
         } else if (arg == "--per-class") {
             opt.perClass = std::stoul(value());
-        } else if (arg == "--csv") {
-            opt.csvPath = value();
+        } else if (arg == "--bypass") {
+            opt.bypass = true;
         } else {
             fatal("unknown flag '", arg, "'");
         }
@@ -121,6 +129,16 @@ visionConfig(const Options &opt, std::size_t device_workers)
     stream::VisionConfig cfg;
     cfg.depth = opt.depth;
     cfg.deviceWorkers = device_workers;
+    if (opt.bypass) {
+        // Kill every column and let the degradation policy route all
+        // frames around the analog stage. One probe epoch covers the
+        // whole run, so the sweep measures the digital serving path.
+        cfg.faults = std::make_shared<fault::FaultModel>(
+            fault::FaultCampaign::deadColumns(1.0),
+            models::kMiniInputSize);
+        cfg.degrade.enabled = true;
+        cfg.degrade.probePeriod = std::uint64_t{1} << 20;
+    }
     return cfg;
 }
 
@@ -166,7 +184,9 @@ main(int argc, char **argv)
     std::cout << "stream_serving: depth " << opt.depth << ", policy "
               << admissionPolicyName(opt.policy) << ", queue capacity "
               << opt.capacity << ", " << opt.frames
-              << " frames per point\n\n";
+              << " frames per point"
+              << (opt.bypass ? ", analog bypass (digital path)" : "")
+              << "\n\n";
 
     TablePrinter table("saturation sweep");
     table.setHeader({"device workers", "arrival fps", "offered fps",

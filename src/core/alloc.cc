@@ -1,0 +1,10 @@
+#include "core/alloc.hh"
+
+namespace redeye {
+namespace alloc {
+
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_hooksLinked{false};
+
+} // namespace alloc
+} // namespace redeye

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Heap-allocation counting: the instrument behind the "zero mallocs
+ * per steady-state frame" invariant.
+ *
+ * The serving hot path is designed to allocate nothing after warmup
+ * (see core/workspace.hh). That property is asserted, not hoped for:
+ * a counting allocator — global operator new/delete replacements in
+ * core/alloc_hooks.cc — increments the counters below on every heap
+ * allocation, and the steady-state test serves N warmup frames, reads
+ * the counter, serves M more and requires the delta to be zero.
+ *
+ * The hooks live in a separate library (`reallocspy`) linked only
+ * into binaries that want counting (the allocation tests, the
+ * serving bench); everything else is byte-for-byte unaffected. When
+ * the hooks are not linked — or compiled out under ASan/TSan, whose
+ * own interceptors must keep ownership of operator new —
+ * countingAvailable() is false and callers skip the assertion.
+ */
+
+#ifndef REDEYE_CORE_ALLOC_HH
+#define REDEYE_CORE_ALLOC_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace redeye {
+namespace alloc {
+
+/** Internal: bumped by the operator-new replacements when linked. */
+extern std::atomic<std::uint64_t> g_allocations;
+
+/** Internal: set by a static initializer in alloc_hooks.cc. */
+extern std::atomic<bool> g_hooksLinked;
+
+/** True when the counting hooks are linked into this binary. */
+inline bool
+countingAvailable()
+{
+    return g_hooksLinked.load(std::memory_order_relaxed);
+}
+
+/** Heap allocations observed so far (0 if hooks are not linked). */
+inline std::uint64_t
+allocations()
+{
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+/**
+ * Delta meter: construct, run the region of interest, read. Reads
+ * zero when the hooks are not linked — pair with
+ * countingAvailable() when a zero must be meaningful.
+ */
+class AllocationMeter
+{
+  public:
+    AllocationMeter() : start_(allocations()) {}
+
+    /** Allocations since construction (or the last restart()). */
+    std::uint64_t delta() const { return allocations() - start_; }
+
+    /** Re-arm the meter at the current count. */
+    void restart() { start_ = allocations(); }
+
+  private:
+    std::uint64_t start_;
+};
+
+} // namespace alloc
+} // namespace redeye
+
+#endif // REDEYE_CORE_ALLOC_HH

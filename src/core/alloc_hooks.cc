@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Global operator new/delete replacements that count allocations.
+ *
+ * Built as its own library (`reallocspy`) and linked only into
+ * binaries that assert or report allocation behaviour; see
+ * core/alloc.hh for the counting API and the linking contract.
+ *
+ * Under ASan/TSan the sanitizer runtime must own operator new for
+ * its interceptors and poisoning to work, so the replacements are
+ * compiled out and counting reports itself unavailable.
+ */
+
+#include "core/alloc.hh"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define REDEYE_ALLOC_HOOKS_DISABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define REDEYE_ALLOC_HOOKS_DISABLED 1
+#endif
+
+#ifndef REDEYE_ALLOC_HOOKS_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+void *
+countedAlloc(std::size_t size)
+{
+    redeye::alloc::g_allocations.fetch_add(1,
+                                           std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    redeye::alloc::g_allocations.fetch_add(1,
+                                           std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *)
+                                                  : align,
+                       size ? size : 1) != 0)
+        return nullptr;
+    return p;
+}
+
+// Announce the hooks to core/alloc.hh before main() runs.
+[[maybe_unused]] const bool registered = [] {
+    redeye::alloc::g_hooksLinked.store(true,
+                                       std::memory_order_relaxed);
+    return true;
+}();
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAlignedAlloc(size,
+                                  static_cast<std::size_t>(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // REDEYE_ALLOC_HOOKS_DISABLED

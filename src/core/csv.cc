@@ -1,8 +1,27 @@
 #include "core/csv.hh"
 
+#include <cstring>
+
 #include "core/logging.hh"
 
 namespace redeye {
+
+std::string
+stripCsvFlag(int &argc, char **argv)
+{
+    std::string path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+            fatal_if(i + 1 >= argc, "--csv needs a value");
+            path = argv[++i];
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    return path;
+}
 
 std::string
 csvEscape(const std::string &cell)

@@ -1,8 +1,11 @@
 /**
  * @file
- * Minimal CSV writer so the figure benches can emit
- * machine-readable series next to their tables (for replotting the
- * paper's charts).
+ * The repo-wide CSV API: a minimal RFC-4180 writer plus the shared
+ * `--csv <path>` command-line idiom. Every binary that mirrors its
+ * results into CSV — the figure benches, the google-benchmark micros
+ * (bench/bench_csv.hh), the sweep tools — goes through this one
+ * surface, so output files stay mechanically uniform (for replotting
+ * the paper's charts and for CI artifacts).
  */
 
 #ifndef REDEYE_CORE_CSV_HH
@@ -43,6 +46,15 @@ class CsvWriter
 
 /** Escape one CSV cell (quote if it contains , " or newline). */
 std::string csvEscape(const std::string &cell);
+
+/**
+ * Strip `--csv <path>` from an argument vector and return the path
+ * (empty when the flag is absent). @p argc and @p argv are rewritten
+ * in place with the two slots removed, so downstream flag parsers
+ * (hand-rolled loops, benchmark::Initialize) never see the flag.
+ * Fatal when `--csv` appears without a value.
+ */
+std::string stripCsvFlag(int &argc, char **argv);
 
 } // namespace redeye
 

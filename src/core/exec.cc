@@ -45,11 +45,11 @@ ThreadPool::executeChunks(std::unique_lock<std::mutex> &lock)
     // Called with the lock held; releases it around user code.
     while (nextChunk_ < chunkCount_) {
         const std::size_t chunk = nextChunk_++;
-        const auto *fn = fn_;
+        const auto fn = fn_;
         lock.unlock();
         t_inside_worker = true;
         try {
-            (*fn)(chunk);
+            fn(chunk);
         } catch (...) {
             t_inside_worker = false;
             lock.lock();
@@ -82,8 +82,7 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::run(std::size_t chunks,
-                const std::function<void(std::size_t)> &fn)
+ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn)
 {
     if (chunks == 0)
         return;
@@ -98,7 +97,7 @@ ThreadPool::run(std::size_t chunks,
     std::unique_lock<std::mutex> lock(mutex_);
     panic_if(pending_ != 0, "ThreadPool::run() is not reentrant "
                             "across external threads");
-    fn_ = &fn;
+    fn_ = fn;
     chunkCount_ = chunks;
     nextChunk_ = 0;
     pending_ = chunks;
@@ -109,7 +108,7 @@ ThreadPool::run(std::size_t chunks,
     // The caller works too.
     executeChunks(lock);
     done_.wait(lock, [&] { return pending_ == 0; });
-    fn_ = nullptr;
+    fn_ = FunctionRef<void(std::size_t)>();
     chunkCount_ = 0;
 
     if (error_) {
@@ -130,8 +129,7 @@ ExecContext::serial()
 void
 parallelForChunks(
     ExecContext &ctx, std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>
-        &fn)
+    FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn)
 {
     if (n == 0)
         return;
@@ -151,7 +149,7 @@ parallelForChunks(
 
 void
 parallelFor(ExecContext &ctx, std::size_t n,
-            const std::function<void(std::size_t)> &fn)
+            FunctionRef<void(std::size_t)> fn)
 {
     parallelForChunks(ctx, n,
                       [&](std::size_t begin, std::size_t end,

@@ -32,7 +32,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/function_ref.hh"
+
 namespace redeye {
+
+class Workspace;
 
 /**
  * Fixed-size pool of worker threads executing chunked index ranges.
@@ -61,10 +65,12 @@ class ThreadPool
     /**
      * Execute @p fn(chunk) for every chunk in [0, chunks). Blocks
      * until all chunks finish. The first exception thrown by any
-     * chunk is rethrown here after the loop completes.
+     * chunk is rethrown here after the loop completes. @p fn is a
+     * non-owning reference (core/function_ref.hh): dispatch never
+     * heap-allocates, which the zero-allocation steady-state
+     * invariant of the serving path depends on.
      */
-    void run(std::size_t chunks,
-             const std::function<void(std::size_t)> &fn);
+    void run(std::size_t chunks, FunctionRef<void(std::size_t)> fn);
 
     /** True when the calling thread is one of this pool's workers. */
     static bool insideWorker();
@@ -79,7 +85,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    const std::function<void(std::size_t)> *fn_ = nullptr;
+    FunctionRef<void(std::size_t)> fn_;
     std::size_t chunkCount_ = 0;
     std::size_t nextChunk_ = 0;
     std::size_t pending_ = 0;
@@ -126,14 +132,27 @@ class ExecContext
     const LayerTimer &layerTimer() const { return timer_; }
 
     /**
+     * Attach a Workspace whose per-lane arenas layers may use for
+     * scratch instead of heap allocation. The workspace must outlive
+     * the context and provide at least threads() lanes (lane `chunk`
+     * from parallelForChunks indexes into it). Pass nullptr to
+     * detach; layers fall back to local allocation.
+     */
+    void setWorkspace(Workspace *ws) { workspace_ = ws; }
+
+    /** Attached workspace, or nullptr (layers allocate locally). */
+    Workspace *workspace() const { return workspace_; }
+
+    /**
      * Process-wide serial context, used by the compatibility
      * overloads that omit the context argument. Do not install a
-     * timer on it.
+     * timer or workspace on it.
      */
     static ExecContext &serial();
 
   private:
     ThreadPool *pool_ = nullptr;
+    Workspace *workspace_ = nullptr;
     LayerTimer timer_;
 };
 
@@ -146,15 +165,14 @@ class ExecContext
  */
 void parallelForChunks(
     ExecContext &ctx, std::size_t n,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>
-        &fn);
+    FunctionRef<void(std::size_t, std::size_t, std::size_t)> fn);
 
 /**
  * Run @p fn(i) for every i in [0, n), potentially in parallel.
  * Iterations must be independent.
  */
 void parallelFor(ExecContext &ctx, std::size_t n,
-                 const std::function<void(std::size_t)> &fn);
+                 FunctionRef<void(std::size_t)> fn);
 
 /**
  * Thread count selected by the environment: REDEYE_THREADS when set

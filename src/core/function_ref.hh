@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FunctionRef: a non-owning, non-allocating callable reference.
+ *
+ * std::function type-erases by *owning* a copy of the callable, which
+ * heap-allocates whenever the captures exceed the small-buffer
+ * optimization — a per-call malloc on every parallelFor() lambda with
+ * more than two captured references. FunctionRef erases the type with
+ * two words (object pointer + trampoline) and never allocates, at the
+ * price of not owning: the referenced callable must outlive the call.
+ *
+ * That contract matches exactly how the execution substrate uses
+ * callables — parallelFor()/ThreadPool::run() invoke the functor
+ * synchronously and never store it past the call — so every hot-path
+ * signature takes FunctionRef. Lambdas, function pointers and
+ * std::function lvalues all convert implicitly.
+ */
+
+#ifndef REDEYE_CORE_FUNCTION_REF_HH
+#define REDEYE_CORE_FUNCTION_REF_HH
+
+#include <type_traits>
+#include <utility>
+
+namespace redeye {
+
+template <typename Signature>
+class FunctionRef;
+
+/** Non-owning reference to a callable with signature R(Args...). */
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = default;
+
+    /**
+     * Bind any callable. The callable is captured by reference: it
+     * must stay alive for as long as the FunctionRef is invoked
+     * (binding a temporary as a function argument is fine — the
+     * temporary outlives the full expression).
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&fn) // NOLINT: implicit by design
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(fn)))),
+          call_([](void *obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F> *>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    /** True when a callable is bound. */
+    explicit operator bool() const { return call_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void *obj_ = nullptr;
+    R (*call_)(void *, Args...) = nullptr;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_FUNCTION_REF_HH

@@ -9,6 +9,17 @@
  * admission policies (drop-oldest/drop-newest/block) are built from
  * the three push flavours below.
  *
+ * Storage is a ring buffer preallocated at construction: `capacity`
+ * slots are default-constructed once and items move in and out of
+ * them, so steady-state operation performs no heap allocation (the
+ * element type's own move assignment permitting). This requires T to
+ * be default-constructible and move-assignable.
+ *
+ * Pushes take the item by rvalue reference and only move from it on
+ * success: after tryPush() returns Full (or any push returns Closed)
+ * the caller's object is intact, which lets producers recycle a
+ * rejected frame instead of rebuilding it.
+ *
  * Lifecycle: producers call close() when no further items will be
  * pushed; consumers drain the remaining items and then see pop()
  * return false. All operations are safe to call concurrently from any
@@ -23,10 +34,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/logging.hh"
 
@@ -46,13 +57,14 @@ enum class QueuePop {
     Closed,   ///< queue closed and drained
 };
 
-/** Bounded blocking MPMC FIFO. */
+/** Bounded blocking MPMC FIFO over a preallocated ring buffer. */
 template <typename T>
 class BoundedQueue
 {
   public:
     /** @param capacity Maximum queued items (>= 1). */
-    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity), slots_(capacity)
     {
         fatal_if(capacity_ == 0, "queue capacity must be positive");
     }
@@ -63,15 +75,15 @@ class BoundedQueue
     /**
      * Enqueue @p item, blocking while the queue is full. Returns
      * QueuePush::Ok, or QueuePush::Closed if the queue was (or
-     * became, while blocked) closed.
+     * became, while blocked) closed — in which case @p item is left
+     * unmoved.
      */
     QueuePush
-    push(T item)
+    push(T &&item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        notFull_.wait(lock, [&] {
-            return closed_ || items_.size() < capacity_;
-        });
+        notFull_.wait(lock,
+                      [&] { return closed_ || count_ < capacity_; });
         if (closed_)
             return QueuePush::Closed;
         enqueue(std::move(item));
@@ -80,14 +92,17 @@ class BoundedQueue
         return QueuePush::Ok;
     }
 
-    /** Enqueue without blocking; fails with Full at capacity. */
+    /**
+     * Enqueue without blocking; fails with Full at capacity. On any
+     * failure @p item is left unmoved for the caller to recycle.
+     */
     QueuePush
-    tryPush(T item)
+    tryPush(T &&item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         if (closed_)
             return QueuePush::Closed;
-        if (items_.size() >= capacity_)
+        if (count_ >= capacity_)
             return QueuePush::Full;
         enqueue(std::move(item));
         lock.unlock();
@@ -101,15 +116,16 @@ class BoundedQueue
      * returned through @p evicted so the caller can account for it.
      */
     QueuePush
-    pushEvictOldest(T item, std::optional<T> &evicted)
+    pushEvictOldest(T &&item, std::optional<T> &evicted)
     {
         evicted.reset();
         std::unique_lock<std::mutex> lock(mutex_);
         if (closed_)
             return QueuePush::Closed;
-        if (items_.size() >= capacity_) {
-            evicted.emplace(std::move(items_.front()));
-            items_.pop_front();
+        if (count_ >= capacity_) {
+            evicted.emplace(std::move(slots_[head_]));
+            head_ = next(head_);
+            --count_;
         }
         enqueue(std::move(item));
         lock.unlock();
@@ -126,12 +142,10 @@ class BoundedQueue
     pop(T &out)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        notEmpty_.wait(lock,
-                       [&] { return closed_ || !items_.empty(); });
-        if (items_.empty())
+        notEmpty_.wait(lock, [&] { return closed_ || count_ > 0; });
+        if (count_ == 0)
             return false; // closed and drained
-        out = std::move(items_.front());
-        items_.pop_front();
+        dequeue(out);
         lock.unlock();
         notFull_.notify_one();
         return true;
@@ -148,10 +162,9 @@ class BoundedQueue
     {
         std::unique_lock<std::mutex> lock(mutex_);
         notEmpty_.wait_for(lock, std::chrono::duration<double>(seconds),
-                           [&] { return closed_ || !items_.empty(); });
-        if (!items_.empty()) {
-            out = std::move(items_.front());
-            items_.pop_front();
+                           [&] { return closed_ || count_ > 0; });
+        if (count_ > 0) {
+            dequeue(out);
             lock.unlock();
             notFull_.notify_one();
             return QueuePop::Ok;
@@ -164,10 +177,9 @@ class BoundedQueue
     tryPop(T &out)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        if (items_.empty())
+        if (count_ == 0)
             return false;
-        out = std::move(items_.front());
-        items_.pop_front();
+        dequeue(out);
         lock.unlock();
         notFull_.notify_one();
         return true;
@@ -201,7 +213,7 @@ class BoundedQueue
     size() const
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return items_.size();
+        return count_;
     }
 
     /** Maximum items the queue holds. */
@@ -224,20 +236,38 @@ class BoundedQueue
     }
 
   private:
+    std::size_t
+    next(std::size_t i) const
+    {
+        return i + 1 == capacity_ ? 0 : i + 1;
+    }
+
     /** Append under the lock and update the counters. */
     void
-    enqueue(T item)
+    enqueue(T &&item)
     {
-        items_.push_back(std::move(item));
+        slots_[(head_ + count_) % capacity_] = std::move(item);
+        ++count_;
         ++pushed_;
-        highWater_ = std::max(highWater_, items_.size());
+        highWater_ = std::max(highWater_, count_);
+    }
+
+    /** Remove the head under the lock. */
+    void
+    dequeue(T &out)
+    {
+        out = std::move(slots_[head_]);
+        head_ = next(head_);
+        --count_;
     }
 
     const std::size_t capacity_;
     mutable std::mutex mutex_;
     std::condition_variable notFull_;
     std::condition_variable notEmpty_;
-    std::deque<T> items_;
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     bool closed_ = false;
     std::size_t highWater_ = 0;
     std::uint64_t pushed_ = 0;

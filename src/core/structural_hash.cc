@@ -1,0 +1,37 @@
+#include "core/structural_hash.hh"
+
+#include <cstring>
+
+namespace redeye {
+
+StructuralHasher &
+StructuralHasher::mixDouble(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return mix(bits);
+}
+
+StructuralHasher &
+StructuralHasher::mixString(std::string_view s)
+{
+    mix(s.size());
+    // Pack bytes eight at a time; the length token above keeps
+    // "ab" + "c" distinct from "a" + "bc".
+    std::uint64_t word = 0;
+    std::size_t filled = 0;
+    for (unsigned char ch : s) {
+        word |= static_cast<std::uint64_t>(ch) << (8 * filled);
+        if (++filled == 8) {
+            mix(word);
+            word = 0;
+            filled = 0;
+        }
+    }
+    if (filled > 0)
+        mix(word);
+    return *this;
+}
+
+} // namespace redeye

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structural hashing for content-addressed plan caches.
+ *
+ * Compiled RedEye programs and degradation plans are pure functions
+ * of structure — network topology, partition, operating point, fault
+ * epoch — so they can be cached under a key derived from that
+ * structure alone. StructuralHasher builds such 64-bit keys the way
+ * chess engines build Zobrist keys: every ingested token is expanded
+ * through splitmix64 (a fixed pseudo-random table indexed by the
+ * token, computed instead of stored) and folded into the running
+ * state, so that "conv 32 channels then pool" and "conv 3 channels
+ * then 2 pools" land far apart even though their raw token streams
+ * are permutations of each other — position is mixed into every
+ * token.
+ *
+ * The hash is stable across processes and platforms (no pointer
+ * values, no unseeded std::hash), which is what makes the keys
+ * *content* addresses: the same topology + operating point always
+ * maps to the same key, so a cache hit is a semantic guarantee, not
+ * a lucky pointer identity.
+ */
+
+#ifndef REDEYE_CORE_STRUCTURAL_HASH_HH
+#define REDEYE_CORE_STRUCTURAL_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/rng.hh" // splitmix64: the per-token expansion
+
+namespace redeye {
+
+/** Accumulates structure tokens into a stable 64-bit key. */
+class StructuralHasher
+{
+  public:
+    /** @param salt Domain separator (one per cache kind). */
+    explicit StructuralHasher(std::uint64_t salt = 0)
+        : state_(splitmix64(salt ^ 0x5ede1e5ULL)), position_(1)
+    {
+    }
+
+    /** Fold one integer token. */
+    StructuralHasher &
+    mix(std::uint64_t token)
+    {
+        // Position-dependent expansion: token t at position p and
+        // token p at position t contribute different words.
+        state_ ^= splitmix64(token + position_ * kPositionSalt);
+        state_ = splitmix64(state_);
+        ++position_;
+        return *this;
+    }
+
+    /** Fold a signed integer. */
+    StructuralHasher &
+    mixSigned(std::int64_t token)
+    {
+        return mix(static_cast<std::uint64_t>(token));
+    }
+
+    /** Fold a double, bitwise (NaN payloads included). */
+    StructuralHasher &mixDouble(double value);
+
+    /** Fold a string's bytes and length. */
+    StructuralHasher &mixString(std::string_view s);
+
+    /** The accumulated key. */
+    std::uint64_t digest() const { return splitmix64(state_); }
+
+  private:
+    static constexpr std::uint64_t kPositionSalt =
+        0xd1b54a32d192ed03ULL;
+
+    std::uint64_t state_;
+    std::uint64_t position_;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_STRUCTURAL_HASH_HH

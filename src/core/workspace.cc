@@ -1,0 +1,99 @@
+#include "core/workspace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+void
+Arena::reserve(std::size_t bytes)
+{
+    if (bytes > capacity_)
+        grow(bytes);
+}
+
+void
+Arena::grow(std::size_t needed)
+{
+    // Geometric growth keeps the number of warmup reallocations
+    // logarithmic in the eventual high-water mark.
+    std::size_t cap = std::max<std::size_t>(capacity_ * 2, 4096);
+    cap = std::max(cap, needed);
+    auto next = std::make_unique<std::byte[]>(cap);
+    if (used_ > 0)
+        std::memcpy(next.get(), buffer_.get(), used_);
+    buffer_ = std::move(next);
+    capacity_ = cap;
+    ++growths_;
+}
+
+void *
+Arena::allocBytes(std::size_t bytes, std::size_t align)
+{
+    const std::size_t at = (used_ + align - 1) & ~(align - 1);
+    if (at + bytes > capacity_)
+        grow(at + bytes);
+    used_ = at + bytes;
+    highWater_ = std::max(highWater_, used_);
+    return buffer_.get() + at;
+}
+
+float *
+Arena::floats(std::size_t count, float fill)
+{
+    float *out = alloc<float>(count);
+    if (fill == 0.0f)
+        std::memset(out, 0, count * sizeof(float));
+    else
+        std::fill(out, out + count, fill);
+    return out;
+}
+
+Workspace::Workspace(std::size_t lanes)
+{
+    fatal_if(lanes == 0, "workspace needs at least one lane");
+    arenas_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+        arenas_.push_back(std::make_unique<Arena>());
+}
+
+Arena &
+Workspace::arena(std::size_t lane)
+{
+    // Growing the lane vector here would race with concurrent chunks;
+    // size the workspace for the context it serves instead.
+    panic_if(lane >= arenas_.size(), "workspace has ",
+             arenas_.size(), " lanes, lane ", lane,
+             " requested; construct it with the context's thread "
+             "count");
+    return *arenas_[lane];
+}
+
+std::size_t
+Workspace::totalCapacity() const
+{
+    std::size_t total = 0;
+    for (const auto &a : arenas_)
+        total += a->capacity();
+    return total;
+}
+
+std::size_t
+Workspace::totalGrowths() const
+{
+    std::size_t total = 0;
+    for (const auto &a : arenas_)
+        total += a->growths();
+    return total;
+}
+
+void
+Workspace::resetAll()
+{
+    for (auto &a : arenas_)
+        a->reset();
+}
+
+} // namespace redeye

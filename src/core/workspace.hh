@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Workspace: per-worker scratch memory for the steady-state hot path.
+ *
+ * RedEye's continuous-vision premise makes steady-state per-frame
+ * cost — not first-frame cost — the figure of merit: the pipeline
+ * runs on every frame, forever. A Workspace gives each worker a set
+ * of bump arenas (one per ExecContext lane, so parallel chunks never
+ * contend) from which layers draw transient scratch — im2col
+ * columns, per-chunk gradient accumulators, col2im staging — instead
+ * of constructing std::vector locals per call.
+ *
+ * ## Lifecycle and ownership
+ *
+ * A Workspace is owned by exactly one worker (a pipeline stage
+ * worker, an evaluator, a training loop) and attached to that
+ * worker's ExecContext (ExecContext::setWorkspace). Arena memory is
+ * *recycled, never returned*: an ArenaScope rewinds the bump pointer
+ * on destruction, so the bytes a layer used are handed to the next
+ * layer without touching the allocator. Capacity only grows — each
+ * arena doubles to fit its high-water mark — so after a few warmup
+ * frames every frame is served without a single heap allocation
+ * (asserted by tests/stream/steady_state_alloc_test.cc under the
+ * counting allocator in core/alloc.hh).
+ *
+ * ## Rules
+ *
+ *  - Arena spans are valid only inside the enclosing ArenaScope;
+ *    never store one across layer calls (persistent state — dropout
+ *    masks, activation plans — belongs in layer/network members).
+ *  - A lane's arena may only be used by the chunk running on that
+ *    lane; parallelForChunks hands every chunk a distinct lane index.
+ *  - Growth invalidates spans handed out earlier in the same scope,
+ *    so take all spans for a computation before writing to any of
+ *    them, or reserve() the lane up front.
+ */
+
+#ifndef REDEYE_CORE_WORKSPACE_HH
+#define REDEYE_CORE_WORKSPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace redeye {
+
+/**
+ * A bump allocator over one contiguous, geometrically grown buffer.
+ * alloc() carves aligned spans; ArenaScope rewinds in LIFO order.
+ */
+class Arena
+{
+  public:
+    Arena() = default;
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Ensure capacity for @p bytes without changing the cursor. */
+    void reserve(std::size_t bytes);
+
+    /**
+     * Carve @p count elements of T (suitably aligned) from the
+     * arena. Grows the backing buffer when the cursor would pass
+     * capacity — a warmup-only event in steady state. The span is
+     * valid until the enclosing scope unwinds; growing invalidates
+     * spans carved earlier in the same scope.
+     */
+    template <typename T>
+    T *
+    alloc(std::size_t count)
+    {
+        return static_cast<T *>(
+            allocBytes(count * sizeof(T), alignof(T)));
+    }
+
+    /** Like alloc<float>, zero-filled (the common scratch pattern). */
+    float *floats(std::size_t count, float fill = 0.0f);
+
+    /** Bytes currently in use (the bump cursor). */
+    std::size_t used() const { return used_; }
+
+    /** Bytes the backing buffer holds. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Largest cursor ever observed. */
+    std::size_t highWater() const { return highWater_; }
+
+    /** Times the backing buffer had to grow (warmup indicator). */
+    std::size_t growths() const { return growths_; }
+
+    /** Rewind the cursor to zero. Capacity is retained. */
+    void reset() { used_ = 0; }
+
+  private:
+    friend class ArenaScope;
+
+    void *allocBytes(std::size_t bytes, std::size_t align);
+    void grow(std::size_t needed);
+
+    std::unique_ptr<std::byte[]> buffer_;
+    std::size_t capacity_ = 0;
+    std::size_t used_ = 0;
+    std::size_t highWater_ = 0;
+    std::size_t growths_ = 0;
+};
+
+/**
+ * RAII rewind: restores the arena cursor to its value at
+ * construction, returning everything allocated inside the scope.
+ * Scopes nest in strict LIFO order.
+ */
+class ArenaScope
+{
+  public:
+    explicit ArenaScope(Arena &arena)
+        : arena_(arena), mark_(arena.used_)
+    {
+    }
+
+    ~ArenaScope() { arena_.used_ = mark_; }
+
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+  private:
+    Arena &arena_;
+    std::size_t mark_;
+};
+
+/**
+ * Per-worker scratch: one Arena per execution lane. Lane l serves
+ * the chunk that parallelForChunks() runs with chunk index l, so
+ * concurrent chunks bump disjoint arenas without synchronization.
+ */
+class Workspace
+{
+  public:
+    /** @param lanes Concurrency this workspace must serve (>= 1). */
+    explicit Workspace(std::size_t lanes = 1);
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /** Number of lanes. */
+    std::size_t lanes() const { return arenas_.size(); }
+
+    /**
+     * Arena of lane @p lane. Panics when @p lane is out of range:
+     * construct the workspace with the serving context's thread
+     * count (growing the lane vector here would race with
+     * concurrent chunks).
+     */
+    Arena &arena(std::size_t lane);
+
+    /** Sum of all lanes' capacities, in bytes. */
+    std::size_t totalCapacity() const;
+
+    /** Sum of all lanes' growth events. */
+    std::size_t totalGrowths() const;
+
+    /** Rewind every lane. */
+    void resetAll();
+
+  private:
+    std::vector<std::unique_ptr<Arena>> arenas_;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_WORKSPACE_HH

@@ -26,11 +26,17 @@ void
 ConcatLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
                      ExecContext &ctx)
 {
-    std::vector<Shape> shapes;
-    shapes.reserve(in.size());
-    for (const Tensor *t : in)
-        shapes.push_back(t->shape());
-    const Shape os = outputShape(shapes);
+    // Shape math inline (validated in outputShape at build time), so
+    // the steady-state forward allocates nothing.
+    const Shape &first = in[0]->shape();
+    Shape os = first;
+    for (std::size_t i = 1; i < in.size(); ++i) {
+        const Shape &s = in[i]->shape();
+        fatal_if(s.n != first.n || s.h != first.h || s.w != first.w,
+                 "concat '", name(), "': input ", i, " shape ",
+                 s.str(), " incompatible with ", first.str());
+        os.c += s.c;
+    }
     if (out.shape() != os)
         out = Tensor(os);
 

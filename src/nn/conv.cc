@@ -5,6 +5,8 @@
 
 #include "core/logging.hh"
 #include "core/rng.hh"
+#include "core/structural_hash.hh"
+#include "core/workspace.hh"
 #include "tensor/kernels.hh"
 
 namespace redeye {
@@ -52,7 +54,12 @@ Shape
 ConvolutionLayer::outputShape(const std::vector<Shape> &in) const
 {
     fatal_if(in.size() != 1, "conv '", name(), "' takes one input");
-    const Shape &s = in[0];
+    return outputShapeFor(in[0]);
+}
+
+Shape
+ConvolutionLayer::outputShapeFor(const Shape &s) const
+{
     fatal_if(s.h + 2 * params_.padH < params_.kernelH ||
                  s.w + 2 * params_.padW < params_.kernelW,
              "conv '", name(), "': kernel larger than padded input ",
@@ -68,7 +75,7 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
-    const Shape os = outputShape({is});
+    const Shape os = outputShapeFor(is);
     if (out.shape() != os)
         out = Tensor(os);
 
@@ -79,10 +86,23 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
     const std::size_t ohw = os.h * os.w;
 
     // Batch items are independent: each chunk lowers its items with a
-    // private column buffer and writes a disjoint output range.
+    // private column buffer — drawn from the lane's workspace arena
+    // when one is attached, so steady-state frames allocate nothing —
+    // and writes a disjoint output range.
+    Workspace *ws = ctx.workspace();
     parallelForChunks(ctx, is.n, [&](std::size_t n0, std::size_t n1,
-                                     std::size_t) {
-        std::vector<float> cols;
+                                     std::size_t lane) {
+        std::optional<ArenaScope> scope;
+        std::vector<float> local;
+        float *cols;
+        if (ws) {
+            Arena &arena = ws->arena(lane);
+            scope.emplace(arena);
+            cols = arena.alloc<float>(k * ohw);
+        } else {
+            local.resize(k * ohw);
+            cols = local.data();
+        }
         for (std::size_t n = n0; n < n1; ++n) {
             for (std::size_t g = 0; g < groups; ++g) {
                 const float *img = x.data() +
@@ -93,7 +113,7 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
                 // O[out_cg x ohw] = W[out_cg x k] * cols[k x ohw],
                 // with the per-channel bias fused into the epilogue.
                 kernels::gemm(
-                    w, kernels::MatShape{out_cg, k}, cols.data(),
+                    w, kernels::MatShape{out_cg, k}, cols,
                     kernels::MatShape{k, ohw}, o,
                     params_.bias
                         ? kernels::Epilogue::biasPerRow(
@@ -135,25 +155,55 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
     const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
     const std::size_t ohw = os.h * os.w;
 
+    if (is.n == 0)
+        return;
+
     // dx rows are disjoint per item; parameter gradients accumulate
     // into per-chunk scratch and reduce in chunk order afterwards.
-    const std::size_t slots = std::min(ctx.threads(),
-                                       std::max<std::size_t>(is.n, 1));
-    std::vector<std::vector<float>> dw_slots(slots);
-    std::vector<std::vector<double>> db_slots(slots);
+    // The slot vectors persist across calls (capacity reuse); the
+    // per-item column/image scratch comes from the lane's workspace
+    // arena when one is attached.
+    const std::size_t slots = std::min(ctx.threads(), is.n);
+    if (dwSlots_.size() < slots) {
+        dwSlots_.resize(slots);
+        dbSlots_.resize(slots);
+    }
+
+    const std::size_t col_elems = k * ohw;
+    const std::size_t img_elems = in_cg * is.h * is.w;
+    Workspace *ws = ctx.workspace();
 
     Tensor &dx = in_grads[0];
     parallelForChunks(ctx, is.n, [&](std::size_t n0, std::size_t n1,
                                      std::size_t slot) {
-        auto &dw_acc = dw_slots[slot];
+        auto &dw_acc = dwSlots_[slot];
         dw_acc.assign(weightGrad_.size(), 0.0f);
-        auto &db_acc = db_slots[slot];
+        auto &db_acc = dbSlots_[slot];
         if (params_.bias)
             db_acc.assign(os.c, 0.0);
 
-        std::vector<float> cols;
-        std::vector<float> col_grad;
-        std::vector<float> img_grad;
+        std::optional<ArenaScope> scope;
+        std::vector<float> local;
+        float *cols;
+        float *col_grad;
+        float *img_grad;
+        if (ws) {
+            Arena &arena = ws->arena(slot);
+            scope.emplace(arena);
+            // Reserve the whole footprint up front: growth would
+            // invalidate spans carved earlier in this scope.
+            arena.reserve(arena.used() +
+                          (2 * col_elems + img_elems + 4) *
+                              sizeof(float));
+            cols = arena.alloc<float>(col_elems);
+            col_grad = arena.alloc<float>(col_elems);
+            img_grad = arena.alloc<float>(img_elems);
+        } else {
+            local.resize(2 * col_elems + img_elems);
+            cols = local.data();
+            col_grad = cols + col_elems;
+            img_grad = col_grad + col_elems;
+        }
         for (std::size_t n = n0; n < n1; ++n) {
             for (std::size_t g = 0; g < groups; ++g) {
                 const float *img = x.data() +
@@ -166,27 +216,26 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
                 // dW[out_cg x k] += G[out_cg x ohw] * cols^T.
                 kernels::gemmTransB(go,
                                     kernels::MatShape{out_cg, ohw},
-                                    cols.data(),
+                                    cols,
                                     kernels::MatShape{k, ohw}, dw,
                                     kernels::Epilogue::accumulateInto());
 
                 // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
-                col_grad.assign(k * ohw, 0.0f);
+                std::fill(col_grad, col_grad + col_elems, 0.0f);
                 const float *w = weights_.data() + g * out_cg * k;
                 kernels::gemmTransA(w, kernels::MatShape{out_cg, k},
                                     go,
                                     kernels::MatShape{out_cg, ohw},
-                                    col_grad.data(),
+                                    col_grad,
                                     kernels::Epilogue::accumulateInto());
 
-                // Scatter into a scratch image, then accumulate, so
-                // that other consumers' contributions to dx are
-                // preserved.
-                img_grad.assign(in_cg * is.h * is.w, 0.0f);
+                // Scatter into a scratch image (zeroed by col2im),
+                // then accumulate, so that other consumers'
+                // contributions to dx are preserved.
                 kernels::col2im(col_grad, in_cg, is.h, is.w, window_,
-                                img_grad.data());
+                                img_grad);
                 float *dimg = dx.data() + is.index(n, g * in_cg, 0, 0);
-                for (std::size_t i = 0; i < img_grad.size(); ++i)
+                for (std::size_t i = 0; i < img_elems; ++i)
                     dimg[i] += img_grad[i];
             }
             if (params_.bias) {
@@ -203,13 +252,11 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
     });
 
     for (std::size_t s = 0; s < slots; ++s) {
-        if (dw_slots[s].empty())
-            continue;
         for (std::size_t i = 0; i < weightGrad_.size(); ++i)
-            weightGrad_[i] += dw_slots[s][i];
+            weightGrad_[i] += dwSlots_[s][i];
         if (params_.bias) {
             for (std::size_t c = 0; c < os.c; ++c)
-                biasGrad_[c] += static_cast<float>(db_slots[s][c]);
+                biasGrad_[c] += static_cast<float>(dbSlots_[s][c]);
         }
     }
 }
@@ -239,6 +286,25 @@ ConvolutionLayer::macCount(const std::vector<Shape> &in) const
     const std::size_t k = (in[0].c / params_.groups) * params_.kernelH *
                           params_.kernelW;
     return os.size() * k;
+}
+
+void
+ConvolutionLayer::mixStructure(StructuralHasher &h) const
+{
+    h.mix(params_.outChannels)
+        .mix(params_.kernelH)
+        .mix(params_.kernelW)
+        .mix(params_.strideH)
+        .mix(params_.strideW)
+        .mix(params_.padH)
+        .mix(params_.padW)
+        .mix(params_.groups)
+        .mix(params_.bias ? 1 : 0);
+    // The analog clip changes execution semantics without changing
+    // any shape, so it is part of the structure.
+    h.mix(clip_.has_value() ? 1 : 0);
+    if (clip_)
+        h.mixDouble(*clip_);
 }
 
 void

@@ -77,6 +77,8 @@ class ConvolutionLayer : public Layer
 
     std::size_t macCount(const std::vector<Shape> &in) const override;
 
+    void mixStructure(StructuralHasher &h) const override;
+
     const ConvParams &convParams() const { return params_; }
 
     /** Kernel weights as (outC, inC/groups, kh, kw). */
@@ -102,6 +104,9 @@ class ConvolutionLayer : public Layer
     /** Bind parameter tensors once the input channel count is known. */
     void materialize(std::size_t in_channels) const;
 
+    /** outputShape for a single input, with the validity checks. */
+    Shape outputShapeFor(const Shape &s) const;
+
     ConvParams params_;
     WindowParams window_;
     mutable Tensor weights_;
@@ -109,6 +114,11 @@ class ConvolutionLayer : public Layer
     mutable Tensor weightGrad_;
     mutable Tensor biasGrad_;
     std::optional<float> clip_;
+
+    // Per-chunk parameter-gradient scratch, kept across backward()
+    // calls so steady-state training iterations reuse capacity.
+    std::vector<std::vector<float>> dwSlots_;
+    std::vector<std::vector<double>> dbSlots_;
 };
 
 } // namespace nn

@@ -1,6 +1,7 @@
 #include "nn/dropout.hh"
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 
 namespace redeye {
 namespace nn {
@@ -29,12 +30,16 @@ DropoutLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
 
     if (!training() || ratio_ == 0.0f) {
         out.vec() = x.vec();
-        mask_.clear();
+        // Flag, don't clear(): the buffer keeps its storage so a
+        // later training pass (or an alternating train/eval loop)
+        // never reallocates the mask.
+        maskActive_ = false;
         return;
     }
 
     const float keep = 1.0f - ratio_;
     mask_.resize(x.size());
+    maskActive_ = true;
     const std::size_t slice = x.shape().sliceSize();
     const std::uint64_t pass = pass_++;
     // One counter-based stream per batch item (core/rng.hh): the
@@ -57,7 +62,7 @@ DropoutLayer::backward(const std::vector<const Tensor *> &in,
     (void)in;
     (void)out;
     Tensor &dx = in_grads[0];
-    if (mask_.empty()) {
+    if (!maskActive_) {
         dx.add(out_grad);
         return;
     }
@@ -67,6 +72,12 @@ DropoutLayer::backward(const std::vector<const Tensor *> &in,
                           for (std::size_t i = begin; i < end; ++i)
                               dx[i] += out_grad[i] * mask_[i];
                       });
+}
+
+void
+DropoutLayer::mixStructure(StructuralHasher &h) const
+{
+    h.mixDouble(ratio_);
 }
 
 } // namespace nn

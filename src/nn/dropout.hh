@@ -40,13 +40,16 @@ class DropoutLayer : public Layer
                   std::vector<Tensor> &in_grads,
                   ExecContext &ctx) override;
 
+    void mixStructure(StructuralHasher &h) const override;
+
     float ratio() const { return ratio_; }
 
   private:
     float ratio_;
     std::uint64_t seed_;   ///< base of the per-item mask streams
     std::uint64_t pass_ = 0; ///< counts masked forward passes
-    std::vector<float> mask_;
+    std::vector<float> mask_; ///< buffer persists across mode switches
+    bool maskActive_ = false; ///< mask_ holds the last forward's mask
 };
 
 } // namespace nn

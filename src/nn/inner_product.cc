@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 #include "core/rng.hh"
 #include "tensor/kernels.hh"
 
@@ -49,7 +50,8 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
     const Tensor &x = *in[0];
     const std::size_t batch = x.shape().n;
     const std::size_t inputs = x.shape().sliceSize();
-    const Shape os = outputShape({x.shape()});
+    materialize(inputs);
+    const Shape os(batch, outputs_, 1, 1);
     if (out.shape() != os)
         out = Tensor(os);
 
@@ -99,18 +101,23 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
     const std::size_t inputs = x.shape().sliceSize();
     Tensor &dx = in_grads[0];
 
+    if (batch == 0)
+        return;
+
     // dx rows are disjoint per item; dW/db accumulate into per-chunk
-    // scratch, reduced in chunk order below.
-    const std::size_t slots = std::min(ctx.threads(),
-                                       std::max<std::size_t>(batch, 1));
-    std::vector<std::vector<float>> dw_slots(slots);
-    std::vector<std::vector<float>> db_slots(slots);
+    // scratch (persistent across calls for capacity reuse), reduced
+    // in chunk order below.
+    const std::size_t slots = std::min(ctx.threads(), batch);
+    if (dwSlots_.size() < slots) {
+        dwSlots_.resize(slots);
+        dbSlots_.resize(slots);
+    }
 
     parallelForChunks(ctx, batch, [&](std::size_t n0, std::size_t n1,
                                       std::size_t slot) {
-        auto &dw_acc = dw_slots[slot];
+        auto &dw_acc = dwSlots_[slot];
         dw_acc.assign(weightGrad_.size(), 0.0f);
-        auto &db_acc = db_slots[slot];
+        auto &db_acc = dbSlots_[slot];
         if (bias_)
             db_acc.assign(outputs_, 0.0f);
 
@@ -141,13 +148,11 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
     });
 
     for (std::size_t s = 0; s < slots; ++s) {
-        if (dw_slots[s].empty())
-            continue;
         for (std::size_t i = 0; i < weightGrad_.size(); ++i)
-            weightGrad_[i] += dw_slots[s][i];
+            weightGrad_[i] += dwSlots_[s][i];
         if (bias_) {
             for (std::size_t o = 0; o < outputs_; ++o)
-                biasGrad_[o] += db_slots[s][o];
+                biasGrad_[o] += dbSlots_[s][o];
         }
     }
 }
@@ -186,6 +191,14 @@ InnerProductLayer::initHe(Rng &rng)
     weights_.fillGaussian(rng, 0.0f, static_cast<float>(stddev));
     if (bias_)
         biases_.zero();
+}
+
+void
+InnerProductLayer::mixStructure(StructuralHasher &h) const
+{
+    // The output count is shape-derivable, but the bias toggle is
+    // not: with and without bias the shapes agree exactly.
+    h.mix(outputs_).mix(bias_ ? 1 : 0);
 }
 
 } // namespace nn

@@ -48,6 +48,8 @@ class InnerProductLayer : public Layer
     /** Bias as (1, outputs, 1, 1). */
     Tensor &biases() { return biases_; }
 
+    void mixStructure(StructuralHasher &h) const override;
+
     std::size_t outputs() const { return outputs_; }
 
     /** He-initialize weights and zero biases. */
@@ -62,6 +64,11 @@ class InnerProductLayer : public Layer
     mutable Tensor biases_;
     mutable Tensor weightGrad_;
     mutable Tensor biasGrad_;
+
+    // Per-chunk parameter-gradient scratch, kept across backward()
+    // calls so steady-state training iterations reuse capacity.
+    std::vector<std::vector<float>> dwSlots_;
+    std::vector<std::vector<float>> dbSlots_;
 };
 
 } // namespace nn

@@ -28,6 +28,9 @@
 #include "tensor/tensor.hh"
 
 namespace redeye {
+
+class StructuralHasher;
+
 namespace nn {
 
 /** Discriminator used by the RedEye compiler and the noise injector. */
@@ -131,6 +134,23 @@ class Layer
 
     /** Toggle training/eval behaviour (dropout, noise layers, ...). */
     virtual void setTraining(bool training) { training_ = training; }
+
+    /**
+     * Fold the layer's structural configuration into a cache key
+     * (core/structural_hash.hh). Only knobs that change execution
+     * semantics but are *not* already determined by the layer kind
+     * and the input/output shapes need mixing — kernel geometry,
+     * strides, padding, window sizes. Parameter values must never be
+     * mixed: caches keyed by the structural hash hold artifacts that
+     * are pure functions of topology, not of weights. The default
+     * mixes nothing (correct for shape-determined layers such as
+     * ReLU, Concat or Softmax).
+     */
+    virtual void
+    mixStructure(StructuralHasher &h) const
+    {
+        (void)h;
+    }
 
     /**
      * Multiply-accumulate operations performed per forward pass with

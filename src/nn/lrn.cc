@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 
 namespace redeye {
 namespace nn {
@@ -111,6 +112,15 @@ LrnLayer::backward(const std::vector<const Tensor *> &in,
             }
         }
     });
+}
+
+void
+LrnLayer::mixStructure(StructuralHasher &h) const
+{
+    h.mix(params_.localSize)
+        .mixDouble(params_.alpha)
+        .mixDouble(params_.beta)
+        .mixDouble(params_.k);
 }
 
 } // namespace nn

@@ -47,6 +47,8 @@ class LrnLayer : public Layer
                   std::vector<Tensor> &in_grads,
                   ExecContext &ctx) override;
 
+    void mixStructure(StructuralHasher &h) const override;
+
     const LrnParams &lrnParams() const { return params_; }
 
   private:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 
 namespace redeye {
 namespace nn {
@@ -157,14 +158,21 @@ Network::forward(const Tensor &input, ExecContext &ctx)
     const ExecContext::LayerTimer &timer = ctx.layerTimer();
 
     input_ = input;
-    acts_.resize(nodes_.size());
+    // (Re)build the per-node input-pointer plan when the topology
+    // changed. acts_ elements move only on this resize, so the cached
+    // pointers stay valid between rebuilds.
+    if (fwdIns_.size() != nodes_.size()) {
+        acts_.resize(nodes_.size());
+        fwdIns_.assign(nodes_.size(), {});
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            fwdIns_[i].reserve(nodes_[i].inputs.size());
+            for (int idx : nodes_[i].inputs)
+                fwdIns_[i].push_back(idx < 0 ? &input_ : &acts_[idx]);
+        }
+    }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        std::vector<const Tensor *> ins;
-        ins.reserve(nodes_[i].inputs.size());
-        for (int idx : nodes_[i].inputs)
-            ins.push_back(idx < 0 ? &input_ : &acts_[idx]);
         const auto start = timer ? Clock::now() : Clock::time_point();
-        nodes_[i].layer->forward(ins, acts_[i], ctx);
+        nodes_[i].layer->forward(fwdIns_[i], acts_[i], ctx);
         if (timer) {
             const std::chrono::duration<double> dt = Clock::now() -
                                                      start;
@@ -192,32 +200,53 @@ Network::backward(const Tensor &out_grad, ExecContext &ctx)
              "out_grad shape ", out_grad.shape().str(),
              " != output shape ", acts_.back().shape().str());
 
-    grads_.assign(nodes_.size(), Tensor());
+    // Recycle the gradient buffers: reallocate only on shape change,
+    // zero otherwise. The target-pointer plan is rebuilt with them
+    // when the topology changed (grads_ elements move only then).
+    const bool rebuild = grads_.size() != nodes_.size() ||
+                         gradTargets_.size() != nodes_.size();
+    if (rebuild)
+        grads_.resize(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        grads_[i] = Tensor(acts_[i].shape());
+        if (grads_[i].shape() != acts_[i].shape())
+            grads_[i] = Tensor(acts_[i].shape());
+        else
+            grads_[i].zero();
     }
-    inputGrad_ = Tensor(input_.shape());
+    if (inputGrad_.shape() != input_.shape())
+        inputGrad_ = Tensor(input_.shape());
+    else
+        inputGrad_.zero();
     grads_.back() = out_grad;
+
+    if (rebuild) {
+        gradTargets_.assign(nodes_.size(), {});
+        gradScratch_.assign(nodes_.size(), {});
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const Node &node = nodes_[i];
+            gradTargets_[i].reserve(node.inputs.size());
+            for (int idx : node.inputs)
+                gradTargets_[i].push_back(idx < 0 ? &inputGrad_
+                                                  : &grads_[idx]);
+            gradScratch_[i].resize(node.inputs.size());
+        }
+    }
 
     for (std::size_t ri = nodes_.size(); ri-- > 0;) {
         Node &node = nodes_[ri];
-        std::vector<const Tensor *> ins;
-        std::vector<Tensor *> grad_targets;
-        ins.reserve(node.inputs.size());
-        for (int idx : node.inputs) {
-            ins.push_back(idx < 0 ? &input_ : &acts_[idx]);
-            grad_targets.push_back(idx < 0 ? &inputGrad_
-                                           : &grads_[idx]);
+        const std::vector<const Tensor *> &ins = fwdIns_[ri];
+        // Layers accumulate into their producers' gradient buffers
+        // through per-input scratch tensors, recycled like grads_.
+        std::vector<Tensor> &scratch = gradScratch_[ri];
+        for (std::size_t k = 0; k < ins.size(); ++k) {
+            if (scratch[k].shape() != ins[k]->shape())
+                scratch[k] = Tensor(ins[k]->shape());
+            else
+                scratch[k].zero();
         }
-        // Layers accumulate into their producers' gradient buffers;
-        // wrap the targets in a temporary vector of references.
-        std::vector<Tensor> scratch;
-        scratch.reserve(ins.size());
-        for (std::size_t k = 0; k < ins.size(); ++k)
-            scratch.push_back(Tensor(ins[k]->shape()));
         node.layer->backward(ins, acts_[ri], grads_[ri], scratch, ctx);
         for (std::size_t k = 0; k < ins.size(); ++k)
-            grad_targets[k]->add(scratch[k]);
+            gradTargets_[ri][k]->add(scratch[k]);
     }
     return inputGrad_;
 }
@@ -296,6 +325,32 @@ Network::parameterCount() const
     for (const Tensor *p : params())
         total += p->size();
     return total;
+}
+
+std::uint64_t
+Network::structuralHash() const
+{
+    StructuralHasher h(/*salt=*/0x4e657477u); // 'Netw'
+    h.mix(inputShape_.c).mix(inputShape_.h).mix(inputShape_.w);
+    h.mix(nodes_.size());
+    for (const Node &node : nodes_) {
+        h.mix(static_cast<std::uint64_t>(node.layer->kind()));
+        h.mixString(node.layer->name());
+        h.mix(node.inputs.size());
+        for (int idx : node.inputs)
+            h.mixSigned(idx);
+        h.mix(node.shape.n)
+            .mix(node.shape.c)
+            .mix(node.shape.h)
+            .mix(node.shape.w);
+        // Layer-specific knobs the shapes underdetermine: kernel
+        // geometry, strides, padding, windows (see Layer::
+        // mixStructure). Without these, a 3x3/pad-1 and a 5x5/pad-2
+        // convolution would collide — same shapes, different
+        // compiled programs.
+        node.layer->mixStructure(h);
+    }
+    return h.digest();
 }
 
 std::string

@@ -13,6 +13,7 @@
 #ifndef REDEYE_NN_NETWORK_HH
 #define REDEYE_NN_NETWORK_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -141,6 +142,16 @@ class Network
     /** Human-readable topology summary. */
     std::string summary() const;
 
+    /**
+     * Stable 64-bit key over the network's structure: input shape
+     * and, per node, layer kind, name, input wiring and output shape.
+     * Parameter *values* (weights) are not part of the key — caches
+     * keyed by it hold artifacts that are pure functions of topology
+     * (compiled RedEye programs, degradation plans), not of weights.
+     * Identical across processes (core/structural_hash.hh).
+     */
+    std::uint64_t structuralHash() const;
+
   private:
     struct Node {
         LayerPtr layer;
@@ -163,6 +174,16 @@ class Network
     std::vector<Tensor> acts_;
     std::vector<Tensor> grads_;
     Tensor inputGrad_;
+
+    // Steady-state execution plan: per-node pointer tables into
+    // input_/acts_/grads_, sized once per topology so repeated
+    // forward()/backward() calls build no per-node vectors. Rebuilt
+    // whenever the node count changes (the only way this network's
+    // topology can change); activation and gradient buffers are
+    // likewise recycled, reallocating only on shape change.
+    std::vector<std::vector<const Tensor *>> fwdIns_;
+    std::vector<std::vector<Tensor *>> gradTargets_;
+    std::vector<std::vector<Tensor>> gradScratch_;
 };
 
 } // namespace nn

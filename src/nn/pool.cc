@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 
 namespace redeye {
 namespace nn {
@@ -57,9 +58,13 @@ MaxPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
-    const Shape os = outputShape({is});
+    // Shape math inline; the validating outputShape() only runs when
+    // the output must be (re)built, keeping the steady-state forward
+    // free of the temporary shape vector (and of any allocation).
+    const Shape os(is.n, is.c, params_.outExtent(is.h),
+                   params_.outExtent(is.w));
     if (out.shape() != os)
-        out = Tensor(os);
+        out = Tensor(outputShape({is}));
     argmax_.assign(os.size(), 0);
 
     // Each (item, channel) plane is independent.
@@ -134,6 +139,12 @@ MaxPoolLayer::comparisonCount(const std::vector<Shape> &in) const
     return os.size() * (params_.kernel * params_.kernel - 1);
 }
 
+void
+MaxPoolLayer::mixStructure(StructuralHasher &h) const
+{
+    h.mix(params_.kernel).mix(params_.stride).mix(params_.pad);
+}
+
 AvgPoolLayer::AvgPoolLayer(std::string name, PoolParams params)
     : Layer(std::move(name)), params_(params)
 {
@@ -153,9 +164,11 @@ AvgPoolLayer::forward(const std::vector<const Tensor *> &in, Tensor &out,
 {
     const Tensor &x = *in[0];
     const Shape &is = x.shape();
-    const Shape os = outputShape({is});
+    // See MaxPoolLayer::forward: validate only when (re)building.
+    const Shape os(is.n, is.c, params_.outExtent(is.h),
+                   params_.outExtent(is.w));
     if (out.shape() != os)
-        out = Tensor(os);
+        out = Tensor(outputShape({is}));
 
     parallelFor(ctx, os.n * os.c, [&](std::size_t plane) {
         const std::size_t n = plane / os.c;
@@ -258,6 +271,12 @@ AvgPoolLayer::backward(const std::vector<const Tensor *> &in,
             }
         }
     });
+}
+
+void
+AvgPoolLayer::mixStructure(StructuralHasher &h) const
+{
+    h.mix(params_.kernel).mix(params_.stride).mix(params_.pad);
 }
 
 } // namespace nn

@@ -48,6 +48,8 @@ class MaxPoolLayer : public Layer
                   std::vector<Tensor> &in_grads,
                   ExecContext &ctx) override;
 
+    void mixStructure(StructuralHasher &h) const override;
+
     const PoolParams &poolParams() const { return params_; }
 
     /** Comparator invocations per forward pass (RedEye workload). */
@@ -78,6 +80,8 @@ class AvgPoolLayer : public Layer
                   const Tensor &out, const Tensor &out_grad,
                   std::vector<Tensor> &in_grads,
                   ExecContext &ctx) override;
+
+    void mixStructure(StructuralHasher &h) const override;
 
     const PoolParams &poolParams() const { return params_; }
 

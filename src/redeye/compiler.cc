@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 #include "nn/conv.hh"
 #include "nn/lrn.hh"
 #include "nn/network.hh"
@@ -292,6 +293,83 @@ compile(nn::Network &net,
         compileOrStatus(net, analog_layers, config);
     fatal_if(!prog.ok(), prog.status().message());
     return std::move(prog.value());
+}
+
+std::uint64_t
+programKey(const nn::Network &net,
+           const std::vector<std::string> &analog_layers,
+           const RedEyeConfig &config)
+{
+    StructuralHasher h(/*salt=*/0x50726f67u); // 'Prog'
+    h.mix(net.structuralHash());
+    h.mix(analog_layers.size());
+    for (const auto &name : analog_layers)
+        h.mixString(name);
+    h.mix(config.adcBits)
+        .mixDouble(config.convSnrDb)
+        .mixDouble(config.frameRate)
+        .mixDouble(config.controllerClockHz)
+        .mixDouble(config.controllerPowerPerHz)
+        .mix(config.columns);
+    // std::map iterates in key order: deterministic across processes.
+    h.mix(config.layerSnrDb.size());
+    for (const auto &[layer, snr] : config.layerSnrDb) {
+        h.mixString(layer);
+        h.mixDouble(snr);
+    }
+    return h.digest();
+}
+
+StatusOr<std::shared_ptr<const Program>>
+ProgramCache::compileOrStatus(
+    nn::Network &net, const std::vector<std::string> &analog_layers,
+    const RedEyeConfig &config)
+{
+    const std::uint64_t key = programKey(net, analog_layers, config);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = programs_.find(key);
+        if (it != programs_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compile outside the lock; the compiler is pure, so a racing
+    // duplicate compilation yields an identical program.
+    StatusOr<Program> prog =
+        arch::compileOrStatus(net, analog_layers, config);
+    if (!prog.ok())
+        return prog.status();
+    auto shared =
+        std::make_shared<const Program>(std::move(prog.value()));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = programs_.emplace(key, std::move(shared));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_;
+    return it->second;
+}
+
+std::uint64_t
+ProgramCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ProgramCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.size();
 }
 
 } // namespace arch

@@ -28,6 +28,10 @@
 #ifndef REDEYE_REDEYE_COMPILER_HH
 #define REDEYE_REDEYE_COMPILER_HH
 
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +61,54 @@ compileOrStatus(nn::Network &net,
 Program compile(nn::Network &net,
                 const std::vector<std::string> &analog_layers,
                 const RedEyeConfig &config);
+
+/**
+ * Content address of a compiled program: a stable 64-bit key over the
+ * network's structural hash, the partition layer list and the
+ * operating point (ADC resolution, SNR programming, clocks). A
+ * compiled Program is a pure function of exactly these inputs — it
+ * holds no weight values — so equal keys imply equal programs.
+ */
+std::uint64_t programKey(const nn::Network &net,
+                         const std::vector<std::string> &analog_layers,
+                         const RedEyeConfig &config);
+
+/**
+ * Thread-safe, content-addressed cache of compiled programs. Serving
+ * paths that re-derive a program per frame (or per worker) fetch the
+ * shared immutable compilation instead of re-running the compiler;
+ * a key change — new topology, new cut, new operating point —
+ * naturally misses and compiles fresh. Entries are never evicted.
+ */
+class ProgramCache
+{
+  public:
+    /**
+     * Program for (net, analog_layers, config), compiling on the
+     * first request. The returned pointer is immutable and outlives
+     * the cache entry (shared ownership); a compile failure is
+     * returned as the compiler's Status and is not cached.
+     */
+    StatusOr<std::shared_ptr<const Program>>
+    compileOrStatus(nn::Network &net,
+                    const std::vector<std::string> &analog_layers,
+                    const RedEyeConfig &config);
+
+    /** Lookups served from the cache. */
+    std::uint64_t hits() const;
+
+    /** Lookups that compiled. */
+    std::uint64_t misses() const;
+
+    /** Cached programs. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<const Program>> programs_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 } // namespace arch
 } // namespace redeye

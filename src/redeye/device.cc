@@ -1,10 +1,12 @@
 #include "redeye/device.hh"
 
 #include <cmath>
+#include <mutex>
 #include <set>
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 #include "nn/concat.hh"
 #include "nn/lrn.hh"
 #include "nn/network.hh"
@@ -40,14 +42,8 @@ analogExecutable(nn::LayerKind kind)
  */
 Status
 validatePartition(nn::Network &net,
-                  const std::vector<std::string> &analog_layers,
-                  const Tensor &input)
+                  const std::vector<std::string> &analog_layers)
 {
-    if (input.shape().n != 1) {
-        return Status::invalidArgument(
-            "device executes one frame at a time, got batch of " +
-            std::to_string(input.shape().n));
-    }
     std::set<std::string> wanted(analog_layers.begin(),
                                  analog_layers.end());
     for (const auto &name : analog_layers) {
@@ -86,6 +82,29 @@ validatePartition(nn::Network &net,
     return Status();
 }
 
+/**
+ * Process-wide memo of structurally valid (topology, partition)
+ * pairs, keyed by content address. Devices are constructed per frame
+ * on the serving path, so an instance-local memo would never hit;
+ * validity is a pure function of structure, so the memo is safe to
+ * share. Only successes are recorded — failures stay on the slow
+ * path and re-derive their diagnostic.
+ */
+std::mutex g_validatedMutex;
+std::set<std::uint64_t> g_validated;
+
+std::uint64_t
+partitionKey(const nn::Network &net,
+             const std::vector<std::string> &analog_layers)
+{
+    StructuralHasher h(/*salt=*/0x50617274u); // 'Part'
+    h.mix(net.structuralHash());
+    h.mix(analog_layers.size());
+    for (const auto &name : analog_layers)
+        h.mixString(name);
+    return h.digest();
+}
+
 } // namespace
 
 RedEyeDevice::RedEyeDevice(ColumnArrayConfig config,
@@ -99,7 +118,22 @@ RedEyeDevice::tryRun(nn::Network &net,
                      const std::vector<std::string> &analog_layers,
                      const Tensor &input)
 {
-    RETURN_IF_ERROR(validatePartition(net, analog_layers, input));
+    if (input.shape().n != 1) {
+        return Status::invalidArgument(
+            "device executes one frame at a time, got batch of " +
+            std::to_string(input.shape().n));
+    }
+    const std::uint64_t vkey = partitionKey(net, analog_layers);
+    bool known_valid;
+    {
+        std::lock_guard<std::mutex> lock(g_validatedMutex);
+        known_valid = g_validated.count(vkey) > 0;
+    }
+    if (!known_valid) {
+        RETURN_IF_ERROR(validatePartition(net, analog_layers));
+        std::lock_guard<std::mutex> lock(g_validatedMutex);
+        g_validated.insert(vkey);
+    }
 
     std::set<std::string> wanted(analog_layers.begin(),
                                  analog_layers.end());

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/logging.hh"
+#include "core/structural_hash.hh"
 
 namespace redeye {
 namespace stream {
@@ -93,6 +94,69 @@ planDegradation(const ProbeReport &probe,
                                          config.adcBoostBits);
     }
     return plan;
+}
+
+std::uint64_t
+degradePlanKey(std::uint64_t epoch,
+               const arch::ColumnArrayConfig &array_config,
+               const DegradationPolicyConfig &config)
+{
+    StructuralHasher h(/*salt=*/0x44677264u); // 'Dgrd'
+    h.mix(epoch);
+    h.mix(array_config.columns)
+        .mixDouble(array_config.convSnrDb)
+        .mix(array_config.weightBits)
+        .mix(array_config.adcBits);
+    h.mix(config.probePeriod)
+        .mixDouble(config.probeThreshold)
+        .mixDouble(config.bypassSuspectFraction)
+        .mix(config.adcBoostBits);
+    return h.digest();
+}
+
+const DegradePlan &
+DegradePlanCache::fetch(std::uint64_t key,
+                        FunctionRef<DegradePlan()> compute)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = plans_.find(key);
+        if (it != plans_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compute outside the lock: probing is slow and pure, so a racing
+    // duplicate is wasted work, not a correctness hazard.
+    DegradePlan plan = compute();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = plans_.emplace(key, std::move(plan));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_;
+    return it->second;
+}
+
+std::uint64_t
+DegradePlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+DegradePlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+DegradePlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plans_.size();
 }
 
 } // namespace stream

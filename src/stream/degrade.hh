@@ -24,9 +24,12 @@
 #define REDEYE_STREAM_DEGRADE_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/function_ref.hh"
 #include "redeye/column.hh"
 #include "stream/probe.hh"
 
@@ -90,6 +93,53 @@ DegradePlan planDegradation(const ProbeReport &probe,
                             const arch::ColumnArrayConfig
                                 &array_config,
                             const DegradationPolicyConfig &config);
+
+/**
+ * Content address of the plan for @p epoch under the given array and
+ * policy operating point (core/structural_hash.hh): the plan is a
+ * pure function of these inputs plus the (shared, immutable) fault
+ * model, so equal keys within one pipeline imply equal plans.
+ */
+std::uint64_t degradePlanKey(std::uint64_t epoch,
+                             const arch::ColumnArrayConfig
+                                 &array_config,
+                             const DegradationPolicyConfig &config);
+
+/**
+ * Thread-safe, content-addressed cache of degradation plans, shared
+ * by every device worker of a pipeline (VisionConfig::planCache):
+ * the first worker to reach an epoch probes and plans once; the rest
+ * fetch. Entries are never evicted (epochs are few and plans small),
+ * so returned references stay valid for the cache's lifetime.
+ */
+class DegradePlanCache
+{
+  public:
+    /**
+     * Plan stored under @p key, invoking @p compute to build it on
+     * the first request. @p compute may be expensive (it probes the
+     * array); it runs outside the lock, so two workers racing on a
+     * fresh key may both compute — purity makes the results
+     * identical, and only one is kept.
+     */
+    const DegradePlan &fetch(std::uint64_t key,
+                             FunctionRef<DegradePlan()> compute);
+
+    /** Lookups served from the cache. */
+    std::uint64_t hits() const;
+
+    /** Lookups that had to compute. */
+    std::uint64_t misses() const;
+
+    /** Cached plans. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, DegradePlan> plans_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 } // namespace stream
 } // namespace redeye

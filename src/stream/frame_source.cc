@@ -18,13 +18,27 @@ ShapesReplaySource::ShapesReplaySource(data::Dataset dataset)
 StreamFrame
 ShapesReplaySource::frame(std::uint64_t index)
 {
+    StreamFrame f;
+    fill(index, f);
+    return f;
+}
+
+void
+ShapesReplaySource::fill(std::uint64_t index, StreamFrame &frame)
+{
     const std::size_t slot =
         static_cast<std::size_t>(index % dataset_.size());
-    StreamFrame f;
-    f.index = index;
-    f.image = dataset_.images.slice(slot);
-    f.label = dataset_.labels[slot];
-    return f;
+    frame.index = index;
+    dataset_.images.sliceInto(slot, frame.image);
+    frame.label = dataset_.labels[slot];
+    frame.emitS = 0.0;
+    frame.predicted = -1;
+    frame.analogEnergyJ = 0.0;
+    frame.systemEnergyJ = 0.0;
+    frame.failed = false;
+    frame.analogBypassed = false;
+    // frame.features keeps its (stale) storage: downstream stages
+    // overwrite the content and reuse the capacity.
 }
 
 const char *

@@ -33,6 +33,19 @@ class FrameSource
      * the runtime can offer the same workload across configurations.
      */
     virtual StreamFrame frame(std::uint64_t index) = 0;
+
+    /**
+     * Materialize frame @p index into @p frame, overwriting every
+     * field and reusing the tensors' storage when capacities suffice.
+     * This is the flavour the runner calls: together with its frame
+     * recycling pool it keeps the source allocation-free in steady
+     * state. The default forwards to frame() (correct, allocates).
+     */
+    virtual void
+    fill(std::uint64_t index, StreamFrame &frame)
+    {
+        frame = this->frame(index);
+    }
 };
 
 /**
@@ -48,6 +61,9 @@ class ShapesReplaySource : public FrameSource
     explicit ShapesReplaySource(data::Dataset dataset);
 
     StreamFrame frame(std::uint64_t index) override;
+
+    /** In-place replay: copies the example into recycled storage. */
+    void fill(std::uint64_t index, StreamFrame &frame) override;
 
     /** Examples in the replay loop. */
     std::size_t size() const { return dataset_.size(); }

@@ -16,6 +16,12 @@ StreamMetrics::StreamMetrics(std::vector<StageInfo> stages,
       predictions_(expected_frames, -1)
 {
     fatal_if(stages_.empty(), "metrics need at least one stage");
+    // Every sample vector gets its full-run capacity up front so the
+    // record* hot paths never reallocate (the streaming serving path
+    // asserts zero steady-state heap allocation).
+    latencyS_.reserve(expected_frames);
+    for (StageAccum &a : accum_)
+        a.serviceS.reserve(expected_frames);
 }
 
 void

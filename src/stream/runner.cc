@@ -82,6 +82,14 @@ StreamRunner::waitWorkersReady(std::size_t count)
 }
 
 void
+StreamRunner::recycleFrame(StreamFrame &&frame)
+{
+    // Never blocks: the pool is sized for every frame that can be in
+    // flight, so Full only happens if a stage duplicated a frame.
+    (void)pool_->tryPush(std::move(frame));
+}
+
+void
 StreamRunner::sourceLoop(StreamMetrics &metrics)
 {
     // Do not start the arrival clock until every stage worker has
@@ -96,6 +104,13 @@ StreamRunner::sourceLoop(StreamMetrics &metrics)
     Queue &q0 = *queues_[0];
     double next_arrival = 0.0;
 
+    // One frame object, refilled in place. A successful push moves
+    // its buffers into the queue; the next iteration adopts a retired
+    // frame's buffers from the recycling pool. A rejected push
+    // (DropNewest at capacity) leaves the buffers right here for the
+    // next fill. Either way, steady state allocates nothing.
+    StreamFrame frame;
+
     for (std::uint64_t i = 0; i < config_.frames; ++i) {
         if (stop_.load())
             break;
@@ -107,7 +122,9 @@ StreamRunner::sourceLoop(StreamMetrics &metrics)
                                  next_arrival)));
         }
 
-        StreamFrame frame = source_.frame(i);
+        if (frame.image.empty())
+            (void)pool_->tryPop(frame);
+        source_.fill(i, frame);
         frame.emitS = secondsSinceStart();
         metrics.recordOffered();
 
@@ -125,7 +142,7 @@ StreamRunner::sourceLoop(StreamMetrics &metrics)
             if (r == QueuePush::Ok)
                 metrics.recordAdmitted();
             else if (r == QueuePush::Full)
-                metrics.recordDropped(i);
+                metrics.recordDropped(i); // frame left intact: reused
             else
                 closed = true;
             break;
@@ -135,8 +152,10 @@ StreamRunner::sourceLoop(StreamMetrics &metrics)
             if (q0.pushEvictOldest(std::move(frame), evicted) ==
                 QueuePush::Ok) {
                 metrics.recordAdmitted();
-                if (evicted)
+                if (evicted) {
                     metrics.recordDropped(evicted->index);
+                    recycleFrame(std::move(*evicted));
+                }
             } else {
                 closed = true;
             }
@@ -222,10 +241,14 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                 }
                 metrics.recordService(
                     stage, secondsBetween(t0, Clock::now()));
-                if (watchdog_claimed)
-                    continue; // deadline overrun: drop the frame
+                if (watchdog_claimed) {
+                    // Deadline overrun: drop the frame.
+                    recycleFrame(std::move(frame));
+                    continue;
+                }
                 if (frame.failed) {
                     metrics.recordFailed(frame.index);
+                    recycleFrame(std::move(frame));
                     continue; // the stage surrendered the frame
                 }
                 if (out) {
@@ -234,6 +257,7 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                 } else {
                     metrics.recordCompleted(frame,
                                             secondsSinceStart());
+                    recycleFrame(std::move(frame));
                 }
             }
         } catch (...) {
@@ -272,6 +296,25 @@ StreamRunner::runImpl()
     }
     for (std::size_t i = 0; i + 1 < total_workers; ++i)
         slots_.push_back(std::make_unique<WorkerSlot>());
+    // The recycling pool must hold every frame that can be in flight
+    // at once — one per queue slot plus one per worker (including the
+    // source) — so recycleFrame() never finds it full.
+    const std::size_t pool_frames = stages_.size() *
+                                        config_.queueCapacity +
+                                    total_workers + 1;
+    pool_ = std::make_unique<Queue>(pool_frames);
+    // Pre-warm the pool: materialize every buffer that can be in
+    // flight at once, with `features` pre-sized to the image so the
+    // first device-stage trip reuses the capacity. Lazy creation
+    // would otherwise leak allocations into steady state whenever
+    // retirements momentarily lag admissions and the source finds
+    // the pool dry — a timing accident, not a workload property.
+    for (std::size_t i = 0; i < pool_frames; ++i) {
+        StreamFrame warm;
+        source_.fill(0, warm);
+        warm.features = warm.image;
+        (void)pool_->tryPush(std::move(warm));
+    }
     StreamMetrics metrics(infos, config_.frames);
 
     std::thread watchdog;

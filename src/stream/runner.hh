@@ -174,6 +174,16 @@ class StreamRunner
                    WorkerSlot *slot, StreamMetrics &metrics);
     void watchdogLoop(StreamMetrics &metrics);
 
+    /**
+     * Return a retired frame's buffers to the recycling pool. Every
+     * frame that leaves the pipeline — completed, failed, watchdog-
+     * killed or evicted — lands here; the source pops recycled frames
+     * and refills them in place (FrameSource::fill), so after warm-up
+     * the frame path performs no heap allocation. Best-effort: a full
+     * pool simply lets the frame's storage die.
+     */
+    void recycleFrame(StreamFrame &&frame);
+
     StreamReport runImpl();
 
     /** Close every queue so all workers unwind promptly. */
@@ -189,6 +199,7 @@ class StreamRunner
     RunnerConfig config_;
 
     std::vector<std::unique_ptr<Queue>> queues_;
+    std::unique_ptr<Queue> pool_; ///< retired frames for reuse
     std::vector<std::unique_ptr<std::atomic<std::size_t>>> live_;
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
     std::atomic<bool> stop_{false};

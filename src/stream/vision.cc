@@ -4,7 +4,9 @@
 #include <map>
 #include <memory>
 
+#include "core/exec.hh"
 #include "core/logging.hh"
+#include "core/workspace.hh"
 #include "models/mini_googlenet.hh"
 #include "models/partition.hh"
 #include "nn/serialize.hh"
@@ -32,6 +34,8 @@ argmax(const Tensor &logits)
 /** Sensor stage: per-worker sampling-layer replica. */
 struct SensorWorker {
     noise::SensorSamplingLayer layer;
+    Tensor scratch;                    ///< recycled input buffers
+    std::vector<const Tensor *> ins{nullptr}; ///< persistent arg list
 
     explicit SensorWorker(const VisionConfig &cfg)
         : layer("stream/sensor", cfg.sensor, Rng(cfg.sensorSeed))
@@ -44,9 +48,12 @@ struct SensorWorker {
         // Key the noise to the frame index: every replica realizes
         // the same raw sample for the same frame.
         layer.setPass(frame.index);
-        Tensor sampled;
-        layer.forward({&frame.image}, sampled);
-        frame.image = std::move(sampled);
+        // Swap the incoming pixels into the scratch slot and sample
+        // back into the frame's buffers: both tensors keep their
+        // storage across frames, so steady state allocates nothing.
+        std::swap(frame.image, scratch);
+        ins[0] = &scratch;
+        layer.forward(ins, frame.image);
     }
 };
 
@@ -56,7 +63,6 @@ struct DeviceWorker {
     std::unique_ptr<nn::Network> net;
     std::vector<std::string> layers;
     arch::ColumnArrayConfig array;
-    std::map<std::uint64_t, DegradePlan> plans; ///< per-epoch cache
 
     explicit DeviceWorker(const VisionConfig &config) : cfg(config)
     {
@@ -69,36 +75,52 @@ struct DeviceWorker {
         array.convSnrDb = cfg.convSnrDb;
         array.weightBits = cfg.weightBits;
         array.adcBits = cfg.adcBits;
+        // Fallback for direct construction outside makeVisionStages
+        // (which installs a pipeline-shared instance).
+        if (cfg.degrade.enabled && !cfg.planCache)
+            cfg.planCache = std::make_shared<DegradePlanCache>();
     }
 
     /**
-     * Degradation plan for the epoch containing @p index. Probing is
-     * a pure function of (fault model, epoch), so every worker's
-     * cache converges on identical plans — worker-local state, no
-     * races, bit-identical frames regardless of worker count.
+     * Degradation plan for the epoch containing @p index, fetched
+     * from the pipeline-shared content-addressed cache: probing is a
+     * pure function of (fault model, epoch, operating point), so the
+     * first worker to reach an epoch plans for all of them —
+     * bit-identical frames regardless of worker count.
      */
     const DegradePlan &
     planFor(std::uint64_t index)
     {
         const std::uint64_t epoch = index / cfg.degrade.probePeriod;
-        auto it = plans.find(epoch);
-        if (it == plans.end()) {
-            ProbeConfig pc;
-            pc.threshold = cfg.degrade.probeThreshold;
-            const ProbeReport probe = runCalibrationProbe(
-                array, cfg.faults.get(),
-                epoch * cfg.degrade.probePeriod, pc);
-            it = plans
-                     .emplace(epoch, planDegradation(probe, array,
-                                                     cfg.degrade))
-                     .first;
-        }
-        return it->second;
+        return cfg.planCache->fetch(
+            degradePlanKey(epoch, array, cfg.degrade), [&] {
+                ProbeConfig pc;
+                pc.threshold = cfg.degrade.probeThreshold;
+                const ProbeReport probe = runCalibrationProbe(
+                    array, cfg.faults.get(),
+                    epoch * cfg.degrade.probePeriod, pc);
+                return planDegradation(probe, array, cfg.degrade);
+            });
     }
 
     void
     process(StreamFrame &frame)
     {
+        // Consult the degradation plan before touching the device: a
+        // bypassed frame must not pay for (or allocate) an analog
+        // array it will never use.
+        const DegradePlan *plan = nullptr;
+        if (cfg.faults && cfg.degrade.enabled) {
+            plan = &planFor(frame.index);
+            if (plan->mode == DegradeMode::Bypass) {
+                // Hardware past saving: hand the raw frame to the
+                // host's full digital network.
+                frame.analogBypassed = true;
+                frame.features = frame.image;
+                frame.analogEnergyJ = 0.0;
+                return;
+            }
+        }
         // A fresh device per frame, seeded by the frame index: the
         // realized analog noise (and therefore the exported features
         // and energy) is a pure function of the index.
@@ -107,21 +129,10 @@ struct DeviceWorker {
             Rng(streamRng(cfg.deviceSeed, 0, frame.index).raw()));
         if (cfg.faults) {
             device.armFaults(cfg.faults.get(), frame.index);
-            if (cfg.degrade.enabled) {
-                const DegradePlan &plan = planFor(frame.index);
-                if (plan.mode == DegradeMode::Bypass) {
-                    // Hardware past saving: hand the raw frame to
-                    // the host's full digital network.
-                    frame.analogBypassed = true;
-                    frame.features = frame.image;
-                    frame.analogEnergyJ = 0.0;
-                    return;
-                }
-                if (plan.mode == DegradeMode::Remap) {
-                    device.array().setColumnMap(plan.columnMap);
-                    if (plan.adcBits)
-                        device.array().setAdcBits(plan.adcBits);
-                }
+            if (plan && plan->mode == DegradeMode::Remap) {
+                device.array().setColumnMap(plan->columnMap);
+                if (plan->adcBits)
+                    device.array().setAdcBits(plan->adcBits);
             }
         }
         auto run = device.run(*net, layers, frame.image);
@@ -138,8 +149,18 @@ struct HostWorker {
     double hostEnergyJ = 0.0;   ///< model energy of the digital tail
     double bypassEnergyJ = 0.0; ///< full digital net, analog bypassed
 
+    /**
+     * Serial execution context with a one-lane workspace: the
+     * networks' conv layers draw im2col scratch from the arena, so
+     * after the first frame of a given shape the host stage performs
+     * no heap allocation.
+     */
+    Workspace workspace{1};
+    ExecContext ctx;
+
     explicit HostWorker(const VisionConfig &config) : cfg(config)
     {
+        ctx.setWorkspace(&workspace);
         Rng weights(cfg.weightSeed);
         full = models::buildMiniGoogLeNet(cfg.classes, weights);
         if (cfg.weights)
@@ -190,11 +211,12 @@ struct HostWorker {
             // The degradation policy routed around the analog stage:
             // `features` carries the raw sampled image and the full
             // digital network serves the frame.
-            frame.predicted = argmax(full->forward(frame.features));
+            frame.predicted =
+                argmax(full->forward(frame.features, ctx));
             frame.systemEnergyJ = bypassEnergyJ;
             return;
         }
-        frame.predicted = argmax(tail->forward(frame.features));
+        frame.predicted = argmax(tail->forward(frame.features, ctx));
         frame.systemEnergyJ = frame.analogEnergyJ + hostEnergyJ;
     }
 };
@@ -216,12 +238,20 @@ hostTailName(HostTail host)
 }
 
 std::vector<StageSpec>
-makeVisionStages(const VisionConfig &config)
+makeVisionStages(const VisionConfig &config_in)
 {
-    fatal_if(config.depth < 1 || config.depth > 5,
+    fatal_if(config_in.depth < 1 || config_in.depth > 5,
              "vision depth must be in [1, 5]");
-    fatal_if(config.degrade.enabled && config.degrade.probePeriod == 0,
+    fatal_if(config_in.degrade.enabled &&
+                 config_in.degrade.probePeriod == 0,
              "degradation probe period must be >= 1");
+
+    // Materialize the shared plan cache here, before the per-worker
+    // config copies are captured: every device worker must hold the
+    // same cache instance.
+    VisionConfig config = config_in;
+    if (config.degrade.enabled && !config.planCache)
+        config.planCache = std::make_shared<DegradePlanCache>();
 
     std::vector<StageSpec> stages;
     stages.push_back(StageSpec{

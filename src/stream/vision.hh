@@ -79,12 +79,21 @@ struct VisionConfig {
     std::shared_ptr<const fault::FaultModel> faults;
 
     /**
-     * Degradation policy. When enabled, each device worker probes the
-     * (shared, static) fault model once per epoch and independently
-     * derives the identical plan — remap, ADC boost or full analog
-     * bypass — so no cross-worker coordination is needed.
+     * Degradation policy. When enabled, device workers derive plans
+     * once per epoch — remap, ADC boost or full analog bypass — as a
+     * pure function of the (shared, static) fault model and epoch.
      */
     DegradationPolicyConfig degrade;
+
+    /**
+     * Shared content-addressed plan cache: the first worker to reach
+     * an epoch probes and plans; the rest fetch the stored plan
+     * instead of re-probing. makeVisionStages() creates one when the
+     * policy is enabled and none is supplied; supply your own to
+     * observe hit/miss statistics or share it across pipelines with
+     * identical operating points.
+     */
+    std::shared_ptr<DegradePlanCache> planCache;
 };
 
 /**

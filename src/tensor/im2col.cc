@@ -14,13 +14,24 @@ im2col(const float *image, std::size_t channels, std::size_t height,
     const std::size_t out_h = wp.outH(height);
     const std::size_t out_w = wp.outW(width);
     const std::size_t rows = channels * wp.kernelH * wp.kernelW;
-    cols.assign(rows * out_h * out_w, 0.0f);
+    cols.resize(rows * out_h * out_w);
+    im2col(image, channels, height, width, wp, cols.data());
+}
+
+void
+im2col(const float *image, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp, float *cols)
+{
+    const std::size_t out_h = wp.outH(height);
+    const std::size_t out_w = wp.outW(width);
+    const std::size_t rows = channels * wp.kernelH * wp.kernelW;
+    std::memset(cols, 0, rows * out_h * out_w * sizeof(float));
 
     std::size_t row = 0;
     for (std::size_t c = 0; c < channels; ++c) {
         for (std::size_t kh = 0; kh < wp.kernelH; ++kh) {
             for (std::size_t kw = 0; kw < wp.kernelW; ++kw, ++row) {
-                float *dst = cols.data() + row * out_h * out_w;
+                float *dst = cols + row * out_h * out_w;
                 for (std::size_t oh = 0; oh < out_h; ++oh) {
                     const long ih = static_cast<long>(oh * wp.strideH +
                                                       kh) -
@@ -52,6 +63,13 @@ col2im(const std::vector<float> &cols, std::size_t channels,
        std::size_t height, std::size_t width, const WindowParams &wp,
        float *image)
 {
+    col2im(cols.data(), channels, height, width, wp, image);
+}
+
+void
+col2im(const float *cols, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp, float *image)
+{
     const std::size_t out_h = wp.outH(height);
     const std::size_t out_w = wp.outW(width);
     std::memset(image, 0, channels * height * width * sizeof(float));
@@ -60,7 +78,7 @@ col2im(const std::vector<float> &cols, std::size_t channels,
     for (std::size_t c = 0; c < channels; ++c) {
         for (std::size_t kh = 0; kh < wp.kernelH; ++kh) {
             for (std::size_t kw = 0; kw < wp.kernelW; ++kw, ++row) {
-                const float *src = cols.data() + row * out_h * out_w;
+                const float *src = cols + row * out_h * out_w;
                 for (std::size_t oh = 0; oh < out_h; ++oh) {
                     const long ih = static_cast<long>(oh * wp.strideH +
                                                       kh) -

@@ -50,6 +50,15 @@ void im2col(const float *image, std::size_t channels, std::size_t height,
             std::vector<float> &cols);
 
 /**
+ * As above, writing into a caller-provided buffer of
+ * channels*kernelH*kernelW*outH*outW floats. The buffer is cleared by
+ * the call; the caller chooses where it lives (workspace arena,
+ * vector, stack).
+ */
+void im2col(const float *image, std::size_t channels, std::size_t height,
+            std::size_t width, const WindowParams &wp, float *cols);
+
+/**
  * Scatter a column matrix back into a CHW image (accumulating), the
  * adjoint of im2col. @p image must be pre-sized and is zeroed first.
  */
@@ -57,16 +66,21 @@ void col2im(const std::vector<float> &cols, std::size_t channels,
             std::size_t height, std::size_t width, const WindowParams &wp,
             float *image);
 
+/** As above, from a caller-provided column buffer. */
+void col2im(const float *cols, std::size_t channels, std::size_t height,
+            std::size_t width, const WindowParams &wp, float *image);
+
 /**
  * Row-major matrix product: C[m x n] = A[m x k] * B[k x n], with
  * optional accumulation into C.
  *
- * The matmul family is a compatibility veneer over the kernel layer
- * (tensor/kernels.hh) and dispatches to the active backend; new code
- * should call kernels::gemm and friends directly, whose named
+ * The matmul family is a deprecated compatibility veneer over the
+ * kernel layer (tensor/kernels.hh) and dispatches to the active
+ * backend. Call kernels::gemm and friends instead: their named
  * MatShape parameters make the per-variant meaning of m/k/n explicit
- * and validated.
+ * and validated, and their Epilogue subsumes the accumulate flag.
  */
+[[deprecated("call kernels::gemm with MatShape operands")]]
 void matmul(const float *a, const float *b, float *c, std::size_t m,
             std::size_t k, std::size_t n, bool accumulate = false);
 
@@ -74,6 +88,7 @@ void matmul(const float *a, const float *b, float *c, std::size_t m,
  * Row-major product with A transposed: C[m x n] = A^T[m x k] * B[k x n]
  * where A is stored as [k x m].
  */
+[[deprecated("call kernels::gemmTransA with MatShape operands")]]
 void matmulTransA(const float *a, const float *b, float *c, std::size_t m,
                   std::size_t k, std::size_t n, bool accumulate = false);
 
@@ -81,6 +96,7 @@ void matmulTransA(const float *a, const float *b, float *c, std::size_t m,
  * Row-major product with B transposed: C[m x n] = A[m x k] * B^T[k x n]
  * where B is stored as [n x k].
  */
+[[deprecated("call kernels::gemmTransB with MatShape operands")]]
 void matmulTransB(const float *a, const float *b, float *c, std::size_t m,
                   std::size_t k, std::size_t n, bool accumulate = false);
 

@@ -559,12 +559,12 @@ namespace {
 void
 fastIm2col(const float *image, std::size_t channels,
            std::size_t height, std::size_t width,
-           const WindowParams &wp, std::vector<float> &cols)
+           const WindowParams &wp, float *cols)
 {
     const std::size_t out_h = wp.outH(height);
     const std::size_t out_w = wp.outW(width);
     const std::size_t rows = channels * wp.kernelH * wp.kernelW;
-    cols.assign(rows * out_h * out_w, 0.0f);
+    std::memset(cols, 0, rows * out_h * out_w * sizeof(float));
 
     std::size_t row = 0;
     for (std::size_t c = 0; c < channels; ++c) {
@@ -588,7 +588,7 @@ fastIm2col(const float *image, std::size_t channels,
                 if (hi < lo)
                     hi = lo;
 
-                float *dst = cols.data() + row * out_h * out_w;
+                float *dst = cols + row * out_h * out_w;
                 for (std::size_t oh = 0; oh < out_h; ++oh) {
                     const long ih = static_cast<long>(oh * wp.strideH +
                                                       kh) -
@@ -626,6 +626,15 @@ im2col(const float *image, std::size_t channels, std::size_t height,
        std::size_t width, const WindowParams &wp,
        std::vector<float> &cols)
 {
+    const std::size_t rows = channels * wp.kernelH * wp.kernelW;
+    cols.resize(rows * wp.outH(height) * wp.outW(width));
+    kernels::im2col(image, channels, height, width, wp, cols.data());
+}
+
+void
+im2col(const float *image, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp, float *cols)
+{
     if (backend() == Backend::Reference)
         redeye::im2col(image, channels, height, width, wp, cols);
     else
@@ -636,6 +645,13 @@ void
 col2im(const std::vector<float> &cols, std::size_t channels,
        std::size_t height, std::size_t width, const WindowParams &wp,
        float *image)
+{
+    redeye::col2im(cols.data(), channels, height, width, wp, image);
+}
+
+void
+col2im(const float *cols, std::size_t channels, std::size_t height,
+       std::size_t width, const WindowParams &wp, float *image)
 {
     redeye::col2im(cols, channels, height, width, wp, image);
 }

@@ -156,8 +156,23 @@ void im2col(const float *image, std::size_t channels,
             std::size_t height, std::size_t width,
             const WindowParams &wp, std::vector<float> &cols);
 
+/**
+ * im2col into a caller-provided buffer of
+ * channels*kernelH*kernelW*outH*outW floats (cleared by the call).
+ * The hot-path flavour: layers point it at workspace arena spans so
+ * steady-state lowering allocates nothing.
+ */
+void im2col(const float *image, std::size_t channels,
+            std::size_t height, std::size_t width,
+            const WindowParams &wp, float *cols);
+
 /** col2im scatter (adjoint of im2col); see tensor/im2col.hh. */
 void col2im(const std::vector<float> &cols, std::size_t channels,
+            std::size_t height, std::size_t width,
+            const WindowParams &wp, float *image);
+
+/** col2im from a caller-provided column buffer. */
+void col2im(const float *cols, std::size_t channels,
             std::size_t height, std::size_t width,
             const WindowParams &wp, float *image);
 

@@ -76,6 +76,17 @@ Tensor::slice(std::size_t batch_index) const
     return Tensor(s, std::move(out));
 }
 
+void
+Tensor::sliceInto(std::size_t batch_index, Tensor &out) const
+{
+    panic_if(batch_index >= shape_.n, "slice index ", batch_index,
+             " out of range for ", shape_.str());
+    out.shape_ = Shape(1, shape_.c, shape_.h, shape_.w);
+    const std::size_t stride = shape_.sliceSize();
+    out.data_.assign(data_.begin() + batch_index * stride,
+                     data_.begin() + (batch_index + 1) * stride);
+}
+
 double
 Tensor::sum() const
 {

@@ -86,6 +86,13 @@ class Tensor
     /** Copy out one batch item as an n == 1 tensor. */
     Tensor slice(std::size_t batch_index) const;
 
+    /**
+     * Copy one batch item into @p out, reusing its storage when the
+     * capacity suffices. The in-place flavour of slice() for serving
+     * paths that recycle tensors instead of reallocating per frame.
+     */
+    void sliceInto(std::size_t batch_index, Tensor &out) const;
+
     /** Sum of all elements. */
     double sum() const;
 

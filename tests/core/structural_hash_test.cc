@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the structural hasher behind the content-addressed plan
+ * caches: determinism, position sensitivity, and domain separation —
+ * the properties that make equal keys a semantic guarantee.
+ */
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/structural_hash.hh"
+
+namespace redeye {
+namespace {
+
+TEST(StructuralHashTest, DeterministicForEqualTokenStreams)
+{
+    auto run = [] {
+        StructuralHasher h(7);
+        h.mix(1).mix(42).mixSigned(-3);
+        h.mixDouble(0.25);
+        h.mixString("conv1");
+        return h.digest();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(StructuralHashTest, PositionIsPartOfTheKey)
+{
+    StructuralHasher ab, ba;
+    ab.mix(1).mix(2);
+    ba.mix(2).mix(1);
+    EXPECT_NE(ab.digest(), ba.digest());
+}
+
+TEST(StructuralHashTest, RepeatedTokenChangesTheKey)
+{
+    // "conv then pool" vs "conv then pool then pool": a prefix must
+    // never collide with its extension.
+    StructuralHasher once, twice;
+    once.mix(5).mix(9);
+    twice.mix(5).mix(9).mix(9);
+    EXPECT_NE(once.digest(), twice.digest());
+}
+
+TEST(StructuralHashTest, SaltSeparatesDomains)
+{
+    StructuralHasher program(0x50726f67), degrade(0x44677264);
+    program.mix(123);
+    degrade.mix(123);
+    EXPECT_NE(program.digest(), degrade.digest());
+}
+
+TEST(StructuralHashTest, EmptyHashersDifferBySalt)
+{
+    EXPECT_NE(StructuralHasher(1).digest(),
+              StructuralHasher(2).digest());
+}
+
+TEST(StructuralHashTest, StringLengthIsFolded)
+{
+    // Same byte stream, different split: "ab"+"c" vs "a"+"bc".
+    StructuralHasher left, right;
+    left.mixString("ab").mixString("c");
+    right.mixString("a").mixString("bc");
+    EXPECT_NE(left.digest(), right.digest());
+}
+
+TEST(StructuralHashTest, DoubleIsHashedBitwise)
+{
+    StructuralHasher pos, neg;
+    pos.mixDouble(0.0);
+    neg.mixDouble(-0.0);
+    // 0.0 == -0.0 numerically, but they are distinct operating-point
+    // encodings; bitwise hashing keeps them distinct.
+    EXPECT_NE(pos.digest(), neg.digest());
+}
+
+TEST(StructuralHashTest, SignedTokensRoundTrip)
+{
+    StructuralHasher a, b;
+    a.mixSigned(-1);
+    b.mix(static_cast<std::uint64_t>(-1));
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+} // namespace
+} // namespace redeye

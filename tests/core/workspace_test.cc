@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the bump-arena workspace (core/workspace.hh): alignment,
+ * LIFO scope rewinding, growth accounting, and the per-lane layout
+ * the parallel execution paths rely on.
+ */
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/workspace.hh"
+
+namespace redeye {
+namespace {
+
+TEST(ArenaTest, AllocReturnsAlignedSpans)
+{
+    Arena arena;
+    // A one-byte carve first, so the double allocation below starts
+    // from a misaligned cursor and the arena has to round up.
+    char *c = arena.alloc<char>(1);
+    ASSERT_NE(c, nullptr);
+    double *d = arena.alloc<double>(3);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double),
+              0u);
+    std::uint64_t *q = arena.alloc<std::uint64_t>(2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) %
+                  alignof(std::uint64_t),
+              0u);
+}
+
+TEST(ArenaTest, UsedTracksCursorIncludingAlignmentPadding)
+{
+    Arena arena;
+    arena.alloc<char>(1);
+    EXPECT_EQ(arena.used(), 1u);
+    arena.alloc<double>(1);
+    // 1 byte + 7 padding + 8 payload.
+    EXPECT_EQ(arena.used(), 16u);
+}
+
+TEST(ArenaTest, ScopeRewindsCursor)
+{
+    Arena arena;
+    arena.alloc<float>(4);
+    const std::size_t before = arena.used();
+    {
+        ArenaScope scope(arena);
+        arena.alloc<float>(100);
+        EXPECT_GT(arena.used(), before);
+    }
+    EXPECT_EQ(arena.used(), before);
+}
+
+TEST(ArenaTest, ScopesNestLifo)
+{
+    Arena arena;
+    ArenaScope outer(arena);
+    arena.alloc<float>(8);
+    const std::size_t outer_used = arena.used();
+    {
+        ArenaScope inner(arena);
+        arena.alloc<float>(8);
+        {
+            ArenaScope innermost(arena);
+            arena.alloc<float>(8);
+            EXPECT_EQ(arena.used(), 3u * 8 * sizeof(float));
+        }
+        EXPECT_EQ(arena.used(), 2u * 8 * sizeof(float));
+    }
+    EXPECT_EQ(arena.used(), outer_used);
+}
+
+TEST(ArenaTest, ReserveThenAllocNeverGrows)
+{
+    Arena arena;
+    arena.reserve(1024);
+    const std::size_t growths = arena.growths();
+    const std::size_t capacity = arena.capacity();
+    EXPECT_GE(capacity, 1024u);
+
+    // Carve the reservation in pieces, rewinding between rounds —
+    // the steady-state pattern. No further growth is allowed.
+    for (int round = 0; round < 8; ++round) {
+        ArenaScope scope(arena);
+        arena.alloc<float>(128);
+        arena.alloc<double>(64);
+    }
+    EXPECT_EQ(arena.growths(), growths);
+    EXPECT_EQ(arena.capacity(), capacity);
+}
+
+TEST(ArenaTest, GrowthIsGeometricAndCounted)
+{
+    Arena arena;
+    EXPECT_EQ(arena.capacity(), 0u);
+    EXPECT_EQ(arena.growths(), 0u);
+    arena.alloc<char>(1);
+    EXPECT_EQ(arena.growths(), 1u);
+    const std::size_t first = arena.capacity();
+    EXPECT_GT(first, 0u);
+
+    // Fit within current capacity: no growth event.
+    arena.alloc<char>(first - arena.used());
+    EXPECT_EQ(arena.growths(), 1u);
+
+    // One byte past: exactly one more growth.
+    arena.alloc<char>(1);
+    EXPECT_EQ(arena.growths(), 2u);
+    EXPECT_GE(arena.capacity(), 2 * first);
+}
+
+TEST(ArenaTest, HighWaterRecordsPeakAcrossScopes)
+{
+    Arena arena;
+    {
+        ArenaScope scope(arena);
+        arena.alloc<float>(256);
+    }
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_EQ(arena.highWater(), 256u * sizeof(float));
+    {
+        ArenaScope scope(arena);
+        arena.alloc<float>(16); // smaller peak: high water unchanged
+    }
+    EXPECT_EQ(arena.highWater(), 256u * sizeof(float));
+}
+
+TEST(ArenaTest, ResetRewindsButKeepsCapacity)
+{
+    Arena arena;
+    arena.alloc<float>(512);
+    const std::size_t capacity = arena.capacity();
+    const std::size_t growths = arena.growths();
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_EQ(arena.capacity(), capacity);
+    EXPECT_EQ(arena.growths(), growths);
+}
+
+TEST(ArenaTest, FloatsFillsTheSpan)
+{
+    Arena arena;
+    float *zeros = arena.floats(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(zeros[i], 0.0f) << i;
+    float *ones = arena.floats(8, 1.0f);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(ones[i], 1.0f) << i;
+}
+
+TEST(WorkspaceTest, LanesAreDistinctArenas)
+{
+    Workspace ws(3);
+    EXPECT_EQ(ws.lanes(), 3u);
+    ws.arena(0).alloc<float>(10);
+    ws.arena(1).alloc<float>(20);
+    EXPECT_EQ(ws.arena(0).used(), 10u * sizeof(float));
+    EXPECT_EQ(ws.arena(1).used(), 20u * sizeof(float));
+    EXPECT_EQ(ws.arena(2).used(), 0u);
+    EXPECT_NE(&ws.arena(0), &ws.arena(1));
+}
+
+TEST(WorkspaceTest, TotalsAggregateLanes)
+{
+    Workspace ws(2);
+    ws.arena(0).reserve(256);
+    ws.arena(1).reserve(512);
+    EXPECT_EQ(ws.totalCapacity(),
+              ws.arena(0).capacity() + ws.arena(1).capacity());
+    EXPECT_EQ(ws.totalGrowths(),
+              ws.arena(0).growths() + ws.arena(1).growths());
+}
+
+TEST(WorkspaceTest, ResetAllRewindsEveryLane)
+{
+    Workspace ws(2);
+    ws.arena(0).alloc<float>(4);
+    ws.arena(1).alloc<float>(4);
+    ws.resetAll();
+    EXPECT_EQ(ws.arena(0).used(), 0u);
+    EXPECT_EQ(ws.arena(1).used(), 0u);
+}
+
+TEST(WorkspaceDeathTest, OutOfRangeLanePanics)
+{
+    Workspace ws(2);
+    EXPECT_DEATH(ws.arena(2), "lane");
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for Network::structuralHash: the cache key must track
+ * topology (layers, wiring, shapes) and ignore parameter values, so
+ * compiled-program caches hit across weight updates and miss across
+ * any structural change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+std::unique_ptr<Network>
+smallNet(const std::string &conv_name = "c1", std::size_t kernel = 3,
+         const Shape &input = Shape(1, 1, 8, 8))
+{
+    auto net = std::make_unique<Network>("hashnet");
+    net->setInputShape(input);
+    net->add(std::make_unique<ConvolutionLayer>(
+                 conv_name, ConvParams::square(2, kernel, 1,
+                                               kernel / 2)),
+             {kInputName});
+    net->add(std::make_unique<ReluLayer>("r1"));
+    return net;
+}
+
+TEST(NetworkHashTest, StableAcrossIdenticalInstances)
+{
+    EXPECT_EQ(smallNet()->structuralHash(),
+              smallNet()->structuralHash());
+}
+
+TEST(NetworkHashTest, WeightValuesDoNotChangeTheHash)
+{
+    auto net = smallNet();
+    const std::uint64_t before = net->structuralHash();
+    Rng rng(0x5eed);
+    static_cast<ConvolutionLayer &>(net->layer("c1")).initHe(rng);
+    EXPECT_EQ(net->structuralHash(), before);
+    for (Tensor *p : net->params())
+        p->fill(3.25f);
+    EXPECT_EQ(net->structuralHash(), before);
+}
+
+TEST(NetworkHashTest, AppendedLayerChangesTheHash)
+{
+    auto net = smallNet();
+    const std::uint64_t before = net->structuralHash();
+    net->add(std::make_unique<ReluLayer>("r2"));
+    EXPECT_NE(net->structuralHash(), before);
+}
+
+TEST(NetworkHashTest, InputShapeChangesTheHash)
+{
+    EXPECT_NE(smallNet("c1", 3, Shape(1, 1, 8, 8))->structuralHash(),
+              smallNet("c1", 3, Shape(1, 1, 16, 16))
+                  ->structuralHash());
+}
+
+TEST(NetworkHashTest, LayerNameChangesTheHash)
+{
+    EXPECT_NE(smallNet("c1")->structuralHash(),
+              smallNet("conv_a")->structuralHash());
+}
+
+TEST(NetworkHashTest, KernelGeometryChangesTheHash)
+{
+    // kernel 3 / pad 1 and kernel 5 / pad 2 produce identical output
+    // shapes; only the per-layer structure mix separates them.
+    EXPECT_NE(smallNet("c1", 3)->structuralHash(),
+              smallNet("c1", 5)->structuralHash());
+}
+
+TEST(NetworkHashTest, PoolWindowChangesTheHash)
+{
+    // Both pools map 8x8 -> 4x4 (ceil mode), so shapes agree and the
+    // window geometry must come from MaxPoolLayer::mixStructure.
+    auto build = [](PoolParams params) {
+        auto net = std::make_unique<Network>("poolnet");
+        net->setInputShape(Shape(1, 1, 8, 8));
+        net->add(std::make_unique<MaxPoolLayer>("p1", params),
+                 {kInputName});
+        return net;
+    };
+    auto a = build({.kernel = 2, .stride = 2, .pad = 0});
+    auto b = build({.kernel = 3, .stride = 2, .pad = 0});
+    ASSERT_EQ(a->outputShape(), b->outputShape());
+    EXPECT_NE(a->structuralHash(), b->structuralHash());
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Differential tests of workspace-backed execution: attaching a
+ * Workspace to the ExecContext changes where layers draw scratch
+ * from (bump arenas instead of heap vectors) and must change nothing
+ * else — forward and backward results stay bit-identical, serial and
+ * pooled, and repeated passes stop growing the arenas.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/exec.hh"
+#include "core/rng.hh"
+#include "core/workspace.hh"
+#include "nn/activation.hh"
+#include "nn/conv.hh"
+#include "nn/network.hh"
+#include "nn/pool.hh"
+
+namespace redeye {
+namespace nn {
+namespace {
+
+/** conv -> relu -> pool -> conv, with He-initialized weights. */
+std::unique_ptr<Network>
+convNet()
+{
+    auto net = std::make_unique<Network>("wsnet");
+    net->setInputShape(Shape(1, 3, 16, 16));
+    net->add(std::make_unique<ConvolutionLayer>(
+                 "c1", ConvParams::square(8, 3, 1, 1)),
+             {kInputName});
+    net->add(std::make_unique<ReluLayer>("r1"));
+    net->add(std::make_unique<MaxPoolLayer>(
+        "p1", PoolParams{.kernel = 2, .stride = 2, .pad = 0}));
+    net->add(std::make_unique<ConvolutionLayer>(
+                 "c2", ConvParams::square(4, 3, 1, 1)));
+    Rng rng(0x515e);
+    static_cast<ConvolutionLayer &>(net->layer("c1")).initHe(rng);
+    static_cast<ConvolutionLayer &>(net->layer("c2")).initHe(rng);
+    return net;
+}
+
+Tensor
+batchInput()
+{
+    Rng rng(0xda7a);
+    Tensor x(Shape(4, 3, 16, 16));
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    return x;
+}
+
+void
+expectIdentical(const Tensor &a, const Tensor &b)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(WorkspaceForwardTest, SerialForwardBitIdenticalWithWorkspace)
+{
+    auto net = convNet();
+    const Tensor x = batchInput();
+    const Tensor baseline = net->forward(x); // plain serial, no ws
+
+    Workspace ws(1);
+    ExecContext ctx;
+    ctx.setWorkspace(&ws);
+    expectIdentical(net->forward(x, ctx), baseline);
+}
+
+TEST(WorkspaceForwardTest, PooledForwardBitIdenticalWithWorkspace)
+{
+    auto net = convNet();
+    const Tensor x = batchInput();
+    const Tensor baseline = net->forward(x);
+
+    ThreadPool pool(4);
+    Workspace ws(pool.threads());
+    ExecContext ctx(pool);
+    ctx.setWorkspace(&ws);
+    expectIdentical(net->forward(x, ctx), baseline);
+}
+
+TEST(WorkspaceForwardTest, ArenasStopGrowingAfterWarmup)
+{
+    auto net = convNet();
+    const Tensor x = batchInput();
+
+    Workspace ws(1);
+    ExecContext ctx;
+    ctx.setWorkspace(&ws);
+    net->forward(x, ctx); // warmup sizes the arenas
+    const std::size_t growths = ws.totalGrowths();
+    for (int pass = 0; pass < 4; ++pass)
+        net->forward(x, ctx);
+    EXPECT_EQ(ws.totalGrowths(), growths);
+    // The scopes unwound: nothing is left allocated between passes.
+    for (std::size_t lane = 0; lane < ws.lanes(); ++lane)
+        EXPECT_EQ(ws.arena(lane).used(), 0u) << "lane " << lane;
+}
+
+TEST(WorkspaceForwardTest, BackwardBitIdenticalWithWorkspace)
+{
+    const Tensor x = batchInput();
+    Rng rng(0x9aad);
+
+    auto run = [&](bool use_workspace) {
+        auto net = convNet();
+        net->forward(x);
+        Tensor gy(net->forward(x).shape());
+        gy.fillGaussian(rng, 0.0f, 1.0f);
+        rng = Rng(0x9aad); // same probe for both runs
+        net->zeroGrads();
+        Workspace ws(1);
+        ExecContext ctx;
+        if (use_workspace)
+            ctx.setWorkspace(&ws);
+        Tensor gx = net->backward(gy, ctx);
+        std::vector<Tensor> param_grads;
+        for (const Tensor *g :
+             static_cast<const Network &>(*net).paramGrads())
+            param_grads.push_back(*g);
+        return std::make_pair(std::move(gx), std::move(param_grads));
+    };
+
+    auto [gx_plain, pg_plain] = run(false);
+    auto [gx_ws, pg_ws] = run(true);
+    expectIdentical(gx_ws, gx_plain);
+    ASSERT_EQ(pg_ws.size(), pg_plain.size());
+    for (std::size_t i = 0; i < pg_ws.size(); ++i)
+        expectIdentical(pg_ws[i], pg_plain[i]);
+}
+
+} // namespace
+} // namespace nn
+} // namespace redeye

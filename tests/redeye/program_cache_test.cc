@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the content-addressed compiled-program cache: hits on an
+ * identical (topology, partition, operating point) triple, misses on
+ * any change, failures never cached.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "models/mini_googlenet.hh"
+#include "redeye/compiler.hh"
+
+namespace redeye {
+namespace arch {
+namespace {
+
+struct Fixture {
+    std::unique_ptr<nn::Network> net;
+    std::vector<std::string> layers;
+    RedEyeConfig cfg;
+
+    Fixture()
+    {
+        Rng rng(0x90a7);
+        net = models::buildMiniGoogLeNet(4, rng);
+        layers = models::miniGoogLeNetAnalogLayers(1);
+    }
+};
+
+TEST(ProgramCacheTest, SecondLookupHitsAndSharesTheProgram)
+{
+    Fixture f;
+    ProgramCache cache;
+
+    auto first = cache.compileOrStatus(*f.net, f.layers, f.cfg);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    auto second = cache.compileOrStatus(*f.net, f.layers, f.cfg);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    // Same immutable compilation, not an equal copy.
+    EXPECT_EQ(first.value().get(), second.value().get());
+}
+
+TEST(ProgramCacheTest, OperatingPointChangeMisses)
+{
+    Fixture f;
+    ProgramCache cache;
+    ASSERT_TRUE(cache.compileOrStatus(*f.net, f.layers, f.cfg).ok());
+
+    RedEyeConfig boosted = f.cfg;
+    boosted.adcBits = f.cfg.adcBits + 2;
+    ASSERT_TRUE(
+        cache.compileOrStatus(*f.net, f.layers, boosted).ok());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ProgramCacheTest, PartitionChangeMisses)
+{
+    Fixture f;
+    ProgramCache cache;
+    ASSERT_TRUE(cache.compileOrStatus(*f.net, f.layers, f.cfg).ok());
+
+    const auto deeper = models::miniGoogLeNetAnalogLayers(2);
+    ASSERT_TRUE(cache.compileOrStatus(*f.net, deeper, f.cfg).ok());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCacheTest, CompileFailureIsNotCached)
+{
+    Fixture f;
+    ProgramCache cache;
+    const std::vector<std::string> bogus{"no_such_layer"};
+
+    EXPECT_FALSE(cache.compileOrStatus(*f.net, bogus, f.cfg).ok());
+    EXPECT_EQ(cache.size(), 0u);
+    // The defect is reported again, not replayed from the cache.
+    EXPECT_FALSE(cache.compileOrStatus(*f.net, bogus, f.cfg).ok());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ProgramKeyTest, PureFunctionOfItsInputs)
+{
+    Fixture f;
+    EXPECT_EQ(programKey(*f.net, f.layers, f.cfg),
+              programKey(*f.net, f.layers, f.cfg));
+
+    // A structurally identical network built separately keys the
+    // same: the key addresses content, not object identity.
+    Rng rng(0x0ddb);
+    auto twin = models::buildMiniGoogLeNet(4, rng);
+    EXPECT_EQ(programKey(*twin, f.layers, f.cfg),
+              programKey(*f.net, f.layers, f.cfg));
+
+    RedEyeConfig loud = f.cfg;
+    loud.convSnrDb = f.cfg.convSnrDb + 5.0;
+    EXPECT_NE(programKey(*f.net, f.layers, loud),
+              programKey(*f.net, f.layers, f.cfg));
+}
+
+} // namespace
+} // namespace arch
+} // namespace redeye

@@ -1,10 +1,11 @@
-/** @file Tests for im2col/col2im and the matmul kernels. */
+/** @file Tests for im2col/col2im and the gemm kernels. */
 
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "tensor/im2col.hh"
+#include "tensor/kernels.hh"
 
 namespace redeye {
 namespace {
@@ -102,7 +103,7 @@ TEST(MatmulTest, SmallKnownProduct)
     const std::vector<float> a{1, 2, 3, 4, 5, 6};
     const std::vector<float> b{7, 8, 9, 10, 11, 12};
     std::vector<float> c(4, -1.0f);
-    matmul(a.data(), b.data(), c.data(), 2, 3, 2);
+    kernels::gemm(a.data(), {2, 3}, b.data(), {3, 2}, c.data());
     EXPECT_EQ(c, (std::vector<float>{58, 64, 139, 154}));
 }
 
@@ -111,7 +112,8 @@ TEST(MatmulTest, AccumulateAddsToExisting)
     const std::vector<float> a{1, 0, 0, 1};
     const std::vector<float> b{5, 6, 7, 8};
     std::vector<float> c{1, 1, 1, 1};
-    matmul(a.data(), b.data(), c.data(), 2, 2, 2, true);
+    kernels::gemm(a.data(), {2, 2}, b.data(), {2, 2}, c.data(),
+                  kernels::Epilogue::accumulateInto());
     EXPECT_EQ(c, (std::vector<float>{6, 7, 8, 9}));
 }
 
@@ -121,7 +123,7 @@ TEST(MatmulTest, TransAMatchesExplicitTranspose)
     const std::vector<float> a{1, 2, 3, 4, 5, 6};
     const std::vector<float> b{1, 2, 3, 4};
     std::vector<float> c(6);
-    matmulTransA(a.data(), b.data(), c.data(), 3, 2, 2);
+    kernels::gemmTransA(a.data(), {2, 3}, b.data(), {2, 2}, c.data());
     // A^T = [[1,4],[2,5],[3,6]]
     EXPECT_EQ(c, (std::vector<float>{13, 18, 17, 24, 21, 30}));
 }
@@ -132,15 +134,15 @@ TEST(MatmulTest, TransBMatchesExplicitTranspose)
     const std::vector<float> a{1, 2, 3, 4};
     const std::vector<float> b{1, 2, 3, 4, 5, 6};
     std::vector<float> c(6);
-    matmulTransB(a.data(), b.data(), c.data(), 2, 2, 3);
+    kernels::gemmTransB(a.data(), {2, 2}, b.data(), {3, 2}, c.data());
     // B^T = [[1,3,5],[2,4,6]]
     EXPECT_EQ(c, (std::vector<float>{5, 11, 17, 11, 25, 39}));
 }
 
 TEST(MatmulTest, CrossCheckVariants)
 {
-    // matmul(A, B) == matmulTransA(A^T stored, B) ==
-    // matmulTransB(A, B^T stored).
+    // gemm(A, B) == gemmTransA(A^T stored, B) ==
+    // gemmTransB(A, B^T stored).
     const std::size_t m = 3, k = 4, n = 5;
     std::vector<float> a(m * k), at(k * m), b(k * n), bt(n * k);
     for (std::size_t i = 0; i < m; ++i)
@@ -156,9 +158,11 @@ TEST(MatmulTest, CrossCheckVariants)
             bt[j * k + p] = b[p * n + j];
         }
     std::vector<float> c1(m * n), c2(m * n), c3(m * n);
-    matmul(a.data(), b.data(), c1.data(), m, k, n);
-    matmulTransA(at.data(), b.data(), c2.data(), m, k, n);
-    matmulTransB(a.data(), bt.data(), c3.data(), m, k, n);
+    kernels::gemm(a.data(), {m, k}, b.data(), {k, n}, c1.data());
+    kernels::gemmTransA(at.data(), {k, m}, b.data(), {k, n},
+                        c2.data());
+    kernels::gemmTransB(a.data(), {m, k}, bt.data(), {n, k},
+                        c3.data());
     for (std::size_t i = 0; i < c1.size(); ++i) {
         EXPECT_FLOAT_EQ(c1[i], c2[i]);
         EXPECT_FLOAT_EQ(c1[i], c3[i]);
