@@ -5,12 +5,15 @@
  * and serial-vs-parallel network forward scaling.
  *
  * Pass `--csv <path>` (in addition to the usual benchmark flags) to
- * mirror every measurement into a machine-readable CSV via core/csv.
+ * also write every measurement to a CSV file — the shared flag idiom
+ * of core/csv.hh, lowered onto the benchmark library's CSV reporter.
  */
 
 #include <benchmark/benchmark.h>
 
-#include "bench_csv.hh"
+#include <string>
+
+#include "core/csv.hh"
 #include "core/exec.hh"
 #include "core/rng.hh"
 #include "data/shapes_dataset.hh"
@@ -186,5 +189,19 @@ BENCHMARK(BM_RenderShape);
 int
 main(int argc, char **argv)
 {
-    return bench::runBenchmarksWithCsvFlag(argc, argv);
+    // Lower the repo-wide `--csv <path>` flag onto the benchmark
+    // library's CSV file reporter (see micro_kernels.cc).
+    static std::string out_flag;
+    static char fmt_flag[] = "--benchmark_out_format=csv";
+    if (std::string path = stripCsvFlag(argc, argv); !path.empty()) {
+        out_flag = "--benchmark_out=" + path;
+        argv[argc++] = out_flag.data();
+        argv[argc++] = fmt_flag;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
 }

@@ -234,23 +234,35 @@ main(int argc, char **argv)
 
     if (!opt.csvPath.empty()) {
         CsvWriter csv(opt.csvPath);
-        csv.header({"device_workers", "arrival_fps", "offered_fps",
-                    "sustained_fps", "admitted", "dropped",
-                    "completed", "latency_p50_s", "latency_p95_s",
-                    "latency_p99_s", "analog_j_per_frame",
-                    "system_j_per_frame"});
+        // Shared serving-sweep schema: the fleet sweep
+        // (bench/fleet_serving) emits the same latency/throughput
+        // and failure columns, so downstream plots join on names.
+        std::vector<std::string> header{
+            "device_workers", "arrival_fps",   "offered_fps",
+            "sustained_fps",  "admitted",      "dropped",
+            "failed",         "completed",     "latency_p50_s",
+            "latency_p95_s",  "latency_p99_s", "analog_j_per_frame",
+            "system_j_per_frame"};
+        for (const auto &stage : points.front().report.stages)
+            header.push_back("failed_" + stage.name);
+        csv.header(header);
         for (const Point &p : points) {
-            csv.row({std::to_string(p.threads), fmt(p.arrivalFps, 4),
-                     fmt(p.report.offeredFps, 4),
-                     fmt(p.report.sustainedFps, 4),
-                     std::to_string(p.report.framesAdmitted),
-                     std::to_string(p.report.framesDropped),
-                     std::to_string(p.report.framesCompleted),
-                     fmt(p.report.latencyP50S, 6),
-                     fmt(p.report.latencyP95S, 6),
-                     fmt(p.report.latencyP99S, 6),
-                     fmt(p.report.analogEnergyMeanJ, 9),
-                     fmt(p.report.systemEnergyMeanJ, 9)});
+            std::vector<std::string> row{
+                std::to_string(p.threads), fmt(p.arrivalFps, 4),
+                fmt(p.report.offeredFps, 4),
+                fmt(p.report.sustainedFps, 4),
+                std::to_string(p.report.framesAdmitted),
+                std::to_string(p.report.framesDropped),
+                std::to_string(p.report.framesFailed),
+                std::to_string(p.report.framesCompleted),
+                fmt(p.report.latencyP50S, 6),
+                fmt(p.report.latencyP95S, 6),
+                fmt(p.report.latencyP99S, 6),
+                fmt(p.report.analogEnergyMeanJ, 9),
+                fmt(p.report.systemEnergyMeanJ, 9)};
+            for (const auto &stage : p.report.stages)
+                row.push_back(std::to_string(stage.failed));
+            csv.row(row);
         }
         std::cout << "\nwrote " << csv.rows() << " sweep rows to "
                   << csv.path() << "\n";

@@ -3,9 +3,10 @@
  * The repo-wide CSV API: a minimal RFC-4180 writer plus the shared
  * `--csv <path>` command-line idiom. Every binary that mirrors its
  * results into CSV — the figure benches, the google-benchmark micros
- * (bench/bench_csv.hh), the sweep tools — goes through this one
- * surface, so output files stay mechanically uniform (for replotting
- * the paper's charts and for CI artifacts).
+ * (which lower the flag onto the benchmark library's CSV reporter),
+ * the sweep tools — goes through this one surface, so output files
+ * stay mechanically uniform (for replotting the paper's charts and
+ * for CI artifacts).
  */
 
 #ifndef REDEYE_CORE_CSV_HH

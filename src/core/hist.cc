@@ -1,0 +1,140 @@
+#include "core/hist.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.hh"
+
+namespace redeye {
+
+LogHistogram::LogHistogram(double lo, double hi,
+                           unsigned buckets_per_octave)
+    : lo_(lo), hi_(hi), perOctave_(buckets_per_octave)
+{
+    fatal_if(lo <= 0.0, "histogram lo must be positive");
+    fatal_if(hi <= lo, "histogram hi must exceed lo");
+    fatal_if(buckets_per_octave == 0,
+             "histogram needs at least one bucket per octave");
+    const double octaves = std::log2(hi / lo);
+    const std::size_t regular = static_cast<std::size_t>(
+        std::ceil(octaves * perOctave_));
+    // Bucket 0 is the underflow bin (x < lo); the last bucket is the
+    // overflow bin (x >= hi); `regular` geometric bins sit between.
+    counts_.assign(regular + 2, 0);
+    reset();
+}
+
+void
+LogHistogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::size_t
+LogHistogram::bucketOf(double x) const
+{
+    if (!(x >= lo_)) // also catches NaN into underflow
+        return 0;
+    if (x >= hi_)
+        return counts_.size() - 1;
+    const auto i = static_cast<std::size_t>(
+        std::log2(x / lo_) * perOctave_);
+    return std::min(i + 1, counts_.size() - 2);
+}
+
+double
+LogHistogram::bucketLo(std::size_t i) const
+{
+    return lo_ * std::exp2(static_cast<double>(i - 1) / perOctave_);
+}
+
+void
+LogHistogram::add(double x)
+{
+    ++counts_[bucketOf(x)];
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+bool
+LogHistogram::mergeableWith(const LogHistogram &other) const
+{
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           perOctave_ == other.perOctave_;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    fatal_if(!mergeableWith(other),
+             "merging histograms with different bucket layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t
+LogHistogram::bucketCount(std::size_t i) const
+{
+    fatal_if(i >= counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    fatal_if(count_ == 0, "percentile of an empty histogram");
+    fatal_if(p < 0.0 || p > 100.0, "percentile must be in [0, 100]");
+
+    // Target rank in [1, count]; find the bucket that straddles it.
+    const double rank =
+        std::max(1.0, p / 100.0 * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    std::size_t bucket = counts_.size() - 1;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (static_cast<double>(seen) >= rank) {
+            bucket = i;
+            break;
+        }
+    }
+
+    double value;
+    if (bucket == 0) {
+        value = min_; // underflow bin: below resolution
+    } else if (bucket == counts_.size() - 1) {
+        value = max_; // overflow bin
+    } else {
+        // Interpolate geometrically inside the bucket by the rank's
+        // position among the bucket's samples.
+        const std::uint64_t below = seen - counts_[bucket];
+        const double frac =
+            (rank - static_cast<double>(below)) /
+            static_cast<double>(counts_[bucket]);
+        const double b_lo = bucketLo(bucket);
+        const double b_hi =
+            std::min(hi_, b_lo * std::exp2(1.0 / perOctave_));
+        value = b_lo * std::pow(b_hi / b_lo, frac);
+    }
+    return std::clamp(value, min_, max_);
+}
+
+} // namespace redeye

@@ -1,0 +1,214 @@
+#include "fleet/device_pool.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "stream/probe.hh"
+
+namespace redeye {
+namespace fleet {
+
+namespace {
+
+/** Pass salts separating the pool's fault draws. */
+constexpr std::uint64_t kHealthPass = 0xf1ee7;
+
+/** Rank for the healthiest-first lease scan. */
+int
+healthRank(stream::DegradeMode mode)
+{
+    switch (mode) {
+      case stream::DegradeMode::Normal:
+        return 0;
+      case stream::DegradeMode::Remap:
+        return 1;
+      case stream::DegradeMode::Bypass:
+        return 2;
+    }
+    return 3;
+}
+
+} // namespace
+
+DevicePool::DevicePool(
+    const DevicePoolConfig &config,
+    std::shared_ptr<stream::DegradePlanCache> plan_cache)
+    : planCache_(plan_cache
+                     ? std::move(plan_cache)
+                     : std::make_shared<stream::DegradePlanCache>())
+{
+    fatal_if(config.devices == 0, "device pool needs devices");
+    fatal_if(config.hostWorkers == 0, "device pool needs hosts");
+
+    devices_.resize(config.devices);
+    hosts_.resize(config.hostWorkers);
+
+    stream::DegradationPolicyConfig policy = config.degrade;
+    policy.enabled = true;
+
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        DeviceSlot &slot = devices_[i];
+        slot.id = i;
+
+        // One uniform draw per device decides its health band;
+        // counter-based so the draw for device i is independent of
+        // the pool size and of every other device.
+        const double u =
+            streamRng(config.seed, kHealthPass, i).uniform();
+        double dead = 0.0;
+        if (u < config.brickedFraction)
+            dead = config.brickedDeadColumns;
+        else if (u < config.brickedFraction + config.faultyFraction)
+            dead = config.faultyDeadColumns;
+        slot.deadColumnFraction = dead;
+
+        // Run the single-stream calibration path for this device:
+        // probe the (possibly faulty) array, derive the plan, and
+        // publish it under the device's own key in the shared cache.
+        // The plan key's epoch slot carries the device id — distinct
+        // devices are distinct "epochs" of the same array config.
+        const std::uint64_t key =
+            stream::degradePlanKey(i, config.array, policy);
+        slot.plan = planCache_->fetch(key, [&]() {
+            if (dead <= 0.0)
+                return stream::planDegradation(
+                    stream::runCalibrationProbe(config.array,
+                                                nullptr, i),
+                    config.array, policy);
+            fault::FaultModel faults(
+                fault::FaultCampaign::deadColumns(
+                    dead, splitmix64(config.seed ^ (i + 1))),
+                config.array.columns);
+            return stream::planDegradation(
+                stream::runCalibrationProbe(config.array, &faults,
+                                            i),
+                config.array, policy);
+        });
+        slot.health = slot.plan.mode;
+    }
+
+    for (std::size_t i = 0; i < hosts_.size(); ++i)
+        hosts_[i].id = i;
+
+    idleDevices_ = devices_.size();
+    idleHosts_ = hosts_.size();
+}
+
+int
+DevicePool::leaseDevice(std::uint64_t session)
+{
+    if (idleDevices_ == 0)
+        return -1;
+    int best = -1;
+    int best_rank = 4;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const DeviceSlot &slot = devices_[i];
+        if (slot.busy)
+            continue;
+        const int rank = healthRank(slot.health);
+        if (rank < best_rank) {
+            best = static_cast<int>(i);
+            best_rank = rank;
+            if (rank == 0)
+                break; // cannot do better than healthy
+        }
+    }
+    fatal_if(best < 0, "idle count out of sync with slots");
+    devices_[best].busy = true;
+    devices_[best].leasedTo = session;
+    --idleDevices_;
+    return best;
+}
+
+void
+DevicePool::releaseDevice(std::size_t index, double busy_s,
+                          double energy_j)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    DeviceSlot &slot = devices_[index];
+    fatal_if(!slot.busy, "releasing an idle device");
+    slot.busy = false;
+    slot.leasedTo = 0;
+    ++slot.framesServed;
+    slot.busyS += busy_s;
+    slot.energyJ += energy_j;
+    ++idleDevices_;
+}
+
+int
+DevicePool::leaseHost(std::uint64_t session)
+{
+    if (idleHosts_ == 0)
+        return -1;
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+        if (!hosts_[i].busy) {
+            hosts_[i].busy = true;
+            hosts_[i].leasedTo = session;
+            --idleHosts_;
+            return static_cast<int>(i);
+        }
+    }
+    fatal("idle count out of sync with slots");
+    return -1;
+}
+
+void
+DevicePool::releaseHost(std::size_t index, double busy_s)
+{
+    fatal_if(index >= hosts_.size(), "host index out of range");
+    HostSlot &slot = hosts_[index];
+    fatal_if(!slot.busy, "releasing an idle host");
+    slot.busy = false;
+    slot.leasedTo = 0;
+    ++slot.framesServed;
+    slot.busyS += busy_s;
+    ++idleHosts_;
+}
+
+const DeviceSlot &
+DevicePool::device(std::size_t i) const
+{
+    fatal_if(i >= devices_.size(), "device index out of range");
+    return devices_[i];
+}
+
+const HostSlot &
+DevicePool::host(std::size_t i) const
+{
+    fatal_if(i >= hosts_.size(), "host index out of range");
+    return hosts_[i];
+}
+
+std::size_t
+DevicePool::healthCount(stream::DegradeMode mode) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        devices_.begin(), devices_.end(),
+        [mode](const DeviceSlot &s) { return s.health == mode; }));
+}
+
+double
+DevicePool::deviceUtilization(double wall_s) const
+{
+    if (wall_s <= 0.0)
+        return 0.0;
+    double busy = 0.0;
+    for (const DeviceSlot &s : devices_)
+        busy += s.busyS;
+    return busy / (wall_s * static_cast<double>(devices_.size()));
+}
+
+double
+DevicePool::hostUtilization(double wall_s) const
+{
+    if (wall_s <= 0.0)
+        return 0.0;
+    double busy = 0.0;
+    for (const HostSlot &s : hosts_)
+        busy += s.busyS;
+    return busy / (wall_s * static_cast<double>(hosts_.size()));
+}
+
+} // namespace fleet
+} // namespace redeye

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * DevicePool: the shared analog/digital serving capacity of a fleet.
+ *
+ * The pool owns N simulated RedEye devices and M host (digital tail)
+ * workers. Each device carries its own silicon health: at pool
+ * construction a deterministic, seeded fault draw assigns some
+ * devices a dead-column campaign, each of which is then probed
+ * (stream/probe.hh) and planned (stream/degrade.hh) through the
+ * fleet-shared DegradePlanCache — exactly the calibration path the
+ * single-stream runtime uses, with the device index standing in for
+ * the probe epoch so distinct devices key distinct cache entries.
+ *
+ * The resulting per-device DegradePlan shapes service: a Normal
+ * device serves the compiled program as-is, a Remap device pays the
+ * column-sharing slowdown plus the ADC-boost operating point, and a
+ * Bypass device is past saving — it only routes frames, pushing the
+ * whole network onto the host tier.
+ *
+ * Leasing: the scheduler leases one device (or host worker) per
+ * frame and releases it at completion. Leases prefer the healthiest
+ * idle device (Normal > Remap > Bypass, lowest index within a tier),
+ * which keeps the choice deterministic. The busy/served/energy
+ * accounting per slot feeds the fleet utilization report.
+ *
+ * Externally synchronized, like SessionDb: the deterministic fleet
+ * engine is the only mutator.
+ */
+
+#ifndef REDEYE_FLEET_DEVICE_POOL_HH
+#define REDEYE_FLEET_DEVICE_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "redeye/column.hh"
+#include "stream/degrade.hh"
+
+namespace redeye {
+namespace fleet {
+
+/** Pool sizing and per-device fault statistics. */
+struct DevicePoolConfig {
+    std::size_t devices = 8;     ///< simulated RedEye devices
+    std::size_t hostWorkers = 8; ///< digital tail servers
+
+    /**
+     * Fraction of devices drawn with a moderate dead-column campaign
+     * (degradation policy answer: Remap + ADC boost).
+     */
+    double faultyFraction = 0.0;
+    double faultyDeadColumns = 0.25; ///< dead rate of a faulty device
+
+    /**
+     * Fraction drawn with catastrophic damage (policy answer:
+     * Bypass). Drawn after faultyFraction from the same stream, so
+     * the two populations are disjoint.
+     */
+    double brickedFraction = 0.0;
+    double brickedDeadColumns = 0.9;
+
+    std::uint64_t seed = 0xdefa17; ///< fault-draw stream base
+
+    /** Array the devices instantiate (probe target). */
+    arch::ColumnArrayConfig array;
+
+    /** Degradation policy applied per device. */
+    stream::DegradationPolicyConfig degrade;
+};
+
+/** One simulated device slot. */
+struct DeviceSlot {
+    std::size_t id = 0;
+    stream::DegradeMode health = stream::DegradeMode::Normal;
+    double deadColumnFraction = 0.0; ///< realized fault severity
+    stream::DegradePlan plan;        ///< probe-derived serving plan
+
+    bool busy = false;
+    std::uint64_t leasedTo = 0; ///< session id of the current lease
+
+    std::uint64_t framesServed = 0;
+    double busyS = 0.0;   ///< accumulated service time
+    double energyJ = 0.0; ///< accumulated analog energy
+};
+
+/** Host (digital tail) worker slot. */
+struct HostSlot {
+    std::size_t id = 0;
+    bool busy = false;
+    std::uint64_t leasedTo = 0;
+    std::uint64_t framesServed = 0;
+    double busyS = 0.0;
+};
+
+/** Shared pool of simulated devices and host workers. */
+class DevicePool
+{
+  public:
+    /**
+     * Build the pool: draw per-device faults, probe and plan each
+     * device through @p plan_cache (created when null).
+     */
+    explicit DevicePool(
+        const DevicePoolConfig &config,
+        std::shared_ptr<stream::DegradePlanCache> plan_cache = nullptr);
+
+    /** True when some device is idle. */
+    bool hasIdleDevice() const { return idleDevices_ > 0; }
+
+    /** True when some host worker is idle. */
+    bool hasIdleHost() const { return idleHosts_ > 0; }
+
+    /**
+     * Lease the healthiest idle device to @p session. Returns the
+     * device index, or -1 when all are busy.
+     */
+    int leaseDevice(std::uint64_t session);
+
+    /** Return device @p index, accounting its service. */
+    void releaseDevice(std::size_t index, double busy_s,
+                       double energy_j);
+
+    /** Lease an idle host worker (lowest index), or -1. */
+    int leaseHost(std::uint64_t session);
+
+    /** Return host worker @p index, accounting its service. */
+    void releaseHost(std::size_t index, double busy_s);
+
+    std::size_t devices() const { return devices_.size(); }
+    std::size_t hosts() const { return hosts_.size(); }
+
+    const DeviceSlot &device(std::size_t i) const;
+    const HostSlot &host(std::size_t i) const;
+
+    /** Devices currently in a given health state. */
+    std::size_t healthCount(stream::DegradeMode mode) const;
+
+    /** Mean busy fraction across devices over @p wall_s. */
+    double deviceUtilization(double wall_s) const;
+
+    /** Mean busy fraction across host workers over @p wall_s. */
+    double hostUtilization(double wall_s) const;
+
+    /** The shared plan cache devices were planned through. */
+    const std::shared_ptr<stream::DegradePlanCache> &
+    planCache() const
+    {
+        return planCache_;
+    }
+
+  private:
+    std::vector<DeviceSlot> devices_;
+    std::vector<HostSlot> hosts_;
+    std::size_t idleDevices_ = 0;
+    std::size_t idleHosts_ = 0;
+    std::shared_ptr<stream::DegradePlanCache> planCache_;
+};
+
+} // namespace fleet
+} // namespace redeye
+
+#endif // REDEYE_FLEET_DEVICE_POOL_HH

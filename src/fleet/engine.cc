@@ -1,0 +1,628 @@
+#include "fleet/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
+#include "models/partition.hh"
+#include "redeye/energy_model.hh"
+#include "redeye/scheduler.hh"
+#include "stream/frame_source.hh"
+#include "stream/vision.hh"
+
+namespace redeye {
+namespace fleet {
+
+namespace {
+
+// Counter-RNG pass salts: one independent stream per decision kind.
+constexpr std::uint64_t kClassPass = 0xc1a55;
+constexpr std::uint64_t kDevicePass = 0x0de7;
+constexpr std::uint64_t kHostPass = 0x09057;
+
+/** Flow-control-only service time of a bypassed device: the frame
+ * transits the array's routing fabric without engaging a module. */
+constexpr double kBypassRouteS = 50e-6;
+
+/** Replay examples per shape class for the content pass. */
+constexpr std::size_t kContentPerClass = 2;
+
+std::vector<ClassedQueueClass>
+queueClasses(const QosTable &qos, std::size_t capacity)
+{
+    std::vector<ClassedQueueClass> classes(kTrafficClasses);
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        classes[c].weight = qos[c].weight;
+        classes[c].reserved = static_cast<std::size_t>(
+            qos[c].reservedShare * static_cast<double>(capacity));
+        classes[c].maxSlots = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   qos[c].maxShare * static_cast<double>(capacity)));
+    }
+    return classes;
+}
+
+/** Pool config with the array pinned to the served network's input. */
+DevicePoolConfig
+poolConfigFor(const FleetConfig &config)
+{
+    DevicePoolConfig pool = config.pool;
+    pool.array.columns = models::kMiniInputSize;
+    return pool;
+}
+
+/** Content frame index: pure function of (session seed, frame). */
+std::uint64_t
+contentKey(std::uint64_t session_seed, std::uint64_t frame)
+{
+    return splitmix64(session_seed ^ splitmix64(frame * kPassSalt));
+}
+
+} // namespace
+
+FleetEngine::FleetEngine(const FleetConfig &config)
+    : config_(config),
+      programCache_(std::make_shared<arch::ProgramCache>()),
+      db_(std::max<std::size_t>(1, config.sessions)),
+      pool_(poolConfigFor(config)),
+      deviceQueue_(std::max<std::size_t>(1, config.queueCapacity),
+                   queueClasses(config.qos, config.queueCapacity)),
+      hostQueue_(std::max<std::size_t>(1, config.queueCapacity),
+                 queueClasses(config.qos, config.queueCapacity))
+{
+    fatal_if(config_.sessions == 0, "fleet needs sessions");
+    fatal_if(config_.framesPerSession == 0, "fleet needs frames");
+    fatal_if(config_.sessionRateHz <= 0.0,
+             "session rate must be positive");
+    buildClassModels();
+}
+
+FleetEngine::~FleetEngine() = default;
+
+void
+FleetEngine::buildClassModels()
+{
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        const QosClassConfig &q = config_.qos[c];
+        ClassModel &m = models_[c];
+
+        // Every class serves the same trained topology (identical
+        // structural hash); only the operating point differs, so the
+        // shared ProgramCache keys exactly one compilation per class.
+        Rng init(0x3317a11);
+        m.net = models::buildMiniGoogLeNet(data::kShapeClasses, init);
+        m.analogLayers = models::miniGoogLeNetAnalogLayers(q.depth);
+
+        m.deviceConfig.adcBits = q.adcBits;
+        m.deviceConfig.convSnrDb = q.convSnrDb;
+        m.deviceConfig.columns = models::kMiniInputSize;
+
+        auto prog = programCache_->compileOrStatus(
+            *m.net, m.analogLayers, m.deviceConfig);
+        fatal_if(!prog.ok(), prog.status().message());
+        m.program = std::move(prog.value());
+
+        const auto schedule =
+            arch::scheduleProgram(*m.program, m.deviceConfig);
+        m.deviceS = schedule.frameLatencyS;
+        m.analogJ = arch::RedEyeModel(*m.program, m.deviceConfig)
+                        .estimateFrame()
+                        .energy.totalJ();
+
+        // The Remap serving point: same cut, ADC boosted the way the
+        // degradation policy programs it (stream/degrade.hh).
+        arch::RedEyeConfig remap_cfg = m.deviceConfig;
+        remap_cfg.adcBits += config_.pool.degrade.adcBoostBits;
+        auto remap = programCache_->compileOrStatus(
+            *m.net, m.analogLayers, remap_cfg);
+        fatal_if(!remap.ok(), remap.status().message());
+        m.remapDeviceS =
+            arch::scheduleProgram(*remap.value(), remap_cfg)
+                .frameLatencyS;
+        m.remapAnalogJ =
+            arch::RedEyeModel(*remap.value(), remap_cfg)
+                .estimateFrame()
+                .energy.totalJ();
+
+        const double full_macs =
+            static_cast<double>(m.net->totalMacs());
+        const double tail_macs = static_cast<double>(
+            models::digitalTailMacs(*m.net, m.analogLayers));
+        sys::JetsonTk1 host(sys::JetsonParams::paper(
+            config_.hostProcessor, full_macs, tail_macs));
+        m.hostTailS = host.executionTimeS(tail_macs);
+        m.hostTailJ = host.executionEnergyJ(tail_macs);
+        m.hostFullS = host.executionTimeS(full_macs);
+        m.hostFullJ = host.executionEnergyJ(full_macs);
+
+        m.sloS = q.sloLatencyS > 0.0
+                     ? q.sloLatencyS
+                     : q.sloMultiplier * (m.deviceS + m.hostTailS);
+    }
+}
+
+double
+FleetEngine::classDeviceS(TrafficClass cls) const
+{
+    return models_[classIndex(cls)].deviceS;
+}
+
+double
+FleetEngine::classHostS(TrafficClass cls) const
+{
+    return models_[classIndex(cls)].hostTailS;
+}
+
+double
+FleetEngine::classSloS(TrafficClass cls) const
+{
+    return models_[classIndex(cls)].sloS;
+}
+
+void
+FleetEngine::schedule(Event event)
+{
+    event.seq = nextSeq_++;
+    events_.push(std::move(event));
+}
+
+void
+FleetEngine::admitSessions()
+{
+    for (std::size_t i = 0; i < config_.sessions; ++i) {
+        const std::uint64_t id = i + 1; // 0 = "no lease" sentinel
+
+        // Class draw against the cumulative mix; the remainder of the
+        // unit interval falls through to the last class.
+        const double u =
+            streamRng(config_.seed, kClassPass, id).uniform();
+        double cum = 0.0;
+        TrafficClass cls = TrafficClass::BestEffort;
+        for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+            cum += config_.mix[c];
+            if (u < cum) {
+                cls = static_cast<TrafficClass>(c);
+                break;
+            }
+        }
+
+        Session s;
+        s.id = id;
+        s.cls = cls;
+        s.seed = splitmix64(config_.seed ^ splitmix64(id));
+        s.arrivals = stream::ArrivalSchedule::poisson(
+            config_.sessionRateHz, s.seed);
+        s.framesToOffer = config_.framesPerSession;
+
+        // Re-deriving the program per session is the content-address
+        // demonstration: one compile per class, N-1 cache hits.
+        ClassModel &m = models_[classIndex(cls)];
+        auto prog = programCache_->compileOrStatus(
+            *m.net, m.analogLayers, m.deviceConfig);
+        fatal_if(!prog.ok(), prog.status().message());
+        s.program = std::move(prog.value());
+
+        if (id <= config_.contentSessions) {
+            s.recordPredictions = true;
+            s.predictions.assign(config_.framesPerSession, -1);
+            s.completedMask.assign(config_.framesPerSession, 0);
+        }
+
+        fatal_if(db_.admit(std::move(s)) == nullptr,
+                 "session admission failed for id ", id);
+
+        Event arrival;
+        arrival.kind = Event::Kind::Arrival;
+        arrival.qf.session = id;
+        arrival.qf.frame = 0;
+        arrival.timeS = db_.find(id)->arrivals.interarrivalS(0);
+        schedule(std::move(arrival));
+    }
+}
+
+void
+FleetEngine::onArrival(const Event &event)
+{
+    const double now = event.timeS;
+    Session *s = db_.find(event.qf.session);
+    fatal_if(s == nullptr, "arrival for unknown session");
+    ++s->stats.offered;
+    s->lastActiveS = now;
+
+    if (event.qf.frame + 1 < s->framesToOffer) {
+        Event next;
+        next.kind = Event::Kind::Arrival;
+        next.qf.session = s->id;
+        next.qf.frame = event.qf.frame + 1;
+        next.timeS = now + s->arrivals.interarrivalS(
+                               event.qf.frame + 1);
+        schedule(std::move(next));
+    }
+
+    QueuedFrame qf;
+    qf.session = s->id;
+    qf.frame = event.qf.frame;
+    qf.arrivalS = now;
+
+    std::optional<QueuedFrame> evicted;
+    std::size_t evicted_class = 0;
+    const ClassedPush outcome =
+        deviceQueue_.push(classIndex(s->cls), std::move(qf),
+                          &evicted, &evicted_class);
+    if (outcome == ClassedPush::Admitted) {
+        ++s->stats.admitted;
+        if (evicted) {
+            Session *victim = db_.find(evicted->session);
+            if (victim)
+                ++victim->stats.shed;
+        }
+    } else {
+        ++s->stats.dropped;
+    }
+
+    dispatchDevices(now);
+}
+
+double
+FleetEngine::deviceServiceS(const DeviceSlot &device,
+                            const QueuedFrame &qf) const
+{
+    const Session *s = db_.find(qf.session);
+    const ClassModel &m = models_[classIndex(s->cls)];
+    switch (device.health) {
+      case stream::DegradeMode::Normal:
+        return m.deviceS;
+      case stream::DegradeMode::Remap:
+        // Column sharing reruns the dead columns' work on healthy
+        // neighbours: time stretches by 1/(1 - deadFraction).
+        return m.remapDeviceS /
+               (1.0 - device.deadColumnFraction);
+      case stream::DegradeMode::Bypass:
+        return kBypassRouteS;
+    }
+    return m.deviceS;
+}
+
+void
+FleetEngine::dispatchDevices(double now_s)
+{
+    while (pool_.hasIdleDevice()) {
+        QueuedFrame qf;
+        std::size_t cls = 0;
+        if (!deviceQueue_.tryPopWeighted(qf, cls))
+            break;
+        const Session *s = db_.find(qf.session);
+        fatal_if(s == nullptr, "queued frame of unknown session");
+        const int dev = pool_.leaseDevice(qf.session);
+        const DeviceSlot &slot = pool_.device(
+            static_cast<std::size_t>(dev));
+        const ClassModel &m = models_[cls];
+
+        double energy = 0.0;
+        switch (slot.health) {
+          case stream::DegradeMode::Normal:
+            energy = m.analogJ;
+            break;
+          case stream::DegradeMode::Remap:
+            energy = m.remapAnalogJ /
+                     (1.0 - slot.deadColumnFraction);
+            break;
+          case stream::DegradeMode::Bypass:
+            qf.bypass = true;
+            break;
+        }
+
+        double service = deviceServiceS(slot, qf);
+        if (config_.serviceJitterSigma > 0.0) {
+            service *= std::exp(
+                config_.serviceJitterSigma *
+                streamRng(s->seed, kDevicePass, qf.frame)
+                    .gaussian());
+        }
+        qf.analogJ = energy;
+
+        Event done;
+        done.kind = Event::Kind::DeviceDone;
+        done.timeS = now_s + service;
+        done.qf = qf;
+        done.resource = dev;
+        done.busyS = service;
+        done.energyJ = energy;
+        schedule(std::move(done));
+    }
+}
+
+void
+FleetEngine::onDeviceDone(const Event &event)
+{
+    const double now = event.timeS;
+    pool_.releaseDevice(static_cast<std::size_t>(event.resource),
+                        event.busyS, event.energyJ);
+
+    Session *s = db_.find(event.qf.session);
+    fatal_if(s == nullptr, "device completion for unknown session");
+
+    QueuedFrame qf = event.qf;
+    std::optional<QueuedFrame> evicted;
+    const ClassedPush outcome = hostQueue_.push(
+        classIndex(s->cls), std::move(qf), &evicted);
+    if (outcome == ClassedPush::Admitted) {
+        if (evicted) {
+            Session *victim = db_.find(evicted->session);
+            if (victim)
+                ++victim->stats.shed;
+        }
+    } else {
+        // Served by the device but no room before the host tier:
+        // the frame dies mid-pipeline, which is a shed, not a drop.
+        ++s->stats.shed;
+    }
+
+    dispatchHosts(now);
+    dispatchDevices(now);
+}
+
+void
+FleetEngine::dispatchHosts(double now_s)
+{
+    while (pool_.hasIdleHost()) {
+        QueuedFrame qf;
+        std::size_t cls = 0;
+        if (!hostQueue_.tryPopWeighted(qf, cls))
+            break;
+        const Session *s = db_.find(qf.session);
+        fatal_if(s == nullptr, "queued frame of unknown session");
+        const int host = pool_.leaseHost(qf.session);
+        const ClassModel &m = models_[cls];
+
+        double service = qf.bypass ? m.hostFullS : m.hostTailS;
+        const double energy = qf.bypass ? m.hostFullJ : m.hostTailJ;
+        if (config_.serviceJitterSigma > 0.0) {
+            service *= std::exp(
+                config_.serviceJitterSigma *
+                streamRng(s->seed, kHostPass, qf.frame).gaussian());
+        }
+
+        Event done;
+        done.kind = Event::Kind::HostDone;
+        done.timeS = now_s + service;
+        done.qf = qf;
+        done.resource = host;
+        done.busyS = service;
+        done.energyJ = energy;
+        schedule(std::move(done));
+    }
+}
+
+void
+FleetEngine::onHostDone(const Event &event)
+{
+    const double now = event.timeS;
+    pool_.releaseHost(static_cast<std::size_t>(event.resource),
+                      event.busyS);
+
+    Session *s = db_.find(event.qf.session);
+    fatal_if(s == nullptr, "host completion for unknown session");
+    const ClassModel &m = models_[classIndex(s->cls)];
+
+    const double latency = now - event.qf.arrivalS;
+    ++s->stats.completed;
+    s->stats.latencyS.add(latency);
+    s->stats.systemJ.add(event.qf.analogJ + event.energyJ);
+    if (latency > m.sloS)
+        ++s->stats.sloViolations;
+    s->lastActiveS = now;
+    lastCompletionS_ = std::max(lastCompletionS_, now);
+
+    if (s->recordPredictions &&
+        event.qf.frame < s->completedMask.size())
+        s->completedMask[event.qf.frame] = 1;
+
+    dispatchHosts(now);
+}
+
+void
+FleetEngine::runContentPass()
+{
+    if (config_.contentSessions == 0)
+        return;
+
+    // Completed frames of flagged sessions, grouped per class so one
+    // pipeline (one operating point) serves each group.
+    struct Item {
+        Session *session;
+        std::uint64_t frame;
+    };
+    std::array<std::vector<Item>, kTrafficClasses> items;
+    for (std::uint64_t id = 1;
+         id <= config_.contentSessions && id <= config_.sessions;
+         ++id) {
+        Session *s = db_.find(id);
+        if (s == nullptr || !s->recordPredictions)
+            continue;
+        for (std::uint64_t f = 0; f < s->completedMask.size(); ++f) {
+            if (s->completedMask[f])
+                items[classIndex(s->cls)].push_back(Item{s, f});
+        }
+    }
+
+    const data::Dataset dataset = stream::makeReplayDataset(
+        kContentPerClass, splitmix64(config_.seed ^ 0xda7a));
+    const std::size_t threads =
+        std::max<std::size_t>(1, config_.contentThreads);
+
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        if (items[c].empty())
+            continue;
+        const QosClassConfig &q = config_.qos[c];
+
+        stream::VisionConfig vc;
+        vc.depth = q.depth;
+        vc.convSnrDb = q.convSnrDb;
+        vc.adcBits = q.adcBits;
+        vc.host =
+            config_.hostProcessor == sys::JetsonProcessor::GPU
+                ? stream::HostTail::JetsonGpu
+                : stream::HostTail::JetsonCpu;
+        const std::vector<stream::StageSpec> stages =
+            stream::makeVisionStages(vc);
+        fatal_if(stages.size() != 3, "unexpected vision stage count");
+
+        const std::vector<Item> &work = items[c];
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+            pool.emplace_back([&, t]() {
+                // Worker replicas key all noise by frame index, so
+                // any thread computes identical content for an item
+                // (the streaming determinism contract, DESIGN.md §7).
+                stream::ShapesReplaySource source(dataset);
+                auto sensor = stages[0].makeWorker(t);
+                auto device = stages[1].makeWorker(t);
+                auto host = stages[2].makeWorker(t);
+                stream::StreamFrame frame;
+                for (std::size_t i = t; i < work.size();
+                     i += threads) {
+                    const Item &item = work[i];
+                    source.fill(contentKey(item.session->seed,
+                                           item.frame),
+                                frame);
+                    sensor(frame);
+                    if (!frame.failed)
+                        device(frame);
+                    if (!frame.failed)
+                        host(frame);
+                    item.session->predictions[item.frame] =
+                        frame.failed ? -1 : frame.predicted;
+                }
+            });
+        }
+        for (std::thread &t : pool)
+            t.join();
+    }
+}
+
+FleetReport
+FleetEngine::buildReport() const
+{
+    FleetReport r;
+    r.makespanS =
+        lastCompletionS_ > 0.0 ? lastCompletionS_ : lastEventS_;
+
+    struct ClassAccum {
+        std::size_t sessions = 0;
+        double energySumJ = 0.0;
+        std::uint64_t energyCount = 0;
+        std::vector<double> shares;
+    };
+    std::array<ClassAccum, kTrafficClasses> accum;
+    std::array<ClassReport, kTrafficClasses> classes;
+
+    db_.forEach([&](const Session &s) {
+        const std::size_t c = classIndex(s.cls);
+        ClassReport &cr = classes[c];
+        ClassAccum &ca = accum[c];
+        ++cr.sessions;
+        cr.offered += s.stats.offered;
+        cr.admitted += s.stats.admitted;
+        cr.dropped += s.stats.dropped;
+        cr.shed += s.stats.shed;
+        cr.completed += s.stats.completed;
+        cr.sloViolations += s.stats.sloViolations;
+        cr.latencyS.merge(s.stats.latencyS);
+        ca.energySumJ += s.stats.systemJ.mean() *
+                         static_cast<double>(s.stats.systemJ.count());
+        ca.energyCount += s.stats.systemJ.count();
+        ca.shares.push_back(
+            static_cast<double>(s.stats.completed));
+    });
+
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        ClassReport &cr = classes[c];
+        cr.cls = static_cast<TrafficClass>(c);
+        cr.sloLatencyS = models_[c].sloS;
+        if (r.makespanS > 0.0)
+            cr.fps = static_cast<double>(cr.completed) /
+                     r.makespanS;
+        if (cr.latencyS.count() > 0) {
+            cr.p50S = cr.latencyS.percentile(50.0);
+            cr.p95S = cr.latencyS.percentile(95.0);
+            cr.p99S = cr.latencyS.percentile(99.0);
+            cr.meanLatencyS = cr.latencyS.mean();
+        }
+        cr.sloAttainment =
+            cr.completed
+                ? 1.0 - static_cast<double>(cr.sloViolations) /
+                            static_cast<double>(cr.completed)
+                : 1.0;
+        cr.meanSystemJ = accum[c].energyCount
+                             ? accum[c].energySumJ /
+                                   static_cast<double>(
+                                       accum[c].energyCount)
+                             : 0.0;
+        cr.fairness = jainIndex(accum[c].shares);
+
+        r.offered += cr.offered;
+        r.admitted += cr.admitted;
+        r.dropped += cr.dropped;
+        r.shed += cr.shed;
+        r.completed += cr.completed;
+        r.classes[c] = std::move(cr);
+    }
+
+    if (r.makespanS > 0.0)
+        r.aggregateFps =
+            static_cast<double>(r.completed) / r.makespanS;
+    r.deviceUtilization = pool_.deviceUtilization(r.makespanS);
+    r.hostUtilization = pool_.hostUtilization(r.makespanS);
+    r.programCacheHits = programCache_->hits();
+    r.programCacheMisses = programCache_->misses();
+    r.planCacheHits = pool_.planCache()->hits();
+    r.planCacheMisses = pool_.planCache()->misses();
+    r.devicesNormal = pool_.healthCount(stream::DegradeMode::Normal);
+    r.devicesRemap = pool_.healthCount(stream::DegradeMode::Remap);
+    r.devicesBypass = pool_.healthCount(stream::DegradeMode::Bypass);
+    r.expiredSessions = expiredSessions_;
+    return r;
+}
+
+FleetReport
+FleetEngine::run()
+{
+    admitSessions();
+
+    while (!events_.empty()) {
+        const Event event = events_.top();
+        events_.pop();
+        lastEventS_ = event.timeS;
+        switch (event.kind) {
+          case Event::Kind::Arrival:
+            onArrival(event);
+            break;
+          case Event::Kind::DeviceDone:
+            onDeviceDone(event);
+            break;
+          case Event::Kind::HostDone:
+            onHostDone(event);
+            break;
+        }
+    }
+
+    runContentPass();
+
+    FleetReport report = buildReport();
+    if (config_.sessionIdleExpireS > 0.0) {
+        expiredSessions_ = db_.expireIdle(config_.sessionIdleExpireS,
+                                          lastEventS_);
+        report.expiredSessions = expiredSessions_;
+    }
+    return report;
+}
+
+} // namespace fleet
+} // namespace redeye

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * FleetEngine: multi-tenant serving of thousands of client streams
+ * on a shared RedEye device pool.
+ *
+ * The engine is a virtual-time discrete-event simulation. Thousands
+ * of concurrent open-loop Poisson clients cannot each run the full
+ * functional pipeline, so service times come from the repo's own
+ * analytic models — the pipelined module schedule for the analog
+ * stage (redeye/scheduler.hh), the affine-in-MACs Jetson model for
+ * the digital tail (system/jetson.hh), the architecture energy model
+ * for per-frame analog energy (redeye/energy_model.hh) — while every
+ * scheduling decision (admission, eviction, weighted-fair dispatch,
+ * per-device degradation) is executed concretely against the shared
+ * SessionDb, ClassedQueues and DevicePool.
+ *
+ * Determinism: the event loop is single-threaded over a min-heap
+ * keyed by (time, sequence), and all randomness (class draws,
+ * arrival gaps, service jitter) comes from counter-based streams
+ * (core/rng.hh) keyed by session and frame — a run is a pure
+ * function of FleetConfig, at any machine parallelism.
+ *
+ * Content execution: the DES never touches pixels, so for the first
+ * `contentSessions` clients the engine additionally *executes* the
+ * real vision pipeline (stream/vision.hh worker closures) for every
+ * frame the simulation completed, recording per-frame predictions.
+ * Frame content is a pure function of (session seed, frame index),
+ * so predictions are bit-identical at any contentThreads count —
+ * the fleet analogue of the streaming runtime's determinism
+ * contract.
+ */
+
+#ifndef REDEYE_FLEET_ENGINE_HH
+#define REDEYE_FLEET_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/classed_queue.hh"
+#include "fleet/device_pool.hh"
+#include "fleet/metrics.hh"
+#include "fleet/qos.hh"
+#include "fleet/session_db.hh"
+#include "nn/network.hh"
+#include "redeye/compiler.hh"
+#include "system/jetson.hh"
+
+namespace redeye {
+namespace fleet {
+
+/** Fleet run parameters. */
+struct FleetConfig {
+    std::size_t sessions = 64;          ///< admitted clients
+    std::uint64_t framesPerSession = 32;
+    double sessionRateHz = 5.0;         ///< per-client Poisson rate
+
+    /** Traffic mix (fractions, classIndex order; need not sum to 1 —
+     * the remainder goes to the last class). */
+    std::array<double, kTrafficClasses> mix = {0.6, 0.3, 0.1};
+
+    std::uint64_t seed = 0xf1ee7;
+
+    DevicePoolConfig pool;      ///< shared serving capacity
+    std::size_t queueCapacity = 64; ///< bound of each shared queue
+    QosTable qos = defaultQosTable();
+
+    /** Digital tail host for every class. */
+    sys::JetsonProcessor hostProcessor = sys::JetsonProcessor::GPU;
+
+    /** Lognormal sigma of multiplicative service-time jitter. */
+    double serviceJitterSigma = 0.1;
+
+    /**
+     * When positive, sessions idle longer than this at the end of the
+     * run are expired from the SessionDb (reported, not counted as
+     * shed).
+     */
+    double sessionIdleExpireS = 0.0;
+
+    /**
+     * The first contentSessions clients also execute the real vision
+     * pipeline for completed frames (predictions recorded on the
+     * session), parallelized over contentThreads.
+     */
+    std::size_t contentSessions = 0;
+    std::size_t contentThreads = 1;
+};
+
+/** Multi-tenant fleet serving engine. */
+class FleetEngine
+{
+  public:
+    explicit FleetEngine(const FleetConfig &config);
+    ~FleetEngine();
+
+    /** Admit all sessions, serve all arrivals, report. */
+    FleetReport run();
+
+    const FleetConfig &config() const { return config_; }
+    const SessionDb &sessions() const { return db_; }
+    SessionDb &sessions() { return db_; }
+    const DevicePool &pool() const { return pool_; }
+    const arch::ProgramCache &programCache() const
+    {
+        return *programCache_;
+    }
+    const stream::DegradePlanCache &planCache() const
+    {
+        return *pool_.planCache();
+    }
+
+    /** Unloaded (healthy-device) analog service time per class. */
+    double classDeviceS(TrafficClass cls) const;
+
+    /** Unloaded digital-tail service time per class. */
+    double classHostS(TrafficClass cls) const;
+
+    /** Effective latency SLO per class (auto-derived when 0). */
+    double classSloS(TrafficClass cls) const;
+
+  private:
+    /** One frame queued between stages. */
+    struct QueuedFrame {
+        std::uint64_t session = 0;
+        std::uint64_t frame = 0;
+        double arrivalS = 0.0;
+        bool bypass = false;   ///< device routed around the array
+        double analogJ = 0.0;  ///< energy realized on the device
+    };
+
+    struct Event {
+        double timeS = 0.0;
+        std::uint64_t seq = 0; ///< FIFO tie-break at equal times
+        enum class Kind { Arrival, DeviceDone, HostDone } kind =
+            Kind::Arrival;
+        QueuedFrame qf;
+        int resource = -1;     ///< device/host slot of a Done event
+        double busyS = 0.0;    ///< service time to account at release
+        double energyJ = 0.0;  ///< analog energy to account at release
+    };
+
+    struct EventAfter {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.timeS != b.timeS)
+                return a.timeS > b.timeS;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Immutable per-class serving model (built at construction). */
+    struct ClassModel {
+        std::unique_ptr<nn::Network> net;
+        std::vector<std::string> analogLayers;
+        std::shared_ptr<const arch::Program> program;
+        arch::RedEyeConfig deviceConfig;
+
+        double deviceS = 0.0;      ///< healthy analog frame time
+        double remapDeviceS = 0.0; ///< ADC-boosted frame time
+        double analogJ = 0.0;      ///< healthy analog frame energy
+        double remapAnalogJ = 0.0; ///< ADC-boosted frame energy
+        double hostTailS = 0.0;    ///< digital tail time
+        double hostTailJ = 0.0;
+        double hostFullS = 0.0;    ///< full network (bypass) time
+        double hostFullJ = 0.0;
+        double sloS = 0.0;         ///< effective latency SLO
+    };
+
+    void buildClassModels();
+    void admitSessions();
+    void schedule(Event event);
+    void onArrival(const Event &event);
+    void onDeviceDone(const Event &event);
+    void onHostDone(const Event &event);
+    void dispatchDevices(double now_s);
+    void dispatchHosts(double now_s);
+    double deviceServiceS(const DeviceSlot &device,
+                          const QueuedFrame &qf) const;
+    void runContentPass();
+    FleetReport buildReport() const;
+
+    FleetConfig config_;
+    std::array<ClassModel, kTrafficClasses> models_;
+    std::shared_ptr<arch::ProgramCache> programCache_;
+    SessionDb db_;
+    DevicePool pool_;
+    ClassedQueue<QueuedFrame> deviceQueue_;
+    ClassedQueue<QueuedFrame> hostQueue_;
+
+    std::priority_queue<Event, std::vector<Event>, EventAfter>
+        events_;
+    std::uint64_t nextSeq_ = 0;
+    double lastCompletionS_ = 0.0;
+    double lastEventS_ = 0.0;
+    std::size_t expiredSessions_ = 0;
+};
+
+} // namespace fleet
+} // namespace redeye
+
+#endif // REDEYE_FLEET_ENGINE_HH

@@ -1,0 +1,71 @@
+#include "fleet/metrics.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace redeye {
+namespace fleet {
+
+double
+jainIndex(const std::vector<double> &shares)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : shares) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (shares.empty() || sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) /
+           (static_cast<double>(shares.size()) * sum_sq);
+}
+
+void
+FleetReport::print(std::ostream &os) const
+{
+    const auto ms = [](double s) { return s * 1e3; };
+
+    os << "fleet: " << completed << "/" << offered
+       << " frames completed in " << std::fixed
+       << std::setprecision(3) << makespanS << " s ("
+       << std::setprecision(1) << aggregateFps << " fps aggregate)\n"
+       << "  dropped " << dropped << "  shed " << shed
+       << "  device util " << std::setprecision(1)
+       << deviceUtilization * 100.0 << "%  host util "
+       << hostUtilization * 100.0 << "%\n"
+       << "  devices: " << devicesNormal << " normal, "
+       << devicesRemap << " remap, " << devicesBypass << " bypass"
+       << "  program cache " << programCacheHits << "h/"
+       << programCacheMisses << "m  plan cache " << planCacheHits
+       << "h/" << planCacheMisses << "m";
+    if (expiredSessions)
+        os << "  expired " << expiredSessions << " idle sessions";
+    os << "\n";
+
+    os << "  " << std::left << std::setw(12) << "class"
+       << std::right << std::setw(9) << "sessions"
+       << std::setw(10) << "offered" << std::setw(10) << "done"
+       << std::setw(8) << "drop" << std::setw(8) << "shed"
+       << std::setw(10) << "fps" << std::setw(10) << "p50ms"
+       << std::setw(10) << "p95ms" << std::setw(10) << "p99ms"
+       << std::setw(9) << "slo%" << std::setw(8) << "jain"
+       << "\n";
+    for (const ClassReport &c : classes) {
+        os << "  " << std::left << std::setw(12)
+           << trafficClassName(c.cls) << std::right << std::setw(9)
+           << c.sessions << std::setw(10) << c.offered
+           << std::setw(10) << c.completed << std::setw(8)
+           << c.dropped << std::setw(8) << c.shed << std::setw(10)
+           << std::setprecision(1) << c.fps << std::setw(10)
+           << std::setprecision(3) << ms(c.p50S) << std::setw(10)
+           << ms(c.p95S) << std::setw(10) << ms(c.p99S)
+           << std::setw(9) << std::setprecision(1)
+           << c.sloAttainment * 100.0 << std::setw(8)
+           << std::setprecision(3) << c.fairness << "\n";
+    }
+    os.unsetf(std::ios::floatfield);
+}
+
+} // namespace fleet
+} // namespace redeye

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fleet-level serving reports.
+ *
+ * All aggregate views derive from the per-session accumulators by
+ * merging: class latency percentiles come from merging the member
+ * sessions' LogHistograms (core/hist.hh), fleet counters from summing
+ * the per-session counters. Nothing here keeps raw samples, so the
+ * report cost is independent of frames served.
+ *
+ * Fairness is Jain's index over per-session completed throughput
+ * within a class: 1.0 when every admitted session of the class got
+ * the same service, approaching 1/n when one session hogged the
+ * pool.
+ */
+
+#ifndef REDEYE_FLEET_METRICS_HH
+#define REDEYE_FLEET_METRICS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/hist.hh"
+#include "fleet/qos.hh"
+#include "fleet/session.hh"
+
+namespace redeye {
+namespace fleet {
+
+/**
+ * Jain's fairness index of @p shares: (sum x)^2 / (n * sum x^2).
+ * 1.0 = perfectly even, 1/n = one share has everything. Returns 1.0
+ * for empty or all-zero input (nothing to be unfair about).
+ */
+double jainIndex(const std::vector<double> &shares);
+
+/** Aggregated serving outcome of one traffic class. */
+struct ClassReport {
+    TrafficClass cls = TrafficClass::BestEffort;
+    std::size_t sessions = 0; ///< sessions admitted in this class
+
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t dropped = 0; ///< rejected at admission
+    std::uint64_t shed = 0;    ///< evicted after admission
+    std::uint64_t completed = 0;
+    std::uint64_t sloViolations = 0;
+
+    double fps = 0.0; ///< completed frames / makespan
+
+    // Percentiles of end-to-end latency, merged across sessions.
+    double p50S = 0.0;
+    double p95S = 0.0;
+    double p99S = 0.0;
+    double meanLatencyS = 0.0;
+
+    double sloLatencyS = 0.0; ///< effective (possibly auto) SLO
+    double sloAttainment = 1.0; ///< completions within the SLO
+
+    double meanSystemJ = 0.0; ///< per-completed-frame energy
+
+    double fairness = 1.0; ///< Jain over per-session throughput
+
+    /** Merged latency histogram (fleet layout). */
+    LogHistogram latencyS = makeLatencyHistogram();
+};
+
+/** Whole-fleet serving outcome. */
+struct FleetReport {
+    double makespanS = 0.0; ///< virtual time of the last completion
+
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+
+    double aggregateFps = 0.0;
+
+    double deviceUtilization = 0.0;
+    double hostUtilization = 0.0;
+
+    // Shared content-addressed cache effectiveness.
+    std::uint64_t programCacheHits = 0;
+    std::uint64_t programCacheMisses = 0;
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+
+    /** Sessions swept by idle expiry after the run. */
+    std::size_t expiredSessions = 0;
+
+    // Device health census.
+    std::size_t devicesNormal = 0;
+    std::size_t devicesRemap = 0;
+    std::size_t devicesBypass = 0;
+
+    std::array<ClassReport, kTrafficClasses> classes{};
+
+    /** Human-readable summary table. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace fleet
+} // namespace redeye
+
+#endif // REDEYE_FLEET_METRICS_HH

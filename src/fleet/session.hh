@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-client session state for fleet serving.
+ *
+ * A Session is everything the fleet must remember about one client
+ * between frames: identity, traffic class, arrival process, handles
+ * into the shared content-addressed caches, and rolling statistics.
+ * Sessions live inside the SessionDb (session_db.hh) which owns
+ * their storage and guarantees pointer stability while admitted.
+ *
+ * The latency statistic is a mergeable LogHistogram (core/hist.hh),
+ * not a sample vector: per-class and fleet-wide percentiles are
+ * computed by merging session histograms, so memory per session is
+ * constant no matter how many frames it serves.
+ */
+
+#ifndef REDEYE_FLEET_SESSION_HH
+#define REDEYE_FLEET_SESSION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hist.hh"
+#include "core/stats.hh"
+#include "fleet/qos.hh"
+#include "redeye/program.hh"
+#include "stream/frame_source.hh"
+
+namespace redeye {
+namespace fleet {
+
+/** Latency histogram layout shared by sessions, classes and fleet
+ * aggregates (must match for merging): 100 us .. 100 s at ~9%
+ * relative resolution. */
+inline constexpr double kLatencyHistLoS = 1e-4;
+inline constexpr double kLatencyHistHiS = 1e2;
+inline constexpr unsigned kLatencyHistPerOctave = 8;
+
+/** A fresh latency histogram with the fleet-wide layout. */
+inline LogHistogram
+makeLatencyHistogram()
+{
+    return LogHistogram(kLatencyHistLoS, kLatencyHistHiS,
+                        kLatencyHistPerOctave);
+}
+
+/** Rolling per-session serving statistics. */
+struct SessionStats {
+    std::uint64_t offered = 0;   ///< frames the client emitted
+    std::uint64_t admitted = 0;  ///< frames past admission control
+    std::uint64_t dropped = 0;   ///< rejected at admission
+    std::uint64_t shed = 0;      ///< evicted after admission
+    std::uint64_t completed = 0; ///< frames served to completion
+    std::uint64_t sloViolations = 0; ///< completions past the SLO
+
+    LogHistogram latencyS = makeLatencyHistogram();
+    RunningStat systemJ; ///< per-completed-frame system energy
+};
+
+/** One admitted client. */
+struct Session {
+    std::uint64_t id = 0;          ///< client identity (db key)
+    TrafficClass cls = TrafficClass::BestEffort;
+    std::uint64_t seed = 0;        ///< base of all per-frame streams
+
+    /** Open-loop arrival process (pure function of frame index). */
+    stream::ArrivalSchedule arrivals;
+
+    std::uint64_t framesToOffer = 0;
+    std::uint64_t nextFrame = 0;   ///< next arrival index
+
+    double admittedS = 0.0;        ///< admission time (virtual s)
+    double lastActiveS = 0.0;      ///< last arrival or completion
+
+    /**
+     * Handle on the session's compiled program in the fleet-shared
+     * ProgramCache: sessions of one class share one immutable
+     * compilation; distinct operating points (per-class fidelity)
+     * key distinct entries.
+     */
+    std::shared_ptr<const arch::Program> program;
+
+    /**
+     * When set, the engine executes the real vision pipeline for
+     * this session's completed frames and records predictions here
+     * (index = frame number, -1 = not completed). Content is a pure
+     * function of (seed, frame index), so it is bit-identical at any
+     * content worker count.
+     */
+    bool recordPredictions = false;
+    std::vector<std::int32_t> predictions;
+    std::vector<std::uint8_t> completedMask;
+
+    SessionStats stats;
+};
+
+} // namespace fleet
+} // namespace redeye
+
+#endif // REDEYE_FLEET_SESSION_HH

@@ -47,11 +47,13 @@ StreamMetrics::recordDropped(std::uint64_t index)
 }
 
 void
-StreamMetrics::recordFailed(std::uint64_t index)
+StreamMetrics::recordFailed(std::uint64_t index, std::size_t stage)
 {
     (void)index;
     std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(stage >= accum_.size(), "stage index out of range");
     ++failed_;
+    ++accum_[stage].failed;
 }
 
 void
@@ -116,6 +118,7 @@ StreamMetrics::report(double wall_s) const
         sr.workers = stages_[i].workers;
         const auto &a = accum_[i];
         sr.processed = a.serviceS.size();
+        sr.failed = a.failed;
         if (!a.serviceS.empty()) {
             RunningStat svc;
             svc.addRange(a.serviceS.begin(), a.serviceS.end());
@@ -163,11 +166,12 @@ StreamReport::print(std::ostream &os) const
     os << "\n";
 
     TablePrinter st("stages");
-    st.setHeader({"stage", "workers", "served", "svc p50", "svc p95",
-                  "svc p99", "queue mean", "queue max"});
+    st.setHeader({"stage", "workers", "served", "failed", "svc p50",
+                  "svc p95", "svc p99", "queue mean", "queue max"});
     for (const StageReport &s : stages) {
         st.addRow({s.name, std::to_string(s.workers),
                    std::to_string(s.processed),
+                   std::to_string(s.failed),
                    units::siFormat(s.serviceP50S, "s"),
                    units::siFormat(s.serviceP95S, "s"),
                    units::siFormat(s.serviceP99S, "s"),

@@ -36,6 +36,8 @@ struct StageReport {
     std::string name;
     std::size_t workers = 0;
     std::uint64_t processed = 0;
+    std::uint64_t failed = 0; ///< frames this stage dropped (failure
+                              ///< surrender or watchdog kill)
     double serviceMeanS = 0.0;
     double serviceP50S = 0.0;
     double serviceP95S = 0.0;
@@ -101,10 +103,13 @@ class StreamMetrics
     void recordDropped(std::uint64_t index);
 
     /**
-     * Frame @p index failed in a stage (the stage surrendered it or
-     * the watchdog declared it dead) and leaves the pipeline.
+     * Frame @p index failed in stage @p stage (the stage surrendered
+     * it or the watchdog declared it dead) and leaves the pipeline.
+     * Counted both run-wide (StreamReport::framesFailed) and against
+     * the stage (StageReport::failed), so serving sweeps can tell
+     * which stage is shedding frames.
      */
-    void recordFailed(std::uint64_t index);
+    void recordFailed(std::uint64_t index, std::size_t stage);
 
     /** Stage @p stage served one frame in @p seconds. */
     void recordService(std::size_t stage, double seconds);
@@ -123,6 +128,7 @@ class StreamMetrics
         std::vector<double> serviceS;
         RunningStat depth;
         std::size_t depthMax = 0;
+        std::uint64_t failed = 0;
     };
 
     mutable std::mutex mutex_;

@@ -192,7 +192,7 @@ StreamRunner::watchdogLoop(StreamMetrics &metrics)
             // Claim the frame; the worker drops it on return. If the
             // worker claimed first the frame just completed in time.
             if (!slot->claimed.exchange(true))
-                metrics.recordFailed(slot->frame.load());
+                metrics.recordFailed(slot->frame.load(), slot->stage);
         }
     }
 }
@@ -247,7 +247,7 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                     continue;
                 }
                 if (frame.failed) {
-                    metrics.recordFailed(frame.index);
+                    metrics.recordFailed(frame.index, stage);
                     recycleFrame(std::move(frame));
                     continue; // the stage surrendered the frame
                 }
@@ -294,8 +294,16 @@ StreamRunner::runImpl()
         infos.push_back(StageInfo{s.name, s.workers});
         total_workers += s.workers;
     }
-    for (std::size_t i = 0; i + 1 < total_workers; ++i)
-        slots_.push_back(std::make_unique<WorkerSlot>());
+    // One slot per stage worker, in stage order (matching the chunk
+    // assignment below); the stage index lets the watchdog attribute
+    // a killed frame to the stage that wedged on it.
+    for (std::size_t stage = 0; stage < stages_.size(); ++stage) {
+        for (std::size_t w = 0; w < stages_[stage].workers; ++w) {
+            auto slot = std::make_unique<WorkerSlot>();
+            slot->stage = stage;
+            slots_.push_back(std::move(slot));
+        }
+    }
     // The recycling pool must hold every frame that can be in flight
     // at once — one per queue slot plus one per worker (including the
     // source) — so recycleFrame() never finds it full.

@@ -163,6 +163,7 @@ class StreamRunner
      * worker wins the frame proceeds normally.
      */
     struct WorkerSlot {
+        std::size_t stage = 0; ///< owning stage (set once at setup)
         std::atomic<std::uint64_t> frame{0};
         std::atomic<std::int64_t> startNs{0};
         std::atomic<bool> active{false};

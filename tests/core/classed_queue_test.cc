@@ -1,0 +1,221 @@
+/** @file Tests for the bounded multi-class weighted-fair queue. */
+
+#include <array>
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/classed_queue.hh"
+
+namespace redeye {
+namespace {
+
+std::vector<ClassedQueueClass>
+threeClasses(std::size_t capacity)
+{
+    // Weights 4:2:1; class 1 keeps 2 slots under eviction; class 2
+    // is uncapped and unreserved (the scavenger).
+    ClassedQueueClass hi{4, 1, capacity};
+    ClassedQueueClass mid{2, 2, capacity};
+    ClassedQueueClass low{1, 0, capacity};
+    return {hi, mid, low};
+}
+
+TEST(ClassedQueueTest, AdmitsUpToCapacity)
+{
+    ClassedQueue<int> q(4, threeClasses(4));
+    // Two class-1 items (its reserved floor) and two class-0 items
+    // fill the queue without any class hitting its own cap.
+    EXPECT_EQ(q.push(1, 10), ClassedPush::Admitted);
+    EXPECT_EQ(q.push(1, 11), ClassedPush::Admitted);
+    EXPECT_EQ(q.push(0, 1), ClassedPush::Admitted);
+    EXPECT_EQ(q.push(0, 2), ClassedPush::Admitted);
+    EXPECT_EQ(q.size(), 4u);
+    // A class-1 push finds the queue full with nothing evictable
+    // strictly below it (class 2 is empty, class 0 outranks it).
+    EXPECT_EQ(q.push(1, 99), ClassedPush::RejectedFull);
+}
+
+TEST(ClassedQueueTest, ClassCapRejectsBeforeFull)
+{
+    std::vector<ClassedQueueClass> classes = threeClasses(8);
+    classes[2].maxSlots = 2;
+    ClassedQueue<int> q(8, classes);
+    EXPECT_EQ(q.push(2, 1), ClassedPush::Admitted);
+    EXPECT_EQ(q.push(2, 2), ClassedPush::Admitted);
+    EXPECT_EQ(q.push(2, 3), ClassedPush::RejectedClassCap);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.counters(2).rejected, 1u);
+}
+
+TEST(ClassedQueueTest, HighClassEvictsLowestAboveReservation)
+{
+    ClassedQueue<int> q(4, threeClasses(4));
+    // Fill with 2x class 1 (reserved floor 2) and 2x class 2.
+    ASSERT_EQ(q.push(1, 10), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(1, 11), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(2, 20), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(2, 21), ClassedPush::Admitted);
+
+    // Class 0 push evicts the OLDEST class-2 item (not class 1, which
+    // sits at its reserved floor).
+    std::optional<int> evicted;
+    std::size_t victim_class = 0;
+    EXPECT_EQ(q.push(0, 1, &evicted, &victim_class),
+              ClassedPush::Admitted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 20);
+    EXPECT_EQ(victim_class, 2u);
+
+    // Again: the second class-2 item goes.
+    EXPECT_EQ(q.push(0, 2, &evicted, &victim_class),
+              ClassedPush::Admitted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 21);
+
+    // Class 2 is empty and class 1 is at its reservation: no victim.
+    EXPECT_EQ(q.push(0, 3, &evicted), ClassedPush::RejectedFull);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(q.counters(2).evicted, 2u);
+}
+
+TEST(ClassedQueueTest, EvictionSkipsReservedFloor)
+{
+    std::vector<ClassedQueueClass> classes = threeClasses(3);
+    classes[1].reserved = 1;
+    ClassedQueue<int> q(3, classes);
+    ASSERT_EQ(q.push(1, 10), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(1, 11), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(2, 20), ClassedPush::Admitted);
+
+    // Class 2 above its floor (0) is shed before class 1 above its
+    // floor (1): lowest priority first.
+    std::optional<int> evicted;
+    std::size_t victim_class = 9;
+    EXPECT_EQ(q.push(0, 1, &evicted, &victim_class),
+              ClassedPush::Admitted);
+    EXPECT_EQ(victim_class, 2u);
+    // Next eviction must come from class 1 (one above its floor).
+    EXPECT_EQ(q.push(0, 2, &evicted, &victim_class),
+              ClassedPush::Admitted);
+    EXPECT_EQ(victim_class, 1u);
+    EXPECT_EQ(*evicted, 10);
+}
+
+TEST(ClassedQueueTest, WeightedFairServiceProportions)
+{
+    // All classes permanently backlogged: service must follow the
+    // 4:2:1 weights.
+    ClassedQueue<int> q(420, threeClasses(420));
+    for (int i = 0; i < 140; ++i) {
+        ASSERT_EQ(q.push(0, 0), ClassedPush::Admitted);
+        ASSERT_EQ(q.push(1, 1), ClassedPush::Admitted);
+        ASSERT_EQ(q.push(2, 2), ClassedPush::Admitted);
+    }
+    std::array<int, 3> served{0, 0, 0};
+    int out = 0;
+    std::size_t cls = 0;
+    for (int i = 0; i < 140; ++i) {
+        ASSERT_TRUE(q.tryPopWeighted(out, cls));
+        ++served[cls];
+    }
+    // 140 services at weights 4:2:1 -> 80:40:20.
+    EXPECT_NEAR(served[0], 80, 4);
+    EXPECT_NEAR(served[1], 40, 4);
+    EXPECT_NEAR(served[2], 20, 4);
+}
+
+TEST(ClassedQueueTest, WorkConservingWhenClassesIdle)
+{
+    ClassedQueue<int> q(16, threeClasses(16));
+    for (int i = 0; i < 8; ++i)
+        ASSERT_EQ(q.push(2, int{i}), ClassedPush::Admitted);
+    int out = 0;
+    std::size_t cls = 0;
+    // Only the lightest class has traffic: it gets every service.
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.tryPopWeighted(out, cls));
+        EXPECT_EQ(cls, 2u);
+        EXPECT_EQ(out, i); // FIFO within the class
+    }
+    EXPECT_FALSE(q.tryPopWeighted(out, cls));
+}
+
+TEST(ClassedQueueTest, CountersTrackLifecycle)
+{
+    ClassedQueue<int> q(2, threeClasses(2));
+    ASSERT_EQ(q.push(2, 1), ClassedPush::Admitted);
+    ASSERT_EQ(q.push(2, 2), ClassedPush::Admitted);
+    std::optional<int> evicted;
+    ASSERT_EQ(q.push(0, 3, &evicted), ClassedPush::Admitted);
+    int out = 0;
+    std::size_t cls = 0;
+    ASSERT_TRUE(q.tryPopWeighted(out, cls));
+    ASSERT_TRUE(q.tryPopWeighted(out, cls));
+
+    EXPECT_EQ(q.counters(2).pushed, 2u);
+    EXPECT_EQ(q.counters(2).evicted, 1u);
+    EXPECT_EQ(q.counters(2).highWater, 2u);
+    EXPECT_EQ(q.counters(0).pushed, 1u);
+    EXPECT_EQ(q.counters(0).popped + q.counters(2).popped, 2u);
+}
+
+TEST(ClassedQueueTest, CloseDrainsThenReturnsFalse)
+{
+    ClassedQueue<int> q(4, threeClasses(4));
+    ASSERT_EQ(q.push(0, 1), ClassedPush::Admitted);
+    q.close();
+    EXPECT_EQ(q.push(0, 2), ClassedPush::Closed);
+    int out = 0;
+    std::size_t cls = 0;
+    EXPECT_TRUE(q.popWeighted(out, cls));
+    EXPECT_EQ(out, 1);
+    EXPECT_FALSE(q.popWeighted(out, cls));
+}
+
+TEST(ClassedQueueTest, ConcurrentPushPopConserveItems)
+{
+    // MPMC smoke under TSan: producers on every class racing
+    // consumers; admitted items must all be served exactly once.
+    ClassedQueue<int> q(64, threeClasses(64));
+    constexpr int kPerProducer = 400;
+    std::atomic<int> admitted{0};
+    std::atomic<int> served{0};
+
+    std::vector<std::thread> producers;
+    for (std::size_t cls = 0; cls < 3; ++cls) {
+        producers.emplace_back([&, cls]() {
+            for (int i = 0; i < kPerProducer; ++i) {
+                std::optional<int> evicted;
+                const ClassedPush r =
+                    q.push(cls, static_cast<int>(cls) * 1000 + i,
+                           &evicted);
+                if (r == ClassedPush::Admitted)
+                    admitted.fetch_add(1);
+                if (evicted)
+                    served.fetch_add(1); // shed counts as consumed
+            }
+        });
+    }
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < 2; ++t) {
+        consumers.emplace_back([&]() {
+            int out = 0;
+            std::size_t cls = 0;
+            while (q.popWeighted(out, cls))
+                served.fetch_add(1);
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    q.close();
+    for (std::thread &t : consumers)
+        t.join();
+    EXPECT_EQ(admitted.load(), served.load());
+}
+
+} // namespace
+} // namespace redeye

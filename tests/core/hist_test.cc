@@ -1,0 +1,121 @@
+/** @file Tests for the mergeable log-bucketed histogram. */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hist.hh"
+
+namespace redeye {
+namespace {
+
+TEST(LogHistogramTest, ExactMomentsAlongsideBuckets)
+{
+    LogHistogram h(1e-3, 1e3);
+    h.add(0.5);
+    h.add(2.0);
+    h.add(8.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 8.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 2.0 + 8.0) / 3.0);
+}
+
+TEST(LogHistogramTest, PercentileWithinBucketResolution)
+{
+    // 8 buckets/octave bounds relative error by 2^(1/8) - 1 = 9.05%.
+    LogHistogram h(1e-3, 1e3, 8);
+    std::vector<double> samples;
+    for (int i = 1; i <= 1000; ++i) {
+        samples.push_back(1e-2 * i); // 0.01 .. 10, uniform
+        h.add(samples.back());
+    }
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+        const double exact =
+            samples[static_cast<std::size_t>(p / 100.0 *
+                                             (samples.size() - 1))];
+        const double approx = h.percentile(p);
+        EXPECT_NEAR(approx, exact, exact * 0.10)
+            << "p" << p << " exact " << exact << " approx "
+            << approx;
+    }
+}
+
+TEST(LogHistogramTest, PercentileClampsToObservedExtrema)
+{
+    LogHistogram h(1e-3, 1e3);
+    h.add(0.25);
+    h.add(0.75);
+    EXPECT_GE(h.percentile(0.0), 0.25);
+    EXPECT_LE(h.percentile(100.0), 0.75);
+}
+
+TEST(LogHistogramTest, UnderflowAndOverflowAreCounted)
+{
+    LogHistogram h(1.0, 8.0);
+    h.add(1e-6); // below lo -> underflow bucket
+    h.add(1e6);  // above hi -> overflow bucket
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+    EXPECT_DOUBLE_EQ(h.max(), 1e6);
+    // Percentiles stay inside the observed range even for samples
+    // outside the regular buckets.
+    EXPECT_GE(h.percentile(1.0), 1e-6);
+    EXPECT_LE(h.percentile(99.0), 1e6);
+}
+
+TEST(LogHistogramTest, MergeMatchesSingleHistogram)
+{
+    LogHistogram a(1e-4, 1e2), b(1e-4, 1e2), all(1e-4, 1e2);
+    for (int i = 1; i <= 200; ++i) {
+        const double x = 1e-3 * i * i; // spread over several octaves
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    ASSERT_TRUE(a.mergeableWith(b));
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    for (double p : {25.0, 50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+}
+
+TEST(LogHistogramTest, MergeRejectsLayoutMismatch)
+{
+    LogHistogram a(1e-3, 1e3, 8);
+    LogHistogram coarse(1e-3, 1e3, 4);
+    LogHistogram shifted(1e-2, 1e3, 8);
+    EXPECT_FALSE(a.mergeableWith(coarse));
+    EXPECT_FALSE(a.mergeableWith(shifted));
+    EXPECT_EXIT(a.merge(coarse), ::testing::ExitedWithCode(1),
+                "layout");
+}
+
+TEST(LogHistogramTest, ResetClearsEverything)
+{
+    LogHistogram h(1e-3, 1e3);
+    h.add(1.0);
+    h.add(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.add(4.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(LogHistogramTest, RejectsBadLayout)
+{
+    EXPECT_EXIT(LogHistogram(0.0, 1.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(LogHistogram(1.0, 1.0),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(LogHistogram(1e-3, 1e3, 0),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace redeye

@@ -1,0 +1,193 @@
+/** @file Tests for the shared device pool and its health planning. */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/device_pool.hh"
+
+namespace redeye {
+namespace fleet {
+namespace {
+
+DevicePoolConfig
+smallPool(std::size_t devices, std::size_t hosts)
+{
+    DevicePoolConfig c;
+    c.devices = devices;
+    c.hostWorkers = hosts;
+    c.array.columns = 16; // small array keeps probing cheap
+    return c;
+}
+
+TEST(DevicePoolTest, HealthyPoolByDefault)
+{
+    DevicePool pool(smallPool(4, 2));
+    EXPECT_EQ(pool.devices(), 4u);
+    EXPECT_EQ(pool.hosts(), 2u);
+    EXPECT_EQ(pool.healthCount(stream::DegradeMode::Normal), 4u);
+    EXPECT_EQ(pool.healthCount(stream::DegradeMode::Remap), 0u);
+    EXPECT_EQ(pool.healthCount(stream::DegradeMode::Bypass), 0u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(pool.device(i).id, i);
+        EXPECT_FALSE(pool.device(i).busy);
+        EXPECT_DOUBLE_EQ(pool.device(i).deadColumnFraction, 0.0);
+    }
+}
+
+TEST(DevicePoolTest, FaultDrawIsDeterministicAndBanded)
+{
+    DevicePoolConfig cfg = smallPool(8, 2);
+    cfg.faultyFraction = 0.4;
+    cfg.brickedFraction = 0.3;
+
+    DevicePool a(cfg);
+    DevicePool b(cfg);
+    for (std::size_t i = 0; i < cfg.devices; ++i) {
+        EXPECT_EQ(a.device(i).health, b.device(i).health)
+            << "device " << i;
+        EXPECT_DOUBLE_EQ(a.device(i).deadColumnFraction,
+                         b.device(i).deadColumnFraction);
+    }
+    // Every device lands in exactly one band.
+    EXPECT_EQ(a.healthCount(stream::DegradeMode::Normal) +
+                  a.healthCount(stream::DegradeMode::Remap) +
+                  a.healthCount(stream::DegradeMode::Bypass),
+              cfg.devices);
+}
+
+TEST(DevicePoolTest, FaultBandsMapToDegradeModes)
+{
+    // All-faulty (moderate damage) pools plan Remap everywhere; the
+    // remap plan carries the policy's ADC boost.
+    DevicePoolConfig faulty = smallPool(3, 1);
+    faulty.faultyFraction = 1.0;
+    DevicePool remap_pool(faulty);
+    EXPECT_EQ(remap_pool.healthCount(stream::DegradeMode::Remap),
+              3u);
+    EXPECT_GT(remap_pool.device(0).plan.adcBits, 0u);
+    EXPECT_FALSE(remap_pool.device(0).plan.columnMap.empty());
+
+    // All-bricked pools are past the bypass threshold everywhere.
+    DevicePoolConfig bricked = smallPool(3, 1);
+    bricked.brickedFraction = 1.0;
+    DevicePool bypass_pool(bricked);
+    EXPECT_EQ(bypass_pool.healthCount(stream::DegradeMode::Bypass),
+              3u);
+}
+
+TEST(DevicePoolTest, LeasePrefersHealthiestIdleDevice)
+{
+    DevicePoolConfig cfg = smallPool(8, 1);
+    cfg.faultyFraction = 0.4;
+    cfg.brickedFraction = 0.3;
+    DevicePool pool(cfg);
+
+    auto rank = [](stream::DegradeMode m) {
+        return m == stream::DegradeMode::Normal   ? 0
+               : m == stream::DegradeMode::Remap ? 1
+                                                 : 2;
+    };
+
+    // Draining the pool must lease in non-decreasing damage order:
+    // every Normal device before any Remap, every Remap before any
+    // Bypass.
+    int prev_rank = 0;
+    for (std::size_t i = 0; i < cfg.devices; ++i) {
+        ASSERT_TRUE(pool.hasIdleDevice());
+        const int dev = pool.leaseDevice(/*session=*/100 + i);
+        ASSERT_GE(dev, 0);
+        const int r =
+            rank(pool.device(static_cast<std::size_t>(dev)).health);
+        EXPECT_GE(r, prev_rank) << "lease " << i;
+        prev_rank = r;
+        EXPECT_EQ(pool.device(static_cast<std::size_t>(dev)).leasedTo,
+                  100 + i);
+    }
+    EXPECT_FALSE(pool.hasIdleDevice());
+    EXPECT_EQ(pool.leaseDevice(999), -1);
+}
+
+TEST(DevicePoolTest, ReleaseAccountsServiceAndUtilization)
+{
+    DevicePool pool(smallPool(2, 2));
+    const int dev = pool.leaseDevice(7);
+    ASSERT_GE(dev, 0);
+    pool.releaseDevice(static_cast<std::size_t>(dev), 2.0, 0.5);
+
+    const DeviceSlot &slot =
+        pool.device(static_cast<std::size_t>(dev));
+    EXPECT_FALSE(slot.busy);
+    EXPECT_EQ(slot.leasedTo, 0u);
+    EXPECT_EQ(slot.framesServed, 1u);
+    EXPECT_DOUBLE_EQ(slot.busyS, 2.0);
+    EXPECT_DOUBLE_EQ(slot.energyJ, 0.5);
+    // 2 s busy on one of two devices over 4 s of wall time.
+    EXPECT_DOUBLE_EQ(pool.deviceUtilization(4.0), 0.25);
+
+    const int host = pool.leaseHost(7);
+    ASSERT_GE(host, 0);
+    pool.releaseHost(static_cast<std::size_t>(host), 1.0);
+    EXPECT_EQ(pool.host(static_cast<std::size_t>(host)).framesServed,
+              1u);
+    EXPECT_DOUBLE_EQ(pool.hostUtilization(2.0), 0.25);
+}
+
+TEST(DevicePoolTest, HostLeasesExhaustAndRecycle)
+{
+    DevicePool pool(smallPool(1, 2));
+    EXPECT_EQ(pool.leaseHost(1), 0);
+    EXPECT_EQ(pool.leaseHost(2), 1);
+    EXPECT_FALSE(pool.hasIdleHost());
+    EXPECT_EQ(pool.leaseHost(3), -1);
+    pool.releaseHost(0, 0.1);
+    EXPECT_TRUE(pool.hasIdleHost());
+    EXPECT_EQ(pool.leaseHost(3), 0);
+}
+
+TEST(DevicePoolTest, SharedPlanCacheKeysOnePlanPerDevice)
+{
+    auto cache = std::make_shared<stream::DegradePlanCache>();
+    DevicePoolConfig cfg = smallPool(4, 1);
+    cfg.faultyFraction = 1.0;
+
+    DevicePool first(cfg, cache);
+    // Distinct devices are distinct epochs: one plan each.
+    EXPECT_EQ(cache->size(), 4u);
+    EXPECT_EQ(cache->misses(), 4u);
+
+    // A second pool with the identical config re-fetches every plan.
+    DevicePool second(cfg, cache);
+    EXPECT_EQ(cache->size(), 4u);
+    EXPECT_EQ(cache->misses(), 4u);
+    EXPECT_EQ(cache->hits(), 4u);
+    for (std::size_t i = 0; i < cfg.devices; ++i)
+        EXPECT_EQ(first.device(i).health, second.device(i).health);
+}
+
+TEST(DevicePoolTest, RejectsEmptyPools)
+{
+    DevicePoolConfig no_devices = smallPool(1, 1);
+    no_devices.devices = 0;
+    EXPECT_EXIT(DevicePool{no_devices},
+                ::testing::ExitedWithCode(1), "devices");
+
+    DevicePoolConfig no_hosts = smallPool(1, 1);
+    no_hosts.hostWorkers = 0;
+    EXPECT_EXIT(DevicePool{no_hosts}, ::testing::ExitedWithCode(1),
+                "hosts");
+}
+
+TEST(DevicePoolTest, ReleasingIdleSlotIsFatal)
+{
+    DevicePool pool(smallPool(1, 1));
+    EXPECT_EXIT(pool.releaseDevice(0, 0.0, 0.0),
+                ::testing::ExitedWithCode(1), "idle");
+    EXPECT_EXIT(pool.releaseDevice(5, 0.0, 0.0),
+                ::testing::ExitedWithCode(1), "range");
+}
+
+} // namespace
+} // namespace fleet
+} // namespace redeye

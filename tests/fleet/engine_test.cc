@@ -1,0 +1,234 @@
+/** @file Tests for the multi-tenant fleet serving engine. */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/engine.hh"
+
+namespace redeye {
+namespace fleet {
+namespace {
+
+/** A small, comfortably provisioned fleet (DES-only, fast). */
+FleetConfig
+smallFleet()
+{
+    FleetConfig c;
+    c.sessions = 24;
+    c.framesPerSession = 8;
+    c.sessionRateHz = 5.0; // 120 fps offered vs ~400 fps of hosts
+    c.pool.devices = 4;
+    c.pool.hostWorkers = 8;
+    c.queueCapacity = 32;
+    c.seed = 0xbeefcafe;
+    return c;
+}
+
+void
+expectClassReportsEqual(const ClassReport &a, const ClassReport &b)
+{
+    EXPECT_EQ(a.sessions, b.sessions);
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_DOUBLE_EQ(a.fps, b.fps);
+    EXPECT_DOUBLE_EQ(a.p50S, b.p50S);
+    EXPECT_DOUBLE_EQ(a.p95S, b.p95S);
+    EXPECT_DOUBLE_EQ(a.p99S, b.p99S);
+    EXPECT_DOUBLE_EQ(a.meanLatencyS, b.meanLatencyS);
+    EXPECT_DOUBLE_EQ(a.sloAttainment, b.sloAttainment);
+    EXPECT_DOUBLE_EQ(a.meanSystemJ, b.meanSystemJ);
+    EXPECT_DOUBLE_EQ(a.fairness, b.fairness);
+}
+
+TEST(FleetEngineTest, DeterministicAcrossRuns)
+{
+    const FleetConfig cfg = smallFleet();
+    FleetEngine first(cfg);
+    FleetEngine second(cfg);
+    const FleetReport a = first.run();
+    const FleetReport b = second.run();
+
+    EXPECT_DOUBLE_EQ(a.makespanS, b.makespanS);
+    EXPECT_DOUBLE_EQ(a.aggregateFps, b.aggregateFps);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_DOUBLE_EQ(a.deviceUtilization, b.deviceUtilization);
+    EXPECT_DOUBLE_EQ(a.hostUtilization, b.hostUtilization);
+    for (std::size_t c = 0; c < kTrafficClasses; ++c)
+        expectClassReportsEqual(a.classes[c], b.classes[c]);
+}
+
+TEST(FleetEngineTest, ConservationPerClass)
+{
+    FleetEngine engine(smallFleet());
+    const FleetReport r = engine.run();
+
+    std::size_t sessions = 0;
+    for (const ClassReport &cr : r.classes) {
+        // Every offered frame is decided (admitted or dropped), and
+        // every admitted frame is resolved (completed or shed): the
+        // event loop drains fully before reporting.
+        EXPECT_EQ(cr.offered, cr.admitted + cr.dropped);
+        EXPECT_EQ(cr.admitted, cr.completed + cr.shed);
+        sessions += cr.sessions;
+    }
+    EXPECT_EQ(sessions, engine.config().sessions);
+    EXPECT_EQ(r.offered, engine.config().sessions *
+                             engine.config().framesPerSession);
+    EXPECT_EQ(r.offered, r.admitted + r.dropped);
+    EXPECT_EQ(r.admitted, r.completed + r.shed);
+
+    // A comfortably provisioned fleet completes everything.
+    EXPECT_EQ(r.completed, r.offered);
+    EXPECT_EQ(r.shed + r.dropped, 0u);
+    EXPECT_GT(r.makespanS, 0.0);
+    EXPECT_GT(r.aggregateFps, 0.0);
+}
+
+TEST(FleetEngineTest, ProgramCacheCompilesOncePerOperatingPoint)
+{
+    const FleetConfig cfg = smallFleet();
+    FleetEngine engine(cfg);
+    engine.run();
+
+    // Three classes x {class point, remap point} = 6 compilations;
+    // every per-session fetch afterwards is a hit.
+    EXPECT_EQ(engine.programCache().misses(), 6u);
+    EXPECT_EQ(engine.programCache().hits(), cfg.sessions);
+    EXPECT_EQ(engine.programCache().size(), 6u);
+}
+
+TEST(FleetEngineTest, InteractiveHoldsSloUnderOversubscription)
+{
+    FleetConfig cfg;
+    cfg.sessions = 200;
+    cfg.framesPerSession = 6;
+    cfg.sessionRateHz = 50.0; // offered load >> pool capacity
+    cfg.pool.devices = 2;
+    cfg.pool.hostWorkers = 2;
+    cfg.queueCapacity = 16;
+    cfg.seed = 0x0a0b0c;
+
+    FleetEngine engine(cfg);
+    const FleetReport r = engine.run();
+
+    const ClassReport &interactive =
+        r.classes[classIndex(TrafficClass::Interactive)];
+    const ClassReport &best_effort =
+        r.classes[classIndex(TrafficClass::BestEffort)];
+
+    // Oversubscription bites: frames are refused or shed.
+    EXPECT_GT(r.dropped + r.shed, 0u);
+
+    // The QoS contract: INTERACTIVE keeps its latency SLO because
+    // its shallow queue share bounds queueing delay...
+    ASSERT_GT(interactive.completed, 0u);
+    EXPECT_GE(interactive.sloAttainment, 0.99);
+    EXPECT_LT(interactive.p99S,
+              engine.classSloS(TrafficClass::Interactive));
+
+    // ...while BEST_EFFORT soaks the queue and waits far longer.
+    ASSERT_GT(best_effort.completed, 0u);
+    EXPECT_GT(best_effort.p99S, interactive.p99S);
+    EXPECT_GT(best_effort.dropped + best_effort.shed, 0u);
+    EXPECT_LT(engine.classSloS(TrafficClass::Interactive),
+              engine.classSloS(TrafficClass::BestEffort));
+}
+
+TEST(FleetEngineTest, FixedPoolServesMoreClientsMoreFrames)
+{
+    FleetConfig small = smallFleet();
+    small.sessions = 10;
+    small.framesPerSession = 4;
+    FleetConfig big = small;
+    big.sessions = 50;
+
+    FleetEngine small_engine(small);
+    FleetEngine big_engine(big);
+    const FleetReport a = small_engine.run();
+    const FleetReport b = big_engine.run();
+    EXPECT_GT(b.completed, a.completed);
+    // Same pool, more demand: utilization cannot go down.
+    EXPECT_GE(b.hostUtilization, a.hostUtilization);
+}
+
+TEST(FleetEngineTest, FaultyDevicesDegradeButStillServe)
+{
+    FleetConfig cfg = smallFleet();
+    cfg.pool.devices = 4;
+    cfg.pool.faultyFraction = 1.0; // every device remaps
+    FleetEngine engine(cfg);
+    const FleetReport r = engine.run();
+
+    EXPECT_EQ(r.devicesRemap, cfg.pool.devices);
+    EXPECT_EQ(r.devicesNormal, 0u);
+    // One plan per device in the shared cache.
+    EXPECT_EQ(r.planCacheMisses, cfg.pool.devices);
+    // Degraded, not down: the fleet still completes everything.
+    EXPECT_EQ(r.completed, r.offered);
+}
+
+TEST(FleetEngineTest, IdleSessionsExpireAfterRun)
+{
+    FleetConfig cfg = smallFleet();
+    cfg.sessionIdleExpireS = 1e-9;
+    FleetEngine engine(cfg);
+    const FleetReport r = engine.run();
+
+    // With a near-zero idle horizon every session not active at the
+    // final event expires; at least the last finisher survives.
+    EXPECT_GE(r.expiredSessions, 1u);
+    EXPECT_EQ(engine.sessions().size() + r.expiredSessions,
+              cfg.sessions);
+    EXPECT_LT(engine.sessions().size(), cfg.sessions);
+}
+
+TEST(FleetEngineTest, ContentPredictionsMatchAtAnyThreadCount)
+{
+    // The expensive test: the flagged sessions run the real vision
+    // pipeline per completed frame (~1 s/frame), so keep it tiny.
+    FleetConfig cfg;
+    cfg.sessions = 4;
+    cfg.framesPerSession = 2;
+    cfg.sessionRateHz = 5.0;
+    cfg.pool.devices = 2;
+    cfg.pool.hostWorkers = 2;
+    cfg.queueCapacity = 16;
+    cfg.seed = 0x5eed5;
+    cfg.contentSessions = 2;
+
+    cfg.contentThreads = 1;
+    FleetEngine serial(cfg);
+    serial.run();
+
+    cfg.contentThreads = 3;
+    FleetEngine threaded(cfg);
+    threaded.run();
+
+    bool any_prediction = false;
+    for (std::uint64_t id = 1; id <= cfg.contentSessions; ++id) {
+        const Session *a = serial.sessions().find(id);
+        const Session *b = threaded.sessions().find(id);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        ASSERT_EQ(a->predictions.size(), cfg.framesPerSession);
+        EXPECT_EQ(a->completedMask, b->completedMask);
+        EXPECT_EQ(a->predictions, b->predictions)
+            << "session " << id;
+        for (std::int32_t p : a->predictions)
+            any_prediction |= p >= 0;
+    }
+    // The under-loaded fleet completed frames, so content really ran.
+    EXPECT_TRUE(any_prediction);
+}
+
+} // namespace
+} // namespace fleet
+} // namespace redeye

@@ -1,0 +1,69 @@
+/** @file Tests for fleet metrics: Jain fairness and report output. */
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/metrics.hh"
+
+namespace redeye {
+namespace fleet {
+namespace {
+
+TEST(JainIndexTest, PerfectlyEvenSharesScoreOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({5.0, 5.0, 5.0, 5.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({1.0}), 1.0);
+}
+
+TEST(JainIndexTest, OneHogApproachesReciprocalN)
+{
+    // One session took everything: index = 1/n.
+    EXPECT_DOUBLE_EQ(jainIndex({10.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainIndexTest, DegenerateInputsScoreOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, MonotoneInImbalance)
+{
+    const double even = jainIndex({4.0, 4.0, 4.0});
+    const double skewed = jainIndex({8.0, 3.0, 1.0});
+    const double extreme = jainIndex({11.0, 0.5, 0.5});
+    EXPECT_GT(even, skewed);
+    EXPECT_GT(skewed, extreme);
+}
+
+TEST(FleetReportTest, PrintsEveryClassRow)
+{
+    FleetReport r;
+    r.makespanS = 2.0;
+    r.completed = 100;
+    r.aggregateFps = 50.0;
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        r.classes[c].cls = static_cast<TrafficClass>(c);
+        r.classes[c].sessions = 10;
+        r.classes[c].completed = 30;
+    }
+    std::ostringstream os;
+    r.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("interactive"), std::string::npos);
+    EXPECT_NE(text.find("background"), std::string::npos);
+    EXPECT_NE(text.find("best-effort"), std::string::npos);
+    // No sessions expired: the expiry line stays quiet.
+    EXPECT_EQ(text.find("expired"), std::string::npos);
+
+    r.expiredSessions = 3;
+    std::ostringstream os2;
+    r.print(os2);
+    EXPECT_NE(os2.str().find("expired"), std::string::npos);
+}
+
+} // namespace
+} // namespace fleet
+} // namespace redeye

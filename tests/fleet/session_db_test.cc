@@ -1,0 +1,146 @@
+/** @file Tests for the fixed-capacity hash session database. */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/session_db.hh"
+
+namespace redeye {
+namespace fleet {
+namespace {
+
+Session
+makeSession(std::uint64_t id, double last_active = 0.0)
+{
+    Session s;
+    s.id = id;
+    s.lastActiveS = last_active;
+    return s;
+}
+
+TEST(SessionDbTest, AdmitFindEvict)
+{
+    SessionDb db(8);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_EQ(db.capacity(), 8u);
+
+    Session *s = db.admit(makeSession(42));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->id, 42u);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.find(42), s);
+    EXPECT_EQ(db.find(43), nullptr);
+
+    EXPECT_TRUE(db.evict(42));
+    EXPECT_EQ(db.find(42), nullptr);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_FALSE(db.evict(42)); // already gone
+}
+
+TEST(SessionDbTest, RejectsDuplicatesAndOverflow)
+{
+    SessionDb db(2);
+    ASSERT_NE(db.admit(makeSession(1)), nullptr);
+    EXPECT_EQ(db.admit(makeSession(1)), nullptr); // duplicate
+    ASSERT_NE(db.admit(makeSession(2)), nullptr);
+    EXPECT_EQ(db.admit(makeSession(3)), nullptr); // full
+    EXPECT_EQ(db.size(), 2u);
+
+    // Eviction frees a slot for a new admission.
+    EXPECT_TRUE(db.evict(1));
+    EXPECT_NE(db.admit(makeSession(3)), nullptr);
+    EXPECT_NE(db.find(3), nullptr);
+}
+
+TEST(SessionDbTest, PointersStableAcrossChurn)
+{
+    SessionDb db(64);
+    std::vector<Session *> stored;
+    for (std::uint64_t id = 1; id <= 64; ++id)
+        stored.push_back(db.admit(makeSession(id)));
+
+    // Churn half the population; survivors must not move.
+    for (std::uint64_t id = 1; id <= 64; id += 2)
+        EXPECT_TRUE(db.evict(id));
+    for (std::uint64_t id = 101; id <= 132; ++id)
+        ASSERT_NE(db.admit(makeSession(id)), nullptr);
+    for (std::uint64_t id = 2; id <= 64; id += 2) {
+        Session *found = db.find(id);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found, stored[id - 1])
+            << "session " << id << " moved";
+        EXPECT_EQ(found->id, id);
+    }
+}
+
+TEST(SessionDbTest, SequentialIdsSpreadAcrossBuckets)
+{
+    // Sequential client ids are the common case; the hashed bucket
+    // draw must keep chains short (probeSteps counts extra hops).
+    SessionDb db(256);
+    for (std::uint64_t id = 0; id < 256; ++id)
+        ASSERT_NE(db.admit(makeSession(id)), nullptr);
+    for (std::uint64_t id = 0; id < 256; ++id)
+        ASSERT_NE(db.find(id), nullptr);
+    // 512 buckets over 256 sessions: expected chain ~0.5; allow a
+    // generous margin over the 256-find sweep.
+    EXPECT_LT(db.probeSteps(), 256u);
+}
+
+TEST(SessionDbTest, ExpireIdleSweepsOnlyStale)
+{
+    SessionDb db(8);
+    db.admit(makeSession(1, /*last_active=*/1.0));
+    db.admit(makeSession(2, /*last_active=*/5.0));
+    db.admit(makeSession(3, /*last_active=*/9.5));
+
+    // Idle horizon 5 s at t=10: sessions last active at/before t=5
+    // expire.
+    EXPECT_EQ(db.expireIdle(5.0, 10.0), 2u);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.find(1), nullptr);
+    EXPECT_EQ(db.find(2), nullptr);
+    EXPECT_NE(db.find(3), nullptr);
+}
+
+TEST(SessionDbTest, ForEachVisitsExactlyTheLive)
+{
+    SessionDb db(16);
+    for (std::uint64_t id = 1; id <= 10; ++id)
+        db.admit(makeSession(id));
+    db.evict(3);
+    db.evict(7);
+
+    std::set<std::uint64_t> visited;
+    const SessionDb &cdb = db;
+    cdb.forEach([&](const Session &s) { visited.insert(s.id); });
+    EXPECT_EQ(visited.size(), 8u);
+    EXPECT_EQ(visited.count(3), 0u);
+    EXPECT_EQ(visited.count(7), 0u);
+    EXPECT_EQ(visited.count(10), 1u);
+}
+
+TEST(SessionDbTest, EvictionReleasesCacheHandles)
+{
+    SessionDb db(4);
+    Session s = makeSession(9);
+    auto program = std::make_shared<const arch::Program>();
+    s.program = program;
+    ASSERT_NE(db.admit(std::move(s)), nullptr);
+    EXPECT_EQ(program.use_count(), 2);
+    EXPECT_TRUE(db.evict(9));
+    // The db dropped its handle at eviction, not at destruction.
+    EXPECT_EQ(program.use_count(), 1);
+}
+
+TEST(SessionDbTest, RejectsZeroCapacity)
+{
+    EXPECT_EXIT(SessionDb(0), ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+} // namespace
+} // namespace fleet
+} // namespace redeye

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Concurrency tests for the shared content-addressed caches: many
+ * threads hammering one DegradePlanCache / ProgramCache across
+ * distinct keys must agree on every cached value, account every
+ * lookup as exactly one hit or miss, and keep one entry per key.
+ * Run under TSan in CI (thread-sanitizer job).
+ */
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "fault/fault_model.hh"
+#include "models/mini_googlenet.hh"
+#include "redeye/compiler.hh"
+#include "stream/degrade.hh"
+#include "stream/probe.hh"
+
+namespace redeye {
+namespace {
+
+TEST(DegradePlanCacheConcurrencyTest, ThreadsAgreeAcrossEpochs)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kEpochs = 4;
+
+    arch::ColumnArrayConfig array;
+    array.columns = 16;
+    stream::DegradationPolicyConfig policy;
+    policy.enabled = true;
+
+    // A third of the columns dead: every epoch plans a Remap.
+    const fault::FaultModel faults(
+        fault::FaultCampaign::deadColumns(0.3), array.columns);
+
+    stream::DegradePlanCache cache;
+    std::vector<std::vector<const stream::DegradePlan *>> seen(
+        kThreads,
+        std::vector<const stream::DegradePlan *>(kEpochs, nullptr));
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (std::uint64_t e = 0; e < kEpochs; ++e) {
+                const std::uint64_t key =
+                    stream::degradePlanKey(e, array, policy);
+                const stream::DegradePlan &plan =
+                    cache.fetch(key, [&]() {
+                        return stream::planDegradation(
+                            stream::runCalibrationProbe(
+                                array, &faults, e),
+                            array, policy);
+                    });
+                seen[t][e] = &plan;
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    // One entry per epoch, every lookup accounted, and every thread
+    // holds the same stored plan for a given epoch.
+    EXPECT_EQ(cache.size(), kEpochs);
+    EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kEpochs);
+    EXPECT_GE(cache.misses(), kEpochs);
+    for (std::uint64_t e = 0; e < kEpochs; ++e) {
+        ASSERT_NE(seen[0][e], nullptr);
+        EXPECT_EQ(seen[0][e]->mode, stream::DegradeMode::Remap);
+        for (std::size_t t = 1; t < kThreads; ++t)
+            EXPECT_EQ(seen[t][e], seen[0][e])
+                << "thread " << t << " epoch " << e;
+    }
+}
+
+TEST(ProgramCacheConcurrencyTest, ThreadsShareOneCompilePerKey)
+{
+    constexpr std::size_t kThreads = 6;
+    // Distinct structural hashes: the classifier width changes the
+    // network topology, so each entry is a different program key.
+    const std::vector<std::size_t> kClassCounts{4, 6, 8};
+
+    arch::ProgramCache cache;
+    const auto layers = models::miniGoogLeNetAnalogLayers(1);
+    arch::RedEyeConfig config;
+    config.columns = models::kMiniInputSize;
+
+    std::vector<std::vector<std::shared_ptr<const arch::Program>>>
+        seen(kThreads,
+             std::vector<std::shared_ptr<const arch::Program>>(
+                 kClassCounts.size()));
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (std::size_t k = 0; k < kClassCounts.size(); ++k) {
+                // Private replica per thread: identical topology =>
+                // identical structural hash => shared cache entry.
+                Rng init(0x5eed);
+                auto net = models::buildMiniGoogLeNet(
+                    kClassCounts[k], init);
+                auto prog =
+                    cache.compileOrStatus(*net, layers, config);
+                ASSERT_TRUE(prog.ok());
+                seen[t][k] = prog.value();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(cache.size(), kClassCounts.size());
+    EXPECT_EQ(cache.misses(), kClassCounts.size());
+    EXPECT_EQ(cache.hits() + cache.misses(),
+              kThreads * kClassCounts.size());
+    for (std::size_t k = 0; k < kClassCounts.size(); ++k) {
+        ASSERT_NE(seen[0][k], nullptr);
+        for (std::size_t t = 1; t < kThreads; ++t)
+            EXPECT_EQ(seen[t][k].get(), seen[0][k].get())
+                << "thread " << t << " key " << k;
+    }
+    // Distinct keys really are distinct programs.
+    EXPECT_NE(seen[0][0].get(), seen[0][1].get());
+    EXPECT_NE(seen[0][1].get(), seen[0][2].get());
+}
+
+} // namespace
+} // namespace redeye
