@@ -34,6 +34,8 @@
  *   --content N        sessions that also execute real frame content
  *                      (default 0)
  *   --content-threads T  threads for the content pass (default 2)
+ *   --content-batch N  host-tail batch size of the content pass
+ *                      (default 1; predictions are batch-invariant)
  *   --seed S           fleet seed (default 0xf1ee7)
  *   --csv PATH         also write the sweep as CSV
  */
@@ -66,6 +68,7 @@ struct Options {
     double bricked = 0.125;
     std::size_t content = 0;
     std::size_t contentThreads = 2;
+    std::size_t contentBatch = 1;
     std::uint64_t seed = 0xf1ee7;
     std::string csvPath;
 };
@@ -122,6 +125,8 @@ parseOptions(int argc, char **argv)
             opt.content = std::stoul(value());
         } else if (arg == "--content-threads") {
             opt.contentThreads = std::stoul(value());
+        } else if (arg == "--content-batch") {
+            opt.contentBatch = std::stoul(value());
         } else if (arg == "--seed") {
             opt.seed = std::stoull(value(), nullptr, 0);
         } else {
@@ -147,6 +152,7 @@ fleetConfig(const Options &opt, std::size_t clients)
     cfg.queueCapacity = opt.capacity;
     cfg.contentSessions = std::min(opt.content, clients);
     cfg.contentThreads = opt.contentThreads;
+    cfg.contentBatch = opt.contentBatch;
     return cfg;
 }
 
@@ -185,14 +191,18 @@ main(int argc, char **argv)
         for (const fleet::ClassReport &c : report.classes) {
             if (c.sessions == 0)
                 continue;
+            // A class can legitimately complete nothing (total shed
+            // past saturation): its latency distribution is empty,
+            // so show "-" instead of a fake 0s percentile.
+            const bool served = c.completed > 0;
             table.addRow({std::to_string(clients),
                           fleet::trafficClassName(c.cls),
                           std::to_string(c.offered),
                           std::to_string(c.completed),
                           std::to_string(c.dropped),
                           std::to_string(c.shed), fmt(c.fps, 1),
-                          units::siFormat(c.p50S, "s"),
-                          units::siFormat(c.p99S, "s"),
+                          served ? units::siFormat(c.p50S, "s") : "-",
+                          served ? units::siFormat(c.p99S, "s") : "-",
                           fmt(c.sloAttainment * 100.0, 1),
                           fmt(c.fairness, 3)});
             rows.push_back(Row{clients, c, report.deviceUtilization,
@@ -221,6 +231,10 @@ main(int argc, char **argv)
                     "system_j_per_frame", "device_util",
                     "host_util"});
         for (const Row &r : rows) {
+            // Empty cells (not zeros) for the latency columns of a
+            // class that completed nothing: a zero would read as a
+            // perfect percentile in downstream plots.
+            const bool served = r.cls.completed > 0;
             csv.row({std::to_string(r.clients),
                      fleet::trafficClassName(r.cls.cls),
                      std::to_string(r.cls.sessions),
@@ -229,8 +243,10 @@ main(int argc, char **argv)
                      std::to_string(r.cls.dropped),
                      std::to_string(r.cls.shed),
                      std::to_string(r.cls.completed),
-                     fmt(r.cls.fps, 4), fmt(r.cls.p50S, 6),
-                     fmt(r.cls.p95S, 6), fmt(r.cls.p99S, 6),
+                     fmt(r.cls.fps, 4),
+                     served ? fmt(r.cls.p50S, 6) : "",
+                     served ? fmt(r.cls.p95S, 6) : "",
+                     served ? fmt(r.cls.p99S, 6) : "",
                      fmt(r.cls.sloLatencyS, 6),
                      fmt(r.cls.sloAttainment, 4),
                      fmt(r.cls.fairness, 4),

@@ -27,6 +27,7 @@
 #include "core/csv.hh"
 #include "core/exec.hh"
 #include "core/rng.hh"
+#include "core/workspace.hh"
 #include "nn/conv.hh"
 #include "tensor/kernels.hh"
 
@@ -79,6 +80,42 @@ BM_Gemm(benchmark::State &state, GemmShape shape,
     for (auto _ : state) {
         kernels::gemm(a.data(), {shape.m, shape.k}, b.data(),
                       {shape.k, shape.n}, c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    kernels::clearBackendOverride();
+    state.counters["GFLOP/s"] = benchmark::Counter(
+        2.0 * static_cast<double>(shape.m * shape.k * shape.n) * 1e-9,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/**
+ * Context-aware single-product GEMM at a given thread count: the
+ * blocked backend partitions the column dimension into NR slivers
+ * over the pool, packing from Workspace lane arenas. Shapes below
+ * the parallel gate (n < 2 NR or < 128 Kflop) run serially — the
+ * curve shows both the scaling region and the gate. The GFLOP/s
+ * column versus `threads:` is the intra-frame scaling curve of the
+ * parallel-GEMM PR.
+ */
+void
+BM_GemmParallel(benchmark::State &state, GemmShape shape,
+                kernels::Backend backend, std::size_t threads)
+{
+    kernels::setBackend(backend);
+    Rng rng(0xBE7C);
+    std::vector<float> a(shape.m * shape.k), b(shape.k * shape.n),
+        c(shape.m * shape.n);
+    for (float &v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float &v : b)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    ThreadPool pool(threads);
+    Workspace ws(pool.threads());
+    ExecContext ctx(pool);
+    ctx.setWorkspace(&ws);
+    for (auto _ : state) {
+        kernels::gemm(a.data(), {shape.m, shape.k}, b.data(),
+                      {shape.k, shape.n}, c.data(), {}, ctx, 0);
         benchmark::DoNotOptimize(c.data());
     }
     kernels::clearBackendOverride();
@@ -143,6 +180,25 @@ registerAll()
                 ("BM_Gemm/" + std::string(shape.name) + "/" + suffix)
                     .c_str(),
                 BM_Gemm, shape, backend);
+        }
+        // Intra-product scaling: the wide-n shapes that clear the
+        // parallel gate, plus one below-gate shape as the control.
+        for (const GemmShape &shape : kGemmShapes) {
+            if (std::string(shape.name) != "conv1_5x5" &&
+                std::string(shape.name) != "conv2_3x3" &&
+                std::string(shape.name) != "inception_b_3x3")
+                continue;
+            for (std::size_t threads :
+                 {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                  std::size_t{8}}) {
+                benchmark::RegisterBenchmark(
+                    ("BM_GemmParallel/" + std::string(shape.name) +
+                     "/" + suffix +
+                     "/threads:" + std::to_string(threads))
+                        .c_str(),
+                    BM_GemmParallel, shape, backend, threads)
+                    ->UseRealTime();
+            }
         }
         for (const ConvShape &shape : kConvShapes) {
             for (std::size_t threads : {std::size_t{1},

@@ -28,6 +28,14 @@
  *                     every frame takes the analog-bypass route.
  *                     Isolates the digital hot path (sensor + full
  *                     network forward) from the analog simulation.
+ *   --batch N         host-stage dynamic batch bound (default 1 =
+ *                     unbatched); the host worker coalesces up to N
+ *                     queued frames into one batched tail forward
+ *   --batch-wait S    latency budget in seconds a partial batch may
+ *                     wait for more frames (default 0.002; only
+ *                     meaningful with --batch > 1)
+ *   --host-threads T  threads of the host worker's private pool for
+ *                     intra-frame parallel GEMM (default 1)
  *   --csv PATH        also write the sweep as CSV
  */
 
@@ -59,6 +67,9 @@ struct Options {
     unsigned depth = 1;
     std::size_t perClass = 4;
     bool bypass = false;
+    std::size_t batch = 1;
+    double batchWaitS = 0.002;
+    std::size_t hostThreads = 1;
     std::string csvPath;
 };
 
@@ -116,6 +127,12 @@ parseOptions(int argc, char **argv)
             opt.perClass = std::stoul(value());
         } else if (arg == "--bypass") {
             opt.bypass = true;
+        } else if (arg == "--batch") {
+            opt.batch = std::stoul(value());
+        } else if (arg == "--batch-wait") {
+            opt.batchWaitS = std::stod(value());
+        } else if (arg == "--host-threads") {
+            opt.hostThreads = std::stoul(value());
         } else {
             fatal("unknown flag '", arg, "'");
         }
@@ -129,6 +146,9 @@ visionConfig(const Options &opt, std::size_t device_workers)
     stream::VisionConfig cfg;
     cfg.depth = opt.depth;
     cfg.deviceWorkers = device_workers;
+    cfg.hostBatch = opt.batch;
+    cfg.hostBatchWaitS = opt.batchWaitS;
+    cfg.hostThreads = opt.hostThreads;
     if (opt.bypass) {
         // Kill every column and let the degradation policy route all
         // frames around the analog stage. One probe epoch covers the
@@ -186,12 +206,19 @@ main(int argc, char **argv)
               << opt.capacity << ", " << opt.frames
               << " frames per point"
               << (opt.bypass ? ", analog bypass (digital path)" : "")
-              << "\n\n";
+              << "\n";
+    if (opt.batch > 1 || opt.hostThreads > 1)
+        std::cout << "host stage: batch <= " << opt.batch
+                  << ", batch wait " << fmt(opt.batchWaitS * 1e3, 2)
+                  << " ms, " << opt.hostThreads
+                  << " GEMM thread(s)\n";
+    std::cout << "\n";
 
     TablePrinter table("saturation sweep");
     table.setHeader({"device workers", "arrival fps", "offered fps",
                      "sustained fps", "dropped", "latency p50",
-                     "latency p95", "latency p99", "system E/frame"});
+                     "latency p95", "latency p99", "batch mean",
+                     "system E/frame"});
 
     std::vector<Point> points;
     for (std::size_t workers : opt.threads) {
@@ -215,6 +242,7 @@ main(int argc, char **argv)
     std::cout << "\n";
 
     for (const Point &p : points) {
+        const stream::StageReport &host = p.report.stages.back();
         table.addRow(
             {std::to_string(p.threads), fmt(p.arrivalFps, 2),
              fmt(p.report.offeredFps, 2),
@@ -223,6 +251,7 @@ main(int argc, char **argv)
              units::siFormat(p.report.latencyP50S, "s"),
              units::siFormat(p.report.latencyP95S, "s"),
              units::siFormat(p.report.latencyP99S, "s"),
+             host.batches ? fmt(host.batchMean, 2) : "-",
              units::siFormat(p.report.systemEnergyMeanJ, "J")});
     }
     table.print(std::cout);
@@ -242,7 +271,11 @@ main(int argc, char **argv)
             "sustained_fps",  "admitted",      "dropped",
             "failed",         "completed",     "latency_p50_s",
             "latency_p95_s",  "latency_p99_s", "analog_j_per_frame",
-            "system_j_per_frame"};
+            "system_j_per_frame",
+            // Host-stage batching/threading columns: empty batch
+            // cells when the stage ran unbatched.
+            "host_threads",   "host_batch",    "host_batches",
+            "host_batch_mean", "host_batch_max"};
         for (const auto &stage : points.front().report.stages)
             header.push_back("failed_" + stage.name);
         csv.header(header);
@@ -260,6 +293,14 @@ main(int argc, char **argv)
                 fmt(p.report.latencyP99S, 6),
                 fmt(p.report.analogEnergyMeanJ, 9),
                 fmt(p.report.systemEnergyMeanJ, 9)};
+            const stream::StageReport &host = p.report.stages.back();
+            row.push_back(std::to_string(opt.hostThreads));
+            row.push_back(std::to_string(opt.batch));
+            row.push_back(std::to_string(host.batches));
+            row.push_back(host.batches ? fmt(host.batchMean, 3) : "");
+            row.push_back(host.batches
+                              ? std::to_string(host.batchMax)
+                              : "");
             for (const auto &stage : p.report.stages)
                 row.push_back(std::to_string(stage.failed));
             csv.row(row);

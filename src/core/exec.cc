@@ -8,8 +8,8 @@ namespace redeye {
 
 namespace {
 
-/** Set while the current thread executes chunks for some pool. */
-thread_local bool t_inside_worker = false;
+/** Pool whose chunk the current thread is executing, if any. */
+thread_local const ThreadPool *t_executing_pool = nullptr;
 
 } // namespace
 
@@ -35,7 +35,13 @@ ThreadPool::~ThreadPool()
 bool
 ThreadPool::insideWorker()
 {
-    return t_inside_worker;
+    return t_executing_pool != nullptr;
+}
+
+const ThreadPool *
+ThreadPool::executingPool()
+{
+    return t_executing_pool;
 }
 
 void
@@ -47,11 +53,15 @@ ThreadPool::executeChunks(std::unique_lock<std::mutex> &lock)
         const std::size_t chunk = nextChunk_++;
         const auto fn = fn_;
         lock.unlock();
-        t_inside_worker = true;
+        // Save/restore so a chunk that runs another pool's loop (and
+        // executes some of its chunks on this thread) is still seen
+        // as "inside" this pool once that loop returns.
+        const ThreadPool *enclosing = t_executing_pool;
+        t_executing_pool = this;
         try {
             fn(chunk);
         } catch (...) {
-            t_inside_worker = false;
+            t_executing_pool = enclosing;
             lock.lock();
             if (!error_)
                 error_ = std::current_exception();
@@ -59,7 +69,7 @@ ThreadPool::executeChunks(std::unique_lock<std::mutex> &lock)
                 done_.notify_all();
             continue;
         }
-        t_inside_worker = false;
+        t_executing_pool = enclosing;
         lock.lock();
         if (--pending_ == 0)
             done_.notify_all();
@@ -86,9 +96,12 @@ ThreadPool::run(std::size_t chunks, FunctionRef<void(std::size_t)> fn)
 {
     if (chunks == 0)
         return;
-    if (threads_ == 1 || chunks == 1 || insideWorker()) {
-        // Serial pool, single chunk, or a nested run() from inside a
-        // chunk: execute inline.
+    if (threads_ == 1 || chunks == 1 || executingPool() == this) {
+        // Serial pool, single chunk, or a nested run() from inside
+        // one of this pool's own chunks: execute inline. A run()
+        // issued from a *different* pool's chunk dispatches normally
+        // (the two pools' workers are disjoint, so there is no
+        // deadlock), which lets nested runtimes compose.
         for (std::size_t c = 0; c < chunks; ++c)
             fn(c);
         return;

@@ -72,8 +72,18 @@ class ThreadPool
      */
     void run(std::size_t chunks, FunctionRef<void(std::size_t)> fn);
 
-    /** True when the calling thread is one of this pool's workers. */
+    /** True when the calling thread is executing a chunk of any pool. */
     static bool insideWorker();
+
+    /**
+     * Pool whose chunk the calling thread is currently executing, or
+     * nullptr. A nested run() targeting the *same* pool executes
+     * inline (its workers may all be busy on the enclosing loop), but
+     * a run() targeting a *different* pool dispatches normally — this
+     * is what lets a pipeline-stage worker (a chunk of the runner's
+     * pool) fan a frame's GEMMs out across its own private pool.
+     */
+    static const ThreadPool *executingPool();
 
   private:
     void workerLoop();

@@ -99,6 +99,12 @@ LogHistogram::bucketCount(std::size_t i) const
 }
 
 double
+LogHistogram::percentileOr(double p, double fallback) const
+{
+    return count_ ? percentile(p) : fallback;
+}
+
+double
 LogHistogram::percentile(double p) const
 {
     fatal_if(count_ == 0, "percentile of an empty histogram");

@@ -65,6 +65,15 @@ class LogHistogram
      */
     double percentile(double p) const;
 
+    /**
+     * percentile() that tolerates an empty histogram: returns
+     * @p fallback instead of fataling when no samples were folded.
+     * The serving-report path uses this for QoS classes that
+     * completed zero frames under total shed — a legitimate outcome
+     * of an overload sweep, not an internal error.
+     */
+    double percentileOr(double p, double fallback = 0.0) const;
+
     /** Samples folded so far. */
     std::uint64_t count() const { return count_; }
 

@@ -461,10 +461,14 @@ FleetEngine::runContentPass()
             continue;
         const QosClassConfig &q = config_.qos[c];
 
+        const std::size_t host_batch =
+            std::max<std::size_t>(1, config_.contentBatch);
+
         stream::VisionConfig vc;
         vc.depth = q.depth;
         vc.convSnrDb = q.convSnrDb;
         vc.adcBits = q.adcBits;
+        vc.hostBatch = host_batch;
         vc.host =
             config_.hostProcessor == sys::JetsonProcessor::GPU
                 ? stream::HostTail::JetsonGpu
@@ -484,7 +488,38 @@ FleetEngine::runContentPass()
                 stream::ShapesReplaySource source(dataset);
                 auto sensor = stages[0].makeWorker(t);
                 auto device = stages[1].makeWorker(t);
-                auto host = stages[2].makeWorker(t);
+                // The host tail is served through the same dynamic
+                // batching path the streaming runtime uses: frames
+                // that survive sensor+device accumulate into a block
+                // and one batched tail forward classifies them all.
+                // With contentBatch == 1 this degenerates to the
+                // historical per-frame calls.
+                auto host_one = stages[2].makeWorker
+                                    ? stages[2].makeWorker(t)
+                                    : nullptr;
+                auto host_many = stages[2].makeBatchWorker
+                                     ? stages[2].makeBatchWorker(t)
+                                     : nullptr;
+
+                std::vector<stream::StreamFrame> block;
+                std::vector<const Item *> block_items;
+                block.reserve(host_batch);
+                block_items.reserve(host_batch);
+                auto flush = [&]() {
+                    if (block.empty())
+                        return;
+                    host_many(block);
+                    for (std::size_t j = 0; j < block.size(); ++j) {
+                        block_items[j]
+                            ->session->predictions[block_items[j]
+                                                       ->frame] =
+                            block[j].failed ? -1
+                                            : block[j].predicted;
+                    }
+                    block.clear();
+                    block_items.clear();
+                };
+
                 stream::StreamFrame frame;
                 for (std::size_t i = t; i < work.size();
                      i += threads) {
@@ -495,11 +530,24 @@ FleetEngine::runContentPass()
                     sensor(frame);
                     if (!frame.failed)
                         device(frame);
-                    if (!frame.failed)
-                        host(frame);
+                    if (frame.failed) {
+                        item.session->predictions[item.frame] = -1;
+                        frame.failed = false;
+                        continue;
+                    }
+                    if (host_many) {
+                        block_items.push_back(&item);
+                        block.push_back(std::move(frame));
+                        if (block.size() == host_batch)
+                            flush();
+                        continue;
+                    }
+                    host_one(frame);
                     item.session->predictions[item.frame] =
                         frame.failed ? -1 : frame.predicted;
                 }
+                if (host_many)
+                    flush();
             });
         }
         for (std::thread &t : pool)
@@ -549,12 +597,14 @@ FleetEngine::buildReport() const
         if (r.makespanS > 0.0)
             cr.fps = static_cast<double>(cr.completed) /
                      r.makespanS;
-        if (cr.latencyS.count() > 0) {
-            cr.p50S = cr.latencyS.percentile(50.0);
-            cr.p95S = cr.latencyS.percentile(95.0);
-            cr.p99S = cr.latencyS.percentile(99.0);
-            cr.meanLatencyS = cr.latencyS.mean();
-        }
+        // percentileOr: a class can complete zero frames under total
+        // shed, which leaves its latency histogram empty — report
+        // zeros instead of fataling (exporters render them as empty
+        // cells).
+        cr.p50S = cr.latencyS.percentileOr(50.0);
+        cr.p95S = cr.latencyS.percentileOr(95.0);
+        cr.p99S = cr.latencyS.percentileOr(99.0);
+        cr.meanLatencyS = cr.latencyS.mean();
         cr.sloAttainment =
             cr.completed
                 ? 1.0 - static_cast<double>(cr.sloViolations) /

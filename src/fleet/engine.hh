@@ -87,6 +87,15 @@ struct FleetConfig {
      */
     std::size_t contentSessions = 0;
     std::size_t contentThreads = 1;
+
+    /**
+     * Host-tail batch size of the content pass: each content worker
+     * coalesces up to this many surviving frames into one batched
+     * tail forward (stream::VisionConfig::hostBatch). Predictions
+     * are bit-identical at any setting — batch membership never
+     * leaks across items — so this is purely a throughput knob.
+     */
+    std::size_t contentBatch = 1;
 };
 
 /** Multi-tenant fleet serving engine. */

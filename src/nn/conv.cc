@@ -85,43 +85,106 @@ ConvolutionLayer::forward(const std::vector<const Tensor *> &in,
     const std::size_t k = in_cg * params_.kernelH * params_.kernelW;
     const std::size_t ohw = os.h * os.w;
 
-    // Batch items are independent: each chunk lowers its items with a
-    // private column buffer — drawn from the lane's workspace arena
-    // when one is attached, so steady-state frames allocate nothing —
-    // and writes a disjoint output range.
     Workspace *ws = ctx.workspace();
-    parallelForChunks(ctx, is.n, [&](std::size_t n0, std::size_t n1,
-                                     std::size_t lane) {
-        std::optional<ArenaScope> scope;
-        std::vector<float> local;
-        float *cols;
-        if (ws) {
-            Arena &arena = ws->arena(lane);
-            scope.emplace(arena);
-            cols = arena.alloc<float>(k * ohw);
-        } else {
-            local.resize(k * ohw);
-            cols = local.data();
+    if (ws != nullptr && is.n > 1) {
+        // Batched lowering: with a workspace attached, lower the
+        // whole batch into one arena buffer in a single parallel
+        // pass, then issue one batched GEMM whose work units are
+        // (item, group, column-range) triples — the primitive the
+        // stream tail's dynamic batching bottoms out in. Bits match
+        // the per-item path exactly: im2col is pure data movement,
+        // and per-column GEMM accumulation chains are invariant
+        // under any partition of the column space (DESIGN.md §12).
+        const std::size_t col_elems = k * ohw;
+        const std::size_t units = is.n * groups;
+        Arena &arena = ws->arena(0);
+        ArenaScope scope(arena);
+        // Reserve the GEMM pack footprint too: lane 0 may also pack
+        // panels inside gemmBatch, and growing the arena then would
+        // invalidate `cols` while other lanes read it.
+        arena.reserve(arena.used() +
+                      (units * col_elems + kernels::gemmPackFloats() +
+                       4) * sizeof(float));
+        float *cols = arena.alloc<float>(units * col_elems);
+        parallelFor(ctx, units, [&](std::size_t u) {
+            const std::size_t n = u / groups;
+            const std::size_t g = u % groups;
+            const float *img = x.data() + is.index(n, g * in_cg, 0, 0);
+            kernels::im2col(img, in_cg, is.h, is.w, window_,
+                            cols + u * col_elems);
+        });
+        probs_.resize(units);
+        for (std::size_t u = 0; u < units; ++u) {
+            const std::size_t n = u / groups;
+            const std::size_t g = u % groups;
+            probs_[u].a = weights_.data() + g * out_cg * k;
+            probs_[u].b = cols + u * col_elems;
+            probs_[u].c = out.data() + os.index(n, g * out_cg, 0, 0);
+            probs_[u].bias = params_.bias
+                                 ? biases_.data() + g * out_cg
+                                 : nullptr;
         }
-        for (std::size_t n = n0; n < n1; ++n) {
-            for (std::size_t g = 0; g < groups; ++g) {
-                const float *img = x.data() +
-                                   is.index(n, g * in_cg, 0, 0);
-                kernels::im2col(img, in_cg, is.h, is.w, window_, cols);
-                const float *w = weights_.data() + g * out_cg * k;
-                float *o = out.data() + os.index(n, g * out_cg, 0, 0);
-                // O[out_cg x ohw] = W[out_cg x k] * cols[k x ohw],
-                // with the per-channel bias fused into the epilogue.
-                kernels::gemm(
-                    w, kernels::MatShape{out_cg, k}, cols,
-                    kernels::MatShape{k, ohw}, o,
-                    params_.bias
-                        ? kernels::Epilogue::biasPerRow(
-                              biases_.data() + g * out_cg)
-                        : kernels::Epilogue{});
+        kernels::gemmBatch(
+            probs_.data(), probs_.size(),
+            kernels::MatShape{out_cg, k}, kernels::MatShape{k, ohw},
+            params_.bias
+                ? kernels::Epilogue::biasPerRow(biases_.data())
+                : kernels::Epilogue{},
+            ctx, 0);
+    } else {
+        // Per-item path (single frames, or no workspace): each chunk
+        // lowers its items with a private column buffer — drawn from
+        // the lane's workspace arena when one is attached, so
+        // steady-state frames allocate nothing — and writes a
+        // disjoint output range. For a single item the GEMM itself
+        // parallelizes over the context (intra-frame parallelism);
+        // for multiple chunks the nested call detects the pool and
+        // runs serially on its lane.
+        parallelForChunks(ctx, is.n, [&](std::size_t n0,
+                                         std::size_t n1,
+                                         std::size_t lane) {
+            std::optional<ArenaScope> scope;
+            std::vector<float> local;
+            float *cols;
+            if (ws) {
+                Arena &arena = ws->arena(lane);
+                scope.emplace(arena);
+                // Include the GEMM pack footprint: the nested gemm
+                // packs panels on this lane (or, for a single item,
+                // on every lane), and growth would invalidate
+                // `cols`.
+                arena.reserve(arena.used() +
+                              (k * ohw + kernels::gemmPackFloats() +
+                               4) * sizeof(float));
+                cols = arena.alloc<float>(k * ohw);
+            } else {
+                local.resize(k * ohw);
+                cols = local.data();
             }
-        }
-    });
+            for (std::size_t n = n0; n < n1; ++n) {
+                for (std::size_t g = 0; g < groups; ++g) {
+                    const float *img = x.data() +
+                                       is.index(n, g * in_cg, 0, 0);
+                    kernels::im2col(img, in_cg, is.h, is.w, window_,
+                                    cols);
+                    const float *w = weights_.data() + g * out_cg * k;
+                    float *o = out.data() +
+                               os.index(n, g * out_cg, 0, 0);
+                    // O[out_cg x ohw] = W[out_cg x k] * cols[k x
+                    // ohw], with the per-channel bias fused into the
+                    // epilogue.
+                    kernels::gemm(
+                        w, kernels::MatShape{out_cg, k}, cols,
+                        kernels::MatShape{k, ohw}, o,
+                        params_.bias
+                            ? kernels::Epilogue::biasPerRow(
+                                  biases_.data() + g * out_cg)
+                            : kernels::Epilogue{},
+                        ctx, lane);
+                }
+            }
+        });
+    }
 
     if (clip_)
         out.clamp(-*clip_, *clip_);
@@ -190,10 +253,13 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
         if (ws) {
             Arena &arena = ws->arena(slot);
             scope.emplace(arena);
-            // Reserve the whole footprint up front: growth would
-            // invalidate spans carved earlier in this scope.
+            // Reserve the whole footprint up front — including the
+            // GEMM pack panels the nested kernels carve on this lane
+            // — since growth would invalidate spans carved earlier
+            // in this scope.
             arena.reserve(arena.used() +
-                          (2 * col_elems + img_elems + 4) *
+                          (2 * col_elems + img_elems +
+                           kernels::gemmPackFloats() + 4) *
                               sizeof(float));
             cols = arena.alloc<float>(col_elems);
             col_grad = arena.alloc<float>(col_elems);
@@ -218,7 +284,8 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
                                     kernels::MatShape{out_cg, ohw},
                                     cols,
                                     kernels::MatShape{k, ohw}, dw,
-                                    kernels::Epilogue::accumulateInto());
+                                    kernels::Epilogue::accumulateInto(),
+                                    ctx, slot);
 
                 // dCols[k x ohw] = W^T[k x out_cg] * G[out_cg x ohw].
                 std::fill(col_grad, col_grad + col_elems, 0.0f);
@@ -227,7 +294,8 @@ ConvolutionLayer::backward(const std::vector<const Tensor *> &in,
                                     go,
                                     kernels::MatShape{out_cg, ohw},
                                     col_grad,
-                                    kernels::Epilogue::accumulateInto());
+                                    kernels::Epilogue::accumulateInto(),
+                                    ctx, slot);
 
                 // Scatter into a scratch image (zeroed by col2im),
                 // then accumulate, so that other consumers'

@@ -16,6 +16,7 @@
 
 #include "nn/layer.hh"
 #include "tensor/im2col.hh"
+#include "tensor/kernels.hh"
 
 namespace redeye {
 
@@ -119,6 +120,10 @@ class ConvolutionLayer : public Layer
     // calls so steady-state training iterations reuse capacity.
     std::vector<std::vector<float>> dwSlots_;
     std::vector<std::vector<double>> dbSlots_;
+
+    // (item, group) problem list for the batched-lowering forward
+    // path, kept across calls so steady-state batches reuse capacity.
+    std::vector<kernels::GemmProblem> probs_;
 };
 
 } // namespace nn

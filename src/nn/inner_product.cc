@@ -75,7 +75,7 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
     } else {
         parallelForChunks(ctx, batch, [&](std::size_t n0,
                                           std::size_t n1,
-                                          std::size_t) {
+                                          std::size_t lane) {
             const std::size_t nb = n1 - n0;
             // Out[nb x outputs] = X[nb x inputs] * W^T, bias per
             // column.
@@ -84,7 +84,8 @@ InnerProductLayer::forward(const std::vector<const Tensor *> &in,
                 weights_.data(), kernels::MatShape{outputs_, inputs},
                 out.data() + n0 * outputs_,
                 bias_ ? kernels::Epilogue::biasPerCol(biases_.data())
-                      : kernels::Epilogue{});
+                      : kernels::Epilogue{},
+                ctx, lane);
         });
     }
 }
@@ -130,7 +131,8 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
         kernels::gemmTransA(gc, kernels::MatShape{nb, outputs_}, xc,
                             kernels::MatShape{nb, inputs},
                             dw_acc.data(),
-                            kernels::Epilogue::accumulateInto());
+                            kernels::Epilogue::accumulateInto(), ctx,
+                            slot);
         if (bias_) {
             for (std::size_t n = 0; n < nb; ++n) {
                 const float *go = gc + n * outputs_;
@@ -140,11 +142,13 @@ InnerProductLayer::backward(const std::vector<const Tensor *> &in,
         }
 
         // dX[nb x inputs] += G[nb x outputs] * W[outputs x inputs].
+        // This is the direct-path accumulate combination the
+        // eligibility predicate pins down (kernels.cc).
         kernels::gemm(gc, kernels::MatShape{nb, outputs_},
                       weights_.data(),
                       kernels::MatShape{outputs_, inputs},
                       dx.data() + n0 * inputs,
-                      kernels::Epilogue::accumulateInto());
+                      kernels::Epilogue::accumulateInto(), ctx, slot);
     });
 
     for (std::size_t s = 0; s < slots; ++s) {

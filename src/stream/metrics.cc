@@ -65,6 +65,17 @@ StreamMetrics::recordService(std::size_t stage, double seconds)
 }
 
 void
+StreamMetrics::recordBatch(std::size_t stage, std::size_t frames)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    panic_if(stage >= accum_.size(), "stage index out of range");
+    StageAccum &a = accum_[stage];
+    a.batch.add(static_cast<double>(frames));
+    a.batchMax = std::max(a.batchMax, frames);
+    a.batchFrames += frames;
+}
+
+void
 StreamMetrics::recordQueueDepth(std::size_t stage, std::size_t depth)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -130,6 +141,14 @@ StreamMetrics::report(double wall_s) const
         }
         sr.queueDepthMean = a.depth.mean();
         sr.queueDepthMax = a.depthMax;
+        if (a.batch.count() > 0) {
+            // Batched stage: one service sample per batch, so count
+            // frames from the batch sizes instead.
+            sr.processed = a.batchFrames;
+            sr.batches = a.batch.count();
+            sr.batchMean = a.batch.mean();
+            sr.batchMax = a.batchMax;
+        }
         r.stages.push_back(std::move(sr));
     }
     r.predictions = predictions_;
@@ -167,7 +186,8 @@ StreamReport::print(std::ostream &os) const
 
     TablePrinter st("stages");
     st.setHeader({"stage", "workers", "served", "failed", "svc p50",
-                  "svc p95", "svc p99", "queue mean", "queue max"});
+                  "svc p95", "svc p99", "queue mean", "queue max",
+                  "batch mean", "batch max"});
     for (const StageReport &s : stages) {
         st.addRow({s.name, std::to_string(s.workers),
                    std::to_string(s.processed),
@@ -176,7 +196,9 @@ StreamReport::print(std::ostream &os) const
                    units::siFormat(s.serviceP95S, "s"),
                    units::siFormat(s.serviceP99S, "s"),
                    fmt(s.queueDepthMean, 2),
-                   std::to_string(s.queueDepthMax)});
+                   std::to_string(s.queueDepthMax),
+                   s.batches ? fmt(s.batchMean, 2) : "-",
+                   s.batches ? std::to_string(s.batchMax) : "-"});
     }
     st.print(os);
 }

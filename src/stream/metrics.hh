@@ -45,6 +45,16 @@ struct StageReport {
     double serviceMaxS = 0.0;
     double queueDepthMean = 0.0;
     std::size_t queueDepthMax = 0;
+
+    /**
+     * Dynamic-batching stats: number of coalesced batch invocations
+     * and the frames-per-batch distribution. All zero for per-frame
+     * stages. For a batched stage `processed` still counts frames
+     * (not batches) and the service percentiles are per *batch*.
+     */
+    std::uint64_t batches = 0;
+    double batchMean = 0.0;
+    std::size_t batchMax = 0;
 };
 
 /** Result of one streaming run. */
@@ -114,6 +124,14 @@ class StreamMetrics
     /** Stage @p stage served one frame in @p seconds. */
     void recordService(std::size_t stage, double seconds);
 
+    /**
+     * Stage @p stage coalesced @p frames queued frames into one batch
+     * invocation (dynamic batching). Pairs with one recordService()
+     * call for the batch's wall time; the frame count recorded here
+     * is what keeps StageReport::processed counting frames.
+     */
+    void recordBatch(std::size_t stage, std::size_t frames);
+
     /** Depth of stage @p stage's inbound queue after a pop. */
     void recordQueueDepth(std::size_t stage, std::size_t depth);
 
@@ -129,6 +147,9 @@ class StreamMetrics
         RunningStat depth;
         std::size_t depthMax = 0;
         std::uint64_t failed = 0;
+        RunningStat batch;
+        std::size_t batchMax = 0;
+        std::uint64_t batchFrames = 0;
     };
 
     mutable std::mutex mutex_;

@@ -45,8 +45,16 @@ StreamRunner::StreamRunner(FrameSource &source,
     for (const StageSpec &s : stages_) {
         fatal_if(s.workers == 0, "stage '", s.name,
                  "' needs at least one worker");
-        fatal_if(!s.makeWorker, "stage '", s.name,
-                 "' has no worker factory");
+        fatal_if(!s.makeWorker && !s.makeBatchWorker, "stage '",
+                 s.name, "' has no worker factory");
+        fatal_if(s.makeWorker && s.makeBatchWorker, "stage '", s.name,
+                 "' has both a per-frame and a batch worker factory");
+        fatal_if(s.maxBatch == 0, "stage '", s.name,
+                 "': maxBatch must be positive");
+        fatal_if(s.maxBatch > 1 && !s.makeBatchWorker, "stage '",
+                 s.name, "': maxBatch > 1 needs a batch worker");
+        fatal_if(s.maxBatchWaitS < 0.0, "stage '", s.name,
+                 "': maxBatchWaitS must be non-negative");
     }
 }
 
@@ -201,6 +209,11 @@ void
 StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                         WorkerSlot *slot, StreamMetrics &metrics)
 {
+    if (stages_[stage].makeBatchWorker) {
+        stageBatchLoop(stage, worker, slot, metrics);
+        return;
+    }
+
     std::function<void(StreamFrame &)> fn;
     try {
         fn = stages_[stage].makeWorker(worker);
@@ -276,6 +289,130 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
         out->close();
 }
 
+void
+StreamRunner::stageBatchLoop(std::size_t stage, std::size_t worker,
+                             WorkerSlot *slot, StreamMetrics &metrics)
+{
+    std::function<void(std::vector<StreamFrame> &)> fn;
+    try {
+        fn = stages_[stage].makeBatchWorker(worker);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(errorMutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        abortRun();
+    }
+    markWorkerReady();
+
+    Queue &in = *queues_[stage];
+    Queue *out =
+        stage + 1 < stages_.size() ? queues_[stage + 1].get() : nullptr;
+    const std::size_t max_batch = stages_[stage].maxBatch;
+    const auto wait = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(stages_[stage].maxBatchWaitS));
+
+    if (fn) {
+        std::vector<StreamFrame> batch;
+        batch.reserve(max_batch);
+        StreamFrame frame;
+        try {
+            while (in.pop(frame)) {
+                // clear() retires last batch's (moved-from) frames
+                // but keeps the vector's capacity: the batch path
+                // allocates nothing in steady state.
+                batch.clear();
+                batch.push_back(std::move(frame));
+                // Coalesce: drain what is already queued for free,
+                // then spend the latency budget on stragglers.
+                const auto deadline = Clock::now() + wait;
+                while (batch.size() < max_batch) {
+                    if (in.tryPop(frame)) {
+                        batch.push_back(std::move(frame));
+                        continue;
+                    }
+                    const double left_s = secondsBetween(
+                        Clock::now(), deadline);
+                    if (left_s <= 0.0)
+                        break;
+                    if (in.tryPopFor(frame, left_s) != QueuePop::Ok)
+                        break; // timed out or closed: serve partial
+                    batch.push_back(std::move(frame));
+                }
+                metrics.recordQueueDepth(stage, in.size());
+                metrics.recordBatch(stage, batch.size());
+
+                const auto t0 = Clock::now();
+                if (slot) {
+                    // The watchdog sees the batch as one unit of
+                    // service, published under its oldest frame.
+                    slot->frame.store(batch.front().index);
+                    slot->claimed.store(false);
+                    slot->startNs.store(
+                        t0.time_since_epoch().count());
+                    slot->active.store(true);
+                }
+                fn(batch);
+                bool watchdog_claimed = false;
+                if (slot) {
+                    slot->active.store(false);
+                    watchdog_claimed = slot->claimed.exchange(true);
+                }
+                metrics.recordService(
+                    stage, secondsBetween(t0, Clock::now()));
+
+                // Frames leave the batch individually: the pool,
+                // failure accounting and downstream hand-off see the
+                // same per-frame semantics as an unbatched stage.
+                bool aborted = false;
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    StreamFrame &f = batch[i];
+                    if (watchdog_claimed) {
+                        // The watchdog already counted the published
+                        // (first) frame failed; its batchmates die
+                        // with it and are accounted here.
+                        if (i > 0)
+                            metrics.recordFailed(f.index, stage);
+                        recycleFrame(std::move(f));
+                        continue;
+                    }
+                    if (f.failed) {
+                        metrics.recordFailed(f.index, stage);
+                        recycleFrame(std::move(f));
+                        continue;
+                    }
+                    if (out) {
+                        // push() only moves on success, so a frame
+                        // rejected by an aborted run is recycled.
+                        if (aborted ||
+                            out->push(std::move(f)) != QueuePush::Ok) {
+                            aborted = true;
+                            recycleFrame(std::move(f));
+                        }
+                    } else {
+                        metrics.recordCompleted(f,
+                                                secondsSinceStart());
+                        recycleFrame(std::move(f));
+                    }
+                }
+                if (aborted)
+                    break;
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            abortRun();
+        }
+    }
+
+    if (out && live_[stage]->fetch_sub(1) == 1)
+        out->close();
+}
+
 StreamReport
 StreamRunner::runImpl()
 {
@@ -305,11 +442,15 @@ StreamRunner::runImpl()
         }
     }
     // The recycling pool must hold every frame that can be in flight
-    // at once — one per queue slot plus one per worker (including the
-    // source) — so recycleFrame() never finds it full.
+    // at once — one per queue slot plus every frame a worker can hold
+    // (a whole batch for batching stages, one for the rest, one for
+    // the source) — so recycleFrame() never finds it full.
+    std::size_t held_frames = 1; // the source's in-hand frame
+    for (const StageSpec &s : stages_)
+        held_frames += s.workers * s.maxBatch;
     const std::size_t pool_frames = stages_.size() *
                                         config_.queueCapacity +
-                                    total_workers + 1;
+                                    held_frames + 1;
     pool_ = std::make_unique<Queue>(pool_frames);
     // Pre-warm the pool: materialize every buffer that can be in
     // flight at once, with `features` pre-sized to the image so the

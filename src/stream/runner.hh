@@ -40,6 +40,20 @@
  * first exception is rethrown from run() (tryRun() converts it to a
  * Status instead).
  *
+ * ## Dynamic batching
+ *
+ * A stage built with StageSpec::makeBatchWorker coalesces queued
+ * frames into one worker invocation: the worker blocks for the first
+ * frame, drains whatever else is already queued, then spends at most
+ * StageSpec::maxBatchWaitS waiting for stragglers before serving the
+ * batch (never more than maxBatch frames). The wait knob is the
+ * latency budget: it bounds the extra queueing delay batching can add
+ * to the first frame of a partial batch. Admission policies, the
+ * frame pool and the watchdog all compose with batching — drops still
+ * happen only at admission, every frame of a batch is recycled
+ * individually, and the watchdog treats the batch as one unit of
+ * service (a deadline overrun fails every frame in it).
+ *
  * ## Watchdog
  *
  * With RunnerConfig::stageTimeoutS > 0 a watchdog thread scans the
@@ -84,6 +98,18 @@ const char *admissionPolicyName(AdmissionPolicy policy);
 
 /** One pipeline stage: a name, a worker count, a worker factory. */
 struct StageSpec {
+    StageSpec() = default;
+
+    /** Per-frame stage (the common case). */
+    StageSpec(
+        std::string stage_name, std::size_t worker_count,
+        std::function<std::function<void(StreamFrame &)>(std::size_t)>
+            make_worker)
+        : name(std::move(stage_name)), workers(worker_count),
+          makeWorker(std::move(make_worker))
+    {
+    }
+
     std::string name;
     std::size_t workers = 1;
 
@@ -93,10 +119,38 @@ struct StageSpec {
      * runs. Worker-local state (network replicas, scratch) lives in
      * the returned closure. The function must derive any randomness
      * from the frame index so replicas agree (see the determinism
-     * contract above).
+     * contract above). Exactly one of makeWorker / makeBatchWorker
+     * must be set.
      */
     std::function<std::function<void(StreamFrame &)>(std::size_t)>
         makeWorker;
+
+    /**
+     * Dynamic-batching worker factory (exclusive with makeWorker):
+     * returns a function that serves a whole coalesced batch in one
+     * call (1..maxBatch frames, pipeline order). Frame content must
+     * still be a pure function of each frame's index — in particular
+     * independent of which frames happened to share a batch — so the
+     * determinism contract survives timing-dependent coalescing.
+     */
+    std::function<
+        std::function<void(std::vector<StreamFrame> &)>(std::size_t)>
+        makeBatchWorker;
+
+    /**
+     * Largest number of queued frames one batch invocation may
+     * coalesce. Only meaningful with makeBatchWorker (a batch worker
+     * with maxBatch == 1 degenerates to per-frame serving).
+     */
+    std::size_t maxBatch = 1;
+
+    /**
+     * Latency budget of a partial batch: after popping the first
+     * frame, the worker drains whatever is already queued and then
+     * waits at most this long for more before serving what it has.
+     * 0 = never wait (batch only what is already queued).
+     */
+    double maxBatchWaitS = 0.0;
 };
 
 /** Runner knobs. */
@@ -173,6 +227,8 @@ class StreamRunner
     void sourceLoop(StreamMetrics &metrics);
     void stageLoop(std::size_t stage, std::size_t worker,
                    WorkerSlot *slot, StreamMetrics &metrics);
+    void stageBatchLoop(std::size_t stage, std::size_t worker,
+                        WorkerSlot *slot, StreamMetrics &metrics);
     void watchdogLoop(StreamMetrics &metrics);
 
     /**

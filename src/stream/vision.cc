@@ -19,16 +19,23 @@ namespace stream {
 
 namespace {
 
+/** Index of the largest value in row[0..n). */
+std::int32_t
+argmaxRow(const float *row, std::size_t n)
+{
+    std::int32_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (row[i] > row[best])
+            best = static_cast<std::int32_t>(i);
+    }
+    return best;
+}
+
 /** Index of the largest logit. */
 std::int32_t
 argmax(const Tensor &logits)
 {
-    std::int32_t best = 0;
-    for (std::size_t i = 1; i < logits.size(); ++i) {
-        if (logits[i] > logits[best])
-            best = static_cast<std::int32_t>(i);
-    }
-    return best;
+    return argmaxRow(logits.data(), logits.size());
 }
 
 /** Sensor stage: per-worker sampling-layer replica. */
@@ -150,16 +157,45 @@ struct HostWorker {
     double bypassEnergyJ = 0.0; ///< full digital net, analog bypassed
 
     /**
-     * Serial execution context with a one-lane workspace: the
-     * networks' conv layers draw im2col scratch from the arena, so
-     * after the first frame of a given shape the host stage performs
-     * no heap allocation.
+     * Batched-tail replica pinned to one padded batch size. Network
+     * activation plans reallocate whenever the batch extent changes,
+     * so dynamic batch sizes are rounded up to a small set of
+     * buckets (powers of two, capped at hostBatch) whose replicas
+     * and staging tensors persist across batches — steady-state
+     * batched serving touches the heap exactly never.
      */
-    Workspace workspace{1};
+    struct Bucket {
+        std::size_t size = 0;
+        std::unique_ptr<nn::Network> net;
+        Tensor input; ///< (size, cut) staging buffer
+    };
+    std::vector<Bucket> buckets;
+    std::vector<std::size_t> liveIdx; ///< non-bypassed batch slots
+
+    /**
+     * Execution context for every forward this worker runs. With
+     * hostThreads > 1 it carries a private ThreadPool (plus a
+     * matching multi-lane workspace) that the blocked GEMM backend
+     * fans each tail product out over; the per-pool nesting rule in
+     * core/exec.hh is what lets this worker — itself a chunk of the
+     * runner's pool — dispatch onto its own pool. The networks' conv
+     * layers draw im2col scratch and GEMM pack panels from the
+     * arenas, so after warm-up the host stage performs no heap
+     * allocation at any thread count or batch size.
+     */
+    std::unique_ptr<ThreadPool> pool;
+    Workspace workspace;
     ExecContext ctx;
 
-    explicit HostWorker(const VisionConfig &config) : cfg(config)
+    explicit HostWorker(const VisionConfig &config)
+        : cfg(config),
+          pool(cfg.hostThreads > 1
+                   ? std::make_unique<ThreadPool>(cfg.hostThreads)
+                   : nullptr),
+          workspace(std::max<std::size_t>(cfg.hostThreads, 1))
     {
+        if (pool)
+            ctx = ExecContext(*pool);
         ctx.setWorkspace(&workspace);
         Rng weights(cfg.weightSeed);
         full = models::buildMiniGoogLeNet(cfg.classes, weights);
@@ -173,6 +209,28 @@ struct HostWorker {
         tail = models::buildMiniGoogLeNetTail(cfg.depth, cfg.classes,
                                               cut, tail_init);
         nn::copyWeightsByName(*tail, *full);
+
+        // Batched-tail buckets: powers of two strictly below
+        // hostBatch, then hostBatch itself. Each replica is seeded
+        // exactly like `tail` (then overwritten from `full`), so all
+        // replicas hold identical parameters.
+        if (cfg.hostBatch > 1) {
+            std::size_t sz = 2;
+            for (;; sz *= 2) {
+                const std::size_t b = std::min(sz, cfg.hostBatch);
+                Rng bucket_init(cfg.weightSeed ^ 0x7a11);
+                Bucket bk;
+                bk.size = b;
+                bk.net = models::buildMiniGoogLeNetTail(
+                    cfg.depth, cfg.classes, cut, bucket_init);
+                nn::copyWeightsByName(*bk.net, *full);
+                bk.input = Tensor(Shape(b, cut.c, cut.h, cut.w));
+                buckets.push_back(std::move(bk));
+                if (b == cfg.hostBatch)
+                    break;
+            }
+            liveIdx.reserve(cfg.hostBatch);
+        }
 
         const double tail_macs = static_cast<double>(
             models::digitalTailMacs(*full, analog_layers));
@@ -202,6 +260,33 @@ struct HostWorker {
             break;
           }
         }
+
+        // Pre-warm every replica once: activation plans, arena spans
+        // and GEMM pack panels all materialize here, so the first
+        // real serve at any batch size — which may first form long
+        // after a run's measurement warm-up window — allocates
+        // nothing.
+        Tensor warm(Shape(1, cut.c, cut.h, cut.w));
+        warm.zero();
+        tail->forward(warm, ctx);
+        Tensor warm_full(full->inputShape());
+        warm_full.zero();
+        full->forward(warm_full, ctx);
+        for (Bucket &bk : buckets) {
+            bk.input.zero();
+            bk.net->forward(bk.input, ctx);
+        }
+    }
+
+    /** Smallest bucket holding @p frames items. */
+    Bucket &
+    bucketFor(std::size_t frames)
+    {
+        for (Bucket &bk : buckets) {
+            if (bk.size >= frames)
+                return bk;
+        }
+        panic("host batch exceeds every bucket");
     }
 
     void
@@ -218,6 +303,59 @@ struct HostWorker {
         }
         frame.predicted = argmax(tail->forward(frame.features, ctx));
         frame.systemEnergyJ = frame.analogEnergyJ + hostEnergyJ;
+    }
+
+    /**
+     * Serve a coalesced batch: one tail forward over all the
+     * non-bypassed frames' features, gathered into a bucket's
+     * staging tensor. Every layer in the tail treats batch items
+     * independently, so each frame's logits are bit-identical to the
+     * per-frame path regardless of which frames shared the batch or
+     * how the batch was padded — the runner's determinism contract
+     * survives timing-dependent coalescing.
+     */
+    void
+    processBatch(std::vector<StreamFrame> &frames)
+    {
+        liveIdx.clear();
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            if (frames[i].analogBypassed)
+                process(frames[i]); // rare degradation path: full net
+            else
+                liveIdx.push_back(i);
+        }
+        if (liveIdx.empty())
+            return;
+        if (liveIdx.size() == 1) {
+            process(frames[liveIdx[0]]);
+            return;
+        }
+
+        Bucket &bk = bucketFor(liveIdx.size());
+        const std::size_t slice = bk.input.shape().sliceSize();
+        float *dst = bk.input.data();
+        for (std::size_t r = 0; r < liveIdx.size(); ++r) {
+            const Tensor &src = frames[liveIdx[r]].features;
+            panic_if(src.size() != slice,
+                     "host batch: feature shape mismatch");
+            std::copy(src.data(), src.data() + slice,
+                      dst + r * slice);
+        }
+        // Pad rows replicate row 0: per-item independence keeps the
+        // real rows' logits invariant to the padding, and replaying a
+        // real frame keeps the padded arithmetic free of surprises
+        // (no uninitialized or degenerate inputs).
+        for (std::size_t r = liveIdx.size(); r < bk.size; ++r)
+            std::copy(dst, dst + slice, dst + r * slice);
+
+        const Tensor &logits = bk.net->forward(bk.input, ctx);
+        const std::size_t classes = logits.shape().sliceSize();
+        for (std::size_t r = 0; r < liveIdx.size(); ++r) {
+            StreamFrame &f = frames[liveIdx[r]];
+            f.predicted =
+                argmaxRow(logits.data() + r * classes, classes);
+            f.systemEnergyJ = f.analogEnergyJ + hostEnergyJ;
+        }
     }
 };
 
@@ -245,6 +383,11 @@ makeVisionStages(const VisionConfig &config_in)
     fatal_if(config_in.degrade.enabled &&
                  config_in.degrade.probePeriod == 0,
              "degradation probe period must be >= 1");
+    fatal_if(config_in.hostThreads == 0,
+             "hostThreads must be positive");
+    fatal_if(config_in.hostBatch == 0, "hostBatch must be positive");
+    fatal_if(config_in.hostBatchWaitS < 0.0,
+             "hostBatchWaitS must be non-negative");
 
     // Materialize the shared plan cache here, before the per-worker
     // config copies are captured: every device worker must hold the
@@ -264,11 +407,25 @@ makeVisionStages(const VisionConfig &config_in)
             auto state = std::make_shared<DeviceWorker>(config);
             return [state](StreamFrame &f) { state->process(f); };
         }});
-    stages.push_back(StageSpec{
-        "host", config.hostWorkers, [config](std::size_t) {
+    StageSpec host;
+    host.name = "host";
+    host.workers = config.hostWorkers;
+    if (config.hostBatch > 1) {
+        host.maxBatch = config.hostBatch;
+        host.maxBatchWaitS = config.hostBatchWaitS;
+        host.makeBatchWorker = [config](std::size_t) {
+            auto state = std::make_shared<HostWorker>(config);
+            return [state](std::vector<StreamFrame> &batch) {
+                state->processBatch(batch);
+            };
+        };
+    } else {
+        host.makeWorker = [config](std::size_t) {
             auto state = std::make_shared<HostWorker>(config);
             return [state](StreamFrame &f) { state->process(f); };
-        }});
+        };
+    }
+    stages.push_back(std::move(host));
     return stages;
 }
 

@@ -72,6 +72,31 @@ struct VisionConfig {
     std::size_t hostWorkers = 1;
 
     /**
+     * Intra-frame parallelism of the host tail: GEMM threads per host
+     * worker. Each worker > 1 owns a private ThreadPool and a
+     * matching multi-lane Workspace, and the blocked GEMM backend
+     * partitions each tail product's columns across it. 1 = serial
+     * tail execution (the historical behaviour). Logits are
+     * bit-identical at any setting (DESIGN.md §12).
+     */
+    std::size_t hostThreads = 1;
+
+    /**
+     * Dynamic batching of the host tail: the largest number of queued
+     * frames one tail forward may coalesce into a single batched
+     * im2col + GEMM pass. 1 = per-frame serving. Values > 1 switch
+     * the host stage to a StageSpec batch worker.
+     */
+    std::size_t hostBatch = 1;
+
+    /**
+     * Latency budget of a partial host batch: how long a host worker
+     * holding fewer than hostBatch frames waits for stragglers before
+     * serving what it has (StageSpec::maxBatchWaitS).
+     */
+    double hostBatchWaitS = 0.0;
+
+    /**
      * Fault campaign armed on every device replica (shared,
      * immutable; nullptr = pristine silicon). Faults with a later
      * onset frame stay dormant until the stream reaches them.

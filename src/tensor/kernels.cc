@@ -5,13 +5,16 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
 #include <immintrin.h>
 #endif
 
+#include "core/exec.hh"
 #include "core/logging.hh"
+#include "core/workspace.hh"
 
 namespace redeye {
 namespace kernels {
@@ -175,14 +178,59 @@ constexpr std::size_t MC = 96;   // multiple of MR
 constexpr std::size_t KC = 256;
 constexpr std::size_t NC = 1024; // multiple of NR
 
-// Per-thread packing scratch so gemm calls inside ExecContext chunks
-// never contend or allocate in steady state.
-struct Workspace {
+// Pack-panel capacities, in floats (MC and NC are multiples of
+// MR/NR, the rounding is belt-and-braces).
+constexpr std::size_t kPackAFloats = ((MC + MR - 1) / MR) * MR * KC;
+constexpr std::size_t kPackBFloats = ((NC + NR - 1) / NR) * NR * KC;
+
+/**
+ * Thread-local packing scratch for callers with no Workspace
+ * attached (tools, training loops, the context-free entry points).
+ * Serving paths hand gemm an ExecContext with a Workspace, whose
+ * lane arenas supply the panels instead — the resize here would
+ * otherwise heap-allocate the first time a fresh worker thread
+ * serves a frame, breaking the zero steady-state-allocation
+ * guarantee (the PR-6 counting allocator now asserts it cannot).
+ */
+struct TlsPack {
     std::vector<float> packA; // MC x KC, MR-padded
     std::vector<float> packB; // KC x NC, NR-padded
 };
 
-thread_local Workspace tls_ws;
+thread_local TlsPack tls_pack;
+
+/** Pack panels for one GEMM worker. */
+struct PackBufs {
+    float *a = nullptr;
+    float *b = nullptr;
+};
+
+/**
+ * Carve pack panels from @p ws's lane @p lane (inside @p scope, so
+ * the bytes rewind when the caller's scope closes), or fall back to
+ * the thread-local vectors when no workspace is attached. The arena
+ * is reserved for the whole footprint up front: growing between the
+ * two allocs would invalidate the first span.
+ */
+PackBufs
+packBufs(redeye::Workspace *ws, std::size_t lane,
+         std::optional<ArenaScope> &scope)
+{
+    if (ws != nullptr) {
+        Arena &arena = ws->arena(lane);
+        scope.emplace(arena);
+        arena.reserve(arena.used() +
+                      (kPackAFloats + kPackBFloats + 32) *
+                          sizeof(float));
+        PackBufs bufs;
+        bufs.a = arena.alloc<float>(kPackAFloats);
+        bufs.b = arena.alloc<float>(kPackBFloats);
+        return bufs;
+    }
+    tls_pack.packA.resize(kPackAFloats);
+    tls_pack.packB.resize(kPackBFloats);
+    return PackBufs{tls_pack.packA.data(), tls_pack.packB.data()};
+}
 
 /**
  * Pack an mc x kc panel of logical A (m x k) starting at (i0, p0)
@@ -337,20 +385,68 @@ microTile(std::size_t kc, const float *ap, const float *bp,
 }
 #endif
 
+/**
+ * May the no-pack fast path serve this call? The predicate is the
+ * audited, explicit form of what used to be an inline condition that
+ * keyed only on `m % MR == 0 && k <= KC`: it must also pin down the
+ * epilogue and the column range, because the fast path fuses its C
+ * update (masked load-add-store) instead of going through the packed
+ * path's tile-then-update sequence.
+ *
+ *  - plain row-major operands only (packing absorbs transposes);
+ *  - full MR row blocks (the row loop has no tail masking);
+ *  - single k panel (k <= KC) with an L1-resident B (k * n bounded);
+ *  - epilogue: overwrite and plain accumulate are handled — both are
+ *    one rounding event per C element, identical to the packed
+ *    path's tile write-back — and broadcast biases are applied
+ *    *after* either kernel, so they do not gate the path. Any future
+ *    fused epilogue (scaling, clamping) must extend this predicate
+ *    or it fails safe into the packed path.
+ *
+ * Column ranges are safe at any [j0, j1): the kernel addresses B and
+ * C with the true leading dimension n, so a slice computes exactly
+ * the bits the full-range call computes for those columns. (The
+ * pre-audit kernel had no range arguments; handing it a slice with
+ * `c + j0` and a width of `j1 - j0` would have strided C wrongly and
+ * corrupted the neighbouring workers' columns — the guard that was
+ * genuinely missing once the column loop went parallel.)
+ */
+[[maybe_unused]] bool
+directEligible(bool transA, bool transB, std::size_t m, std::size_t k,
+               std::size_t n, const Epilogue &ep)
+{
+#if defined(__AVX512F__)
+    (void)ep; // accumulate and bias are both handled; see above
+    return !transA && !transB && m % MR == 0 && k <= KC &&
+           k * n <= 12288;
+#else
+    (void)transA;
+    (void)transB;
+    (void)m;
+    (void)k;
+    (void)n;
+    (void)ep;
+    return false;
+#endif
+}
+
 #if defined(__AVX512F__)
 /**
- * Direct C[m x n] (+)= A[m x k] * B[k x n] without packing, for
- * problems whose B panel is L1-resident: the row-major loads are
- * already contiguous per k-step, so skipping the pack and
- * tile-copy passes wins. Requires m to be a multiple of MR; column
- * tails use masked loads/stores (masked-out lanes cannot fault).
+ * Direct C[m x n] (+)= A[m x k] * B[k x n] without packing, over
+ * columns [j0, j1), for problems whose B panel is L1-resident: the
+ * row-major loads are already contiguous per k-step, so skipping the
+ * pack and tile-copy passes wins. Requires m to be a multiple of MR;
+ * column tails use masked loads/stores (masked-out lanes cannot
+ * fault). B and C are addressed with the full leading dimension n,
+ * so per-column bits are independent of the range partition.
  */
 void
 directGemm(const float *a, const float *b, float *c, std::size_t m,
-           std::size_t k, std::size_t n, bool accumulate)
+           std::size_t k, std::size_t n, std::size_t j0,
+           std::size_t j1, bool accumulate)
 {
-    for (std::size_t jb = 0; jb < n; jb += NR) {
-        const std::size_t nr = std::min(NR, n - jb);
+    for (std::size_t jb = j0; jb < j1; jb += NR) {
+        const std::size_t nr = std::min(NR, j1 - jb);
         const unsigned l0 =
             nr >= 16 ? 16u : static_cast<unsigned>(nr);
         const unsigned l1 =
@@ -395,28 +491,47 @@ directGemm(const float *a, const float *b, float *c, std::size_t m,
 #endif
 
 /**
- * Blocked C[m x n] (+)= op(A) * op(B). @p transA / @p transB name the
- * storage of the operands (see packAPanel/packBPanel).
+ * Blocked C[m x n] (+)= op(A) * op(B) over columns [j0, j1).
+ * @p transA / @p transB name the storage of the operands (see
+ * packAPanel/packBPanel); @p packA / @p packB are the worker's pack
+ * panels (kPackAFloats / kPackBFloats capacity).
+ *
+ * ## Why a column slice is bit-identical to the full product
+ *
+ * B and C are addressed with the true leading dimension n, so a
+ * worker owning [j0, j1) touches exactly the bytes the full-range
+ * call would touch for those columns. Each C element's value is one
+ * fmadd chain over p in ascending order (KC blocks outer, packed k
+ * inner) inside its own SIMD lane; which sliver a column lands in —
+ * and hence which mask or zero-padded lanes ride along — never feeds
+ * the arithmetic of another lane. Any partition of [0, n) therefore
+ * reproduces the serial bits, which is what lets the parallel
+ * dispatcher below pick chunk counts freely (DESIGN.md §12).
  */
 void
-blockedGemm(const float *a, bool transA, const float *b, bool transB,
-            float *c, std::size_t m, std::size_t k, std::size_t n,
-            bool accumulate)
+blockedGemmCols(const float *a, bool transA, const float *b,
+                bool transB, float *c, std::size_t m, std::size_t k,
+                std::size_t n, std::size_t j0, std::size_t j1,
+                bool accumulate, const PackBufs &pack)
 {
-    if (m == 0 || n == 0)
+    if (m == 0 || j1 <= j0)
         return;
     if (k == 0) {
-        if (!accumulate)
-            std::memset(c, 0, m * n * sizeof(float));
+        if (!accumulate) {
+            for (std::size_t i = 0; i < m; ++i)
+                std::memset(c + i * n + j0, 0,
+                            (j1 - j0) * sizeof(float));
+        }
         return;
     }
 
 #if defined(__AVX512F__)
     // Small single-panel products (B resident in L1, all row slivers
     // full) skip packing entirely.
-    if (!transA && !transB && m % MR == 0 && k <= KC &&
-        k * n <= 12288) {
-        directGemm(a, b, c, m, k, n, accumulate);
+    if (directEligible(transA, transB, m, k, n,
+                       accumulate ? Epilogue::accumulateInto()
+                                  : Epilogue{})) {
+        directGemm(a, b, c, m, k, n, j0, j1, accumulate);
         return;
     }
 #endif
@@ -424,34 +539,26 @@ blockedGemm(const float *a, bool transA, const float *b, bool transB,
     const std::size_t lda = transA ? m : k;
     const std::size_t ldb = transB ? k : n;
 
-    Workspace &ws = tls_ws;
-    ws.packA.resize(((MC + MR - 1) / MR) * MR * KC);
-    ws.packB.resize(((NC + NR - 1) / NR) * NR * KC);
-
     float ctile[MR * NR];
 
-    for (std::size_t jc = 0; jc < n; jc += NC) {
-        const std::size_t nc = std::min(NC, n - jc);
+    for (std::size_t jc = j0; jc < j1; jc += NC) {
+        const std::size_t nc = std::min(NC, j1 - jc);
         for (std::size_t pc = 0; pc < k; pc += KC) {
             const std::size_t kc = std::min(KC, k - pc);
             // The first k-panel overwrites its C block instead of
             // adding into pre-zeroed memory, saving a full pass over
             // C for single-panel (k <= KC) products.
             const bool overwrite = !accumulate && pc == 0;
-            packBPanel(b, transB, ldb, pc, kc, jc, nc,
-                       ws.packB.data());
+            packBPanel(b, transB, ldb, pc, kc, jc, nc, pack.b);
             for (std::size_t ic = 0; ic < m; ic += MC) {
                 const std::size_t mc = std::min(MC, m - ic);
-                packAPanel(a, transA, lda, ic, mc, pc, kc,
-                           ws.packA.data());
+                packAPanel(a, transA, lda, ic, mc, pc, kc, pack.a);
                 for (std::size_t jb = 0; jb < nc; jb += NR) {
                     const std::size_t nr = std::min(NR, nc - jb);
-                    const float *bp =
-                        ws.packB.data() + (jb / NR) * kc * NR;
+                    const float *bp = pack.b + (jb / NR) * kc * NR;
                     for (std::size_t ib = 0; ib < mc; ib += MR) {
                         const std::size_t mr = std::min(MR, mc - ib);
-                        const float *ap =
-                            ws.packA.data() + (ib / MR) * kc * MR;
+                        const float *ap = pack.a + (ib / MR) * kc * MR;
                         microTile(kc, ap, bp, ctile);
                         float *cblk =
                             c + (ic + ib) * n + jc + jb;
@@ -473,27 +580,118 @@ blockedGemm(const float *a, bool transA, const float *b, bool transB,
     }
 }
 
-/** Broadcast-add the epilogue bias over C. */
+/**
+ * Broadcast-add an epilogue bias over columns [j0, j1) of C. Each
+ * column's update is independent, so parallel workers apply the
+ * epilogue to their own slice with full-range bits.
+ */
 void
-applyBias(float *c, std::size_t m, std::size_t n, const Epilogue &ep)
+applyBiasCols(float *c, std::size_t m, std::size_t n, std::size_t j0,
+              std::size_t j1, BiasKind kind, const float *bias)
 {
-    if (ep.biasKind == BiasKind::None)
+    if (kind == BiasKind::None)
         return;
-    panic_if(ep.bias == nullptr, "gemm epilogue bias is null");
-    if (ep.biasKind == BiasKind::PerRow) {
+    panic_if(bias == nullptr, "gemm epilogue bias is null");
+    if (kind == BiasKind::PerRow) {
         for (std::size_t i = 0; i < m; ++i) {
-            const float bv = ep.bias[i];
+            const float bv = bias[i];
             float *crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t j = j0; j < j1; ++j)
                 crow[j] += bv;
         }
     } else {
         for (std::size_t i = 0; i < m; ++i) {
             float *crow = c + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += ep.bias[j];
+            for (std::size_t j = j0; j < j1; ++j)
+                crow[j] += bias[j];
         }
     }
+}
+
+/** Full-range epilogue bias (the serial path). */
+void
+applyBias(float *c, std::size_t m, std::size_t n, const Epilogue &ep)
+{
+    applyBiasCols(c, m, n, 0, n, ep.biasKind, ep.bias);
+}
+
+/** Serial blocked product over the full column range. */
+void
+blockedGemm(const float *a, bool transA, const float *b, bool transB,
+            float *c, std::size_t m, std::size_t k, std::size_t n,
+            bool accumulate, redeye::Workspace *ws = nullptr,
+            std::size_t lane = 0)
+{
+    if (m == 0 || n == 0)
+        return;
+    std::optional<ArenaScope> scope;
+    const PackBufs pack = packBufs(ws, lane, scope);
+    blockedGemmCols(a, transA, b, transB, c, m, k, n, 0, n,
+                    accumulate, pack);
+}
+
+// ---------------------------------------------------------------------
+// Parallel dispatch: partition the column loop over the context's
+// pool. Work units are NR-column slivers so no worker ever owns a
+// fraction of a sliver; parallelForChunks' static chunking maps unit
+// ranges to lanes, and each lane packs into panels carved from its
+// own Workspace arena. Column independence (see blockedGemmCols)
+// makes the result bit-identical at any chunk count.
+// ---------------------------------------------------------------------
+
+/**
+ * Parallelize only when the pool can actually help: a real pool,
+ * not already nested inside one of its chunks (a nested run would
+ * execute inline on lanes the enclosing loop may be using), at least
+ * two slivers to hand out, and enough arithmetic to amortize the
+ * redundant A packing (each worker packs the full A panel for its
+ * column range).
+ */
+bool
+shouldParallelize(ExecContext &ctx, std::size_t m, std::size_t k,
+                  std::size_t n)
+{
+    ThreadPool *pool = ctx.pool();
+    if (pool == nullptr || pool->threads() <= 1)
+        return false;
+    if (ThreadPool::executingPool() == pool)
+        return false;
+    if (n < 2 * NR)
+        return false;
+    // ~256 Kflop: below this the fork/join overhead dominates.
+    return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n) >=
+           262144.0;
+}
+
+/**
+ * Parallel blocked product: columns [0, n) split into NR-sliver
+ * ranges across the context's pool. The shared epilogue is applied
+ * by each worker to its own slice.
+ */
+void
+parallelBlockedGemm(const float *a, bool transA, const float *b,
+                    bool transB, float *c, std::size_t m,
+                    std::size_t k, std::size_t n, const Epilogue &ep,
+                    ExecContext &ctx)
+{
+    redeye::Workspace *ws = ctx.workspace();
+    const std::size_t slivers = (n + NR - 1) / NR;
+    parallelForChunks(ctx, slivers,
+                      [&](std::size_t u0, std::size_t u1,
+                          std::size_t lane) {
+                          const std::size_t jlo = u0 * NR;
+                          const std::size_t jhi =
+                              std::min(u1 * NR, n);
+                          std::optional<ArenaScope> scope;
+                          const PackBufs pack =
+                              packBufs(ws, lane, scope);
+                          blockedGemmCols(a, transA, b, transB, c, m,
+                                          k, n, jlo, jhi,
+                                          ep.accumulate, pack);
+                          applyBiasCols(c, m, n, jlo, jhi, ep.biasKind,
+                                        ep.bias);
+                      });
 }
 
 } // namespace
@@ -502,19 +700,55 @@ applyBias(float *c, std::size_t m, std::size_t n, const Epilogue &ep)
 // Dispatched entry points.
 // ---------------------------------------------------------------------
 
+namespace {
+
+/**
+ * Common dispatcher behind every entry point. @p ctx selects the
+ * parallel path (nullptr = context-free flavour: serial, TLS or
+ * caller-workspace scratch).
+ */
 void
-gemm(const float *a, MatShape as, const float *b, MatShape bs,
-     float *c, const Epilogue &ep)
+dispatchGemm(const float *a, bool transA, const float *b, bool transB,
+             float *c, std::size_t m, std::size_t k, std::size_t n,
+             const Epilogue &ep, ExecContext *ctx, std::size_t lane)
+{
+    if (backend() == Backend::Reference) {
+        if (transA)
+            refGemmTransA(a, b, c, m, k, n, ep.accumulate);
+        else if (transB)
+            refGemmTransB(a, b, c, m, k, n, ep.accumulate);
+        else
+            refGemm(a, b, c, m, k, n, ep.accumulate);
+        applyBias(c, m, n, ep);
+        return;
+    }
+    if (ctx != nullptr && shouldParallelize(*ctx, m, k, n)) {
+        parallelBlockedGemm(a, transA, b, transB, c, m, k, n, ep,
+                            *ctx);
+        return;
+    }
+    blockedGemm(a, transA, b, transB, c, m, k, n, ep.accumulate,
+                ctx != nullptr ? ctx->workspace() : nullptr, lane);
+    applyBias(c, m, n, ep);
+}
+
+void
+checkGemmShapes(MatShape as, MatShape bs)
 {
     fatal_if(as.cols != bs.rows, "gemm: A is ", as.rows, "x", as.cols,
              " but B is ", bs.rows, "x", bs.cols,
              " (need A.cols == B.rows)");
-    const std::size_t m = as.rows, k = as.cols, n = bs.cols;
-    if (backend() == Backend::Reference)
-        refGemm(a, b, c, m, k, n, ep.accumulate);
-    else
-        blockedGemm(a, false, b, false, c, m, k, n, ep.accumulate);
-    applyBias(c, m, n, ep);
+}
+
+} // namespace
+
+void
+gemm(const float *a, MatShape as, const float *b, MatShape bs,
+     float *c, const Epilogue &ep)
+{
+    checkGemmShapes(as, bs);
+    dispatchGemm(a, false, b, false, c, as.rows, as.cols, bs.cols, ep,
+                 nullptr, 0);
 }
 
 void
@@ -524,12 +758,8 @@ gemmTransA(const float *a, MatShape as, const float *b, MatShape bs,
     fatal_if(as.rows != bs.rows, "gemmTransA: A stored ", as.rows, "x",
              as.cols, " but B is ", bs.rows, "x", bs.cols,
              " (need A.rows == B.rows)");
-    const std::size_t m = as.cols, k = as.rows, n = bs.cols;
-    if (backend() == Backend::Reference)
-        refGemmTransA(a, b, c, m, k, n, ep.accumulate);
-    else
-        blockedGemm(a, true, b, false, c, m, k, n, ep.accumulate);
-    applyBias(c, m, n, ep);
+    dispatchGemm(a, true, b, false, c, as.cols, as.rows, bs.cols, ep,
+                 nullptr, 0);
 }
 
 void
@@ -539,12 +769,113 @@ gemmTransB(const float *a, MatShape as, const float *b, MatShape bs,
     fatal_if(as.cols != bs.cols, "gemmTransB: A is ", as.rows, "x",
              as.cols, " but B stored ", bs.rows, "x", bs.cols,
              " (need A.cols == B.cols)");
-    const std::size_t m = as.rows, k = as.cols, n = bs.rows;
-    if (backend() == Backend::Reference)
-        refGemmTransB(a, b, c, m, k, n, ep.accumulate);
-    else
-        blockedGemm(a, false, b, true, c, m, k, n, ep.accumulate);
-    applyBias(c, m, n, ep);
+    dispatchGemm(a, false, b, true, c, as.rows, as.cols, bs.rows, ep,
+                 nullptr, 0);
+}
+
+void
+gemm(const float *a, MatShape as, const float *b, MatShape bs,
+     float *c, const Epilogue &ep, ExecContext &ctx, std::size_t lane)
+{
+    checkGemmShapes(as, bs);
+    dispatchGemm(a, false, b, false, c, as.rows, as.cols, bs.cols, ep,
+                 &ctx, lane);
+}
+
+void
+gemmTransA(const float *a, MatShape as, const float *b, MatShape bs,
+           float *c, const Epilogue &ep, ExecContext &ctx,
+           std::size_t lane)
+{
+    fatal_if(as.rows != bs.rows, "gemmTransA: A stored ", as.rows, "x",
+             as.cols, " but B is ", bs.rows, "x", bs.cols,
+             " (need A.rows == B.rows)");
+    dispatchGemm(a, true, b, false, c, as.cols, as.rows, bs.cols, ep,
+                 &ctx, lane);
+}
+
+void
+gemmTransB(const float *a, MatShape as, const float *b, MatShape bs,
+           float *c, const Epilogue &ep, ExecContext &ctx,
+           std::size_t lane)
+{
+    fatal_if(as.cols != bs.cols, "gemmTransB: A is ", as.rows, "x",
+             as.cols, " but B stored ", bs.rows, "x", bs.cols,
+             " (need A.cols == B.cols)");
+    dispatchGemm(a, false, b, true, c, as.rows, as.cols, bs.rows, ep,
+                 &ctx, lane);
+}
+
+void
+gemmBatch(const GemmProblem *problems, std::size_t count, MatShape as,
+          MatShape bs, const Epilogue &ep, ExecContext &ctx,
+          std::size_t lane)
+{
+    checkGemmShapes(as, bs);
+    const std::size_t m = as.rows, k = as.cols, n = bs.cols;
+    if (count == 0 || m == 0 || n == 0)
+        return;
+
+    if (backend() == Backend::Reference) {
+        for (std::size_t p = 0; p < count; ++p) {
+            const GemmProblem &gp = problems[p];
+            refGemm(gp.a, gp.b, gp.c, m, k, n, ep.accumulate);
+            applyBiasCols(gp.c, m, n, 0, n, ep.biasKind,
+                          gp.bias != nullptr ? gp.bias : ep.bias);
+        }
+        return;
+    }
+
+    redeye::Workspace *ws = ctx.workspace();
+    ThreadPool *pool = ctx.pool();
+    const bool nested =
+        pool != nullptr && ThreadPool::executingPool() == pool;
+
+    // Work units are NR-column slivers of each problem, flattened so
+    // chunks may span problem boundaries: a 16-frame batch with
+    // 32-sliver products load-balances across 8 lanes evenly instead
+    // of rounding to whole frames.
+    const std::size_t per = (n + NR - 1) / NR;
+    auto runUnits = [&](std::size_t u0, std::size_t u1,
+                        std::size_t worker_lane) {
+        std::optional<ArenaScope> scope;
+        const PackBufs pack = packBufs(ws, worker_lane, scope);
+        std::size_t u = u0;
+        while (u < u1) {
+            const std::size_t p = u / per;
+            const std::size_t uend = std::min(u1, (p + 1) * per);
+            const std::size_t jlo = (u - p * per) * NR;
+            const std::size_t jhi =
+                std::min((uend - p * per) * NR, n);
+            const GemmProblem &gp = problems[p];
+            blockedGemmCols(gp.a, false, gp.b, false, gp.c, m, k, n,
+                            jlo, jhi, ep.accumulate, pack);
+            applyBiasCols(gp.c, m, n, jlo, jhi, ep.biasKind,
+                          gp.bias != nullptr ? gp.bias : ep.bias);
+            u = uend;
+        }
+    };
+
+    if (pool == nullptr || pool->threads() <= 1 || nested) {
+        // Serial (or nested inside this context's own pool, where
+        // fanning out would reuse lanes the enclosing loop owns):
+        // run every unit on the caller's lane.
+        runUnits(0, count * per, lane);
+        return;
+    }
+    parallelForChunks(ctx, count * per,
+                      [&](std::size_t u0, std::size_t u1,
+                          std::size_t worker_lane) {
+                          runUnits(u0, u1, worker_lane);
+                      });
+}
+
+std::size_t
+gemmPackFloats()
+{
+    // Alignment headroom so two alloc<float> carves never outgrow a
+    // reserve sized by this value.
+    return kPackAFloats + kPackBFloats + 32;
 }
 
 // ---------------------------------------------------------------------

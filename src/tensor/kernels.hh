@@ -21,10 +21,18 @@
  * environment variable pins a run to `reference` or `blocked`
  * (default `blocked`), and setBackend() overrides it
  * programmatically (tests). Both backends are bit-identical across
- * thread counts for a fixed shape: a gemm call is single-threaded and
- * callers parallelize *around* it (per batch chunk, under
- * ExecContext), so kernel tiling and pool parallelism compose without
- * affecting results.
+ * thread counts for a fixed shape. The blocked backend can execute a
+ * single product *in parallel* when handed an ExecContext: the column
+ * dimension is partitioned into NR-sliver ranges and each worker runs
+ * the full blocked loop nest over its range, packing into panels
+ * carved from its Workspace lane arena. Because every C element is
+ * one fmadd chain over k in ascending order within its own SIMD lane,
+ * and lane arithmetic never depends on which range a column landed
+ * in, any partition of the columns — one worker or sixteen — yields
+ * bit-identical C (DESIGN.md §12). Callers that parallelize *around*
+ * gemm (per batch chunk, under ExecContext) keep working: a gemm
+ * issued from inside a chunk of the context's own pool detects the
+ * nesting and runs serially on the caller's lane.
  *
  * ## Shape discipline
  *
@@ -47,6 +55,9 @@
 #include "tensor/im2col.hh"
 
 namespace redeye {
+
+class ExecContext;
+
 namespace kernels {
 
 /** Available GEMM implementations. */
@@ -145,6 +156,61 @@ void gemmTransA(const float *a, MatShape as, const float *b,
  */
 void gemmTransB(const float *a, MatShape as, const float *b,
                 MatShape bs, float *c, const Epilogue &ep = {});
+
+/**
+ * Context-aware flavours: same products, but the blocked backend
+ * draws its pack panels from @p ctx's Workspace lane arenas instead
+ * of thread-local vectors (so steady-state serving allocates
+ * nothing), and parallelizes the column loop over the context's pool
+ * when the call is large enough and not already nested inside one of
+ * that pool's chunks. @p lane is the caller's ExecContext lane (the
+ * chunk index of the enclosing parallelForChunks, 0 at top level);
+ * it selects the arena for the serial path. Results are bit-identical
+ * to the context-free flavours at any thread count.
+ */
+void gemm(const float *a, MatShape as, const float *b, MatShape bs,
+          float *c, const Epilogue &ep, ExecContext &ctx,
+          std::size_t lane);
+void gemmTransA(const float *a, MatShape as, const float *b,
+                MatShape bs, float *c, const Epilogue &ep,
+                ExecContext &ctx, std::size_t lane);
+void gemmTransB(const float *a, MatShape as, const float *b,
+                MatShape bs, float *c, const Epilogue &ep,
+                ExecContext &ctx, std::size_t lane);
+
+/**
+ * One product of a batched GEMM: C = A * B with an optional
+ * per-problem bias vector overriding the shared Epilogue's.
+ */
+struct GemmProblem {
+    const float *a = nullptr;
+    const float *b = nullptr;
+    float *c = nullptr;
+    const float *bias = nullptr; ///< nullptr = use Epilogue::bias
+};
+
+/**
+ * Execute @p count same-shape plain (no-transpose) products in one
+ * parallel pass over the flattened (problem, column-range) space —
+ * the batched-tail primitive: a layer lowers a whole frame batch and
+ * issues one gemmBatch instead of per-item gemms. Per-problem bits
+ * are identical to a serial per-problem gemm at any thread count and
+ * any batch composition. Must be called from outside @p ctx's pool
+ * (top level of a layer forward); when nested or serial it runs the
+ * problems on lane @p lane.
+ */
+void gemmBatch(const GemmProblem *problems, std::size_t count,
+               MatShape as, MatShape bs, const Epilogue &ep,
+               ExecContext &ctx, std::size_t lane = 0);
+
+/**
+ * Arena floats one GEMM worker lane needs for its pack panels.
+ * Workers that must not allocate mid-serve reserve this per lane up
+ * front (Workspace::arena().reserve), making the PR-6 zero
+ * steady-state-allocation guarantee hold from the very first frame
+ * even with threaded GEMM.
+ */
+std::size_t gemmPackFloats();
 
 /**
  * im2col lowering dispatched by backend. Both backends produce

@@ -15,6 +15,7 @@
 
 #include "core/exec.hh"
 #include "core/rng.hh"
+#include "core/workspace.hh"
 #include "nn/activation.hh"
 #include "nn/conv.hh"
 #include "nn/dropout.hh"
@@ -235,6 +236,44 @@ TEST(DeterminismTest, KernelBackendsBitIdenticalAcrossThreadCounts)
     for (std::size_t i = 0; i < per_backend[0].size(); ++i)
         EXPECT_NEAR(per_backend[0][i], per_backend[1][i], 1e-4f)
             << "backends diverge beyond tolerance at " << i;
+}
+
+/**
+ * Batched-lowering extension of the contract: with a Workspace
+ * attached, conv lowers the whole batch into one arena buffer and
+ * issues a single gemmBatch (and the blocked backend fans the column
+ * slivers over the pool). Every (backend, batch size, thread count)
+ * combination must reproduce the plain serial forward bit for bit.
+ */
+TEST(DeterminismTest, WorkspaceBatchedLoweringBitIdentical)
+{
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        kernels::setBackend(backend);
+        for (std::size_t batch : {1u, 4u, 16u}) {
+            Rng rng(0x77 ^ batch);
+            Tensor x(Shape(batch, 3, 16, 16));
+            x.fillGaussian(rng, 0.5f, 0.25f);
+
+            auto ref_net = buildNet();
+            ref_net->forward(x); // serial, no workspace
+            const Tensor &ref = ref_net->activation("sm");
+
+            for (std::size_t threads : {2u, 8u}) {
+                auto net = buildNet();
+                ThreadPool pool(threads);
+                Workspace ws(pool.threads());
+                ExecContext ctx(pool);
+                ctx.setWorkspace(&ws);
+                net->forward(x, ctx);
+                EXPECT_TRUE(bitIdentical(ref, net->activation("sm")))
+                    << kernels::backendName(backend) << " batch "
+                    << batch << " diverges at " << threads
+                    << " threads";
+            }
+        }
+    }
+    kernels::clearBackendOverride();
 }
 
 TEST(DeterminismTest, ConstNetworkViewsMatchMutableOnes)

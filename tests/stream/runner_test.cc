@@ -389,6 +389,166 @@ TEST(StreamRunnerTest, TryRunRejectsSecondRun)
               StatusCode::FailedPrecondition);
 }
 
+/** Batched classify stage: same function as classifyStage, but the
+ * worker receives coalesced frame vectors. */
+StageSpec
+batchedClassifyStage(std::size_t workers, std::size_t max_batch,
+                     double wait_s,
+                     std::chrono::microseconds delay =
+                         std::chrono::microseconds(0))
+{
+    StageSpec spec;
+    spec.name = "classify";
+    spec.workers = workers;
+    spec.maxBatch = max_batch;
+    spec.maxBatchWaitS = wait_s;
+    spec.makeBatchWorker = [delay](std::size_t) {
+        return [delay](std::vector<StreamFrame> &batch) {
+            if (delay.count() > 0)
+                std::this_thread::sleep_for(delay);
+            for (StreamFrame &f : batch) {
+                const auto content =
+                    static_cast<std::uint64_t>(f.image[0]);
+                f.predicted = expectedPrediction(content);
+            }
+        };
+    };
+    return spec;
+}
+
+TEST(StreamRunnerTest, BatchedStageCoalescesAndServesEveryFrame)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 64;
+    rc.queueCapacity = 8;
+    rc.policy = AdmissionPolicy::Block;
+
+    // A small service delay lets the queue back up so the worker has
+    // something to coalesce beyond singletons.
+    StreamRunner runner(source,
+                        {batchedClassifyStage(
+                            1, 4, 0.05,
+                            std::chrono::microseconds(500))},
+                        rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesCompleted, 64u);
+    EXPECT_EQ(r.framesDropped, 0u);
+    EXPECT_EQ(r.framesFailed, 0u);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+
+    ASSERT_EQ(r.stages.size(), 1u);
+    const StageReport &s = r.stages[0];
+    // `processed` still counts frames; the batch columns describe
+    // the coalescing.
+    EXPECT_EQ(s.processed, 64u);
+    EXPECT_GT(s.batches, 0u);
+    EXPECT_LE(s.batches, 64u);
+    EXPECT_LE(s.batchMax, 4u);
+    EXPECT_GE(s.batchMean, 1.0);
+    // Frame conservation: mean * batches == frames served.
+    EXPECT_NEAR(s.batchMean * static_cast<double>(s.batches), 64.0,
+                1e-6);
+    // The delay plus wait budget guarantees at least one multi-frame
+    // batch formed.
+    EXPECT_GE(s.batchMax, 2u);
+}
+
+TEST(StreamRunnerTest, BatchSizeOneBehavesLikeUnbatchedStage)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 16;
+    StreamRunner runner(source, {batchedClassifyStage(1, 1, 0.0)},
+                        rc);
+    const StreamReport r = runner.run();
+    EXPECT_EQ(r.framesCompleted, 16u);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    ASSERT_EQ(r.stages.size(), 1u);
+    EXPECT_EQ(r.stages[0].processed, 16u);
+    EXPECT_EQ(r.stages[0].batchMax, 1u);
+}
+
+TEST(StreamRunnerTest, BatchedStageFrameFailuresStayPerFrame)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 32;
+    rc.queueCapacity = 8;
+    rc.policy = AdmissionPolicy::Block;
+
+    // Fail frames whose content is divisible by 5; batch membership
+    // must not drag neighbours down with them.
+    StageSpec spec;
+    spec.name = "classify";
+    spec.workers = 1;
+    spec.maxBatch = 4;
+    spec.maxBatchWaitS = 0.05;
+    spec.makeBatchWorker = [](std::size_t) {
+        return [](std::vector<StreamFrame> &batch) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(500));
+            for (StreamFrame &f : batch) {
+                const auto content =
+                    static_cast<std::uint64_t>(f.image[0]);
+                if (content % 5 == 0)
+                    f.failed = true;
+                else
+                    f.predicted = expectedPrediction(content);
+            }
+        };
+    };
+    StreamRunner runner(source, {spec}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesFailed, 7u); // 0,5,10,15,20,25,30
+    EXPECT_EQ(r.framesCompleted, 25u);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        if (i % 5 == 0)
+            EXPECT_EQ(r.predictions[i], -1) << "frame " << i;
+        else
+            EXPECT_EQ(r.predictions[i], expectedPrediction(i))
+                << "frame " << i;
+    }
+}
+
+TEST(StreamRunnerTest, BatchedStageComposesWithDownstreamStage)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 48;
+    rc.queueCapacity = 6;
+    rc.policy = AdmissionPolicy::Block;
+
+    // Batched middle stage between two plain stages: frames must
+    // re-individualize cleanly into the downstream queue.
+    StageSpec mid;
+    mid.name = "mid";
+    mid.workers = 2;
+    mid.maxBatch = 3;
+    mid.maxBatchWaitS = 0.02;
+    mid.makeBatchWorker = [](std::size_t) {
+        return [](std::vector<StreamFrame> &batch) {
+            for (StreamFrame &f : batch)
+                f.image[0] += 0.0f; // touch, don't change
+        };
+    };
+    StreamRunner runner(
+        source, {passStage("pre", 1), mid, classifyStage(1)}, rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesCompleted, 48u);
+    EXPECT_EQ(r.framesDropped, 0u);
+    for (std::uint64_t i = 0; i < 48; ++i)
+        EXPECT_EQ(r.predictions[i], expectedPrediction(i));
+    ASSERT_EQ(r.stages.size(), 3u);
+    EXPECT_EQ(r.stages[1].processed, 48u);
+    EXPECT_LE(r.stages[1].batchMax, 3u);
+}
+
 TEST(StreamRunnerTest, PolicyNames)
 {
     EXPECT_STREQ(admissionPolicyName(AdmissionPolicy::Block),

@@ -26,6 +26,9 @@
 #include <gtest/gtest.h>
 
 #include "core/alloc.hh"
+#include "core/exec.hh"
+#include "core/rng.hh"
+#include "core/workspace.hh"
 #include "models/mini_googlenet.hh"
 #include "stream/vision.hh"
 
@@ -67,13 +70,23 @@ struct SteadyRun {
     std::uint64_t runAllocs = 0;    ///< whole run, warmup included
 };
 
+/** Host-side serving shape of a metered run. */
+struct HostOptions {
+    std::size_t batch = 1;   ///< VisionConfig::hostBatch
+    std::size_t threads = 1; ///< VisionConfig::hostThreads
+    double waitS = 0.0;      ///< VisionConfig::hostBatchWaitS
+};
+
 /** Serve kFrames through the bypassed pipeline, metering the tail. */
 SteadyRun
-serveBypassed(std::size_t device_workers)
+serveBypassed(std::size_t device_workers, HostOptions host = {})
 {
     VisionConfig vc;
     vc.depth = 1;
     vc.deviceWorkers = device_workers;
+    vc.hostBatch = host.batch;
+    vc.hostThreads = host.threads;
+    vc.hostBatchWaitS = host.waitS;
     // Hardware past saving: every epoch's plan is Bypass, and one
     // huge probe period keeps the whole run in epoch 0 so the single
     // plan computation lands in warmup.
@@ -87,15 +100,29 @@ serveBypassed(std::size_t device_workers)
 
     auto stages = makeVisionStages(vc);
     auto monitor = std::make_shared<CompletionMonitor>();
-    auto inner_factory = stages.back().makeWorker;
-    stages.back().makeWorker = [inner_factory,
-                                monitor](std::size_t worker) {
-        auto inner = inner_factory(worker);
-        return [inner, monitor](StreamFrame &frame) {
-            inner(frame);
-            monitor->onServed();
+    if (stages.back().makeBatchWorker) {
+        auto inner_factory = stages.back().makeBatchWorker;
+        stages.back().makeBatchWorker =
+            [inner_factory, monitor](std::size_t worker) {
+                auto inner = inner_factory(worker);
+                return [inner,
+                        monitor](std::vector<StreamFrame> &batch) {
+                    inner(batch);
+                    for (std::size_t i = 0; i < batch.size(); ++i)
+                        monitor->onServed();
+                };
+            };
+    } else {
+        auto inner_factory = stages.back().makeWorker;
+        stages.back().makeWorker = [inner_factory,
+                                    monitor](std::size_t worker) {
+            auto inner = inner_factory(worker);
+            return [inner, monitor](StreamFrame &frame) {
+                inner(frame);
+                monitor->onServed();
+            };
         };
-    };
+    }
 
     RunnerConfig rc;
     rc.frames = kFrames;
@@ -157,6 +184,75 @@ TEST(SteadyStateAllocTest, ThreadedPipelineIsAllocationFree)
                         "build?); skipping the counting assertions";
 
     EXPECT_EQ(threaded.steadyAllocs, 0u);
+}
+
+/**
+ * Dynamic batching + intra-frame GEMM parallelism keep the
+ * invariant: the batching stage coalesces from persistent storage,
+ * the host worker's private pool hands out work through FunctionRef
+ * (no closure boxing), and pack panels come from pre-warmed
+ * Workspace lane arenas — so a batched, threaded host serves the
+ * steady window without touching the heap, and still produces the
+ * exact bits of the serial unbatched run.
+ */
+TEST(SteadyStateAllocTest, BatchedThreadedPipelineIsAllocationFree)
+{
+    const SteadyRun serial = serveBypassed(1);
+    HostOptions host;
+    host.batch = 4;
+    host.threads = 2;
+    host.waitS = 0.002;
+    const SteadyRun batched = serveBypassed(4, host);
+    expectServedAndBypassed(batched.report);
+
+    ASSERT_EQ(batched.report.predictions.size(),
+              serial.report.predictions.size());
+    for (std::size_t i = 0; i < serial.report.predictions.size(); ++i)
+        EXPECT_EQ(batched.report.predictions[i],
+                  serial.report.predictions[i])
+            << "frame " << i;
+
+    if (!alloc::countingAvailable())
+        GTEST_SKIP() << "allocation hooks not linked (sanitizer "
+                        "build?); skipping the counting assertions";
+
+    EXPECT_EQ(batched.steadyAllocs, 0u);
+}
+
+/**
+ * The batched bucket tails directly: a bypass campaign never runs
+ * the host's batch-shaped tail replicas, so meter a batched,
+ * threaded, workspace-backed Network forward on its own. After the
+ * first forward establishes activation plans and arena capacity,
+ * further forwards of the same batch extent must not allocate.
+ */
+TEST(SteadyStateAllocTest, BatchedThreadedNetworkForwardIsAllocationFree)
+{
+    Rng weights(0x90091e5);
+    auto net = models::buildMiniGoogLeNet(10, weights);
+
+    constexpr std::size_t kBatch = 4;
+    Tensor x(Shape(kBatch, 3, models::kMiniInputSize,
+                   models::kMiniInputSize));
+    Rng pixels(0x1447);
+    x.fillGaussian(pixels, 0.5f, 0.25f);
+
+    ThreadPool pool(2);
+    Workspace ws(pool.threads());
+    ExecContext ctx(pool);
+    ctx.setWorkspace(&ws);
+
+    net->forward(x, ctx); // plans + arena growth
+    net->forward(x, ctx); // any second-pass lazy state
+
+    if (!alloc::countingAvailable())
+        GTEST_SKIP() << "allocation hooks not linked (sanitizer "
+                        "build?); skipping the counting assertions";
+
+    alloc::AllocationMeter meter;
+    net->forward(x, ctx);
+    EXPECT_EQ(meter.delta(), 0u)
+        << "batched threaded forward allocated in steady state";
 }
 
 } // namespace

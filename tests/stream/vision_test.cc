@@ -91,6 +91,62 @@ TEST(VisionStreamTest, ReportsStageBreakdown)
     EXPECT_GT(r.sustainedFps, 0.0);
 }
 
+/**
+ * The batched host tail classifies every frame exactly as the
+ * serial unbatched host does, regardless of batch size, wait budget
+ * or host thread count: batch membership and padding rows never
+ * leak into a neighbouring frame's logits, and the per-bucket tail
+ * replicas share the full network's weights.
+ */
+TEST(VisionStreamTest, BatchedHostTailMatchesUnbatched)
+{
+    constexpr std::uint64_t kBatchFrames = 12;
+    ShapesReplaySource source(makeReplayDataset(1, 0x5eed));
+
+    auto serve = [&](std::size_t batch, std::size_t threads,
+                     double wait_s) {
+        VisionConfig vc;
+        vc.depth = 1;
+        vc.deviceWorkers = 2;
+        vc.hostBatch = batch;
+        vc.hostThreads = threads;
+        vc.hostBatchWaitS = wait_s;
+        RunnerConfig rc;
+        rc.frames = kBatchFrames;
+        rc.queueCapacity = 8;
+        rc.policy = AdmissionPolicy::Block;
+        StreamRunner runner(source, makeVisionStages(vc), rc);
+        return runner.run();
+    };
+
+    const StreamReport ref = serve(1, 1, 0.0);
+    EXPECT_EQ(ref.framesCompleted, kBatchFrames);
+
+    struct Case {
+        std::size_t batch, threads;
+        double waitS;
+    };
+    for (const Case &c : {Case{4, 1, 0.01}, Case{4, 2, 0.01},
+                          Case{3, 2, 0.0}, Case{8, 2, 0.02}}) {
+        const StreamReport r = serve(c.batch, c.threads, c.waitS);
+        EXPECT_EQ(r.framesCompleted, kBatchFrames)
+            << "batch " << c.batch;
+        ASSERT_EQ(r.predictions.size(), ref.predictions.size());
+        for (std::uint64_t i = 0; i < kBatchFrames; ++i)
+            EXPECT_EQ(r.predictions[i], ref.predictions[i])
+                << "batch " << c.batch << " threads " << c.threads
+                << " frame " << i;
+        // Energy accounting is per frame and batch-invariant.
+        EXPECT_EQ(r.systemEnergyMeanJ, ref.systemEnergyMeanJ);
+        // The host stage reports its coalescing.
+        ASSERT_EQ(r.stages.size(), 3u);
+        if (c.batch > 1) {
+            EXPECT_GT(r.stages[2].batches, 0u);
+            EXPECT_LE(r.stages[2].batchMax, c.batch);
+        }
+    }
+}
+
 TEST(VisionStreamTest, RejectsBadDepth)
 {
     VisionConfig vc;

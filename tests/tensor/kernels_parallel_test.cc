@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Parallel / batched GEMM determinism and epilogue differentials.
+ *
+ * Three contracts of the context-aware kernel layer (DESIGN.md §12):
+ *
+ *  1. A context-aware gemm is bit-identical to the context-free
+ *     serial one at every thread count, for every transpose variant
+ *     and both backends — the column-slice partition never changes a
+ *     single fmadd chain.
+ *  2. gemmBatch is bit-identical, per problem, to issuing the same
+ *     problems one at a time — at any thread count, batch size and
+ *     per-problem bias mix, so dynamic batching can never change a
+ *     served logit.
+ *  3. The direct no-pack fast path handles every epilogue
+ *     combination (overwrite, accumulate, per-row and per-column
+ *     bias) correctly, including when its columns are sliced by the
+ *     parallel dispatcher. These shapes are chosen to satisfy the
+ *     direct-path eligibility predicate on AVX-512 builds
+ *     (m % MR == 0, k <= KC, small k*n footprint); elsewhere they
+ *     exercise the packed kernel with the same assertions, so the
+ *     differential holds on every ISA.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exec.hh"
+#include "core/rng.hh"
+#include "core/workspace.hh"
+#include "tensor/kernels.hh"
+
+namespace redeye {
+namespace {
+
+constexpr double kEps = 1.1920928955078125e-07; // FLT_EPSILON
+
+struct BackendGuard {
+    ~BackendGuard() { kernels::clearBackendOverride(); }
+};
+
+enum class Variant { Plain, TransA, TransB };
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+    case Variant::Plain:
+        return "gemm";
+    case Variant::TransA:
+        return "gemmTransA";
+    default:
+        return "gemmTransB";
+    }
+}
+
+struct Problem {
+    std::size_t m, k, n;
+    Variant variant = Variant::Plain;
+    std::vector<float> a, b;
+
+    float
+    A(std::size_t i, std::size_t p) const
+    {
+        return variant == Variant::TransA ? a[p * m + i] : a[i * k + p];
+    }
+
+    float
+    B(std::size_t p, std::size_t j) const
+    {
+        return variant == Variant::TransB ? b[j * k + p] : b[p * n + j];
+    }
+
+    kernels::MatShape
+    shapeA() const
+    {
+        return variant == Variant::TransA
+                   ? kernels::MatShape{k, m}
+                   : kernels::MatShape{m, k};
+    }
+
+    kernels::MatShape
+    shapeB() const
+    {
+        return variant == Variant::TransB
+                   ? kernels::MatShape{n, k}
+                   : kernels::MatShape{k, n};
+    }
+};
+
+Problem
+makeProblem(std::size_t m, std::size_t k, std::size_t n, Variant v,
+            std::uint64_t salt = 0)
+{
+    Problem pr;
+    pr.m = m;
+    pr.k = k;
+    pr.n = n;
+    pr.variant = v;
+    Rng rng(0xBA7C4ULL ^ salt ^
+            (m * 1000003 + k * 1009 + n * 7 +
+             static_cast<std::size_t>(v)));
+    pr.a.resize(m * k);
+    pr.b.resize(k * n);
+    for (float &x : pr.a)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float &x : pr.b)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return pr;
+}
+
+/** Dispatch one product through the context-free API. */
+void
+runSerial(const Problem &pr, float *c, const kernels::Epilogue &ep)
+{
+    switch (pr.variant) {
+    case Variant::Plain:
+        kernels::gemm(pr.a.data(), pr.shapeA(), pr.b.data(),
+                      pr.shapeB(), c, ep);
+        break;
+    case Variant::TransA:
+        kernels::gemmTransA(pr.a.data(), pr.shapeA(), pr.b.data(),
+                            pr.shapeB(), c, ep);
+        break;
+    case Variant::TransB:
+        kernels::gemmTransB(pr.a.data(), pr.shapeA(), pr.b.data(),
+                            pr.shapeB(), c, ep);
+        break;
+    }
+}
+
+/** Dispatch the same product through the context-aware API. */
+void
+runWithContext(const Problem &pr, float *c,
+               const kernels::Epilogue &ep, ExecContext &ctx)
+{
+    switch (pr.variant) {
+    case Variant::Plain:
+        kernels::gemm(pr.a.data(), pr.shapeA(), pr.b.data(),
+                      pr.shapeB(), c, ep, ctx, 0);
+        break;
+    case Variant::TransA:
+        kernels::gemmTransA(pr.a.data(), pr.shapeA(), pr.b.data(),
+                            pr.shapeB(), c, ep, ctx, 0);
+        break;
+    case Variant::TransB:
+        kernels::gemmTransB(pr.a.data(), pr.shapeA(), pr.b.data(),
+                            pr.shapeB(), c, ep, ctx, 0);
+        break;
+    }
+}
+
+/**
+ * The shapes are big enough (>= 256 Kflop, n >= 2 NR) that the
+ * context-aware path actually fans out; bit-equality with the serial
+ * result is then the column-slice theorem, not a trivially-serial
+ * no-op. The (512, 24, 512) shape additionally stays inside the
+ * AVX-512 direct-path footprint, so the *sliced* direct kernel is
+ * exercised too.
+ */
+TEST(KernelsParallelTest, ContextGemmBitIdenticalAcrossThreadCounts)
+{
+    BackendGuard guard;
+    struct Dims {
+        std::size_t m, k, n;
+    };
+    const Dims shapes[] = {{97, 264, 129}, {64, 72, 256},
+                           {512, 24, 512}};
+
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        kernels::setBackend(backend);
+        for (Variant v :
+             {Variant::Plain, Variant::TransA, Variant::TransB}) {
+            for (const Dims &d : shapes) {
+                const Problem pr = makeProblem(d.m, d.k, d.n, v);
+                std::vector<float> serial(pr.m * pr.n, 0.0f);
+                runSerial(pr, serial.data(), {});
+
+                for (std::size_t threads : {1u, 2u, 8u}) {
+                    ThreadPool pool(threads);
+                    Workspace ws(threads);
+                    ExecContext ctx(pool);
+                    ctx.setWorkspace(&ws);
+                    std::vector<float> par(pr.m * pr.n, 0.0f);
+                    runWithContext(pr, par.data(), {}, ctx);
+                    ASSERT_EQ(std::memcmp(serial.data(), par.data(),
+                                          serial.size() *
+                                              sizeof(float)),
+                              0)
+                        << kernels::backendName(backend) << " "
+                        << variantName(v) << " m=" << pr.m
+                        << " k=" << pr.k << " n=" << pr.n << " at "
+                        << threads << " threads";
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Direct-path epilogue differential (the eligibility-audit
+ * regression): shapes satisfying the AVX-512 direct predicate, each
+ * run under every epilogue combination, against a double-precision
+ * golden model — serially, and through a parallel context that
+ * slices the columns.
+ */
+TEST(KernelsParallelTest, DirectEligibleShapesHandleEveryEpilogue)
+{
+    BackendGuard guard;
+    struct Dims {
+        std::size_t m, k, n;
+    };
+    // m % 8 == 0, k <= 256, k*n <= 12288: direct-eligible on
+    // AVX-512. The last shape sits exactly on the k*n boundary and
+    // is wide enough to be column-sliced by the parallel dispatcher.
+    const Dims shapes[] = {{8, 16, 24}, {16, 64, 32}, {32, 128, 48},
+                           {512, 24, 512}};
+    const float c0 = 1.25f; // exact in binary32
+
+    enum class Ep { None, Accumulate, BiasRow, BiasCol };
+
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        kernels::setBackend(backend);
+        for (const Dims &d : shapes) {
+            const Problem pr =
+                makeProblem(d.m, d.k, d.n, Variant::Plain);
+            std::vector<float> rbias(pr.m), cbias(pr.n);
+            for (std::size_t i = 0; i < pr.m; ++i)
+                rbias[i] = 0.5f * static_cast<float>(i % 7) - 1.0f;
+            for (std::size_t j = 0; j < pr.n; ++j)
+                cbias[j] = 0.25f * static_cast<float>(j % 5) + 0.125f;
+
+            for (Ep e : {Ep::None, Ep::Accumulate, Ep::BiasRow,
+                         Ep::BiasCol}) {
+                kernels::Epilogue ep;
+                switch (e) {
+                case Ep::None:
+                    break;
+                case Ep::Accumulate:
+                    ep = kernels::Epilogue::accumulateInto();
+                    break;
+                case Ep::BiasRow:
+                    ep = kernels::Epilogue::biasPerRow(rbias.data());
+                    break;
+                case Ep::BiasCol:
+                    ep = kernels::Epilogue::biasPerCol(cbias.data());
+                    break;
+                }
+
+                const float seed = ep.accumulate ? c0 : 0.0f;
+                std::vector<float> serial(pr.m * pr.n, seed);
+                runSerial(pr, serial.data(), ep);
+
+                // Golden check: product + seed + bias within the
+                // analytic re-association bound.
+                for (std::size_t i = 0; i < pr.m; ++i) {
+                    for (std::size_t j = 0; j < pr.n; ++j) {
+                        double golden = ep.accumulate
+                                            ? static_cast<double>(c0)
+                                            : 0.0;
+                        double mag = std::fabs(golden);
+                        for (std::size_t p = 0; p < pr.k; ++p) {
+                            const double t =
+                                static_cast<double>(pr.A(i, p)) *
+                                static_cast<double>(pr.B(p, j));
+                            golden += t;
+                            mag += std::fabs(t);
+                        }
+                        if (ep.biasKind == kernels::BiasKind::PerRow)
+                            golden += rbias[i];
+                        if (ep.biasKind == kernels::BiasKind::PerCol)
+                            golden += cbias[j];
+                        mag += std::fabs(golden);
+                        const double bound =
+                            2.0 * static_cast<double>(pr.k + 3) *
+                                kEps * mag +
+                            1e-30;
+                        ASSERT_NEAR(static_cast<double>(
+                                        serial[i * pr.n + j]),
+                                    golden, bound)
+                            << kernels::backendName(backend)
+                            << " epilogue "
+                            << static_cast<int>(e) << " m=" << pr.m
+                            << " k=" << pr.k << " n=" << pr.n
+                            << " at (" << i << "," << j << ")";
+                    }
+                }
+
+                // Sliced execution must not change a bit, epilogues
+                // included: the parallel dispatcher applies the
+                // bias per column slice.
+                ThreadPool pool(4);
+                Workspace ws(4);
+                ExecContext ctx(pool);
+                ctx.setWorkspace(&ws);
+                std::vector<float> par(pr.m * pr.n, seed);
+                runWithContext(pr, par.data(), ep, ctx);
+                ASSERT_EQ(std::memcmp(serial.data(), par.data(),
+                                      serial.size() * sizeof(float)),
+                          0)
+                    << kernels::backendName(backend) << " epilogue "
+                    << static_cast<int>(e) << " m=" << pr.m
+                    << " k=" << pr.k << " n=" << pr.n
+                    << " diverges under column slicing";
+            }
+        }
+    }
+}
+
+/**
+ * gemmBatch == per-problem gemm, bit for bit, at every batch size
+ * and thread count, with a mixed per-problem bias override — the
+ * kernel-level statement of the batching determinism contract.
+ */
+TEST(KernelsParallelTest, GemmBatchBitIdenticalToPerProblemGemm)
+{
+    BackendGuard guard;
+    const std::size_t m = 32, k = 72, n = 64;
+
+    for (kernels::Backend backend : {kernels::Backend::Reference,
+                                     kernels::Backend::Blocked}) {
+        kernels::setBackend(backend);
+        for (std::size_t count : {1u, 4u, 16u}) {
+            std::vector<Problem> prs;
+            for (std::size_t p = 0; p < count; ++p)
+                prs.push_back(makeProblem(m, k, n, Variant::Plain,
+                                          0x100 + p));
+
+            std::vector<float> shared_bias(n), alt_bias(n);
+            for (std::size_t j = 0; j < n; ++j) {
+                shared_bias[j] = 0.5f - 0.01f * static_cast<float>(j);
+                alt_bias[j] = -0.25f + 0.02f * static_cast<float>(j);
+            }
+            const kernels::Epilogue ep =
+                kernels::Epilogue::biasPerCol(shared_bias.data());
+
+            // Expected: each problem served alone through the
+            // serial context-free call, with its effective bias.
+            std::vector<std::vector<float>> expect(count);
+            for (std::size_t p = 0; p < count; ++p) {
+                expect[p].assign(m * n, 0.0f);
+                const kernels::Epilogue pep =
+                    kernels::Epilogue::biasPerCol(
+                        p % 2 ? alt_bias.data()
+                              : shared_bias.data());
+                runSerial(prs[p], expect[p].data(), pep);
+            }
+
+            for (std::size_t threads : {1u, 2u, 8u}) {
+                ThreadPool pool(threads);
+                Workspace ws(threads);
+                ExecContext ctx(pool);
+                ctx.setWorkspace(&ws);
+
+                std::vector<std::vector<float>> got(count);
+                std::vector<kernels::GemmProblem> gps(count);
+                for (std::size_t p = 0; p < count; ++p) {
+                    got[p].assign(m * n, 0.0f);
+                    gps[p].a = prs[p].a.data();
+                    gps[p].b = prs[p].b.data();
+                    gps[p].c = got[p].data();
+                    // Odd problems override the shared bias.
+                    gps[p].bias = p % 2 ? alt_bias.data() : nullptr;
+                }
+                kernels::gemmBatch(gps.data(), count, {m, k}, {k, n},
+                                   ep, ctx);
+
+                for (std::size_t p = 0; p < count; ++p) {
+                    ASSERT_EQ(std::memcmp(expect[p].data(),
+                                          got[p].data(),
+                                          expect[p].size() *
+                                              sizeof(float)),
+                              0)
+                        << kernels::backendName(backend)
+                        << " problem " << p << " of " << count
+                        << " at " << threads << " threads";
+                }
+            }
+        }
+    }
+}
+
+/**
+ * A context-aware gemm issued from *inside* one of the context's own
+ * chunks must not fan out again (lane arenas are per-chunk), and
+ * must still produce the serial bits — the layer-level pattern of
+ * conv/fc chunk loops that call gemm per chunk.
+ */
+TEST(KernelsParallelTest, NestedContextGemmStaysSerialAndBitIdentical)
+{
+    BackendGuard guard;
+    kernels::setBackend(kernels::Backend::Blocked);
+
+    const Problem pr = makeProblem(97, 264, 129, Variant::Plain);
+    std::vector<float> serial(pr.m * pr.n, 0.0f);
+    runSerial(pr, serial.data(), {});
+
+    ThreadPool pool(4);
+    Workspace ws(4);
+    ExecContext ctx(pool);
+    ctx.setWorkspace(&ws);
+
+    constexpr std::size_t kChunks = 4;
+    std::vector<std::vector<float>> per_chunk(
+        kChunks, std::vector<float>(pr.m * pr.n, 0.0f));
+    parallelForChunks(ctx, kChunks,
+                      [&](std::size_t c0, std::size_t c1,
+                          std::size_t lane) {
+                          for (std::size_t c = c0; c < c1; ++c) {
+                              kernels::gemm(pr.a.data(), pr.shapeA(),
+                                            pr.b.data(), pr.shapeB(),
+                                            per_chunk[c].data(), {},
+                                            ctx, lane);
+                          }
+                      });
+    for (std::size_t c = 0; c < kChunks; ++c) {
+        ASSERT_EQ(std::memcmp(serial.data(), per_chunk[c].data(),
+                              serial.size() * sizeof(float)),
+                  0)
+            << "nested chunk " << c << " diverges";
+    }
+}
+
+} // namespace
+} // namespace redeye
