@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Chaos-schedule baseline: fleet serving through scripted device
+ * failures.
+ *
+ * Runs the fault-tolerant fleet engine against a scripted chaos
+ * schedule — kill a fraction of the device pool mid-run, recover half
+ * of the killed devices later — and reports how the fault-tolerance
+ * layer (probe sweeps, quarantine/recovery, deadlines with
+ * retry/backoff and hedging, brownout shedding) holds service
+ * through it:
+ *
+ *  - **terminality**: every admitted request reaches exactly one
+ *    terminal status (completed or shed-with-cause); the bench
+ *    asserts the conservation invariants and exits nonzero on any
+ *    lost request;
+ *  - **SLO through chaos**: per-window INTERACTIVE SLO attainment is
+ *    printed for the whole run, not just end-to-end;
+ *  - **determinism**: the run is a pure function of the seed, so two
+ *    invocations with the same flags produce byte-identical CSVs
+ *    (CI diffs them).
+ *
+ * Flags:
+ *   --clients N        sessions (default 96)
+ *   --devices N        RedEye devices in the pool (default 16)
+ *   --hosts N          host tail workers (default 16)
+ *   --frames N         frames offered per session (default 48)
+ *   --rate R           per-session Poisson arrival rate (default 2)
+ *   --kill-frac F      fraction of devices killed (default 0.3)
+ *   --kill-at S        virtual time of the kills (default 4.2)
+ *   --recover-at S     virtual time half the kills recover
+ *                      (default 12)
+ *   --dead F           dead-column fraction of a killed device
+ *                      (default 0.9)
+ *   --probe-period S   calibration sweep period (default 0.5)
+ *   --window S         reporting window span (default 2)
+ *   --capacity N       shared queue bound (default 256)
+ *   --seed S           fleet seed (default 0xc4a05)
+ *   --csv PATH         write summary + per-window rows as CSV
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hh"
+#include "core/logging.hh"
+#include "core/table.hh"
+#include "fleet/engine.hh"
+
+using namespace redeye;
+
+namespace {
+
+struct Options {
+    std::size_t clients = 96;
+    std::size_t devices = 16;
+    std::size_t hosts = 16;
+    std::uint64_t frames = 48;
+    double rateHz = 2.0;
+    double killFrac = 0.3;
+    double killAtS = 4.2;
+    double recoverAtS = 12.0;
+    double deadFrac = 0.9;
+    double probePeriodS = 0.5;
+    double windowS = 2.0;
+    std::size_t capacity = 256;
+    std::uint64_t seed = 0xc4a05;
+    std::string csvPath;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    opt.csvPath = stripCsvFlag(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--clients") {
+            opt.clients = std::stoul(value());
+        } else if (arg == "--devices") {
+            opt.devices = std::stoul(value());
+        } else if (arg == "--hosts") {
+            opt.hosts = std::stoul(value());
+        } else if (arg == "--frames") {
+            opt.frames = std::stoull(value());
+        } else if (arg == "--rate") {
+            opt.rateHz = std::stod(value());
+        } else if (arg == "--kill-frac") {
+            opt.killFrac = std::stod(value());
+        } else if (arg == "--kill-at") {
+            opt.killAtS = std::stod(value());
+        } else if (arg == "--recover-at") {
+            opt.recoverAtS = std::stod(value());
+        } else if (arg == "--dead") {
+            opt.deadFrac = std::stod(value());
+        } else if (arg == "--probe-period") {
+            opt.probePeriodS = std::stod(value());
+        } else if (arg == "--window") {
+            opt.windowS = std::stod(value());
+        } else if (arg == "--capacity") {
+            opt.capacity = std::stoul(value());
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value(), nullptr, 0);
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+    return opt;
+}
+
+fleet::FleetConfig
+chaosConfig(const Options &opt)
+{
+    fleet::FleetConfig cfg;
+    cfg.sessions = opt.clients;
+    cfg.framesPerSession = opt.frames;
+    cfg.sessionRateHz = opt.rateHz;
+    cfg.seed = opt.seed;
+    cfg.pool.devices = opt.devices;
+    cfg.pool.hostWorkers = opt.hosts;
+    cfg.queueCapacity = opt.capacity;
+    cfg.ft.enabled = true;
+    cfg.ft.probePeriodS = opt.probePeriodS;
+    cfg.windowS = opt.windowS;
+
+    // The schedule: kill the first killFrac of the pool at killAtS,
+    // recover every second victim at recoverAtS. Deterministic by
+    // construction — the chaos script is part of the config.
+    const std::size_t kills = static_cast<std::size_t>(
+        opt.killFrac * static_cast<double>(opt.devices));
+    for (std::size_t i = 0; i < kills; ++i) {
+        fleet::ChaosEvent kill;
+        kill.timeS = opt.killAtS;
+        kill.device = i;
+        kill.kind = fleet::ChaosEvent::Kind::Kill;
+        kill.deadFraction = opt.deadFrac;
+        cfg.chaos.push_back(kill);
+    }
+    for (std::size_t i = 0; i < kills; i += 2) {
+        fleet::ChaosEvent recover;
+        recover.timeS = opt.recoverAtS;
+        recover.device = i;
+        recover.kind = fleet::ChaosEvent::Kind::Recover;
+        cfg.chaos.push_back(recover);
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+    const fleet::FleetConfig cfg = chaosConfig(opt);
+
+    std::cout << "fleet_chaos: " << opt.clients << " clients on "
+              << opt.devices << " devices, kill "
+              << static_cast<std::size_t>(
+                     opt.killFrac *
+                     static_cast<double>(opt.devices))
+              << " at t=" << opt.killAtS << "s, recover half at t="
+              << opt.recoverAtS << "s\n\n";
+
+    fleet::FleetEngine engine(cfg);
+    const fleet::FleetReport r = engine.run();
+    r.print(std::cout);
+
+    // Terminality: nothing admitted may be lost. These are the
+    // acceptance invariants; a violation is a bug in the engine.
+    bool ok = true;
+    if (r.offered != r.admitted + r.dropped) {
+        std::cerr << "FAIL: offered " << r.offered
+                  << " != admitted " << r.admitted << " + dropped "
+                  << r.dropped << "\n";
+        ok = false;
+    }
+    if (r.admitted != r.completed + r.shed) {
+        std::cerr << "FAIL: admitted " << r.admitted
+                  << " != completed " << r.completed << " + shed "
+                  << r.shed << "\n";
+        ok = false;
+    }
+    if (r.shed != r.shedDeadline + r.shedUnavailable +
+                      r.shedResource + r.shedBrownout) {
+        std::cerr << "FAIL: shed causes do not cover shed total\n";
+        ok = false;
+    }
+
+    const std::size_t interactive =
+        fleet::classIndex(fleet::TrafficClass::Interactive);
+
+    TablePrinter table("per-window serving through chaos");
+    table.setHeader({"window", "t0", "t1", "done_int", "slo_int%",
+                     "shed_total", "retries", "hedges", "devices",
+                     "brownout"});
+    for (std::size_t i = 0; i < r.windows.size(); ++i) {
+        const fleet::FleetWindow &w = r.windows[i];
+        std::uint64_t shed_total = 0;
+        for (std::size_t c = 0; c < fleet::kTrafficClasses; ++c)
+            shed_total += w.shed[c];
+        table.addRow(
+            {std::to_string(i), fmt(w.startS, 1), fmt(w.endS, 1),
+             std::to_string(w.completed[interactive]),
+             fmt(w.sloAttainment(interactive) * 100.0, 2),
+             std::to_string(shed_total),
+             std::to_string(w.retries), std::to_string(w.hedges),
+             std::to_string(w.activeDevicesMin),
+             std::to_string(w.brownoutLevel)});
+    }
+    table.print(std::cout);
+
+    double worst_slo = 1.0;
+    for (const fleet::FleetWindow &w : r.windows)
+        worst_slo = std::min(worst_slo,
+                             w.sloAttainment(interactive));
+    std::cout << "\nworst-window INTERACTIVE SLO attainment: "
+              << fmt(worst_slo * 100.0, 2) << "%\n"
+              << "every admitted request terminal: "
+              << (ok ? "yes" : "NO") << "\n";
+
+    if (!opt.csvPath.empty()) {
+        CsvWriter csv(opt.csvPath);
+        csv.header({"window", "start_s", "end_s",
+                    "completed_interactive", "completed_background",
+                    "completed_best_effort", "slo_interactive",
+                    "shed_interactive", "shed_background",
+                    "shed_best_effort", "retries", "hedges",
+                    "active_devices_min", "brownout_level"});
+        for (std::size_t i = 0; i < r.windows.size(); ++i) {
+            const fleet::FleetWindow &w = r.windows[i];
+            csv.row({std::to_string(i), fmt(w.startS, 3),
+                     fmt(w.endS, 3),
+                     std::to_string(w.completed[0]),
+                     std::to_string(w.completed[1]),
+                     std::to_string(w.completed[2]),
+                     fmt(w.sloAttainment(interactive), 4),
+                     std::to_string(w.shed[0]),
+                     std::to_string(w.shed[1]),
+                     std::to_string(w.shed[2]),
+                     std::to_string(w.retries),
+                     std::to_string(w.hedges),
+                     std::to_string(w.activeDevicesMin),
+                     std::to_string(w.brownoutLevel)});
+        }
+        std::cout << "wrote " << csv.rows() << " window rows to "
+                  << csv.path() << "\n";
+    }
+
+    return ok ? 0 : 1;
+}

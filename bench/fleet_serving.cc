@@ -36,6 +36,12 @@
  *   --content-threads T  threads for the content pass (default 2)
  *   --content-batch N  host-tail batch size of the content pass
  *                      (default 1; predictions are batch-invariant)
+ *   --ft               enable the fault-tolerance layer (deadlines,
+ *                      retry/backoff, hedging, brownout)
+ *   --probe-period S   calibration-probe sweep period in virtual
+ *                      seconds (default 0.25 when --ft is given)
+ *   --onset-frames N   per-device fault onset horizon in served
+ *                      frames (default 0 = faults present from birth)
  *   --seed S           fleet seed (default 0xf1ee7)
  *   --csv PATH         also write the sweep as CSV
  */
@@ -69,6 +75,9 @@ struct Options {
     std::size_t content = 0;
     std::size_t contentThreads = 2;
     std::size_t contentBatch = 1;
+    bool ft = false;
+    double probePeriodS = 0.25;
+    std::uint64_t onsetFrames = 0;
     std::uint64_t seed = 0xf1ee7;
     std::string csvPath;
 };
@@ -127,6 +136,12 @@ parseOptions(int argc, char **argv)
             opt.contentThreads = std::stoul(value());
         } else if (arg == "--content-batch") {
             opt.contentBatch = std::stoul(value());
+        } else if (arg == "--ft") {
+            opt.ft = true;
+        } else if (arg == "--probe-period") {
+            opt.probePeriodS = std::stod(value());
+        } else if (arg == "--onset-frames") {
+            opt.onsetFrames = std::stoull(value());
         } else if (arg == "--seed") {
             opt.seed = std::stoull(value(), nullptr, 0);
         } else {
@@ -153,6 +168,11 @@ fleetConfig(const Options &opt, std::size_t clients)
     cfg.contentSessions = std::min(opt.content, clients);
     cfg.contentThreads = opt.contentThreads;
     cfg.contentBatch = opt.contentBatch;
+    if (opt.ft) {
+        cfg.ft.enabled = true;
+        cfg.ft.probePeriodS = opt.probePeriodS;
+        cfg.pool.onsetHorizonFrames = opt.onsetFrames;
+    }
     return cfg;
 }
 
@@ -229,7 +249,12 @@ main(int argc, char **argv)
                     "latency_p95_s", "latency_p99_s", "slo_s",
                     "slo_attainment", "fairness",
                     "system_j_per_frame", "device_util",
-                    "host_util"});
+                    "host_util",
+                    // Fault-tolerance attribution (all zero with the
+                    // layer off, so joins stay schema-stable).
+                    "retries", "hedges", "hedge_wins", "degraded",
+                    "shed_deadline", "shed_unavailable",
+                    "shed_resource", "shed_brownout"});
         for (const Row &r : rows) {
             // Empty cells (not zeros) for the latency columns of a
             // class that completed nothing: a zero would read as a
@@ -251,7 +276,15 @@ main(int argc, char **argv)
                      fmt(r.cls.sloAttainment, 4),
                      fmt(r.cls.fairness, 4),
                      fmt(r.cls.meanSystemJ, 9),
-                     fmt(r.deviceUtil, 4), fmt(r.hostUtil, 4)});
+                     fmt(r.deviceUtil, 4), fmt(r.hostUtil, 4),
+                     std::to_string(r.cls.retries),
+                     std::to_string(r.cls.hedges),
+                     std::to_string(r.cls.hedgeWins),
+                     std::to_string(r.cls.degraded),
+                     std::to_string(r.cls.shedDeadline),
+                     std::to_string(r.cls.shedUnavailable),
+                     std::to_string(r.cls.shedResource),
+                     std::to_string(r.cls.shedBrownout)});
         }
         std::cout << "\nwrote " << csv.rows() << " sweep rows to "
                   << csv.path() << "\n";

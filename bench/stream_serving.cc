@@ -276,8 +276,11 @@ main(int argc, char **argv)
             // cells when the stage ran unbatched.
             "host_threads",   "host_batch",    "host_batches",
             "host_batch_mean", "host_batch_max"};
-        for (const auto &stage : points.front().report.stages)
+        for (const auto &stage : points.front().report.stages) {
             header.push_back("failed_" + stage.name);
+            header.push_back("failed_timeout_" + stage.name);
+            header.push_back("failed_error_" + stage.name);
+        }
         csv.header(header);
         for (const Point &p : points) {
             std::vector<std::string> row{
@@ -301,8 +304,11 @@ main(int argc, char **argv)
             row.push_back(host.batches
                               ? std::to_string(host.batchMax)
                               : "");
-            for (const auto &stage : p.report.stages)
+            for (const auto &stage : p.report.stages) {
                 row.push_back(std::to_string(stage.failed));
+                row.push_back(std::to_string(stage.failedByTimeout));
+                row.push_back(std::to_string(stage.failedByError));
+            }
             csv.row(row);
         }
         std::cout << "\nwrote " << csv.rows() << " sweep rows to "

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deadline, backoff and retry-budget utilities for serving runtimes.
+ *
+ * The fleet's fault-tolerance layer (src/fleet/engine.hh) retries
+ * failed attempts on different devices, paces those retries with
+ * jittered exponential backoff, and bounds the extra load retries can
+ * inject with a per-class token budget. The primitives live here so
+ * the streaming runtime and tools can share them.
+ *
+ * Determinism: nothing in this header draws randomness. Backoff
+ * jitter is a pure function of a caller-supplied uniform draw, which
+ * serving code derives from counter-based streams (core/rng.hh), so a
+ * retry schedule is bit-reproducible across runs and machines.
+ *
+ * Retry classification is by Status code, never by message string
+ * (DESIGN.md §13):
+ *
+ *  - DEADLINE_EXCEEDED   an attempt (or request) ran out of time;
+ *                        retryable while the request deadline holds
+ *  - UNAVAILABLE         the serving resource failed the attempt;
+ *                        retryable on a different resource
+ *  - RESOURCE_EXHAUSTED  admission/budget rejection; NOT retryable
+ *                        (retrying against an exhausted resource only
+ *                        amplifies the overload)
+ */
+
+#ifndef REDEYE_CORE_RETRY_HH
+#define REDEYE_CORE_RETRY_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/status.hh"
+
+namespace redeye {
+
+/** Jittered exponential backoff parameters. */
+struct BackoffConfig {
+    double initialS = 0.005; ///< delay before the first retry
+    double multiplier = 2.0; ///< growth per attempt (>= 1)
+    double maxS = 0.25;      ///< delay ceiling
+
+    /**
+     * Jitter fraction in [0, 1]: the realized delay is
+     * base * (1 - jitter + jitter * u) for a uniform draw u in
+     * [0, 1), so 0 = fully deterministic, 1 = "full jitter" over
+     * (0, base].
+     */
+    double jitter = 0.5;
+};
+
+/**
+ * Backoff delay before retry number @p attempt (0 = first retry).
+ * Pure function of (config, attempt, u); @p u must be a uniform draw
+ * in [0, 1) — callers derive it from a counter-based stream keyed by
+ * the request so the schedule is deterministic.
+ */
+inline double
+backoffDelayS(const BackoffConfig &config, unsigned attempt, double u)
+{
+    const double grow = std::pow(std::max(config.multiplier, 1.0),
+                                 static_cast<double>(attempt));
+    const double base =
+        std::min(config.maxS, config.initialS * grow);
+    const double j = std::clamp(config.jitter, 0.0, 1.0);
+    return base * (1.0 - j + j * u);
+}
+
+/**
+ * True when a failed attempt with this code may be retried (against
+ * a different resource). See the file header for the taxonomy.
+ */
+inline bool
+retryableStatus(StatusCode code)
+{
+    return code == StatusCode::DeadlineExceeded ||
+           code == StatusCode::Unavailable;
+}
+
+/**
+ * Token-bucket retry budget: every served request credits a fraction
+ * of a token, every retry debits a whole one, so sustained retry
+ * traffic is bounded at `ratio` times the request rate no matter how
+ * hard the backend is failing (the classic retry-storm guard).
+ *
+ * Plain value type, externally synchronized (the fleet engine is
+ * single-threaded); all state is a pair of doubles, so budgets can
+ * live in pre-sized per-class arrays without heap allocation.
+ */
+class RetryBudget
+{
+  public:
+    RetryBudget() = default;
+
+    /**
+     * @param ratio Tokens credited per request (sustained retry
+     * fraction). @param cap Token ceiling (burst allowance).
+     * @param initial Starting balance (<= cap).
+     */
+    RetryBudget(double ratio, double cap, double initial)
+        : ratio_(std::max(ratio, 0.0)), cap_(std::max(cap, 0.0)),
+          tokens_(std::clamp(initial, 0.0, cap_))
+    {
+    }
+
+    /** Credit the budget for one offered request. */
+    void
+    credit()
+    {
+        tokens_ = std::min(cap_, tokens_ + ratio_);
+    }
+
+    /** Spend one token; false (and no change) when broke. */
+    bool
+    tryAcquire()
+    {
+        if (tokens_ < 1.0)
+            return false;
+        tokens_ -= 1.0;
+        return true;
+    }
+
+    double tokens() const { return tokens_; }
+    double ratio() const { return ratio_; }
+
+  private:
+    double ratio_ = 0.0;
+    double cap_ = 0.0;
+    double tokens_ = 0.0;
+};
+
+} // namespace redeye
+
+#endif // REDEYE_CORE_RETRY_HH

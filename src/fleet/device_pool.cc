@@ -31,6 +31,20 @@ healthRank(stream::DegradeMode mode)
 
 } // namespace
 
+const char *
+deviceLifecycleName(DeviceLifecycle lc)
+{
+    switch (lc) {
+      case DeviceLifecycle::Active:
+        return "active";
+      case DeviceLifecycle::Quarantined:
+        return "quarantined";
+      case DeviceLifecycle::Retired:
+        return "retired";
+    }
+    return "?";
+}
+
 DevicePool::DevicePool(
     const DevicePoolConfig &config,
     std::shared_ptr<stream::DegradePlanCache> plan_cache)
@@ -63,29 +77,46 @@ DevicePool::DevicePool(
             dead = config.faultyDeadColumns;
         slot.deadColumnFraction = dead;
 
+        // Realize the campaign once and keep it on the slot: the
+        // engine reprobes against it with the device's own frame
+        // clock as the faults onset and drift.
+        if (dead > 0.0) {
+            fault::FaultCampaign campaign =
+                fault::FaultCampaign::deadColumns(
+                    dead, splitmix64(config.seed ^ (i + 1)));
+            campaign.onsetHorizon = config.onsetHorizonFrames;
+            slot.faults = std::make_shared<const fault::FaultModel>(
+                campaign, config.array.columns);
+        }
+
         // Run the single-stream calibration path for this device:
         // probe the (possibly faulty) array, derive the plan, and
         // publish it under the device's own key in the shared cache.
         // The plan key's epoch slot carries the device id — distinct
         // devices are distinct "epochs" of the same array config.
+        // With an onset horizon the birth probe runs at frame 0 (the
+        // device has served nothing), so dormant faults are — by
+        // design — not yet visible; without one the legacy probe
+        // frame (the device id) is kept so existing draws and plans
+        // reproduce bit-for-bit.
+        const std::uint64_t probe_frame =
+            config.onsetHorizonFrames > 0 ? 0 : i;
         const std::uint64_t key =
             stream::degradePlanKey(i, config.array, policy);
         slot.plan = planCache_->fetch(key, [&]() {
-            if (dead <= 0.0)
-                return stream::planDegradation(
-                    stream::runCalibrationProbe(config.array,
-                                                nullptr, i),
-                    config.array, policy);
-            fault::FaultModel faults(
-                fault::FaultCampaign::deadColumns(
-                    dead, splitmix64(config.seed ^ (i + 1))),
-                config.array.columns);
             return stream::planDegradation(
-                stream::runCalibrationProbe(config.array, &faults,
-                                            i),
+                stream::runCalibrationProbe(config.array,
+                                            slot.faults.get(),
+                                            probe_frame),
                 config.array, policy);
         });
         slot.health = slot.plan.mode;
+        if (config.onsetHorizonFrames > 0 &&
+            slot.plan.mode == stream::DegradeMode::Normal) {
+            // Dormant faults: the device *serves* healthy until the
+            // onset fires, so its service model must not stretch.
+            slot.deadColumnFraction = 0.0;
+        }
     }
 
     for (std::size_t i = 0; i < hosts_.size(); ++i)
@@ -96,7 +127,7 @@ DevicePool::DevicePool(
 }
 
 int
-DevicePool::leaseDevice(std::uint64_t session)
+DevicePool::leaseDevice(std::uint64_t session, int exclude)
 {
     if (idleDevices_ == 0)
         return -1;
@@ -104,7 +135,9 @@ DevicePool::leaseDevice(std::uint64_t session)
     int best_rank = 4;
     for (std::size_t i = 0; i < devices_.size(); ++i) {
         const DeviceSlot &slot = devices_[i];
-        if (slot.busy)
+        if (slot.busy ||
+            slot.lifecycle != DeviceLifecycle::Active ||
+            static_cast<int>(i) == exclude)
             continue;
         const int rank = healthRank(slot.health);
         if (rank < best_rank) {
@@ -114,7 +147,12 @@ DevicePool::leaseDevice(std::uint64_t session)
                 break; // cannot do better than healthy
         }
     }
-    fatal_if(best < 0, "idle count out of sync with slots");
+    if (best < 0) {
+        // Only the excluded device is idle: the caller decides
+        // whether to fall back to it or wait.
+        fatal_if(exclude < 0, "idle count out of sync with slots");
+        return -1;
+    }
     devices_[best].busy = true;
     devices_[best].leasedTo = session;
     --idleDevices_;
@@ -133,7 +171,10 @@ DevicePool::releaseDevice(std::size_t index, double busy_s,
     ++slot.framesServed;
     slot.busyS += busy_s;
     slot.energyJ += energy_j;
-    ++idleDevices_;
+    // A device quarantined or retired mid-lease drains here: only
+    // Active slots rejoin the idle set.
+    if (slot.lifecycle == DeviceLifecycle::Active)
+        ++idleDevices_;
 }
 
 int
@@ -180,12 +221,123 @@ DevicePool::host(std::size_t i) const
     return hosts_[i];
 }
 
+void
+DevicePool::quarantineDevice(std::size_t index)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    DeviceSlot &slot = devices_[index];
+    fatal_if(slot.lifecycle != DeviceLifecycle::Active,
+             "quarantining a non-active device");
+    if (!slot.busy)
+        --idleDevices_;
+    slot.lifecycle = DeviceLifecycle::Quarantined;
+    slot.serveErrors = 0;
+    slot.reprobeAttempts = 0;
+    ++slot.quarantines;
+}
+
+void
+DevicePool::retireDevice(std::size_t index)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    DeviceSlot &slot = devices_[index];
+    fatal_if(slot.lifecycle == DeviceLifecycle::Retired,
+             "retiring a retired device");
+    if (slot.lifecycle == DeviceLifecycle::Active && !slot.busy)
+        --idleDevices_;
+    slot.lifecycle = DeviceLifecycle::Retired;
+}
+
+void
+DevicePool::reactivateDevice(std::size_t index,
+                             const stream::DegradePlan &plan,
+                             double dead_fraction)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    DeviceSlot &slot = devices_[index];
+    fatal_if(slot.lifecycle == DeviceLifecycle::Retired,
+             "reactivating a retired device");
+    if (slot.lifecycle == DeviceLifecycle::Quarantined)
+        ++slot.recoveries;
+    const bool was_idle_active =
+        slot.lifecycle == DeviceLifecycle::Active && !slot.busy;
+    slot.lifecycle = DeviceLifecycle::Active;
+    slot.plan = plan;
+    slot.health = plan.mode;
+    // Clamp: a fully-dead array would make the remap stretch factor
+    // 1/(1-f) explode; such arrays plan Bypass anyway.
+    slot.deadColumnFraction = std::min(dead_fraction, 0.95);
+    slot.serveErrors = 0;
+    slot.healthEwma = 1.0;
+    ++slot.planGeneration;
+    if (!slot.busy && !was_idle_active)
+        ++idleDevices_;
+}
+
+void
+DevicePool::setDeviceFaults(
+    std::size_t index,
+    std::shared_ptr<const fault::FaultModel> faults)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    devices_[index].faults = std::move(faults);
+}
+
+std::uint64_t
+DevicePool::recordServeError(std::size_t index)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    DeviceSlot &slot = devices_[index];
+    ++slot.errorsTotal;
+    return ++slot.serveErrors;
+}
+
+void
+DevicePool::setHealthScore(std::size_t index, double ewma)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    devices_[index].healthEwma = ewma;
+}
+
+std::uint64_t
+DevicePool::bumpReprobeAttempt(std::size_t index)
+{
+    fatal_if(index >= devices_.size(), "device index out of range");
+    return ++devices_[index].reprobeAttempts;
+}
+
 std::size_t
 DevicePool::healthCount(stream::DegradeMode mode) const
 {
     return static_cast<std::size_t>(std::count_if(
         devices_.begin(), devices_.end(),
         [mode](const DeviceSlot &s) { return s.health == mode; }));
+}
+
+std::size_t
+DevicePool::lifecycleCount(DeviceLifecycle lc) const
+{
+    return static_cast<std::size_t>(std::count_if(
+        devices_.begin(), devices_.end(),
+        [lc](const DeviceSlot &s) { return s.lifecycle == lc; }));
+}
+
+std::uint64_t
+DevicePool::totalQuarantines() const
+{
+    std::uint64_t n = 0;
+    for (const DeviceSlot &s : devices_)
+        n += s.quarantines;
+    return n;
+}
+
+std::uint64_t
+DevicePool::totalRecoveries() const
+{
+    std::uint64_t n = 0;
+    for (const DeviceSlot &s : devices_)
+        n += s.recoveries;
+    return n;
 }
 
 double

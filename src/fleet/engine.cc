@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/alloc.hh"
 #include "core/logging.hh"
 #include "core/rng.hh"
 #include "data/shapes_dataset.hh"
@@ -13,6 +14,7 @@
 #include "redeye/energy_model.hh"
 #include "redeye/scheduler.hh"
 #include "stream/frame_source.hh"
+#include "stream/probe.hh"
 #include "stream/vision.hh"
 
 namespace redeye {
@@ -21,9 +23,18 @@ namespace fleet {
 namespace {
 
 // Counter-RNG pass salts: one independent stream per decision kind.
+// Counter-based draws keyed by (session seed, pass, item) are
+// independent across passes, so the fault-tolerance layer's draws
+// never perturb the legacy class/arrival/jitter streams — a run with
+// the layer off is event-for-event identical to the pre-layer engine.
 constexpr std::uint64_t kClassPass = 0xc1a55;
 constexpr std::uint64_t kDevicePass = 0x0de7;
 constexpr std::uint64_t kHostPass = 0x09057;
+constexpr std::uint64_t kFailPass = 0xfa11;
+constexpr std::uint64_t kBackoffPass = 0xbac0ff;
+constexpr std::uint64_t kRetryPass = 0x4e72;
+constexpr std::uint64_t kHedgePass = 0x43d9e;
+constexpr std::uint64_t kReprobePass = 0x4e9086;
 
 /** Flow-control-only service time of a bypassed device: the frame
  * transits the array's routing fabric without engaging a module. */
@@ -63,6 +74,17 @@ contentKey(std::uint64_t session_seed, std::uint64_t frame)
     return splitmix64(session_seed ^ splitmix64(frame * kPassSalt));
 }
 
+/**
+ * willFail-draw item: unique per (frame, attempt, leg) while
+ * attempts stay below 4 and legs below 2 — both structural limits
+ * (QosClassConfig::maxAttempts and the two-leg record).
+ */
+std::uint64_t
+failItem(std::uint64_t frame, std::uint8_t attempt, std::uint8_t leg)
+{
+    return frame * 8 + static_cast<std::uint64_t>(attempt) * 2 + leg;
+}
+
 } // namespace
 
 FleetEngine::FleetEngine(const FleetConfig &config)
@@ -73,13 +95,22 @@ FleetEngine::FleetEngine(const FleetConfig &config)
       deviceQueue_(std::max<std::size_t>(1, config.queueCapacity),
                    queueClasses(config.qos, config.queueCapacity)),
       hostQueue_(std::max<std::size_t>(1, config.queueCapacity),
-                 queueClasses(config.qos, config.queueCapacity))
+                 queueClasses(config.qos, config.queueCapacity)),
+      serviceHist_{{makeLatencyHistogram(), makeLatencyHistogram(),
+                    makeLatencyHistogram()}}
 {
+    static_assert(kTrafficClasses == 3,
+                  "serviceHist_ initializer assumes three classes");
     fatal_if(config_.sessions == 0, "fleet needs sessions");
     fatal_if(config_.framesPerSession == 0, "fleet needs frames");
     fatal_if(config_.sessionRateHz <= 0.0,
              "session rate must be positive");
     buildClassModels();
+
+    for (std::size_t c = 0; c < kTrafficClasses; ++c)
+        budgets_[c] = RetryBudget(config_.qos[c].retryBudgetRatio,
+                                  config_.ft.retryBudgetCap,
+                                  config_.ft.retryBudgetCap);
 }
 
 FleetEngine::~FleetEngine() = default;
@@ -144,6 +175,27 @@ FleetEngine::buildClassModels()
                      ? q.sloLatencyS
                      : q.sloMultiplier * (m.deviceS + m.hostTailS);
     }
+
+    // Mix-weighted service times for the brownout controller's
+    // capacity heuristic. The effective class shares mirror the
+    // admission draw: cumulative mix, with the remainder of the unit
+    // interval falling to the last class.
+    double prev = 0.0;
+    double cum = 0.0;
+    std::array<double, kTrafficClasses> share{};
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        cum += config_.mix[c];
+        const double hi = std::clamp(cum, 0.0, 1.0);
+        share[c] = std::max(0.0, hi - prev);
+        prev = hi;
+    }
+    share[kTrafficClasses - 1] += std::max(0.0, 1.0 - prev);
+    mixServiceS_ = 0.0;
+    mixHostFullS_ = 0.0;
+    for (std::size_t c = 0; c < kTrafficClasses; ++c) {
+        mixServiceS_ += share[c] * models_[c].deviceS;
+        mixHostFullS_ += share[c] * models_[c].hostFullS;
+    }
 }
 
 double
@@ -168,7 +220,19 @@ void
 FleetEngine::schedule(Event event)
 {
     event.seq = nextSeq_++;
-    events_.push(std::move(event));
+    events_.push_back(std::move(event));
+    std::push_heap(events_.begin(), events_.end(), EventAfter{});
+}
+
+bool
+FleetEngine::popEvent(Event &out)
+{
+    if (events_.empty())
+        return false;
+    std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+    out = std::move(events_.back());
+    events_.pop_back();
+    return true;
 }
 
 void
@@ -223,6 +287,119 @@ FleetEngine::admitSessions()
         arrival.timeS = db_.find(id)->arrivals.interarrivalS(0);
         schedule(std::move(arrival));
     }
+
+    if (ftOn()) {
+        for (std::size_t i = 0; i < config_.chaos.size(); ++i) {
+            fatal_if(config_.chaos[i].device >= pool_.devices(),
+                     "chaos event targets an unknown device");
+            Event e;
+            e.kind = Event::Kind::Chaos;
+            e.timeS = config_.chaos[i].timeS;
+            e.resource = static_cast<int>(i);
+            schedule(std::move(e));
+        }
+        if (config_.ft.probePeriodS > 0.0) {
+            Event sweep;
+            sweep.kind = Event::Kind::ProbeSweep;
+            sweep.timeS = config_.ft.probePeriodS;
+            schedule(std::move(sweep));
+        }
+    }
+}
+
+FleetWindow *
+FleetEngine::windowAt(double time_s)
+{
+    if (windows_.empty())
+        return nullptr;
+    std::size_t idx = static_cast<std::size_t>(
+        std::max(0.0, time_s) / config_.windowS);
+    idx = std::min(idx, windows_.size() - 1);
+    FleetWindow &w = windows_[idx];
+    w.activeDevicesMin =
+        std::min(w.activeDevicesMin, activeDevices_);
+    w.brownoutLevel = std::max(w.brownoutLevel, brownoutLevel_);
+    windowHighWater_ = std::max(windowHighWater_, idx + 1);
+    return &w;
+}
+
+void
+FleetEngine::noteActiveDevices(double time_s)
+{
+    windowAt(time_s); // side effect: fold the active-device low-water
+}
+
+void
+FleetEngine::shedWithCause(Session *s, StatusCode code, double now_s)
+{
+    ++s->stats.shed;
+    switch (code) {
+      case StatusCode::DeadlineExceeded:
+        ++s->stats.shedDeadline;
+        break;
+      case StatusCode::Unavailable:
+        ++s->stats.shedUnavailable;
+        break;
+      default:
+        // Queue-full, eviction, budget exhaustion: the frame lost a
+        // resource race (RESOURCE_EXHAUSTED).
+        ++s->stats.shedResource;
+        break;
+    }
+    if (FleetWindow *w = windowAt(now_s))
+        ++w->shed[classIndex(s->cls)];
+}
+
+int
+FleetEngine::allocRecord()
+{
+    fatal_if(recordFreeHead_ < 0, "request record pool exhausted");
+    const int i = recordFreeHead_;
+    recordFreeHead_ = records_[static_cast<std::size_t>(i)].freeNext;
+    records_[static_cast<std::size_t>(i)].freeNext = -1;
+    return i;
+}
+
+void
+FleetEngine::freeRecord(int index)
+{
+    RequestRecord &rec = records_[static_cast<std::size_t>(index)];
+    ++rec.gen; // invalidate in-flight HedgeFire/AttemptTimeout refs
+    rec.freeNext = recordFreeHead_;
+    recordFreeHead_ = index;
+}
+
+bool
+FleetEngine::otherLiveLeg(const RequestRecord &rec,
+                          std::uint8_t except) const
+{
+    for (std::uint8_t j = 0; j < rec.legCount; ++j) {
+        if (j == except)
+            continue;
+        if (!rec.legs[j].done && !rec.legs[j].dead)
+            return true;
+    }
+    return false;
+}
+
+double
+FleetEngine::undetectedDeadFraction(const DeviceSlot &slot) const
+{
+    // How much of the device's *currently active* fault set the
+    // serving plan does not route around. The plan's suspect list is
+    // what the last probe saw; columns whose onset fired since then
+    // are invisible to it and corrupt frames. Suspect identity is
+    // counted, not matched per column — adequate for a
+    // failure-probability model.
+    if (!slot.faults)
+        return 0.0;
+    const std::size_t active =
+        slot.faults->deadColumnCount(slot.framesServed);
+    const std::size_t covered = slot.plan.suspectColumns.size();
+    if (active <= covered)
+        return 0.0;
+    return static_cast<double>(active - covered) /
+           static_cast<double>(slot.faults->columns());
 }
 
 void
@@ -244,22 +421,46 @@ FleetEngine::onArrival(const Event &event)
         schedule(std::move(next));
     }
 
+    const std::size_t cls = classIndex(s->cls);
+    if (ftOn())
+        ++arrivalsSinceSweep_;
+
+    // Brownout level >= 1: BEST_EFFORT arrivals are shed at the
+    // door. Counted admit-then-shed so the conservation invariants
+    // (offered == admitted + dropped, admitted == completed + shed)
+    // hold with the controller engaged.
+    if (ftOn() && brownoutLevel_ >= 1 &&
+        s->cls == TrafficClass::BestEffort) {
+        ++s->stats.admitted;
+        ++s->stats.shed;
+        ++s->stats.shedBrownout;
+        if (FleetWindow *w = windowAt(now))
+            ++w->shed[cls];
+        return;
+    }
+
     QueuedFrame qf;
     qf.session = s->id;
     qf.frame = event.qf.frame;
     qf.arrivalS = now;
+    if (ftOn())
+        qf.deadlineS = now + config_.qos[cls].deadlineMultiplier *
+                                 models_[cls].sloS;
 
     std::optional<QueuedFrame> evicted;
     std::size_t evicted_class = 0;
     const ClassedPush outcome =
-        deviceQueue_.push(classIndex(s->cls), std::move(qf),
-                          &evicted, &evicted_class);
+        deviceQueue_.push(cls, std::move(qf), &evicted,
+                          &evicted_class);
     if (outcome == ClassedPush::Admitted) {
         ++s->stats.admitted;
+        if (ftOn())
+            budgets_[cls].credit();
         if (evicted) {
             Session *victim = db_.find(evicted->session);
             if (victim)
-                ++victim->stats.shed;
+                shedWithCause(victim,
+                              StatusCode::ResourceExhausted, now);
         }
     } else {
         ++s->stats.dropped;
@@ -296,13 +497,35 @@ FleetEngine::dispatchDevices(double now_s)
         std::size_t cls = 0;
         if (!deviceQueue_.tryPopWeighted(qf, cls))
             break;
-        const Session *s = db_.find(qf.session);
+        Session *s = db_.find(qf.session);
         fatal_if(s == nullptr, "queued frame of unknown session");
-        const int dev = pool_.leaseDevice(qf.session);
-        const DeviceSlot &slot = pool_.device(
-            static_cast<std::size_t>(dev));
-        const ClassModel &m = models_[cls];
 
+        // Expired requests are shed at the dequeue point: no device
+        // time is spent on a frame that already missed its deadline.
+        if (ftOn() && qf.deadlineS > 0.0 && now_s >= qf.deadlineS) {
+            shedWithCause(s, StatusCode::DeadlineExceeded, now_s);
+            continue;
+        }
+
+        int dev = -1;
+        if (ftOn() && qf.avoidDevice >= 0) {
+            dev = pool_.leaseDevice(qf.session, qf.avoidDevice);
+            // Only the device that failed the previous attempt is
+            // idle: taking it beats stalling the request.
+            if (dev < 0)
+                dev = pool_.leaseDevice(qf.session);
+        } else {
+            dev = pool_.leaseDevice(qf.session);
+        }
+        const DeviceSlot &slot =
+            pool_.device(static_cast<std::size_t>(dev));
+        const ClassModel &m = models_[cls];
+        const QosClassConfig &q = config_.qos[cls];
+
+        // Leg-specific copy: bypass/energy depend on the leased
+        // device, and a retry or hedge of the same request may land
+        // on a differently-degraded one.
+        QueuedFrame leg_qf = qf;
         double energy = 0.0;
         switch (slot.health) {
           case stream::DegradeMode::Normal:
@@ -313,27 +536,130 @@ FleetEngine::dispatchDevices(double now_s)
                      (1.0 - slot.deadColumnFraction);
             break;
           case stream::DegradeMode::Bypass:
-            qf.bypass = true;
+            leg_qf.bypass = true;
             break;
         }
 
         double service = deviceServiceS(slot, qf);
+
+        // Brownout level >= 2: BACKGROUND frames are force-routed
+        // around the analog stage so the surviving arrays serve
+        // INTERACTIVE. The frame completes (degraded); it is not
+        // shed.
+        if (ftOn() && brownoutLevel_ >= 2 && !leg_qf.bypass &&
+            cls == classIndex(TrafficClass::Background)) {
+            leg_qf.bypass = true;
+            leg_qf.degraded = true;
+            energy = 0.0;
+            service = kBypassRouteS;
+        }
+
         if (config_.serviceJitterSigma > 0.0) {
+            // Attempt 0 keeps the legacy (pass, item) so a run with
+            // the layer off is bit-identical to the pre-layer
+            // engine; retries jitter from their own stream.
+            const std::uint64_t pass =
+                qf.attempt == 0 ? kDevicePass : kRetryPass;
+            const std::uint64_t item =
+                qf.attempt == 0 ? qf.frame
+                                : qf.frame * 8 + qf.attempt;
             service *= std::exp(
                 config_.serviceJitterSigma *
-                streamRng(s->seed, kDevicePass, qf.frame)
-                    .gaussian());
+                streamRng(s->seed, pass, item).gaussian());
         }
-        qf.analogJ = energy;
+        leg_qf.analogJ = energy;
+
+        int rec_i = -1;
+        bool will_fail = false;
+        if (ftOn()) {
+            serviceHist_[cls].add(service);
+
+            // Failure draw: undetected dead columns corrupt the
+            // output with probability proportional to their share.
+            // Bypass legs never touch the array and never fail.
+            if (!leg_qf.bypass) {
+                const double undetected =
+                    undetectedDeadFraction(slot);
+                if (undetected > 0.0) {
+                    const double p = std::min(
+                        1.0, config_.ft.failureSensitivity *
+                                 undetected);
+                    will_fail =
+                        streamRng(s->seed, kFailPass,
+                                  failItem(qf.frame, qf.attempt, 0))
+                            .uniform() < p;
+                }
+            }
+
+            rec_i = allocRecord();
+            RequestRecord &rec =
+                records_[static_cast<std::size_t>(rec_i)];
+            rec.qf = qf; // canonical (pre-leg) copy for retry/hedge
+            rec.legCount = 1;
+            rec.legsInFlight = 1;
+            rec.settled = false;
+            rec.closed = false;
+            rec.legs[0] = RequestLeg{dev, false, false, will_fail};
+            rec.legs[1] = RequestLeg{};
+        }
 
         Event done;
         done.kind = Event::Kind::DeviceDone;
         done.timeS = now_s + service;
-        done.qf = qf;
+        done.qf = leg_qf;
         done.resource = dev;
         done.busyS = service;
         done.energyJ = energy;
+        done.record = rec_i;
+        done.leg = 0;
+        done.failed = will_fail;
+        if (rec_i >= 0)
+            done.gen =
+                records_[static_cast<std::size_t>(rec_i)].gen;
         schedule(std::move(done));
+
+        if (ftOn() && rec_i >= 0) {
+            const std::uint32_t gen =
+                records_[static_cast<std::size_t>(rec_i)].gen;
+
+            // Per-attempt timeout, scheduled only when this attempt
+            // is predicted to outlive it (the event would otherwise
+            // be a guaranteed no-op).
+            double timeout_at =
+                now_s + q.attemptTimeoutMultiplier * m.deviceS;
+            if (qf.deadlineS > 0.0)
+                timeout_at = std::min(timeout_at, qf.deadlineS);
+            if (now_s + service > timeout_at) {
+                Event t;
+                t.kind = Event::Kind::AttemptTimeout;
+                t.timeS = timeout_at;
+                t.record = rec_i;
+                t.leg = 0;
+                t.gen = gen;
+                schedule(std::move(t));
+            }
+
+            // Hedge: first attempts of hedging classes predicted
+            // past the class's device-service percentile get one
+            // duplicate dispatch at that percentile mark.
+            if (qf.attempt == 0 && q.hedge) {
+                const double delay =
+                    serviceHist_[cls].percentileOr(
+                        config_.ft.hedgePercentile,
+                        2.0 * m.deviceS);
+                if (service > delay &&
+                    (qf.deadlineS <= 0.0 ||
+                     now_s + delay < qf.deadlineS)) {
+                    Event h;
+                    h.kind = Event::Kind::HedgeFire;
+                    h.timeS = now_s + delay;
+                    h.record = rec_i;
+                    h.leg = 1;
+                    h.gen = gen;
+                    schedule(std::move(h));
+                }
+            }
+        }
     }
 }
 
@@ -347,24 +673,553 @@ FleetEngine::onDeviceDone(const Event &event)
     Session *s = db_.find(event.qf.session);
     fatal_if(s == nullptr, "device completion for unknown session");
 
+    if (event.record < 0) {
+        // Fault-tolerance layer off: straight to the host queue.
+        QueuedFrame qf = event.qf;
+        std::optional<QueuedFrame> evicted;
+        const ClassedPush outcome = hostQueue_.push(
+            classIndex(s->cls), std::move(qf), &evicted);
+        if (outcome == ClassedPush::Admitted) {
+            if (evicted) {
+                Session *victim = db_.find(evicted->session);
+                if (victim)
+                    shedWithCause(
+                        victim, StatusCode::ResourceExhausted, now);
+            }
+        } else {
+            // Served by the device but no room before the host tier:
+            // the frame dies mid-pipeline — a shed, not a drop.
+            shedWithCause(s, StatusCode::ResourceExhausted, now);
+        }
+        dispatchHosts(now);
+        dispatchDevices(now);
+        return;
+    }
+
+    RequestRecord &rec =
+        records_[static_cast<std::size_t>(event.record)];
+    // A physical leg pins its record until this completion arrives,
+    // so the generation cannot have moved.
+    fatal_if(rec.gen != event.gen,
+             "device completion for a recycled record");
+    RequestLeg &leg = rec.legs[event.leg];
+    leg.done = true;
+    fatal_if(rec.legsInFlight == 0, "leg count out of sync");
+    --rec.legsInFlight;
+
+    if (rec.settled || leg.dead) {
+        // A hedge-race loser or timed-out attempt draining; its
+        // outcome was already decided. Lazy cancellation: the leg
+        // ran to completion on silicon, only its result is dropped.
+    } else if (event.failed) {
+        leg.dead = true;
+        const std::size_t dev =
+            static_cast<std::size_t>(event.resource);
+        const std::uint64_t errs = pool_.recordServeError(dev);
+        if (errs >= config_.ft.errorThreshold &&
+            pool_.device(dev).lifecycle == DeviceLifecycle::Active)
+            quarantine(dev, now);
+        if (!otherLiveLeg(rec, event.leg))
+            maybeRetry(rec, static_cast<int>(dev), now,
+                       StatusCode::Unavailable);
+    } else {
+        // First good leg wins; any other in-flight leg drains as a
+        // loser.
+        rec.settled = true;
+        rec.closed = true;
+        for (std::uint8_t j = 0; j < rec.legCount; ++j) {
+            if (j != event.leg && !rec.legs[j].done)
+                rec.legs[j].dead = true;
+        }
+        if (event.leg >= 1)
+            ++s->stats.hedgeWins;
+
+        QueuedFrame qf = event.qf;
+        std::optional<QueuedFrame> evicted;
+        const ClassedPush outcome = hostQueue_.push(
+            classIndex(s->cls), std::move(qf), &evicted);
+        if (outcome == ClassedPush::Admitted) {
+            if (evicted) {
+                Session *victim = db_.find(evicted->session);
+                if (victim)
+                    shedWithCause(
+                        victim, StatusCode::ResourceExhausted, now);
+            }
+        } else {
+            shedWithCause(s, StatusCode::ResourceExhausted, now);
+        }
+    }
+
+    if (rec.closed && rec.legsInFlight == 0)
+        freeRecord(event.record);
+
+    dispatchHosts(now);
+    dispatchDevices(now);
+}
+
+void
+FleetEngine::maybeRetry(RequestRecord &rec, int failed_device,
+                        double now_s, StatusCode code)
+{
+    Session *s = db_.find(rec.qf.session);
+    fatal_if(s == nullptr, "retry decision for unknown session");
+    const std::size_t cls = classIndex(s->cls);
+    const QosClassConfig &q = config_.qos[cls];
+    rec.closed = true;
+
+    StatusCode terminal = code;
+    if (retryableStatus(code) &&
+        rec.qf.attempt + 1u < q.maxAttempts) {
+        const double u =
+            streamRng(s->seed, kBackoffPass,
+                      rec.qf.frame * 8 + rec.qf.attempt)
+                .uniform();
+        const double delay = backoffDelayS(config_.ft.retryBackoff,
+                                           rec.qf.attempt, u);
+        if (rec.qf.deadlineS > 0.0 &&
+            now_s + delay >= rec.qf.deadlineS) {
+            // The backoff alone would blow the deadline.
+            terminal = StatusCode::DeadlineExceeded;
+        } else if (!budgets_[cls].tryAcquire()) {
+            // Retry-storm guard: the class spent its budget.
+            terminal = StatusCode::ResourceExhausted;
+        } else {
+            ++s->stats.retries;
+            if (FleetWindow *w = windowAt(now_s))
+                ++w->retries;
+            Event r;
+            r.kind = Event::Kind::Retry;
+            r.timeS = now_s + delay;
+            r.qf = rec.qf;
+            ++r.qf.attempt;
+            r.qf.avoidDevice =
+                static_cast<std::int16_t>(failed_device);
+            schedule(std::move(r));
+            return;
+        }
+    }
+    shedWithCause(s, terminal, now_s);
+}
+
+void
+FleetEngine::onRetry(const Event &event)
+{
+    const double now = event.timeS;
+    Session *s = db_.find(event.qf.session);
+    fatal_if(s == nullptr, "retry for unknown session");
+
+    if (event.qf.deadlineS > 0.0 && now >= event.qf.deadlineS) {
+        shedWithCause(s, StatusCode::DeadlineExceeded, now);
+        return;
+    }
+
+    // Re-enqueue under the original admission (the frame never
+    // stopped being admitted); a rejection here is a terminal
+    // resource shed, not a drop.
     QueuedFrame qf = event.qf;
     std::optional<QueuedFrame> evicted;
-    const ClassedPush outcome = hostQueue_.push(
-        classIndex(s->cls), std::move(qf), &evicted);
+    std::size_t evicted_class = 0;
+    const ClassedPush outcome =
+        deviceQueue_.push(classIndex(s->cls), std::move(qf),
+                          &evicted, &evicted_class);
     if (outcome == ClassedPush::Admitted) {
         if (evicted) {
             Session *victim = db_.find(evicted->session);
             if (victim)
-                ++victim->stats.shed;
+                shedWithCause(victim,
+                              StatusCode::ResourceExhausted, now);
         }
     } else {
-        // Served by the device but no room before the host tier:
-        // the frame dies mid-pipeline, which is a shed, not a drop.
-        ++s->stats.shed;
+        shedWithCause(s, StatusCode::ResourceExhausted, now);
+    }
+    dispatchDevices(now);
+}
+
+void
+FleetEngine::onAttemptTimeout(const Event &event)
+{
+    RequestRecord &rec =
+        records_[static_cast<std::size_t>(event.record)];
+    if (rec.gen != event.gen || rec.settled || rec.closed)
+        return; // request already resolved; stale timer
+    RequestLeg &leg = rec.legs[event.leg];
+    if (leg.done || leg.dead)
+        return;
+
+    // Lazy cancellation: the attempt keeps its device until its
+    // DeviceDone drains, but its result no longer counts. The
+    // draining leg pins the record, which is freed at that leg's
+    // DeviceDone.
+    leg.dead = true;
+    ++attemptTimeouts_;
+    if (!otherLiveLeg(rec, event.leg))
+        maybeRetry(rec, leg.device, event.timeS,
+                   StatusCode::DeadlineExceeded);
+}
+
+void
+FleetEngine::onHedgeFire(const Event &event)
+{
+    RequestRecord &rec =
+        records_[static_cast<std::size_t>(event.record)];
+    if (rec.gen != event.gen || rec.settled || rec.closed)
+        return;
+    if (rec.legCount >= 2)
+        return;
+    const RequestLeg &primary = rec.legs[0];
+    if (primary.done || primary.dead)
+        return;
+
+    Session *s = db_.find(rec.qf.session);
+    fatal_if(s == nullptr, "hedge for unknown session");
+    const double now = event.timeS;
+    if (rec.qf.deadlineS > 0.0 && now >= rec.qf.deadlineS)
+        return;
+
+    // Hedge on a *different* device — duplicating onto the same
+    // (possibly sick) device defeats the point. No fallback: when
+    // only the primary's device is idle, skip.
+    const int dev =
+        pool_.leaseDevice(rec.qf.session, primary.device);
+    if (dev < 0) {
+        ++hedgeSkipped_;
+        return;
     }
 
-    dispatchHosts(now);
+    const std::size_t cls = classIndex(s->cls);
+    const ClassModel &m = models_[cls];
+    const DeviceSlot &slot =
+        pool_.device(static_cast<std::size_t>(dev));
+
+    QueuedFrame leg_qf = rec.qf;
+    double energy = 0.0;
+    switch (slot.health) {
+      case stream::DegradeMode::Normal:
+        energy = m.analogJ;
+        break;
+      case stream::DegradeMode::Remap:
+        energy = m.remapAnalogJ / (1.0 - slot.deadColumnFraction);
+        break;
+      case stream::DegradeMode::Bypass:
+        leg_qf.bypass = true;
+        break;
+    }
+    double service = deviceServiceS(slot, rec.qf);
+    if (config_.serviceJitterSigma > 0.0) {
+        service *= std::exp(
+            config_.serviceJitterSigma *
+            streamRng(s->seed, kHedgePass, rec.qf.frame)
+                .gaussian());
+    }
+    leg_qf.analogJ = energy;
+
+    bool will_fail = false;
+    if (!leg_qf.bypass) {
+        const double undetected = undetectedDeadFraction(slot);
+        if (undetected > 0.0) {
+            const double p = std::min(
+                1.0, config_.ft.failureSensitivity * undetected);
+            will_fail =
+                streamRng(s->seed, kFailPass,
+                          failItem(rec.qf.frame, rec.qf.attempt, 1))
+                    .uniform() < p;
+        }
+    }
+
+    rec.legs[1] = RequestLeg{dev, false, false, will_fail};
+    rec.legCount = 2;
+    ++rec.legsInFlight;
+    ++s->stats.hedges;
+    if (FleetWindow *w = windowAt(now))
+        ++w->hedges;
+
+    Event done;
+    done.kind = Event::Kind::DeviceDone;
+    done.timeS = now + service;
+    done.qf = leg_qf;
+    done.resource = dev;
+    done.busyS = service;
+    done.energyJ = energy;
+    done.record = event.record;
+    done.leg = 1;
+    done.gen = rec.gen;
+    done.failed = will_fail;
+    schedule(std::move(done));
+}
+
+void
+FleetEngine::quarantine(std::size_t device, double now_s)
+{
+    // Entering quarantine costs health: the EWMA must climb back
+    // over the re-admission bar through successive clean reprobes,
+    // which realizes the backoff ladder (see onReprobe).
+    pool_.setHealthScore(device,
+                         pool_.device(device).healthEwma * 0.5);
+    pool_.quarantineDevice(device);
+    fatal_if(activeDevices_ == 0, "active device count underflow");
+    --activeDevices_;
+    noteActiveDevices(now_s);
+
+    const double u =
+        streamRng(config_.seed, kReprobePass, device * 64)
+            .uniform();
+    Event r;
+    r.kind = Event::Kind::Reprobe;
+    r.timeS =
+        now_s + backoffDelayS(config_.ft.reprobeBackoff, 0, u);
+    r.resource = static_cast<int>(device);
+    schedule(std::move(r));
+}
+
+void
+FleetEngine::probeDevice(std::size_t device, double now_s)
+{
+    const DevicePoolConfig pcfg = poolConfigFor(config_);
+    stream::DegradationPolicyConfig policy = pcfg.degrade;
+    policy.enabled = true;
+    const DeviceSlot &slot = pool_.device(device);
+
+    const stream::ProbeReport report = stream::runCalibrationProbe(
+        pcfg.array, slot.faults.get(), slot.framesServed);
+
+    // Suspects the current plan does not cover (both lists are
+    // ascending: one merge walk).
+    std::size_t uncovered = 0;
+    {
+        const auto &found = report.suspectColumns;
+        const auto &covered = slot.plan.suspectColumns;
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < found.size()) {
+            if (j < covered.size() && covered[j] < found[i]) {
+                ++j;
+            } else if (j < covered.size() &&
+                       covered[j] == found[i]) {
+                ++i;
+                ++j;
+            } else {
+                ++uncovered;
+                ++i;
+            }
+        }
+    }
+
+    const double columns =
+        static_cast<double>(pcfg.array.columns);
+    const double score =
+        1.0 - static_cast<double>(uncovered) / columns;
+    const double ewma =
+        config_.ft.healthAlpha * score +
+        (1.0 - config_.ft.healthAlpha) * slot.healthEwma;
+    pool_.setHealthScore(device, ewma);
+
+    if (uncovered > 0 && ewma < config_.ft.quarantineEwma) {
+        quarantine(device, now_s);
+    } else if (!report.anySuspect() &&
+               slot.plan.mode != stream::DegradeMode::Normal &&
+               slot.serveErrors == 0) {
+        // Clean probe on a degraded plan: the silicon recovered
+        // (chaos Recover cleared its faults). Re-plan through the
+        // cache under a fresh epoch and serve it healthy again.
+        const std::uint64_t epoch =
+            device + pool_.devices() * (slot.planGeneration + 1);
+        const std::uint64_t key =
+            stream::degradePlanKey(epoch, pcfg.array, policy);
+        const stream::DegradePlan plan =
+            pool_.planCache()->fetch(key, [&]() {
+                return stream::planDegradation(report, pcfg.array,
+                                               policy);
+            });
+        pool_.reactivateDevice(device, plan, 0.0);
+    }
+}
+
+void
+FleetEngine::evaluateBrownout(double now_s)
+{
+    const double span = now_s - lastSweepS_;
+    if (span <= 0.0)
+        return;
+    const double inst =
+        static_cast<double>(arrivalsSinceSweep_) / span;
+    demandEwmaFps_ = demandEwmaFps_ < 0.0
+                         ? inst
+                         : 0.5 * inst + 0.5 * demandEwmaFps_;
+
+    // Healthy-capacity heuristic: each Active device contributes its
+    // service rate under the traffic-mix-weighted frame time; a
+    // Bypass device only routes, so its frames land on the host tier
+    // and it contributes at the full-network host rate instead.
+    double capacity_fps = 0.0;
+    for (std::size_t i = 0; i < pool_.devices(); ++i) {
+        const DeviceSlot &slot = pool_.device(i);
+        if (slot.lifecycle != DeviceLifecycle::Active)
+            continue;
+        switch (slot.health) {
+          case stream::DegradeMode::Normal:
+            capacity_fps += 1.0 / mixServiceS_;
+            break;
+          case stream::DegradeMode::Remap:
+            capacity_fps +=
+                (1.0 - slot.deadColumnFraction) / mixServiceS_;
+            break;
+          case stream::DegradeMode::Bypass:
+            capacity_fps += 1.0 / mixHostFullS_;
+            break;
+        }
+    }
+    if (capacity_fps <= 0.0)
+        capacity_fps = 1e-9;
+
+    const double ratio = demandEwmaFps_ / capacity_fps;
+    if (ratio > config_.ft.brownoutHigh && brownoutLevel_ < 2) {
+        ++brownoutLevel_;
+        ++brownoutEscalations_;
+    } else if (ratio < config_.ft.brownoutLow &&
+               brownoutLevel_ > 0) {
+        --brownoutLevel_;
+    }
+    if (FleetWindow *w = windowAt(now_s))
+        w->brownoutLevel =
+            std::max(w->brownoutLevel, brownoutLevel_);
+}
+
+void
+FleetEngine::onProbeSweep(const Event &event)
+{
+    // Control plane: probing builds ColumnArrays (inherently
+    // allocating); its share is metered apart from the data plane.
+    alloc::AllocationMeter meter;
+    const double now = event.timeS;
+    ++probeSweeps_;
+
+    for (std::size_t i = 0; i < pool_.devices(); ++i) {
+        if (pool_.device(i).lifecycle == DeviceLifecycle::Active)
+            probeDevice(i, now);
+    }
+
+    evaluateBrownout(now);
+    arrivalsSinceSweep_ = 0;
+    lastSweepS_ = now;
+
+    // Keep sweeping while anything else is still pending; when this
+    // sweep was the last event, the run is over.
+    if (!events_.empty()) {
+        Event next;
+        next.kind = Event::Kind::ProbeSweep;
+        next.timeS = now + config_.ft.probePeriodS;
+        schedule(std::move(next));
+    }
+    controlPlaneAllocs_ += meter.delta();
+
     dispatchDevices(now);
+}
+
+void
+FleetEngine::onReprobe(const Event &event)
+{
+    alloc::AllocationMeter meter;
+    const double now = event.timeS;
+    const std::size_t device =
+        static_cast<std::size_t>(event.resource);
+    const DeviceSlot &slot = pool_.device(device);
+    if (slot.lifecycle != DeviceLifecycle::Quarantined) {
+        controlPlaneAllocs_ += meter.delta();
+        return; // retired meanwhile; stale timer
+    }
+
+    const std::uint64_t attempts =
+        pool_.bumpReprobeAttempt(device);
+
+    const DevicePoolConfig pcfg = poolConfigFor(config_);
+    stream::DegradationPolicyConfig policy = pcfg.degrade;
+    policy.enabled = true;
+
+    const stream::ProbeReport report = stream::runCalibrationProbe(
+        pcfg.array, slot.faults.get(), slot.framesServed);
+    const double suspect_frac =
+        static_cast<double>(report.suspectColumns.size()) /
+        static_cast<double>(pcfg.array.columns);
+
+    if (suspect_frac >= config_.ft.retireSuspectFraction ||
+        attempts > config_.ft.maxReprobes) {
+        pool_.retireDevice(device);
+        noteActiveDevices(now);
+        controlPlaneAllocs_ += meter.delta();
+        return;
+    }
+
+    // A reprobe plans around everything it currently sees, so the
+    // probe-vs-plan score is clean by construction; health recovers
+    // geometrically toward 1 and the device is re-admitted once it
+    // clears the quarantine bar again. Until then: another reprobe,
+    // further out on the backoff schedule.
+    const double ewma =
+        config_.ft.healthAlpha * 1.0 +
+        (1.0 - config_.ft.healthAlpha) * slot.healthEwma;
+    pool_.setHealthScore(device, ewma);
+    if (ewma < config_.ft.quarantineEwma) {
+        const double u = streamRng(config_.seed, kReprobePass,
+                                   device * 64 + attempts)
+                             .uniform();
+        Event r;
+        r.kind = Event::Kind::Reprobe;
+        r.timeS = now + backoffDelayS(
+                            config_.ft.reprobeBackoff,
+                            static_cast<unsigned>(attempts), u);
+        r.resource = static_cast<int>(device);
+        schedule(std::move(r));
+        controlPlaneAllocs_ += meter.delta();
+        return;
+    }
+
+    const std::uint64_t epoch =
+        device + pool_.devices() * (slot.planGeneration + 1);
+    const std::uint64_t key =
+        stream::degradePlanKey(epoch, pcfg.array, policy);
+    const stream::DegradePlan plan =
+        pool_.planCache()->fetch(key, [&]() {
+            return stream::planDegradation(report, pcfg.array,
+                                           policy);
+        });
+    pool_.reactivateDevice(device, plan, suspect_frac);
+    ++activeDevices_;
+    noteActiveDevices(now);
+    controlPlaneAllocs_ += meter.delta();
+
+    dispatchDevices(now);
+}
+
+void
+FleetEngine::onChaos(const Event &event)
+{
+    alloc::AllocationMeter meter;
+    const ChaosEvent &ce =
+        config_.chaos[static_cast<std::size_t>(event.resource)];
+    if (ce.kind == ChaosEvent::Kind::Kill) {
+        ++chaosKills_;
+        const DevicePoolConfig pcfg = poolConfigFor(config_);
+        const fault::FaultCampaign campaign =
+            fault::FaultCampaign::deadColumns(
+                ce.deadFraction,
+                splitmix64(config_.seed ^
+                           splitmix64(0xc4a05 +
+                                      static_cast<std::uint64_t>(
+                                          event.resource))));
+        // Onset 0: the damage is live immediately. The serving plan
+        // is deliberately left stale — detection (serve errors, the
+        // next probe sweep) is the runtime's job.
+        pool_.setDeviceFaults(
+            ce.device,
+            std::make_shared<const fault::FaultModel>(
+                campaign, pcfg.array.columns));
+    } else {
+        ++chaosRecovers_;
+        pool_.setDeviceFaults(ce.device, nullptr);
+        // A quarantined device's pending reprobe will see the clean
+        // array; an active one is upgraded by the next sweep.
+    }
+    controlPlaneAllocs_ += meter.delta();
 }
 
 void
@@ -375,8 +1230,14 @@ FleetEngine::dispatchHosts(double now_s)
         std::size_t cls = 0;
         if (!hostQueue_.tryPopWeighted(qf, cls))
             break;
-        const Session *s = db_.find(qf.session);
+        Session *s = db_.find(qf.session);
         fatal_if(s == nullptr, "queued frame of unknown session");
+
+        if (ftOn() && qf.deadlineS > 0.0 && now_s >= qf.deadlineS) {
+            shedWithCause(s, StatusCode::DeadlineExceeded, now_s);
+            continue;
+        }
+
         const int host = pool_.leaseHost(qf.session);
         const ClassModel &m = models_[cls];
 
@@ -408,14 +1269,23 @@ FleetEngine::onHostDone(const Event &event)
 
     Session *s = db_.find(event.qf.session);
     fatal_if(s == nullptr, "host completion for unknown session");
-    const ClassModel &m = models_[classIndex(s->cls)];
+    const std::size_t cls = classIndex(s->cls);
+    const ClassModel &m = models_[cls];
 
     const double latency = now - event.qf.arrivalS;
     ++s->stats.completed;
     s->stats.latencyS.add(latency);
     s->stats.systemJ.add(event.qf.analogJ + event.energyJ);
-    if (latency > m.sloS)
+    const bool violated = latency > m.sloS;
+    if (violated)
         ++s->stats.sloViolations;
+    if (event.qf.degraded)
+        ++s->stats.degraded;
+    if (FleetWindow *w = windowAt(now)) {
+        ++w->completed[cls];
+        if (violated)
+            ++w->sloViolations[cls];
+    }
     s->lastActiveS = now;
     lastCompletionS_ = std::max(lastCompletionS_, now);
 
@@ -424,6 +1294,27 @@ FleetEngine::onHostDone(const Event &event)
         s->completedMask[event.qf.frame] = 1;
 
     dispatchHosts(now);
+}
+
+void
+FleetEngine::flushQueues(double now_s)
+{
+    // Terminal-status guarantee: whatever is still queued when the
+    // event loop drains (every device quarantined or retired, say)
+    // is shed UNAVAILABLE rather than silently lost. A no-op with
+    // the layer off — the legacy loop always drains its queues.
+    QueuedFrame qf;
+    std::size_t cls = 0;
+    while (deviceQueue_.tryPopWeighted(qf, cls)) {
+        Session *s = db_.find(qf.session);
+        if (s != nullptr)
+            shedWithCause(s, StatusCode::Unavailable, now_s);
+    }
+    while (hostQueue_.tryPopWeighted(qf, cls)) {
+        Session *s = db_.find(qf.session);
+        if (s != nullptr)
+            shedWithCause(s, StatusCode::Unavailable, now_s);
+    }
 }
 
 void
@@ -582,6 +1473,14 @@ FleetEngine::buildReport() const
         cr.shed += s.stats.shed;
         cr.completed += s.stats.completed;
         cr.sloViolations += s.stats.sloViolations;
+        cr.shedDeadline += s.stats.shedDeadline;
+        cr.shedUnavailable += s.stats.shedUnavailable;
+        cr.shedResource += s.stats.shedResource;
+        cr.shedBrownout += s.stats.shedBrownout;
+        cr.retries += s.stats.retries;
+        cr.hedges += s.stats.hedges;
+        cr.hedgeWins += s.stats.hedgeWins;
+        cr.degraded += s.stats.degraded;
         cr.latencyS.merge(s.stats.latencyS);
         ca.energySumJ += s.stats.systemJ.mean() *
                          static_cast<double>(s.stats.systemJ.count());
@@ -622,6 +1521,14 @@ FleetEngine::buildReport() const
         r.dropped += cr.dropped;
         r.shed += cr.shed;
         r.completed += cr.completed;
+        r.shedDeadline += cr.shedDeadline;
+        r.shedUnavailable += cr.shedUnavailable;
+        r.shedResource += cr.shedResource;
+        r.shedBrownout += cr.shedBrownout;
+        r.retries += cr.retries;
+        r.hedges += cr.hedges;
+        r.hedgeWins += cr.hedgeWins;
+        r.degraded += cr.degraded;
         r.classes[c] = std::move(cr);
     }
 
@@ -638,17 +1545,77 @@ FleetEngine::buildReport() const
     r.devicesRemap = pool_.healthCount(stream::DegradeMode::Remap);
     r.devicesBypass = pool_.healthCount(stream::DegradeMode::Bypass);
     r.expiredSessions = expiredSessions_;
+
+    r.devicesActive =
+        pool_.lifecycleCount(DeviceLifecycle::Active);
+    r.devicesQuarantined =
+        pool_.lifecycleCount(DeviceLifecycle::Quarantined);
+    r.devicesRetired =
+        pool_.lifecycleCount(DeviceLifecycle::Retired);
+    r.quarantines = pool_.totalQuarantines();
+    r.recoveries = pool_.totalRecoveries();
+    r.hedgeSkipped = hedgeSkipped_;
+    r.attemptTimeouts = attemptTimeouts_;
+    r.probeSweeps = probeSweeps_;
+    r.chaosKills = chaosKills_;
+    r.chaosRecovers = chaosRecovers_;
+    r.brownoutEscalations = brownoutEscalations_;
+    r.finalBrownoutLevel = brownoutLevel_;
+    r.eventLoopAllocs = eventLoopAllocs_;
+    r.controlPlaneAllocs = controlPlaneAllocs_;
+    r.windows.assign(windows_.begin(),
+                     windows_.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             windowHighWater_));
     return r;
 }
 
 FleetReport
 FleetEngine::run()
 {
+    // Pre-size everything the data plane touches: the event heap,
+    // the request-record pool and the reporting windows. After this
+    // block the steady-state loop performs no heap allocation — the
+    // PR-6 guarantee extended to retries and hedging; only the
+    // control plane (probes, reprobes, chaos) allocates, and its
+    // share is metered.
+    events_.reserve(config_.sessions + 8 * pool_.devices() +
+                    pool_.hosts() + config_.chaos.size() +
+                    4 * config_.queueCapacity + 64);
+    if (ftOn()) {
+        records_.resize(pool_.devices() + 2);
+        for (std::size_t i = 0; i < records_.size(); ++i)
+            records_[i].freeNext =
+                i + 1 < records_.size() ? static_cast<int>(i + 1)
+                                        : -1;
+        recordFreeHead_ = 0;
+    }
+    activeDevices_ = pool_.lifecycleCount(DeviceLifecycle::Active);
+    if (config_.windowS > 0.0) {
+        const double horizon =
+            static_cast<double>(config_.framesPerSession) /
+            config_.sessionRateHz;
+        std::size_t count =
+            static_cast<std::size_t>(std::ceil(
+                8.0 * std::max(horizon, config_.windowS) /
+                config_.windowS)) +
+            8;
+        count = std::clamp<std::size_t>(count, 16, 65536);
+        windows_.resize(count);
+        for (std::size_t i = 0; i < windows_.size(); ++i) {
+            windows_[i].startS =
+                static_cast<double>(i) * config_.windowS;
+            windows_[i].endS =
+                static_cast<double>(i + 1) * config_.windowS;
+            windows_[i].activeDevicesMin = pool_.devices();
+        }
+    }
+
     admitSessions();
 
-    while (!events_.empty()) {
-        const Event event = events_.top();
-        events_.pop();
+    const std::uint64_t loop_alloc0 = alloc::allocations();
+    Event event;
+    while (popEvent(event)) {
         lastEventS_ = event.timeS;
         switch (event.kind) {
           case Event::Kind::Arrival:
@@ -660,8 +1627,29 @@ FleetEngine::run()
           case Event::Kind::HostDone:
             onHostDone(event);
             break;
+          case Event::Kind::ProbeSweep:
+            onProbeSweep(event);
+            break;
+          case Event::Kind::Reprobe:
+            onReprobe(event);
+            break;
+          case Event::Kind::Retry:
+            onRetry(event);
+            break;
+          case Event::Kind::HedgeFire:
+            onHedgeFire(event);
+            break;
+          case Event::Kind::AttemptTimeout:
+            onAttemptTimeout(event);
+            break;
+          case Event::Kind::Chaos:
+            onChaos(event);
+            break;
         }
     }
+    eventLoopAllocs_ = alloc::allocations() - loop_alloc0;
+
+    flushQueues(lastEventS_);
 
     runContentPass();
 

@@ -14,11 +14,49 @@
  * per-device degradation) is executed concretely against the shared
  * SessionDb, ClassedQueues and DevicePool.
  *
+ * Fault tolerance (DESIGN.md §13, FaultToleranceConfig): with the
+ * layer enabled the engine additionally runs
+ *
+ *  - **live device health** — per-device fault campaigns with onset
+ *    horizons fire on the device's served-frame clock; a periodic
+ *    calibration-probe sweep (stream/probe.hh) scores each device
+ *    into an EWMA and quarantines the failing ones;
+ *  - **quarantine/recovery** — quarantined devices drain their
+ *    leases, reprobe on a jittered backoff, and are re-admitted
+ *    through the DegradePlanCache with a Remap/Bypass plan, or
+ *    retired permanently;
+ *  - **deadlines, retry, hedging** — every request carries a
+ *    QoS-derived deadline; failed or timed-out attempts retry on a
+ *    different device under seeded jittered exponential backoff and
+ *    a per-class retry budget (core/retry.hh); INTERACTIVE requests
+ *    predicted past the class's device-service latency percentile
+ *    dispatch one hedged duplicate with first-wins settling (the
+ *    loser drains lazily — cancellation is an accounting fact, not
+ *    a preemption);
+ *  - **brownout shedding** — a controller compares demand against
+ *    surviving healthy capacity each sweep and walks QoS classes
+ *    down: shed BEST_EFFORT arrivals, then force BACKGROUND to
+ *    Bypass plans; INTERACTIVE is never touched.
+ *
+ * Every admitted frame reaches exactly one terminal status —
+ * completed (possibly degraded) or shed with a cause — and the
+ * conservation invariants offered == admitted + dropped and
+ * admitted == completed + shed hold with the layer on or off.
+ *
  * Determinism: the event loop is single-threaded over a min-heap
  * keyed by (time, sequence), and all randomness (class draws,
- * arrival gaps, service jitter) comes from counter-based streams
- * (core/rng.hh) keyed by session and frame — a run is a pure
- * function of FleetConfig, at any machine parallelism.
+ * arrival gaps, service jitter, failure draws, backoff jitter)
+ * comes from counter-based streams (core/rng.hh) keyed by session
+ * and frame — a run is a pure function of FleetConfig, at any
+ * machine parallelism.
+ *
+ * Allocation: the data plane (admission, dispatch, completion,
+ * retry, hedge, brownout bookkeeping) runs entirely out of
+ * pre-sized pools — the event heap, the request-record pool, the
+ * classed queues and the window accumulators are all reserved
+ * before the loop starts. Only the control plane (probe sweeps,
+ * reprobes, chaos handlers) allocates, and its share is metered
+ * separately (FleetReport::steadyAllocations()).
  *
  * Content execution: the DES never touches pixels, so for the first
  * `contentSessions` clients the engine additionally *executes* the
@@ -36,10 +74,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "core/classed_queue.hh"
+#include "core/hist.hh"
+#include "core/retry.hh"
 #include "fleet/device_pool.hh"
 #include "fleet/metrics.hh"
 #include "fleet/qos.hh"
@@ -50,6 +89,88 @@
 
 namespace redeye {
 namespace fleet {
+
+/** One scripted chaos-schedule entry. */
+struct ChaosEvent {
+    double timeS = 0.0;     ///< virtual time the event fires
+    std::size_t device = 0; ///< target device index
+
+    enum class Kind {
+        Kill,    ///< arm an immediate-onset dead-column campaign
+        Recover, ///< clear the device's fault campaign
+    } kind = Kind::Kill;
+
+    double deadFraction = 0.9; ///< severity of a Kill campaign
+};
+
+/** Fault-tolerance layer knobs (DESIGN.md §13). */
+struct FaultToleranceConfig {
+    /** Master switch. Off (the default) reproduces the pre-layer
+     * engine event-for-event. */
+    bool enabled = false;
+
+    // ---- Live health ----
+
+    /** Calibration-probe sweep period in virtual seconds (0 turns
+     * sweeps — and with them quarantine-by-probe and brownout
+     * control — off; error-threshold quarantine still runs). */
+    double probePeriodS = 0.0;
+
+    /** EWMA weight of the newest probe score. */
+    double healthAlpha = 0.5;
+
+    /** Quarantine a device whose probe found uncovered suspects and
+     * whose EWMA health dropped below this. */
+    double quarantineEwma = 0.9;
+
+    /** Serving errors since the last (re)plan that force quarantine
+     * without waiting for a sweep. */
+    std::uint64_t errorThreshold = 3;
+
+    /**
+     * Serve-failure sensitivity: an attempt on a device with
+     * undetected dead-column fraction u (active faults minus what
+     * the current plan routes around) fails with probability
+     * min(1, sensitivity * u).
+     */
+    double failureSensitivity = 1.0;
+
+    // ---- Quarantine / recovery ----
+
+    /** Reprobe schedule for quarantined devices (deterministic:
+     * jitter defaults to 0). */
+    BackoffConfig reprobeBackoff{0.05, 2.0, 1.0, 0.0};
+
+    /** Reprobes before a quarantined device is retired. */
+    std::uint64_t maxReprobes = 8;
+
+    /** Probe suspect fraction at or above which a device is retired
+     * outright instead of re-admitted. */
+    double retireSuspectFraction = 0.97;
+
+    // ---- Retry / hedging ----
+
+    /** Backoff between retry attempts; jitter draws come from the
+     * request's counter stream, so schedules are reproducible. */
+    BackoffConfig retryBackoff{0.002, 2.0, 0.05, 0.5};
+
+    /** Retry-budget token ceiling per class (burst allowance); the
+     * sustained rate is QosClassConfig::retryBudgetRatio. */
+    double retryBudgetCap = 32.0;
+
+    /** Device-service latency percentile past which a hedge fires. */
+    double hedgePercentile = 95.0;
+
+    // ---- Brownout ----
+
+    /** Demand/capacity ratio above which the controller escalates
+     * one level (1 = shed BEST_EFFORT arrivals, 2 = additionally
+     * force BACKGROUND to Bypass). */
+    double brownoutHigh = 1.0;
+
+    /** Ratio below which it de-escalates one level. */
+    double brownoutLow = 0.7;
+};
 
 /** Fleet run parameters. */
 struct FleetConfig {
@@ -79,6 +200,15 @@ struct FleetConfig {
      * shed).
      */
     double sessionIdleExpireS = 0.0;
+
+    /** Fault-tolerance layer (off by default). */
+    FaultToleranceConfig ft;
+
+    /** Scripted device kills/recoveries, applied in timeS order. */
+    std::vector<ChaosEvent> chaos;
+
+    /** Reporting window span in virtual seconds (0 = no windows). */
+    double windowS = 0.0;
 
     /**
      * The first contentSessions clients also execute the real vision
@@ -136,19 +266,37 @@ class FleetEngine
         std::uint64_t session = 0;
         std::uint64_t frame = 0;
         double arrivalS = 0.0;
+        double deadlineS = 0.0;      ///< absolute; 0 = no deadline
+        std::uint8_t attempt = 0;    ///< dispatch attempt (0 = first)
+        std::int16_t avoidDevice = -1; ///< device a retry must avoid
         bool bypass = false;   ///< device routed around the array
+        bool degraded = false; ///< brownout-forced bypass serving
         double analogJ = 0.0;  ///< energy realized on the device
     };
 
     struct Event {
         double timeS = 0.0;
         std::uint64_t seq = 0; ///< FIFO tie-break at equal times
-        enum class Kind { Arrival, DeviceDone, HostDone } kind =
-            Kind::Arrival;
+        enum class Kind {
+            Arrival,
+            DeviceDone,
+            HostDone,
+            ProbeSweep,      ///< periodic health sweep + brownout
+            Reprobe,         ///< quarantined-device recheck
+            Retry,           ///< backoff elapsed: re-enqueue qf
+            HedgeFire,       ///< hedge delay elapsed on a record
+            AttemptTimeout,  ///< per-attempt deadline on a leg
+            Chaos,           ///< scripted kill/recover
+        } kind = Kind::Arrival;
         QueuedFrame qf;
-        int resource = -1;     ///< device/host slot of a Done event
+        int resource = -1;     ///< device/host slot, reprobe device,
+                               ///< or chaos schedule index
         double busyS = 0.0;    ///< service time to account at release
         double energyJ = 0.0;  ///< analog energy to account at release
+        int record = -1;       ///< request-record of a FT device leg
+        std::uint8_t leg = 0;  ///< leg index within the record
+        std::uint32_t gen = 0; ///< record generation guard
+        bool failed = false;   ///< DeviceDone: attempt output is bad
     };
 
     struct EventAfter {
@@ -159,6 +307,31 @@ class FleetEngine
                 return a.timeS > b.timeS;
             return a.seq > b.seq;
         }
+    };
+
+    /** One physical dispatch of a request attempt. */
+    struct RequestLeg {
+        int device = -1;
+        bool done = false;     ///< DeviceDone arrived
+        bool dead = false;     ///< superseded (timeout / lost race)
+        bool willFail = false; ///< drawn at dispatch
+    };
+
+    /**
+     * In-flight request bookkeeping for the fault-tolerance layer:
+     * one record per dispatched attempt (plus its hedge leg), pooled
+     * and free-listed. A record always holds at least one physical
+     * device leg, so the pool is bounded by the device count.
+     */
+    struct RequestRecord {
+        QueuedFrame qf;
+        std::uint32_t gen = 0;
+        std::uint8_t legCount = 0;
+        std::uint8_t legsInFlight = 0;
+        bool settled = false; ///< a leg won; frame went downstream
+        bool closed = false;  ///< outcome decided (settle/shed/retry)
+        std::array<RequestLeg, 2> legs{};
+        int freeNext = -1;
     };
 
     /** Immutable per-class serving model (built at construction). */
@@ -182,13 +355,38 @@ class FleetEngine
     void buildClassModels();
     void admitSessions();
     void schedule(Event event);
+    bool popEvent(Event &out);
     void onArrival(const Event &event);
     void onDeviceDone(const Event &event);
     void onHostDone(const Event &event);
+    void onProbeSweep(const Event &event);
+    void onReprobe(const Event &event);
+    void onRetry(const Event &event);
+    void onHedgeFire(const Event &event);
+    void onAttemptTimeout(const Event &event);
+    void onChaos(const Event &event);
     void dispatchDevices(double now_s);
     void dispatchHosts(double now_s);
     double deviceServiceS(const DeviceSlot &device,
                           const QueuedFrame &qf) const;
+
+    // ---- Fault-tolerance helpers ----
+    bool ftOn() const { return config_.ft.enabled; }
+    int allocRecord();
+    void freeRecord(int index);
+    bool otherLiveLeg(const RequestRecord &rec,
+                      std::uint8_t except) const;
+    void shedWithCause(Session *s, StatusCode code, double now_s);
+    void maybeRetry(RequestRecord &rec, int failed_device,
+                    double now_s, StatusCode code);
+    void quarantine(std::size_t device, double now_s);
+    void probeDevice(std::size_t device, double now_s);
+    void evaluateBrownout(double now_s);
+    double undetectedDeadFraction(const DeviceSlot &slot) const;
+    FleetWindow *windowAt(double time_s);
+    void noteActiveDevices(double time_s);
+    void flushQueues(double now_s);
+
     void runContentPass();
     FleetReport buildReport() const;
 
@@ -200,12 +398,39 @@ class FleetEngine
     ClassedQueue<QueuedFrame> deviceQueue_;
     ClassedQueue<QueuedFrame> hostQueue_;
 
-    std::priority_queue<Event, std::vector<Event>, EventAfter>
-        events_;
+    /** Min-heap over a reserved vector (std::push_heap/pop_heap):
+     * scheduling allocates nothing once the reserve is in place. */
+    std::vector<Event> events_;
     std::uint64_t nextSeq_ = 0;
     double lastCompletionS_ = 0.0;
     double lastEventS_ = 0.0;
     std::size_t expiredSessions_ = 0;
+
+    // ---- Fault-tolerance state (inert with the layer off) ----
+    std::vector<RequestRecord> records_;
+    int recordFreeHead_ = -1;
+    std::array<RetryBudget, kTrafficClasses> budgets_{};
+    std::array<LogHistogram, kTrafficClasses> serviceHist_;
+    double mixServiceS_ = 0.0;  ///< mix-weighted device service
+    double mixHostFullS_ = 0.0; ///< mix-weighted full-host service
+    int brownoutLevel_ = 0;
+    double demandEwmaFps_ = -1.0; ///< <0 = unseeded
+    std::uint64_t arrivalsSinceSweep_ = 0;
+    double lastSweepS_ = 0.0;
+    std::size_t activeDevices_ = 0; ///< cached Active-lifecycle count
+
+    std::vector<FleetWindow> windows_;
+    std::size_t windowHighWater_ = 0; ///< windows actually touched
+
+    // Run-wide fault-tolerance counters (report pass-throughs).
+    std::uint64_t attemptTimeouts_ = 0;
+    std::uint64_t hedgeSkipped_ = 0;
+    std::uint64_t probeSweeps_ = 0;
+    std::uint64_t chaosKills_ = 0;
+    std::uint64_t chaosRecovers_ = 0;
+    std::uint64_t brownoutEscalations_ = 0;
+    std::uint64_t eventLoopAllocs_ = 0;
+    std::uint64_t controlPlaneAllocs_ = 0;
 };
 
 } // namespace fleet

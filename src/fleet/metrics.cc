@@ -43,6 +43,31 @@ FleetReport::print(std::ostream &os) const
         os << "  expired " << expiredSessions << " idle sessions";
     os << "\n";
 
+    if (quarantines || retries || hedges || shedBrownout ||
+        devicesRetired || chaosKills) {
+        os << "  fault tolerance: " << retries << " retries, "
+           << hedges << " hedges (" << hedgeWins << " wins, "
+           << hedgeSkipped << " skipped), " << attemptTimeouts
+           << " attempt timeouts, " << degraded
+           << " served degraded\n"
+           << "  shed causes: " << shedDeadline << " deadline, "
+           << shedUnavailable << " unavailable, " << shedResource
+           << " resource, " << shedBrownout << " brownout\n"
+           << "  lifecycle: " << devicesActive << " active, "
+           << devicesQuarantined << " quarantined, "
+           << devicesRetired << " retired (" << quarantines
+           << " quarantine entries, " << recoveries
+           << " recoveries, " << probeSweeps << " sweeps";
+        if (chaosKills || chaosRecovers)
+            os << ", chaos " << chaosKills << " kills / "
+               << chaosRecovers << " recovers";
+        if (brownoutEscalations)
+            os << ", " << brownoutEscalations
+               << " brownout escalations (level "
+               << finalBrownoutLevel << " at end)";
+        os << ")\n";
+    }
+
     os << "  " << std::left << std::setw(12) << "class"
        << std::right << std::setw(9) << "sessions"
        << std::setw(10) << "offered" << std::setw(10) << "done"

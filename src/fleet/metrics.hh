@@ -37,6 +37,37 @@ namespace fleet {
  */
 double jainIndex(const std::vector<double> &shares);
 
+/**
+ * One reporting window of a fault-tolerant run (FleetConfig::windowS
+ * > 0): per-class terminal counts bucketed by virtual completion
+ * time, so SLO attainment can be scored *throughout* a chaos
+ * schedule rather than only end-to-end. Windows are pre-sized before
+ * the event loop (zero steady-state allocation); events past the cap
+ * clamp into the last window.
+ */
+struct FleetWindow {
+    double startS = 0.0;
+    double endS = 0.0;
+    std::array<std::uint64_t, kTrafficClasses> completed{};
+    std::array<std::uint64_t, kTrafficClasses> sloViolations{};
+    std::array<std::uint64_t, kTrafficClasses> shed{};
+    std::uint64_t retries = 0;
+    std::uint64_t hedges = 0;
+    std::size_t activeDevicesMin = 0; ///< low-water active devices
+    int brownoutLevel = 0;            ///< max level seen in window
+
+    /** SLO attainment of one class within this window (1.0 when the
+     * class completed nothing). */
+    double
+    sloAttainment(std::size_t cls) const
+    {
+        return completed[cls]
+                   ? 1.0 - static_cast<double>(sloViolations[cls]) /
+                               static_cast<double>(completed[cls])
+                   : 1.0;
+    }
+};
+
 /** Aggregated serving outcome of one traffic class. */
 struct ClassReport {
     TrafficClass cls = TrafficClass::BestEffort;
@@ -48,6 +79,17 @@ struct ClassReport {
     std::uint64_t shed = 0;    ///< evicted after admission
     std::uint64_t completed = 0;
     std::uint64_t sloViolations = 0;
+
+    // Fault-tolerance attribution (sums of the per-session
+    // counters; see SessionStats for the semantics).
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedUnavailable = 0;
+    std::uint64_t shedResource = 0;
+    std::uint64_t shedBrownout = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t hedges = 0;
+    std::uint64_t hedgeWins = 0;
+    std::uint64_t degraded = 0; ///< completions served force-bypassed
 
     double fps = 0.0; ///< completed frames / makespan
 
@@ -96,6 +138,50 @@ struct FleetReport {
     std::size_t devicesNormal = 0;
     std::size_t devicesRemap = 0;
     std::size_t devicesBypass = 0;
+
+    // Device lifecycle census (end of run) and transition totals.
+    std::size_t devicesActive = 0;
+    std::size_t devicesQuarantined = 0;
+    std::size_t devicesRetired = 0;
+    std::uint64_t quarantines = 0; ///< quarantine entries over the run
+    std::uint64_t recoveries = 0;  ///< re-admissions from quarantine
+
+    // Fault-tolerance layer totals (zero with the layer off).
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedUnavailable = 0;
+    std::uint64_t shedResource = 0;
+    std::uint64_t shedBrownout = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t hedges = 0;
+    std::uint64_t hedgeWins = 0;
+    std::uint64_t hedgeSkipped = 0; ///< fire with no device to hedge on
+    std::uint64_t degraded = 0;
+    std::uint64_t attemptTimeouts = 0;
+    std::uint64_t probeSweeps = 0;
+    std::uint64_t chaosKills = 0;
+    std::uint64_t chaosRecovers = 0;
+    std::uint64_t brownoutEscalations = 0;
+    int finalBrownoutLevel = 0;
+
+    /**
+     * Heap allocations across the event loop, and the control-plane
+     * share (probe sweeps, reprobes, chaos handlers — these build
+     * ColumnArrays and are inherently allocating). The data plane —
+     * admission, dispatch, completion, retry, hedge, brownout — is
+     * the difference, and must be zero: steadyAllocations() is the
+     * PR-6 guarantee extended to fault-tolerant serving. Both are 0
+     * unless the counting allocator is linked (tests/alloc_tests).
+     */
+    std::uint64_t eventLoopAllocs = 0;
+    std::uint64_t controlPlaneAllocs = 0;
+    std::uint64_t
+    steadyAllocations() const
+    {
+        return eventLoopAllocs - controlPlaneAllocs;
+    }
+
+    /** Reporting windows (empty unless FleetConfig::windowS > 0). */
+    std::vector<FleetWindow> windows;
 
     std::array<ClassReport, kTrafficClasses> classes{};
 

@@ -33,6 +33,9 @@ defaultQosTable()
     interactive.depth = 1;
     interactive.convSnrDb = 40.0;
     interactive.adcBits = 4;
+    // The latency class is the only one worth paying duplicate work
+    // for: tail trimming via hedged dispatch (DESIGN.md §13).
+    interactive.hedge = true;
 
     QosClassConfig background;
     background.weight = 3;
@@ -55,6 +58,10 @@ defaultQosTable()
     best_effort.depth = 1;
     best_effort.convSnrDb = 30.0;
     best_effort.adcBits = 3;
+    // Scavenger traffic gets one fewer attempt and half the retry
+    // budget: under failure its work is the first to give way.
+    best_effort.maxAttempts = 2;
+    best_effort.retryBudgetRatio = 0.05;
 
     return {interactive, background, best_effort};
 }

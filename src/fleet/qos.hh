@@ -76,6 +76,31 @@ struct QosClassConfig {
     unsigned depth = 1;      ///< analog prefix depth cut
     double convSnrDb = 40.0; ///< programmed noise admission
     unsigned adcBits = 4;    ///< readout resolution
+
+    // Fault-tolerance parameters (DESIGN.md §13). Only consulted
+    // when FleetConfig::ft.enabled is set; with the fault-tolerance
+    // layer off these fields are inert.
+
+    /** Request deadline as a multiple of the class SLO: a frame must
+     * complete by arrival + deadlineMultiplier * sloS or it is shed
+     * with DEADLINE_EXCEEDED. */
+    double deadlineMultiplier = 2.0;
+
+    /** Per-attempt timeout as a multiple of the unloaded device
+     * service time: an attempt predicted to outlive this is timed
+     * out and retried on another device. */
+    double attemptTimeoutMultiplier = 8.0;
+
+    /** Total attempts per request (first try + retries). */
+    unsigned maxAttempts = 3;
+
+    /** Retry-budget credit per admitted frame (core/retry.hh): the
+     * sustained retry fraction this class may inject. */
+    double retryBudgetRatio = 0.1;
+
+    /** Hedge slow requests with one duplicate dispatch (first-wins).
+     * Default-on only for INTERACTIVE in defaultQosTable(). */
+    bool hedge = false;
 };
 
 /** Table of per-class parameters, indexed by classIndex(). */

@@ -54,6 +54,24 @@ struct SessionStats {
     std::uint64_t completed = 0; ///< frames served to completion
     std::uint64_t sloViolations = 0; ///< completions past the SLO
 
+    /**
+     * Shed-cause attribution (fault-tolerance layer, DESIGN.md §13):
+     * every shed frame counts under exactly one cause, so
+     * shedDeadline + shedUnavailable + shedResource + shedBrownout
+     * == shed. Queue-full and eviction sheds classify as
+     * shedResource (RESOURCE_EXHAUSTED) whether or not the
+     * fault-tolerance layer is on — purely additive bookkeeping.
+     */
+    std::uint64_t shedDeadline = 0;    ///< request deadline expired
+    std::uint64_t shedUnavailable = 0; ///< device failures, retries spent
+    std::uint64_t shedResource = 0;    ///< queue full/evicted, budget
+    std::uint64_t shedBrownout = 0;    ///< brownout controller walk-down
+
+    std::uint64_t retries = 0;   ///< re-dispatches after failure
+    std::uint64_t hedges = 0;    ///< duplicate dispatches issued
+    std::uint64_t hedgeWins = 0; ///< completions won by the hedge leg
+    std::uint64_t degraded = 0;  ///< completions served force-bypassed
+
     LogHistogram latencyS = makeLatencyHistogram();
     RunningStat systemJ; ///< per-completed-frame system energy
 };

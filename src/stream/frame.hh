@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "core/status.hh"
 #include "tensor/tensor.hh"
 
 namespace redeye {
@@ -40,9 +41,13 @@ struct StreamFrame {
      * frame: the runner counts it and drops it instead of forwarding.
      * `analogBypassed` marks frames the degradation policy routed
      * around the analog stage (the host runs the full digital net).
+     * `failCode` classifies the failure for retry/reporting purposes
+     * (DeadlineExceeded = watchdog/timeout, anything else = error);
+     * stages that surrender a frame should set it alongside `failed`.
      */
     bool failed = false;
     bool analogBypassed = false;
+    StatusCode failCode = StatusCode::Ok;
 };
 
 } // namespace stream

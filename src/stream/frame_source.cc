@@ -37,6 +37,7 @@ ShapesReplaySource::fill(std::uint64_t index, StreamFrame &frame)
     frame.systemEnergyJ = 0.0;
     frame.failed = false;
     frame.analogBypassed = false;
+    frame.failCode = StatusCode::Ok;
     // frame.features keeps its (stale) storage: downstream stages
     // overwrite the content and reuse the capacity.
 }

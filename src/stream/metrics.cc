@@ -47,13 +47,18 @@ StreamMetrics::recordDropped(std::uint64_t index)
 }
 
 void
-StreamMetrics::recordFailed(std::uint64_t index, std::size_t stage)
+StreamMetrics::recordFailed(std::uint64_t index, std::size_t stage,
+                            StatusCode code)
 {
     (void)index;
     std::lock_guard<std::mutex> lock(mutex_);
     panic_if(stage >= accum_.size(), "stage index out of range");
     ++failed_;
     ++accum_[stage].failed;
+    if (code == StatusCode::DeadlineExceeded)
+        ++accum_[stage].failedByTimeout;
+    else
+        ++accum_[stage].failedByError;
 }
 
 void
@@ -130,6 +135,8 @@ StreamMetrics::report(double wall_s) const
         const auto &a = accum_[i];
         sr.processed = a.serviceS.size();
         sr.failed = a.failed;
+        sr.failedByTimeout = a.failedByTimeout;
+        sr.failedByError = a.failedByError;
         if (!a.serviceS.empty()) {
             RunningStat svc;
             svc.addRange(a.serviceS.begin(), a.serviceS.end());
@@ -185,13 +192,16 @@ StreamReport::print(std::ostream &os) const
     os << "\n";
 
     TablePrinter st("stages");
-    st.setHeader({"stage", "workers", "served", "failed", "svc p50",
-                  "svc p95", "svc p99", "queue mean", "queue max",
-                  "batch mean", "batch max"});
+    st.setHeader({"stage", "workers", "served", "failed", "f.timeout",
+                  "f.error", "svc p50", "svc p95", "svc p99",
+                  "queue mean", "queue max", "batch mean",
+                  "batch max"});
     for (const StageReport &s : stages) {
         st.addRow({s.name, std::to_string(s.workers),
                    std::to_string(s.processed),
                    std::to_string(s.failed),
+                   std::to_string(s.failedByTimeout),
+                   std::to_string(s.failedByError),
                    units::siFormat(s.serviceP50S, "s"),
                    units::siFormat(s.serviceP95S, "s"),
                    units::siFormat(s.serviceP99S, "s"),

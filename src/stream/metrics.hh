@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/stats.hh"
+#include "core/status.hh"
 #include "stream/frame.hh"
 
 namespace redeye {
@@ -38,6 +39,14 @@ struct StageReport {
     std::uint64_t processed = 0;
     std::uint64_t failed = 0; ///< frames this stage dropped (failure
                               ///< surrender or watchdog kill)
+
+    /**
+     * Failure attribution by cause: `failed` split into deadline
+     * overruns (watchdog kills, DeadlineExceeded surrenders) and
+     * everything else. failedByTimeout + failedByError == failed.
+     */
+    std::uint64_t failedByTimeout = 0;
+    std::uint64_t failedByError = 0;
     double serviceMeanS = 0.0;
     double serviceP50S = 0.0;
     double serviceP95S = 0.0;
@@ -117,9 +126,17 @@ class StreamMetrics
      * it or the watchdog declared it dead) and leaves the pipeline.
      * Counted both run-wide (StreamReport::framesFailed) and against
      * the stage (StageReport::failed), so serving sweeps can tell
-     * which stage is shedding frames.
+     * which stage is shedding frames. @p code attributes the cause:
+     * DeadlineExceeded counts as failedByTimeout, every other code as
+     * failedByError (the two-arg overload defaults to Internal).
      */
-    void recordFailed(std::uint64_t index, std::size_t stage);
+    void recordFailed(std::uint64_t index, std::size_t stage,
+                      StatusCode code);
+    void
+    recordFailed(std::uint64_t index, std::size_t stage)
+    {
+        recordFailed(index, stage, StatusCode::Internal);
+    }
 
     /** Stage @p stage served one frame in @p seconds. */
     void recordService(std::size_t stage, double seconds);
@@ -147,6 +164,8 @@ class StreamMetrics
         RunningStat depth;
         std::size_t depthMax = 0;
         std::uint64_t failed = 0;
+        std::uint64_t failedByTimeout = 0;
+        std::uint64_t failedByError = 0;
         RunningStat batch;
         std::size_t batchMax = 0;
         std::uint64_t batchFrames = 0;

@@ -199,8 +199,10 @@ StreamRunner::watchdogLoop(StreamMetrics &metrics)
                 continue;
             // Claim the frame; the worker drops it on return. If the
             // worker claimed first the frame just completed in time.
-            if (!slot->claimed.exchange(true))
-                metrics.recordFailed(slot->frame.load(), slot->stage);
+            if (!slot->claimed.exchange(true)) {
+                metrics.recordFailed(slot->frame.load(), slot->stage,
+                                     StatusCode::DeadlineExceeded);
+            }
         }
     }
 }
@@ -260,7 +262,11 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                     continue;
                 }
                 if (frame.failed) {
-                    metrics.recordFailed(frame.index, stage);
+                    metrics.recordFailed(frame.index, stage,
+                                         frame.failCode !=
+                                                 StatusCode::Ok
+                                             ? frame.failCode
+                                             : StatusCode::Internal);
                     recycleFrame(std::move(frame));
                     continue; // the stage surrendered the frame
                 }
@@ -372,13 +378,20 @@ StreamRunner::stageBatchLoop(std::size_t stage, std::size_t worker,
                         // The watchdog already counted the published
                         // (first) frame failed; its batchmates die
                         // with it and are accounted here.
-                        if (i > 0)
-                            metrics.recordFailed(f.index, stage);
+                        if (i > 0) {
+                            metrics.recordFailed(
+                                f.index, stage,
+                                StatusCode::DeadlineExceeded);
+                        }
                         recycleFrame(std::move(f));
                         continue;
                     }
                     if (f.failed) {
-                        metrics.recordFailed(f.index, stage);
+                        metrics.recordFailed(
+                            f.index, stage,
+                            f.failCode != StatusCode::Ok
+                                ? f.failCode
+                                : StatusCode::Internal);
                         recycleFrame(std::move(f));
                         continue;
                     }

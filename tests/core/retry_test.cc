@@ -1,0 +1,116 @@
+/** @file Tests for the retry/backoff/budget primitives. */
+
+#include <gtest/gtest.h>
+
+#include "core/retry.hh"
+
+namespace redeye {
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyUpToTheCeiling)
+{
+    BackoffConfig c;
+    c.initialS = 0.010;
+    c.multiplier = 2.0;
+    c.maxS = 0.050;
+    c.jitter = 0.0; // deterministic: delay == base
+
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 0, 0.5), 0.010);
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 1, 0.5), 0.020);
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 2, 0.5), 0.040);
+    // Capped at maxS from attempt 3 on.
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 3, 0.5), 0.050);
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 10, 0.5), 0.050);
+}
+
+TEST(BackoffTest, JitterSpansTheConfiguredFraction)
+{
+    BackoffConfig c;
+    c.initialS = 0.100;
+    c.multiplier = 1.0;
+    c.maxS = 1.0;
+    c.jitter = 0.5;
+
+    // delay = base * (1 - j + j*u): u=0 gives the floor, u->1 the base.
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 0, 0.0), 0.050);
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 0, 0.5), 0.075);
+    EXPECT_NEAR(backoffDelayS(c, 0, 1.0 - 1e-12), 0.100, 1e-9);
+
+    // Full jitter covers (0, base]; zero jitter ignores the draw.
+    c.jitter = 1.0;
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 0, 0.0), 0.0);
+    c.jitter = 0.0;
+    EXPECT_DOUBLE_EQ(backoffDelayS(c, 0, 0.0),
+                     backoffDelayS(c, 0, 0.999));
+}
+
+TEST(BackoffTest, PureFunctionOfItsArguments)
+{
+    const BackoffConfig c; // defaults
+    for (unsigned attempt = 0; attempt < 6; ++attempt)
+        EXPECT_DOUBLE_EQ(backoffDelayS(c, attempt, 0.25),
+                         backoffDelayS(c, attempt, 0.25));
+}
+
+TEST(RetryableStatusTest, OnlyDeadlineAndUnavailableRetry)
+{
+    EXPECT_TRUE(retryableStatus(StatusCode::DeadlineExceeded));
+    EXPECT_TRUE(retryableStatus(StatusCode::Unavailable));
+    // Retrying against an exhausted resource amplifies the overload.
+    EXPECT_FALSE(retryableStatus(StatusCode::ResourceExhausted));
+    EXPECT_FALSE(retryableStatus(StatusCode::Ok));
+    EXPECT_FALSE(retryableStatus(StatusCode::Internal));
+    EXPECT_FALSE(retryableStatus(StatusCode::InvalidArgument));
+    EXPECT_FALSE(retryableStatus(StatusCode::FailedPrecondition));
+}
+
+TEST(RetryBudgetTest, CreditsFractionsAndSpendsWholeTokens)
+{
+    RetryBudget b(0.5, 4.0, 0.0);
+    EXPECT_FALSE(b.tryAcquire()) << "empty budget must refuse";
+
+    b.credit(); // 0.5 tokens: still broke
+    EXPECT_FALSE(b.tryAcquire());
+    b.credit(); // 1.0 token
+    EXPECT_TRUE(b.tryAcquire());
+    EXPECT_DOUBLE_EQ(b.tokens(), 0.0);
+}
+
+TEST(RetryBudgetTest, CapBoundsTheBurst)
+{
+    RetryBudget b(1.0, 2.0, 0.0);
+    for (int i = 0; i < 100; ++i)
+        b.credit();
+    EXPECT_DOUBLE_EQ(b.tokens(), 2.0);
+
+    // Exactly the cap's worth of retries, then refusal.
+    EXPECT_TRUE(b.tryAcquire());
+    EXPECT_TRUE(b.tryAcquire());
+    EXPECT_FALSE(b.tryAcquire());
+}
+
+TEST(RetryBudgetTest, InitialBalanceClampsToTheCap)
+{
+    RetryBudget b(0.1, 3.0, 100.0);
+    EXPECT_DOUBLE_EQ(b.tokens(), 3.0);
+
+    RetryBudget broke(0.1, 3.0, -5.0);
+    EXPECT_DOUBLE_EQ(broke.tokens(), 0.0);
+}
+
+TEST(RetryBudgetTest, SustainedRetryFractionIsTheRatio)
+{
+    // Serving N requests credits N*ratio tokens, so at most
+    // floor(N*ratio) retries are possible without a starting balance:
+    // the retry-storm bound.
+    RetryBudget b(0.1, 1000.0, 0.0);
+    for (int i = 0; i < 200; ++i)
+        b.credit();
+    int granted = 0;
+    while (b.tryAcquire())
+        ++granted;
+    EXPECT_EQ(granted, 20);
+}
+
+} // namespace
+} // namespace redeye

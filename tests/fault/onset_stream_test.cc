@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Wear-out faults with a nonzero onset horizon, end to end: the
+ * realization gates on the frame clock, the calibration probe sees
+ * nothing until a fault has fired, the degradation policy remaps
+ * once it has, and the streaming pipeline serves bit-identically to
+ * clean silicon for every frame before the first onset.
+ */
+
+#include <algorithm>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_model.hh"
+#include "models/mini_googlenet.hh"
+#include "stream/degrade.hh"
+#include "stream/probe.hh"
+#include "stream/vision.hh"
+
+namespace redeye {
+namespace {
+
+constexpr std::size_t kColumns = models::kMiniInputSize;
+constexpr std::uint64_t kFrames = 12;
+constexpr std::uint64_t kHorizon = 8;
+
+arch::ColumnArrayConfig
+arrayConfig()
+{
+    arch::ColumnArrayConfig cfg;
+    cfg.columns = kColumns;
+    cfg.convSnrDb = 40.0;
+    cfg.adcBits = 4;
+    return cfg;
+}
+
+/** Realized onset campaign statistics. */
+struct Onsets {
+    std::size_t deadCount = 0;
+    std::uint64_t first = 0; ///< earliest dead-column onset
+    std::uint64_t last = 0;  ///< latest dead-column onset
+    std::vector<std::size_t> deadColumns; ///< ascending
+};
+
+Onsets
+onsetsOf(const fault::FaultModel &m)
+{
+    Onsets o;
+    o.first = kHorizon + 1;
+    for (std::size_t c = 0; c < m.columns(); ++c) {
+        if (!m.column(c).dead)
+            continue;
+        ++o.deadCount;
+        o.deadColumns.push_back(c);
+        o.first = std::min(o.first, m.column(c).onset);
+        o.last = std::max(o.last, m.column(c).onset);
+    }
+    return o;
+}
+
+/**
+ * A campaign whose every dead column onsets strictly *inside* the
+ * run — after frame 1, by frame kHorizon — so there are clean frames
+ * to compare bit-for-bit and faulty frames for the probe to catch.
+ * Scans seeds; each realization is deterministic per seed.
+ */
+fault::FaultCampaign
+midRunOnsetCampaign(Onsets &onsets)
+{
+    fault::FaultCampaign c = fault::FaultCampaign::deadColumns(0.25);
+    c.onsetHorizon = kHorizon;
+    for (std::uint64_t seed = 1; seed < 500; ++seed) {
+        c.seed = seed;
+        fault::FaultModel m(c, kColumns);
+        const Onsets o = onsetsOf(m);
+        if (o.deadCount >= 2 && o.deadCount <= 10 && o.first >= 2) {
+            onsets = o;
+            return c;
+        }
+    }
+    ADD_FAILURE() << "no seed yields a mid-run onset campaign";
+    return c;
+}
+
+TEST(OnsetFaultTest, RealizationGatesOnTheFrameClock)
+{
+    Onsets onsets;
+    const fault::FaultCampaign c = midRunOnsetCampaign(onsets);
+    fault::FaultModel m(c, kColumns);
+
+    // Before the first onset the array is effectively pristine;
+    // after the last every drawn fault is live. In between the count
+    // is monotone in the frame clock.
+    EXPECT_EQ(m.deadColumnCount(0), 0u);
+    EXPECT_EQ(m.deadColumnCount(onsets.first - 1), 0u);
+    EXPECT_GE(m.deadColumnCount(onsets.first), 1u);
+    EXPECT_EQ(m.deadColumnCount(onsets.last), onsets.deadCount);
+    for (std::uint64_t f = 1; f <= onsets.last; ++f)
+        EXPECT_GE(m.deadColumnCount(f), m.deadColumnCount(f - 1));
+
+    for (std::size_t col : onsets.deadColumns) {
+        const fault::ColumnFaults &cf = m.column(col);
+        EXPECT_FALSE(cf.activeAt(cf.onset - 1));
+        EXPECT_TRUE(cf.activeAt(cf.onset));
+    }
+
+    // The realization is a pure function of (campaign, columns).
+    fault::FaultModel again(c, kColumns);
+    for (std::size_t col = 0; col < kColumns; ++col)
+        EXPECT_EQ(again.column(col).onset, m.column(col).onset);
+}
+
+TEST(OnsetFaultTest, ProbeAndPolicyFollowTheOnset)
+{
+    Onsets onsets;
+    const fault::FaultCampaign c = midRunOnsetCampaign(onsets);
+    fault::FaultModel m(c, kColumns);
+
+    stream::DegradationPolicyConfig policy;
+    policy.enabled = true;
+
+    // Probed before anything fired: clean report, Normal plan.
+    const stream::ProbeReport before = stream::runCalibrationProbe(
+        arrayConfig(), &m, onsets.first - 1);
+    EXPECT_FALSE(before.anySuspect()) << before.str();
+    EXPECT_EQ(
+        stream::planDegradation(before, arrayConfig(), policy).mode,
+        stream::DegradeMode::Normal);
+
+    // Probed after the last onset: every dead column is suspected
+    // (a railed column can also implicate a pooling neighbor, so the
+    // suspect set may be a strict superset), and the policy remaps
+    // around it (the campaign is well below the bypass fraction).
+    const stream::ProbeReport after = stream::runCalibrationProbe(
+        arrayConfig(), &m, onsets.last);
+    for (std::size_t dead : onsets.deadColumns)
+        EXPECT_TRUE(std::binary_search(after.suspectColumns.begin(),
+                                       after.suspectColumns.end(),
+                                       dead))
+            << "dead column " << dead << " not suspected: "
+            << after.str();
+    const stream::DegradePlan plan =
+        stream::planDegradation(after, arrayConfig(), policy);
+    EXPECT_EQ(plan.mode, stream::DegradeMode::Remap);
+    ASSERT_FALSE(plan.columnMap.empty());
+    for (std::size_t physical : plan.columnMap)
+        EXPECT_FALSE(std::binary_search(onsets.deadColumns.begin(),
+                                        onsets.deadColumns.end(),
+                                        physical))
+            << "remap routed logical work onto dead column "
+            << physical;
+}
+
+TEST(OnsetFaultTest, StreamServesBitIdenticallyBeforeOnset)
+{
+    Onsets onsets;
+    const fault::FaultCampaign c = midRunOnsetCampaign(onsets);
+
+    stream::ShapesReplaySource source(
+        stream::makeReplayDataset(2, 0x5eed));
+
+    const auto run = [&](const stream::VisionConfig &vc) {
+        stream::RunnerConfig rc;
+        rc.frames = kFrames;
+        rc.queueCapacity = 4;
+        stream::StreamRunner runner(
+            source, stream::makeVisionStages(vc), rc);
+        return runner.run();
+    };
+
+    stream::VisionConfig clean;
+    clean.depth = 1;
+    const stream::StreamReport ref = run(clean);
+
+    stream::VisionConfig wearing = clean;
+    wearing.faults =
+        std::make_shared<fault::FaultModel>(c, kColumns);
+    wearing.degrade.enabled = true;
+    wearing.degrade.probePeriod = 4; // faults fire between epochs
+    const stream::StreamReport r = run(wearing);
+
+    // Wear-out degrades, it does not drop: every frame completes.
+    EXPECT_EQ(r.framesCompleted, kFrames);
+    EXPECT_EQ(r.framesFailed, 0u);
+    EXPECT_EQ(r.framesDropped, 0u);
+
+    // The fault fires between frames first-1 and first: every frame
+    // before it is bit-identical to clean silicon — armed-but-inert
+    // faults consume no draws and the epoch-0 plan is Normal.
+    ASSERT_EQ(r.predictions.size(), ref.predictions.size());
+    for (std::uint64_t i = 0; i < onsets.first; ++i)
+        EXPECT_EQ(r.predictions[i], ref.predictions[i])
+            << "pre-onset frame " << i;
+}
+
+} // namespace
+} // namespace redeye

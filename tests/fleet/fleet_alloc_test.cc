@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Zero-allocation steady state of the fault-tolerant fleet engine:
+ * with retries, hedging, chaos and brownout all exercising their
+ * pools, the data plane (admission, dispatch, completion, retry,
+ * hedge, window accounting) must not touch the heap. Only the
+ * control plane — probe sweeps, reprobes, chaos handlers, which
+ * build ColumnArrays — may allocate, and the engine meters that
+ * share separately (FleetReport::steadyAllocations()).
+ *
+ * This binary links the `reallocspy` counting allocator
+ * (core/alloc.hh); when the hooks are compiled out (sanitizer
+ * builds) the counting assertions skip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alloc.hh"
+#include "fleet/engine.hh"
+
+namespace redeye {
+namespace fleet {
+namespace {
+
+/** A chaos schedule that drives every fault-tolerance path. */
+FleetConfig
+chaosFleet()
+{
+    FleetConfig c;
+    c.sessions = 32;
+    c.framesPerSession = 10;
+    c.sessionRateHz = 5.0;
+    c.pool.devices = 4;
+    c.pool.hostWorkers = 8;
+    c.queueCapacity = 32;
+    c.seed = 0xc4a05;
+    c.ft.enabled = true;
+    c.ft.probePeriodS = 0.25;
+    c.windowS = 0.5;
+
+    ChaosEvent kill;
+    kill.timeS = 0.33; // off the sweep grid: serve failures happen
+    kill.kind = ChaosEvent::Kind::Kill;
+    kill.deadFraction = 0.9;
+    kill.device = 0;
+    c.chaos.push_back(kill);
+    kill.device = 1;
+    c.chaos.push_back(kill);
+
+    ChaosEvent recover;
+    recover.timeS = 1.2;
+    recover.kind = ChaosEvent::Kind::Recover;
+    recover.device = 0;
+    c.chaos.push_back(recover);
+    return c;
+}
+
+TEST(FleetAllocTest, DataPlaneIsAllocationFreeUnderChaos)
+{
+    FleetEngine engine(chaosFleet());
+    const FleetReport r = engine.run();
+
+    // The run must really have exercised the machinery being
+    // metered: failures, retries, hedges, quarantines, recoveries.
+    ASSERT_GT(r.retries, 0u);
+    ASSERT_GT(r.hedges, 0u);
+    ASSERT_GE(r.quarantines, 2u);
+    ASSERT_GE(r.recoveries, 1u);
+    EXPECT_EQ(r.offered, r.admitted + r.dropped);
+    EXPECT_EQ(r.admitted, r.completed + r.shed);
+
+    if (!alloc::countingAvailable())
+        GTEST_SKIP() << "allocation hooks not linked (sanitizer "
+                        "build?); skipping the counting assertions";
+
+    // The control plane (probes, chaos) allocates — that is what
+    // proves the instrument sees this run at all...
+    EXPECT_GT(r.eventLoopAllocs, 0u);
+    EXPECT_GT(r.controlPlaneAllocs, 0u);
+    // ...and the data plane does not: retry events, hedge legs,
+    // request records, backoff timers and window updates all come
+    // from pre-sized pools.
+    EXPECT_EQ(r.steadyAllocations(), 0u)
+        << "event loop " << r.eventLoopAllocs << ", control plane "
+        << r.controlPlaneAllocs;
+}
+
+TEST(FleetAllocTest, LayerOffEventLoopIsAllocationFree)
+{
+    // The legacy engine (PR-6) already served out of pre-sized
+    // pools; the fault-tolerance members must not have regressed it.
+    FleetConfig cfg = chaosFleet();
+    cfg.ft.enabled = false;
+    cfg.chaos.clear();
+    cfg.windowS = 0.0;
+    FleetEngine engine(cfg);
+    const FleetReport r = engine.run();
+    EXPECT_EQ(r.completed + r.shed, r.admitted);
+
+    if (!alloc::countingAvailable())
+        GTEST_SKIP() << "allocation hooks not linked (sanitizer "
+                        "build?); skipping the counting assertions";
+
+    EXPECT_EQ(r.controlPlaneAllocs, 0u);
+    EXPECT_EQ(r.steadyAllocations(), 0u)
+        << "event loop allocated " << r.eventLoopAllocs;
+}
+
+} // namespace
+} // namespace fleet
+} // namespace redeye

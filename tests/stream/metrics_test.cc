@@ -118,6 +118,34 @@ TEST(StreamMetricsTest, PerStageServiceAndDepth)
     EXPECT_DOUBLE_EQ(r.stages[1].serviceP50S, 0.100);
 }
 
+TEST(StreamMetricsTest, FailureAttributionByCause)
+{
+    StreamMetrics m({{"device", 2}, {"host", 1}}, 8);
+    for (int i = 0; i < 5; ++i)
+        m.recordAdmitted();
+
+    // Watchdog kills and deadline surrenders count as timeouts...
+    m.recordFailed(0, 0, StatusCode::DeadlineExceeded);
+    m.recordFailed(1, 0, StatusCode::DeadlineExceeded);
+    // ...everything else as errors, including the legacy two-arg
+    // overload (defaults to Internal).
+    m.recordFailed(2, 0, StatusCode::Unavailable);
+    m.recordFailed(3, 1);
+
+    const StreamReport r = m.report(1.0);
+    EXPECT_EQ(r.framesFailed, 4u);
+    ASSERT_EQ(r.stages.size(), 2u);
+    EXPECT_EQ(r.stages[0].failed, 3u);
+    EXPECT_EQ(r.stages[0].failedByTimeout, 2u);
+    EXPECT_EQ(r.stages[0].failedByError, 1u);
+    EXPECT_EQ(r.stages[1].failed, 1u);
+    EXPECT_EQ(r.stages[1].failedByTimeout, 0u);
+    EXPECT_EQ(r.stages[1].failedByError, 1u);
+    for (const StageReport &stage : r.stages)
+        EXPECT_EQ(stage.failed,
+                  stage.failedByTimeout + stage.failedByError);
+}
+
 TEST(StreamReportTest, PrintMentionsStagesAndRates)
 {
     StreamMetrics m({{"sensor", 1}, {"redeye", 2}}, 2);
