@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Auto-tune tracking baseline: online controller vs. oracle sweep.
+ *
+ * Drives one tune::AutoTuner through a scripted scene schedule —
+ * daylight (easy), nightfall (hard), then a fault onset that pushes
+ * the pool into Bypass — and scores every window against an oracle
+ * that exhaustively sweeps the operating-point lattice with the
+ * *true* scene difficulty in hand. The oracle is the §VII offline
+ * tuning procedure run fresh per window; the controller only sees
+ * noisy per-frame feedback, one window behind the scene.
+ *
+ * The bench exits nonzero unless, by the last window of every scene
+ * segment, the controller
+ *
+ *  - spends within 5% of the oracle's per-frame energy, and
+ *  - holds accuracy within 0.5 pt of the oracle's,
+ *
+ * and its total operating-point switches stay bounded (no
+ * oscillation: a few switches per scene change, not per window).
+ *
+ * Determinism: observation noise is counter-keyed by (seed, window,
+ * frame), the controller is RNG-free, and the oracle sweep stores
+ * per-candidate objectives by lattice index before a serial argmin —
+ * so the CSV is byte-identical across reruns and across any
+ * --threads value (CI diffs both).
+ *
+ * Flags:
+ *   --windows N        tuning windows per scene segment (default 8)
+ *   --window-frames N  observations per window (default 48)
+ *   --target P         accuracy-proxy floor (default 0.9)
+ *   --noise S          observation noise stddev (default 0.02)
+ *   --day D            daylight difficulty in dB (default 2)
+ *   --night D          nightfall difficulty in dB (default 14)
+ *   --suspect F        fault-onset suspect fraction (default 0.6)
+ *   --threads N        oracle sweep threads (0 = hardware)
+ *   --seed S           observation-noise seed (default 0x9a7e)
+ *   --csv PATH         write per-window rows as CSV
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/csv.hh"
+#include "core/exec.hh"
+#include "core/logging.hh"
+#include "core/rng.hh"
+#include "core/table.hh"
+#include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
+#include "redeye/compiler.hh"
+#include "tune/controller.hh"
+#include "tune/op_model.hh"
+#include "tune/operating_point.hh"
+#include "tune/scene.hh"
+
+using namespace redeye;
+
+namespace {
+
+struct Options {
+    std::size_t windowsPerScene = 8;
+    std::uint64_t windowFrames = 48;
+    double targetProxy = 0.9;
+    double noiseSigma = 0.02;
+    double dayDb = 2.0;
+    double nightDb = 14.0;
+    double suspectFraction = 0.6;
+    std::size_t threads = 0;
+    std::uint64_t seed = 0x9a7e;
+    std::string csvPath;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    opt.csvPath = stripCsvFlag(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--windows") {
+            opt.windowsPerScene = std::stoul(value());
+        } else if (arg == "--window-frames") {
+            opt.windowFrames = std::stoull(value());
+        } else if (arg == "--target") {
+            opt.targetProxy = std::stod(value());
+        } else if (arg == "--noise") {
+            opt.noiseSigma = std::stod(value());
+        } else if (arg == "--day") {
+            opt.dayDb = std::stod(value());
+        } else if (arg == "--night") {
+            opt.nightDb = std::stod(value());
+        } else if (arg == "--suspect") {
+            opt.suspectFraction = std::stod(value());
+        } else if (arg == "--threads") {
+            opt.threads = std::stoul(value());
+        } else if (arg == "--seed") {
+            opt.seed = std::stoull(value(), nullptr, 0);
+        } else {
+            fatal("unknown flag '", arg, "'");
+        }
+    }
+    fatal_if(opt.windowsPerScene == 0, "need at least one window");
+    fatal_if(opt.windowFrames == 0, "need window frames");
+    return opt;
+}
+
+/** Remap serving stretches energy by the surviving-column share. */
+double
+modeEnergyJ(tune::OpModelCache &models, const tune::OperatingPoint &op,
+            stream::DegradeMode mode, double suspect)
+{
+    double e = models.costFor(op, mode).energyJ;
+    if (mode == stream::DegradeMode::Remap)
+        e /= 1.0 - std::min(suspect, 0.95);
+    return e;
+}
+
+/** The shared fault-decision thresholds (stream::planDegradation). */
+stream::DegradeMode
+modeFor(double suspect, const stream::DegradationPolicyConfig &policy)
+{
+    if (suspect >= policy.bypassSuspectFraction)
+        return stream::DegradeMode::Bypass;
+    if (suspect > 0.0)
+        return stream::DegradeMode::Remap;
+    return stream::DegradeMode::Normal;
+}
+
+struct OracleChoice {
+    tune::OperatingPoint op;
+    double energyJ = 0.0;
+    double proxy = 0.0;
+};
+
+/**
+ * Exhaustive lattice sweep with the true difficulty in hand: the
+ * cheapest feasible point (proxy >= target), or the most accurate
+ * point when nothing is feasible. Candidate objectives are stored by
+ * lattice index and reduced serially, so the choice is identical at
+ * any thread count.
+ */
+OracleChoice
+oracleSweep(ExecContext &ctx, tune::OpModelCache &models,
+            const std::vector<tune::OperatingPoint> &grid,
+            double difficulty_db, double suspect,
+            const tune::AutoTuneConfig &tc)
+{
+    const stream::DegradeMode mode = modeFor(suspect, tc.degrade);
+    const bool bypass = mode == stream::DegradeMode::Bypass;
+
+    std::vector<double> energy(grid.size());
+    std::vector<double> proxy(grid.size());
+    parallelFor(ctx, grid.size(), [&](std::size_t i) {
+        energy[i] = modeEnergyJ(models, grid[i], mode, suspect);
+        proxy[i] = tune::accuracyProxy(grid[i], difficulty_db,
+                                       bypass, tc.proxy);
+    });
+
+    std::size_t best = 0;
+    bool best_feasible = false;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const bool feasible = proxy[i] >= tc.targetProxy;
+        bool wins = false;
+        if (feasible != best_feasible) {
+            wins = feasible;
+        } else if (feasible) {
+            wins = energy[i] < energy[best];
+        } else {
+            wins = proxy[i] > proxy[best];
+        }
+        if (i == 0 || wins) {
+            best = i;
+            best_feasible = feasible;
+        }
+    }
+    return OracleChoice{grid[best], energy[best], proxy[best]};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseOptions(argc, argv);
+
+    // Day -> night -> night under fault onset: one segment each.
+    tune::SceneSchedule scenes;
+    const std::size_t per = opt.windowsPerScene;
+    scenes.push_back({0.0, {opt.dayDb, 0.0}, "day"});
+    scenes.push_back(
+        {static_cast<double>(per), {opt.nightDb, 0.0}, "night"});
+    scenes.push_back({static_cast<double>(2 * per),
+                      {opt.nightDb, opt.suspectFraction},
+                      "night+fault"});
+    const std::size_t total_windows = 3 * per;
+
+    tune::AutoTuneConfig tc;
+    tc.enabled = true;
+    tc.windowFrames = opt.windowFrames;
+    tc.targetProxy = opt.targetProxy;
+    tc.trace = true;
+    tune::AutoTuner tuner(tc);
+
+    Rng init(0x3317a11);
+    auto net = models::buildMiniGoogLeNet(data::kShapeClasses, init);
+    auto programs = std::make_shared<arch::ProgramCache>();
+    tune::OpModelCache models(*net, programs);
+
+    const std::vector<tune::OperatingPoint> grid =
+        tune::enumerateGrid(tc.bounds);
+
+    ThreadPool pool(resolveThreadCount(opt.threads));
+    ExecContext ctx(pool);
+
+    const auto cost = [&](const tune::OperatingPoint &op,
+                          stream::DegradeMode mode) {
+        return models.costFor(op, mode);
+    };
+
+    TablePrinter table("autotune tracking: controller vs oracle");
+    table.setHeader({"window", "scene", "mode", "op", "proxy",
+                     "energy/frame", "oracle op", "oracle energy",
+                     "d(energy)"});
+
+    std::vector<std::vector<std::string>> csv_rows;
+    struct SegmentEnd {
+        std::string name;
+        double controllerJ = 0.0;
+        double controllerProxy = 0.0;
+        double oracleJ = 0.0;
+        double oracleProxy = 0.0;
+    };
+    std::vector<SegmentEnd> segment_ends;
+
+    for (std::size_t w = 0; w < total_windows; ++w) {
+        const double t = static_cast<double>(w);
+        const tune::Scene scene = tune::sceneAt(scenes, t);
+        const std::string &name = tune::sceneNameAt(scenes, t);
+
+        // Serve the window at the controller's current operating
+        // point and mode (decided at the end of the previous window);
+        // feed back noisy proxy observations and realized energy.
+        const tune::OperatingPoint served = tuner.op();
+        const stream::DegradeMode mode = tuner.mode();
+        const bool bypass = mode == stream::DegradeMode::Bypass;
+        const double true_proxy = tune::accuracyProxy(
+            served, scene.difficultyDb, bypass, tc.proxy);
+        const double frame_j =
+            modeEnergyJ(models, served, mode, scene.suspectFraction);
+        for (std::uint64_t f = 0; f < opt.windowFrames; ++f) {
+            tune::FeedbackSample fb;
+            fb.accuracyProxy = std::clamp(
+                true_proxy +
+                    opt.noiseSigma *
+                        streamRng(opt.seed, w, f).gaussian(),
+                0.0, 1.0);
+            fb.energyJ = frame_j;
+            fb.bypassed = bypass;
+            tuner.observe(fb);
+        }
+
+        const tune::TuneDecision d =
+            tuner.step(scene.suspectFraction, cost);
+
+        const OracleChoice oracle =
+            oracleSweep(ctx, models, grid, scene.difficultyDb,
+                        scene.suspectFraction, tc);
+
+        const double delta =
+            oracle.energyJ > 0.0
+                ? frame_j / oracle.energyJ - 1.0
+                : 0.0;
+        table.addRow({std::to_string(w), name,
+                      stream::degradeModeName(mode), served.str(),
+                      fmt(true_proxy, 4), fmt(frame_j * 1e6, 3) + " uJ",
+                      oracle.op.str(), fmt(oracle.energyJ * 1e6, 3) + " uJ",
+                      fmtPercent(delta)});
+        csv_rows.push_back(
+            {std::to_string(w), name,
+             stream::degradeModeName(mode), fmt(served.snrDb, 1),
+             std::to_string(served.adcBits),
+             std::to_string(served.depth), fmt(true_proxy, 6),
+             fmt(frame_j * 1e9, 3), fmt(oracle.op.snrDb, 1),
+             std::to_string(oracle.op.adcBits),
+             std::to_string(oracle.op.depth), fmt(oracle.proxy, 6),
+             fmt(oracle.energyJ * 1e9, 3),
+             d.switched ? "1" : "0", std::to_string(d.evaluations),
+             fmt(d.inferredDifficultyDb, 3)});
+
+        if (w % per == per - 1) {
+            // Last window of the segment: the window the controller
+            // is scored on.
+            segment_ends.push_back({name, frame_j, true_proxy,
+                                    oracle.energyJ, oracle.proxy});
+        }
+    }
+
+    table.print(std::cout);
+    std::cout << "\n"
+              << "controller: " << tuner.steps() << " steps, "
+              << tuner.switches() << " switches, "
+              << models.size() << " operating points compiled ("
+              << models.hits() << " cache hits)\n";
+
+    if (!opt.csvPath.empty()) {
+        CsvWriter csv(opt.csvPath);
+        csv.header({"window", "scene", "mode", "snr_db", "adc_bits",
+                    "depth", "proxy", "energy_nj", "oracle_snr_db",
+                    "oracle_adc_bits", "oracle_depth", "oracle_proxy",
+                    "oracle_energy_nj", "switched", "evaluations",
+                    "inferred_difficulty_db"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+        std::cout << "wrote " << csv.rows() << " rows to "
+                  << csv.path() << "\n";
+    }
+
+    // ---- Acceptance ----
+    bool ok = true;
+    for (const SegmentEnd &e : segment_ends) {
+        if (e.controllerJ > 1.05 * e.oracleJ) {
+            std::cerr << "FAIL: segment '" << e.name
+                      << "' converged energy "
+                      << fmt(e.controllerJ * 1e9, 3)
+                      << " nJ exceeds oracle "
+                      << fmt(e.oracleJ * 1e9, 3) << " nJ by "
+                      << fmtPercent(e.controllerJ / e.oracleJ - 1.0)
+                      << " (> 5%)\n";
+            ok = false;
+        }
+        if (e.controllerProxy < e.oracleProxy - 0.005) {
+            std::cerr << "FAIL: segment '" << e.name
+                      << "' converged accuracy "
+                      << fmt(e.controllerProxy, 4)
+                      << " more than 0.5 pt under oracle "
+                      << fmt(e.oracleProxy, 4) << "\n";
+            ok = false;
+        }
+    }
+    // Oscillation bound: a few switches per scene change, not per
+    // window. Three segments; allow 3 switches each.
+    const std::uint64_t max_switches = 9;
+    if (tuner.switches() > max_switches) {
+        std::cerr << "FAIL: " << tuner.switches()
+                  << " operating-point switches across "
+                  << total_windows << " windows (bound "
+                  << max_switches << ") — controller oscillates\n";
+        ok = false;
+    }
+    if (!ok)
+        return EXIT_FAILURE;
+    std::cout << "acceptance: controller within 5% energy / 0.5 pt "
+                 "accuracy of oracle in every segment, "
+              << tuner.switches() << " switches (bound "
+              << max_switches << ")\n";
+    return EXIT_SUCCESS;
+}

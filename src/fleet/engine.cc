@@ -35,6 +35,7 @@ constexpr std::uint64_t kBackoffPass = 0xbac0ff;
 constexpr std::uint64_t kRetryPass = 0x4e72;
 constexpr std::uint64_t kHedgePass = 0x43d9e;
 constexpr std::uint64_t kReprobePass = 0x4e9086;
+constexpr std::uint64_t kProxyPass = 0x960c5;
 
 /** Flow-control-only service time of a bypassed device: the frame
  * transits the array's routing fabric without engaging a module. */
@@ -106,6 +107,17 @@ FleetEngine::FleetEngine(const FleetConfig &config)
     fatal_if(config_.sessionRateHz <= 0.0,
              "session rate must be positive");
     buildClassModels();
+
+    if (config_.tune.enabled) {
+        // One operating-point model cache for the whole fleet: every
+        // class serves the same topology, so retuned sessions of any
+        // class share compilations through the one ProgramCache.
+        tune::OpModelCache::Config mc;
+        mc.host = config_.hostProcessor;
+        mc.adcBoostBits = config_.pool.degrade.adcBoostBits;
+        opModels_ = std::make_unique<tune::OpModelCache>(
+            *models_[0].net, programCache_, mc);
+    }
 
     for (std::size_t c = 0; c < kTrafficClasses; ++c)
         budgets_[c] = RetryBudget(config_.qos[c].retryBudgetRatio,
@@ -277,6 +289,18 @@ FleetEngine::admitSessions()
             s.completedMask.assign(config_.framesPerSession, 0);
         }
 
+        if (config_.tune.enabled) {
+            // Each session's controller starts at its class operating
+            // point: the tuner refines the QoS table's static choice
+            // rather than replacing it.
+            tune::AutoTuneConfig tc = config_.tune;
+            const QosClassConfig &q = config_.qos[classIndex(cls)];
+            tc.initial.snrDb = q.convSnrDb;
+            tc.initial.adcBits = q.adcBits;
+            tc.initial.depth = q.depth;
+            s.tuner = std::make_unique<tune::AutoTuner>(tc);
+        }
+
         fatal_if(db_.admit(std::move(s)) == nullptr,
                  "session admission failed for id ", id);
 
@@ -303,7 +327,16 @@ FleetEngine::admitSessions()
             sweep.kind = Event::Kind::ProbeSweep;
             sweep.timeS = config_.ft.probePeriodS;
             schedule(std::move(sweep));
+            ++recurringPending_;
         }
+    }
+
+    if (config_.tune.enabled && config_.tune.windowS > 0.0) {
+        Event t;
+        t.kind = Event::Kind::TuneStep;
+        t.timeS = config_.tune.windowS;
+        schedule(std::move(t));
+        ++recurringPending_;
     }
 }
 
@@ -469,12 +502,27 @@ FleetEngine::onArrival(const Event &event)
     dispatchDevices(now);
 }
 
+FleetEngine::ServingView
+FleetEngine::servingFor(const Session &s) const
+{
+    if (s.opModel != nullptr) {
+        const tune::OpModel &m = *s.opModel;
+        return ServingView{m.deviceS,   m.remapDeviceS, m.analogJ,
+                           m.remapAnalogJ, m.hostTailS, m.hostTailJ,
+                           m.hostFullS, m.hostFullJ};
+    }
+    const ClassModel &m = models_[classIndex(s.cls)];
+    return ServingView{m.deviceS,   m.remapDeviceS, m.analogJ,
+                       m.remapAnalogJ, m.hostTailS, m.hostTailJ,
+                       m.hostFullS, m.hostFullJ};
+}
+
 double
 FleetEngine::deviceServiceS(const DeviceSlot &device,
                             const QueuedFrame &qf) const
 {
     const Session *s = db_.find(qf.session);
-    const ClassModel &m = models_[classIndex(s->cls)];
+    const ServingView m = servingFor(*s);
     switch (device.health) {
       case stream::DegradeMode::Normal:
         return m.deviceS;
@@ -519,7 +567,7 @@ FleetEngine::dispatchDevices(double now_s)
         }
         const DeviceSlot &slot =
             pool_.device(static_cast<std::size_t>(dev));
-        const ClassModel &m = models_[cls];
+        const ServingView m = servingFor(*s);
         const QosClassConfig &q = config_.qos[cls];
 
         // Leg-specific copy: bypass/energy depend on the leased
@@ -886,8 +934,7 @@ FleetEngine::onHedgeFire(const Event &event)
         return;
     }
 
-    const std::size_t cls = classIndex(s->cls);
-    const ClassModel &m = models_[cls];
+    const ServingView m = servingFor(*s);
     const DeviceSlot &slot =
         pool_.device(static_cast<std::size_t>(dev));
 
@@ -1091,6 +1138,7 @@ FleetEngine::onProbeSweep(const Event &event)
     // allocating); its share is metered apart from the data plane.
     alloc::AllocationMeter meter;
     const double now = event.timeS;
+    --recurringPending_; // this sweep left the heap
     ++probeSweeps_;
 
     for (std::size_t i = 0; i < pool_.devices(); ++i) {
@@ -1102,13 +1150,15 @@ FleetEngine::onProbeSweep(const Event &event)
     arrivalsSinceSweep_ = 0;
     lastSweepS_ = now;
 
-    // Keep sweeping while anything else is still pending; when this
-    // sweep was the last event, the run is over.
-    if (!events_.empty()) {
+    // Keep sweeping while real work is still pending; recurring
+    // events don't count, or two of them (sweep + tune) would keep
+    // each other alive forever after the workload drains.
+    if (events_.size() > recurringPending_) {
         Event next;
         next.kind = Event::Kind::ProbeSweep;
         next.timeS = now + config_.ft.probePeriodS;
         schedule(std::move(next));
+        ++recurringPending_;
     }
     controlPlaneAllocs_ += meter.delta();
 
@@ -1222,6 +1272,79 @@ FleetEngine::onChaos(const Event &event)
     controlPlaneAllocs_ += meter.delta();
 }
 
+double
+FleetEngine::poolSuspectFraction() const
+{
+    // The fault context the controllers fold into their mode choice:
+    // mean dead-column exposure — plan-covered plus undetected — over
+    // the devices still serving. Quarantined and retired devices
+    // serve no frames, so they don't shape the mode; a pool with
+    // nothing Active reads as fully suspect (Bypass).
+    double sum = 0.0;
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < pool_.devices(); ++i) {
+        const DeviceSlot &slot = pool_.device(i);
+        if (slot.lifecycle != DeviceLifecycle::Active)
+            continue;
+        ++active;
+        sum += std::min(1.0, slot.deadColumnFraction +
+                                 undetectedDeadFraction(slot));
+    }
+    return active ? sum / static_cast<double>(active) : 1.0;
+}
+
+void
+FleetEngine::onTuneStep(const Event &event)
+{
+    // Control plane: a retune may compile new programs through the
+    // shared caches (inherently allocating), so the handler's share
+    // is metered apart from the data plane like probes and chaos.
+    alloc::AllocationMeter meter;
+    const double now = event.timeS;
+    --recurringPending_; // this step left the heap
+    ++tuneSteps_;
+
+    const double suspect = poolSuspectFraction();
+    const auto cost = [this](const tune::OperatingPoint &op,
+                             stream::DegradeMode mode) {
+        return opModels_->costFor(op, mode);
+    };
+
+    // Ascending session id: the step order is part of the
+    // deterministic event schedule (SessionDb iteration order is
+    // not).
+    for (std::uint64_t id = 1; id <= config_.sessions; ++id) {
+        Session *s = db_.find(id);
+        if (s == nullptr || !s->tuner)
+            continue;
+        const tune::TuneDecision d = s->tuner->step(suspect, cost);
+        if (d.switched) {
+            ++retunes_;
+            // Re-key the session: fetch (or build) the new operating
+            // point's serving model and swap the program handle. Old
+            // entries stay warm in both caches — a scene that returns
+            // re-hits its previous key.
+            const tune::OpModel &m =
+                opModels_->fetch(s->tuner->op());
+            s->opModel = &m;
+            s->program = m.program;
+        }
+    }
+
+    // Same recurring-event rule as onProbeSweep: only continue while
+    // non-recurring work remains.
+    if (events_.size() > recurringPending_) {
+        Event next;
+        next.kind = Event::Kind::TuneStep;
+        next.timeS = now + config_.tune.windowS;
+        schedule(std::move(next));
+        ++recurringPending_;
+    }
+    controlPlaneAllocs_ += meter.delta();
+
+    dispatchDevices(now);
+}
+
 void
 FleetEngine::dispatchHosts(double now_s)
 {
@@ -1239,7 +1362,7 @@ FleetEngine::dispatchHosts(double now_s)
         }
 
         const int host = pool_.leaseHost(qf.session);
-        const ClassModel &m = models_[cls];
+        const ServingView m = servingFor(*s);
 
         double service = qf.bypass ? m.hostFullS : m.hostTailS;
         const double energy = qf.bypass ? m.hostFullJ : m.hostTailJ;
@@ -1292,6 +1415,30 @@ FleetEngine::onHostDone(const Event &event)
     if (s->recordPredictions &&
         event.qf.frame < s->completedMask.size())
         s->completedMask[event.qf.frame] = 1;
+
+    if (s->tuner) {
+        // Feedback tap (data plane, allocation-free): synthesize the
+        // completion's accuracy proxy from the scene in effect and
+        // the operating point served, add counter-keyed observation
+        // noise, and fold it into the session's open window.
+        const tune::Scene scene = tune::sceneAt(config_.scenes, now);
+        const bool bypassed = event.qf.bypass || event.qf.degraded;
+        double proxy = tune::accuracyProxy(s->tuner->op(),
+                                           scene.difficultyDb,
+                                           bypassed,
+                                           config_.tune.proxy);
+        if (config_.tuneObservationNoise > 0.0) {
+            proxy += config_.tuneObservationNoise *
+                     streamRng(s->seed, kProxyPass, event.qf.frame)
+                         .gaussian();
+            proxy = std::clamp(proxy, 0.0, 1.0);
+        }
+        tune::FeedbackSample fb;
+        fb.accuracyProxy = proxy;
+        fb.energyJ = event.qf.analogJ + event.energyJ;
+        fb.bypassed = bypassed;
+        s->tuner->observe(fb);
+    }
 
     dispatchHosts(now);
 }
@@ -1561,6 +1708,9 @@ FleetEngine::buildReport() const
     r.chaosRecovers = chaosRecovers_;
     r.brownoutEscalations = brownoutEscalations_;
     r.finalBrownoutLevel = brownoutLevel_;
+    r.tuneSteps = tuneSteps_;
+    r.retunes = retunes_;
+    r.opModelCount = opModels_ ? opModels_->size() : 0;
     r.eventLoopAllocs = eventLoopAllocs_;
     r.controlPlaneAllocs = controlPlaneAllocs_;
     r.windows.assign(windows_.begin(),
@@ -1644,6 +1794,9 @@ FleetEngine::run()
             break;
           case Event::Kind::Chaos:
             onChaos(event);
+            break;
+          case Event::Kind::TuneStep:
+            onTuneStep(event);
             break;
         }
     }

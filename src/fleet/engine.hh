@@ -86,6 +86,8 @@
 #include "nn/network.hh"
 #include "redeye/compiler.hh"
 #include "system/jetson.hh"
+#include "tune/controller.hh"
+#include "tune/scene.hh"
 
 namespace redeye {
 namespace fleet {
@@ -211,6 +213,29 @@ struct FleetConfig {
     double windowS = 0.0;
 
     /**
+     * Online operating-point auto-tuning (off by default; see
+     * tune/controller.hh). Enabled, every session carries an
+     * AutoTuner seeded at its class operating point, fed by
+     * per-completion feedback and stepped every tune.windowS of
+     * virtual time; a switch re-keys the session into the shared
+     * Program/OpModel caches. Disabled, the run is bit-identical to
+     * a tuner-less engine.
+     */
+    tune::AutoTuneConfig tune;
+
+    /**
+     * Scripted scene-difficulty schedule (virtual time). The engine
+     * synthesizes each completion's accuracy-proxy observation from
+     * the scene in effect at completion time — the fleet-scale
+     * analogue of a downstream vision model scoring frames.
+     */
+    tune::SceneSchedule scenes;
+
+    /** Gaussian noise stddev on per-frame proxy observations
+     * (counter-RNG keyed; 0 = noiseless). */
+    double tuneObservationNoise = 0.02;
+
+    /**
      * The first contentSessions clients also execute the real vision
      * pipeline for completed frames (predictions recorded on the
      * session), parallelized over contentThreads.
@@ -287,6 +312,7 @@ class FleetEngine
             HedgeFire,       ///< hedge delay elapsed on a record
             AttemptTimeout,  ///< per-attempt deadline on a leg
             Chaos,           ///< scripted kill/recover
+            TuneStep,        ///< close tuning windows, retune
         } kind = Kind::Arrival;
         QueuedFrame qf;
         int resource = -1;     ///< device/host slot, reprobe device,
@@ -352,6 +378,25 @@ class FleetEngine
         double sloS = 0.0;         ///< effective latency SLO
     };
 
+    /**
+     * The serving numbers a session's frames are priced with: the
+     * tuned operating point's OpModel when one is active, the class
+     * model otherwise. With the tuner off every session resolves to
+     * its class model, so the view is a pure refactor of the old
+     * models_[cls] reads — values, and therefore runs, identical.
+     */
+    struct ServingView {
+        double deviceS = 0.0;
+        double remapDeviceS = 0.0;
+        double analogJ = 0.0;
+        double remapAnalogJ = 0.0;
+        double hostTailS = 0.0;
+        double hostTailJ = 0.0;
+        double hostFullS = 0.0;
+        double hostFullJ = 0.0;
+    };
+    ServingView servingFor(const Session &s) const;
+
     void buildClassModels();
     void admitSessions();
     void schedule(Event event);
@@ -365,6 +410,8 @@ class FleetEngine
     void onHedgeFire(const Event &event);
     void onAttemptTimeout(const Event &event);
     void onChaos(const Event &event);
+    void onTuneStep(const Event &event);
+    double poolSuspectFraction() const;
     void dispatchDevices(double now_s);
     void dispatchHosts(double now_s);
     double deviceServiceS(const DeviceSlot &device,
@@ -393,6 +440,11 @@ class FleetEngine
     FleetConfig config_;
     std::array<ClassModel, kTrafficClasses> models_;
     std::shared_ptr<arch::ProgramCache> programCache_;
+
+    /** Per-operating-point serving models (null with the tuner
+     * off); compiles through programCache_, so retuned sessions
+     * share compilations content-addressed. */
+    std::unique_ptr<tune::OpModelCache> opModels_;
     SessionDb db_;
     DevicePool pool_;
     ClassedQueue<QueuedFrame> deviceQueue_;
@@ -429,6 +481,14 @@ class FleetEngine
     std::uint64_t chaosKills_ = 0;
     std::uint64_t chaosRecovers_ = 0;
     std::uint64_t brownoutEscalations_ = 0;
+    std::uint64_t tuneSteps_ = 0;
+    std::uint64_t retunes_ = 0;
+
+    /** Recurring events (ProbeSweep, TuneStep) currently in the
+     * heap. Each reschedules itself only while *other* work remains
+     * — without this count, two recurring events would keep each
+     * other alive forever after the real workload drains. */
+    std::size_t recurringPending_ = 0;
     std::uint64_t eventLoopAllocs_ = 0;
     std::uint64_t controlPlaneAllocs_ = 0;
 };

@@ -68,6 +68,12 @@ FleetReport::print(std::ostream &os) const
         os << ")\n";
     }
 
+    if (tuneSteps) {
+        os << "  autotune: " << tuneSteps << " steps, " << retunes
+           << " retunes, " << opModelCount
+           << " operating points compiled\n";
+    }
+
     os << "  " << std::left << std::setw(12) << "class"
        << std::right << std::setw(9) << "sessions"
        << std::setw(10) << "offered" << std::setw(10) << "done"

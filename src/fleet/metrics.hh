@@ -163,6 +163,11 @@ struct FleetReport {
     std::uint64_t brownoutEscalations = 0;
     int finalBrownoutLevel = 0;
 
+    // Auto-tune layer totals (zero with the tuner off).
+    std::uint64_t tuneSteps = 0; ///< TuneStep events handled
+    std::uint64_t retunes = 0;   ///< operating-point switches applied
+    std::size_t opModelCount = 0; ///< distinct operating points built
+
     /**
      * Heap allocations across the event loop, and the control-plane
      * share (probe sweeps, reprobes, chaos handlers — these build

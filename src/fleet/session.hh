@@ -26,6 +26,7 @@
 #include "fleet/qos.hh"
 #include "redeye/program.hh"
 #include "stream/frame_source.hh"
+#include "tune/controller.hh"
 
 namespace redeye {
 namespace fleet {
@@ -109,6 +110,22 @@ struct Session {
     bool recordPredictions = false;
     std::vector<std::int32_t> predictions;
     std::vector<std::uint8_t> completedMask;
+
+    /**
+     * Online operating-point controller (null unless
+     * FleetConfig::tune.enabled): fed per-completion feedback by the
+     * engine's host stage, stepped on the TuneStep cadence.
+     */
+    std::unique_ptr<tune::AutoTuner> tuner;
+
+    /**
+     * Serving model of the tuned operating point (engine-owned
+     * OpModelCache entry; stable until the engine dies). Null means
+     * the class-default operating point serves — the state of every
+     * session before its first retune, and of every session forever
+     * when the tuner is off.
+     */
+    const tune::OpModel *opModel = nullptr;
 
     SessionStats stats;
 };

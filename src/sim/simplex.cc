@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/logging.hh"
 
@@ -33,107 +34,221 @@ nelderMead(
     fatal_if(initial.empty(), "empty initial point");
     fatal_if(initial.size() != steps.size(),
              "initial point and steps differ in dimension");
+    const bool bounded = !options.lower.empty();
+    fatal_if(bounded && (options.lower.size() != initial.size() ||
+                         options.upper.size() != initial.size()),
+             "bounds and initial point differ in dimension");
+    if (bounded) {
+        for (std::size_t i = 0; i < initial.size(); ++i)
+            fatal_if(options.lower[i] > options.upper[i],
+                     "simplex lower bound above upper bound");
+    }
 
     const std::size_t n = initial.size();
     SimplexResult result;
 
-    // Build the initial simplex: the start plus one offset vertex
-    // per dimension.
-    std::vector<Point> verts(n + 1, initial);
-    for (std::size_t i = 0; i < n; ++i)
-        verts[i + 1][i] += steps[i];
-
-    std::vector<double> values(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) {
-        values[i] = objective(verts[i]);
+    auto clamp = [&](Point &p) {
+        if (!bounded)
+            return;
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = std::clamp(p[i], options.lower[i],
+                              options.upper[i]);
+    };
+    // NaN guard: a NaN objective would silently misorder every
+    // comparison below; treating it as +inf makes a NaN region
+    // simply never-improving.
+    auto eval = [&](const Point &p) {
         ++result.evaluations;
+        const double v = objective(p);
+        return std::isnan(v) ? std::numeric_limits<double>::infinity()
+                             : v;
+    };
+
+    // A zero step spans no volume in its dimension — the simplex
+    // would be degenerate from birth with no move able to repair it.
+    // Substitute a small scale-relative offset.
+    std::vector<double> eff_steps(steps);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (eff_steps[i] == 0.0)
+            eff_steps[i] = 1e-3 * (1.0 + std::fabs(initial[i]));
     }
 
-    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
-        ++result.iterations;
+    std::vector<Point> verts;
+    std::vector<double> values;
 
-        // Order vertices by objective value.
-        std::vector<std::size_t> order(n + 1);
+    // Fresh full-size simplex around @p center: per dimension, offset
+    // by the step in whichever direction the box leaves more room
+    // (flipping rather than silently collapsing against a bound).
+    auto build = [&](const Point &center) {
+        Point base = center;
+        clamp(base);
+        verts.assign(n + 1, base);
+        for (std::size_t i = 0; i < n; ++i) {
+            double up = base[i] + eff_steps[i];
+            double down = base[i] - eff_steps[i];
+            if (bounded) {
+                up = std::clamp(up, options.lower[i],
+                                options.upper[i]);
+                down = std::clamp(down, options.lower[i],
+                                  options.upper[i]);
+            }
+            verts[i + 1][i] =
+                std::fabs(up - base[i]) >= std::fabs(down - base[i])
+                    ? up
+                    : down;
+        }
+        values.resize(n + 1);
         for (std::size_t i = 0; i <= n; ++i)
-            order[i] = i;
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return values[a] < values[b];
-                  });
-        const std::size_t best = order.front();
-        const std::size_t worst = order.back();
-        const std::size_t second_worst = order[n - 1];
+            values[i] = eval(verts[i]);
+    };
 
-        if (std::fabs(values[worst] - values[best]) <
-            options.tolerance) {
-            result.converged = true;
-            break;
-        }
-
-        // Centroid of all but the worst vertex.
-        Point centroid(n, 0.0);
+    Point best_x = initial;
+    clamp(best_x);
+    double best_value = std::numeric_limits<double>::infinity();
+    auto noteBest = [&]() {
         for (std::size_t i = 0; i <= n; ++i) {
-            if (i == worst)
-                continue;
-            for (std::size_t d = 0; d < n; ++d)
-                centroid[d] += verts[i][d];
+            if (values[i] < best_value) {
+                best_value = values[i];
+                best_x = verts[i];
+            }
         }
-        for (double &c : centroid)
-            c /= static_cast<double>(n);
+    };
 
-        // Reflection.
-        Point reflected = affine(centroid, verts[worst],
-                                 -options.reflection);
-        const double f_ref = objective(reflected);
-        ++result.evaluations;
+    for (std::size_t pass = 0; pass <= options.restarts; ++pass) {
+        if (pass > 0) {
+            ++result.restarts;
+            build(best_x);
+            noteBest();
+        } else {
+            build(initial);
+        }
+        const double pass_start_value = best_value;
 
-        if (f_ref < values[best]) {
-            // Expansion.
-            Point expanded = affine(centroid, verts[worst],
-                                    -options.expansion);
-            const double f_exp = objective(expanded);
-            ++result.evaluations;
-            if (f_exp < f_ref) {
-                verts[worst] = std::move(expanded);
-                values[worst] = f_exp;
-            } else {
+        bool pass_converged = false;
+        bool collapsed = false;
+        while (result.iterations < options.maxIterations) {
+            ++result.iterations;
+
+            // Order vertices by objective value, ties broken by
+            // index so the ordering (and with it the whole search)
+            // is deterministic even on exact value ties.
+            std::vector<std::size_t> order(n + 1);
+            for (std::size_t i = 0; i <= n; ++i)
+                order[i] = i;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (values[a] != values[b])
+                              return values[a] < values[b];
+                          return a < b;
+                      });
+            const std::size_t best = order.front();
+            const std::size_t worst = order.back();
+            const std::size_t second_worst = order[n - 1];
+
+            if (std::fabs(values[worst] - values[best]) <
+                options.tolerance) {
+                pass_converged = true;
+                break;
+            }
+
+            // Collapse check: a simplex whose vertices have stopped
+            // spanning the space cannot move anywhere new, even
+            // though its value spread may still be large (e.g. a
+            // cliff in the objective).
+            if (options.xTolerance > 0.0) {
+                double spread = 0.0;
+                for (std::size_t d = 0; d < n; ++d) {
+                    double lo = verts[0][d];
+                    double hi = verts[0][d];
+                    for (std::size_t i = 1; i <= n; ++i) {
+                        lo = std::min(lo, verts[i][d]);
+                        hi = std::max(hi, verts[i][d]);
+                    }
+                    spread = std::max(spread, hi - lo);
+                }
+                if (spread < options.xTolerance) {
+                    collapsed = true;
+                    break;
+                }
+            }
+
+            // Centroid of all but the worst vertex.
+            Point centroid(n, 0.0);
+            for (std::size_t i = 0; i <= n; ++i) {
+                if (i == worst)
+                    continue;
+                for (std::size_t d = 0; d < n; ++d)
+                    centroid[d] += verts[i][d];
+            }
+            for (double &c : centroid)
+                c /= static_cast<double>(n);
+
+            // Reflection.
+            Point reflected = affine(centroid, verts[worst],
+                                     -options.reflection);
+            clamp(reflected);
+            const double f_ref = eval(reflected);
+
+            if (f_ref < values[best]) {
+                // Expansion.
+                Point expanded = affine(centroid, verts[worst],
+                                        -options.expansion);
+                clamp(expanded);
+                const double f_exp = eval(expanded);
+                if (f_exp < f_ref) {
+                    verts[worst] = std::move(expanded);
+                    values[worst] = f_exp;
+                } else {
+                    verts[worst] = std::move(reflected);
+                    values[worst] = f_ref;
+                }
+                continue;
+            }
+            if (f_ref < values[second_worst]) {
                 verts[worst] = std::move(reflected);
                 values[worst] = f_ref;
-            }
-            continue;
-        }
-        if (f_ref < values[second_worst]) {
-            verts[worst] = std::move(reflected);
-            values[worst] = f_ref;
-            continue;
-        }
-
-        // Contraction toward the centroid.
-        Point contracted = affine(centroid, verts[worst],
-                                  options.contraction);
-        const double f_con = objective(contracted);
-        ++result.evaluations;
-        if (f_con < values[worst]) {
-            verts[worst] = std::move(contracted);
-            values[worst] = f_con;
-            continue;
-        }
-
-        // Shrink toward the best vertex.
-        for (std::size_t i = 0; i <= n; ++i) {
-            if (i == best)
                 continue;
-            verts[i] = affine(verts[best], verts[i], options.shrink);
-            values[i] = objective(verts[i]);
-            ++result.evaluations;
+            }
+
+            // Contraction toward the centroid.
+            Point contracted = affine(centroid, verts[worst],
+                                      options.contraction);
+            clamp(contracted);
+            const double f_con = eval(contracted);
+            if (f_con < values[worst]) {
+                verts[worst] = std::move(contracted);
+                values[worst] = f_con;
+                continue;
+            }
+
+            // Shrink toward the best vertex (stays inside the hull,
+            // hence inside the box).
+            for (std::size_t i = 0; i <= n; ++i) {
+                if (i == best)
+                    continue;
+                verts[i] = affine(verts[best], verts[i],
+                                  options.shrink);
+                values[i] = eval(verts[i]);
+            }
         }
+
+        noteBest();
+        result.converged = pass_converged;
+
+        if (result.iterations >= options.maxIterations &&
+            !pass_converged && !collapsed)
+            break; // iteration budget exhausted mid-pass
+
+        // A restarted pass that converged without improving on the
+        // incumbent has nothing left to find; further restarts would
+        // only replay it.
+        if (pass > 0 && pass_converged &&
+            pass_start_value - best_value < options.tolerance)
+            break;
     }
 
-    const auto best_it = std::min_element(values.begin(),
-                                          values.end());
-    result.value = *best_it;
-    result.x = verts[static_cast<std::size_t>(
-        std::distance(values.begin(), best_it))];
+    result.value = best_value;
+    result.x = std::move(best_x);
     return result;
 }
 

@@ -8,6 +8,31 @@
  * searches would typically require tools such as the canonical
  * simplex search." This is that tool; the noise-parameter objective
  * lives in sim/experiments.
+ *
+ * Beyond the canonical loop the search supports two things the online
+ * auto-tuner (src/tune) needs:
+ *
+ *  - **Box constraints**: with SimplexOptions::lower/upper set, every
+ *    candidate vertex is clamped into the box before evaluation, so
+ *    the objective is never probed outside its domain and the
+ *    returned point always satisfies the bounds.
+ *  - **Restarts**: a Nelder-Mead simplex can collapse — the vertices
+ *    become (numerically) affinely dependent, most easily by starting
+ *    with a zero step in some dimension or by shrinking against a
+ *    boundary — after which no move can explore the lost dimensions.
+ *    With SimplexOptions::restarts > 0 the search detects collapse
+ *    (vertex spread below xTolerance) or premature convergence and
+ *    re-seeds a fresh full-size simplex around the best point found,
+ *    up to the restart budget. Deterministic: the restart offsets are
+ *    the original steps (direction-flipped where the box demands it),
+ *    not random.
+ *
+ * All orderings tie-break on vertex index, so the search is a pure
+ * function of (objective, initial, steps, options) — byte-identical
+ * across runs and platforms even when objective values tie exactly.
+ * NaN objective values are treated as +infinity (a NaN region is
+ * simply never moved into) instead of silently corrupting the
+ * comparisons.
  */
 
 #ifndef REDEYE_SIM_SIMPLEX_HH
@@ -27,6 +52,30 @@ struct SimplexOptions {
     double expansion = 2.0;
     double contraction = 0.5;
     double shrink = 0.5;
+
+    /**
+     * Box constraints, one entry per dimension (empty = unbounded).
+     * When set, candidates are clamped into [lower, upper] before
+     * evaluation and the result respects the bounds.
+     */
+    std::vector<double> lower;
+    std::vector<double> upper;
+
+    /**
+     * Restart budget: when the simplex converges or collapses with
+     * restarts remaining, re-seed a full-size simplex around the
+     * incumbent best instead of stopping. 0 (the default) reproduces
+     * the single-pass search.
+     */
+    std::size_t restarts = 0;
+
+    /**
+     * Vertex-spread collapse threshold: when the max per-dimension
+     * spread of the simplex falls below this while the value spread
+     * is still above tolerance, the simplex is declared degenerate
+     * (restart or stop). 0 disables the check.
+     */
+    double xTolerance = 0.0;
 };
 
 /** Search outcome. */
@@ -35,12 +84,15 @@ struct SimplexResult {
     double value = 0.0;      ///< objective at x
     std::size_t iterations = 0;
     std::size_t evaluations = 0;
+    std::size_t restarts = 0; ///< re-seeds actually taken
     bool converged = false;
 };
 
 /**
  * Minimize @p objective starting from @p initial, with per-dimension
- * initial simplex steps @p steps.
+ * initial simplex steps @p steps. A zero step would leave the simplex
+ * permanently degenerate in that dimension, so it is replaced by a
+ * small scale-relative offset.
  */
 SimplexResult nelderMead(
     const std::function<double(const std::vector<double> &)> &objective,

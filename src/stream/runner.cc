@@ -276,6 +276,8 @@ StreamRunner::stageLoop(std::size_t stage, std::size_t worker,
                 } else {
                     metrics.recordCompleted(frame,
                                             secondsSinceStart());
+                    if (config_.feedbackTap)
+                        config_.feedbackTap(frame);
                     recycleFrame(std::move(frame));
                 }
             }
@@ -406,6 +408,8 @@ StreamRunner::stageBatchLoop(std::size_t stage, std::size_t worker,
                     } else {
                         metrics.recordCompleted(f,
                                                 secondsSinceStart());
+                        if (config_.feedbackTap)
+                            config_.feedbackTap(f);
                         recycleFrame(std::move(f));
                     }
                 }

@@ -168,6 +168,17 @@ struct RunnerConfig {
      * so one wedged frame can never deadlock the pipeline.
      */
     double stageTimeoutS = 0.0;
+
+    /**
+     * Completion tap: invoked once per *completed* frame (after the
+     * last stage, before the frame is recycled; dropped and failed
+     * frames never reach it). Runs on whichever worker finished the
+     * frame, possibly several at once — the tap must be thread-safe
+     * and, to preserve the steady-state allocation guarantee, must
+     * not allocate (tune::FeedbackWindow::add qualifies). Empty
+     * disables the tap with zero cost on the frame path.
+     */
+    std::function<void(const StreamFrame &)> feedbackTap;
 };
 
 /** Drives a FrameSource through pipeline stages. */

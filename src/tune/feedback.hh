@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Order-independent streamed feedback accumulation.
+ *
+ * The controller's input is a window of per-frame observations
+ * (accuracy proxy + realized energy) that arrive from wherever
+ * frames complete: StreamRunner worker threads, the fleet engine's
+ * event loop, a bench loop. Two properties are non-negotiable:
+ *
+ *  - **Thread-safe and allocation-free**: the tap fires on the data
+ *    plane (the PR-6 zero-steady-state-allocation guarantee covers
+ *    it), possibly from several workers at once.
+ *  - **Order-independent**: the controller's decisions must be
+ *    byte-identical at any thread count, and floating-point addition
+ *    is not associative. Samples are therefore quantized to fixed
+ *    integer grids (proxy in ppm, energy in picojoules) and summed
+ *    with relaxed atomic adds — integer addition commutes, so any
+ *    completion order yields the same sums and hence the same
+ *    decision.
+ *
+ * The quantization loses nothing that matters: 1 ppm of proxy and
+ * 1 pJ of energy are both far below the noise floor of the signals
+ * being averaged, and the 63-bit accumulators hold ~9e6 joules /
+ * ~9e12 proxy-units before overflow — orders of magnitude beyond any
+ * window.
+ */
+
+#ifndef REDEYE_TUNE_FEEDBACK_HH
+#define REDEYE_TUNE_FEEDBACK_HH
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace redeye {
+namespace tune {
+
+/** One completed frame's observation. */
+struct FeedbackSample {
+    double accuracyProxy = 0.0; ///< downstream-vision proxy in [0,1]
+    double energyJ = 0.0;       ///< realized per-frame system energy
+    bool bypassed = false;      ///< served around the analog stage
+};
+
+/** Commutative integer window accumulator (see file header). */
+class FeedbackWindow
+{
+  public:
+    /** Proxy quantum: parts-per-million. */
+    static constexpr double kProxyQuantum = 1e-6;
+    /** Energy quantum: one picojoule. */
+    static constexpr double kEnergyQuantumJ = 1e-12;
+
+    FeedbackWindow() = default;
+
+    // Copy/move snapshot the counters (not atomic as a whole; only
+    // meaningful between windows, which is the only place the
+    // owners copy).
+    FeedbackWindow(const FeedbackWindow &o) { copyFrom(o); }
+    FeedbackWindow &
+    operator=(const FeedbackWindow &o)
+    {
+        copyFrom(o);
+        return *this;
+    }
+
+    /** Fold one observation in. Thread-safe, allocation-free. */
+    void
+    add(const FeedbackSample &s)
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        if (s.bypassed)
+            bypassed_.fetch_add(1, std::memory_order_relaxed);
+        proxyQ_.fetch_add(
+            static_cast<std::int64_t>(
+                std::llround(s.accuracyProxy / kProxyQuantum)),
+            std::memory_order_relaxed);
+        energyQ_.fetch_add(
+            static_cast<std::int64_t>(
+                std::llround(s.energyJ / kEnergyQuantumJ)),
+            std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    samples() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double
+    meanProxy() const
+    {
+        const std::uint64_t n = samples();
+        return n ? kProxyQuantum *
+                       static_cast<double>(
+                           proxyQ_.load(std::memory_order_relaxed)) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    double
+    meanEnergyJ() const
+    {
+        const std::uint64_t n = samples();
+        return n ? kEnergyQuantumJ *
+                       static_cast<double>(
+                           energyQ_.load(std::memory_order_relaxed)) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    double
+    bypassFraction() const
+    {
+        const std::uint64_t n = samples();
+        return n ? static_cast<double>(bypassed_.load(
+                       std::memory_order_relaxed)) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+
+    /** Start a fresh window. Not concurrent with add(). */
+    void
+    reset()
+    {
+        count_.store(0, std::memory_order_relaxed);
+        bypassed_.store(0, std::memory_order_relaxed);
+        proxyQ_.store(0, std::memory_order_relaxed);
+        energyQ_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    copyFrom(const FeedbackWindow &o)
+    {
+        count_.store(o.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        bypassed_.store(o.bypassed_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+        proxyQ_.store(o.proxyQ_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        energyQ_.store(o.energyQ_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    }
+
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> bypassed_{0};
+    std::atomic<std::int64_t> proxyQ_{0};
+    std::atomic<std::int64_t> energyQ_{0};
+};
+
+} // namespace tune
+} // namespace redeye
+
+#endif // REDEYE_TUNE_FEEDBACK_HH

@@ -1,0 +1,116 @@
+#include "tune/operating_point.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.hh"
+#include "core/structural_hash.hh"
+
+namespace redeye {
+namespace tune {
+
+namespace {
+
+/** Domain separator of operating-point keys. */
+constexpr std::uint64_t kOpKeySalt = 0x09e7a7;
+
+double
+snapSnrDb(double snr_db)
+{
+    return std::round(snr_db / kSnrGridDb) * kSnrGridDb;
+}
+
+} // namespace
+
+std::string
+OperatingPoint::str() const
+{
+    std::ostringstream os;
+    os << "snr=" << snrDb << "dB adc=" << adcBits << "b depth="
+       << depth;
+    return os.str();
+}
+
+bool
+OperatingPointBounds::contains(const OperatingPoint &op) const
+{
+    return op.snrDb >= snrLoDb && op.snrDb <= snrHiDb &&
+           op.adcBits >= adcLoBits && op.adcBits <= adcHiBits &&
+           op.depth >= depthLo && op.depth <= depthHi;
+}
+
+OperatingPoint
+OperatingPointBounds::clamp(const OperatingPoint &op) const
+{
+    OperatingPoint out;
+    out.snrDb =
+        std::clamp(snapSnrDb(op.snrDb), snrLoDb, snrHiDb);
+    out.adcBits = std::clamp(op.adcBits, adcLoBits, adcHiBits);
+    out.depth = std::clamp(op.depth, depthLo, depthHi);
+    return out;
+}
+
+OperatingPoint
+quantizePoint(const std::vector<double> &x,
+              const OperatingPointBounds &bounds)
+{
+    fatal_if(x.size() != 3,
+             "operating point needs 3 coordinates, got ", x.size());
+    OperatingPoint op;
+    op.snrDb = std::clamp(snapSnrDb(x[0]), bounds.snrLoDb,
+                          bounds.snrHiDb);
+    const double bits = std::round(x[1]);
+    op.adcBits = static_cast<unsigned>(
+        std::clamp(bits, static_cast<double>(bounds.adcLoBits),
+                   static_cast<double>(bounds.adcHiBits)));
+    const double depth = std::round(x[2]);
+    op.depth = static_cast<unsigned>(
+        std::clamp(depth, static_cast<double>(bounds.depthLo),
+                   static_cast<double>(bounds.depthHi)));
+    return op;
+}
+
+std::vector<double>
+continuousPoint(const OperatingPoint &op)
+{
+    return {op.snrDb, static_cast<double>(op.adcBits),
+            static_cast<double>(op.depth)};
+}
+
+std::uint64_t
+operatingPointKey(const OperatingPoint &op)
+{
+    StructuralHasher h(kOpKeySalt);
+    h.mixDouble(op.snrDb);
+    h.mix(op.adcBits);
+    h.mix(op.depth);
+    return h.digest();
+}
+
+std::vector<OperatingPoint>
+enumerateGrid(const OperatingPointBounds &bounds)
+{
+    std::vector<OperatingPoint> grid;
+    for (unsigned d = bounds.depthLo; d <= bounds.depthHi; ++d) {
+        for (unsigned b = bounds.adcLoBits; b <= bounds.adcHiBits;
+             ++b) {
+            // Walk the SNR grid from the first grid point at or
+            // above the lower bound.
+            const double first =
+                std::ceil(bounds.snrLoDb / kSnrGridDb) * kSnrGridDb;
+            for (double s = first; s <= bounds.snrHiDb + 1e-9;
+                 s += kSnrGridDb) {
+                OperatingPoint op;
+                op.snrDb = s;
+                op.adcBits = b;
+                op.depth = d;
+                grid.push_back(op);
+            }
+        }
+    }
+    return grid;
+}
+
+} // namespace tune
+} // namespace redeye

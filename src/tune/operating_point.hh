@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The RedEye fidelity/partition operating point, as a first-class
+ * value.
+ *
+ * §VII of the paper argues for situational scaling: the noise
+ * admission SNR, ADC resolution and analog partition depth should
+ * move with the scene instead of being frozen at design time. The
+ * repo's serving layers each carry these three knobs already
+ * (RedEyeConfig, QosClassConfig, VisionConfig); this header names the
+ * triple so the online auto-tuner can search over it, bound it, and
+ * content-address compiled artifacts by it.
+ *
+ * An OperatingPoint is intentionally *discrete* where the hardware
+ * is: ADC bits and partition depth are integers, and the SNR target
+ * is quantized to a programming grid (kSnrGridDb) — the analog noise
+ * admission DAC cannot be programmed to arbitrary precision, and the
+ * quantization is what lets distinct-looking continuous optima
+ * collapse onto one ProgramCache key.
+ */
+
+#ifndef REDEYE_TUNE_OPERATING_POINT_HH
+#define REDEYE_TUNE_OPERATING_POINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redeye {
+namespace tune {
+
+/** SNR programming grid in dB (operating points snap to it). */
+inline constexpr double kSnrGridDb = 1.0;
+
+/** One fidelity/partition operating point. */
+struct OperatingPoint {
+    double snrDb = 40.0;   ///< programmed noise admission
+    unsigned adcBits = 4;  ///< readout resolution
+    unsigned depth = 1;    ///< analog prefix depth cut
+
+    bool
+    operator==(const OperatingPoint &o) const
+    {
+        return snrDb == o.snrDb && adcBits == o.adcBits &&
+               depth == o.depth;
+    }
+    bool
+    operator!=(const OperatingPoint &o) const
+    {
+        return !(*this == o);
+    }
+
+    /** One-line summary, e.g. "snr=34dB adc=6b depth=2". */
+    std::string str() const;
+};
+
+/** Box the tuner searches over. The SNR box defaults to the noise
+ * admission model's validated range (analog/noise_damping.hh) minus
+ * headroom for the Remap +2b ADC boost at the top. */
+struct OperatingPointBounds {
+    double snrLoDb = 26.0;
+    double snrHiDb = 60.0;
+    unsigned adcLoBits = 2;
+    unsigned adcHiBits = 8;
+    unsigned depthLo = 1;
+    unsigned depthHi = 3;
+
+    bool contains(const OperatingPoint &op) const;
+
+    /** @p op clamped into the box (and snapped to the grids). */
+    OperatingPoint clamp(const OperatingPoint &op) const;
+};
+
+/**
+ * Snap a continuous simplex point (snrDb, adcBits, depth) onto the
+ * hardware grid inside @p bounds. This is the bridge between the
+ * continuous Nelder-Mead search space and the discrete set of
+ * compilable operating points.
+ */
+OperatingPoint quantizePoint(const std::vector<double> &x,
+                             const OperatingPointBounds &bounds);
+
+/** The continuous coordinates of @p op (inverse of quantizePoint on
+ * grid points). */
+std::vector<double> continuousPoint(const OperatingPoint &op);
+
+/**
+ * Stable 64-bit content address of @p op
+ * (core/structural_hash.hh): equal keys iff equal operating points,
+ * across processes and platforms. Used to key per-operating-point
+ * serving models and to re-key cache entries on retune.
+ */
+std::uint64_t operatingPointKey(const OperatingPoint &op);
+
+/**
+ * Every grid point in @p bounds, ascending in (depth, adcBits,
+ * snrDb) order — the oracle sweep's search space, and deliberately
+ * the same discrete lattice the controller's quantizer lands on.
+ */
+std::vector<OperatingPoint>
+enumerateGrid(const OperatingPointBounds &bounds);
+
+} // namespace tune
+} // namespace redeye
+
+#endif // REDEYE_TUNE_OPERATING_POINT_HH

@@ -1,0 +1,126 @@
+#include "tune/scene.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redeye {
+namespace tune {
+
+namespace {
+
+const std::string kNoScene;
+
+constexpr double kDifficultyLoDb = -20.0;
+constexpr double kDifficultyHiDb = 80.0;
+
+double
+db2pow(double db)
+{
+    return std::pow(10.0, -db / 10.0);
+}
+
+double
+pow2db(double p)
+{
+    return -10.0 * std::log10(p);
+}
+
+} // namespace
+
+Scene
+sceneAt(const SceneSchedule &schedule, double time_s)
+{
+    Scene scene;
+    for (const SceneEvent &e : schedule) {
+        if (e.timeS > time_s)
+            break;
+        scene = e.scene;
+    }
+    return scene;
+}
+
+const std::string &
+sceneNameAt(const SceneSchedule &schedule, double time_s)
+{
+    const std::string *name = &kNoScene;
+    for (const SceneEvent &e : schedule) {
+        if (e.timeS > time_s)
+            break;
+        name = &e.name;
+    }
+    return *name;
+}
+
+double
+effectiveSnrDb(const OperatingPoint &op, double difficulty_db,
+               bool bypass, const ProxyModel &model)
+{
+    if (bypass)
+        return model.digitalSnrDb - difficulty_db;
+    const double admitted =
+        op.snrDb - difficulty_db -
+        model.depthPenaltyDb *
+            static_cast<double>(op.depth > 0 ? op.depth - 1 : 0);
+    const double quant =
+        model.adcSnrPerBitDb * static_cast<double>(op.adcBits) +
+        model.adcSnrOffsetDb;
+    // Independent noise sources add in power: the path is only as
+    // good as the sum of what the admission lets through and what
+    // the ADC rounds away.
+    return pow2db(db2pow(admitted) + db2pow(quant));
+}
+
+double
+accuracyProxy(const OperatingPoint &op, double difficulty_db,
+              bool bypass, const ProxyModel &model)
+{
+    const double eff =
+        effectiveSnrDb(op, difficulty_db, bypass, model);
+    const double z = (eff - model.kneeDb) / model.scaleDb;
+    const double sigmoid = 1.0 / (1.0 + std::exp(-z));
+    return model.floor + (model.ceiling - model.floor) * sigmoid;
+}
+
+double
+inferDifficultyDb(const OperatingPoint &op, double observed_proxy,
+                  bool bypass, const ProxyModel &model)
+{
+    // Invert the logistic for the effective SNR the observation
+    // implies. Proxies at the model's rails carry no gradient
+    // information; pin them to the corresponding difficulty extreme.
+    const double span = model.ceiling - model.floor;
+    const double frac = (observed_proxy - model.floor) / span;
+    if (frac <= 1e-6)
+        return kDifficultyHiDb;
+    if (frac >= 1.0 - 1e-6)
+        return kDifficultyLoDb;
+    const double eff =
+        model.kneeDb + model.scaleDb * std::log(frac / (1.0 - frac));
+
+    if (bypass)
+        return std::clamp(model.digitalSnrDb - eff, kDifficultyLoDb,
+                          kDifficultyHiDb);
+
+    // Subtract the (known) quantization noise in power to get the
+    // admitted SNR, then difficulty = programmed - depth penalty -
+    // admitted.
+    const double quant =
+        model.adcSnrPerBitDb * static_cast<double>(op.adcBits) +
+        model.adcSnrOffsetDb;
+    const double admitted_pow = db2pow(eff) - db2pow(quant);
+    if (admitted_pow <= 0.0) {
+        // Observed effective SNR at (or above) the ADC ceiling: the
+        // admission path is clean beyond measurement — the scene is
+        // as easy as this operating point can resolve.
+        return kDifficultyLoDb;
+    }
+    const double admitted = pow2db(admitted_pow);
+    const double penalty =
+        model.depthPenaltyDb *
+        static_cast<double>(op.depth > 0 ? op.depth - 1 : 0);
+    return std::clamp(op.snrDb - penalty - admitted, kDifficultyLoDb,
+                      kDifficultyHiDb);
+}
+
+} // namespace tune
+} // namespace redeye

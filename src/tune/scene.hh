@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Scripted scene schedules and the accuracy-proxy model.
+ *
+ * The online tuner (tune/controller.hh) needs two things the serving
+ * stack does not already provide:
+ *
+ *  - **a scenario script**: deterministic runs need the environment
+ *    itself — how hard the scene is, how sick the silicon is — to be
+ *    part of the configuration, the same way the fleet's chaos
+ *    schedule is. A SceneSchedule is a time-sorted list of (time,
+ *    Scene) waypoints; sceneAt() answers "what is the world like at
+ *    virtual time t".
+ *
+ *  - **an accuracy proxy**: online tuning cannot wait for labeled
+ *    accuracy, so the controller consumes a per-frame proxy in
+ *    [0, 1] (in deployment: downstream-task confidence; here: a
+ *    calibrated model of it). The proxy model combines the
+ *    programmed noise admission, the scene's difficulty and the ADC
+ *    quantization noise *in power*, then squashes the effective SNR
+ *    through a logistic — the same shape as the paper's
+ *    accuracy-vs-SNR cliffs (Fig. 10): flat near the ceiling, a
+ *    sharp knee, then chance.
+ *
+ * The proxy model is deliberately invertible: given the observed
+ * proxy at a known operating point, inferDifficultyDb() recovers the
+ * scene difficulty in closed form. That inversion is what makes the
+ * controller a *surrogate* optimizer — one window of observations
+ * calibrates the model, and the simplex then searches the model
+ * instead of spending frames probing candidate operating points.
+ */
+
+#ifndef REDEYE_TUNE_SCENE_HH
+#define REDEYE_TUNE_SCENE_HH
+
+#include <string>
+#include <vector>
+
+#include "tune/operating_point.hh"
+
+namespace redeye {
+namespace tune {
+
+/** The world at an instant, as the controller can sense it. */
+struct Scene {
+    /**
+     * Scene difficulty in dB: how much of the programmed noise
+     * admission the scene itself consumes (low light, motion blur,
+     * clutter). 0 = studio conditions; ~12-15 dB = night.
+     */
+    double difficultyDb = 0.0;
+
+    /**
+     * Probe-visible suspect-column fraction of the serving hardware
+     * (0 = healthy). Feeds the same Remap/Bypass thresholds as
+     * stream::planDegradation — one decision path for fault-driven
+     * and scene-driven adaptation.
+     */
+    double suspectFraction = 0.0;
+};
+
+/** One scripted waypoint: the scene from timeS onward. */
+struct SceneEvent {
+    double timeS = 0.0;
+    Scene scene;
+    std::string name; ///< label for reports ("day", "night", ...)
+};
+
+/** Time-sorted scenario script. */
+using SceneSchedule = std::vector<SceneEvent>;
+
+/**
+ * The scene in force at virtual time @p time_s: the last waypoint at
+ * or before it, Scene{} before the first. Allocation-free.
+ */
+Scene sceneAt(const SceneSchedule &schedule, double time_s);
+
+/** Name of the waypoint in force at @p time_s ("" before the
+ * first). */
+const std::string &sceneNameAt(const SceneSchedule &schedule,
+                               double time_s);
+
+/** Accuracy-proxy model constants (calibration of the logistic). */
+struct ProxyModel {
+    double floor = 0.1;   ///< chance-level proxy (eff SNR -> -inf)
+    double ceiling = 0.98; ///< proxy at unbounded effective SNR
+    double kneeDb = 30.0; ///< effective SNR of the logistic midpoint
+    double scaleDb = 4.0; ///< logistic width in dB
+
+    /** Noise accumulated per analog stage beyond the first: deeper
+     * analog prefixes spend more of the admission budget. */
+    double depthPenaltyDb = 1.5;
+
+    /** SAR ADC quantization SNR: adcSnrPerBitDb * bits + offset. */
+    double adcSnrPerBitDb = 6.02;
+    double adcSnrOffsetDb = 1.76;
+
+    /** Fidelity of the all-digital (Bypass) path before scene
+     * difficulty — high, but a dark scene is dark on any path. */
+    double digitalSnrDb = 60.0;
+};
+
+/**
+ * Effective end-to-end SNR of @p op under scene difficulty
+ * @p difficulty_db: admission SNR minus difficulty minus the depth
+ * penalty, power-combined with the ADC quantization noise. With
+ * @p bypass the analog path is skipped and the digital fidelity
+ * (minus difficulty) applies instead.
+ */
+double effectiveSnrDb(const OperatingPoint &op, double difficulty_db,
+                      bool bypass, const ProxyModel &model = {});
+
+/** The accuracy proxy in [floor, ceiling] at @p op under
+ * @p difficulty_db. */
+double accuracyProxy(const OperatingPoint &op, double difficulty_db,
+                     bool bypass, const ProxyModel &model = {});
+
+/**
+ * Closed-form inversion: the scene difficulty that would produce
+ * @p observed_proxy at @p op. The result is clamped to
+ * [-20, 80] dB; proxies at (or beyond) the model's floor/ceiling
+ * pin to the respective end.
+ */
+double inferDifficultyDb(const OperatingPoint &op,
+                         double observed_proxy, bool bypass,
+                         const ProxyModel &model = {});
+
+} // namespace tune
+} // namespace redeye
+
+#endif // REDEYE_TUNE_SCENE_HH

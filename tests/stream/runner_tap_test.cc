@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the RunnerConfig::feedbackTap hook: the tap fires
+ * exactly once per *completed* frame — after the last stage, from
+ * whichever worker finishes it — and never for admission-dropped
+ * frames. This is the contract the online auto-tuner's feedback
+ * window is built on.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/runner.hh"
+#include "tune/feedback.hh"
+
+namespace redeye {
+namespace stream {
+namespace {
+
+class CountingSource : public FrameSource
+{
+  public:
+    StreamFrame
+    frame(std::uint64_t index) override
+    {
+        StreamFrame f;
+        f.index = index;
+        f.image =
+            Tensor(Shape(1, 1, 1, 1), static_cast<float>(index));
+        f.label = static_cast<std::int32_t>(index % 10);
+        return f;
+    }
+};
+
+StageSpec
+markStage(const std::string &name, std::size_t workers)
+{
+    return StageSpec{name, workers, [](std::size_t) {
+                         return [](StreamFrame &f) {
+                             f.predicted = static_cast<std::int32_t>(
+                                 f.index % 11);
+                         };
+                     }};
+}
+
+TEST(RunnerTapTest, TapFiresOncePerCompletedFrame)
+{
+    constexpr std::uint64_t kFrames = 96;
+    std::vector<std::atomic<std::uint32_t>> seen(kFrames);
+    std::atomic<std::uint64_t> calls{0};
+
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = kFrames;
+    rc.queueCapacity = 4;
+    rc.policy = AdmissionPolicy::Block;
+    rc.feedbackTap = [&](const StreamFrame &f) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        ASSERT_LT(f.index, kFrames);
+        seen[f.index].fetch_add(1, std::memory_order_relaxed);
+        // The tap sees the *finished* frame: every stage has run.
+        EXPECT_EQ(f.predicted,
+                  static_cast<std::int32_t>(f.index % 11));
+    };
+
+    StreamRunner runner(
+        source, {markStage("pre", 2), markStage("classify", 3)},
+        rc);
+    const StreamReport r = runner.run();
+
+    EXPECT_EQ(r.framesCompleted, kFrames);
+    EXPECT_EQ(calls.load(), kFrames);
+    for (std::uint64_t i = 0; i < kFrames; ++i)
+        EXPECT_EQ(seen[i].load(), 1u) << "frame " << i;
+}
+
+TEST(RunnerTapTest, DroppedFramesNeverReachTheTap)
+{
+    std::atomic<std::uint64_t> calls{0};
+
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 200;
+    rc.queueCapacity = 1;
+    rc.policy = AdmissionPolicy::DropNewest;
+    rc.feedbackTap = [&](const StreamFrame &) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // 1 ms of service against unpaced arrivals forces drops.
+    StreamRunner runner(
+        source,
+        {StageSpec{"slow", 1,
+                   [](std::size_t) {
+                       return [](StreamFrame &) {
+                           std::this_thread::sleep_for(
+                               std::chrono::microseconds(1000));
+                       };
+                   }}},
+        rc);
+    const StreamReport r = runner.run();
+
+    ASSERT_GT(r.framesDropped, 0u) << "load shedding must engage";
+    EXPECT_EQ(calls.load(), r.framesCompleted);
+    EXPECT_LT(calls.load(), r.framesOffered);
+}
+
+TEST(RunnerTapTest, EmptyTapIsTheDefaultAndHarmless)
+{
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = 16;
+    EXPECT_FALSE(rc.feedbackTap);
+    StreamRunner runner(source, {markStage("classify", 2)}, rc);
+    EXPECT_EQ(runner.run().framesCompleted, 16u);
+}
+
+TEST(RunnerTapTest, FeedsTheTunerWindowOrderIndependently)
+{
+    // The intended consumer: a FeedbackWindow folding observations
+    // from several workers at once. The commutative-integer window
+    // must end with the exact sums regardless of completion order.
+    constexpr std::uint64_t kFrames = 64;
+    tune::FeedbackWindow window;
+
+    CountingSource source;
+    RunnerConfig rc;
+    rc.frames = kFrames;
+    rc.policy = AdmissionPolicy::Block;
+    rc.feedbackTap = [&](const StreamFrame &f) {
+        tune::FeedbackSample s;
+        s.accuracyProxy = 0.5 + 0.001 * (f.index % 100);
+        s.energyJ = 1e-3;
+        window.add(s);
+    };
+
+    StreamRunner runner(
+        source, {markStage("pre", 3), markStage("classify", 3)},
+        rc);
+    const StreamReport r = runner.run();
+    EXPECT_EQ(r.framesCompleted, kFrames);
+    ASSERT_EQ(window.samples(), kFrames);
+
+    // Reference: the same samples folded serially.
+    tune::FeedbackWindow serial;
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+        tune::FeedbackSample s;
+        s.accuracyProxy = 0.5 + 0.001 * (i % 100);
+        s.energyJ = 1e-3;
+        serial.add(s);
+    }
+    EXPECT_EQ(window.meanProxy(), serial.meanProxy());
+    EXPECT_EQ(window.meanEnergyJ(), serial.meanEnergyJ());
+}
+
+} // namespace
+} // namespace stream
+} // namespace redeye

@@ -136,8 +136,11 @@ TEST(VisionStreamTest, BatchedHostTailMatchesUnbatched)
             EXPECT_EQ(r.predictions[i], ref.predictions[i])
                 << "batch " << c.batch << " threads " << c.threads
                 << " frame " << i;
-        // Energy accounting is per frame and batch-invariant.
-        EXPECT_EQ(r.systemEnergyMeanJ, ref.systemEnergyMeanJ);
+        // Energy accounting is per frame and batch-invariant; the
+        // mean is accumulated in completion order, which varies with
+        // host-thread timing, so allow summation-order rounding.
+        EXPECT_NEAR(r.systemEnergyMeanJ, ref.systemEnergyMeanJ,
+                    1e-9 * ref.systemEnergyMeanJ);
         // The host stage reports its coalescing.
         ASSERT_EQ(r.stages.size(), 3u);
         if (c.batch > 1) {

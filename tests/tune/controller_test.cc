@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the online operating-point controller: byte-identical
+ * decision traces, starved-window freezing, scene tracking through
+ * the surrogate, the shared Remap/Bypass decision path, and the
+ * switch hysteresis. Every test drives the controller with synthetic
+ * feedback generated from the proxy model itself, so convergence
+ * claims are exact and deterministic.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tune/controller.hh"
+
+namespace redeye {
+namespace tune {
+namespace {
+
+/** Additive monotone energy model: every fidelity knob costs.
+ * (A functor, not a free function — FunctionRef binds callables.) */
+struct SyntheticCost {
+    OpCost
+    operator()(const OperatingPoint &op,
+               stream::DegradeMode mode) const
+    {
+        OpCost c;
+        if (mode == stream::DegradeMode::Bypass) {
+            c.energyJ = 8e-3; // full network on the host
+            c.timeS = 2e-3;
+            return c;
+        }
+        c.energyJ = 1e-5 * op.snrDb +
+                    4e-5 * static_cast<double>(op.adcBits) +
+                    2e-5 * static_cast<double>(op.depth);
+        if (mode == stream::DegradeMode::Remap)
+            c.energyJ *= 1.25; // boosted ADC
+        c.timeS = 1e-4;
+        return c;
+    }
+};
+const SyntheticCost syntheticCost{};
+
+AutoTuneConfig
+testConfig()
+{
+    AutoTuneConfig c;
+    c.enabled = true;
+    c.windowFrames = 8;
+    c.targetProxy = 0.9;
+    c.trace = true;
+    return c;
+}
+
+/** Feed one noiseless window at the tuner's current op. */
+void
+feedWindow(AutoTuner &tuner, double difficulty_db)
+{
+    const bool bypass =
+        tuner.mode() == stream::DegradeMode::Bypass;
+    const double proxy =
+        accuracyProxy(tuner.op(), difficulty_db, bypass,
+                      tuner.config().proxy);
+    const OpCost cost = syntheticCost(tuner.op(), tuner.mode());
+    for (std::uint64_t f = 0; f < tuner.config().windowFrames; ++f)
+        tuner.observe({proxy, cost.energyJ, bypass});
+}
+
+TEST(ControllerTest, InitialPointIsClampedIntoBounds)
+{
+    AutoTuneConfig c = testConfig();
+    c.initial.snrDb = 500.0;
+    c.initial.adcBits = 1;
+    AutoTuner tuner(c);
+    EXPECT_TRUE(c.bounds.contains(tuner.op()));
+    EXPECT_DOUBLE_EQ(tuner.op().snrDb, c.bounds.snrHiDb);
+    EXPECT_EQ(tuner.op().adcBits, c.bounds.adcLoBits);
+}
+
+TEST(ControllerTest, StarvedWindowOnlyReEvaluatesMode)
+{
+    AutoTuner tuner(testConfig());
+    const OperatingPoint before = tuner.op();
+    tuner.observe({0.5, 1e-3, false}); // 1 < windowFrames
+    const TuneDecision d = tuner.step(0.0, syntheticCost);
+    EXPECT_FALSE(d.switched);
+    EXPECT_TRUE(tuner.op() == before);
+    EXPECT_EQ(d.samples, 1u);
+    EXPECT_EQ(tuner.window().samples(), 0u) << "window must reset";
+}
+
+TEST(ControllerTest, ConvergesToFeasiblePointAndTracksScene)
+{
+    AutoTuner tuner(testConfig());
+    const double target = tuner.config().targetProxy;
+
+    // Daylight: a few windows must land on a point that meets the
+    // accuracy floor, with the difficulty correctly identified.
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 2.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    const OperatingPoint day = tuner.op();
+    EXPECT_NEAR(tuner.difficultyDb(), 2.0, 0.05);
+    EXPECT_GE(accuracyProxy(day, 2.0, false), target - 0.02);
+
+    // Nightfall: the tuner must spend more fidelity (and energy) to
+    // hold the same floor at 14 dB difficulty.
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 14.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    const OperatingPoint night = tuner.op();
+    EXPECT_NEAR(tuner.difficultyDb(), 14.0, 0.05);
+    EXPECT_GE(accuracyProxy(night, 14.0, false), target - 0.02);
+    EXPECT_FALSE(night == day);
+    EXPECT_GT(
+        syntheticCost(night, stream::DegradeMode::Normal).energyJ,
+        syntheticCost(day, stream::DegradeMode::Normal).energyJ);
+
+    // Dawn: difficulty drops back, and so must the spend.
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 2.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    EXPECT_LE(
+        syntheticCost(tuner.op(), stream::DegradeMode::Normal)
+            .energyJ,
+        syntheticCost(night, stream::DegradeMode::Normal).energyJ);
+}
+
+TEST(ControllerTest, HysteresisStopsSwitchingOnceConverged)
+{
+    AutoTuner tuner(testConfig());
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 6.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    const std::uint64_t converged_switches = tuner.switches();
+    // A long steady stretch: same scene, same feedback. The op must
+    // never move again.
+    for (int w = 0; w < 16; ++w) {
+        feedWindow(tuner, 6.0);
+        const TuneDecision d = tuner.step(0.0, syntheticCost);
+        EXPECT_FALSE(d.switched) << "window " << w;
+    }
+    EXPECT_EQ(tuner.switches(), converged_switches);
+}
+
+TEST(ControllerTest, SharedThresholdsDriveRemapAndBypass)
+{
+    AutoTuner tuner(testConfig());
+    const double bypass_at =
+        tuner.config().degrade.bypassSuspectFraction;
+
+    feedWindow(tuner, 2.0);
+    tuner.step(0.0, syntheticCost);
+    EXPECT_EQ(tuner.mode(), stream::DegradeMode::Normal);
+
+    feedWindow(tuner, 2.0);
+    tuner.step(bypass_at / 2.0, syntheticCost);
+    EXPECT_EQ(tuner.mode(), stream::DegradeMode::Remap);
+
+    feedWindow(tuner, 2.0);
+    tuner.step(bypass_at, syntheticCost);
+    EXPECT_EQ(tuner.mode(), stream::DegradeMode::Bypass);
+}
+
+TEST(ControllerTest, BypassFreezesTheOperatingPointThenRecovers)
+{
+    AutoTuner tuner(testConfig());
+    for (int w = 0; w < 3; ++w) {
+        feedWindow(tuner, 2.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    const OperatingPoint frozen = tuner.op();
+    const std::uint64_t switches = tuner.switches();
+
+    // Under Bypass the analog knobs are moot: the op must not move
+    // even though the scene (and hence the inferred difficulty)
+    // changes underneath.
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 14.0);
+        const TuneDecision d = tuner.step(0.9, syntheticCost);
+        EXPECT_EQ(d.mode, stream::DegradeMode::Bypass);
+        EXPECT_FALSE(d.switched);
+        EXPECT_TRUE(tuner.op() == frozen);
+    }
+    EXPECT_EQ(tuner.switches(), switches);
+
+    // Silicon heals: tuning resumes and adapts to the night scene.
+    for (int w = 0; w < 4; ++w) {
+        feedWindow(tuner, 14.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    EXPECT_EQ(tuner.mode(), stream::DegradeMode::Normal);
+    EXPECT_GE(accuracyProxy(tuner.op(), 14.0, false),
+              tuner.config().targetProxy - 0.02);
+}
+
+TEST(ControllerTest, DecisionTraceIsByteIdentical)
+{
+    // Two controllers fed the same observations — one in reverse
+    // order within each window — must produce byte-identical
+    // decision traces: the window sums commute and step() consults
+    // no RNG or clock.
+    const auto run = [](bool reversed) {
+        AutoTuner tuner(testConfig());
+        std::string trace;
+        for (int w = 0; w < 12; ++w) {
+            const double difficulty = w < 6 ? 2.0 : 14.0;
+            const double suspect = w >= 9 ? 0.6 : 0.0;
+            std::vector<FeedbackSample> samples;
+            const bool bypass =
+                tuner.mode() == stream::DegradeMode::Bypass;
+            for (std::uint64_t f = 0;
+                 f < tuner.config().windowFrames; ++f) {
+                const double proxy = accuracyProxy(
+                    tuner.op(), difficulty + 0.01 * f, bypass,
+                    tuner.config().proxy);
+                samples.push_back({proxy, 1e-3 + 1e-5 * f, bypass});
+            }
+            if (reversed)
+                for (auto it = samples.rbegin();
+                     it != samples.rend(); ++it)
+                    tuner.observe(*it);
+            else
+                for (const FeedbackSample &s : samples)
+                    tuner.observe(s);
+            trace += tuner.step(suspect, syntheticCost).str();
+            trace += '\n';
+        }
+        return trace;
+    };
+    const std::string forward = run(false);
+    const std::string reversed = run(true);
+    EXPECT_EQ(forward, reversed);
+    EXPECT_EQ(forward, run(false)) << "repeat run must be identical";
+}
+
+TEST(ControllerTest, TraceRecordsEveryStep)
+{
+    AutoTuner tuner(testConfig());
+    for (int w = 0; w < 5; ++w) {
+        feedWindow(tuner, 4.0);
+        tuner.step(0.0, syntheticCost);
+    }
+    ASSERT_EQ(tuner.trace().size(), 5u);
+    for (std::size_t i = 0; i < tuner.trace().size(); ++i) {
+        EXPECT_EQ(tuner.trace()[i].step, i);
+        EXPECT_EQ(tuner.trace()[i].samples,
+                  tuner.config().windowFrames);
+        EXPECT_FALSE(tuner.trace()[i].str().empty());
+    }
+    EXPECT_EQ(tuner.steps(), 5u);
+}
+
+} // namespace
+} // namespace tune
+} // namespace redeye

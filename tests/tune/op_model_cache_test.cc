@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cache-epoch tests for the per-operating-point model cache: a
+ * retune compiles exactly its own entry through the shared
+ * ProgramCache, nothing is flushed, returning to a previous point
+ * re-hits its warm entry, and the derived serving costs order the
+ * way the hardware does (Remap >= Normal analog, deeper cut =
+ * smaller digital tail, Bypass = full network).
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "data/shapes_dataset.hh"
+#include "models/mini_googlenet.hh"
+#include "redeye/compiler.hh"
+#include "tune/op_model.hh"
+
+namespace redeye {
+namespace tune {
+namespace {
+
+class OpModelCacheTest : public ::testing::Test
+{
+  protected:
+    OpModelCacheTest()
+        : init_(0x3317a11),
+          net_(models::buildMiniGoogLeNet(data::kShapeClasses,
+                                          init_)),
+          programs_(std::make_shared<arch::ProgramCache>()),
+          cache_(*net_, programs_)
+    {
+    }
+
+    static OperatingPoint
+    point(double snr, unsigned bits, unsigned depth)
+    {
+        OperatingPoint op;
+        op.snrDb = snr;
+        op.adcBits = bits;
+        op.depth = depth;
+        return op;
+    }
+
+    Rng init_;
+    std::unique_ptr<nn::Network> net_;
+    std::shared_ptr<arch::ProgramCache> programs_;
+    OpModelCache cache_;
+};
+
+TEST_F(OpModelCacheTest, FetchBuildsOncePerDistinctPoint)
+{
+    const OperatingPoint a = point(40.0, 4, 1);
+    const OpModel &first = cache_.fetch(a);
+    EXPECT_EQ(cache_.misses(), 1u);
+    EXPECT_EQ(cache_.hits(), 0u);
+    EXPECT_EQ(cache_.size(), 1u);
+
+    const OpModel &again = cache_.fetch(a);
+    EXPECT_EQ(&again, &first) << "entry references must be stable";
+    EXPECT_EQ(cache_.misses(), 1u);
+    EXPECT_EQ(cache_.hits(), 1u);
+
+    EXPECT_TRUE(first.program != nullptr);
+    EXPECT_TRUE(first.remapProgram != nullptr);
+    EXPECT_GT(first.deviceS, 0.0);
+    EXPECT_GT(first.analogJ, 0.0);
+    EXPECT_GT(first.hostTailJ, 0.0);
+    EXPECT_GT(first.hostFullJ, first.hostTailJ);
+}
+
+TEST_F(OpModelCacheTest, RetuneAddsExactlyOneEntryNoFlush)
+{
+    // The re-keying contract: an A -> B -> A operating-point walk
+    // compiles two entries total, keeps both warm, and the return
+    // to A is a pure hit on the *same* object.
+    const OperatingPoint a = point(40.0, 4, 1);
+    const OperatingPoint b = point(46.0, 6, 1);
+
+    const OpModel &ma = cache_.fetch(a);
+    const std::uint64_t programs_after_a = programs_->size();
+    const OpModel &mb = cache_.fetch(b);
+    EXPECT_EQ(cache_.size(), 2u);
+    EXPECT_EQ(cache_.misses(), 2u);
+    EXPECT_GT(programs_->size(), programs_after_a)
+        << "the new point must compile through the shared cache";
+    EXPECT_NE(&ma, &mb);
+
+    const std::uint64_t misses_before = programs_->misses();
+    const OpModel &back = cache_.fetch(a);
+    EXPECT_EQ(&back, &ma) << "old entry must survive the retune";
+    EXPECT_EQ(cache_.size(), 2u);
+    EXPECT_EQ(cache_.hits(), 1u);
+    EXPECT_EQ(programs_->misses(), misses_before)
+        << "a warm re-key must not recompile anything";
+}
+
+TEST_F(OpModelCacheTest, SharedProgramCacheDedupesAcrossConsumers)
+{
+    const OperatingPoint a = point(40.0, 4, 2);
+    cache_.fetch(a);
+    const std::uint64_t misses_before = programs_->misses();
+
+    // A second consumer of the same ProgramCache asking for the same
+    // operating point must hit the compiled programs, not rebuild.
+    OpModelCache other(*net_, programs_);
+    other.fetch(a);
+    EXPECT_EQ(programs_->misses(), misses_before);
+    EXPECT_GT(programs_->hits(), 0u);
+}
+
+TEST_F(OpModelCacheTest, CostsFollowTheServingModes)
+{
+    const OperatingPoint a = point(40.0, 4, 1);
+    const OpModel &m = cache_.fetch(a);
+
+    const OpCost normal =
+        cache_.costFor(a, stream::DegradeMode::Normal);
+    const OpCost remap =
+        cache_.costFor(a, stream::DegradeMode::Remap);
+    const OpCost bypass =
+        cache_.costFor(a, stream::DegradeMode::Bypass);
+
+    EXPECT_DOUBLE_EQ(normal.energyJ, m.analogJ + m.hostTailJ);
+    EXPECT_DOUBLE_EQ(bypass.energyJ, m.hostFullJ);
+    // The Remap variant runs a boosted ADC: never cheaper or faster
+    // than the healthy program.
+    EXPECT_GE(remap.energyJ, normal.energyJ);
+    EXPECT_GE(m.remapDeviceS, m.deviceS);
+}
+
+TEST_F(OpModelCacheTest, DeeperCutShrinksTheDigitalTail)
+{
+    const OpModel &d1 = cache_.fetch(point(40.0, 4, 1));
+    const OpModel &d2 = cache_.fetch(point(40.0, 4, 2));
+    EXPECT_LT(d2.hostTailJ, d1.hostTailJ)
+        << "moving layers into analog must shrink the host tail";
+    EXPECT_GT(d2.analogJ, d1.analogJ);
+    EXPECT_DOUBLE_EQ(d2.hostFullJ, d1.hostFullJ)
+        << "the bypass path does not depend on the cut";
+}
+
+} // namespace
+} // namespace tune
+} // namespace redeye

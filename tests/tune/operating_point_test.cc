@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the operating-point value type: grid snapping, box
+ * clamping, the continuous/discrete bridge, stable content keys, and
+ * the oracle lattice enumeration.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tune/operating_point.hh"
+
+namespace redeye {
+namespace tune {
+namespace {
+
+TEST(OperatingPointTest, ClampSnapsOntoGridsInsideBox)
+{
+    OperatingPointBounds b;
+    OperatingPoint op;
+    op.snrDb = 41.37;
+    op.adcBits = 5;
+    op.depth = 2;
+    const OperatingPoint c = b.clamp(op);
+    EXPECT_DOUBLE_EQ(c.snrDb, 41.0); // kSnrGridDb grid
+    EXPECT_EQ(c.adcBits, 5u);
+    EXPECT_EQ(c.depth, 2u);
+    EXPECT_TRUE(b.contains(c));
+}
+
+TEST(OperatingPointTest, ClampPinsOutOfBoxPoints)
+{
+    OperatingPointBounds b;
+    OperatingPoint op;
+    op.snrDb = 500.0;
+    op.adcBits = 99;
+    op.depth = 0;
+    const OperatingPoint c = b.clamp(op);
+    EXPECT_DOUBLE_EQ(c.snrDb, b.snrHiDb);
+    EXPECT_EQ(c.adcBits, b.adcHiBits);
+    EXPECT_EQ(c.depth, b.depthLo);
+    EXPECT_TRUE(b.contains(c));
+}
+
+TEST(OperatingPointTest, QuantizeContinuousRoundTrip)
+{
+    OperatingPointBounds b;
+    for (const OperatingPoint &op : enumerateGrid(b)) {
+        const OperatingPoint back =
+            quantizePoint(continuousPoint(op), b);
+        EXPECT_TRUE(back == op) << op.str() << " -> " << back.str();
+    }
+}
+
+TEST(OperatingPointTest, QuantizeRoundsToNearestLatticePoint)
+{
+    OperatingPointBounds b;
+    const OperatingPoint q = quantizePoint({33.4, 5.6, 1.4}, b);
+    EXPECT_DOUBLE_EQ(q.snrDb, 33.0);
+    EXPECT_EQ(q.adcBits, 6u);
+    EXPECT_EQ(q.depth, 1u);
+}
+
+TEST(OperatingPointTest, KeysAreUniqueAcrossTheGrid)
+{
+    OperatingPointBounds b;
+    std::set<std::uint64_t> keys;
+    for (const OperatingPoint &op : enumerateGrid(b))
+        EXPECT_TRUE(keys.insert(operatingPointKey(op)).second)
+            << "key collision at " << op.str();
+}
+
+TEST(OperatingPointTest, KeyIsAStableContentAddress)
+{
+    // Same point, independently constructed: same key. A changed
+    // knob: different key. (Process-stable by construction; this
+    // guards accidental address- or iteration-order dependence.)
+    OperatingPoint a, b;
+    a.snrDb = b.snrDb = 44.0;
+    a.adcBits = b.adcBits = 6;
+    a.depth = b.depth = 2;
+    EXPECT_EQ(operatingPointKey(a), operatingPointKey(b));
+    b.adcBits = 7;
+    EXPECT_NE(operatingPointKey(a), operatingPointKey(b));
+}
+
+TEST(OperatingPointTest, EnumerateGridCoversTheBoxInOrder)
+{
+    OperatingPointBounds b;
+    b.snrLoDb = 30.0;
+    b.snrHiDb = 32.0;
+    b.adcLoBits = 4;
+    b.adcHiBits = 5;
+    b.depthLo = 1;
+    b.depthHi = 2;
+    const auto grid = enumerateGrid(b);
+    EXPECT_EQ(grid.size(), 3u * 2u * 2u);
+    for (const OperatingPoint &op : grid)
+        EXPECT_TRUE(b.contains(op));
+    // Ascending (depth, adcBits, snrDb): deterministic oracle order.
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+        const OperatingPoint &p = grid[i - 1], &q = grid[i];
+        const bool ascending =
+            q.depth > p.depth ||
+            (q.depth == p.depth &&
+             (q.adcBits > p.adcBits ||
+              (q.adcBits == p.adcBits && q.snrDb > p.snrDb)));
+        EXPECT_TRUE(ascending) << p.str() << " !< " << q.str();
+    }
+}
+
+} // namespace
+} // namespace tune
+} // namespace redeye

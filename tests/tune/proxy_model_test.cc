@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the scene script and the accuracy-proxy model: waypoint
+ * lookup, monotonicity of the proxy in each knob, the closed-form
+ * difficulty inversion the controller's calibration depends on, and
+ * the order-independence of the feedback window.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tune/feedback.hh"
+#include "tune/scene.hh"
+
+namespace redeye {
+namespace tune {
+namespace {
+
+TEST(SceneTest, SceneAtPicksLastWaypointAtOrBefore)
+{
+    SceneSchedule s;
+    s.push_back({1.0, {2.0, 0.0}, "day"});
+    s.push_back({5.0, {14.0, 0.0}, "night"});
+
+    EXPECT_DOUBLE_EQ(sceneAt(s, 0.0).difficultyDb, 0.0); // Scene{}
+    EXPECT_EQ(sceneNameAt(s, 0.0), "");
+    EXPECT_DOUBLE_EQ(sceneAt(s, 1.0).difficultyDb, 2.0);
+    EXPECT_DOUBLE_EQ(sceneAt(s, 4.99).difficultyDb, 2.0);
+    EXPECT_DOUBLE_EQ(sceneAt(s, 5.0).difficultyDb, 14.0);
+    EXPECT_EQ(sceneNameAt(s, 100.0), "night");
+}
+
+TEST(ProxyModelTest, ProxyIsMonotoneInEveryKnob)
+{
+    OperatingPoint op;
+    op.snrDb = 40.0;
+    op.adcBits = 5;
+    op.depth = 2;
+
+    OperatingPoint better = op;
+    better.snrDb = 46.0;
+    EXPECT_GT(accuracyProxy(better, 8.0, false),
+              accuracyProxy(op, 8.0, false));
+
+    better = op;
+    better.adcBits = 7;
+    EXPECT_GT(accuracyProxy(better, 8.0, false),
+              accuracyProxy(op, 8.0, false));
+
+    OperatingPoint deeper = op;
+    deeper.depth = 3; // deeper analog prefix = more accumulated noise
+    EXPECT_LT(accuracyProxy(deeper, 8.0, false),
+              accuracyProxy(op, 8.0, false));
+
+    // Harder scene, lower proxy — on the bypass path too.
+    EXPECT_LT(accuracyProxy(op, 14.0, false),
+              accuracyProxy(op, 2.0, false));
+    EXPECT_LT(accuracyProxy(op, 14.0, true),
+              accuracyProxy(op, 2.0, true));
+}
+
+TEST(ProxyModelTest, ProxyStaysInsideFloorCeiling)
+{
+    const ProxyModel m;
+    OperatingPoint op;
+    for (double d = -30.0; d <= 120.0; d += 5.0) {
+        const double p = accuracyProxy(op, d, false, m);
+        EXPECT_GE(p, m.floor);
+        EXPECT_LE(p, m.ceiling);
+    }
+}
+
+TEST(ProxyModelTest, DifficultyInversionRoundTrips)
+{
+    // The calibration contract: observing the proxy the model
+    // predicts at a known op must recover the difficulty that
+    // produced it, on both serving paths.
+    OperatingPoint op;
+    op.snrDb = 44.0;
+    op.adcBits = 6;
+    op.depth = 2;
+    for (double d = 0.0; d <= 20.0; d += 2.5) {
+        for (const bool bypass : {false, true}) {
+            const double p = accuracyProxy(op, d, bypass);
+            const double back = inferDifficultyDb(op, p, bypass);
+            EXPECT_NEAR(back, d, 1e-6)
+                << "difficulty " << d << " bypass " << bypass;
+        }
+    }
+}
+
+TEST(ProxyModelTest, InversionClampsDegenerateProxies)
+{
+    const ProxyModel m;
+    OperatingPoint op;
+    // At or beyond the logistic's asymptotes the inversion has no
+    // finite answer; it must pin to the clamp range, not NaN/inf.
+    EXPECT_LE(inferDifficultyDb(op, m.ceiling, false, m), -20.0 + 1e-9);
+    EXPECT_GE(inferDifficultyDb(op, m.floor, false, m), 80.0 - 1e-9);
+    EXPECT_GE(inferDifficultyDb(op, 0.0, false, m), 80.0 - 1e-9);
+    EXPECT_LE(inferDifficultyDb(op, 1.0, false, m), -20.0 + 1e-9);
+}
+
+TEST(FeedbackWindowTest, MeansMatchQuantizedSums)
+{
+    FeedbackWindow w;
+    FeedbackSample a{0.5, 1e-3, false};
+    FeedbackSample b{0.7, 3e-3, true};
+    w.add(a);
+    w.add(b);
+    EXPECT_EQ(w.samples(), 2u);
+    EXPECT_NEAR(w.meanProxy(), 0.6, 1e-6);
+    EXPECT_NEAR(w.meanEnergyJ(), 2e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(w.bypassFraction(), 0.5);
+    w.reset();
+    EXPECT_EQ(w.samples(), 0u);
+    EXPECT_DOUBLE_EQ(w.meanProxy(), 0.0);
+}
+
+TEST(FeedbackWindowTest, SumsAreOrderAndThreadIndependent)
+{
+    // The same multiset of samples folded in any order — including
+    // concurrently — must produce the exact same integer sums, hence
+    // the exact same controller decisions.
+    std::vector<FeedbackSample> samples;
+    for (int i = 0; i < 256; ++i)
+        samples.push_back({0.3 + 0.002 * i, 1e-4 * (i + 1), i % 3 == 0});
+
+    FeedbackWindow forward;
+    for (const FeedbackSample &s : samples)
+        forward.add(s);
+
+    FeedbackWindow reverse;
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        reverse.add(*it);
+
+    FeedbackWindow threaded;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t)
+        workers.emplace_back([&threaded, &samples, t] {
+            for (std::size_t i = t; i < samples.size(); i += 4)
+                threaded.add(samples[i]);
+        });
+    for (std::thread &t : workers)
+        t.join();
+
+    EXPECT_EQ(forward.samples(), reverse.samples());
+    EXPECT_EQ(forward.samples(), threaded.samples());
+    // Bitwise equality of the derived means: the accumulators are
+    // integers, so no ordering can perturb them.
+    EXPECT_EQ(forward.meanProxy(), reverse.meanProxy());
+    EXPECT_EQ(forward.meanProxy(), threaded.meanProxy());
+    EXPECT_EQ(forward.meanEnergyJ(), threaded.meanEnergyJ());
+    EXPECT_EQ(forward.bypassFraction(), threaded.bypassFraction());
+}
+
+} // namespace
+} // namespace tune
+} // namespace redeye
